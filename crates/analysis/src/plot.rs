@@ -1,0 +1,501 @@
+//! SVG rendering of figure data.
+//!
+//! Hand-rolled SVG line/scatter charts so the reproduction can draw
+//! its own figures without adding plotting dependencies: evolution
+//! series (Figs. 1A, 3, 5, 6, 7, 8) as multi-line charts with day
+//! ticks, and degree distributions (Fig. 4) as log–log scatters. The
+//! output is deliberately plain — the same visual grammar as the
+//! paper's MATLAB plots.
+
+use crate::timeseries::Series;
+use magellan_graph::HistogramPoint;
+use std::fmt::Write as _;
+
+/// Chart geometry and labels.
+#[derive(Debug, Clone)]
+pub struct PlotOptions {
+    /// Total width in pixels.
+    pub width: u32,
+    /// Total height in pixels.
+    pub height: u32,
+    /// Chart title.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Force the y-axis to start at zero.
+    pub y_from_zero: bool,
+}
+
+impl Default for PlotOptions {
+    fn default() -> Self {
+        PlotOptions {
+            width: 720,
+            height: 360,
+            title: String::new(),
+            y_label: String::new(),
+            y_from_zero: true,
+        }
+    }
+}
+
+/// Line colors cycled across series (a qualitative palette).
+const COLORS: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
+
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 16.0;
+const MARGIN_T: f64 = 32.0;
+const MARGIN_B: f64 = 40.0;
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 10_000.0 {
+        format!("{:.0}k", v / 1_000.0)
+    } else if v.abs() >= 10.0 || v == 0.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Renders evolution series as a multi-line SVG chart with day ticks
+/// on the x-axis (the paper's figures all use "Sun Mon Tue ..." axes).
+///
+/// Empty series are skipped; an entirely empty input produces a chart
+/// frame with a "no data" note rather than panicking.
+pub fn render_series_svg(series: &[&Series], opts: &PlotOptions) -> String {
+    let w = opts.width as f64;
+    let h = opts.height as f64;
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"#,
+        opts.width, opts.height, opts.width, opts.height
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{w}" height="{h}" fill="white"/><text x="{}" y="20" font-family="sans-serif" font-size="14" text-anchor="middle">{}</text>"#,
+        w / 2.0,
+        xml_escape(&opts.title)
+    );
+
+    let live: Vec<&&Series> = series.iter().filter(|s| !s.is_empty()).collect();
+    if live.is_empty() {
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="12" text-anchor="middle">no data</text></svg>"#,
+            w / 2.0,
+            h / 2.0
+        );
+        return svg;
+    }
+
+    let x_min = live
+        .iter()
+        .map(|s| s.points[0].0.as_millis())
+        .min()
+        .expect("non-empty") as f64;
+    let x_max = live
+        .iter()
+        .map(|s| s.points.last().expect("non-empty").0.as_millis())
+        .max()
+        .expect("non-empty") as f64;
+    let x_span = (x_max - x_min).max(1.0);
+    let mut y_min = f64::INFINITY;
+    let mut y_max = f64::NEG_INFINITY;
+    for s in &live {
+        for &(_, v) in &s.points {
+            y_min = y_min.min(v);
+            y_max = y_max.max(v);
+        }
+    }
+    if opts.y_from_zero {
+        y_min = y_min.min(0.0);
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    let y_span = y_max - y_min;
+
+    let sx = |t: f64| MARGIN_L + (t - x_min) / x_span * plot_w;
+    let sy = |v: f64| MARGIN_T + (1.0 - (v - y_min) / y_span) * plot_h;
+
+    // Frame.
+    let _ = write!(
+        svg,
+        r#"<rect x="{}" y="{}" width="{plot_w}" height="{plot_h}" fill="none" stroke="gray"/>"#,
+        MARGIN_L, MARGIN_T
+    );
+    // Y ticks (5).
+    for k in 0..=4 {
+        let v = y_min + y_span * k as f64 / 4.0;
+        let y = sy(v);
+        let _ = write!(
+            svg,
+            r#"<line x1="{}" y1="{y}" x2="{}" y2="{y}" stroke="lightgray"/><text x="{}" y="{}" font-family="sans-serif" font-size="10" text-anchor="end">{}</text>"#,
+            MARGIN_L,
+            w - MARGIN_R,
+            MARGIN_L - 6.0,
+            y + 3.0,
+            fmt_tick(v)
+        );
+    }
+    // X ticks: one per day boundary.
+    let day_ms = 86_400_000.0;
+    let first_day = (x_min / day_ms).ceil() as u64;
+    let last_day = (x_max / day_ms).floor() as u64;
+    const DAYS: [&str; 7] = ["Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"];
+    for d in first_day..=last_day {
+        let x = sx(d as f64 * day_ms);
+        let _ = write!(
+            svg,
+            r#"<line x1="{x}" y1="{}" x2="{x}" y2="{}" stroke="whitesmoke"/><text x="{x}" y="{}" font-family="sans-serif" font-size="9" text-anchor="middle">{}</text>"#,
+            MARGIN_T,
+            MARGIN_T + plot_h,
+            MARGIN_T + plot_h + 14.0,
+            DAYS[(d % 7) as usize]
+        );
+    }
+    // Y label.
+    if !opts.y_label.is_empty() {
+        let _ = write!(
+            svg,
+            r#"<text x="14" y="{}" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 14 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            xml_escape(&opts.y_label)
+        );
+    }
+    // Series.
+    for (i, s) in live.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let mut points = String::new();
+        for &(t, v) in &s.points {
+            let _ = write!(points, "{:.1},{:.1} ", sx(t.as_millis() as f64), sy(v));
+        }
+        let _ = write!(
+            svg,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.5"/>"#,
+            points.trim_end()
+        );
+        // Legend.
+        let lx = MARGIN_L + 10.0;
+        let ly = MARGIN_T + 14.0 + i as f64 * 14.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/><text x="{}" y="{}" font-family="sans-serif" font-size="10">{}</text>"#,
+            lx + 18.0,
+            lx + 24.0,
+            ly + 3.0,
+            xml_escape(&s.name)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Renders distribution points (e.g. a degree pmf) as a log–log
+/// scatter, the presentation of the paper's Fig. 4.
+///
+/// Points with non-positive coordinates are skipped (they have no
+/// logarithm); if none remain the chart carries a "no data" note.
+pub fn render_loglog_svg(
+    datasets: &[(&str, &[HistogramPoint])],
+    opts: &PlotOptions,
+) -> String {
+    let w = opts.width as f64;
+    let h = opts.height as f64;
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"#,
+        opts.width, opts.height, opts.width, opts.height
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{w}" height="{h}" fill="white"/><text x="{}" y="20" font-family="sans-serif" font-size="14" text-anchor="middle">{}</text>"#,
+        w / 2.0,
+        xml_escape(&opts.title)
+    );
+    let pts: Vec<(usize, f64, f64)> = datasets
+        .iter()
+        .enumerate()
+        .flat_map(|(i, (_, ps))| {
+            ps.iter()
+                .filter(|p| p.degree > 0.0 && p.fraction > 0.0)
+                .map(move |p| (i, p.degree.log10(), p.fraction.log10()))
+        })
+        .collect();
+    if pts.is_empty() {
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="12" text-anchor="middle">no data</text></svg>"#,
+            w / 2.0,
+            h / 2.0
+        );
+        return svg;
+    }
+    let (mut x_min, mut x_max, mut y_min, mut y_max) =
+        (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+    for &(_, x, y) in &pts {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    // Snap to whole decades for readable ticks.
+    x_min = x_min.floor();
+    x_max = x_max.ceil().max(x_min + 1.0);
+    y_min = y_min.floor();
+    y_max = y_max.ceil().max(y_min + 1.0);
+    let sx = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min) * plot_w;
+    let sy = |y: f64| MARGIN_T + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+    let _ = write!(
+        svg,
+        r#"<rect x="{}" y="{}" width="{plot_w}" height="{plot_h}" fill="none" stroke="gray"/>"#,
+        MARGIN_L, MARGIN_T
+    );
+    // Decade gridlines.
+    let mut dec = x_min;
+    while dec <= x_max + 1e-9 {
+        let x = sx(dec);
+        let _ = write!(
+            svg,
+            r#"<line x1="{x}" y1="{}" x2="{x}" y2="{}" stroke="whitesmoke"/><text x="{x}" y="{}" font-family="sans-serif" font-size="9" text-anchor="middle">1e{}</text>"#,
+            MARGIN_T,
+            MARGIN_T + plot_h,
+            MARGIN_T + plot_h + 14.0,
+            dec as i64
+        );
+        dec += 1.0;
+    }
+    let mut dec = y_min;
+    while dec <= y_max + 1e-9 {
+        let y = sy(dec);
+        let _ = write!(
+            svg,
+            r#"<line x1="{}" y1="{y}" x2="{}" y2="{y}" stroke="whitesmoke"/><text x="{}" y="{}" font-family="sans-serif" font-size="9" text-anchor="end">1e{}</text>"#,
+            MARGIN_L,
+            w - MARGIN_R,
+            MARGIN_L - 6.0,
+            y + 3.0,
+            dec as i64
+        );
+        dec += 1.0;
+    }
+    for (i, (name, _)) in datasets.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        for &(di, x, y) in pts.iter().filter(|&&(di, _, _)| di == i) {
+            let _ = di;
+            let _ = write!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="2.2" fill="{color}" fill-opacity="0.8"/>"#,
+                sx(x),
+                sy(y)
+            );
+        }
+        let lx = w - MARGIN_R - 150.0;
+        let ly = MARGIN_T + 14.0 + i as f64 * 14.0;
+        let _ = write!(
+            svg,
+            r#"<circle cx="{lx}" cy="{}" r="3" fill="{color}"/><text x="{}" y="{}" font-family="sans-serif" font-size="10">{}</text>"#,
+            ly - 3.0,
+            lx + 8.0,
+            ly,
+            xml_escape(name)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Renders labelled bars (Fig. 2's ISP shares, Fig. 1B's daily IP
+/// counts). Bars are drawn in input order with value labels.
+pub fn render_bars_svg(bars: &[(String, f64)], opts: &PlotOptions) -> String {
+    let w = opts.width as f64;
+    let h = opts.height as f64;
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"#,
+        opts.width, opts.height, opts.width, opts.height
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{w}" height="{h}" fill="white"/><text x="{}" y="20" font-family="sans-serif" font-size="14" text-anchor="middle">{}</text>"#,
+        w / 2.0,
+        xml_escape(&opts.title)
+    );
+    if bars.is_empty() {
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="12" text-anchor="middle">no data</text></svg>"#,
+            w / 2.0,
+            h / 2.0
+        );
+        return svg;
+    }
+    let max = bars
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let slot = plot_w / bars.len() as f64;
+    let bar_w = (slot * 0.7).max(2.0);
+    for (i, (label, v)) in bars.iter().enumerate() {
+        let x = MARGIN_L + i as f64 * slot + (slot - bar_w) / 2.0;
+        let bh = (v / max) * plot_h;
+        let y = MARGIN_T + plot_h - bh;
+        let color = COLORS[i % COLORS.len()];
+        let _ = write!(
+            svg,
+            r#"<rect x="{x:.1}" y="{y:.1}" width="{bar_w:.1}" height="{bh:.1}" fill="{color}" fill-opacity="0.85"/>"#
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="9" text-anchor="middle">{}</text>"#,
+            x + bar_w / 2.0,
+            y - 4.0,
+            fmt_tick(*v)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="9" text-anchor="middle">{}</text>"#,
+            x + bar_w / 2.0,
+            MARGIN_T + plot_h + 14.0,
+            xml_escape(label)
+        );
+    }
+    let _ = write!(
+        svg,
+        r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="gray"/>"#,
+        MARGIN_L,
+        MARGIN_T + plot_h,
+        w - MARGIN_R,
+        MARGIN_T + plot_h
+    );
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magellan_netsim::SimTime;
+
+    fn series(name: &str, vals: &[f64]) -> Series {
+        let mut s = Series::new(name);
+        for (i, &v) in vals.iter().enumerate() {
+            s.push(SimTime::at(0, i as u64, 0), v);
+        }
+        s
+    }
+
+    #[test]
+    fn line_chart_contains_series_and_frame() {
+        let a = series("alpha", &[1.0, 3.0, 2.0]);
+        let b = series("beta", &[0.5, 0.5, 0.9]);
+        let svg = render_series_svg(&[&a, &b], &PlotOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("alpha"));
+        assert!(svg.contains("beta"));
+        assert!(svg.contains("Sun")); // day tick at t = 0
+    }
+
+    #[test]
+    fn empty_input_renders_a_note() {
+        let svg = render_series_svg(&[], &PlotOptions::default());
+        assert!(svg.contains("no data"));
+        let empty = Series::new("e");
+        let svg = render_series_svg(&[&empty], &PlotOptions::default());
+        assert!(svg.contains("no data"));
+    }
+
+    #[test]
+    fn title_is_escaped() {
+        let a = series("x", &[1.0]);
+        let opts = PlotOptions {
+            title: "a<b & c>d".into(),
+            ..PlotOptions::default()
+        };
+        let svg = render_series_svg(&[&a], &opts);
+        assert!(svg.contains("a&lt;b &amp; c&gt;d"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let a = series("flat", &[2.0, 2.0, 2.0]);
+        let svg = render_series_svg(&[&a], &PlotOptions::default());
+        assert!(svg.contains("<polyline"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn loglog_plots_positive_points_only() {
+        let pts = [
+            HistogramPoint { degree: 0.0, fraction: 0.5 }, // skipped (log of 0)
+            HistogramPoint { degree: 10.0, fraction: 0.1 },
+            HistogramPoint { degree: 100.0, fraction: 0.01 },
+        ];
+        let svg = render_loglog_svg(&[("d", &pts)], &PlotOptions::default());
+        assert_eq!(svg.matches("<circle").count(), 2 + 1); // points + legend dot
+        assert!(svg.contains("1e1"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn loglog_empty_is_a_note() {
+        let svg = render_loglog_svg(&[("d", &[])], &PlotOptions::default());
+        assert!(svg.contains("no data"));
+    }
+
+    #[test]
+    fn bars_render_in_order_with_labels() {
+        let bars = vec![
+            ("Telecom".to_owned(), 0.43),
+            ("Netcom".to_owned(), 0.25),
+        ];
+        let svg = render_bars_svg(&bars, &PlotOptions::default());
+        assert_eq!(svg.matches("<rect").count(), 1 + 2); // background + 2 bars
+        assert!(svg.contains("Telecom"));
+        assert!(svg.contains("Netcom"));
+        let t_pos = svg.find("Telecom").unwrap();
+        let n_pos = svg.find("Netcom").unwrap();
+        assert!(t_pos < n_pos, "bars out of order");
+    }
+
+    #[test]
+    fn empty_bars_note() {
+        let svg = render_bars_svg(&[], &PlotOptions::default());
+        assert!(svg.contains("no data"));
+    }
+
+    #[test]
+    fn zero_valued_bars_do_not_nan() {
+        let bars = vec![("z".to_owned(), 0.0)];
+        let svg = render_bars_svg(&bars, &PlotOptions::default());
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(fmt_tick(0.0), "0");
+        assert_eq!(fmt_tick(12.0), "12");
+        assert_eq!(fmt_tick(0.25), "0.25");
+        assert_eq!(fmt_tick(25_000.0), "25k");
+    }
+}

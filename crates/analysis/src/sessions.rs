@@ -1,0 +1,200 @@
+//! Stable-session reconstruction from the trace.
+//!
+//! The trace never records departures — a peer simply stops
+//! reporting. Following the paper's measurement design, a *stable
+//! session* is a maximal run of consecutive reports from one address
+//! (tolerating one lost datagram); its observed length is the span of
+//! the run plus the 20 minutes the peer was necessarily online before
+//! its first report. This is the observable lower bound of the true
+//! session length, and the machinery behind statements like "reports
+//! are sent by relatively long-lived peers".
+
+use magellan_netsim::{PeerAddr, SimDuration, SimTime};
+use magellan_trace::{TraceStore, FIRST_REPORT_DELAY, REPORT_INTERVAL};
+use std::collections::HashMap;
+
+/// One reconstructed stable session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StableSession {
+    /// The peer.
+    pub addr: PeerAddr,
+    /// First report of the run.
+    pub first_report: SimTime,
+    /// Last report of the run.
+    pub last_report: SimTime,
+    /// Reports in the run.
+    pub reports: u32,
+}
+
+impl StableSession {
+    /// Observed session length: run span plus the pre-report delay.
+    pub fn observed_length(&self) -> SimDuration {
+        self.last_report.saturating_since(self.first_report) + FIRST_REPORT_DELAY
+    }
+}
+
+/// Summary statistics over a session population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionSummary {
+    /// Number of sessions.
+    pub sessions: usize,
+    /// Mean observed length in minutes.
+    pub mean_mins: f64,
+    /// Median observed length in minutes.
+    pub median_mins: f64,
+    /// 90th percentile in minutes.
+    pub p90_mins: f64,
+}
+
+/// Reconstructs stable sessions from a trace, splitting a peer's
+/// report stream wherever the gap exceeds `2 × REPORT_INTERVAL`
+/// (one lost datagram is bridged; two mean the peer left and later
+/// rejoined).
+pub fn stable_sessions(store: &TraceStore) -> Vec<StableSession> {
+    let mut times: HashMap<PeerAddr, Vec<SimTime>> = HashMap::new();
+    for r in store.reports() {
+        times.entry(r.addr).or_default().push(r.time);
+    }
+    let split_gap = SimDuration::from_millis(REPORT_INTERVAL.as_millis() * 2);
+    let mut sessions = Vec::new();
+    let mut addrs: Vec<PeerAddr> = times.keys().copied().collect();
+    addrs.sort();
+    for addr in addrs {
+        let mut ts = times.remove(&addr).expect("key exists");
+        ts.sort();
+        let mut run_start = ts[0];
+        let mut prev = ts[0];
+        let mut count = 1u32;
+        for &t in &ts[1..] {
+            if t.saturating_since(prev) > split_gap {
+                sessions.push(StableSession {
+                    addr,
+                    first_report: run_start,
+                    last_report: prev,
+                    reports: count,
+                });
+                run_start = t;
+                count = 0;
+            }
+            prev = t;
+            count += 1;
+        }
+        sessions.push(StableSession {
+            addr,
+            first_report: run_start,
+            last_report: prev,
+            reports: count,
+        });
+    }
+    sessions
+}
+
+/// Summarizes observed session lengths.
+///
+/// Returns `None` for an empty session list.
+pub fn summarize(sessions: &[StableSession]) -> Option<SessionSummary> {
+    if sessions.is_empty() {
+        return None;
+    }
+    let mut mins: Vec<f64> = sessions
+        .iter()
+        .map(|s| s.observed_length().as_millis() as f64 / 60_000.0)
+        .collect();
+    mins.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = mins.len();
+    Some(SessionSummary {
+        sessions: n,
+        mean_mins: mins.iter().sum::<f64>() / n as f64,
+        median_mins: mins[n / 2],
+        p90_mins: mins[(n * 9 / 10).min(n - 1)],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magellan_trace::{BufferMap, PeerReport};
+    use magellan_workload::ChannelId;
+
+    fn report(ip: u32, minute: u64) -> PeerReport {
+        PeerReport {
+            time: SimTime::ORIGIN + SimDuration::from_mins(minute),
+            addr: PeerAddr::from_u32(ip),
+            channel: ChannelId::CCTV1,
+            buffer_map: BufferMap::new(0, 8),
+            download_capacity_kbps: 1000.0,
+            upload_capacity_kbps: 500.0,
+            recv_throughput_kbps: 400.0,
+            send_throughput_kbps: 0.0,
+            partners: vec![],
+        }
+    }
+
+    #[test]
+    fn single_report_is_a_twenty_minute_session() {
+        let store: TraceStore = vec![report(1, 20)].into_iter().collect();
+        let s = stable_sessions(&store);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].reports, 1);
+        assert_eq!(s[0].observed_length(), FIRST_REPORT_DELAY);
+    }
+
+    #[test]
+    fn consecutive_reports_form_one_session() {
+        let store: TraceStore = vec![report(1, 20), report(1, 30), report(1, 40)]
+            .into_iter()
+            .collect();
+        let s = stable_sessions(&store);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].reports, 3);
+        assert_eq!(s[0].observed_length(), SimDuration::from_mins(40));
+    }
+
+    #[test]
+    fn one_missed_report_bridges() {
+        let store: TraceStore = vec![report(1, 20), report(1, 40)].into_iter().collect();
+        let s = stable_sessions(&store);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].reports, 2);
+    }
+
+    #[test]
+    fn long_gap_splits_sessions() {
+        let store: TraceStore = vec![report(1, 20), report(1, 30), report(1, 120), report(1, 130)]
+            .into_iter()
+            .collect();
+        let s = stable_sessions(&store);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].observed_length(), SimDuration::from_mins(30));
+        assert_eq!(s[1].observed_length(), SimDuration::from_mins(30));
+    }
+
+    #[test]
+    fn sessions_from_different_peers_do_not_merge() {
+        let store: TraceStore = vec![report(1, 20), report(2, 30)].into_iter().collect();
+        let s = stable_sessions(&store);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let store: TraceStore = vec![
+            report(1, 20), // 20 min session
+            report(2, 20),
+            report(2, 30), // 30 min session
+        ]
+        .into_iter()
+        .collect();
+        let sessions = stable_sessions(&store);
+        let sum = summarize(&sessions).unwrap();
+        assert_eq!(sum.sessions, 2);
+        assert!((sum.mean_mins - 25.0).abs() < 1e-9);
+        assert!(sum.p90_mins >= sum.median_mins);
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn empty_store_has_no_sessions() {
+        assert!(stable_sessions(&TraceStore::new()).is_empty());
+    }
+}

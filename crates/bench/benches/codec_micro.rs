@@ -1,0 +1,86 @@
+//! Micro-benchmarks of the trace codecs: the wire datagram format and
+//! the JSON-lines archive format, on realistic report sizes (the
+//! paper's reports carry ~40-partner lists).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magellan_bench::bench_trace;
+use magellan_netsim::{PeerAddr, SimTime};
+use magellan_trace::{jsonl, wire, BufferMap, PartnerRecord, PeerReport};
+use magellan_workload::ChannelId;
+use std::hint::black_box;
+
+fn synthetic_report(partners: usize) -> PeerReport {
+    PeerReport {
+        time: SimTime::at(3, 21, 0),
+        addr: PeerAddr::from_u32(0x0B01_0203),
+        channel: ChannelId::CCTV1,
+        buffer_map: BufferMap::new(123_456, 150),
+        download_capacity_kbps: 2_048.5,
+        upload_capacity_kbps: 512.25,
+        recv_throughput_kbps: 398.0,
+        send_throughput_kbps: 610.0,
+        partners: (0..partners)
+            .map(|k| PartnerRecord {
+                addr: PeerAddr::from_u32(0x0C00_0000 + k as u32),
+                tcp_port: 16_800 + k as u16,
+                udp_port: 26_800 + k as u16,
+                segments_sent: (k as u64 * 37) % 500,
+                segments_received: (k as u64 * 17) % 500,
+            })
+            .collect(),
+    }
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec_micro");
+    g.sample_size(60);
+    for &partners in &[0usize, 10, 40, 120] {
+        let report = synthetic_report(partners);
+        let datagram = wire::encode(&report);
+        let line = jsonl::to_json_line(&report);
+        g.bench_with_input(
+            BenchmarkId::new("wire_encode", partners),
+            &report,
+            |b, r| b.iter(|| black_box(wire::encode(black_box(r)))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("wire_decode", partners),
+            &datagram,
+            |b, d| b.iter(|| black_box(wire::decode(&mut d.clone()).unwrap())),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("jsonl_encode", partners),
+            &report,
+            |b, r| b.iter(|| black_box(jsonl::to_json_line(black_box(r)))),
+        );
+        g.bench_with_input(BenchmarkId::new("jsonl_decode", partners), &line, |b, l| {
+            b.iter(|| black_box(jsonl::from_json_line(black_box(l)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_store_roundtrip(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("trace_store");
+    g.sample_size(10);
+    g.bench_function("write_jsonl_full_trace", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(1 << 20);
+            trace.store.write_jsonl(&mut buf).unwrap();
+            black_box(buf.len())
+        })
+    });
+    let mut archived = Vec::new();
+    trace.store.write_jsonl(&mut archived).unwrap();
+    g.bench_function("read_jsonl_full_trace", |b| {
+        b.iter(|| {
+            let store = magellan_trace::TraceStore::read_jsonl(black_box(&archived[..])).unwrap();
+            black_box(store.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codecs, bench_store_roundtrip);
+criterion_main!(benches);

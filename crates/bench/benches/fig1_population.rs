@@ -1,0 +1,60 @@
+//! Fig. 1 — peer population statistics.
+//!
+//! Prints the regenerated Fig. 1(A)/(B) data for the bench window,
+//! then times the snapshot-population computation (stable set +
+//! known-IP union) that produces each point of the figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magellan_bench::{bench_trace, peak_snapshot, sample_instants};
+use magellan_trace::SnapshotBuilder;
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn print_figure() {
+    let trace = bench_trace();
+    println!("--- Fig 1(A): concurrent population (bench window) ---");
+    for &t in &sample_instants() {
+        let snap = SnapshotBuilder::new(&trace.store).at(t);
+        let stable = snap.stable_count();
+        let total = snap.known_peers().len();
+        println!("{t}: total {total:>6} stable {stable:>6}");
+    }
+    let mut day_ips: HashSet<u32> = HashSet::new();
+    for r in trace.store.reports() {
+        day_ips.insert(r.addr.as_u32());
+        for p in &r.partners {
+            day_ips.insert(p.addr.as_u32());
+        }
+    }
+    println!("--- Fig 1(B): distinct IPs on bench day: {} ---", day_ips.len());
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let trace = bench_trace();
+    let reports = peak_snapshot();
+
+    let mut g = c.benchmark_group("fig1_population");
+    g.sample_size(20);
+    g.bench_function("snapshot_reconstruction", |b| {
+        let builder = SnapshotBuilder::new(&trace.store);
+        let t = magellan_netsim::SimTime::at(0, 21, 0);
+        b.iter(|| black_box(builder.at(black_box(t)).stable_count()))
+    });
+    g.bench_function("known_peer_union", |b| {
+        b.iter(|| {
+            let mut known: HashSet<u32> = HashSet::new();
+            for r in &reports {
+                known.insert(r.addr.as_u32());
+                for p in &r.partners {
+                    known.insert(p.addr.as_u32());
+                }
+            }
+            black_box(known.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Fig. 2 — ISP membership shares.
+//!
+//! Prints the regenerated ISP share table for the bench window's peak
+//! population, then times the share computation (IP→ISP lookups over
+//! a snapshot's known-peer set).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magellan_bench::{bench_trace, peak_snapshot};
+use magellan_netsim::Isp;
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn known_addrs() -> Vec<u32> {
+    let reports = peak_snapshot();
+    let mut known: HashSet<u32> = HashSet::new();
+    for r in &reports {
+        known.insert(r.addr.as_u32());
+        for p in &r.partners {
+            known.insert(p.addr.as_u32());
+        }
+    }
+    let mut v: Vec<u32> = known.into_iter().collect();
+    v.sort();
+    v
+}
+
+fn print_figure() {
+    let trace = bench_trace();
+    let addrs = known_addrs();
+    let mut counts = [0usize; 7];
+    for &a in &addrs {
+        counts[trace.db.lookup(magellan_netsim::PeerAddr::from_u32(a)).index()] += 1;
+    }
+    println!("--- Fig 2: ISP shares at the bench peak ---");
+    for isp in Isp::ALL {
+        println!(
+            "{:<14} {:>5.1}%",
+            isp.name(),
+            100.0 * counts[isp.index()] as f64 / addrs.len().max(1) as f64
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let trace = bench_trace();
+    let addrs = known_addrs();
+
+    let mut g = c.benchmark_group("fig2_isp_shares");
+    g.sample_size(30);
+    g.bench_function("share_computation", |b| {
+        b.iter(|| {
+            let mut counts = [0usize; 7];
+            for &a in &addrs {
+                counts[trace
+                    .db
+                    .lookup(magellan_netsim::PeerAddr::from_u32(black_box(a)))
+                    .index()] += 1;
+            }
+            black_box(counts)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

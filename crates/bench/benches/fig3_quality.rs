@@ -1,0 +1,59 @@
+//! Fig. 3 — streaming quality (viewers at ≥90 % of the channel rate).
+//!
+//! Prints the regenerated satisfaction curve for CCTV1 and CCTV4 over
+//! the bench window, then times the per-snapshot quality computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magellan_bench::{bench_trace, peak_snapshot, sample_instants};
+use magellan_trace::SnapshotBuilder;
+use magellan_workload::ChannelId;
+use std::hint::black_box;
+
+fn print_figure() {
+    let trace = bench_trace();
+    println!("--- Fig 3: satisfied-viewer fraction (bench window) ---");
+    for &t in &sample_instants() {
+        let snap = SnapshotBuilder::new(&trace.store).at(t);
+        let frac = |ch: ChannelId| {
+            let viewers: Vec<_> = snap.reports_on_channel(ch).collect();
+            if viewers.is_empty() {
+                return f64::NAN;
+            }
+            viewers
+                .iter()
+                .filter(|r| r.achieves_rate(400.0, 0.9))
+                .count() as f64
+                / viewers.len() as f64
+        };
+        println!(
+            "{t}: CCTV1 {:.2}  CCTV4 {:.2}",
+            frac(ChannelId::CCTV1),
+            frac(ChannelId::CCTV4)
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let reports = peak_snapshot();
+
+    let mut g = c.benchmark_group("fig3_quality");
+    g.sample_size(50);
+    g.bench_function("satisfaction_fraction", |b| {
+        b.iter(|| {
+            let viewers = reports
+                .iter()
+                .filter(|r| r.channel == ChannelId::CCTV1)
+                .count();
+            let good = reports
+                .iter()
+                .filter(|r| r.channel == ChannelId::CCTV1 && r.achieves_rate(400.0, 0.9))
+                .count();
+            black_box((viewers, good))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Fig. 4 — degree distributions of stable peers.
+//!
+//! Prints the regenerated partner/indegree/outdegree distributions at
+//! the bench peak, then times histogram construction and the
+//! power-law plausibility test the paper's §4.2.1 argument rests on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magellan_analysis::classify::degree_triple;
+use magellan_bench::peak_snapshot;
+use magellan_graph::{powerlaw, DegreeHistogram};
+use std::hint::black_box;
+
+fn print_figure() {
+    let reports = peak_snapshot();
+    let mut partners = DegreeHistogram::new();
+    let mut indeg = DegreeHistogram::new();
+    let mut outdeg = DegreeHistogram::new();
+    for r in &reports {
+        let (p, i, o) = degree_triple(r);
+        partners.record(p);
+        indeg.record(i);
+        outdeg.record(o);
+    }
+    println!("--- Fig 4 at bench peak (n = {}) ---", reports.len());
+    println!(
+        "(A) partners : spike {:?}, mean {:.1}, max {:?}",
+        partners.spike(),
+        partners.mean(),
+        partners.max_degree()
+    );
+    println!(
+        "(B) indegree : spike {:?}, mean {:.1}, p99 {:?}",
+        indeg.spike(),
+        indeg.mean(),
+        indeg.quantile(0.99)
+    );
+    println!(
+        "(C) outdegree: spike {:?}, mean {:.1}, max {:?}",
+        outdeg.spike(),
+        outdeg.mean(),
+        outdeg.max_degree()
+    );
+    match powerlaw::assess(&partners.to_samples()) {
+        Ok(v) => println!(
+            "power-law verdict on (A): plausible = {} (ks {:.3}, threshold {:.3})",
+            v.plausible, v.fit.ks, v.threshold
+        ),
+        Err(e) => println!("power-law fit not possible: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let reports = peak_snapshot();
+    let samples: Vec<usize> = reports.iter().map(|r| degree_triple(r).0).collect();
+
+    let mut g = c.benchmark_group("fig4_degree");
+    g.sample_size(30);
+    g.bench_function("classify_and_histogram", |b| {
+        b.iter(|| {
+            let mut h = DegreeHistogram::new();
+            for r in &reports {
+                h.record(degree_triple(black_box(r)).1);
+            }
+            black_box(h.total())
+        })
+    });
+    g.bench_function("powerlaw_assess", |b| {
+        b.iter(|| black_box(powerlaw::assess(black_box(&samples))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Fig. 5 — evolution of average degrees.
+//!
+//! Prints the regenerated average partner/indegree/outdegree curve
+//! over the bench window, then times one evolution point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magellan_analysis::classify::degree_triple;
+use magellan_bench::{bench_trace, peak_snapshot, sample_instants};
+use magellan_trace::SnapshotBuilder;
+use std::hint::black_box;
+
+fn print_figure() {
+    let trace = bench_trace();
+    println!("--- Fig 5: average degrees (bench window) ---");
+    for &t in &sample_instants() {
+        let snap = SnapshotBuilder::new(&trace.store).at(t);
+        let reports: Vec<_> = snap.reports().collect();
+        if reports.is_empty() {
+            continue;
+        }
+        let (mut sp, mut si, mut so) = (0usize, 0usize, 0usize);
+        for r in &reports {
+            let (p, i, o) = degree_triple(r);
+            sp += p;
+            si += i;
+            so += o;
+        }
+        let n = reports.len() as f64;
+        println!(
+            "{t}: partners {:5.1}  indegree {:5.1}  outdegree {:5.1}",
+            sp as f64 / n,
+            si as f64 / n,
+            so as f64 / n
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let reports = peak_snapshot();
+
+    let mut g = c.benchmark_group("fig5_degree_evolution");
+    g.sample_size(50);
+    g.bench_function("average_degree_point", |b| {
+        b.iter(|| {
+            let (mut sp, mut si, mut so) = (0usize, 0usize, 0usize);
+            for r in &reports {
+                let (p, i, o) = degree_triple(black_box(r));
+                sp += p;
+                si += i;
+                so += o;
+            }
+            black_box((sp, si, so))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

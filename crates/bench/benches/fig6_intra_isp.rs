@@ -1,0 +1,41 @@
+//! Fig. 6 — intra-ISP fractions of active degrees.
+//!
+//! Prints the regenerated intra-ISP in/outdegree fraction curve, then
+//! times the per-snapshot fraction computation (two ISP lookups per
+//! partner record).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magellan_analysis::graphs::{intra_isp_degree_fractions, isp_share_baseline};
+use magellan_bench::{bench_trace, peak_snapshot, sample_instants};
+use magellan_trace::SnapshotBuilder;
+use std::hint::black_box;
+
+fn print_figure() {
+    let trace = bench_trace();
+    println!(
+        "--- Fig 6: intra-ISP degree fractions (mixing baseline {:.3}) ---",
+        isp_share_baseline(&trace.db)
+    );
+    for &t in &sample_instants() {
+        let snap = SnapshotBuilder::new(&trace.store).at(t);
+        let reports: Vec<_> = snap.reports().collect();
+        let (fin, fout) = intra_isp_degree_fractions(reports.iter().copied(), &trace.db);
+        println!("{t}: indegree {fin:.3}  outdegree {fout:.3}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let trace = bench_trace();
+    let reports = peak_snapshot();
+
+    let mut g = c.benchmark_group("fig6_intra_isp");
+    g.sample_size(50);
+    g.bench_function("fraction_computation", |b| {
+        b.iter(|| black_box(intra_isp_degree_fractions(black_box(&reports), &trace.db)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Fig. 7 — small-world metrics of the stable-peer graph.
+//!
+//! Prints the regenerated clustering / path-length numbers for the
+//! global graph and the Netcom subgraph at the bench peak, then times
+//! graph construction, exact clustering, and exact/sampled path
+//! lengths — the dominant costs of the whole study pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magellan_analysis::graphs::{active_link_graph, isp_subgraph, NodeScope};
+use magellan_bench::{bench_trace, peak_snapshot};
+use magellan_graph::clustering::clustering_coefficient;
+use magellan_graph::paths::{average_path_length, PathSampling, PathTreatment};
+use magellan_graph::smallworld::{assess, SmallWorldConfig};
+use magellan_netsim::Isp;
+use std::hint::black_box;
+
+fn print_figure() {
+    let trace = bench_trace();
+    let reports = peak_snapshot();
+    let g = active_link_graph(&reports, NodeScope::StableOnly);
+    let cfg = SmallWorldConfig::default();
+    let global = assess(&g, &cfg);
+    println!("--- Fig 7(A) at bench peak ---");
+    println!(
+        "n {} | und. edges {} | C {:.3} vs C_rand {:.4} | L {:?} vs L_rand {:?} | small world: {}",
+        global.n,
+        global.undirected_edges,
+        global.c,
+        global.c_rand,
+        global.l,
+        global.l_rand,
+        global.is_small_world
+    );
+    let sub = isp_subgraph(&g, &trace.db, Isp::Netcom);
+    let isp = assess(&sub, &cfg);
+    println!("--- Fig 7(B): China Netcom subgraph ---");
+    println!(
+        "n {} | C {:.3} vs C_rand {:.4} | L {:?} vs L_rand {:?}",
+        isp.n, isp.c, isp.c_rand, isp.l, isp.l_rand
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let reports = peak_snapshot();
+    let g = active_link_graph(&reports, NodeScope::StableOnly);
+
+    let mut grp = c.benchmark_group("fig7_smallworld");
+    grp.sample_size(20);
+    grp.bench_function("graph_construction", |b| {
+        b.iter(|| black_box(active_link_graph(black_box(&reports), NodeScope::StableOnly)))
+    });
+    grp.bench_function("clustering_exact", |b| {
+        b.iter(|| black_box(clustering_coefficient(black_box(&g))))
+    });
+    grp.bench_function("paths_exact", |b| {
+        b.iter(|| {
+            black_box(average_path_length(
+                black_box(&g),
+                PathTreatment::Undirected,
+                PathSampling::Exact,
+            ))
+        })
+    });
+    grp.bench_function("paths_sampled_32", |b| {
+        b.iter(|| {
+            black_box(average_path_length(
+                black_box(&g),
+                PathTreatment::Undirected,
+                PathSampling::Sources { count: 32, seed: 7 },
+            ))
+        })
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

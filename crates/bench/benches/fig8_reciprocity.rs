@@ -1,0 +1,68 @@
+//! Fig. 8 — edge reciprocity.
+//!
+//! Prints the regenerated ρ for the whole topology and its intra-/
+//! inter-ISP splits at the bench peak, then times graph construction,
+//! the edge-split extraction, and the ρ computation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magellan_analysis::graphs::{
+    active_link_graph, inter_isp_link_graph, intra_isp_link_graph, NodeScope,
+};
+use magellan_bench::{bench_trace, peak_snapshot};
+use magellan_graph::reciprocity::{garlaschelli_reciprocity, simple_reciprocity};
+use std::hint::black_box;
+
+fn print_figure() {
+    let trace = bench_trace();
+    let reports = peak_snapshot();
+    let g = active_link_graph(&reports, NodeScope::AllKnown);
+    let intra = intra_isp_link_graph(&g, &trace.db);
+    let inter = inter_isp_link_graph(&g, &trace.db);
+    println!("--- Fig 8 at bench peak ---");
+    println!(
+        "all   : n {} m {} r {:.3} rho {:?}",
+        g.node_count(),
+        g.edge_count(),
+        simple_reciprocity(&g),
+        garlaschelli_reciprocity(&g)
+    );
+    println!(
+        "intra : n {} m {} rho {:?}",
+        intra.node_count(),
+        intra.edge_count(),
+        garlaschelli_reciprocity(&intra)
+    );
+    println!(
+        "inter : n {} m {} rho {:?}",
+        inter.node_count(),
+        inter.edge_count(),
+        garlaschelli_reciprocity(&inter)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let trace = bench_trace();
+    let reports = peak_snapshot();
+    let g = active_link_graph(&reports, NodeScope::AllKnown);
+
+    let mut grp = c.benchmark_group("fig8_reciprocity");
+    grp.sample_size(30);
+    grp.bench_function("graph_construction_all_known", |b| {
+        b.iter(|| black_box(active_link_graph(black_box(&reports), NodeScope::AllKnown)))
+    });
+    grp.bench_function("rho", |b| {
+        b.iter(|| black_box(garlaschelli_reciprocity(black_box(&g))))
+    });
+    grp.bench_function("isp_edge_split", |b| {
+        b.iter(|| {
+            let intra = intra_isp_link_graph(black_box(&g), &trace.db);
+            let inter = inter_isp_link_graph(black_box(&g), &trace.db);
+            black_box((intra.edge_count(), inter.edge_count()))
+        })
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

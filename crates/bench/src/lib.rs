@@ -1,0 +1,91 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Every figure bench needs the same two inputs: a trace produced by
+//! a small simulated study window, and snapshots reconstructed from
+//! it. Building the trace costs seconds, so it is computed once per
+//! process in a [`std::sync::OnceLock`] and shared.
+
+use magellan_analysis::study::StudyConfig;
+use magellan_netsim::{SimDuration, SimTime, StudyCalendar};
+use magellan_overlay::{OverlaySim, SimConfig};
+use magellan_trace::{PeerReport, SnapshotBuilder, TraceStore};
+use magellan_workload::{DiurnalProfile, Scenario};
+use std::sync::OnceLock;
+
+/// Scale of the shared bench trace: ~120 concurrent peers.
+pub const BENCH_SCALE: f64 = 0.0012;
+/// Days simulated for the shared bench trace.
+pub const BENCH_DAYS: u64 = 1;
+
+/// The shared fixture: a trace store plus the sim's ISP database.
+pub struct BenchTrace {
+    /// All reports of the bench window.
+    pub store: TraceStore,
+    /// ISP database the run allocated addresses from.
+    pub db: magellan_netsim::IspDatabase,
+}
+
+static TRACE: OnceLock<BenchTrace> = OnceLock::new();
+
+/// The scenario the shared trace was generated from.
+pub fn bench_scenario() -> Scenario {
+    Scenario::builder(0xBEEF, BENCH_SCALE)
+        .calendar(StudyCalendar {
+            window_days: BENCH_DAYS,
+        })
+        .build()
+}
+
+/// Returns (building on first call) the shared bench trace.
+pub fn bench_trace() -> &'static BenchTrace {
+    TRACE.get_or_init(|| {
+        let mut sim = OverlaySim::new(bench_scenario(), SimConfig::default());
+        let db = sim.isp_database().clone();
+        let (store, _) = sim.run_collecting();
+        BenchTrace { store, db }
+    })
+}
+
+/// The evening-peak snapshot of the shared trace, as owned reports.
+pub fn peak_snapshot() -> Vec<PeerReport> {
+    let trace = bench_trace();
+    let t = SimTime::at(0, 21, 0);
+    let snap = SnapshotBuilder::new(&trace.store).at(t);
+    let mut reports: Vec<PeerReport> = snap.reports().cloned().collect();
+    reports.sort_by_key(|r| r.addr);
+    reports
+}
+
+/// Snapshot instants spread over the bench window (hourly).
+pub fn sample_instants() -> Vec<SimTime> {
+    (1..BENCH_DAYS * 24)
+        .map(|h| SimTime::ORIGIN + SimDuration::from_hours(h))
+        .collect()
+}
+
+/// A short study config matching the shared trace, for end-to-end
+/// pipeline benches and ablation comparisons.
+pub fn quick_study(seed: u64) -> StudyConfig {
+    StudyConfig {
+        seed,
+        scale: BENCH_SCALE,
+        window_days: BENCH_DAYS,
+        sample_every: SimDuration::from_hours(2),
+        degree_captures: vec![
+            ("9am".into(), SimTime::at(0, 9, 0)),
+            ("9pm".into(), SimTime::at(0, 21, 0)),
+        ],
+        min_graph_nodes: 10,
+        ..StudyConfig::default()
+    }
+}
+
+/// A flat-diurnal scenario used by micro benches that want steady
+/// population.
+pub fn flat_scenario(seed: u64, scale: f64, days: u64) -> Scenario {
+    Scenario::builder(seed, scale)
+        .calendar(StudyCalendar { window_days: days })
+        .diurnal(DiurnalProfile::flat())
+        .flash_crowds(vec![])
+        .build()
+}

@@ -1,0 +1,159 @@
+//! Degree assortativity (Newman's degree–degree correlation).
+//!
+//! Not a figure of the Magellan paper itself, but a standard
+//! companion metric in the P2P-topology literature it engages with
+//! (Gnutella studies report strong disassortativity from their
+//! ultrapeer hierarchy). Exposed here so topology reports can place
+//! the streaming overlay on the same axis: Pearson correlation of the
+//! degrees at either end of an edge, in `[-1, 1]` — positive when
+//! high-degree nodes attach to high-degree nodes.
+
+use crate::{DiGraph, GraphError};
+use std::hash::Hash;
+
+/// Which degrees to correlate across directed edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssortKind {
+    /// Undirected-projection degree at both ends (the common choice).
+    Undirected,
+    /// Source out-degree vs target in-degree.
+    OutIn,
+}
+
+/// Degree assortativity over the edges of `g`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::EmptyGraph`] when the graph has no edges,
+/// and [`GraphError::InsufficientSamples`] when every edge sees the
+/// same degree pair (zero variance; correlation undefined — e.g. a
+/// perfect ring).
+pub fn assortativity<N: Eq + Hash + Clone>(
+    g: &DiGraph<N>,
+    kind: AssortKind,
+) -> Result<f64, GraphError> {
+    if g.edge_count() == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    let mut m = 0.0;
+    let mut push = |x: f64, y: f64| {
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        syy += y * y;
+        sxy += x * y;
+        m += 1.0;
+    };
+    for e in g.edges() {
+        match kind {
+            AssortKind::Undirected => {
+                // The undirected correlation must be orientation-free:
+                // count each stored edge in both directions, as
+                // Newman's estimator does.
+                let x = g.undirected_degree(e.from) as f64;
+                let y = g.undirected_degree(e.to) as f64;
+                push(x, y);
+                push(y, x);
+            }
+            AssortKind::OutIn => {
+                push(g.out_degree(e.from) as f64, g.in_degree(e.to) as f64);
+            }
+        }
+    }
+    let var_x = sxx / m - (sx / m).powi(2);
+    let var_y = syy / m - (sy / m).powi(2);
+    if var_x <= 1e-12 || var_y <= 1e-12 {
+        return Err(GraphError::InsufficientSamples {
+            got: 1,
+            need: 2,
+        });
+    }
+    let cov = sxy / m - (sx / m) * (sy / m);
+    Ok(cov / (var_x * var_y).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{barabasi_albert, gnm_undirected};
+    use crate::NodeId;
+
+    fn star(n: u32) -> DiGraph<u32> {
+        let mut g = DiGraph::new();
+        let hub = g.intern(0);
+        for k in 1..=n {
+            let leaf = g.intern(k);
+            g.add_edge(hub, leaf, 1);
+        }
+        g
+    }
+
+    #[test]
+    fn star_is_maximally_disassortative() {
+        // Every edge joins the hub (degree n) to a leaf (degree 1).
+        // With a single (x, y) pair the variance is zero along each
+        // axis... except x is always n and y always 1, so variance is
+        // zero -> degenerate. Add one leaf-leaf edge to break it.
+        let mut g = star(6);
+        let a = g.node_id(&1).unwrap();
+        let b = g.node_id(&2).unwrap();
+        g.add_edge(a, b, 1);
+        let r = assortativity(&g, AssortKind::Undirected).unwrap();
+        assert!(r < -0.4, "star-ish r = {r}");
+    }
+
+    #[test]
+    fn ba_is_near_neutral_er_is_neutral() {
+        // Newman (2002): the BA model is asymptotically neutral, with
+        // a slight negative finite-size bias.
+        let ba = barabasi_albert(2_000, 3, 1);
+        let r_ba = assortativity(&ba, AssortKind::Undirected).unwrap();
+        assert!((-0.3..0.05).contains(&r_ba), "BA r = {r_ba}");
+
+        let er = gnm_undirected(2_000, 8_000, 2);
+        let r_er = assortativity(&er, AssortKind::Undirected).unwrap();
+        assert!(r_er.abs() < 0.06, "ER r = {r_er}");
+    }
+
+    #[test]
+    fn empty_graph_errors() {
+        let g: DiGraph<u32> = DiGraph::new();
+        assert_eq!(
+            assortativity(&g, AssortKind::Undirected),
+            Err(GraphError::EmptyGraph)
+        );
+    }
+
+    #[test]
+    fn zero_variance_errors() {
+        // Directed 3-cycle: every endpoint degree is 2.
+        let mut g: DiGraph<u32> = DiGraph::new();
+        let ids: Vec<NodeId> = (0..3u32).map(|k| g.intern(k)).collect();
+        g.add_edge(ids[0], ids[1], 1);
+        g.add_edge(ids[1], ids[2], 1);
+        g.add_edge(ids[2], ids[0], 1);
+        assert!(matches!(
+            assortativity(&g, AssortKind::Undirected),
+            Err(GraphError::InsufficientSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn out_in_variant_runs() {
+        let ba = barabasi_albert(500, 2, 7);
+        let r = assortativity(&ba, AssortKind::OutIn).unwrap();
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn result_bounded_by_one() {
+        let er = gnm_undirected(300, 900, 9);
+        let r = assortativity(&er, AssortKind::Undirected).unwrap();
+        assert!((-1.0..=1.0).contains(&r));
+    }
+}

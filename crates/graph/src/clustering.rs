@@ -1,0 +1,233 @@
+//! Watts–Strogatz clustering coefficients.
+//!
+//! The paper computes `C_g = (1/n) Σ C_i`, where `C_i` is the fraction
+//! of possible edges that exist among vertex `i`'s neighborhood, on the
+//! undirected projection of the active-link graph (§4.3). Nodes with
+//! fewer than two neighbors contribute `C_i = 0`, following the
+//! convention of Watts' *Six Degrees* which the paper cites.
+
+use crate::{DiGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::hash::Hash;
+
+/// Precomputed undirected neighborhoods, reused across per-node queries.
+fn neighborhoods<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> Vec<Vec<NodeId>> {
+    g.node_ids().map(|id| g.undirected_neighbors(id)).collect()
+}
+
+/// Number of common elements of two ascending-sorted slices.
+fn intersection_size(a: &[NodeId], b: &[NodeId]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+fn local_from_neighborhoods(hoods: &[Vec<NodeId>], id: NodeId) -> f64 {
+    let hood = &hoods[id.index()];
+    let k = hood.len();
+    if k < 2 {
+        return 0.0;
+    }
+    // Each undirected edge (u, v) among the neighborhood is found twice:
+    // v in N(u) and u in N(v).
+    let mut twice_links = 0usize;
+    for &u in hood {
+        twice_links += intersection_size(&hoods[u.index()], hood);
+    }
+    twice_links as f64 / (k * (k - 1)) as f64
+}
+
+/// The local clustering coefficient `C_i` of one node, on the
+/// undirected projection. `0.0` for nodes with fewer than 2 neighbors.
+pub fn local_clustering<N: Eq + Hash + Clone>(g: &DiGraph<N>, id: NodeId) -> f64 {
+    let hoods = neighborhoods(g);
+    local_from_neighborhoods(&hoods, id)
+}
+
+/// The graph clustering coefficient `C_g = (1/n) Σ C_i`.
+///
+/// Returns `0.0` on an empty graph.
+pub fn clustering_coefficient<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let hoods = neighborhoods(g);
+    let sum: f64 = g
+        .node_ids()
+        .map(|id| local_from_neighborhoods(&hoods, id))
+        .sum();
+    sum / n as f64
+}
+
+/// Estimates the clustering coefficient from a uniform sample of
+/// `samples` nodes (without replacement), deterministic in `seed`.
+///
+/// Falls back to the exact value when `samples >= node_count`.
+pub fn sampled_clustering<N: Eq + Hash + Clone>(g: &DiGraph<N>, samples: usize, seed: u64) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    if samples >= n {
+        return clustering_coefficient(g);
+    }
+    let hoods = neighborhoods(g);
+    let mut ids: Vec<NodeId> = g.node_ids().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    ids.truncate(samples);
+    let sum: f64 = ids
+        .iter()
+        .map(|&id| local_from_neighborhoods(&hoods, id))
+        .sum();
+    sum / samples as f64
+}
+
+/// Global transitivity: `3 × triangles / connected triples`, an
+/// alternative clustering notion useful for cross-checking `C_g`.
+///
+/// Returns `0.0` when the graph has no connected triple.
+pub fn transitivity<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> f64 {
+    let hoods = neighborhoods(g);
+    let mut closed = 0u64; // ordered pairs of neighbors that are linked
+    let mut triples = 0u64; // ordered pairs of neighbors
+    for id in g.node_ids() {
+        let hood = &hoods[id.index()];
+        let k = hood.len() as u64;
+        if k < 2 {
+            continue;
+        }
+        triples += k * (k - 1);
+        let mut twice_links = 0usize;
+        for &u in hood {
+            twice_links += intersection_size(&hoods[u.index()], hood);
+        }
+        closed += twice_links as u64;
+    }
+    if triples == 0 {
+        return 0.0;
+    }
+    closed as f64 / triples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> DiGraph<u32> {
+        // 0 - 1 - 2 (undirected path via directed edges)
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..3u32).map(|k| g.intern(k)).collect();
+        g.add_edge(ids[0], ids[1], 1);
+        g.add_edge(ids[1], ids[2], 1);
+        g
+    }
+
+    fn triangle() -> DiGraph<u32> {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..3u32).map(|k| g.intern(k)).collect();
+        g.add_edge(ids[0], ids[1], 1);
+        g.add_edge(ids[1], ids[2], 1);
+        g.add_edge(ids[2], ids[0], 1);
+        g
+    }
+
+    /// K4 built from one direction per pair.
+    fn k4() -> DiGraph<u32> {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..4u32).map(|k| g.intern(k)).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                g.add_edge(ids[i], ids[j], 1);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn triangle_is_fully_clustered() {
+        let g = triangle();
+        assert!((clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+        assert!((transitivity(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_has_zero_clustering() {
+        let g = path3();
+        assert_eq!(clustering_coefficient(&g), 0.0);
+        assert_eq!(transitivity(&g), 0.0);
+    }
+
+    #[test]
+    fn complete_graph_is_fully_clustered() {
+        let g = k4();
+        assert!((clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_values_on_paw_graph() {
+        // Triangle 0-1-2 plus pendant 3 attached to 0.
+        let mut g = triangle();
+        let n3 = g.intern(3);
+        let n0 = g.node_id(&0).unwrap();
+        g.add_edge(n0, n3, 1);
+        // Node 0 has neighbors {1, 2, 3}; one of the 3 possible edges
+        // among them exists.
+        assert!((local_clustering(&g, n0) - 1.0 / 3.0).abs() < 1e-12);
+        // Node 1 has neighbors {0, 2}; the edge 0-2 exists.
+        let n1 = g.node_id(&1).unwrap();
+        assert!((local_clustering(&g, n1) - 1.0).abs() < 1e-12);
+        // Pendant has one neighbor: zero by convention.
+        assert_eq!(local_clustering(&g, n3), 0.0);
+        // Graph coefficient = (1/3 + 1 + 1 + 0) / 4.
+        let expect = (1.0 / 3.0 + 1.0 + 1.0) / 4.0;
+        assert!((clustering_coefficient(&g) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reciprocal_edges_do_not_double_count() {
+        // Triangle with every edge bidirectional must still give C = 1.
+        let mut g = triangle();
+        let ids: Vec<_> = (0..3u32).map(|k| g.node_id(&k).unwrap()).collect();
+        g.add_edge(ids[1], ids[0], 1);
+        g.add_edge(ids[2], ids[1], 1);
+        g.add_edge(ids[0], ids[2], 1);
+        assert!((clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_is_zero() {
+        let g: DiGraph<u32> = DiGraph::new();
+        assert_eq!(clustering_coefficient(&g), 0.0);
+        assert_eq!(transitivity(&g), 0.0);
+        assert_eq!(sampled_clustering(&g, 10, 1), 0.0);
+    }
+
+    #[test]
+    fn sampling_full_population_equals_exact() {
+        let g = k4();
+        let exact = clustering_coefficient(&g);
+        assert!((sampled_clustering(&g, 100, 7) - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_seed() {
+        let g = k4();
+        let a = sampled_clustering(&g, 2, 42);
+        let b = sampled_clustering(&g, 2, 42);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,481 @@
+//! The core weighted directed-graph type with interned node keys.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// Opaque handle for a node inside a [`DiGraph`].
+///
+/// Node ids are dense (`0..node_count()`) and only meaningful for the
+/// graph that produced them. They are `Copy` and cheap to pass around;
+/// metric implementations index per-node scratch arrays with
+/// [`NodeId::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The dense index of this node, in `0..node_count()`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a dense index.
+    ///
+    /// Use only with indices obtained from the same graph (for example
+    /// when iterating `0..g.node_count()`).
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A borrowed view of one directed edge, as yielded by [`DiGraph::edges`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRef {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Accumulated edge weight (segment count in Magellan's traces).
+    pub weight: u64,
+}
+
+/// A weighted directed graph with nodes identified by an arbitrary
+/// hashable key type `N`.
+///
+/// Designed for the snapshot topologies of the Magellan study: node
+/// keys are peer identities (IP addresses), edge weights are segment
+/// counters, and the graph is built once per snapshot then queried by
+/// many metrics. Adjacency lists are kept sorted so that edge lookup is
+/// `O(log d)` and neighborhood intersection (for clustering) is a
+/// linear merge.
+///
+/// Self-loops are rejected at insertion: every metric in the paper
+/// (clustering, reciprocity, path lengths) is defined over the sums
+/// with `i != j`.
+#[derive(Debug, Clone)]
+pub struct DiGraph<N> {
+    keys: Vec<N>,
+    index: HashMap<N, NodeId>,
+    /// Outgoing adjacency: sorted by target id.
+    out: Vec<Vec<(NodeId, u64)>>,
+    /// Incoming adjacency: sorted by source id.
+    inc: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl<N> Default for DiGraph<N> {
+    fn default() -> Self {
+        DiGraph {
+            keys: Vec::new(),
+            index: HashMap::new(),
+            out: Vec::new(),
+            inc: Vec::new(),
+            edge_count: 0,
+        }
+    }
+}
+
+impl<N: Eq + Hash + Clone> DiGraph<N> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with room for `nodes` nodes.
+    pub fn with_capacity(nodes: usize) -> Self {
+        DiGraph {
+            keys: Vec::with_capacity(nodes),
+            index: HashMap::with_capacity(nodes),
+            out: Vec::with_capacity(nodes),
+            inc: Vec::with_capacity(nodes),
+            edge_count: 0,
+        }
+    }
+
+    /// Returns the id for `key`, inserting a fresh node when the key has
+    /// not been seen before.
+    pub fn intern(&mut self, key: N) -> NodeId {
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let id = NodeId(self.keys.len() as u32);
+        self.keys.push(key.clone());
+        self.index.insert(key, id);
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        id
+    }
+
+    /// Looks up the id of an existing node.
+    pub fn node_id(&self, key: &N) -> Option<NodeId> {
+        self.index.get(key).copied()
+    }
+
+    /// The key associated with `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn key(&self, id: NodeId) -> &N {
+        &self.keys[id.index()]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Adds `weight` to the directed edge `from -> to`, creating the
+    /// edge when absent. Returns `true` when a new edge was created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` (self-loops carry no meaning in any of
+    /// the Magellan metrics) or if either id is out of range.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: u64) -> bool {
+        assert!(from != to, "self-loop {from} -> {to} rejected");
+        assert!(to.index() < self.keys.len(), "node id {to} out of range");
+        let row = &mut self.out[from.index()];
+        match row.binary_search_by_key(&to, |&(t, _)| t) {
+            Ok(pos) => {
+                row[pos].1 = row[pos].1.saturating_add(weight);
+                false
+            }
+            Err(pos) => {
+                row.insert(pos, (to, weight));
+                let irow = &mut self.inc[to.index()];
+                let ipos = irow.binary_search(&from).unwrap_err();
+                irow.insert(ipos, from);
+                self.edge_count += 1;
+                true
+            }
+        }
+    }
+
+    /// Interns both keys and adds the edge between them in one call.
+    ///
+    /// Edges where both endpoints intern to the same node (duplicate
+    /// keys) are skipped rather than panicking, since trace data may
+    /// contain a peer listing itself; returns `false` in that case.
+    pub fn add_edge_by_key(&mut self, from: N, to: N, weight: u64) -> bool {
+        let f = self.intern(from);
+        let t = self.intern(to);
+        if f == t {
+            return false;
+        }
+        self.add_edge(f, t, weight)
+    }
+
+    /// Whether the directed edge `from -> to` exists.
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.out[from.index()]
+            .binary_search_by_key(&to, |&(t, _)| t)
+            .is_ok()
+    }
+
+    /// The weight of edge `from -> to`, when present.
+    pub fn edge_weight(&self, from: NodeId, to: NodeId) -> Option<u64> {
+        self.out[from.index()]
+            .binary_search_by_key(&to, |&(t, _)| t)
+            .ok()
+            .map(|pos| self.out[from.index()][pos].1)
+    }
+
+    /// Out-degree (number of distinct targets).
+    pub fn out_degree(&self, id: NodeId) -> usize {
+        self.out[id.index()].len()
+    }
+
+    /// In-degree (number of distinct sources).
+    pub fn in_degree(&self, id: NodeId) -> usize {
+        self.inc[id.index()].len()
+    }
+
+    /// Iterates over the targets of `id`'s outgoing edges, ascending.
+    pub fn out_neighbors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out[id.index()].iter().map(|&(t, _)| t)
+    }
+
+    /// Iterates over `(target, weight)` of `id`'s outgoing edges.
+    pub fn out_edges(&self, id: NodeId) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.out[id.index()].iter().copied()
+    }
+
+    /// Iterates over the sources of `id`'s incoming edges, ascending.
+    pub fn in_neighbors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.inc[id.index()].iter().copied()
+    }
+
+    /// Iterates over all node ids in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.keys.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over `(id, key)` pairs.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &N)> {
+        self.keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (NodeId(i as u32), k))
+    }
+
+    /// Iterates over every directed edge.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.out.iter().enumerate().flat_map(|(i, row)| {
+            row.iter().map(move |&(t, w)| EdgeRef {
+                from: NodeId(i as u32),
+                to: t,
+                weight: w,
+            })
+        })
+    }
+
+    /// The union of in- and out-neighbors of `id`, ascending and
+    /// deduplicated — the neighborhood of the undirected projection.
+    pub fn undirected_neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        let a = &self.out[id.index()];
+        let b = &self.inc[id.index()];
+        let mut merged = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            let (x, y) = (a[i].0, b[j]);
+            match x.cmp(&y) {
+                std::cmp::Ordering::Less => {
+                    merged.push(x);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(y);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(x);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend(a[i..].iter().map(|&(t, _)| t));
+        merged.extend_from_slice(&b[j..]);
+        merged
+    }
+
+    /// Degree in the undirected projection (distinct partners in either
+    /// direction).
+    pub fn undirected_degree(&self, id: NodeId) -> usize {
+        // Count the merge without materializing it.
+        let a = &self.out[id.index()];
+        let b = &self.inc[id.index()];
+        let (mut i, mut j, mut n) = (0, 0, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+            n += 1;
+        }
+        n + (a.len() - i) + (b.len() - j)
+    }
+
+    /// Number of edges in the undirected projection (a reciprocal pair
+    /// collapses to one undirected edge).
+    pub fn undirected_edge_count(&self) -> usize {
+        let bilateral = self
+            .edges()
+            .filter(|e| e.from < e.to && self.has_edge(e.to, e.from))
+            .count();
+        self.edge_count - bilateral
+    }
+
+    /// Directed edge density `ā = M / (N (N − 1))` — the quantity the
+    /// Garlaschelli–Loffredo reciprocity normalizes by.
+    ///
+    /// Returns 0.0 for graphs with fewer than two nodes.
+    pub fn density(&self) -> f64 {
+        let n = self.keys.len();
+        if n < 2 {
+            return 0.0;
+        }
+        self.edge_count as f64 / (n as f64 * (n as f64 - 1.0))
+    }
+}
+
+impl<N: Eq + Hash + Clone> FromIterator<(N, N)> for DiGraph<N> {
+    fn from_iter<I: IntoIterator<Item = (N, N)>>(iter: I) -> Self {
+        let mut g = DiGraph::new();
+        for (a, b) in iter {
+            g.add_edge_by_key(a, b, 1);
+        }
+        g
+    }
+}
+
+impl<N: Eq + Hash + Clone> Extend<(N, N, u64)> for DiGraph<N> {
+    fn extend<I: IntoIterator<Item = (N, N, u64)>>(&mut self, iter: I) {
+        for (a, b, w) in iter {
+            self.add_edge_by_key(a, b, w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> (DiGraph<&'static str>, NodeId, NodeId, NodeId) {
+        let mut g = DiGraph::new();
+        let a = g.intern("a");
+        let b = g.intern("b");
+        let c = g.intern("c");
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut g: DiGraph<&str> = DiGraph::new();
+        let a1 = g.intern("a");
+        let a2 = g.intern("a");
+        assert_eq!(a1, a2);
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn node_lookup_roundtrip() {
+        let (g, a, b, _) = abc();
+        assert_eq!(g.node_id(&"a"), Some(a));
+        assert_eq!(g.node_id(&"b"), Some(b));
+        assert_eq!(g.node_id(&"zz"), None);
+        assert_eq!(*g.key(a), "a");
+    }
+
+    #[test]
+    fn add_edge_creates_once_and_accumulates_weight() {
+        let (mut g, a, b, _) = abc();
+        assert!(g.add_edge(a, b, 3));
+        assert!(!g.add_edge(a, b, 4));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_weight(a, b), Some(7));
+        assert_eq!(g.edge_weight(b, a), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let (mut g, a, _, _) = abc();
+        g.add_edge(a, a, 1);
+    }
+
+    #[test]
+    fn add_edge_by_key_skips_self_loops() {
+        let mut g: DiGraph<&str> = DiGraph::new();
+        assert!(!g.add_edge_by_key("x", "x", 1));
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let (mut g, a, b, c) = abc();
+        g.add_edge(a, b, 1);
+        g.add_edge(a, c, 1);
+        g.add_edge(b, a, 1);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(a), 1);
+        assert_eq!(g.out_neighbors(a).collect::<Vec<_>>(), vec![b, c]);
+        assert_eq!(g.in_neighbors(a).collect::<Vec<_>>(), vec![b]);
+    }
+
+    #[test]
+    fn undirected_neighbors_merge_and_dedupe() {
+        let (mut g, a, b, c) = abc();
+        g.add_edge(a, b, 1);
+        g.add_edge(b, a, 1); // both directions: b counted once
+        g.add_edge(c, a, 1);
+        let un = g.undirected_neighbors(a);
+        assert_eq!(un, vec![b, c]);
+        assert_eq!(g.undirected_degree(a), 2);
+    }
+
+    #[test]
+    fn undirected_edge_count_collapses_bilateral() {
+        let (mut g, a, b, c) = abc();
+        g.add_edge(a, b, 1);
+        g.add_edge(b, a, 1);
+        g.add_edge(b, c, 1);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.undirected_edge_count(), 2);
+    }
+
+    #[test]
+    fn density_matches_definition() {
+        let (mut g, a, b, c) = abc();
+        g.add_edge(a, b, 1);
+        g.add_edge(b, c, 1);
+        // M = 2, N(N-1) = 6.
+        assert!((g.density() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_of_tiny_graphs_is_zero() {
+        let mut g: DiGraph<u32> = DiGraph::new();
+        assert_eq!(g.density(), 0.0);
+        g.intern(1);
+        assert_eq!(g.density(), 0.0);
+    }
+
+    #[test]
+    fn edges_iterator_yields_all() {
+        let (mut g, a, b, c) = abc();
+        g.add_edge(a, b, 5);
+        g.add_edge(c, a, 7);
+        let mut edges: Vec<_> = g.edges().map(|e| (e.from, e.to, e.weight)).collect();
+        edges.sort();
+        assert_eq!(edges, vec![(a, b, 5), (c, a, 7)]);
+    }
+
+    #[test]
+    fn from_iterator_builds_unit_weights() {
+        let g: DiGraph<u8> = [(1u8, 2u8), (2, 3), (1, 2)].into_iter().collect();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        let a = g.node_id(&1).unwrap();
+        let b = g.node_id(&2).unwrap();
+        assert_eq!(g.edge_weight(a, b), Some(2)); // duplicate accumulated
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut g: DiGraph<u8> = DiGraph::new();
+        g.extend([(1u8, 2u8, 10u64), (1, 2, 5)]);
+        let a = g.node_id(&1).unwrap();
+        let b = g.node_id(&2).unwrap();
+        assert_eq!(g.edge_weight(a, b), Some(15));
+    }
+
+    #[test]
+    fn node_id_display_and_index() {
+        let id = NodeId::from_index(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "n3");
+    }
+}

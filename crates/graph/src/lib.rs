@@ -1,0 +1,86 @@
+//! # magellan-graph
+//!
+//! Directed-graph data structure and the topology metrics used by the
+//! Magellan study of large-scale P2P live streaming overlays (Wu, Li &
+//! Zhao, ICDCS 2007): degree distributions, Watts–Strogatz clustering,
+//! average shortest-path lengths, Erdős–Rényi baselines, simple and
+//! Garlaschelli–Loffredo edge reciprocity, power-law fitting, and
+//! small-world assessment.
+//!
+//! The central type is [`DiGraph`], a weighted directed graph with
+//! interned node keys. All metrics are free functions (or thin structs)
+//! over `&DiGraph<N>` so that they compose with the subgraph extractors
+//! in [`subgraph`].
+//!
+//! ## Example
+//!
+//! ```
+//! use magellan_graph::{DiGraph, reciprocity};
+//!
+//! let mut g: DiGraph<&str> = DiGraph::new();
+//! let a = g.intern("a");
+//! let b = g.intern("b");
+//! let c = g.intern("c");
+//! g.add_edge(a, b, 1);
+//! g.add_edge(b, a, 1); // reciprocal pair
+//! g.add_edge(b, c, 1); // one-way
+//! let r = reciprocity::simple_reciprocity(&g);
+//! assert!((r - 2.0 / 3.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod digraph;
+mod histogram;
+
+pub mod assortativity;
+pub mod clustering;
+pub mod degree;
+pub mod export;
+pub mod kcore;
+pub mod paths;
+pub mod powerlaw;
+pub mod random;
+pub mod reciprocity;
+pub mod smallworld;
+pub mod subgraph;
+
+pub use digraph::{DiGraph, EdgeRef, NodeId};
+pub use histogram::{DegreeHistogram, HistogramPoint};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction and metric evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A metric that needs at least one edge was asked of an empty graph.
+    EmptyGraph,
+    /// A metric that is undefined on a complete graph (density 1).
+    CompleteGraph,
+    /// Not enough samples to fit a distribution.
+    InsufficientSamples {
+        /// How many samples were provided.
+        got: usize,
+        /// How many samples the estimator needs.
+        need: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EmptyGraph => write!(f, "metric undefined on a graph without edges"),
+            GraphError::CompleteGraph => {
+                write!(f, "metric undefined on a complete graph (density 1)")
+            }
+            GraphError::InsufficientSamples { got, need } => {
+                write!(f, "insufficient samples: got {got}, need at least {need}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}

@@ -1,0 +1,329 @@
+//! Shortest-path metrics: BFS distances, average pairwise path length
+//! (exact or source-sampled), diameter bounds, and connected
+//! components.
+//!
+//! Magellan reports the average pairwise shortest path length `L_g` of
+//! stable-peer graphs and compares it with the random-graph baseline
+//! (§4.3, Fig. 7). Snapshots can be large, so alongside the exact
+//! all-pairs BFS a seeded source-sampling estimator is provided; the
+//! `ablation_estimators` bench quantifies the accuracy/cost trade-off.
+
+use crate::{DiGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::hash::Hash;
+
+/// Marker for unreachable nodes in a distance vector.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Whether to follow edge directions during traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathTreatment {
+    /// Follow edges only from source to target.
+    Directed,
+    /// Treat every edge as bidirectional (the paper's choice: path
+    /// lengths are about connectivity, not flow direction).
+    Undirected,
+}
+
+/// How many BFS sources to use for the average-path-length estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathSampling {
+    /// BFS from every node: exact (`O(n · m)`).
+    Exact,
+    /// BFS from `count` uniformly sampled nodes, seeded for
+    /// reproducibility. Unbiased for the mean over reachable pairs.
+    Sources {
+        /// Number of BFS sources.
+        count: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Result of an average-path-length computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathLengthStats {
+    /// Mean shortest-path length over reachable ordered pairs.
+    pub mean: f64,
+    /// Largest shortest-path distance seen (the diameter when exact
+    /// and the graph is connected; a lower bound otherwise).
+    pub diameter_lower_bound: u32,
+    /// Number of reachable ordered pairs inspected.
+    pub reachable_pairs: u64,
+    /// Number of BFS sources used.
+    pub sources: usize,
+    /// Whether this is the exact value (all sources).
+    pub exact: bool,
+}
+
+/// BFS distances from `src` to every node.
+///
+/// Unreachable nodes get [`UNREACHABLE`].
+pub fn bfs_distances<N: Eq + Hash + Clone>(
+    g: &DiGraph<N>,
+    src: NodeId,
+    treatment: PathTreatment,
+) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[src.index()] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        let push = |v: NodeId, dist: &mut Vec<u32>, queue: &mut VecDeque<NodeId>| {
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        };
+        match treatment {
+            PathTreatment::Directed => {
+                for v in g.out_neighbors(u) {
+                    push(v, &mut dist, &mut queue);
+                }
+            }
+            PathTreatment::Undirected => {
+                for v in g.out_neighbors(u) {
+                    push(v, &mut dist, &mut queue);
+                }
+                for v in g.in_neighbors(u) {
+                    push(v, &mut dist, &mut queue);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Average pairwise shortest-path length `L_g`.
+///
+/// Averages over *reachable* ordered pairs `(s, t)` with `s != t`,
+/// which matches the usual convention for graphs that are not fully
+/// connected. Returns `None` when no pair is reachable (empty or
+/// edgeless graph).
+pub fn average_path_length<N: Eq + Hash + Clone>(
+    g: &DiGraph<N>,
+    treatment: PathTreatment,
+    sampling: PathSampling,
+) -> Option<PathLengthStats> {
+    let n = g.node_count();
+    if n < 2 {
+        return None;
+    }
+    let (sources, exact): (Vec<NodeId>, bool) = match sampling {
+        PathSampling::Exact => (g.node_ids().collect(), true),
+        PathSampling::Sources { count, seed } => {
+            if count >= n {
+                (g.node_ids().collect(), true)
+            } else {
+                let mut ids: Vec<NodeId> = g.node_ids().collect();
+                let mut rng = StdRng::seed_from_u64(seed);
+                ids.shuffle(&mut rng);
+                ids.truncate(count.max(1));
+                (ids, false)
+            }
+        }
+    };
+    let mut sum = 0u64;
+    let mut pairs = 0u64;
+    let mut diameter = 0u32;
+    for &src in &sources {
+        let dist = bfs_distances(g, src, treatment);
+        for (i, &d) in dist.iter().enumerate() {
+            if d != UNREACHABLE && i != src.index() {
+                sum += d as u64;
+                pairs += 1;
+                diameter = diameter.max(d);
+            }
+        }
+    }
+    if pairs == 0 {
+        return None;
+    }
+    Some(PathLengthStats {
+        mean: sum as f64 / pairs as f64,
+        diameter_lower_bound: diameter,
+        reachable_pairs: pairs,
+        sources: sources.len(),
+        exact,
+    })
+}
+
+/// Weakly connected components, each as a sorted list of node ids.
+/// Components are ordered by descending size (ties by smallest id).
+pub fn weakly_connected_components<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut comps: Vec<Vec<NodeId>> = Vec::new();
+    for start in g.node_ids() {
+        if seen[start.index()] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut queue = VecDeque::new();
+        seen[start.index()] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            comp.push(u);
+            for v in g.out_neighbors(u).chain(g.in_neighbors(u)) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        comp.sort();
+        comps.push(comp);
+    }
+    comps.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+    comps
+}
+
+/// Node ids of the largest weakly connected component (empty for an
+/// empty graph).
+pub fn largest_component<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> Vec<NodeId> {
+    weakly_connected_components(g)
+        .into_iter()
+        .next()
+        .unwrap_or_default()
+}
+
+/// Fraction of nodes inside the largest weakly connected component.
+pub fn largest_component_fraction<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    largest_component(g).len() as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Directed path 0 -> 1 -> 2 -> 3.
+    fn path4() -> DiGraph<u32> {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..4u32).map(|k| g.intern(k)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], 1);
+        }
+        g
+    }
+
+    #[test]
+    fn bfs_directed_respects_direction() {
+        let g = path4();
+        let src = g.node_id(&0).unwrap();
+        let d = bfs_distances(&g, src, PathTreatment::Directed);
+        assert_eq!(d, vec![0, 1, 2, 3]);
+        let end = g.node_id(&3).unwrap();
+        let d2 = bfs_distances(&g, end, PathTreatment::Directed);
+        assert_eq!(d2[0], UNREACHABLE);
+        assert_eq!(d2[3], 0);
+    }
+
+    #[test]
+    fn bfs_undirected_ignores_direction() {
+        let g = path4();
+        let end = g.node_id(&3).unwrap();
+        let d = bfs_distances(&g, end, PathTreatment::Undirected);
+        assert_eq!(d, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn exact_average_path_on_path4_undirected() {
+        let g = path4();
+        // Ordered reachable pairs: distances 1,2,3 each appear twice,
+        // distance 1 appears 2*3? Enumerate: pairs (i,j), i!=j, |i-j| sums:
+        // sum over ordered pairs of |i-j| = 2*(1*3 + 2*2 + 3*1) = 20; pairs = 12.
+        let s = average_path_length(&g, PathTreatment::Undirected, PathSampling::Exact).unwrap();
+        assert!((s.mean - 20.0 / 12.0).abs() < 1e-12);
+        assert_eq!(s.diameter_lower_bound, 3);
+        assert_eq!(s.reachable_pairs, 12);
+        assert!(s.exact);
+    }
+
+    #[test]
+    fn directed_average_counts_only_reachable() {
+        let g = path4();
+        let s = average_path_length(&g, PathTreatment::Directed, PathSampling::Exact).unwrap();
+        // Reachable ordered pairs: (0,1)(0,2)(0,3)(1,2)(1,3)(2,3): 1+2+3+1+2+1 = 10 over 6.
+        assert!((s.mean - 10.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.reachable_pairs, 6);
+    }
+
+    #[test]
+    fn no_edges_means_none() {
+        let mut g: DiGraph<u32> = DiGraph::new();
+        g.intern(0);
+        g.intern(1);
+        assert!(average_path_length(&g, PathTreatment::Undirected, PathSampling::Exact).is_none());
+    }
+
+    #[test]
+    fn single_node_means_none() {
+        let mut g: DiGraph<u32> = DiGraph::new();
+        g.intern(0);
+        assert!(average_path_length(&g, PathTreatment::Undirected, PathSampling::Exact).is_none());
+    }
+
+    #[test]
+    fn sampling_with_enough_sources_is_exact() {
+        let g = path4();
+        let s = average_path_length(
+            &g,
+            PathTreatment::Undirected,
+            PathSampling::Sources { count: 10, seed: 3 },
+        )
+        .unwrap();
+        assert!(s.exact);
+        assert!((s.mean - 20.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let g = path4();
+        let a = average_path_length(
+            &g,
+            PathTreatment::Undirected,
+            PathSampling::Sources { count: 2, seed: 9 },
+        )
+        .unwrap();
+        let b = average_path_length(
+            &g,
+            PathTreatment::Undirected,
+            PathSampling::Sources { count: 2, seed: 9 },
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert!(!a.exact);
+        assert_eq!(a.sources, 2);
+    }
+
+    #[test]
+    fn components_split_and_order() {
+        let mut g: DiGraph<u32> = DiGraph::new();
+        let ids: Vec<_> = (0..5u32).map(|k| g.intern(k)).collect();
+        g.add_edge(ids[0], ids[1], 1);
+        g.add_edge(ids[1], ids[2], 1);
+        g.add_edge(ids[3], ids[4], 1);
+        let comps = weakly_connected_components(&g);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![ids[0], ids[1], ids[2]]);
+        assert_eq!(comps[1], vec![ids[3], ids[4]]);
+        assert_eq!(largest_component(&g).len(), 3);
+        assert!((largest_component_fraction(&g) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g: DiGraph<u32> = DiGraph::new();
+        assert!(weakly_connected_components(&g).is_empty());
+        assert!(largest_component(&g).is_empty());
+        assert_eq!(largest_component_fraction(&g), 0.0);
+    }
+}

@@ -1,0 +1,481 @@
+//! Random-graph generators and the baselines the paper compares
+//! against.
+//!
+//! Small-world detection (§4.3) needs a "corresponding random graph"
+//! with the same number of vertices and links: its clustering
+//! coefficient `C_rand` equals the link density and its average path
+//! length is `L_rand ≈ ln n / ln ⟨k⟩`. Both an analytic baseline and an
+//! empirical one (generate-and-measure) are provided, plus
+//! Watts–Strogatz and Barabási–Albert generators used as test fixtures
+//! for validating the metric implementations (a BA graph *should* pass
+//! the power-law test; a WS graph *should* be flagged a small world).
+
+use crate::paths::{average_path_length, PathSampling, PathTreatment};
+use crate::{clustering, DiGraph};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+/// Directed Erdős–Rényi `G(n, m)`: exactly `m` distinct directed
+/// edges chosen uniformly among the `n(n−1)` possibilities.
+///
+/// # Panics
+///
+/// Panics if `m > n(n−1)`.
+pub fn gnm_directed(n: usize, m: usize, seed: u64) -> DiGraph<u32> {
+    let possible = n.saturating_mul(n.saturating_sub(1));
+    assert!(m <= possible, "m = {m} exceeds n(n-1) = {possible}");
+    let mut g = DiGraph::with_capacity(n);
+    for k in 0..n as u32 {
+        g.intern(k);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen: HashSet<(u32, u32)> = HashSet::with_capacity(m);
+    while chosen.len() < m {
+        let a = rng.random_range(0..n as u32);
+        let b = rng.random_range(0..n as u32);
+        if a != b && chosen.insert((a, b)) {
+            let ai = g.node_id(&a).expect("interned");
+            let bi = g.node_id(&b).expect("interned");
+            g.add_edge(ai, bi, 1);
+        }
+    }
+    g
+}
+
+/// Undirected Erdős–Rényi `G(n, m)`: exactly `m` distinct unordered
+/// pairs, each stored as a single directed edge from the smaller to
+/// the larger id. Use with the *undirected* metric treatments
+/// (clustering, undirected path lengths); it is not a model of a
+/// directed topology.
+///
+/// # Panics
+///
+/// Panics if `m > n(n−1)/2`.
+pub fn gnm_undirected(n: usize, m: usize, seed: u64) -> DiGraph<u32> {
+    let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= possible, "m = {m} exceeds n(n-1)/2 = {possible}");
+    let mut g = DiGraph::with_capacity(n);
+    for k in 0..n as u32 {
+        g.intern(k);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen: HashSet<(u32, u32)> = HashSet::with_capacity(m);
+    while chosen.len() < m {
+        let a = rng.random_range(0..n as u32);
+        let b = rng.random_range(0..n as u32);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        if lo != hi && chosen.insert((lo, hi)) {
+            let ai = g.node_id(&lo).expect("interned");
+            let bi = g.node_id(&hi).expect("interned");
+            g.add_edge(ai, bi, 1);
+        }
+    }
+    g
+}
+
+/// Analytic expectations for an undirected random graph with `n`
+/// nodes and `m` undirected links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomBaseline {
+    /// Expected clustering coefficient: the edge density
+    /// `2m / (n(n−1))`.
+    pub c_expected: f64,
+    /// Expected average path length `ln n / ln ⟨k⟩` (NaN-free: `None`
+    /// when `⟨k⟩ <= 1`, where the formula is meaningless).
+    pub l_expected: Option<f64>,
+    /// Mean degree `⟨k⟩ = 2m / n`.
+    pub mean_degree: f64,
+}
+
+impl RandomBaseline {
+    /// Computes the analytic baseline for `n` nodes, `m` undirected
+    /// links.
+    pub fn analytic(n: usize, m: usize) -> Self {
+        let nf = n as f64;
+        let c = if n >= 2 {
+            2.0 * m as f64 / (nf * (nf - 1.0))
+        } else {
+            0.0
+        };
+        let k = if n > 0 { 2.0 * m as f64 / nf } else { 0.0 };
+        let l = if k > 1.0 && n >= 2 {
+            Some(nf.ln() / k.ln())
+        } else {
+            None
+        };
+        RandomBaseline {
+            c_expected: c,
+            l_expected: l,
+            mean_degree: k,
+        }
+    }
+}
+
+/// An empirically measured random baseline: an actual `G(n, m)` graph
+/// is generated and its metrics computed with the same estimators the
+/// study applies to the real topology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredBaseline {
+    /// Measured clustering coefficient of the sampled graph.
+    pub c: f64,
+    /// Measured average path length (undirected), when defined.
+    pub l: Option<f64>,
+}
+
+/// Generates `G(n, m)` (undirected) with `seed` and measures `C` and
+/// `L` using the provided path sampling strategy.
+pub fn measured_baseline(n: usize, m: usize, seed: u64, sampling: PathSampling) -> MeasuredBaseline {
+    let g = gnm_undirected(n, m, seed);
+    let c = clustering::clustering_coefficient(&g);
+    let l = average_path_length(&g, PathTreatment::Undirected, sampling).map(|s| s.mean);
+    MeasuredBaseline { c, l }
+}
+
+/// Watts–Strogatz small-world graph: a ring of `n` nodes, each linked
+/// to its `k` nearest neighbors (`k` even), with each edge rewired to
+/// a uniform random target with probability `beta`.
+///
+/// Edges are stored one direction per pair; use undirected metrics.
+///
+/// # Panics
+///
+/// Panics if `k` is odd, `k >= n`, or `beta` is outside `[0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> DiGraph<u32> {
+    assert!(k % 2 == 0, "k must be even, got {k}");
+    assert!(k < n, "k = {k} must be < n = {n}");
+    assert!((0.0..=1.0).contains(&beta), "beta {beta} outside [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: HashSet<(u32, u32)> = HashSet::new();
+    let norm = |a: u32, b: u32| if a < b { (a, b) } else { (b, a) };
+    for i in 0..n as u32 {
+        for d in 1..=(k / 2) as u32 {
+            let j = (i + d) % n as u32;
+            edges.insert(norm(i, j));
+        }
+    }
+    // Rewire: iterate over the lattice edges in deterministic order.
+    let mut lattice: Vec<(u32, u32)> = edges.iter().copied().collect();
+    lattice.sort();
+    for (a, b) in lattice {
+        if rng.random_range(0.0..1.0) < beta {
+            // Rewire the far endpoint to a random target.
+            let mut tries = 0;
+            loop {
+                let t = rng.random_range(0..n as u32);
+                let cand = norm(a, t);
+                if t != a && !edges.contains(&cand) {
+                    edges.remove(&(a, b));
+                    edges.insert(cand);
+                    break;
+                }
+                tries += 1;
+                if tries > 64 {
+                    break; // keep original edge in pathological density
+                }
+            }
+        }
+    }
+    let mut g = DiGraph::with_capacity(n);
+    for v in 0..n as u32 {
+        g.intern(v);
+    }
+    let mut sorted: Vec<_> = edges.into_iter().collect();
+    sorted.sort();
+    for (a, b) in sorted {
+        let ai = g.node_id(&a).expect("interned");
+        let bi = g.node_id(&b).expect("interned");
+        g.add_edge(ai, bi, 1);
+    }
+    g
+}
+
+/// Barabási–Albert preferential-attachment graph: starts from a small
+/// clique of `m + 1` nodes, then each new node attaches to `m`
+/// existing nodes chosen proportionally to degree. Produces a
+/// power-law degree distribution — the shape Magellan shows streaming
+/// overlays do *not* have.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n <= m`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> DiGraph<u32> {
+    assert!(m > 0, "m must be positive");
+    assert!(n > m, "n = {n} must exceed m = {m}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DiGraph::with_capacity(n);
+    for v in 0..n as u32 {
+        g.intern(v);
+    }
+    // Degree-proportional sampling via a repeated-endpoints list.
+    let mut endpoints: Vec<u32> = Vec::new();
+    // Seed clique among the first m+1 nodes.
+    for i in 0..=(m as u32) {
+        for j in (i + 1)..=(m as u32) {
+            let a = g.node_id(&i).expect("interned");
+            let b = g.node_id(&j).expect("interned");
+            g.add_edge(a, b, 1);
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+    for v in (m + 1) as u32..n as u32 {
+        let mut targets: HashSet<u32> = HashSet::with_capacity(m);
+        while targets.len() < m {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if t != v {
+                targets.insert(t);
+            }
+        }
+        for t in targets {
+            let a = g.node_id(&v).expect("interned");
+            let b = g.node_id(&t).expect("interned");
+            g.add_edge(a, b, 1);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    g
+}
+
+/// Configuration-model graph: wires a prescribed *undirected* degree
+/// sequence by uniform stub matching, rejecting self-loops and
+/// duplicate edges (so realized degrees can fall slightly short of
+/// the prescription on pathological sequences; the return value
+/// reports how many stubs were abandoned).
+///
+/// This is the standard tool for asking "which properties follow from
+/// the degree distribution alone?" — e.g. building a Gnutella-like
+/// two-piece power-law-with-spike topology (paper §2) to contrast
+/// with the streaming mesh.
+///
+/// # Panics
+///
+/// Panics if the degree sum is odd (no graph realizes it) or any
+/// degree is `>= n`.
+pub fn configuration_model(degrees: &[usize], seed: u64) -> (DiGraph<u32>, usize) {
+    let n = degrees.len();
+    let total: usize = degrees.iter().sum();
+    assert!(total % 2 == 0, "odd degree sum {total} is not realizable");
+    for (i, &d) in degrees.iter().enumerate() {
+        assert!(d < n.max(1), "degree {d} of node {i} exceeds n-1");
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stubs: Vec<u32> = Vec::with_capacity(total);
+    for (i, &d) in degrees.iter().enumerate() {
+        stubs.extend(std::iter::repeat(i as u32).take(d));
+    }
+    // Fisher-Yates shuffle, then pair consecutive stubs.
+    for i in (1..stubs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        stubs.swap(i, j);
+    }
+    let mut g = DiGraph::with_capacity(n);
+    for v in 0..n as u32 {
+        g.intern(v);
+    }
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(total / 2);
+    let mut abandoned = 0usize;
+    for pair in stubs.chunks_exact(2) {
+        let (a, b) = (pair[0], pair[1]);
+        let key = if a < b { (a, b) } else { (b, a) };
+        if a == b || !seen.insert(key) {
+            abandoned += 2;
+            continue;
+        }
+        let ai = g.node_id(&key.0).expect("interned");
+        let bi = g.node_id(&key.1).expect("interned");
+        g.add_edge(ai, bi, 1);
+    }
+    (g, abandoned)
+}
+
+/// A Gnutella-like degree sequence (paper §2 / Stutzbach et al.): a
+/// two-piece power law with a spike at `spike_degree` holding
+/// `spike_fraction` of the nodes. Returns a sequence with an even
+/// sum, ready for [`configuration_model`].
+pub fn gnutella_like_degrees(
+    n: usize,
+    spike_degree: usize,
+    spike_fraction: f64,
+    alpha: f64,
+    seed: u64,
+) -> Vec<usize> {
+    assert!((0.0..=1.0).contains(&spike_fraction));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cap = (n / 8).max(spike_degree + 1);
+    let mut degrees: Vec<usize> = (0..n)
+        .map(|_| {
+            if rng.random_range(0.0..1.0) < spike_fraction {
+                spike_degree
+            } else {
+                // Truncated discrete power law over [1, cap].
+                let u: f64 = rng.random_range(0.0..1.0);
+                let x = (1.0 - u).powf(-1.0 / (alpha - 1.0));
+                (x.floor() as usize).clamp(1, cap)
+            }
+        })
+        .collect();
+    if degrees.iter().sum::<usize>() % 2 == 1 {
+        degrees[0] += 1;
+    }
+    degrees
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::{average_degree, DegreeKind};
+
+    #[test]
+    fn gnm_directed_has_exact_counts() {
+        let g = gnm_directed(50, 200, 1);
+        assert_eq!(g.node_count(), 50);
+        assert_eq!(g.edge_count(), 200);
+    }
+
+    #[test]
+    fn gnm_directed_is_deterministic() {
+        let a = gnm_directed(30, 100, 7);
+        let b = gnm_directed(30, 100, 7);
+        let ea: Vec<_> = a.edges().map(|e| (e.from, e.to)).collect();
+        let eb: Vec<_> = b.edges().map(|e| (e.from, e.to)).collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn gnm_undirected_has_exact_counts() {
+        let g = gnm_undirected(40, 150, 2);
+        assert_eq!(g.node_count(), 40);
+        assert_eq!(g.edge_count(), 150);
+        assert_eq!(g.undirected_edge_count(), 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_rejects_too_many_edges() {
+        let _ = gnm_directed(3, 7, 0);
+    }
+
+    #[test]
+    fn dense_gnm_terminates() {
+        // All possible edges.
+        let g = gnm_directed(5, 20, 3);
+        assert_eq!(g.edge_count(), 20);
+    }
+
+    #[test]
+    fn analytic_baseline_matches_formulas() {
+        let b = RandomBaseline::analytic(100, 300);
+        assert!((b.c_expected - 600.0 / (100.0 * 99.0)).abs() < 1e-12);
+        assert!((b.mean_degree - 6.0).abs() < 1e-12);
+        let l = b.l_expected.unwrap();
+        assert!((l - (100f64).ln() / 6f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analytic_baseline_degenerate_cases() {
+        assert_eq!(RandomBaseline::analytic(0, 0).c_expected, 0.0);
+        assert_eq!(RandomBaseline::analytic(1, 0).l_expected, None);
+        // Mean degree exactly 1: formula undefined.
+        assert_eq!(RandomBaseline::analytic(10, 5).l_expected, None);
+    }
+
+    #[test]
+    fn measured_baseline_close_to_analytic() {
+        let n = 300;
+        let m = 1500;
+        let analytic = RandomBaseline::analytic(n, m);
+        let measured = measured_baseline(n, m, 11, PathSampling::Exact);
+        // ER clustering concentrates near density for this size.
+        assert!((measured.c - analytic.c_expected).abs() < 0.02);
+        let l = measured.l.unwrap();
+        let le = analytic.l_expected.unwrap();
+        assert!((l - le).abs() < 1.0, "measured {l} vs expected {le}");
+    }
+
+    #[test]
+    fn watts_strogatz_beta_zero_is_lattice() {
+        let g = watts_strogatz(20, 4, 0.0, 5);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 20 * 4 / 2);
+        // Every node has undirected degree exactly k.
+        for id in g.node_ids() {
+            assert_eq!(g.undirected_degree(id), 4);
+        }
+        // Ring lattice with k=4 has C = 0.5.
+        let c = clustering::clustering_coefficient(&g);
+        assert!((c - 0.5).abs() < 1e-9, "lattice C = {c}");
+    }
+
+    #[test]
+    fn watts_strogatz_keeps_edge_count_under_rewiring() {
+        let g = watts_strogatz(50, 6, 0.3, 9);
+        assert_eq!(g.edge_count(), 50 * 6 / 2);
+    }
+
+    #[test]
+    fn barabasi_albert_edge_count() {
+        let n = 200;
+        let m = 3;
+        let g = barabasi_albert(n, m, 4);
+        let clique = m * (m + 1) / 2;
+        assert_eq!(g.edge_count(), clique + (n - m - 1) * m);
+        // Average undirected degree ~ 2m.
+        let avg = average_degree(&g, DegreeKind::Undirected);
+        assert!((avg - 2.0 * m as f64).abs() < 1.0, "avg degree {avg}");
+    }
+
+    #[test]
+    fn configuration_model_realizes_most_of_the_sequence() {
+        let degrees = vec![3usize; 200];
+        let (g, abandoned) = configuration_model(&degrees, 5);
+        assert_eq!(g.node_count(), 200);
+        // Stub matching loses only a few stubs to collisions.
+        assert!(abandoned <= 20, "abandoned {abandoned} stubs");
+        let realized: usize = g.node_ids().map(|i| g.undirected_degree(i)).sum();
+        assert!(realized >= 560, "realized degree sum {realized}");
+        // No node exceeds its prescription.
+        assert!(g.node_ids().all(|i| g.undirected_degree(i) <= 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd degree sum")]
+    fn configuration_model_rejects_odd_sum() {
+        let _ = configuration_model(&[1, 1, 1], 0);
+    }
+
+    #[test]
+    fn gnutella_like_sequence_has_the_spike() {
+        let degrees = gnutella_like_degrees(5_000, 30, 0.3, 2.2, 7);
+        let at_spike = degrees.iter().filter(|&&d| d == 30).count() as f64 / 5_000.0;
+        assert!((at_spike - 0.3).abs() < 0.03, "spike mass {at_spike}");
+        assert!(degrees.iter().sum::<usize>() % 2 == 0);
+        // The non-spike part is heavy-tailed from 1.
+        let ones = degrees.iter().filter(|&&d| d == 1).count();
+        assert!(ones > 1_000, "power-law body missing ({ones} ones)");
+    }
+
+    #[test]
+    fn gnutella_like_graph_builds_and_shows_the_spike() {
+        let degrees = gnutella_like_degrees(2_000, 20, 0.25, 2.3, 9);
+        let (g, _) = configuration_model(&degrees, 11);
+        let h = crate::degree::degree_histogram(&g, crate::degree::DegreeKind::Undirected);
+        // The mode away from 1 sits at (or just below) the spike.
+        let spike = h.spike().unwrap();
+        assert!((1..=20).contains(&spike));
+        assert!(h.count_at(20) + h.count_at(19) > 300, "spike eroded");
+    }
+
+    #[test]
+    fn barabasi_albert_has_hubs() {
+        let g = barabasi_albert(500, 2, 8);
+        let max = g
+            .node_ids()
+            .map(|id| g.undirected_degree(id))
+            .max()
+            .unwrap();
+        // Preferential attachment must produce a hub well above the mean.
+        assert!(max > 20, "max degree {max}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Edge reciprocity metrics (paper §4.4).
+//!
+//! Two measures are provided:
+//!
+//! * [`simple_reciprocity`] — Eq. (1) of the paper: the fraction of
+//!   directed edges whose reverse edge also exists,
+//!   `r = Σ_{i≠j} a_ij a_ji / M`.
+//! * [`garlaschelli_reciprocity`] — Eq. (2), the Garlaschelli–Loffredo
+//!   correlation `ρ = (r − ā) / (1 − ā)` where `ā = M / (N(N−1))` is
+//!   the link density. `ρ > 0` means *reciprocal* (more bilateral
+//!   links than a random graph of the same density), `ρ < 0`
+//!   *antireciprocal* (e.g. a tree-like feeding structure), `ρ ≈ 0`
+//!   uncorrelated.
+
+use crate::{DiGraph, GraphError};
+use std::hash::Hash;
+
+/// Number of directed edges whose reverse also exists (each bilateral
+/// pair contributes 2, matching `Σ_{i≠j} a_ij a_ji`).
+pub fn bilateral_edge_count<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> usize {
+    g.edges().filter(|e| g.has_edge(e.to, e.from)).count()
+}
+
+/// Simple reciprocity `r` (Eq. 1): fraction of edges that are
+/// bilateral.
+///
+/// # Errors
+///
+/// Returns [`GraphError::EmptyGraph`] when the graph has no edges.
+pub fn simple_reciprocity_checked<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> Result<f64, GraphError> {
+    if g.edge_count() == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    Ok(bilateral_edge_count(g) as f64 / g.edge_count() as f64)
+}
+
+/// Simple reciprocity `r`, returning `0.0` for an edgeless graph.
+///
+/// Prefer [`simple_reciprocity_checked`] when the empty case must be
+/// distinguished.
+pub fn simple_reciprocity<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> f64 {
+    simple_reciprocity_checked(g).unwrap_or(0.0)
+}
+
+/// Garlaschelli–Loffredo edge reciprocity `ρ` (Eq. 2).
+///
+/// # Errors
+///
+/// Returns [`GraphError::EmptyGraph`] when the graph has no edges and
+/// [`GraphError::CompleteGraph`] when every possible directed edge is
+/// present (`ā = 1` makes `ρ` undefined).
+pub fn garlaschelli_reciprocity<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> Result<f64, GraphError> {
+    if g.edge_count() == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let a_bar = g.density();
+    if (a_bar - 1.0).abs() < f64::EPSILON || a_bar > 1.0 {
+        return Err(GraphError::CompleteGraph);
+    }
+    let r = bilateral_edge_count(g) as f64 / g.edge_count() as f64;
+    Ok((r - a_bar) / (1.0 - a_bar))
+}
+
+/// Weighted reciprocity: the fraction of edge *weight* that is
+/// reciprocated, `r_w = Σ_{i≠j} min(w_ij, w_ji) / Σ_{i≠j} w_ij`
+/// (Squartini–Garlaschelli's weighted analogue). On Magellan traces
+/// the weights are segment counts, so this measures how much of the
+/// *traffic* flows over two-way relationships, not just how many
+/// links do.
+///
+/// # Errors
+///
+/// Returns [`GraphError::EmptyGraph`] when the graph has no edges or
+/// zero total weight.
+pub fn weighted_reciprocity<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> Result<f64, GraphError> {
+    if g.edge_count() == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let mut total = 0u128;
+    let mut matched = 0u128;
+    for e in g.edges() {
+        total += e.weight as u128;
+        if let Some(back) = g.edge_weight(e.to, e.from) {
+            matched += e.weight.min(back) as u128;
+        }
+    }
+    if total == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    Ok(matched as f64 / total as f64)
+}
+
+/// The reciprocity a perfect tree (or any graph with zero bilateral
+/// edges) of the same density would have: `ρ_tree = −ā / (1 − ā)`.
+///
+/// The paper uses this to argue that tree-like propagation would show
+/// up as negative measured reciprocity.
+pub fn tree_baseline<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> f64 {
+    let a_bar = g.density();
+    if a_bar >= 1.0 {
+        return f64::NEG_INFINITY;
+    }
+    -a_bar / (1.0 - a_bar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn graph(n: u32, edges: &[(u32, u32)]) -> DiGraph<u32> {
+        let mut g = DiGraph::new();
+        let ids: Vec<NodeId> = (0..n).map(|k| g.intern(k)).collect();
+        for &(a, b) in edges {
+            g.add_edge(ids[a as usize], ids[b as usize], 1);
+        }
+        g
+    }
+
+    #[test]
+    fn fully_bilateral_graph_has_r_one_and_rho_one() {
+        let g = graph(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]);
+        assert!((simple_reciprocity(&g) - 1.0).abs() < 1e-12);
+        let rho = garlaschelli_reciprocity(&g).unwrap();
+        assert!((rho - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_has_r_zero_and_negative_rho() {
+        let g = graph(4, &[(0, 1), (0, 2), (1, 3)]);
+        assert_eq!(simple_reciprocity(&g), 0.0);
+        let rho = garlaschelli_reciprocity(&g).unwrap();
+        assert!(rho < 0.0);
+        assert!((rho - tree_baseline(&g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_graph_matches_hand_computation() {
+        // Edges: 0->1, 1->0 (bilateral pair), 1->2 (one way). N = 3, M = 3.
+        let g = graph(3, &[(0, 1), (1, 0), (1, 2)]);
+        let r = simple_reciprocity(&g);
+        assert!((r - 2.0 / 3.0).abs() < 1e-12);
+        let a_bar = 3.0 / 6.0;
+        let expect = (r - a_bar) / (1.0 - a_bar);
+        let rho = garlaschelli_reciprocity(&g).unwrap();
+        assert!((rho - expect).abs() < 1e-12);
+        assert!(rho > 0.0);
+    }
+
+    #[test]
+    fn bilateral_count_counts_both_directions() {
+        let g = graph(3, &[(0, 1), (1, 0), (1, 2)]);
+        assert_eq!(bilateral_edge_count(&g), 2);
+    }
+
+    #[test]
+    fn empty_graph_errors() {
+        let g = graph(2, &[]);
+        assert_eq!(
+            simple_reciprocity_checked(&g),
+            Err(GraphError::EmptyGraph)
+        );
+        assert_eq!(garlaschelli_reciprocity(&g), Err(GraphError::EmptyGraph));
+        assert_eq!(simple_reciprocity(&g), 0.0);
+    }
+
+    #[test]
+    fn complete_graph_errors_for_rho() {
+        let g = graph(2, &[(0, 1), (1, 0)]);
+        assert_eq!(garlaschelli_reciprocity(&g), Err(GraphError::CompleteGraph));
+        // r is still fine.
+        assert!((simple_reciprocity(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_reciprocity_weighs_traffic_not_links() {
+        // One heavy one-way edge dominates two light bilateral ones.
+        let mut g: DiGraph<u32> = DiGraph::new();
+        let ids: Vec<NodeId> = (0..3u32).map(|k| g.intern(k)).collect();
+        g.add_edge(ids[0], ids[1], 10);
+        g.add_edge(ids[1], ids[0], 10);
+        g.add_edge(ids[1], ids[2], 80);
+        // Links: 2 of 3 bilateral (r = 2/3); weight: 20 of 100 matched.
+        assert!((simple_reciprocity(&g) - 2.0 / 3.0).abs() < 1e-12);
+        let rw = weighted_reciprocity(&g).unwrap();
+        assert!((rw - 0.2).abs() < 1e-12, "rw = {rw}");
+    }
+
+    #[test]
+    fn weighted_reciprocity_asymmetric_pair() {
+        // Bilateral link with asymmetric volume: only the min is
+        // reciprocated.
+        let g = {
+            let mut g: DiGraph<u32> = DiGraph::new();
+            let a = g.intern(0);
+            let b = g.intern(1);
+            g.add_edge(a, b, 30);
+            g.add_edge(b, a, 10);
+            g
+        };
+        let rw = weighted_reciprocity(&g).unwrap();
+        // matched = min(30,10) + min(10,30) = 20; total = 40.
+        assert!((rw - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_reciprocity_empty_errors() {
+        let g = graph(2, &[]);
+        assert!(matches!(
+            weighted_reciprocity(&g),
+            Err(GraphError::EmptyGraph)
+        ));
+    }
+
+    #[test]
+    fn random_like_density_gives_rho_near_zero() {
+        // A 4-cycle: r = 0, ā = 4/12 = 1/3, ρ = -0.5. Confirms the sign
+        // convention on a directed ring (no bilateral links).
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let rho = garlaschelli_reciprocity(&g).unwrap();
+        assert!((rho - (-0.5)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! Subgraph extraction.
+//!
+//! The Magellan study repeatedly restricts the topology: stable peers
+//! only, peers of one ISP (Fig. 7B), intra-ISP links and their
+//! incident peers, or inter-ISP links and theirs (Fig. 8B). Two
+//! extractors cover all of these:
+//!
+//! * [`induced_by_nodes`] — keep a node subset and all edges among it;
+//! * [`filtered_by_edges`] — keep an edge subset and the nodes those
+//!   edges touch.
+
+use crate::{DiGraph, EdgeRef, NodeId};
+use std::hash::Hash;
+
+/// The subgraph induced by the nodes matching `pred`: matching nodes
+/// are kept (with their keys), and every edge whose endpoints both
+/// match survives.
+pub fn induced_by_nodes<N, F>(g: &DiGraph<N>, mut pred: F) -> DiGraph<N>
+where
+    N: Eq + Hash + Clone,
+    F: FnMut(NodeId, &N) -> bool,
+{
+    let keep: Vec<bool> = g.nodes().map(|(id, key)| pred(id, key)).collect();
+    let mut sub = DiGraph::new();
+    for (id, key) in g.nodes() {
+        if keep[id.index()] {
+            sub.intern(key.clone());
+        }
+    }
+    for e in g.edges() {
+        if keep[e.from.index()] && keep[e.to.index()] {
+            let f = sub.node_id(g.key(e.from)).expect("kept node interned");
+            let t = sub.node_id(g.key(e.to)).expect("kept node interned");
+            sub.add_edge(f, t, e.weight);
+        }
+    }
+    sub
+}
+
+/// The subgraph made of the edges matching `pred` plus their incident
+/// nodes (the paper's construction for intra-/inter-ISP link
+/// topologies in Fig. 8B).
+pub fn filtered_by_edges<N, F>(g: &DiGraph<N>, mut pred: F) -> DiGraph<N>
+where
+    N: Eq + Hash + Clone,
+    F: FnMut(&DiGraph<N>, EdgeRef) -> bool,
+{
+    let mut sub = DiGraph::new();
+    for e in g.edges() {
+        if pred(g, e) {
+            let f = sub.intern(g.key(e.from).clone());
+            let t = sub.intern(g.key(e.to).clone());
+            sub.add_edge(f, t, e.weight);
+        }
+    }
+    sub
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DiGraph<&'static str> {
+        let mut g = DiGraph::new();
+        let a = g.intern("a");
+        let b = g.intern("b");
+        let c = g.intern("c");
+        let d = g.intern("d");
+        g.add_edge(a, b, 1);
+        g.add_edge(b, a, 2);
+        g.add_edge(b, c, 3);
+        g.add_edge(c, d, 4);
+        g
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = sample();
+        let sub = induced_by_nodes(&g, |_, key| matches!(*key, "a" | "b" | "c"));
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 3); // a<->b and b->c; c->d dropped
+        assert!(sub.node_id(&"d").is_none());
+        let b = sub.node_id(&"b").unwrap();
+        let c = sub.node_id(&"c").unwrap();
+        assert_eq!(sub.edge_weight(b, c), Some(3));
+    }
+
+    #[test]
+    fn induced_with_no_matches_is_empty() {
+        let g = sample();
+        let sub = induced_by_nodes(&g, |_, _| false);
+        assert!(sub.is_empty());
+        assert_eq!(sub.edge_count(), 0);
+    }
+
+    #[test]
+    fn induced_preserves_weights() {
+        let g = sample();
+        let sub = induced_by_nodes(&g, |_, _| true);
+        assert_eq!(sub.edge_count(), g.edge_count());
+        let a = sub.node_id(&"a").unwrap();
+        let b = sub.node_id(&"b").unwrap();
+        assert_eq!(sub.edge_weight(b, a), Some(2));
+    }
+
+    #[test]
+    fn edge_filter_keeps_incident_nodes() {
+        let g = sample();
+        // Keep only heavy edges (weight >= 3).
+        let sub = filtered_by_edges(&g, |_, e| e.weight >= 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert_eq!(sub.node_count(), 3); // b, c, d — a not incident
+        assert!(sub.node_id(&"a").is_none());
+    }
+
+    #[test]
+    fn edge_filter_predicate_can_inspect_keys() {
+        let g = sample();
+        // Keep edges whose source sorts before their target ("intra" toy rule).
+        let sub = filtered_by_edges(&g, |g, e| g.key(e.from) < g.key(e.to));
+        assert_eq!(sub.edge_count(), 3); // a->b, b->c, c->d
+        assert!(sub.node_id(&"a").is_some());
+    }
+
+    #[test]
+    fn subgraph_node_set_is_subset() {
+        let g = sample();
+        let sub = induced_by_nodes(&g, |_, key| *key != "b");
+        for (_, key) in sub.nodes() {
+            assert!(g.node_id(key).is_some());
+        }
+    }
+}

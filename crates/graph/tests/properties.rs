@@ -1,0 +1,261 @@
+//! Property-based tests for the graph substrate: structural
+//! invariants that must hold for *any* graph, not just hand-picked
+//! fixtures.
+
+use magellan_graph::clustering::{clustering_coefficient, local_clustering};
+use magellan_graph::degree::{degree_sequence, DegreeKind};
+use magellan_graph::paths::{bfs_distances, PathTreatment, UNREACHABLE};
+use magellan_graph::reciprocity::{garlaschelli_reciprocity, simple_reciprocity};
+use magellan_graph::subgraph::induced_by_nodes;
+use magellan_graph::{DegreeHistogram, DiGraph};
+use proptest::prelude::*;
+
+/// Strategy: a directed graph on up to 12 nodes from an arbitrary edge
+/// list (self-loops filtered out by construction).
+fn arb_graph() -> impl Strategy<Value = DiGraph<u8>> {
+    proptest::collection::vec((0u8..12, 0u8..12, 1u64..100), 0..120).prop_map(|edges| {
+        let mut g = DiGraph::new();
+        for (a, b, w) in edges {
+            if a != b {
+                g.add_edge_by_key(a, b, w);
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #[test]
+    fn degree_sums_equal_edge_count(g in arb_graph()) {
+        let out_sum: usize = degree_sequence(&g, DegreeKind::Out).into_iter().sum();
+        let in_sum: usize = degree_sequence(&g, DegreeKind::In).into_iter().sum();
+        prop_assert_eq!(out_sum, g.edge_count());
+        prop_assert_eq!(in_sum, g.edge_count());
+    }
+
+    #[test]
+    fn undirected_degree_matches_neighbor_list(g in arb_graph()) {
+        for id in g.node_ids() {
+            prop_assert_eq!(g.undirected_degree(id), g.undirected_neighbors(id).len());
+        }
+    }
+
+    #[test]
+    fn undirected_neighbors_are_symmetric(g in arb_graph()) {
+        for id in g.node_ids() {
+            for v in g.undirected_neighbors(id) {
+                prop_assert!(g.undirected_neighbors(v).contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn undirected_edge_count_bounds(g in arb_graph()) {
+        let und = g.undirected_edge_count();
+        prop_assert!(und <= g.edge_count());
+        prop_assert!(und * 2 >= g.edge_count());
+    }
+
+    #[test]
+    fn simple_reciprocity_in_unit_interval(g in arb_graph()) {
+        let r = simple_reciprocity(&g);
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn rho_in_closed_interval(g in arb_graph()) {
+        if let Ok(rho) = garlaschelli_reciprocity(&g) {
+            prop_assert!(rho <= 1.0 + 1e-12, "rho = {rho}");
+            // Lower bound: rho >= -a/(1-a) >= -1 only when a <= 1/2;
+            // in general rho >= -a/(1-a), so just check it is finite.
+            prop_assert!(rho.is_finite());
+        }
+    }
+
+    #[test]
+    fn symmetrized_graph_is_fully_reciprocal(g in arb_graph()) {
+        let mut s = g.clone();
+        let edges: Vec<_> = g.edges().collect();
+        for e in &edges {
+            s.add_edge(e.to, e.from, e.weight);
+        }
+        if s.edge_count() > 0 {
+            prop_assert!((simple_reciprocity(&s) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clustering_in_unit_interval(g in arb_graph()) {
+        let c = clustering_coefficient(&g);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+        for id in g.node_ids() {
+            let ci = local_clustering(&g, id);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&ci));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_is_contained(g in arb_graph(), keep_mask in proptest::collection::vec(any::<bool>(), 12)) {
+        let sub = induced_by_nodes(&g, |_, key| keep_mask.get(*key as usize).copied().unwrap_or(false));
+        prop_assert!(sub.node_count() <= g.node_count());
+        prop_assert!(sub.edge_count() <= g.edge_count());
+        for e in sub.edges() {
+            let from_key = sub.key(e.from);
+            let to_key = sub.key(e.to);
+            let gf = g.node_id(from_key).expect("node exists in parent");
+            let gt = g.node_id(to_key).expect("node exists in parent");
+            prop_assert_eq!(g.edge_weight(gf, gt), Some(e.weight));
+        }
+    }
+
+    #[test]
+    fn bfs_neighbors_at_distance_one(g in arb_graph()) {
+        for id in g.node_ids().take(4) {
+            let dist = bfs_distances(&g, id, PathTreatment::Directed);
+            prop_assert_eq!(dist[id.index()], 0);
+            for v in g.out_neighbors(id) {
+                prop_assert!(dist[v.index()] == 1 || v == id);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_undirected_is_symmetric(g in arb_graph()) {
+        // d(u, v) == d(v, u) under the undirected treatment.
+        let ids: Vec<_> = g.node_ids().collect();
+        for &u in ids.iter().take(3) {
+            let du = bfs_distances(&g, u, PathTreatment::Undirected);
+            for &v in ids.iter().take(3) {
+                let dv = bfs_distances(&g, v, PathTreatment::Undirected);
+                prop_assert_eq!(du[v.index()], dv[u.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_unreachable_is_marked(g in arb_graph()) {
+        for id in g.node_ids().take(2) {
+            let dist = bfs_distances(&g, id, PathTreatment::Directed);
+            for (i, &d) in dist.iter().enumerate() {
+                if d != UNREACHABLE {
+                    prop_assert!(d as usize <= g.node_count());
+                } else {
+                    prop_assert!(i != id.index());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_mass_conservation(samples in proptest::collection::vec(0usize..200, 0..300)) {
+        let h: DegreeHistogram = samples.iter().copied().collect();
+        prop_assert_eq!(h.total(), samples.len() as u64);
+        if !samples.is_empty() {
+            let mass: f64 = h.pmf().iter().map(|p| p.fraction).sum();
+            prop_assert!((mass - 1.0).abs() < 1e-9);
+            let mean: f64 = samples.iter().sum::<usize>() as f64 / samples.len() as f64;
+            prop_assert!((h.mean() - mean).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn histogram_quantile_is_monotone(samples in proptest::collection::vec(0usize..50, 1..100)) {
+        let h: DegreeHistogram = samples.iter().copied().collect();
+        let q1 = h.quantile(0.25).unwrap();
+        let q2 = h.quantile(0.5).unwrap();
+        let q3 = h.quantile(0.75).unwrap();
+        prop_assert!(q1 <= q2 && q2 <= q3);
+    }
+
+    #[test]
+    fn density_in_unit_interval(g in arb_graph()) {
+        let d = g.density();
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+}
+
+mod structural_extensions {
+    use magellan_graph::assortativity::{assortativity, AssortKind};
+    use magellan_graph::export::{from_edge_list, to_edge_list};
+    use magellan_graph::kcore::core_decomposition;
+    use magellan_graph::{DiGraph, NodeId};
+    use proptest::prelude::*;
+
+    fn arb_graph() -> impl Strategy<Value = DiGraph<u32>> {
+        proptest::collection::vec((0u32..20, 0u32..20, 1u64..50), 0..150).prop_map(|edges| {
+            let mut g = DiGraph::new();
+            for (a, b, w) in edges {
+                if a != b {
+                    g.add_edge_by_key(a, b, w);
+                }
+            }
+            g
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn core_number_bounded_by_degree(g in arb_graph()) {
+            let d = core_decomposition(&g);
+            for id in g.node_ids() {
+                prop_assert!(d.core_of(id) as usize <= g.undirected_degree(id));
+            }
+            let max_deg = g.node_ids().map(|i| g.undirected_degree(i)).max().unwrap_or(0);
+            prop_assert!(d.degeneracy() as usize <= max_deg);
+        }
+
+        #[test]
+        fn core_sizes_are_monotone(g in arb_graph()) {
+            let d = core_decomposition(&g);
+            for k in 0..d.degeneracy() {
+                prop_assert!(d.core_size(k) >= d.core_size(k + 1));
+            }
+            prop_assert_eq!(d.core_size(0), g.node_count());
+        }
+
+        #[test]
+        fn kcore_members_have_k_neighbors_in_core(g in arb_graph()) {
+            // Defining property of the k-core at k = degeneracy.
+            let d = core_decomposition(&g);
+            let k = d.degeneracy();
+            if k == 0 { return Ok(()); }
+            let members: Vec<NodeId> = g
+                .node_ids()
+                .filter(|&id| d.core_of(id) >= k)
+                .collect();
+            for &v in &members {
+                let inside = g
+                    .undirected_neighbors(v)
+                    .into_iter()
+                    .filter(|u| d.core_of(*u) >= k)
+                    .count();
+                prop_assert!(
+                    inside >= k as usize,
+                    "node {v} has {inside} in-core neighbors < k = {k}"
+                );
+            }
+        }
+
+        #[test]
+        fn assortativity_is_bounded_when_defined(g in arb_graph()) {
+            for kind in [AssortKind::Undirected, AssortKind::OutIn] {
+                if let Ok(r) = assortativity(&g, kind) {
+                    prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+                }
+            }
+        }
+
+        #[test]
+        fn edge_list_roundtrips_any_graph(g in arb_graph()) {
+            let text = to_edge_list(&g);
+            let back: DiGraph<u32> = from_edge_list(&text).unwrap();
+            prop_assert_eq!(back.node_count(), g.edges().map(|e| [e.from, e.to]).flatten().collect::<std::collections::HashSet<_>>().len());
+            prop_assert_eq!(back.edge_count(), g.edge_count());
+            for e in g.edges() {
+                let f = back.node_id(g.key(e.from)).expect("node");
+                let t = back.node_id(g.key(e.to)).expect("node");
+                prop_assert_eq!(back.edge_weight(f, t), Some(e.weight));
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests over the underlay models: ordering invariants of
+//! the event queue, totality of the ISP database, bounds of the
+//! distribution helpers.
+
+use magellan_netsim::rng::{exponential, lognormal_median, normal_with, weighted_index, ZipfTable};
+use magellan_netsim::{
+    CapacityModel, EventQueue, Isp, IspDatabase, IspShares, LinkModel, PeerAddr, RngFactory,
+    SimDuration, SimTime,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted_and_fifo(events in proptest::collection::vec((0u64..10_000, any::<u32>()), 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &(t, payload)) in events.iter().enumerate() {
+            q.push(SimTime::from_millis(t), (payload, i));
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, (_, seq))) = q.pop() {
+            if let Some((lt, lseq)) = last {
+                prop_assert!(t >= lt, "time went backwards");
+                if t == lt {
+                    prop_assert!(seq > lseq, "FIFO violated within an instant");
+                }
+            }
+            last = Some((t, seq));
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    #[test]
+    fn isp_lookup_is_total(ip in any::<u32>()) {
+        let db = IspDatabase::default();
+        // Any address maps to exactly one ISP without panicking.
+        let isp = db.lookup(PeerAddr::from_u32(ip));
+        prop_assert!(Isp::ALL.contains(&isp));
+    }
+
+    #[test]
+    fn isp_ranges_and_lookup_agree(seed in any::<u64>()) {
+        let db = IspDatabase::default();
+        let mut rng = RngFactory::new(seed).fork("prop");
+        let mut alloc = db.allocator();
+        for isp in Isp::ALL {
+            let addr = alloc.alloc_in(&mut rng, isp);
+            prop_assert_eq!(db.lookup(addr), isp);
+        }
+    }
+
+    #[test]
+    fn link_samples_are_positive_and_finite(seed in any::<u64>()) {
+        let model = LinkModel::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for a in Isp::ALL {
+            for b in Isp::ALL {
+                let q = model.sample(&mut rng, a, b);
+                prop_assert!(q.rtt_ms > 0.0 && q.rtt_ms.is_finite());
+                prop_assert!(q.bandwidth_kbps > 0.0 && q.bandwidth_kbps.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_samples_are_positive(seed in any::<u64>()) {
+        let model = CapacityModel::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for isp in Isp::ALL {
+            let c = model.sample(&mut rng, isp);
+            prop_assert!(c.down_kbps > 0.0);
+            prop_assert!(c.up_kbps > 0.0);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_range(n in 1usize..200, s in 0.0f64..3.0, seed in any::<u64>()) {
+        let table = ZipfTable::new(n, s);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let k = table.sample(&mut rng);
+            prop_assert!((1..=n).contains(&k));
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_is_normalized(n in 1usize..100, s in 0.0f64..3.0) {
+        let table = ZipfTable::new(n, s);
+        let sum: f64 = (1..=n).map(|k| table.probability(k)).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_index_only_picks_positive_weights(
+        weights in proptest::collection::vec(0.0f64..10.0, 1..20),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let i = weighted_index(&mut rng, &weights);
+            prop_assert!(weights[i] > 0.0, "picked a zero-weight index");
+        }
+    }
+
+    #[test]
+    fn distribution_helpers_are_finite(seed in any::<u64>(), median in 0.1f64..1e4, sigma in 0.0f64..2.0, rate in 0.01f64..100.0) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        prop_assert!(normal_with(&mut rng, 0.0, sigma).is_finite());
+        let ln = lognormal_median(&mut rng, median, sigma);
+        prop_assert!(ln > 0.0 && ln.is_finite());
+        let e = exponential(&mut rng, rate);
+        prop_assert!(e >= 0.0 && e.is_finite());
+    }
+
+    #[test]
+    fn shares_normalize_for_any_positive_weights(weights in proptest::collection::vec(0.01f64..100.0, 7)) {
+        let shares = IspShares { weights: [weights[0], weights[1], weights[2], weights[3], weights[4], weights[5], weights[6]] };
+        let sum: f64 = shares.normalized().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        // The synthetic database still covers every ISP.
+        let db = IspDatabase::synthetic(shares);
+        for isp in Isp::ALL {
+            prop_assert!(!db.ranges_of(isp).is_empty(), "{isp} lost its ranges");
+        }
+    }
+
+    #[test]
+    fn sim_time_arithmetic_is_consistent(a in 0u64..1_000_000, d in 0u64..1_000_000) {
+        let t = SimTime::from_millis(a);
+        let dur = SimDuration::from_millis(d);
+        let later = t + dur;
+        prop_assert_eq!(later.since(t), dur);
+        prop_assert_eq!(later - dur, t);
+    }
+}

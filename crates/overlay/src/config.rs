@@ -1,0 +1,188 @@
+//! Simulator configuration.
+
+use magellan_netsim::{CapacityModel, IspShares, LinkModel, SimDuration};
+
+/// All protocol and model parameters of the overlay simulation.
+///
+/// Defaults implement the UUSee protocol as §3.1 describes it; the
+/// `random_selection` / `disable_volunteer` switches exist for the
+/// ablation benches that knock out one mechanism at a time.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Simulation tick. Transfers, selection, and gossip run per
+    /// tick; reports follow their own 20/10-minute schedule. Must
+    /// divide the 10-minute report interval.
+    pub tick: SimDuration,
+    /// Maximum partners handed out at bootstrap (paper: "up to 50").
+    pub max_bootstrap_partners: usize,
+    /// Upper bound on a peer's partner list; beyond it the worst
+    /// non-active partners are pruned.
+    pub max_partners: usize,
+    /// Number of suppliers a peer requests blocks from (paper:
+    /// "around 30").
+    pub target_suppliers: usize,
+    /// Segment size in kilobits (10 KB segments → 80 kbit; at the
+    /// 400 Kbps channel rate that is 5 segments per second).
+    pub segment_kbits: f64,
+    /// Sliding-window length in segments.
+    pub window_segments: u32,
+    /// EWMA factor for per-link throughput estimates (weight of the
+    /// newest observation).
+    pub throughput_ewma: f64,
+    /// Upload utilization below which a peer volunteers at the
+    /// tracker (sustained for `sustain_ticks`).
+    pub volunteer_utilization: f64,
+    /// Receive rate (as a fraction of the channel rate) below which a
+    /// peer falls back to the tracker for more partners (sustained).
+    pub fallback_quality: f64,
+    /// How many consecutive ticks a condition must hold to trigger
+    /// volunteering or tracker fallback.
+    pub sustain_ticks: u32,
+    /// Partners recommended per gossip exchange.
+    pub gossip_fanout: usize,
+    /// Gossip is demand-driven: a peer solicits recommendations only
+    /// while its partner list is below this size (churn then keeps
+    /// counts drifting below it, as the paper observes partner counts
+    /// decaying from the bootstrap 50).
+    pub gossip_target_partners: usize,
+    /// Exponent applied to request weights in the transfer engine:
+    /// higher values concentrate block requests on fewer suppliers,
+    /// pulling the *active* indegree below the ~30 requested partners
+    /// (the paper measures a spike near 10).
+    pub request_concentration: f64,
+    /// Partners handed out per tracker fallback request.
+    pub fallback_partners: usize,
+    /// Streaming servers per channel.
+    pub servers_per_channel: usize,
+    /// Upload capacity of each streaming server, in multiples of the
+    /// channel rate (how many direct viewers one server can feed).
+    pub server_capacity_streams: f64,
+    /// Underlay path-quality model.
+    pub link_model: LinkModel,
+    /// Access-capacity model.
+    pub capacity_model: CapacityModel,
+    /// ISP population shares for the address allocator.
+    pub isp_shares: IspShares,
+    /// EXTENSION (paper future work): fraction of each tracker
+    /// bootstrap drawn from the joiner's own ISP (0.0 reproduces the
+    /// paper's ISP-oblivious tracker).
+    pub tracker_locality_fraction: f64,
+    /// ABLATION: ignore measured link quality and select partners
+    /// uniformly at random.
+    pub random_selection: bool,
+    /// ABLATION: disable the volunteer mechanism (tracker bootstraps
+    /// from the whole membership instead).
+    pub disable_volunteer: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            tick: SimDuration::from_mins(5),
+            max_bootstrap_partners: 50,
+            max_partners: 80,
+            target_suppliers: 30,
+            segment_kbits: 80.0,
+            window_segments: 150,
+            throughput_ewma: 0.3,
+            volunteer_utilization: 0.7,
+            fallback_quality: 0.9,
+            sustain_ticks: 2,
+            gossip_fanout: 6,
+            gossip_target_partners: 45,
+            request_concentration: 2.5,
+            fallback_partners: 10,
+            servers_per_channel: 1,
+            server_capacity_streams: 25.0,
+            link_model: LinkModel::default(),
+            capacity_model: CapacityModel::default(),
+            isp_shares: IspShares::default(),
+            tracker_locality_fraction: 0.0,
+            random_selection: false,
+            disable_volunteer: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Segments the channel stream advances per tick at `rate_kbps`.
+    pub fn stream_segments_per_tick(&self, rate_kbps: f64) -> f64 {
+        rate_kbps * self.tick.as_secs_f64() / self.segment_kbits
+    }
+
+    /// Converts an upload/download capacity into a per-tick segment
+    /// budget.
+    pub fn capacity_segments_per_tick(&self, kbps: f64) -> f64 {
+        kbps * self.tick.as_secs_f64() / self.segment_kbits
+    }
+
+    /// Converts segments transferred in one tick into Kbps.
+    pub fn segments_to_kbps(&self, segments: f64) -> f64 {
+        segments * self.segment_kbits / self.tick.as_secs_f64()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tick does not divide the 10-minute report
+    /// interval, or when bounds are inconsistent (e.g. more suppliers
+    /// than partners).
+    pub fn validate(&self) {
+        use magellan_trace::REPORT_INTERVAL;
+        assert!(
+            REPORT_INTERVAL.as_millis() % self.tick.as_millis() == 0,
+            "tick must divide the 10-minute report interval"
+        );
+        assert!(self.target_suppliers <= self.max_partners);
+        assert!(self.max_bootstrap_partners <= self.max_partners);
+        assert!(self.segment_kbits > 0.0);
+        assert!((0.0..=1.0).contains(&self.throughput_ewma));
+        assert!(self.sustain_ticks >= 1);
+        assert!(self.servers_per_channel >= 1);
+        assert!(self.gossip_target_partners <= self.max_partners);
+        assert!(self.request_concentration >= 1.0);
+        assert!((0.0..=1.0).contains(&self.tracker_locality_fraction));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        SimConfig::default().validate();
+    }
+
+    #[test]
+    fn segment_arithmetic_roundtrips() {
+        let cfg = SimConfig::default();
+        // 400 Kbps for 300 s at 80 kbit/segment = 1500 segments.
+        let segs = cfg.stream_segments_per_tick(400.0);
+        assert!((segs - 1500.0).abs() < 1e-9);
+        assert!((cfg.segments_to_kbps(segs) - 400.0).abs() < 1e-9);
+        assert!((cfg.capacity_segments_per_tick(400.0) - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "report interval")]
+    fn tick_must_divide_report_interval() {
+        let cfg = SimConfig {
+            tick: SimDuration::from_mins(3),
+            ..SimConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn suppliers_cannot_exceed_partners() {
+        let cfg = SimConfig {
+            target_suppliers: 100,
+            max_partners: 50,
+            ..SimConfig::default()
+        };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,771 @@
+//! The overlay simulation driver.
+//!
+//! [`OverlaySim`] binds a workload [`Scenario`] to the protocol: it
+//! replays joins and departures, runs the per-tick maintenance loop
+//! (supplier selection, gossip, volunteer/fallback logic, pruning),
+//! executes block transfers, and emits [`PeerReport`]s on the §3.2
+//! measurement schedule to a caller-provided sink.
+//!
+//! The sink-based design matters at scale: the real study collected
+//! 120 GB of reports, and even scaled-down runs produce far more
+//! report volume than should sit in memory. Analyses either stream
+//! (the figure pipelines do) or collect into a
+//! [`magellan_trace::TraceStore`] for small runs via
+//! [`OverlaySim::run_collecting`].
+
+use crate::config::SimConfig;
+use crate::peer::{PeerId, PeerState};
+use crate::tracker::{BootstrapPolicy, Tracker};
+use crate::transfer;
+use magellan_netsim::{
+    AddrAllocator, Isp, IspDatabase, PeerAddr, RngFactory, SimTime,
+};
+use magellan_trace::{PeerReport, TraceServer, TraceStore, REPORT_INTERVAL};
+use magellan_workload::{ChannelId, JoinEvent, Scenario};
+use rand::rngs::StdRng;
+use rand::RngExt as _;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Aggregate statistics of one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimSummary {
+    /// Peers that joined.
+    pub joins: u64,
+    /// Peers that departed before the window closed.
+    pub leaves: u64,
+    /// Reports emitted to the sink.
+    pub reports: u64,
+    /// Maximum concurrent (non-server) population observed.
+    pub peak_concurrent: usize,
+    /// Concurrent population at the final tick.
+    pub final_concurrent: usize,
+    /// Total segments transferred.
+    pub segments: f64,
+    /// Ticks executed.
+    pub ticks: u64,
+}
+
+/// The UUSee overlay simulator.
+#[derive(Debug)]
+pub struct OverlaySim {
+    cfg: SimConfig,
+    scenario: Scenario,
+    peers: Vec<Option<PeerState>>,
+    /// Peer addresses by slab index; survives departure so reports
+    /// referencing recently-dead partners still resolve.
+    addrs: Vec<PeerAddr>,
+    /// Peer ISPs by slab index (analysis-side ground truth; the
+    /// protocol itself never reads it).
+    isps: Vec<Isp>,
+    tracker: Tracker,
+    allocator: AddrAllocator,
+    db: IspDatabase,
+    live: usize,
+}
+
+impl OverlaySim {
+    /// Creates a simulator for `scenario` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`SimConfig::validate`]).
+    pub fn new(scenario: Scenario, cfg: SimConfig) -> Self {
+        cfg.validate();
+        let db = IspDatabase::synthetic(cfg.isp_shares);
+        let allocator = db.allocator();
+        OverlaySim {
+            cfg,
+            scenario,
+            peers: Vec::new(),
+            addrs: Vec::new(),
+            isps: Vec::new(),
+            tracker: Tracker::new(),
+            allocator,
+            db,
+            live: 0,
+        }
+    }
+
+    /// The ISP database the run allocates addresses from (analyses
+    /// need the same mapping).
+    pub fn isp_database(&self) -> &IspDatabase {
+        &self.db
+    }
+
+    /// Runs the whole study window, pushing every report into `sink`
+    /// (called with the report's own timestamp order per tick).
+    pub fn run<F>(&mut self, mut sink: F) -> SimSummary
+    where
+        F: FnMut(PeerReport),
+    {
+        let factory = RngFactory::new(self.scenario.seed);
+        let mut join_rng = factory.fork("sim/join");
+        let mut link_rng = factory.fork("sim/link");
+        let mut sel_rng = factory.fork("sim/select");
+        let mut gossip_rng = factory.fork("sim/gossip");
+
+        let joins = self.scenario.generate_joins();
+        let mut join_idx = 0usize;
+        // Max-heap over Reverse(time) → min-heap of departures.
+        let mut departures: BinaryHeap<std::cmp::Reverse<(SimTime, u32)>> = BinaryHeap::new();
+
+        let window_end = self.scenario.calendar.window_end();
+        self.spawn_servers(&mut link_rng, window_end);
+
+        let mut summary = SimSummary::default();
+        let tick = self.cfg.tick;
+        let ticks_total = window_end.as_millis() / tick.as_millis();
+        let rates: HashMap<ChannelId, f64> = self
+            .scenario
+            .channels
+            .iter()
+            .map(|c| (c.id, c.rate_kbps))
+            .collect();
+
+        for k in 0..ticks_total {
+            let tick_start = SimTime::from_millis(k * tick.as_millis());
+            let tick_end = tick_start + tick;
+
+            // 1. Departures scheduled before this tick.
+            while let Some(&std::cmp::Reverse((t, id))) = departures.peek() {
+                if t >= tick_start {
+                    break;
+                }
+                departures.pop();
+                self.depart(PeerId(id));
+                summary.leaves += 1;
+            }
+
+            // 2. Joins landing in this tick.
+            while join_idx < joins.len() && joins[join_idx].time < tick_end {
+                let ev = joins[join_idx];
+                join_idx += 1;
+                let id = self.join(&ev, &mut join_rng, &mut link_rng, &mut sel_rng);
+                departures.push(std::cmp::Reverse((ev.time + ev.duration, id.0)));
+                summary.joins += 1;
+            }
+
+            // 3. Per-peer maintenance.
+            self.maintenance_pass(k, tick_start, &rates, &mut sel_rng, &mut gossip_rng);
+
+            // 4. Block transfers.
+            let rates_ref = &rates;
+            let outcome = transfer::run_tick(
+                &mut self.peers,
+                |ch| rates_ref.get(&ch).copied().unwrap_or(400.0),
+                &self.cfg,
+            );
+            summary.segments += outcome.segments;
+
+            // 5. Reports due by the end of this tick.
+            summary.reports += self.emit_reports(tick_end, &mut sink);
+
+            summary.peak_concurrent = summary.peak_concurrent.max(self.live);
+            summary.ticks += 1;
+        }
+        summary.final_concurrent = self.live;
+        summary
+    }
+
+    /// Convenience wrapper: run and collect everything through a
+    /// validating [`TraceServer`] into a [`TraceStore`]. Use only at
+    /// small scales; figure pipelines stream instead.
+    pub fn run_collecting(&mut self) -> (TraceStore, SimSummary) {
+        let server = TraceServer::new(self.scenario.calendar.window_end());
+        let summary = self.run(|r| {
+            // Reports generated by the simulator always validate.
+            server.submit(r).expect("simulated report rejected");
+        });
+        (server.into_store(), summary)
+    }
+
+    fn spawn_servers(&mut self, link_rng: &mut StdRng, horizon: SimTime) {
+        let channels: Vec<(ChannelId, f64)> = self
+            .scenario
+            .channels
+            .iter()
+            .map(|c| (c.id, c.rate_kbps))
+            .collect();
+        for (ch, rate) in channels {
+            for _ in 0..self.cfg.servers_per_channel {
+                let addr = self.allocator.alloc_in(link_rng, Isp::Telecom);
+                let isp = self.db.lookup(addr);
+                let id = PeerId(self.peers.len() as u32);
+                let server = PeerState::new_server(
+                    addr,
+                    isp,
+                    rate * self.cfg.server_capacity_streams,
+                    ch,
+                    SimTime::ORIGIN,
+                    horizon,
+                );
+                self.peers.push(Some(server));
+                self.addrs.push(addr);
+                self.isps.push(isp);
+                self.tracker.register(ch, id, isp);
+                self.tracker.volunteer(ch, id);
+            }
+        }
+    }
+
+    fn join(
+        &mut self,
+        ev: &JoinEvent,
+        join_rng: &mut StdRng,
+        link_rng: &mut StdRng,
+        sel_rng: &mut StdRng,
+    ) -> PeerId {
+        let addr = self.allocator.alloc(join_rng);
+        let isp = self.db.lookup(addr);
+        let capacity = self.cfg.capacity_model.sample(join_rng, isp);
+        let id = PeerId(self.peers.len() as u32);
+        let mut peer = PeerState::new_peer(addr, isp, capacity, ev.channel, ev.time, ev.time + ev.duration);
+
+        // Tracker bootstrap: up to 50 partners, volunteers first.
+        let candidates = self.tracker.bootstrap(
+            ev.channel,
+            id,
+            isp,
+            self.cfg.max_bootstrap_partners,
+            self.bootstrap_policy(),
+            join_rng,
+        );
+        for cand in candidates {
+            let Some(other) = self.peers[cand.index()].as_mut() else {
+                continue;
+            };
+            let quality = self.cfg.link_model.sample(link_rng, isp, other.isp);
+            other.add_partner(id, quality, ev.time);
+            peer.add_partner(cand, quality, ev.time);
+        }
+        peer.select_suppliers(self.cfg.target_suppliers, self.cfg.random_selection, sel_rng);
+        self.peers.push(Some(peer));
+        self.addrs.push(addr);
+        self.isps.push(isp);
+        self.tracker.register(ev.channel, id, isp);
+        self.live += 1;
+        id
+    }
+
+    fn depart(&mut self, id: PeerId) {
+        let Some(peer) = self.peers[id.index()].take() else {
+            return;
+        };
+        self.live -= 1;
+        self.tracker.deregister(peer.channel, id);
+        // Tear down both connection endpoints.
+        for (&pid, _) in &peer.partners {
+            if let Some(Some(other)) = self.peers.get_mut(pid.index()) {
+                other.remove_partner(id);
+            }
+        }
+    }
+
+    fn maintenance_pass(
+        &mut self,
+        tick_idx: u64,
+        now: SimTime,
+        rates: &HashMap<ChannelId, f64>,
+        sel_rng: &mut StdRng,
+        gossip_rng: &mut StdRng,
+    ) {
+        let n = self.peers.len();
+        for i in 0..n {
+            let Some(p) = &self.peers[i] else { continue };
+            if p.is_server {
+                continue;
+            }
+            let id = PeerId(i as u32);
+            let channel = p.channel;
+            let rate = rates.get(&channel).copied().unwrap_or(400.0);
+
+            // Volunteer / starvation accounting (reads, then writes).
+            let util = p.upload_utilization();
+            let starving = p.recv_kbps < self.cfg.fallback_quality * rate && p.buffer_fill > 0.0;
+            {
+                let p = self.peers[i].as_mut().expect("checked live");
+                if util < self.cfg.volunteer_utilization {
+                    p.underused_ticks += 1;
+                } else {
+                    p.underused_ticks = 0;
+                }
+                if starving {
+                    p.starved_ticks += 1;
+                } else {
+                    p.starved_ticks = 0;
+                }
+            }
+
+            // Volunteer list churn.
+            let (underused, starved, volunteered) = {
+                let p = self.peers[i].as_ref().expect("live");
+                (p.underused_ticks, p.starved_ticks, p.volunteered)
+            };
+            if !self.cfg.disable_volunteer {
+                if underused >= self.cfg.sustain_ticks && !volunteered {
+                    self.tracker.volunteer(channel, id);
+                    self.peers[i].as_mut().expect("live").volunteered = true;
+                } else if volunteered && util > 0.95 {
+                    self.tracker.unvolunteer(channel, id);
+                    self.peers[i].as_mut().expect("live").volunteered = false;
+                }
+            }
+
+            // Tracker fallback: playback not sustained → more partners.
+            if starved >= self.cfg.sustain_ticks {
+                let my_isp = self.isps[i];
+                let extra = self.tracker.bootstrap(
+                    channel,
+                    id,
+                    my_isp,
+                    self.cfg.fallback_partners,
+                    self.bootstrap_policy(),
+                    sel_rng,
+                );
+                for cand in extra {
+                    if cand == id {
+                        continue;
+                    }
+                    let other_isp = self.isps[cand.index()];
+                    let quality = self.cfg.link_model.sample(sel_rng, my_isp, other_isp);
+                    if let Some(other) = self.peers[cand.index()].as_mut() {
+                        other.add_partner(id, quality, now);
+                    } else {
+                        continue;
+                    }
+                    self.peers[i]
+                        .as_mut()
+                        .expect("live")
+                        .add_partner(cand, quality, now);
+                }
+                self.peers[i].as_mut().expect("live").starved_ticks = 0;
+            }
+
+            // Gossip every third tick (staggered by id).
+            if (tick_idx + i as u64) % 3 == 0 {
+                self.gossip(i, now, gossip_rng);
+            }
+
+            // Supplier re-selection every second tick (staggered),
+            // i.e. every 10 minutes as buffer maps are exchanged.
+            if (tick_idx + i as u64) % 2 == 0 {
+                // Purge dead partners first so selection sees reality.
+                // (Departure already tears down both ends; this is a
+                // safety net for links formed in the same tick.)
+                let dead: Vec<PeerId> = {
+                    let p = self.peers[i].as_ref().expect("live");
+                    p.partners
+                        .keys()
+                        .copied()
+                        .filter(|pid| self.peers[pid.index()].is_none())
+                        .collect()
+                };
+                let p = self.peers[i].as_mut().expect("live");
+                for d in dead {
+                    p.remove_partner(d);
+                }
+                p.select_suppliers(self.cfg.target_suppliers, self.cfg.random_selection, sel_rng);
+                // Prune to the membership *target*, not the hard cap:
+                // passive link accumulation (every newcomer's
+                // bootstrap touches ~50 existing peers) would
+                // otherwise pile the partner-count distribution at
+                // the cap, where the paper observes counts decaying
+                // from the bootstrap 50.
+                p.prune_partners(self.cfg.gossip_target_partners);
+            }
+        }
+    }
+
+    /// One gossip exchange for peer `i`: pick a random partner, adopt
+    /// up to `gossip_fanout` of its partners ("neighboring peers also
+    /// recommend known partners to each other, based on estimated
+    /// availability" — recommendations prefer partners the
+    /// recommender currently receives well from).
+    fn gossip(&mut self, i: usize, now: SimTime, rng: &mut StdRng) {
+        let (id, my_isp, partner_count) = {
+            let Some(p) = &self.peers[i] else { return };
+            (PeerId(i as u32), p.isp, p.partners.len())
+        };
+        // Demand-driven: peers solicit recommendations only while
+        // below their membership target, so churn keeps partner
+        // counts drifting *down* from the bootstrap 50 (Fig. 4A's
+        // observation) instead of railing at the hard cap.
+        if partner_count == 0 || partner_count >= self.cfg.gossip_target_partners {
+            return;
+        }
+        // Pick a random live partner as the recommender.
+        let recommender = {
+            let p = self.peers[i].as_ref().expect("live");
+            let k = rng.random_range(0..partner_count);
+            p.partners.keys().nth(k).copied().expect("in range")
+        };
+        let Some(rec_state) = self.peers[recommender.index()].as_ref() else {
+            return;
+        };
+        // Recommend the partners the recommender scores highest.
+        // Under the locality extension the recommender additionally
+        // prefers candidates in the requester's ISP (it sees the
+        // requester's IP, so this needs no extra protocol state).
+        let locality = self.cfg.tracker_locality_fraction > 0.0;
+        let mut recs: Vec<(PeerId, f64, bool)> = rec_state
+            .partners
+            .iter()
+            .filter(|(&pid, _)| pid != id)
+            .map(|(&pid, l)| {
+                let same_isp = self.isps.get(pid.index()).copied() == Some(my_isp);
+                (pid, l.score(), same_isp)
+            })
+            .collect();
+        recs.sort_by(|a, b| {
+            let key_a = (locality && a.2, a.1);
+            let key_b = (locality && b.2, b.1);
+            key_b
+                .partial_cmp(&key_a)
+                .expect("finite scores")
+        });
+        recs.truncate(self.cfg.gossip_fanout);
+        let my_known: std::collections::HashSet<PeerId> = self.peers[i]
+            .as_ref()
+            .expect("live")
+            .partners
+            .keys()
+            .copied()
+            .collect();
+        for (cand, _, _) in recs {
+            if my_known.contains(&cand) || cand.index() >= self.peers.len() {
+                continue;
+            }
+            let Some(other) = &self.peers[cand.index()] else {
+                continue;
+            };
+            if other.channel != self.peers[i].as_ref().expect("live").channel {
+                continue;
+            }
+            let other_isp = other.isp;
+            let quality = self.cfg.link_model.sample(rng, my_isp, other_isp);
+            self.peers[cand.index()]
+                .as_mut()
+                .expect("checked live")
+                .add_partner(id, quality, now);
+            self.peers[i]
+                .as_mut()
+                .expect("live")
+                .add_partner(cand, quality, now);
+        }
+    }
+
+    fn emit_reports<F>(&mut self, tick_end: SimTime, sink: &mut F) -> u64
+    where
+        F: FnMut(PeerReport),
+    {
+        let mut emitted = 0;
+        let window = self.cfg.window_segments;
+        // Split borrows: address table is read-only during the pass.
+        let addrs = std::mem::take(&mut self.addrs);
+        for slot in self.peers.iter_mut() {
+            let Some(p) = slot else { continue };
+            let Some(due) = p.next_report else { continue };
+            if due >= tick_end {
+                continue;
+            }
+            let report = p.build_report(due, window, |pid| addrs[pid.index()]);
+            p.next_report = Some(due + REPORT_INTERVAL);
+            sink(report);
+            emitted += 1;
+        }
+        self.addrs = addrs;
+        emitted
+    }
+
+    fn bootstrap_policy(&self) -> BootstrapPolicy {
+        BootstrapPolicy {
+            use_volunteers: !self.cfg.disable_volunteer,
+            locality_fraction: self.cfg.tracker_locality_fraction,
+        }
+    }
+
+    /// Verifies structural invariants of the current overlay state;
+    /// used by tests and available to callers after (or between)
+    /// runs. Checks that connections are mutual, supplier sets are
+    /// within bounds, and the live count matches the slab.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut live = 0usize;
+        for (i, slot) in self.peers.iter().enumerate() {
+            let Some(p) = slot else { continue };
+            if !p.is_server {
+                live += 1;
+            }
+            // Servers accept every connection and never prune; the
+            // membership cap applies to ordinary peers only.
+            if !p.is_server
+                && p.partners.len() > self.cfg.max_partners + self.cfg.max_bootstrap_partners
+            {
+                return Err(format!(
+                    "peer {i} holds {} partners (cap {})",
+                    p.partners.len(),
+                    self.cfg.max_partners
+                ));
+            }
+            let suppliers = p.suppliers().count();
+            if suppliers > self.cfg.target_suppliers {
+                return Err(format!(
+                    "peer {i} selected {suppliers} suppliers (target {})",
+                    self.cfg.target_suppliers
+                ));
+            }
+            for (&pid, _) in &p.partners {
+                match self.peers.get(pid.index()) {
+                    Some(Some(other)) => {
+                        if !other.partners.contains_key(&PeerId(i as u32)) {
+                            return Err(format!(
+                                "connection {i} -> {} is not mutual",
+                                pid.index()
+                            ));
+                        }
+                    }
+                    // Dead partners are purged lazily within one
+                    // selection round; they are tolerated here.
+                    _ => {}
+                }
+            }
+        }
+        if live != self.live {
+            return Err(format!(
+                "live count {} disagrees with slab ({live})",
+                self.live
+            ));
+        }
+        Ok(())
+    }
+
+    /// ISP of a peer address allocated in this run.
+    pub fn isp_of(&self, addr: PeerAddr) -> Isp {
+        self.db.lookup(addr)
+    }
+
+    /// Current live (non-server) population.
+    pub fn live_peers(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use magellan_netsim::StudyCalendar;
+    use magellan_workload::{DiurnalProfile, Scenario};
+
+    /// A tiny scenario: ~40 concurrent peers, 6 hours. Fast enough
+    /// for debug-mode tests while still exercising every mechanism.
+    pub(crate) fn tiny_scenario(seed: u64) -> Scenario {
+        let mut s = Scenario::builder(seed, 0.0004)
+            .calendar(StudyCalendar { window_days: 1 })
+            .diurnal(DiurnalProfile::flat())
+            .flash_crowds(vec![])
+            .build();
+        s.channels = magellan_workload::ChannelDirectory::uusee(2);
+        s
+    }
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig::default()
+    }
+
+    #[test]
+    fn run_produces_reports_and_churn() {
+        let mut sim = OverlaySim::new(tiny_scenario(1), quick_cfg());
+        let (store, summary) = sim.run_collecting();
+        assert!(summary.joins > 50, "joins = {}", summary.joins);
+        assert!(summary.leaves > 0);
+        assert!(summary.reports > 0, "no reports emitted");
+        assert_eq!(store.len() as u64, summary.reports);
+        assert!(summary.segments > 0.0);
+        assert!(summary.peak_concurrent > 5);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = |seed| {
+            let mut sim = OverlaySim::new(tiny_scenario(seed), quick_cfg());
+            sim.run_collecting()
+        };
+        let (store_a, sum_a) = run(7);
+        let (store_b, sum_b) = run(7);
+        assert_eq!(sum_a, sum_b);
+        assert_eq!(store_a.reports(), store_b.reports());
+        let (_, sum_c) = run(8);
+        assert_ne!(sum_a, sum_c);
+    }
+
+    #[test]
+    fn reports_follow_the_measurement_schedule() {
+        let mut sim = OverlaySim::new(tiny_scenario(2), quick_cfg());
+        let (store, _) = sim.run_collecting();
+        // Group reports by reporter; check spacing is REPORT_INTERVAL.
+        let mut by_peer: HashMap<PeerAddr, Vec<SimTime>> = HashMap::new();
+        for r in store.reports() {
+            by_peer.entry(r.addr).or_default().push(r.time);
+        }
+        let mut checked = 0;
+        for times in by_peer.values() {
+            for w in times.windows(2) {
+                assert_eq!(
+                    w[1].since(w[0]),
+                    REPORT_INTERVAL,
+                    "reports not 10 minutes apart"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 10, "not enough multi-report peers ({checked})");
+    }
+
+    #[test]
+    fn most_viewers_achieve_good_rates() {
+        let mut sim = OverlaySim::new(tiny_scenario(3), quick_cfg());
+        let (store, _) = sim.run_collecting();
+        let total = store.len();
+        assert!(total > 20);
+        let good = store
+            .reports()
+            .iter()
+            .filter(|r| r.recv_throughput_kbps >= 0.9 * 400.0)
+            .count();
+        let frac = good as f64 / total as f64;
+        assert!(
+            frac > 0.5,
+            "only {frac:.2} of reports show satisfactory rates"
+        );
+    }
+
+    #[test]
+    fn partner_lists_are_populated_and_bounded() {
+        let cfg = quick_cfg();
+        let max = cfg.max_partners;
+        let mut sim = OverlaySim::new(tiny_scenario(4), cfg);
+        let (store, _) = sim.run_collecting();
+        let mut nonempty = 0;
+        for r in store.reports() {
+            assert!(r.partners.len() <= max, "partner list over bound");
+            if !r.partners.is_empty() {
+                nonempty += 1;
+            }
+        }
+        assert!(
+            nonempty * 10 >= store.len() * 9,
+            "too many empty partner lists: {nonempty}/{}",
+            store.len()
+        );
+    }
+
+    #[test]
+    fn reports_validate_at_the_trace_server() {
+        // run_collecting panics internally if the server rejects any
+        // report; reaching here is the assertion.
+        let mut sim = OverlaySim::new(tiny_scenario(5), quick_cfg());
+        let (store, _) = sim.run_collecting();
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn active_links_exist_in_reports() {
+        let mut sim = OverlaySim::new(tiny_scenario(6), quick_cfg());
+        let (store, _) = sim.run_collecting();
+        let active_links: u64 = store
+            .reports()
+            .iter()
+            .map(|r| r.partners.iter().filter(|p| p.is_active()).count() as u64)
+            .sum();
+        assert!(active_links > 50, "active links = {active_links}");
+    }
+
+    #[test]
+    fn invariants_hold_after_a_run() {
+        let mut sim = OverlaySim::new(tiny_scenario(11), quick_cfg());
+        let _ = sim.run(|_| {});
+        sim.check_invariants().expect("invariants violated");
+    }
+
+    #[test]
+    fn random_selection_ablation_still_runs() {
+        let cfg = SimConfig {
+            random_selection: true,
+            ..quick_cfg()
+        };
+        let mut sim = OverlaySim::new(tiny_scenario(7), cfg);
+        let (_, summary) = sim.run_collecting();
+        assert!(summary.reports > 0);
+    }
+
+    #[test]
+    fn disable_volunteer_ablation_still_runs() {
+        let cfg = SimConfig {
+            disable_volunteer: true,
+            ..quick_cfg()
+        };
+        let mut sim = OverlaySim::new(tiny_scenario(8), cfg);
+        let (_, summary) = sim.run_collecting();
+        assert!(summary.reports > 0);
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn dump_rates() {
+        let mut sim = OverlaySim::new(super::tests::tiny_scenario(3), SimConfig::default());
+        let (store, summary) = sim.run_collecting();
+        println!("summary: {summary:?}");
+        let mut rates: Vec<f64> = store.reports().iter().map(|r| r.recv_throughput_kbps).collect();
+        rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = rates.len();
+        println!("n={n} p10={} p50={} p90={} max={}", rates[n/10], rates[n/2], rates[9*n/10], rates[n-1]);
+        let fills: Vec<f64> = store.reports().iter().map(|r| r.buffer_map.fill_fraction()).collect();
+        println!("fill p50 = {}", {let mut f=fills.clone(); f.sort_by(|a,b|a.partial_cmp(b).unwrap()); f[f.len()/2]});
+        let pc: Vec<usize> = store.reports().iter().map(|r| r.partner_count()).collect();
+        println!("partners p50 = {}", {let mut f=pc.clone(); f.sort(); f[f.len()/2]});
+        let ind: Vec<usize> = store.reports().iter().map(|r| r.active_indegree()).collect();
+        println!("indegree p50 = {}", {let mut f=ind.clone(); f.sort(); f[f.len()/2]});
+        let send: Vec<f64> = store.reports().iter().map(|r| r.send_throughput_kbps).collect();
+        println!("send p50 = {}", {let mut f=send.clone(); f.sort_by(|a,b|a.partial_cmp(b).unwrap()); f[f.len()/2]});
+    }
+}
+
+#[cfg(test)]
+mod locality_debug {
+    use super::*;
+    use crate::config::SimConfig;
+
+    #[test]
+    #[ignore]
+    fn dump_pool_composition() {
+        for locality in [0.0, 0.7] {
+            let cfg = SimConfig {
+                tracker_locality_fraction: locality,
+                ..SimConfig::default()
+            };
+            let mut sim = OverlaySim::new(super::tests::tiny_scenario(5), cfg);
+            let db = sim.isp_database().clone();
+            let (store, _) = sim.run_collecting();
+            // Pool intra fraction over all reports.
+            let mut sum = 0.0;
+            let mut n = 0;
+            for r in store.reports() {
+                if r.partners.is_empty() { continue; }
+                let my = db.lookup(r.addr);
+                let same = r.partners.iter().filter(|p| db.lookup(p.addr) == my).count();
+                sum += same as f64 / r.partners.len() as f64;
+                n += 1;
+            }
+            println!("locality {locality}: pool intra fraction = {:.3} over {n} reports", sum / n as f64);
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! The tracking server (paper §3.1).
+//!
+//! Per channel the tracker keeps the member set and a *volunteer*
+//! list: peers that told it they can accept new upload connections
+//! because their aggregate sending throughput sits below their upload
+//! capacity. Bootstrap hands a new peer up to 50 partners, drawn
+//! preferentially from the volunteers and padded with random members.
+//!
+//! The paper closes by saying its findings "will be instrumental
+//! towards further improvements of P2P streaming protocol design";
+//! the obvious one its data suggests is ISP-aware bootstrapping. The
+//! tracker therefore also maintains per-ISP member indices and, when
+//! the simulator enables `locality_aware_tracker`, serves a
+//! configurable fraction of each bootstrap from the joiner's own ISP
+//! — the `locality_tracker` example and ablation quantify the effect.
+
+use crate::peer::PeerId;
+use magellan_netsim::Isp;
+use magellan_workload::ChannelId;
+use rand::RngExt as _;
+use std::collections::{HashMap, HashSet};
+
+/// Per-channel tracking state.
+#[derive(Debug, Default, Clone)]
+struct ChannelState {
+    members: Vec<PeerId>,
+    member_set: HashSet<PeerId>,
+    volunteers: Vec<PeerId>,
+    volunteer_set: HashSet<PeerId>,
+    /// Members indexed by ISP, for the locality-aware extension.
+    members_by_isp: HashMap<Isp, Vec<PeerId>>,
+}
+
+/// How the tracker assembles a bootstrap partner list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapPolicy {
+    /// Draw from the volunteer list before the general membership
+    /// (the paper's §3.1 behaviour; the `disable_volunteer` ablation
+    /// turns it off).
+    pub use_volunteers: bool,
+    /// Fraction of the bootstrap drawn from the joiner's own ISP
+    /// before falling back to the global pool (0.0 = the paper's
+    /// ISP-oblivious tracker; the locality extension uses e.g. 0.7).
+    pub locality_fraction: f64,
+}
+
+impl Default for BootstrapPolicy {
+    fn default() -> Self {
+        BootstrapPolicy {
+            use_volunteers: true,
+            locality_fraction: 0.0,
+        }
+    }
+}
+
+/// The tracking server.
+#[derive(Debug, Default, Clone)]
+pub struct Tracker {
+    channels: HashMap<ChannelId, ChannelState>,
+    isps: HashMap<PeerId, Isp>,
+}
+
+impl Tracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a peer in a channel.
+    pub fn register(&mut self, channel: ChannelId, id: PeerId, isp: Isp) {
+        let st = self.channels.entry(channel).or_default();
+        if st.member_set.insert(id) {
+            st.members.push(id);
+            st.members_by_isp.entry(isp).or_default().push(id);
+            self.isps.insert(id, isp);
+        }
+    }
+
+    /// Removes a peer from a channel (on departure).
+    pub fn deregister(&mut self, channel: ChannelId, id: PeerId) {
+        if let Some(st) = self.channels.get_mut(&channel) {
+            if st.member_set.remove(&id) {
+                st.members.retain(|&m| m != id);
+                if let Some(isp) = self.isps.remove(&id) {
+                    if let Some(v) = st.members_by_isp.get_mut(&isp) {
+                        v.retain(|&m| m != id);
+                    }
+                }
+            }
+            if st.volunteer_set.remove(&id) {
+                st.volunteers.retain(|&m| m != id);
+            }
+        }
+    }
+
+    /// Marks a peer as able to receive new connections.
+    pub fn volunteer(&mut self, channel: ChannelId, id: PeerId) {
+        let st = self.channels.entry(channel).or_default();
+        if st.member_set.contains(&id) && st.volunteer_set.insert(id) {
+            st.volunteers.push(id);
+        }
+    }
+
+    /// Removes a peer from the volunteer list (its capacity filled
+    /// up).
+    pub fn unvolunteer(&mut self, channel: ChannelId, id: PeerId) {
+        if let Some(st) = self.channels.get_mut(&channel) {
+            if st.volunteer_set.remove(&id) {
+                st.volunteers.retain(|&m| m != id);
+            }
+        }
+    }
+
+    /// Number of members in a channel.
+    pub fn member_count(&self, channel: ChannelId) -> usize {
+        self.channels.get(&channel).map_or(0, |s| s.members.len())
+    }
+
+    /// Number of volunteers in a channel.
+    pub fn volunteer_count(&self, channel: ChannelId) -> usize {
+        self.channels
+            .get(&channel)
+            .map_or(0, |s| s.volunteers.len())
+    }
+
+    /// Number of members of `isp` in a channel.
+    pub fn member_count_in_isp(&self, channel: ChannelId, isp: Isp) -> usize {
+        self.channels
+            .get(&channel)
+            .and_then(|s| s.members_by_isp.get(&isp))
+            .map_or(0, |v| v.len())
+    }
+
+    /// Draws up to `want` bootstrap partners for `joiner` under
+    /// `policy`. Never returns `joiner` itself or duplicates.
+    pub fn bootstrap<R: rand::Rng + ?Sized>(
+        &self,
+        channel: ChannelId,
+        joiner: PeerId,
+        joiner_isp: Isp,
+        want: usize,
+        policy: BootstrapPolicy,
+        rng: &mut R,
+    ) -> Vec<PeerId> {
+        let Some(st) = self.channels.get(&channel) else {
+            return Vec::new();
+        };
+        let mut out: Vec<PeerId> = Vec::with_capacity(want);
+        let mut seen: HashSet<PeerId> = HashSet::with_capacity(want + 1);
+        seen.insert(joiner);
+        if policy.locality_fraction > 0.0 {
+            let local_want = ((want as f64) * policy.locality_fraction).round() as usize;
+            if let Some(local) = st.members_by_isp.get(&joiner_isp) {
+                sample_into(local, local_want, &mut out, &mut seen, rng);
+            }
+        }
+        if policy.use_volunteers {
+            sample_into(&st.volunteers, want, &mut out, &mut seen, rng);
+        }
+        if out.len() < want {
+            sample_into(&st.members, want, &mut out, &mut seen, rng);
+        }
+        out
+    }
+}
+
+/// Reservoir-free partial sample: randomly probes `pool` (bounded
+/// tries) and fills `out` up to `want` with unseen entries, falling
+/// back to a shuffled scan when the pool is small relative to the
+/// deficit.
+fn sample_into<R: rand::Rng + ?Sized>(
+    pool: &[PeerId],
+    want: usize,
+    out: &mut Vec<PeerId>,
+    seen: &mut HashSet<PeerId>,
+    rng: &mut R,
+) {
+    if pool.is_empty() || out.len() >= want {
+        return;
+    }
+    if pool.len() <= (want - out.len()) * 2 {
+        let mut idx: Vec<usize> = (0..pool.len()).collect();
+        for i in 0..idx.len() {
+            let j = rng.random_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        for i in idx {
+            if out.len() >= want {
+                break;
+            }
+            let cand = pool[i];
+            if seen.insert(cand) {
+                out.push(cand);
+            }
+        }
+        return;
+    }
+    let mut tries = 0;
+    while out.len() < want && tries < want * 8 {
+        let cand = pool[rng.random_range(0..pool.len())];
+        if seen.insert(cand) {
+            out.push(cand);
+        }
+        tries += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magellan_netsim::RngFactory;
+
+    const CH: ChannelId = ChannelId::CCTV1;
+
+    fn plain() -> BootstrapPolicy {
+        BootstrapPolicy::default()
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut t = Tracker::new();
+        t.register(CH, PeerId(1), Isp::Telecom);
+        t.register(CH, PeerId(1), Isp::Telecom);
+        assert_eq!(t.member_count(CH), 1);
+        assert_eq!(t.member_count_in_isp(CH, Isp::Telecom), 1);
+    }
+
+    #[test]
+    fn deregister_clears_all_indices() {
+        let mut t = Tracker::new();
+        t.register(CH, PeerId(1), Isp::Netcom);
+        t.volunteer(CH, PeerId(1));
+        t.deregister(CH, PeerId(1));
+        assert_eq!(t.member_count(CH), 0);
+        assert_eq!(t.volunteer_count(CH), 0);
+        assert_eq!(t.member_count_in_isp(CH, Isp::Netcom), 0);
+    }
+
+    #[test]
+    fn volunteer_requires_membership() {
+        let mut t = Tracker::new();
+        t.volunteer(CH, PeerId(7));
+        assert_eq!(t.volunteer_count(CH), 0);
+    }
+
+    #[test]
+    fn unvolunteer_keeps_membership() {
+        let mut t = Tracker::new();
+        t.register(CH, PeerId(1), Isp::Telecom);
+        t.volunteer(CH, PeerId(1));
+        t.unvolunteer(CH, PeerId(1));
+        assert_eq!(t.member_count(CH), 1);
+        assert_eq!(t.volunteer_count(CH), 0);
+    }
+
+    #[test]
+    fn bootstrap_excludes_joiner_and_dedupes() {
+        let mut t = Tracker::new();
+        for i in 0..10 {
+            t.register(CH, PeerId(i), Isp::Telecom);
+        }
+        let mut rng = RngFactory::new(1).fork("boot");
+        let got = t.bootstrap(CH, PeerId(3), Isp::Telecom, 50, plain(), &mut rng);
+        assert!(got.len() <= 9);
+        assert!(!got.contains(&PeerId(3)));
+        let set: HashSet<_> = got.iter().collect();
+        assert_eq!(set.len(), got.len());
+    }
+
+    #[test]
+    fn bootstrap_prefers_volunteers() {
+        let mut t = Tracker::new();
+        for i in 0..100 {
+            t.register(CH, PeerId(i), Isp::Telecom);
+        }
+        for i in 0..5 {
+            t.volunteer(CH, PeerId(i));
+        }
+        let mut rng = RngFactory::new(2).fork("boot");
+        let got = t.bootstrap(CH, PeerId(99), Isp::Telecom, 5, plain(), &mut rng);
+        assert_eq!(got.len(), 5);
+        assert!(got.iter().all(|p| p.0 < 5), "got {got:?}");
+    }
+
+    #[test]
+    fn bootstrap_pads_with_members_beyond_volunteers() {
+        let mut t = Tracker::new();
+        for i in 0..30 {
+            t.register(CH, PeerId(i), Isp::Telecom);
+        }
+        t.volunteer(CH, PeerId(0));
+        let mut rng = RngFactory::new(3).fork("boot");
+        let got = t.bootstrap(CH, PeerId(29), Isp::Telecom, 10, plain(), &mut rng);
+        assert_eq!(got.len(), 10);
+        assert!(got.contains(&PeerId(0)));
+    }
+
+    #[test]
+    fn volunteer_ablation_draws_uniformly() {
+        let mut t = Tracker::new();
+        for i in 0..200 {
+            t.register(CH, PeerId(i), Isp::Telecom);
+        }
+        t.volunteer(CH, PeerId(0));
+        let mut rng = RngFactory::new(4).fork("boot");
+        let policy = BootstrapPolicy {
+            use_volunteers: false,
+            ..plain()
+        };
+        let got = t.bootstrap(CH, PeerId(199), Isp::Telecom, 3, policy, &mut rng);
+        assert_eq!(got.len(), 3);
+        assert!(!got.contains(&PeerId(199)));
+    }
+
+    #[test]
+    fn bootstrap_on_empty_channel_is_empty() {
+        let t = Tracker::new();
+        let mut rng = RngFactory::new(5).fork("boot");
+        assert!(t
+            .bootstrap(CH, PeerId(0), Isp::Telecom, 50, plain(), &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_in_seed() {
+        let mut t = Tracker::new();
+        for i in 0..500 {
+            t.register(CH, PeerId(i), Isp::Telecom);
+        }
+        let a = t.bootstrap(
+            CH,
+            PeerId(0),
+            Isp::Telecom,
+            50,
+            plain(),
+            &mut RngFactory::new(6).fork("b"),
+        );
+        let b = t.bootstrap(
+            CH,
+            PeerId(0),
+            Isp::Telecom,
+            50,
+            plain(),
+            &mut RngFactory::new(6).fork("b"),
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn locality_policy_biases_toward_joiner_isp() {
+        let mut t = Tracker::new();
+        // 100 Telecom members, 100 Netcom members.
+        for i in 0..100 {
+            t.register(CH, PeerId(i), Isp::Telecom);
+        }
+        for i in 100..200 {
+            t.register(CH, PeerId(i), Isp::Netcom);
+        }
+        let mut rng = RngFactory::new(7).fork("boot");
+        let policy = BootstrapPolicy {
+            use_volunteers: false,
+            locality_fraction: 0.7,
+        };
+        let got = t.bootstrap(CH, PeerId(0), Isp::Telecom, 40, policy, &mut rng);
+        assert_eq!(got.len(), 40);
+        let telecom = got.iter().filter(|p| p.0 < 100).count();
+        assert!(
+            telecom >= 28,
+            "locality bootstrap gave only {telecom}/40 same-ISP partners"
+        );
+    }
+
+    #[test]
+    fn locality_falls_back_when_isp_is_thin() {
+        let mut t = Tracker::new();
+        // Joiner's ISP has only 2 members; the rest are elsewhere.
+        t.register(CH, PeerId(0), Isp::Edu);
+        t.register(CH, PeerId(1), Isp::Edu);
+        for i in 2..50 {
+            t.register(CH, PeerId(i), Isp::Telecom);
+        }
+        let mut rng = RngFactory::new(8).fork("boot");
+        let policy = BootstrapPolicy {
+            use_volunteers: false,
+            locality_fraction: 0.9,
+        };
+        let got = t.bootstrap(CH, PeerId(0), Isp::Edu, 20, policy, &mut rng);
+        assert_eq!(got.len(), 20, "fallback did not fill the request");
+        assert!(got.contains(&PeerId(1)));
+    }
+}

@@ -1,0 +1,422 @@
+//! JSON-lines persistence for traces.
+//!
+//! One report per line, stable field order. Both the writer and the
+//! parser are hand-rolled: the approved dependency set includes
+//! `serde` (used for the typed schema) but not `serde_json`, and the
+//! schema is small enough that a direct implementation is simpler
+//! than pulling a general-purpose format crate.
+
+use crate::buffer::BufferMap;
+use crate::report::{PartnerRecord, PeerReport};
+use magellan_netsim::{PeerAddr, SimTime};
+use magellan_workload::ChannelId;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors from parsing a JSON-lines record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset at which parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for JsonError {}
+
+/// Serializes a report to one JSON line (no trailing newline).
+pub fn to_json_line(r: &PeerReport) -> String {
+    let mut s = String::with_capacity(160 + r.partners.len() * 64);
+    let _ = write!(
+        s,
+        "{{\"time\":{},\"addr\":{},\"channel\":{},\"bm_start\":{},\"bm_len\":{},\"bm_bits\":\"",
+        r.time.as_millis(),
+        r.addr.as_u32(),
+        r.channel.0,
+        r.buffer_map.start(),
+        r.buffer_map.len(),
+    );
+    for b in r.buffer_map.raw_bits() {
+        let _ = write!(s, "{b:02x}");
+    }
+    let _ = write!(
+        s,
+        "\",\"down\":{},\"up\":{},\"recv\":{},\"send\":{},\"partners\":[",
+        fmt_f64(r.download_capacity_kbps),
+        fmt_f64(r.upload_capacity_kbps),
+        fmt_f64(r.recv_throughput_kbps),
+        fmt_f64(r.send_throughput_kbps),
+    );
+    for (i, p) in r.partners.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"addr\":{},\"tcp\":{},\"udp\":{},\"sent\":{},\"recv\":{}}}",
+            p.addr.as_u32(),
+            p.tcp_port,
+            p.udp_port,
+            p.segments_sent,
+            p.segments_received
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+/// `f64` formatting that always reparses to the same value and never
+/// produces `NaN`/`inf` tokens (reports are validated upstream).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        // 17 significant digits round-trips every f64.
+        format!("{v:.17e}")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser, specialized to the report schema's needs:
+// objects, arrays, strings (hex only — no escapes), and numbers.
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, JsonError> {
+        Err(JsonError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), JsonError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", c as char))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| JsonError {
+                        offset: start,
+                        message: "invalid utf-8 in string".into(),
+                    })?
+                    .to_owned();
+                self.pos += 1;
+                return Ok(s);
+            }
+            if b == b'\\' {
+                return self.err("escape sequences are not used by this schema");
+            }
+            self.pos += 1;
+        }
+        self.err("unterminated string")
+    }
+
+    fn parse_number(&mut self) -> Result<f64, JsonError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return self.err("expected a number");
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or(JsonError {
+                offset: start,
+                message: "malformed number".into(),
+            })
+    }
+
+    /// Parses `"key": value` pairs of an object, calling `on_field`.
+    fn parse_object(
+        &mut self,
+        mut on_field: impl FnMut(&mut Self, &str) -> Result<(), JsonError>,
+    ) -> Result<(), JsonError> {
+        self.expect(b'{')?;
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            on_field(self, &key)?;
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+fn hex_to_bytes(s: &str, offset: usize) -> Result<Vec<u8>, JsonError> {
+    if s.len() % 2 != 0 {
+        return Err(JsonError {
+            offset,
+            message: "odd-length hex bitmap".into(),
+        });
+    }
+    (0..s.len() / 2)
+        .map(|i| {
+            u8::from_str_radix(&s[2 * i..2 * i + 2], 16).map_err(|_| JsonError {
+                offset,
+                message: "invalid hex in bitmap".into(),
+            })
+        })
+        .collect()
+}
+
+/// Parses one JSON line back into a report.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on malformed input or missing fields.
+pub fn from_json_line(line: &str) -> Result<PeerReport, JsonError> {
+    let mut p = Parser::new(line);
+    let mut time = None;
+    let mut addr = None;
+    let mut channel = None;
+    let mut bm_start = None;
+    let mut bm_len = None;
+    let mut bm_bits: Option<Vec<u8>> = None;
+    let mut down = None;
+    let mut up = None;
+    let mut recv = None;
+    let mut send = None;
+    let mut partners: Vec<PartnerRecord> = Vec::new();
+
+    p.parse_object(|p, key| {
+        match key {
+            "time" => time = Some(p.parse_number()? as u64),
+            "addr" => addr = Some(p.parse_number()? as u32),
+            "channel" => channel = Some(p.parse_number()? as u16),
+            "bm_start" => bm_start = Some(p.parse_number()? as u64),
+            "bm_len" => bm_len = Some(p.parse_number()? as u16),
+            "bm_bits" => {
+                let off = p.pos;
+                let hex = p.parse_string()?;
+                bm_bits = Some(hex_to_bytes(&hex, off)?);
+            }
+            "down" => down = Some(p.parse_number()?),
+            "up" => up = Some(p.parse_number()?),
+            "recv" => recv = Some(p.parse_number()?),
+            "send" => send = Some(p.parse_number()?),
+            "partners" => {
+                p.expect(b'[')?;
+                if p.peek() == Some(b']') {
+                    p.pos += 1;
+                } else {
+                    loop {
+                        let mut rec = PartnerRecord {
+                            addr: PeerAddr::from_u32(0),
+                            tcp_port: 0,
+                            udp_port: 0,
+                            segments_sent: 0,
+                            segments_received: 0,
+                        };
+                        p.parse_object(|p, key| {
+                            match key {
+                                "addr" => rec.addr = PeerAddr::from_u32(p.parse_number()? as u32),
+                                "tcp" => rec.tcp_port = p.parse_number()? as u16,
+                                "udp" => rec.udp_port = p.parse_number()? as u16,
+                                "sent" => rec.segments_sent = p.parse_number()? as u64,
+                                "recv" => rec.segments_received = p.parse_number()? as u64,
+                                other => {
+                                    return Err(JsonError {
+                                        offset: p.pos,
+                                        message: format!("unknown partner field '{other}'"),
+                                    })
+                                }
+                            }
+                            Ok(())
+                        })?;
+                        partners.push(rec);
+                        match p.peek() {
+                            Some(b',') => p.pos += 1,
+                            Some(b']') => {
+                                p.pos += 1;
+                                break;
+                            }
+                            _ => return p.err("expected ',' or ']'"),
+                        }
+                    }
+                }
+            }
+            other => {
+                return Err(JsonError {
+                    offset: p.pos,
+                    message: format!("unknown field '{other}'"),
+                })
+            }
+        }
+        Ok(())
+    })?;
+
+    let missing = |what: &str| JsonError {
+        offset: 0,
+        message: format!("missing field '{what}'"),
+    };
+    let bm_len = bm_len.ok_or_else(|| missing("bm_len"))?;
+    let bits = bm_bits.ok_or_else(|| missing("bm_bits"))?;
+    if bits.len() < (bm_len as usize + 7) / 8 {
+        return Err(JsonError {
+            offset: 0,
+            message: "bitmap shorter than bm_len requires".into(),
+        });
+    }
+    Ok(PeerReport {
+        time: SimTime::from_millis(time.ok_or_else(|| missing("time"))?),
+        addr: PeerAddr::from_u32(addr.ok_or_else(|| missing("addr"))?),
+        channel: ChannelId(channel.ok_or_else(|| missing("channel"))?),
+        buffer_map: BufferMap::from_raw(bm_start.ok_or_else(|| missing("bm_start"))?, bm_len, bits),
+        download_capacity_kbps: down.ok_or_else(|| missing("down"))?,
+        upload_capacity_kbps: up.ok_or_else(|| missing("up"))?,
+        recv_throughput_kbps: recv.ok_or_else(|| missing("recv"))?,
+        send_throughput_kbps: send.ok_or_else(|| missing("send"))?,
+        partners,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PeerReport {
+        let mut bm = BufferMap::new(500, 24);
+        bm.set(501);
+        bm.set(523);
+        PeerReport {
+            time: SimTime::at(2, 13, 40),
+            addr: PeerAddr::from_u32(0x0B0A0903),
+            channel: ChannelId(3),
+            buffer_map: bm,
+            download_capacity_kbps: 2000.0,
+            upload_capacity_kbps: 512.7519283,
+            recv_throughput_kbps: 399.125,
+            send_throughput_kbps: 0.0,
+            partners: vec![PartnerRecord {
+                addr: PeerAddr::from_u32(0x0C010101),
+                tcp_port: 8080,
+                udp_port: 8081,
+                segments_sent: 42,
+                segments_received: 17,
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let r = sample();
+        let line = to_json_line(&r);
+        let back = from_json_line(&line).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn roundtrip_no_partners() {
+        let mut r = sample();
+        r.partners.clear();
+        assert_eq!(from_json_line(&to_json_line(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn fractional_capacities_roundtrip_exactly() {
+        let mut r = sample();
+        r.download_capacity_kbps = 1234.567890123456789;
+        r.recv_throughput_kbps = 1.0 / 3.0;
+        let back = from_json_line(&to_json_line(&r)).unwrap();
+        assert_eq!(back.download_capacity_kbps, r.download_capacity_kbps);
+        assert_eq!(back.recv_throughput_kbps, r.recv_throughput_kbps);
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let line = to_json_line(&sample()).replace(":", " : ").replace(",", " ,  ");
+        assert_eq!(from_json_line(&line).unwrap(), sample());
+    }
+
+    #[test]
+    fn missing_field_is_reported() {
+        let err = from_json_line(r#"{"time":1}"#).unwrap_err();
+        assert!(err.message.contains("missing field"), "{err}");
+    }
+
+    #[test]
+    fn unknown_field_is_rejected() {
+        let err = from_json_line(r#"{"bogus":1}"#).unwrap_err();
+        assert!(err.message.contains("unknown field"), "{err}");
+    }
+
+    #[test]
+    fn truncated_line_is_an_error() {
+        let line = to_json_line(&sample());
+        for cut in [1, line.len() / 2, line.len() - 1] {
+            assert!(from_json_line(&line[..cut]).is_err(), "cut at {cut} parsed");
+        }
+    }
+
+    #[test]
+    fn bad_hex_is_rejected() {
+        let line = to_json_line(&sample()).replace("bm_bits\":\"", "bm_bits\":\"zz");
+        assert!(from_json_line(&line).is_err());
+    }
+
+    #[test]
+    fn garbage_is_an_error_not_a_panic() {
+        for junk in ["", "{", "[]", "{\"time\":}", "{\"time\":1,}", "nonsense"] {
+            assert!(from_json_line(junk).is_err(), "{junk:?} parsed");
+        }
+    }
+}

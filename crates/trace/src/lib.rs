@@ -1,0 +1,70 @@
+//! # magellan-trace
+//!
+//! The measurement substrate of the Magellan reproduction — a faithful
+//! implementation of the paper's §3.2:
+//!
+//! * [`report`] — the peer report schema: IP address, channel, buffer
+//!   map, total capacities, instantaneous aggregate send/receive
+//!   throughput, and the full partner list with per-partner segment
+//!   counters; plus the reporting schedule (first report 20 minutes
+//!   after join, then every 10 minutes).
+//! * [`buffer`] — the sliding-window buffer map peers advertise.
+//! * [`wire`] — a compact binary encoding of reports (the real system
+//!   shipped them as UDP datagrams).
+//! * [`jsonl`] — JSON-lines persistence, hand-rolled to keep the
+//!   dependency set to the approved crates.
+//! * [`loss`] — lossy-collection injection (dropped/corrupted
+//!   datagrams) for robustness testing.
+//! * [`server`] — the standalone trace server collecting reports.
+//! * [`store`] — the trace store with 10-minute bucketing and range
+//!   queries.
+//! * [`snapshot`] — reconstruction of "continuous-time snapshots of
+//!   P2P streaming topologies": the stable-peer set, the known-IP
+//!   universe, and the directed partner multigraph at any instant.
+//! * [`stats`] — trace volume accounting (the "120 GB" arithmetic).
+
+//!
+//! ## Example
+//!
+//! ```
+//! use magellan_trace::{jsonl, wire, BufferMap, PeerReport};
+//! use magellan_netsim::{PeerAddr, SimTime};
+//! use magellan_workload::ChannelId;
+//!
+//! let report = PeerReport {
+//!     time: SimTime::at(0, 0, 20),
+//!     addr: PeerAddr::from_u32(0x0B000001),
+//!     channel: ChannelId::CCTV1,
+//!     buffer_map: BufferMap::new(0, 16),
+//!     download_capacity_kbps: 2000.0,
+//!     upload_capacity_kbps: 512.0,
+//!     recv_throughput_kbps: 395.0,
+//!     send_throughput_kbps: 120.0,
+//!     partners: vec![],
+//! };
+//! // Wire and JSON-lines codecs both round-trip.
+//! let datagram = wire::encode(&report);
+//! assert_eq!(wire::decode(&mut datagram.clone()).unwrap(), report);
+//! let line = jsonl::to_json_line(&report);
+//! assert_eq!(jsonl::from_json_line(&line).unwrap(), report);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod jsonl;
+pub mod loss;
+pub mod report;
+pub mod server;
+pub mod snapshot;
+pub mod stats;
+pub mod store;
+pub mod wire;
+
+pub use buffer::BufferMap;
+pub use report::{PartnerRecord, PeerReport, ACTIVE_SEGMENT_THRESHOLD, FIRST_REPORT_DELAY, REPORT_INTERVAL};
+pub use server::TraceServer;
+pub use snapshot::{Snapshot, SnapshotBuilder};
+pub use stats::TraceStats;
+pub use store::TraceStore;

@@ -1,0 +1,306 @@
+//! The standalone trace server (paper §3.2).
+//!
+//! Peers fire UDP datagrams at a single collection endpoint; the
+//! server validates and stores them. This implementation accepts
+//! either decoded [`PeerReport`]s or raw datagrams (via
+//! [`TraceServer::submit_wire`]), is safe to share across threads, and
+//! counts what it rejects — datagram loss and corruption were facts of
+//! life for the real deployment too.
+
+use crate::report::PeerReport;
+use crate::store::TraceStore;
+use crate::wire;
+use bytes::Buf;
+use magellan_netsim::SimTime;
+use parking_lot::Mutex;
+use std::error::Error;
+use std::fmt;
+
+/// Why a report was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SubmitError {
+    /// Report timestamp outside the collection window.
+    OutOfWindow {
+        /// The offending timestamp.
+        time: SimTime,
+    },
+    /// A numeric field failed sanity checks.
+    Implausible {
+        /// Which check failed.
+        what: &'static str,
+    },
+    /// The datagram could not be decoded.
+    Malformed(wire::WireError),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::OutOfWindow { time } => {
+                write!(f, "report timestamp {time} outside collection window")
+            }
+            SubmitError::Implausible { what } => write!(f, "implausible report field: {what}"),
+            SubmitError::Malformed(e) => write!(f, "malformed datagram: {e}"),
+        }
+    }
+}
+
+impl Error for SubmitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SubmitError::Malformed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wire::WireError> for SubmitError {
+    fn from(e: wire::WireError) -> Self {
+        SubmitError::Malformed(e)
+    }
+}
+
+/// Collection statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Reports accepted into the store.
+    pub accepted: u64,
+    /// Reports rejected by validation or decoding.
+    pub rejected: u64,
+}
+
+/// The trace collection endpoint.
+#[derive(Debug)]
+pub struct TraceServer {
+    window_end: SimTime,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    store: TraceStore,
+    stats: ServerStats,
+}
+
+/// Partner lists beyond this length are implausible (bootstrap hands
+/// out at most 50; gossip adds a bounded number more).
+const MAX_PARTNERS: usize = 256;
+
+impl TraceServer {
+    /// Creates a server accepting reports with `time < window_end`.
+    pub fn new(window_end: SimTime) -> Self {
+        TraceServer {
+            window_end,
+            inner: Mutex::new(Inner {
+                store: TraceStore::new(),
+                stats: ServerStats::default(),
+            }),
+        }
+    }
+
+    /// Validates and stores one decoded report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError`] and leaves the store untouched when the
+    /// report fails validation. Rejections are counted either way.
+    pub fn submit(&self, report: PeerReport) -> Result<(), SubmitError> {
+        let verdict = self.validate(&report);
+        let mut inner = self.inner.lock();
+        match verdict {
+            Ok(()) => {
+                inner.store.push(report);
+                inner.stats.accepted += 1;
+                Ok(())
+            }
+            Err(e) => {
+                inner.stats.rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Decodes a datagram and submits it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::Malformed`] on decode failure, else as
+    /// [`TraceServer::submit`].
+    pub fn submit_wire(&self, mut datagram: impl Buf) -> Result<(), SubmitError> {
+        match wire::decode(&mut datagram) {
+            Ok(report) => self.submit(report),
+            Err(e) => {
+                self.inner.lock().stats.rejected += 1;
+                Err(e.into())
+            }
+        }
+    }
+
+    fn validate(&self, report: &PeerReport) -> Result<(), SubmitError> {
+        if report.time >= self.window_end {
+            return Err(SubmitError::OutOfWindow { time: report.time });
+        }
+        if report.partners.len() > MAX_PARTNERS {
+            return Err(SubmitError::Implausible {
+                what: "partner list length",
+            });
+        }
+        for (v, what) in [
+            (report.download_capacity_kbps, "download capacity"),
+            (report.upload_capacity_kbps, "upload capacity"),
+            (report.recv_throughput_kbps, "recv throughput"),
+            (report.send_throughput_kbps, "send throughput"),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(SubmitError::Implausible { what });
+            }
+        }
+        if report
+            .partners
+            .iter()
+            .any(|p| p.addr == report.addr)
+        {
+            return Err(SubmitError::Implausible {
+                what: "peer lists itself as partner",
+            });
+        }
+        Ok(())
+    }
+
+    /// Current collection statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of stored reports so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().store.len()
+    }
+
+    /// Whether nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Consumes the server, yielding the store.
+    pub fn into_store(self) -> TraceStore {
+        self.inner.into_inner().store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferMap;
+    use magellan_netsim::{PeerAddr, SimDuration};
+    use magellan_workload::ChannelId;
+
+    fn report(minute: u64) -> PeerReport {
+        PeerReport {
+            time: SimTime::ORIGIN + SimDuration::from_mins(minute),
+            addr: PeerAddr::from_u32(42),
+            channel: ChannelId::CCTV4,
+            buffer_map: BufferMap::new(0, 8),
+            download_capacity_kbps: 2000.0,
+            upload_capacity_kbps: 512.0,
+            recv_throughput_kbps: 380.0,
+            send_throughput_kbps: 90.0,
+            partners: vec![],
+        }
+    }
+
+    fn server() -> TraceServer {
+        TraceServer::new(SimTime::at(14, 0, 0))
+    }
+
+    #[test]
+    fn accepts_valid_reports() {
+        let s = server();
+        s.submit(report(20)).unwrap();
+        s.submit(report(30)).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.stats(), ServerStats { accepted: 2, rejected: 0 });
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn rejects_out_of_window() {
+        let s = server();
+        let mut r = report(0);
+        r.time = SimTime::at(20, 0, 0);
+        assert!(matches!(s.submit(r), Err(SubmitError::OutOfWindow { .. })));
+        assert_eq!(s.stats().rejected, 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn rejects_negative_capacity() {
+        let s = server();
+        let mut r = report(20);
+        r.upload_capacity_kbps = -5.0;
+        assert!(matches!(s.submit(r), Err(SubmitError::Implausible { .. })));
+    }
+
+    #[test]
+    fn rejects_self_partner() {
+        let s = server();
+        let mut r = report(20);
+        r.partners.push(crate::report::PartnerRecord {
+            addr: r.addr,
+            tcp_port: 1,
+            udp_port: 2,
+            segments_sent: 0,
+            segments_received: 0,
+        });
+        assert!(matches!(s.submit(r), Err(SubmitError::Implausible { .. })));
+    }
+
+    #[test]
+    fn wire_path_roundtrips() {
+        let s = server();
+        let datagram = crate::wire::encode(&report(25));
+        s.submit_wire(datagram).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn wire_path_counts_garbage() {
+        let s = server();
+        let garbage: &[u8] = &[1, 2, 3];
+        assert!(matches!(
+            s.submit_wire(garbage),
+            Err(SubmitError::Malformed(_))
+        ));
+        assert_eq!(s.stats().rejected, 1);
+    }
+
+    #[test]
+    fn concurrent_submission_is_safe() {
+        let s = std::sync::Arc::new(server());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    let mut r = report(20 + (i % 100));
+                    r.addr = PeerAddr::from_u32(t * 10_000 + i as u32);
+                    s.submit(r).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 8 * 500);
+        assert_eq!(s.stats().accepted, 4_000);
+    }
+
+    #[test]
+    fn into_store_preserves_reports() {
+        let s = server();
+        s.submit(report(20)).unwrap();
+        let store = s.into_store();
+        assert_eq!(store.len(), 1);
+    }
+}

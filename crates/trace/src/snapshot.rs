@@ -1,0 +1,226 @@
+//! Topology snapshot reconstruction.
+//!
+//! The paper treats the trace as "continuous-time snapshots of P2P
+//! streaming topologies": at any instant, the peers whose latest
+//! report is fresh form the *stable peer* set, and every address
+//! appearing either as a reporter or in a partner list belongs to the
+//! *known peer* universe (§3.2, §4.1.1). A [`Snapshot`] materializes
+//! exactly that.
+
+use crate::report::{PeerReport, REPORT_INTERVAL};
+use crate::store::TraceStore;
+use magellan_netsim::{PeerAddr, SimDuration, SimTime};
+use magellan_workload::ChannelId;
+use std::collections::HashMap;
+
+/// A reconstructed view of the overlay at one instant.
+#[derive(Debug, Clone)]
+pub struct Snapshot<'a> {
+    /// The reconstruction instant.
+    pub time: SimTime,
+    /// The freshest report of each stable peer (report within the
+    /// staleness horizon), keyed by reporter address.
+    reports: HashMap<PeerAddr, &'a PeerReport>,
+}
+
+impl<'a> Snapshot<'a> {
+    /// Number of stable peers.
+    pub fn stable_count(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// The stable peers' reports (iteration order unspecified).
+    pub fn reports(&self) -> impl Iterator<Item = &'a PeerReport> + '_ {
+        self.reports.values().copied()
+    }
+
+    /// The freshest report of `addr`, when stable.
+    pub fn report_of(&self, addr: PeerAddr) -> Option<&'a PeerReport> {
+        self.reports.get(&addr).copied()
+    }
+
+    /// Whether `addr` is a stable peer here.
+    pub fn is_stable(&self, addr: PeerAddr) -> bool {
+        self.reports.contains_key(&addr)
+    }
+
+    /// Every known address: reporters plus everyone in a partner
+    /// list. This is the paper's "total peers" population (Fig. 1A).
+    pub fn known_peers(&self) -> Vec<PeerAddr> {
+        let mut v: Vec<PeerAddr> = self
+            .reports
+            .values()
+            .flat_map(|r| r.partners.iter().map(|p| p.addr))
+            .chain(self.reports.keys().copied())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Stable peers watching `channel`.
+    pub fn reports_on_channel(
+        &self,
+        channel: ChannelId,
+    ) -> impl Iterator<Item = &'a PeerReport> + '_ {
+        self.reports
+            .values()
+            .copied()
+            .filter(move |r| r.channel == channel)
+    }
+}
+
+/// Builds snapshots from a [`TraceStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotBuilder<'a> {
+    store: &'a TraceStore,
+    staleness: SimDuration,
+}
+
+impl<'a> SnapshotBuilder<'a> {
+    /// Creates a builder with the default staleness horizon of 1.5
+    /// report intervals (a peer that missed one report but not two is
+    /// still considered present — UDP loses datagrams).
+    pub fn new(store: &'a TraceStore) -> Self {
+        SnapshotBuilder {
+            store,
+            staleness: SimDuration::from_millis(REPORT_INTERVAL.as_millis() * 3 / 2),
+        }
+    }
+
+    /// Overrides the staleness horizon.
+    pub fn staleness(mut self, staleness: SimDuration) -> Self {
+        self.staleness = staleness;
+        self
+    }
+
+    /// Reconstructs the snapshot at `t`: for every peer with a report
+    /// in `(t − staleness, t]`, its freshest such report.
+    pub fn at(&self, t: SimTime) -> Snapshot<'a> {
+        let start = t - self.staleness + SimDuration::from_millis(1);
+        let end = t + SimDuration::from_millis(1); // inclusive of t
+        let mut freshest: HashMap<PeerAddr, &'a PeerReport> = HashMap::new();
+        for r in self.store.range(start, end) {
+            match freshest.get(&r.addr) {
+                Some(prev) if prev.time >= r.time => {}
+                _ => {
+                    freshest.insert(r.addr, r);
+                }
+            }
+        }
+        Snapshot {
+            time: t,
+            reports: freshest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferMap;
+    use crate::report::PartnerRecord;
+
+    fn report(ip: u32, minute: u64, partners: &[u32]) -> PeerReport {
+        PeerReport {
+            time: SimTime::ORIGIN + SimDuration::from_mins(minute),
+            addr: PeerAddr::from_u32(ip),
+            channel: ChannelId::CCTV1,
+            buffer_map: BufferMap::new(0, 8),
+            download_capacity_kbps: 2000.0,
+            upload_capacity_kbps: 512.0,
+            recv_throughput_kbps: 400.0,
+            send_throughput_kbps: 50.0,
+            partners: partners
+                .iter()
+                .map(|&p| PartnerRecord {
+                    addr: PeerAddr::from_u32(p),
+                    tcp_port: 1,
+                    udp_port: 2,
+                    segments_sent: 20,
+                    segments_received: 0,
+                })
+                .collect(),
+        }
+    }
+
+    fn at_min(m: u64) -> SimTime {
+        SimTime::ORIGIN + SimDuration::from_mins(m)
+    }
+
+    #[test]
+    fn snapshot_contains_fresh_reporters_only() {
+        let store: TraceStore = vec![
+            report(1, 20, &[]),
+            report(2, 25, &[]),
+            report(3, 5, &[]), // stale by minute 30
+        ]
+        .into_iter()
+        .collect();
+        let snap = SnapshotBuilder::new(&store).at(at_min(30));
+        assert_eq!(snap.stable_count(), 2);
+        assert!(snap.is_stable(PeerAddr::from_u32(1)));
+        assert!(snap.is_stable(PeerAddr::from_u32(2)));
+        assert!(!snap.is_stable(PeerAddr::from_u32(3)));
+    }
+
+    #[test]
+    fn freshest_report_wins() {
+        let store: TraceStore = vec![report(1, 20, &[9]), report(1, 28, &[7])]
+            .into_iter()
+            .collect();
+        let snap = SnapshotBuilder::new(&store).at(at_min(30));
+        let r = snap.report_of(PeerAddr::from_u32(1)).unwrap();
+        assert_eq!(r.time, at_min(28));
+        assert_eq!(r.partners[0].addr, PeerAddr::from_u32(7));
+    }
+
+    #[test]
+    fn report_exactly_at_t_is_included() {
+        let store: TraceStore = vec![report(1, 30, &[])].into_iter().collect();
+        let snap = SnapshotBuilder::new(&store).at(at_min(30));
+        assert_eq!(snap.stable_count(), 1);
+    }
+
+    #[test]
+    fn known_peers_include_partner_list_ips() {
+        let store: TraceStore = vec![report(1, 20, &[100, 101]), report(2, 22, &[100])]
+            .into_iter()
+            .collect();
+        let snap = SnapshotBuilder::new(&store).at(at_min(25));
+        let known = snap.known_peers();
+        let ips: Vec<u32> = known.iter().map(|a| a.as_u32()).collect();
+        assert_eq!(ips, vec![1, 2, 100, 101]);
+    }
+
+    #[test]
+    fn channel_filter() {
+        let mut r1 = report(1, 20, &[]);
+        r1.channel = ChannelId::CCTV4;
+        let store: TraceStore = vec![r1, report(2, 21, &[])].into_iter().collect();
+        let snap = SnapshotBuilder::new(&store).at(at_min(25));
+        assert_eq!(snap.reports_on_channel(ChannelId::CCTV4).count(), 1);
+        assert_eq!(snap.reports_on_channel(ChannelId::CCTV1).count(), 1);
+    }
+
+    #[test]
+    fn custom_staleness() {
+        let store: TraceStore = vec![report(1, 10, &[])].into_iter().collect();
+        let tight = SnapshotBuilder::new(&store)
+            .staleness(SimDuration::from_mins(5))
+            .at(at_min(20));
+        assert_eq!(tight.stable_count(), 0);
+        let loose = SnapshotBuilder::new(&store)
+            .staleness(SimDuration::from_mins(60))
+            .at(at_min(20));
+        assert_eq!(loose.stable_count(), 1);
+    }
+
+    #[test]
+    fn empty_store_snapshot() {
+        let store = TraceStore::new();
+        let snap = SnapshotBuilder::new(&store).at(at_min(100));
+        assert_eq!(snap.stable_count(), 0);
+        assert!(snap.known_peers().is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Trace volume statistics.
+//!
+//! The paper's headline collection numbers — "over 120 GB of traces
+//! with more than 10 million unique IP addresses" in two months — are
+//! properties of the measurement substrate, not the topology. This
+//! module computes the equivalent accounting for any [`TraceStore`]:
+//! report counts, wire-volume estimate, distinct addresses, and
+//! per-bucket rates, so scaled-down runs can be sanity-checked against
+//! the real deployment's arithmetic.
+
+use crate::store::{bucket_of, TraceStore};
+use crate::wire;
+use std::collections::HashSet;
+
+/// Aggregate volume statistics of a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStats {
+    /// Number of reports.
+    pub reports: u64,
+    /// Total bytes of all reports in wire encoding.
+    pub wire_bytes: u64,
+    /// Mean report size on the wire.
+    pub mean_report_bytes: f64,
+    /// Distinct reporter addresses.
+    pub distinct_reporters: u64,
+    /// Distinct addresses including partner-list entries.
+    pub distinct_addresses: u64,
+    /// Mean partner-list length.
+    pub mean_partners: f64,
+    /// Number of non-empty report-interval buckets.
+    pub active_buckets: u64,
+    /// Mean reports per non-empty bucket.
+    pub reports_per_bucket: f64,
+}
+
+impl TraceStats {
+    /// Computes the statistics of `store`.
+    ///
+    /// Wire volume is computed by encoding each report, so this costs
+    /// one pass over the trace.
+    pub fn compute(store: &TraceStore) -> TraceStats {
+        let mut wire_bytes = 0u64;
+        let mut reporters: HashSet<u32> = HashSet::new();
+        let mut addresses: HashSet<u32> = HashSet::new();
+        let mut partner_sum = 0u64;
+        let mut buckets: HashSet<u64> = HashSet::new();
+        for r in store.reports() {
+            wire_bytes += wire::encode(r).len() as u64;
+            reporters.insert(r.addr.as_u32());
+            addresses.insert(r.addr.as_u32());
+            partner_sum += r.partners.len() as u64;
+            buckets.insert(bucket_of(r.time));
+            for p in &r.partners {
+                addresses.insert(p.addr.as_u32());
+            }
+        }
+        let n = store.len() as u64;
+        TraceStats {
+            reports: n,
+            wire_bytes,
+            mean_report_bytes: if n > 0 { wire_bytes as f64 / n as f64 } else { 0.0 },
+            distinct_reporters: reporters.len() as u64,
+            distinct_addresses: addresses.len() as u64,
+            mean_partners: if n > 0 {
+                partner_sum as f64 / n as f64
+            } else {
+                0.0
+            },
+            active_buckets: buckets.len() as u64,
+            reports_per_bucket: if buckets.is_empty() {
+                0.0
+            } else {
+                n as f64 / buckets.len() as f64
+            },
+        }
+    }
+
+    /// Extrapolates the wire volume to `scale_factor` times the
+    /// population over `months` of collection, given this trace's
+    /// window length in days — the arithmetic behind "120 GB in two
+    /// months".
+    pub fn projected_bytes(&self, window_days: f64, scale_factor: f64, months: f64) -> f64 {
+        if window_days <= 0.0 {
+            return 0.0;
+        }
+        let per_day = self.wire_bytes as f64 / window_days;
+        per_day * scale_factor * months * 30.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferMap;
+    use crate::report::{PartnerRecord, PeerReport};
+    use magellan_netsim::{PeerAddr, SimDuration, SimTime};
+    use magellan_workload::ChannelId;
+
+    fn report(ip: u32, minute: u64, partners: usize) -> PeerReport {
+        PeerReport {
+            time: SimTime::ORIGIN + SimDuration::from_mins(minute),
+            addr: PeerAddr::from_u32(ip),
+            channel: ChannelId::CCTV1,
+            buffer_map: BufferMap::new(0, 16),
+            download_capacity_kbps: 2000.0,
+            upload_capacity_kbps: 512.0,
+            recv_throughput_kbps: 380.0,
+            send_throughput_kbps: 80.0,
+            partners: (0..partners)
+                .map(|k| PartnerRecord {
+                    addr: PeerAddr::from_u32(1000 + k as u32),
+                    tcp_port: 1,
+                    udp_port: 2,
+                    segments_sent: 5,
+                    segments_received: 20,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn empty_store_stats_are_zero() {
+        let s = TraceStats::compute(&TraceStore::new());
+        assert_eq!(s.reports, 0);
+        assert_eq!(s.wire_bytes, 0);
+        assert_eq!(s.mean_report_bytes, 0.0);
+        assert_eq!(s.distinct_addresses, 0);
+        assert_eq!(s.reports_per_bucket, 0.0);
+    }
+
+    #[test]
+    fn counts_match_contents() {
+        let store: TraceStore = vec![
+            report(1, 20, 3),
+            report(2, 25, 5),
+            report(1, 30, 3),
+        ]
+        .into_iter()
+        .collect();
+        let s = TraceStats::compute(&store);
+        assert_eq!(s.reports, 3);
+        assert_eq!(s.distinct_reporters, 2);
+        // Reporters 1, 2 plus partner ips 1000..1005 (5 distinct).
+        assert_eq!(s.distinct_addresses, 2 + 5);
+        assert!((s.mean_partners - 11.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.active_buckets, 2); // minutes 20, 25 in bucket 2; 30 in bucket 3
+        assert!(s.wire_bytes > 0);
+        assert!(s.mean_report_bytes > 40.0);
+    }
+
+    #[test]
+    fn wire_bytes_match_encoding_sum() {
+        let store: TraceStore = vec![report(1, 20, 10)].into_iter().collect();
+        let s = TraceStats::compute(&store);
+        assert_eq!(
+            s.wire_bytes,
+            wire::encode(&store.reports()[0]).len() as u64
+        );
+    }
+
+    #[test]
+    fn projection_arithmetic() {
+        let store: TraceStore = vec![report(1, 20, 50)].into_iter().collect();
+        let s = TraceStats::compute(&store);
+        // 1 day of this volume, scaled 100x, over 2 months.
+        let projected = s.projected_bytes(1.0, 100.0, 2.0);
+        assert!((projected - s.wire_bytes as f64 * 100.0 * 60.0).abs() < 1e-6);
+        assert_eq!(s.projected_bytes(0.0, 100.0, 2.0), 0.0);
+    }
+}

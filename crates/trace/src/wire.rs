@@ -1,0 +1,243 @@
+//! Binary wire encoding of peer reports.
+//!
+//! The real system shipped reports to the trace server as UDP
+//! datagrams; this module provides the equivalent compact encoding on
+//! top of the `bytes` crate, with a strict, length-checked decoder.
+
+use crate::buffer::BufferMap;
+use crate::report::{PartnerRecord, PeerReport};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use magellan_netsim::{PeerAddr, SimTime};
+use magellan_workload::ChannelId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while decoding a report datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The buffer ended before the structure was complete.
+    UnexpectedEof {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A decoded field failed validation.
+    Invalid {
+        /// What was wrong.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of datagram while reading {context}")
+            }
+            WireError::Invalid { context } => write!(f, "invalid field: {context}"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// Upper bound on the partner list length a datagram may carry;
+/// bootstrap hands out at most 50 partners and gossip adds few more,
+/// so anything beyond this is corruption.
+pub const MAX_WIRE_PARTNERS: usize = 512;
+
+/// Encodes a report into a datagram.
+pub fn encode(report: &PeerReport) -> Bytes {
+    let mut b = BytesMut::with_capacity(64 + report.partners.len() * 24);
+    b.put_u64(report.time.as_millis());
+    b.put_u32(report.addr.as_u32());
+    b.put_u16(report.channel.0);
+    b.put_u64(report.buffer_map.start());
+    b.put_u16(report.buffer_map.len());
+    b.put_slice(report.buffer_map.raw_bits());
+    b.put_f64(report.download_capacity_kbps);
+    b.put_f64(report.upload_capacity_kbps);
+    b.put_f64(report.recv_throughput_kbps);
+    b.put_f64(report.send_throughput_kbps);
+    b.put_u16(report.partners.len() as u16);
+    for p in &report.partners {
+        b.put_u32(p.addr.as_u32());
+        b.put_u16(p.tcp_port);
+        b.put_u16(p.udp_port);
+        b.put_u64(p.segments_sent);
+        b.put_u64(p.segments_received);
+    }
+    b.freeze()
+}
+
+fn need(buf: &impl Buf, n: usize, context: &'static str) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::UnexpectedEof { context })
+    } else {
+        Ok(())
+    }
+}
+
+/// Decodes a datagram produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] when the datagram is truncated or carries an
+/// impossible field (oversized bitmap or partner list, non-finite
+/// capacity).
+pub fn decode(buf: &mut impl Buf) -> Result<PeerReport, WireError> {
+    need(buf, 8 + 4 + 2 + 8 + 2, "header")?;
+    let time = SimTime::from_millis(buf.get_u64());
+    let addr = PeerAddr::from_u32(buf.get_u32());
+    let channel = ChannelId(buf.get_u16());
+    let bm_start = buf.get_u64();
+    let bm_len = buf.get_u16();
+    let bm_bytes = (bm_len as usize + 7) / 8;
+    need(buf, bm_bytes, "buffer map")?;
+    let mut bits = vec![0u8; bm_bytes];
+    buf.copy_to_slice(&mut bits);
+    let buffer_map = BufferMap::from_raw(bm_start, bm_len, bits);
+    need(buf, 8 * 4 + 2, "capacities")?;
+    let download_capacity_kbps = buf.get_f64();
+    let upload_capacity_kbps = buf.get_f64();
+    let recv_throughput_kbps = buf.get_f64();
+    let send_throughput_kbps = buf.get_f64();
+    for (v, context) in [
+        (download_capacity_kbps, "download capacity"),
+        (upload_capacity_kbps, "upload capacity"),
+        (recv_throughput_kbps, "recv throughput"),
+        (send_throughput_kbps, "send throughput"),
+    ] {
+        if !v.is_finite() || v < 0.0 {
+            return Err(WireError::Invalid { context });
+        }
+    }
+    let n = buf.get_u16() as usize;
+    if n > MAX_WIRE_PARTNERS {
+        return Err(WireError::Invalid {
+            context: "partner count",
+        });
+    }
+    let mut partners = Vec::with_capacity(n);
+    for _ in 0..n {
+        need(buf, 4 + 2 + 2 + 8 + 8, "partner record")?;
+        partners.push(PartnerRecord {
+            addr: PeerAddr::from_u32(buf.get_u32()),
+            tcp_port: buf.get_u16(),
+            udp_port: buf.get_u16(),
+            segments_sent: buf.get_u64(),
+            segments_received: buf.get_u64(),
+        });
+    }
+    Ok(PeerReport {
+        time,
+        addr,
+        channel,
+        buffer_map,
+        download_capacity_kbps,
+        upload_capacity_kbps,
+        recv_throughput_kbps,
+        send_throughput_kbps,
+        partners,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PeerReport {
+        let mut bm = BufferMap::new(1000, 32);
+        bm.set(1001);
+        bm.set(1030);
+        PeerReport {
+            time: SimTime::at(3, 21, 10),
+            addr: PeerAddr::from_u32(0x0B01_0203),
+            channel: ChannelId(7),
+            buffer_map: bm,
+            download_capacity_kbps: 2048.5,
+            upload_capacity_kbps: 512.25,
+            recv_throughput_kbps: 398.0,
+            send_throughput_kbps: 610.0,
+            partners: vec![
+                PartnerRecord {
+                    addr: PeerAddr::from_u32(0x0C000001),
+                    tcp_port: 9000,
+                    udp_port: 9001,
+                    segments_sent: 120,
+                    segments_received: 14,
+                },
+                PartnerRecord {
+                    addr: PeerAddr::from_u32(0x0D000002),
+                    tcp_port: 9100,
+                    udp_port: 9101,
+                    segments_sent: 0,
+                    segments_received: 999,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let r = sample();
+        let bytes = encode(&r);
+        let back = decode(&mut bytes.clone()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn roundtrip_empty_partner_list() {
+        let mut r = sample();
+        r.partners.clear();
+        let bytes = encode(&r);
+        assert_eq!(decode(&mut bytes.clone()).unwrap(), r);
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_an_eof_not_a_panic() {
+        let bytes = encode(&sample());
+        for cut in 0..bytes.len() {
+            let mut short = bytes.slice(0..cut);
+            match decode(&mut short) {
+                Err(WireError::UnexpectedEof { .. }) => {}
+                Ok(_) => panic!("decode succeeded on {cut}-byte truncation"),
+                Err(e) => panic!("wrong error on truncation at {cut}: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_partner_count_is_rejected() {
+        let mut r = sample();
+        r.partners.clear();
+        let mut raw = BytesMut::from(&encode(&r)[..]);
+        // Overwrite the trailing partner-count u16 with a huge value.
+        let len = raw.len();
+        raw[len - 2..].copy_from_slice(&(u16::MAX).to_be_bytes());
+        let mut buf = raw.freeze();
+        assert_eq!(
+            decode(&mut buf),
+            Err(WireError::Invalid {
+                context: "partner count"
+            })
+        );
+    }
+
+    #[test]
+    fn non_finite_capacity_is_rejected() {
+        let mut r = sample();
+        r.upload_capacity_kbps = f64::NAN;
+        let bytes = encode(&r);
+        assert!(matches!(
+            decode(&mut bytes.clone()),
+            Err(WireError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = WireError::UnexpectedEof { context: "header" };
+        assert!(e.to_string().contains("header"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Non-homogeneous Poisson arrival generation by thinning.
+//!
+//! Peer joins are modelled as a Poisson process whose rate is the
+//! product of a base rate, the diurnal profile, and any flash-crowd
+//! multipliers. Lewis–Shedler thinning against a constant majorant
+//! turns this into an exact sampler.
+
+use magellan_netsim::{SimDuration, SimTime};
+use rand::RngExt as _;
+
+/// Generates arrival instants in `[start, end)` for a rate function
+/// `rate_per_hour(t)` bounded above by `max_rate_per_hour`.
+///
+/// The thinning algorithm is exact as long as the bound holds; the
+/// function asserts it on every accepted candidate (debug builds).
+///
+/// # Panics
+///
+/// Panics if `max_rate_per_hour` is not strictly positive or
+/// `end <= start`.
+pub fn generate_arrivals<R, F>(
+    rng: &mut R,
+    start: SimTime,
+    end: SimTime,
+    max_rate_per_hour: f64,
+    mut rate_per_hour: F,
+) -> Vec<SimTime>
+where
+    R: rand::Rng + ?Sized,
+    F: FnMut(SimTime) -> f64,
+{
+    assert!(max_rate_per_hour > 0.0, "majorant rate must be positive");
+    assert!(end > start, "empty window");
+    let mut out = Vec::new();
+    let rate_per_ms = max_rate_per_hour / 3_600_000.0;
+    let mut t = start;
+    loop {
+        // Exponential inter-arrival under the majorant.
+        let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        let step_ms = -u.ln() / rate_per_ms;
+        if !step_ms.is_finite() || step_ms > (end.since(start).as_millis() as f64) * 2.0 + 1e9 {
+            break;
+        }
+        t = t + SimDuration::from_millis(step_ms.ceil().max(1.0) as u64);
+        if t >= end {
+            break;
+        }
+        let r = rate_per_hour(t);
+        debug_assert!(
+            r <= max_rate_per_hour * (1.0 + 1e-9),
+            "rate {r} exceeds majorant {max_rate_per_hour} at {t}"
+        );
+        let accept: f64 = rng.random_range(0.0..1.0);
+        if accept < r / max_rate_per_hour {
+            out.push(t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magellan_netsim::RngFactory;
+
+    #[test]
+    fn homogeneous_rate_matches_expectation() {
+        let mut rng = RngFactory::new(1).fork("arrivals");
+        let start = SimTime::ORIGIN;
+        let end = start + SimDuration::from_hours(100);
+        let arrivals = generate_arrivals(&mut rng, start, end, 50.0, |_| 50.0);
+        let expect = 50.0 * 100.0;
+        let got = arrivals.len() as f64;
+        assert!(
+            (got - expect).abs() < 4.0 * expect.sqrt(),
+            "got {got}, expect {expect}"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_in_window() {
+        let mut rng = RngFactory::new(2).fork("arrivals");
+        let start = SimTime::at(1, 0, 0);
+        let end = SimTime::at(2, 0, 0);
+        let arrivals = generate_arrivals(&mut rng, start, end, 100.0, |_| 100.0);
+        for w in arrivals.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(arrivals.iter().all(|&t| t >= start && t < end));
+    }
+
+    #[test]
+    fn thinning_respects_shape() {
+        // Rate = 200/h in the first half, 0 in the second.
+        let mut rng = RngFactory::new(3).fork("arrivals");
+        let start = SimTime::ORIGIN;
+        let mid = start + SimDuration::from_hours(50);
+        let end = start + SimDuration::from_hours(100);
+        let arrivals = generate_arrivals(
+            &mut rng,
+            start,
+            end,
+            200.0,
+            |t| if t < mid { 200.0 } else { 0.0 },
+        );
+        assert!(arrivals.iter().all(|&t| t < mid));
+        let expect = 200.0 * 50.0;
+        let got = arrivals.len() as f64;
+        assert!((got - expect).abs() < 4.0 * expect.sqrt());
+    }
+
+    #[test]
+    fn zero_rate_produces_nothing() {
+        let mut rng = RngFactory::new(4).fork("arrivals");
+        let arrivals = generate_arrivals(
+            &mut rng,
+            SimTime::ORIGIN,
+            SimTime::at(0, 10, 0),
+            10.0,
+            |_| 0.0,
+        );
+        assert!(arrivals.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = || {
+            let mut rng = RngFactory::new(5).fork("arrivals");
+            generate_arrivals(
+                &mut rng,
+                SimTime::ORIGIN,
+                SimTime::at(0, 5, 0),
+                120.0,
+                |_| 60.0,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "majorant")]
+    fn rejects_zero_majorant() {
+        let mut rng = RngFactory::new(6).fork("arrivals");
+        let _ = generate_arrivals(
+            &mut rng,
+            SimTime::ORIGIN,
+            SimTime::at(0, 1, 0),
+            0.0,
+            |_| 0.0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn rejects_empty_window() {
+        let mut rng = RngFactory::new(7).fork("arrivals");
+        let _ = generate_arrivals(
+            &mut rng,
+            SimTime::at(0, 1, 0),
+            SimTime::at(0, 1, 0),
+            10.0,
+            |_| 10.0,
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests over workload generation: arrival ordering, crowd
+//! multiplier bounds, scenario determinism.
+
+use magellan_netsim::{RngFactory, SimDuration, SimTime, StudyCalendar};
+use magellan_workload::{
+    generate_arrivals, ChannelDirectory, DiurnalProfile, FlashCrowd, Scenario, SessionModel,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn arrivals_sorted_in_window_for_any_seed(seed in any::<u64>(), rate in 1.0f64..500.0) {
+        let mut rng = RngFactory::new(seed).fork("prop-arrivals");
+        let start = SimTime::ORIGIN;
+        let end = start + SimDuration::from_hours(6);
+        let arrivals = generate_arrivals(&mut rng, start, end, rate, |_| rate);
+        for w in arrivals.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert!(arrivals.iter().all(|&t| t >= start && t < end));
+    }
+
+    #[test]
+    fn diurnal_intensity_bounded_by_peak(day in 0u64..14, hour in 0u64..24, minute in 0u64..60) {
+        let p = DiurnalProfile::default();
+        let cal = StudyCalendar::default();
+        let t = SimTime::at(day, hour, minute);
+        let i = p.intensity(&cal, t);
+        prop_assert!(i > 0.0);
+        prop_assert!(i <= p.peak_intensity() + 1e-12);
+    }
+
+    #[test]
+    fn crowd_multiplier_bounds(mins_offset in -600i64..600, magnitude in 1.0f64..10.0) {
+        let mut crowd = FlashCrowd::mid_autumn(vec![]);
+        crowd.magnitude = magnitude;
+        let t = if mins_offset >= 0 {
+            crowd.peak + SimDuration::from_mins(mins_offset as u64)
+        } else {
+            crowd.peak - SimDuration::from_mins((-mins_offset) as u64)
+        };
+        let m = crowd.multiplier(t);
+        prop_assert!(m >= 1.0 - 1e-12);
+        prop_assert!(m <= magnitude + 1e-12);
+    }
+
+    #[test]
+    fn sessions_respect_bounds_for_any_seed(seed in any::<u64>()) {
+        let m = SessionModel::default();
+        let mut rng = RngFactory::new(seed).fork("prop-sessions");
+        for _ in 0..100 {
+            let d = m.sample(&mut rng);
+            let mins = d.as_millis() as f64 / 60_000.0;
+            prop_assert!(mins >= m.min_mins - 1e-9);
+            prop_assert!(mins <= m.max_mins + 1e-9);
+        }
+    }
+
+    #[test]
+    fn survival_is_a_probability(mins in 0u64..10_000) {
+        let m = SessionModel::default();
+        let s = m.survival(SimDuration::from_mins(mins));
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn channel_shares_sum_to_one(n in 2usize..100) {
+        let dir = ChannelDirectory::uusee(n);
+        let sum: f64 = (0..n).map(|i| dir.share(magellan_workload::ChannelId(i as u16))).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scenario_generation_is_deterministic(seed in any::<u64>()) {
+        let build = || {
+            Scenario::builder(seed, 0.0003)
+                .calendar(StudyCalendar { window_days: 1 })
+                .build()
+                .generate_joins()
+        };
+        prop_assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn joins_stay_inside_the_window(seed in any::<u64>(), days in 1u64..4) {
+        let s = Scenario::builder(seed, 0.0002)
+            .calendar(StudyCalendar { window_days: days })
+            .build();
+        let end = s.calendar.window_end();
+        for j in s.generate_joins() {
+            prop_assert!(j.time < end);
+            prop_assert!(j.duration > SimDuration::ZERO);
+            prop_assert!((j.channel.0 as usize) < s.channels.len());
+        }
+    }
+}

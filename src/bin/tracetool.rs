@@ -1,0 +1,147 @@
+//! Trace workbench: inspect and export archived traces.
+//!
+//! ```text
+//! tracetool stats    <trace.jsonl>
+//! tracetool sessions <trace.jsonl>
+//! tracetool snapshot <trace.jsonl> --at d,h,m [--scope stable|all]
+//!                    [--format summary|edges|dot] [--out file]
+//! ```
+//!
+//! Traces come from `figures --save-trace` (or any §3.2-conformant
+//! JSON-lines archive). `snapshot --format edges|dot` exports the
+//! reconstructed topology for networkx / Graphviz.
+
+use magellan::analysis::graphs::{active_link_graph, node_isps, NodeScope};
+use magellan::analysis::sessions::{stable_sessions, summarize};
+use magellan::graph::export::{to_dot, to_edge_list};
+use magellan::graph::reciprocity::garlaschelli_reciprocity;
+use magellan::graph::smallworld::{assess, SmallWorldConfig};
+use magellan::netsim::{IspDatabase, SimTime};
+use magellan::trace::{SnapshotBuilder, TraceStats, TraceStore};
+use std::io::BufReader;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<TraceStore, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    TraceStore::read_jsonl(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  tracetool stats    <trace.jsonl>\n  tracetool sessions <trace.jsonl>\n  \
+         tracetool snapshot <trace.jsonl> --at d,h,m [--scope stable|all] [--format summary|edges|dot] [--out file]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(cmd) = args.get(1) else { return usage() };
+    let Some(path) = args.get(2) else { return usage() };
+    let get = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let store = match load(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd.as_str() {
+        "stats" => {
+            let s = TraceStats::compute(&store);
+            println!("reports            : {}", s.reports);
+            println!("wire volume        : {:.2} MB", s.wire_bytes as f64 / 1e6);
+            println!("mean report size   : {:.0} B", s.mean_report_bytes);
+            println!("distinct reporters : {}", s.distinct_reporters);
+            println!("distinct addresses : {}", s.distinct_addresses);
+            println!("mean partners      : {:.1}", s.mean_partners);
+            println!("active buckets     : {}", s.active_buckets);
+            println!("reports per bucket : {:.1}", s.reports_per_bucket);
+            if let Some((lo, hi)) = store.time_span() {
+                println!("time span          : {lo} .. {hi}");
+            }
+            ExitCode::SUCCESS
+        }
+        "sessions" => {
+            let sessions = stable_sessions(&store);
+            match summarize(&sessions) {
+                Some(s) => {
+                    println!("stable sessions    : {}", s.sessions);
+                    println!("mean length        : {:.0} min", s.mean_mins);
+                    println!("median length      : {:.0} min", s.median_mins);
+                    println!("p90 length         : {:.0} min", s.p90_mins);
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("no sessions in trace");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "snapshot" => {
+            let Some(at) = get("--at") else {
+                eprintln!("snapshot needs --at d,h,m");
+                return ExitCode::FAILURE;
+            };
+            let parts: Vec<u64> = at.split(',').filter_map(|p| p.trim().parse().ok()).collect();
+            if parts.len() != 3 {
+                eprintln!("--at wants day,hour,minute (e.g. 0,21,0)");
+                return ExitCode::FAILURE;
+            }
+            let t = SimTime::at(parts[0], parts[1], parts[2]);
+            let scope = match get("--scope").as_deref() {
+                Some("all") => NodeScope::AllKnown,
+                _ => NodeScope::StableOnly,
+            };
+            let snap = SnapshotBuilder::new(&store).at(t);
+            let reports: Vec<_> = snap.reports().cloned().collect();
+            let g = active_link_graph(&reports, scope);
+            let db = IspDatabase::default();
+            let output = match get("--format").as_deref() {
+                Some("edges") => to_edge_list(&g),
+                Some("dot") => {
+                    let isps = node_isps(&g, &db);
+                    to_dot(&g, &format!("snapshot_{t}"), |id, _| {
+                        Some(isps[id.index()].name().to_owned())
+                    })
+                }
+                _ => {
+                    let sw = assess(&g, &SmallWorldConfig::default());
+                    let rho = garlaschelli_reciprocity(&g)
+                        .map(|v| format!("{v:+.3}"))
+                        .unwrap_or_else(|_| "n/a".into());
+                    format!(
+                        "snapshot at {t}\nstable peers : {}\nknown peers  : {}\nnodes/edges  : {} / {}\nC vs C_rand  : {:.3} vs {:.4}\nL vs L_rand  : {:?} vs {:?}\nreciprocity  : {rho}\nsmall world  : {}\n",
+                        snap.stable_count(),
+                        snap.known_peers().len(),
+                        g.node_count(),
+                        g.edge_count(),
+                        sw.c,
+                        sw.c_rand,
+                        sw.l,
+                        sw.l_rand,
+                        sw.is_small_world
+                    )
+                }
+            };
+            match get("--out") {
+                Some(out) => {
+                    if let Err(e) = std::fs::write(&out, output) {
+                        eprintln!("write {out}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote {out}");
+                }
+                None => print!("{output}"),
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,104 @@
+//! Cross-crate validation of the metric implementations against
+//! graphs with known properties, through the same code paths the
+//! study uses.
+
+use magellan::graph::clustering::clustering_coefficient;
+use magellan::graph::paths::{average_path_length, PathSampling, PathTreatment};
+use magellan::graph::powerlaw;
+use magellan::graph::random::{
+    barabasi_albert, gnm_directed, gnm_undirected, measured_baseline, watts_strogatz,
+    RandomBaseline,
+};
+use magellan::graph::reciprocity::{garlaschelli_reciprocity, simple_reciprocity};
+use magellan::graph::smallworld::{assess, SmallWorldConfig};
+
+#[test]
+fn watts_strogatz_passes_the_small_world_test_er_fails() {
+    let ws = watts_strogatz(500, 8, 0.08, 11);
+    let er = gnm_undirected(500, 2_000, 11);
+    let cfg = SmallWorldConfig::default();
+    assert!(assess(&ws, &cfg).is_small_world, "WS not small world");
+    assert!(!assess(&er, &cfg).is_small_world, "ER flagged small world");
+}
+
+#[test]
+fn ba_degrees_look_power_law_ws_degrees_do_not() {
+    let ba = barabasi_albert(4_000, 2, 5);
+    let ba_deg: Vec<usize> = ba.node_ids().map(|i| ba.undirected_degree(i)).collect();
+    let v = powerlaw::assess(&ba_deg).unwrap();
+    assert!(v.plausible, "BA rejected: ks {} thr {}", v.fit.ks, v.threshold);
+
+    let ws = watts_strogatz(4_000, 8, 0.05, 5);
+    let ws_deg: Vec<usize> = ws.node_ids().map(|i| ws.undirected_degree(i)).collect();
+    let v = powerlaw::assess(&ws_deg).unwrap();
+    assert!(!v.plausible, "WS accepted as power law");
+}
+
+#[test]
+fn er_reciprocity_is_near_zero_and_symmetrized_is_one() {
+    let g = gnm_directed(800, 4_000, 9);
+    let rho = garlaschelli_reciprocity(&g).unwrap();
+    assert!(rho.abs() < 0.05, "ER rho = {rho}");
+
+    // Symmetrize.
+    let mut sym = g.clone();
+    let edges: Vec<_> = g.edges().collect();
+    for e in edges {
+        sym.add_edge(e.to, e.from, e.weight);
+    }
+    assert!((simple_reciprocity(&sym) - 1.0).abs() < 1e-12);
+    let rho_sym = garlaschelli_reciprocity(&sym).unwrap();
+    assert!((rho_sym - 1.0).abs() < 1e-9, "sym rho = {rho_sym}");
+}
+
+#[test]
+fn analytic_and_measured_er_baselines_agree() {
+    let n = 600;
+    let m = 3_000;
+    let analytic = RandomBaseline::analytic(n, m);
+    let measured = measured_baseline(n, m, 3, PathSampling::Exact);
+    assert!((measured.c - analytic.c_expected).abs() < 0.01);
+    let l = measured.l.unwrap();
+    let le = analytic.l_expected.unwrap();
+    assert!((l - le).abs() < 0.6, "L measured {l} vs analytic {le}");
+}
+
+#[test]
+fn lattice_metrics_are_exact() {
+    // Ring lattice k=4: C = 1/2, known closed form.
+    let lattice = watts_strogatz(100, 4, 0.0, 0);
+    assert!((clustering_coefficient(&lattice) - 0.5).abs() < 1e-9);
+    // Average path on an n-ring with k=4 grows ~ n/8 — far above ER.
+    let l = average_path_length(&lattice, PathTreatment::Undirected, PathSampling::Exact)
+        .unwrap()
+        .mean;
+    assert!(l > 5.0, "lattice L = {l}");
+}
+
+#[test]
+fn sampled_estimators_track_exact_values() {
+    let g = watts_strogatz(1_000, 8, 0.1, 21);
+    let exact_l = average_path_length(&g, PathTreatment::Undirected, PathSampling::Exact)
+        .unwrap()
+        .mean;
+    let sampled_l = average_path_length(
+        &g,
+        PathTreatment::Undirected,
+        PathSampling::Sources {
+            count: 100,
+            seed: 2,
+        },
+    )
+    .unwrap()
+    .mean;
+    assert!(
+        (exact_l - sampled_l).abs() / exact_l < 0.05,
+        "exact {exact_l} vs sampled {sampled_l}"
+    );
+    let exact_c = clustering_coefficient(&g);
+    let sampled_c = magellan::graph::clustering::sampled_clustering(&g, 300, 4);
+    assert!(
+        (exact_c - sampled_c).abs() < 0.05,
+        "exact {exact_c} vs sampled {sampled_c}"
+    );
+}
