@@ -162,7 +162,11 @@ where
     }
     (
         if in_n > 0 { in_sum / in_n as f64 } else { 0.0 },
-        if out_n > 0 { out_sum / out_n as f64 } else { 0.0 },
+        if out_n > 0 {
+            out_sum / out_n as f64
+        } else {
+            0.0
+        },
     )
 }
 
@@ -356,10 +360,7 @@ mod tests {
         let same = addr(telecom[0].0 + 1);
         let other = addr(netcom[0].0);
         // Indegree: 1 same + 1 other = 0.5; outdegree: only same = 1.0.
-        let reports = vec![report(
-            me,
-            vec![(same, 50, 50), (other, 0, 50)],
-        )];
+        let reports = vec![report(me, vec![(same, 50, 50), (other, 0, 50)])];
         let (fin, fout) = intra_isp_degree_fractions(&reports, &db);
         assert!((fin - 0.5).abs() < 1e-12);
         assert!((fout - 1.0).abs() < 1e-12);

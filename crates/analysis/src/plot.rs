@@ -49,13 +49,17 @@ const MARGIN_T: f64 = 32.0;
 const MARGIN_B: f64 = 40.0;
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn fmt_tick(v: f64) -> String {
+    // lint:allow(C2): an exactly-zero tick renders as "0", not "0.00"
+    let integral = v.abs() >= 10.0 || v == 0.0;
     if v.abs() >= 10_000.0 {
         format!("{:.0}k", v / 1_000.0)
-    } else if v.abs() >= 10.0 || v == 0.0 {
+    } else if integral {
         format!("{v:.0}")
     } else {
         format!("{v:.2}")
@@ -206,10 +210,7 @@ pub fn render_series_svg(series: &[&Series], opts: &PlotOptions) -> String {
 ///
 /// Points with non-positive coordinates are skipped (they have no
 /// logarithm); if none remain the chart carries a "no data" note.
-pub fn render_loglog_svg(
-    datasets: &[(&str, &[HistogramPoint])],
-    opts: &PlotOptions,
-) -> String {
+pub fn render_loglog_svg(datasets: &[(&str, &[HistogramPoint])], opts: &PlotOptions) -> String {
     let w = opts.width as f64;
     let h = opts.height as f64;
     let plot_w = w - MARGIN_L - MARGIN_R;
@@ -244,8 +245,12 @@ pub fn render_loglog_svg(
         );
         return svg;
     }
-    let (mut x_min, mut x_max, mut y_min, mut y_max) =
-        (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+    let (mut x_min, mut x_max, mut y_min, mut y_max) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
     for &(_, x, y) in &pts {
         x_min = x_min.min(x);
         x_max = x_max.max(x);
@@ -447,9 +452,18 @@ mod tests {
     #[test]
     fn loglog_plots_positive_points_only() {
         let pts = [
-            HistogramPoint { degree: 0.0, fraction: 0.5 }, // skipped (log of 0)
-            HistogramPoint { degree: 10.0, fraction: 0.1 },
-            HistogramPoint { degree: 100.0, fraction: 0.01 },
+            HistogramPoint {
+                degree: 0.0,
+                fraction: 0.5,
+            }, // skipped (log of 0)
+            HistogramPoint {
+                degree: 10.0,
+                fraction: 0.1,
+            },
+            HistogramPoint {
+                degree: 100.0,
+                fraction: 0.01,
+            },
         ];
         let svg = render_loglog_svg(&[("d", &pts)], &PlotOptions::default());
         assert_eq!(svg.matches("<circle").count(), 2 + 1); // points + legend dot
@@ -465,10 +479,7 @@ mod tests {
 
     #[test]
     fn bars_render_in_order_with_labels() {
-        let bars = vec![
-            ("Telecom".to_owned(), 0.43),
-            ("Netcom".to_owned(), 0.25),
-        ];
+        let bars = vec![("Telecom".to_owned(), 0.43), ("Netcom".to_owned(), 0.25)];
         let svg = render_bars_svg(&bars, &PlotOptions::default());
         assert_eq!(svg.matches("<rect").count(), 1 + 2); // background + 2 bars
         assert!(svg.contains("Telecom"));

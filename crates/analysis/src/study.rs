@@ -131,7 +131,10 @@ impl MagellanStudy {
         let mut sim = OverlaySim::new(scenario, self.cfg.sim.clone());
         let db = sim.isp_database().clone();
         let mut acc = Accumulator::new(&self.cfg, db);
-        let summary = sim.run(|r| acc.ingest(r));
+        // lint:allow(C1): scenario and rate table come from the same StudyConfig, so the sim cannot report an inconsistency; abort loudly if it somehow does
+        let summary = sim
+            .run(|r| acc.ingest(r))
+            .expect("study scenario is self-consistent");
         let mut report = acc.finish();
         report.sim = summary;
         report
@@ -229,7 +232,7 @@ impl Accumulator {
                 sample: true,
                 capture: None,
             });
-            t = t + cfg.sample_every;
+            t += cfg.sample_every;
         }
         for (i, (_, ct)) in cfg.degree_captures.iter().enumerate() {
             if *ct >= window_end {
@@ -326,8 +329,7 @@ impl Accumulator {
 
         // Streaming stable-session reconstruction: split a peer's
         // report run where the gap exceeds two report intervals.
-        let split_gap =
-            SimDuration::from_millis(magellan_trace::REPORT_INTERVAL.as_millis() * 2);
+        let split_gap = SimDuration::from_millis(magellan_trace::REPORT_INTERVAL.as_millis() * 2);
         match self.session_runs.get_mut(&r.addr) {
             Some((start, prev, count)) => {
                 if r.time.saturating_since(*prev) > split_gap {
@@ -459,8 +461,7 @@ impl Accumulator {
                 counts[self.db.lookup(*addr).index()] += 1;
             }
             for isp in Isp::ALL {
-                self.isp_share_sums[isp.index()] +=
-                    counts[isp.index()] as f64 / known.len() as f64;
+                self.isp_share_sums[isp.index()] += counts[isp.index()] as f64 / known.len() as f64;
             }
             self.isp_share_samples += 1;
         }
@@ -684,7 +685,7 @@ mod tests {
         let scenario = cfg.scenario();
         let mut sim = magellan_overlay::OverlaySim::new(scenario, cfg.sim.clone());
         let db: IspDatabase = sim.isp_database().clone();
-        let (store, _) = sim.run_collecting();
+        let (store, _) = sim.run_collecting().expect("run succeeds");
         let offline = MagellanStudy::new(cfg.clone()).analyze_trace(&store, &db);
         let live = MagellanStudy::new(cfg).run();
         assert_eq!(offline.fig1a.total.points, live.fig1a.total.points);

@@ -77,9 +77,7 @@ impl Series {
     pub fn at(&self, t: SimTime) -> Option<f64> {
         self.points
             .iter()
-            .min_by_key(|&&(pt, _)| {
-                pt.as_millis().abs_diff(t.as_millis())
-            })
+            .min_by_key(|&&(pt, _)| pt.as_millis().abs_diff(t.as_millis()))
             .map(|&(_, v)| v)
     }
 

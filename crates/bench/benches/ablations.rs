@@ -11,11 +11,11 @@
 //!    population-estimate fidelity.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use magellan_analysis::graphs::{active_link_graph, NodeScope};
 use magellan_analysis::study::MagellanStudy;
 use magellan_bench::{peak_snapshot, quick_study};
 use magellan_graph::clustering::{clustering_coefficient, sampled_clustering};
 use magellan_graph::paths::{average_path_length, PathSampling, PathTreatment};
-use magellan_analysis::graphs::{active_link_graph, NodeScope};
 use std::hint::black_box;
 
 fn ablation_selection_and_volunteer() {

@@ -26,7 +26,10 @@ fn print_figure() {
             day_ips.insert(p.addr.as_u32());
         }
     }
-    println!("--- Fig 1(B): distinct IPs on bench day: {} ---", day_ips.len());
+    println!(
+        "--- Fig 1(B): distinct IPs on bench day: {} ---",
+        day_ips.len()
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -29,7 +29,10 @@ fn print_figure() {
     let addrs = known_addrs();
     let mut counts = [0usize; 7];
     for &a in &addrs {
-        counts[trace.db.lookup(magellan_netsim::PeerAddr::from_u32(a)).index()] += 1;
+        counts[trace
+            .db
+            .lookup(magellan_netsim::PeerAddr::from_u32(a))
+            .index()] += 1;
     }
     println!("--- Fig 2: ISP shares at the bench peak ---");
     for isp in Isp::ALL {

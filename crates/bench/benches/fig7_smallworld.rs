@@ -48,7 +48,12 @@ fn bench(c: &mut Criterion) {
     let mut grp = c.benchmark_group("fig7_smallworld");
     grp.sample_size(20);
     grp.bench_function("graph_construction", |b| {
-        b.iter(|| black_box(active_link_graph(black_box(&reports), NodeScope::StableOnly)))
+        b.iter(|| {
+            black_box(active_link_graph(
+                black_box(&reports),
+                NodeScope::StableOnly,
+            ))
+        })
     });
     grp.bench_function("clustering_exact", |b| {
         b.iter(|| black_box(clustering_coefficient(black_box(&g))))

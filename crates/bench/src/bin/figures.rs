@@ -60,9 +60,9 @@ fn parse_args() -> Args {
 
 fn parse_isp(name: &str) -> Option<magellan_netsim::Isp> {
     use magellan_netsim::Isp;
-    Isp::ALL
-        .into_iter()
-        .find(|i| i.name().eq_ignore_ascii_case(name) || format!("{i:?}").eq_ignore_ascii_case(name))
+    Isp::ALL.into_iter().find(|i| {
+        i.name().eq_ignore_ascii_case(name) || format!("{i:?}").eq_ignore_ascii_case(name)
+    })
 }
 
 fn main() {
@@ -106,13 +106,15 @@ fn main() {
         let mut sim = magellan_overlay::OverlaySim::new(scenario, cfg.sim.clone());
         let db = sim.isp_database().clone();
         let store = std::sync::Mutex::new(magellan_trace::TraceStore::new());
-        let summary = sim.run(|r| {
-            let mut w = writer.lock().expect("writer");
-            w.write_all(magellan_trace::jsonl::to_json_line(&r).as_bytes())
-                .and_then(|_| w.write_all(b"\n"))
-                .expect("write trace archive");
-            store.lock().expect("store").push(r);
-        });
+        let summary = sim
+            .run(|r| {
+                let mut w = writer.lock().expect("writer");
+                w.write_all(magellan_trace::jsonl::to_json_line(&r).as_bytes())
+                    .and_then(|_| w.write_all(b"\n"))
+                    .expect("write trace archive");
+                store.lock().expect("store").push(r);
+            })
+            .expect("archival scenario is self-consistent");
         writer
             .into_inner()
             .expect("writer")
@@ -157,7 +159,9 @@ fn main() {
     }
 
     if let Some(dir) = &args.svg_dir {
-        use magellan_analysis::plot::{render_bars_svg, render_loglog_svg, render_series_svg, PlotOptions};
+        use magellan_analysis::plot::{
+            render_bars_svg, render_loglog_svg, render_series_svg, PlotOptions,
+        };
         std::fs::create_dir_all(dir).expect("create svg dir");
         let write = |name: &str, contents: String| {
             let path = format!("{dir}/{name}.svg");

@@ -5,6 +5,9 @@
 //! it. Building the trace costs seconds, so it is computed once per
 //! process in a [`std::sync::OnceLock`] and shared.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use magellan_analysis::study::StudyConfig;
 use magellan_netsim::{SimDuration, SimTime, StudyCalendar};
 use magellan_overlay::{OverlaySim, SimConfig};
@@ -41,7 +44,9 @@ pub fn bench_trace() -> &'static BenchTrace {
     TRACE.get_or_init(|| {
         let mut sim = OverlaySim::new(bench_scenario(), SimConfig::default());
         let db = sim.isp_database().clone();
-        let (store, _) = sim.run_collecting();
+        let (store, _) = sim
+            .run_collecting()
+            .expect("bench scenario is self-consistent");
         BenchTrace { store, db }
     })
 }

@@ -68,10 +68,7 @@ pub fn assortativity<N: Eq + Hash + Clone>(
     let var_x = sxx / m - (sx / m).powi(2);
     let var_y = syy / m - (sy / m).powi(2);
     if var_x <= 1e-12 || var_y <= 1e-12 {
-        return Err(GraphError::InsufficientSamples {
-            got: 1,
-            need: 2,
-        });
+        return Err(GraphError::InsufficientSamples { got: 1, need: 2 });
     }
     let cov = sxy / m - (sx / m) * (sy / m);
     Ok(cov / (var_x * var_y).sqrt())

@@ -104,7 +104,8 @@ impl<N: Eq + Hash + Clone> DiGraph<N> {
         if let Some(&id) = self.index.get(&key) {
             return id;
         }
-        let id = NodeId(self.keys.len() as u32);
+        let next = u32::try_from(self.keys.len()).expect("node count exceeds u32::MAX");
+        let id = NodeId(next);
         self.keys.push(key.clone());
         self.index.insert(key, id);
         self.out.push(Vec::new());
@@ -224,6 +225,7 @@ impl<N: Eq + Hash + Clone> DiGraph<N> {
 
     /// Iterates over all node ids in insertion order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        // lint:allow(C3): intern() guarantees node count fits in u32
         (0..self.keys.len() as u32).map(NodeId)
     }
 

@@ -16,12 +16,7 @@ use std::str::FromStr;
 pub fn to_edge_list<N: Eq + Hash + Clone + Display>(g: &DiGraph<N>) -> String {
     let mut out = String::new();
     for e in g.edges() {
-        out.push_str(&format!(
-            "{} {} {}\n",
-            g.key(e.from),
-            g.key(e.to),
-            e.weight
-        ));
+        out.push_str(&format!("{} {} {}\n", g.key(e.from), g.key(e.to), e.weight));
     }
     out
 }
@@ -80,7 +75,14 @@ where
     F: FnMut(NodeId, &N) -> Option<String>,
 {
     const PALETTE: [&str; 8] = [
-        "lightblue", "lightcoral", "lightgreen", "plum", "orange", "khaki", "lightgray", "cyan",
+        "lightblue",
+        "lightcoral",
+        "lightgreen",
+        "plum",
+        "orange",
+        "khaki",
+        "lightgray",
+        "cyan",
     ];
     let mut groups: Vec<String> = Vec::new();
     let mut out = format!("digraph \"{}\" {{\n", name.replace('"', "'"));

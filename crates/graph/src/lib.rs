@@ -29,7 +29,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod digraph;
 mod histogram;
@@ -38,6 +38,7 @@ pub mod assortativity;
 pub mod clustering;
 pub mod degree;
 pub mod export;
+pub mod invariants;
 pub mod kcore;
 pub mod paths;
 pub mod powerlaw;

@@ -125,7 +125,12 @@ pub struct MeasuredBaseline {
 
 /// Generates `G(n, m)` (undirected) with `seed` and measures `C` and
 /// `L` using the provided path sampling strategy.
-pub fn measured_baseline(n: usize, m: usize, seed: u64, sampling: PathSampling) -> MeasuredBaseline {
+pub fn measured_baseline(
+    n: usize,
+    m: usize,
+    seed: u64,
+    sampling: PathSampling,
+) -> MeasuredBaseline {
     let g = gnm_undirected(n, m, seed);
     let c = clustering::clustering_coefficient(&g);
     let l = average_path_length(&g, PathTreatment::Undirected, sampling).map(|s| s.mean);

@@ -156,10 +156,7 @@ mod tests {
     #[test]
     fn empty_graph_errors() {
         let g = graph(2, &[]);
-        assert_eq!(
-            simple_reciprocity_checked(&g),
-            Err(GraphError::EmptyGraph)
-        );
+        assert_eq!(simple_reciprocity_checked(&g), Err(GraphError::EmptyGraph));
         assert_eq!(garlaschelli_reciprocity(&g), Err(GraphError::EmptyGraph));
         assert_eq!(simple_reciprocity(&g), 0.0);
     }

@@ -116,10 +116,7 @@ mod tests {
         let g = gnm_undirected(400, 1600, 3);
         let report = assess(&g, &SmallWorldConfig::default());
         // ER clustering ≈ density, so the ratio hovers near 1.
-        assert!(
-            !report.is_small_world,
-            "ER graph misclassified: {report:?}"
-        );
+        assert!(!report.is_small_world, "ER graph misclassified: {report:?}");
         assert!(report.c_ratio < 5.0, "c_ratio = {}", report.c_ratio);
     }
 

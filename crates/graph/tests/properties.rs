@@ -249,7 +249,7 @@ mod structural_extensions {
         fn edge_list_roundtrips_any_graph(g in arb_graph()) {
             let text = to_edge_list(&g);
             let back: DiGraph<u32> = from_edge_list(&text).unwrap();
-            prop_assert_eq!(back.node_count(), g.edges().map(|e| [e.from, e.to]).flatten().collect::<std::collections::HashSet<_>>().len());
+            prop_assert_eq!(back.node_count(), g.edges().flat_map(|e| [e.from, e.to]).collect::<std::collections::HashSet<_>>().len());
             prop_assert_eq!(back.edge_count(), g.edge_count());
             for e in g.edges() {
                 let f = back.node_id(g.key(e.from)).expect("node");

@@ -1,0 +1,139 @@
+//! `magellan-lint` — the workspace's determinism and invariant
+//! static-analysis gate.
+//!
+//! Magellan's findings (non-power-law degree mix, ISP clustering,
+//! reciprocity) must *emerge* from simulated protocol dynamics, so any
+//! hidden nondeterminism — unseeded RNG, hash-order iteration,
+//! wall-clock reads — silently corrupts reproduced figures the same
+//! way measurement artifacts distorted early crawler studies. This
+//! crate is a fast, dependency-light (line-based, no `syn`) pass over
+//! every workspace `.rs` file that enforces the policy *before* code
+//! lands:
+//!
+//! | Rule | Scope | What it catches |
+//! |------|-------|-----------------|
+//! | `D1` | sim crates (`overlay`, `netsim`, `workload`) | `HashMap`/`HashSet` use — iteration order is seed-hostile; use `BTreeMap`/`BTreeSet` or sort |
+//! | `D2` | all lib crates | `thread_rng`, `rand::rng()`, `SystemTime::now`, `Instant::now` — ambient entropy / wall clock in simulation code |
+//! | `C1` | all lib crates | `unwrap()` / `expect(` in non-test library code beyond the per-crate budget |
+//! | `C2` | metric crates (`graph`, `analysis`) | float `==` / `!=` comparisons |
+//! | `C3` | metric crates (`graph`, `analysis`) | lossy `as` casts: narrow widths (`u8`/`u16`/`i8`/`i16`/`f32`) and `len() as u32`-style truncations |
+//! | `H1` | every workspace crate | missing `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]` crate header |
+//! | `M1` | everywhere | malformed `lint:allow` (missing rule id or justification) |
+//!
+//! Any finding can be waived *with a written justification* by
+//! annotating the offending line (or the line above it):
+//!
+//! ```text
+//! let order = peers.keys().collect(); // lint:allow(D1): keys are sorted two lines below
+//! ```
+//!
+//! String literals and comments are stripped before rules run, so
+//! mentioning `thread_rng` in a doc comment is fine; the allow
+//! annotations themselves are read from the raw comment text.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+mod rules;
+mod source;
+mod walk;
+
+pub use rules::{default_unwrap_budgets, Rule, RULES};
+pub use source::SourceFile;
+pub use walk::{collect_workspace_sources, find_workspace_root};
+
+/// One finding: a rule violated at a specific file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Path relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable description of this occurrence.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.file.display(),
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// Lint configuration: scopes and budgets.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Per-crate `unwrap()`/`expect(` budgets for rule C1. Crates not
+    /// listed have budget 0.
+    pub unwrap_budgets: BTreeMap<String, usize>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            unwrap_budgets: rules::default_unwrap_budgets(),
+        }
+    }
+}
+
+/// Outcome of a whole-workspace lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All violations found, in path order.
+    pub violations: Vec<Violation>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Per-crate non-test `unwrap()`/`expect(` counts (rule C1 input).
+    pub unwrap_counts: BTreeMap<String, usize>,
+}
+
+impl Report {
+    /// Whether the run found no violations.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Lints every workspace source under `root` with `config`.
+///
+/// # Errors
+///
+/// Returns an error when the tree cannot be walked or a file cannot be
+/// read.
+pub fn lint_workspace(root: &Path, config: &Config) -> std::io::Result<Report> {
+    let paths = collect_workspace_sources(root)?;
+    let mut sources = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(root.join(&path))?;
+        sources.push(SourceFile::parse(path, &text));
+    }
+    Ok(lint_sources(&sources, config))
+}
+
+/// Lints pre-parsed sources (the in-memory entry point self-tests use).
+pub fn lint_sources(sources: &[SourceFile], config: &Config) -> Report {
+    let mut report = Report {
+        files_scanned: sources.len(),
+        ..Report::default()
+    };
+    for src in sources {
+        rules::check_file(src, config, &mut report);
+    }
+    rules::check_unwrap_budgets(sources, config, &mut report);
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report
+}

@@ -1,0 +1,106 @@
+//! CLI entry point for `magellan-lint`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p magellan-lint             # lint the workspace, exit 1 on findings
+//! cargo run -p magellan-lint -- --counts # dump per-crate unwrap counts (C1 budgets)
+//! cargo run -p magellan-lint -- --list-rules
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use magellan_lint::{find_workspace_root, lint_workspace, Config, RULES};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| !matches!(a.as_str(), "--counts" | "--list-rules"))
+    {
+        eprintln!("magellan-lint: unknown argument `{unknown}`");
+        print_help();
+        return ExitCode::FAILURE;
+    }
+    if args.iter().any(|a| a == "--list-rules") {
+        for rule in RULES {
+            println!("{:3} {}", rule.id(), rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("magellan-lint: cannot read current directory: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(root) = find_workspace_root(&cwd) else {
+        eprintln!("magellan-lint: no workspace root (Cargo.toml with [workspace]) above {cwd:?}");
+        return ExitCode::FAILURE;
+    };
+
+    let config = Config::default();
+    let report = match lint_workspace(&root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("magellan-lint: walk failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.iter().any(|a| a == "--counts") {
+        println!("non-test unwrap()/expect( per crate (rule C1 input):");
+        for (krate, count) in &report.unwrap_counts {
+            let budget = config.unwrap_budgets.get(krate).copied().unwrap_or(0);
+            println!("  {krate:20} {count:4}  (budget {budget})");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    print_report(&root, &report)
+}
+
+fn print_report(root: &Path, report: &magellan_lint::Report) -> ExitCode {
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if report.is_clean() {
+        println!(
+            "magellan-lint: {} files clean ({})",
+            report.files_scanned,
+            root.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "magellan-lint: {} violation(s) in {} files — fix them or annotate with \
+             `// lint:allow(<rule>): <justification>`",
+            report.violations.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn print_help() {
+    println!(
+        "magellan-lint — determinism & invariant static-analysis gate\n\
+         \n\
+         USAGE:\n\
+         \x20   magellan-lint [--counts | --list-rules | --help]\n\
+         \n\
+         Exits 0 when the workspace is clean, 1 when violations are found.\n\
+         Waive a finding with `// lint:allow(<rule>): <justification>` on the\n\
+         offending line or the line above it."
+    );
+}

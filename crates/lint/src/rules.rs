@@ -1,0 +1,562 @@
+//! The rule set: what each rule scans for and where it applies.
+
+use crate::source::{allow_of, SourceFile, TargetKind};
+use crate::{Config, Report, Violation};
+use std::collections::BTreeMap;
+
+/// Identifier and metadata for one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Hash-order iteration hazard in simulation paths.
+    D1,
+    /// Ambient entropy / wall-clock reads in simulation code.
+    D2,
+    /// `unwrap()`/`expect(` beyond the per-crate budget.
+    C1,
+    /// Float `==`/`!=` comparisons in metric code.
+    C2,
+    /// Lossy `as` casts in metric code.
+    C3,
+    /// Missing crate hygiene headers.
+    H1,
+    /// Malformed `lint:allow` annotation.
+    M1,
+}
+
+/// Every rule, in reporting order.
+pub const RULES: [Rule; 7] = [
+    Rule::D1,
+    Rule::D2,
+    Rule::C1,
+    Rule::C2,
+    Rule::C3,
+    Rule::H1,
+    Rule::M1,
+];
+
+impl Rule {
+    /// The short id used in reports and `lint:allow(...)`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::C1 => "C1",
+            Rule::C2 => "C2",
+            Rule::C3 => "C3",
+            Rule::H1 => "H1",
+            Rule::M1 => "M1",
+        }
+    }
+
+    /// One-line description for `--list-rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::D1 => {
+                "HashMap/HashSet in simulation crates: iteration order varies per process; \
+                 use BTreeMap/BTreeSet or sort explicitly"
+            }
+            Rule::D2 => {
+                "thread_rng()/rand::rng()/SystemTime::now()/Instant::now() in library code: \
+                 all randomness must come from the seeded RngFactory, all time from SimTime"
+            }
+            Rule::C1 => {
+                "unwrap()/expect( in non-test library code beyond the per-crate budget: \
+                 return typed errors instead"
+            }
+            Rule::C2 => "float == / != comparison in metric code: compare against a tolerance",
+            Rule::C3 => "lossy `as` cast in metric code: narrow-width target or len()-truncation",
+            Rule::H1 => "crate root missing #![forbid(unsafe_code)] and #![deny(missing_docs)]",
+            Rule::M1 => "lint:allow annotation without a rule id or justification",
+        }
+    }
+}
+
+/// Crates whose internals drive the simulation and therefore must not
+/// iterate hash-ordered collections (rule D1).
+const SIM_PATH_CRATES: [&str; 3] = ["magellan-overlay", "magellan-netsim", "magellan-workload"];
+
+/// Crates exempt from determinism rules: the bench harness measures
+/// wall time by design, and vendor stubs are third-party API mirrors.
+const DETERMINISM_EXEMPT: [&str; 1] = ["magellan-bench"];
+
+/// Default per-crate `unwrap()`/`expect(` budgets (rule C1). Budgets
+/// reflect the current audited count of invariant-guarding uses; new
+/// code must not raise them — prefer typed errors, or annotate the
+/// line with `lint:allow(C1): <why the invariant holds>`.
+pub fn default_unwrap_budgets() -> BTreeMap<String, usize> {
+    // Ratchet values: the audited count at the time the budget was
+    // last reviewed, plus at most two of slack. Lower them as crates
+    // migrate to typed errors; never raise one without an audit.
+    let mut m = BTreeMap::new();
+    m.insert("magellan-graph".to_owned(), 18);
+    m.insert("magellan-analysis".to_owned(), 12);
+    m.insert("magellan-trace".to_owned(), 6);
+    m.insert("magellan-netsim".to_owned(), 6);
+    m.insert("magellan-overlay".to_owned(), 2);
+    m.insert("magellan-workload".to_owned(), 2);
+    m.insert("magellan".to_owned(), 2);
+    m.insert("magellan-bench".to_owned(), 18);
+    m.insert("magellan-lint".to_owned(), 0);
+    m
+}
+
+fn push(report: &mut Report, src: &SourceFile, line: usize, rule: Rule, message: String) {
+    if src.is_allowed(line, rule.id()) {
+        return;
+    }
+    report.violations.push(Violation {
+        file: src.path.clone(),
+        line,
+        rule,
+        message,
+    });
+}
+
+/// Runs every per-file rule over `src`.
+pub fn check_file(src: &SourceFile, config: &Config, report: &mut Report) {
+    check_allow_annotations(src, report);
+    check_hash_iteration(src, report);
+    check_wall_clock_and_entropy(src, report);
+    check_float_equality(src, report);
+    check_lossy_casts(src, report);
+    check_crate_headers(src, report);
+    count_unwraps(src, config, report);
+}
+
+/// M1: every `lint:allow` must name a known rule and justify itself.
+fn check_allow_annotations(src: &SourceFile, report: &mut Report) {
+    for (idx, comment) in src.comments.iter().enumerate() {
+        let Some((id, justification)) = allow_of(comment) else {
+            continue;
+        };
+        let known = RULES.iter().any(|r| r.id() == id);
+        if !known {
+            report.violations.push(Violation {
+                file: src.path.clone(),
+                line: idx + 1,
+                rule: Rule::M1,
+                message: format!("lint:allow names unknown rule `{id}`"),
+            });
+        } else if justification.is_empty() {
+            report.violations.push(Violation {
+                file: src.path.clone(),
+                line: idx + 1,
+                rule: Rule::M1,
+                message: format!(
+                    "lint:allow({id}) has no justification — write `lint:allow({id}): <why>`"
+                ),
+            });
+        }
+    }
+}
+
+/// D1: hash-ordered collections in simulation crates.
+fn check_hash_iteration(src: &SourceFile, report: &mut Report) {
+    if !SIM_PATH_CRATES.contains(&src.crate_name.as_str()) || src.kind != TargetKind::Lib {
+        return;
+    }
+    for (idx, line) in src.code.iter().enumerate() {
+        if src.in_test_module[idx] {
+            continue;
+        }
+        for needle in ["HashMap", "HashSet"] {
+            if contains_ident(line, needle) {
+                push(
+                    report,
+                    src,
+                    idx + 1,
+                    Rule::D1,
+                    format!(
+                        "{needle} in a simulation path — iteration order is \
+                         nondeterministic across processes; use BTree{} or sort \
+                         before iterating",
+                        &needle[4..]
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// D2: ambient entropy and wall-clock reads.
+fn check_wall_clock_and_entropy(src: &SourceFile, report: &mut Report) {
+    if DETERMINISM_EXEMPT.contains(&src.crate_name.as_str()) || src.kind != TargetKind::Lib {
+        return;
+    }
+    const FORBIDDEN: [(&str, &str); 5] = [
+        (
+            "thread_rng",
+            "ambient OS entropy breaks seed reproducibility",
+        ),
+        (
+            "rand::rng()",
+            "ambient OS entropy breaks seed reproducibility",
+        ),
+        (
+            "SystemTime::now",
+            "wall-clock reads do not replay; use SimTime",
+        ),
+        (
+            "Instant::now",
+            "wall-clock reads do not replay; use SimTime",
+        ),
+        (
+            "from_entropy",
+            "ambient OS entropy breaks seed reproducibility",
+        ),
+    ];
+    for (idx, line) in src.code.iter().enumerate() {
+        if src.in_test_module[idx] {
+            continue;
+        }
+        for (needle, why) in FORBIDDEN {
+            if line.contains(needle) {
+                push(
+                    report,
+                    src,
+                    idx + 1,
+                    Rule::D2,
+                    format!("`{needle}` in simulation code — {why}"),
+                );
+            }
+        }
+    }
+}
+
+/// C2: float equality in metric crates.
+fn check_float_equality(src: &SourceFile, report: &mut Report) {
+    if !metric_crate(&src.crate_name) || src.kind != TargetKind::Lib {
+        return;
+    }
+    for (idx, line) in src.code.iter().enumerate() {
+        if src.in_test_module[idx] {
+            continue;
+        }
+        if has_float_equality(line) {
+            push(
+                report,
+                src,
+                idx + 1,
+                Rule::C2,
+                "float == / != comparison — compare |a - b| against a tolerance".to_owned(),
+            );
+        }
+    }
+}
+
+/// C3: lossy casts in metric crates.
+fn check_lossy_casts(src: &SourceFile, report: &mut Report) {
+    if !metric_crate(&src.crate_name) || src.kind != TargetKind::Lib {
+        return;
+    }
+    for (idx, line) in src.code.iter().enumerate() {
+        if src.in_test_module[idx] {
+            continue;
+        }
+        for narrow in [" as u8", " as u16", " as i8", " as i16", " as f32"] {
+            if let Some(pos) = line.find(narrow) {
+                let after = line[pos + narrow.len()..].chars().next();
+                if !after.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                    push(
+                        report,
+                        src,
+                        idx + 1,
+                        Rule::C3,
+                        format!("narrowing cast `{}` — use try_from or widen", narrow.trim()),
+                    );
+                }
+            }
+        }
+        if line.contains("len() as u32") || line.contains("len() as u16") {
+            push(
+                report,
+                src,
+                idx + 1,
+                Rule::C3,
+                "length truncated by `as` — guard the bound explicitly".to_owned(),
+            );
+        }
+    }
+}
+
+/// H1: hygiene headers on crate roots.
+fn check_crate_headers(src: &SourceFile, report: &mut Report) {
+    let name = src.path.file_name().map(|f| f.to_string_lossy());
+    if name.as_deref() != Some("lib.rs") || src.kind != TargetKind::Lib {
+        return;
+    }
+    for header in ["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"] {
+        if !src.code.iter().any(|l| l.contains(header)) {
+            push(
+                report,
+                src,
+                1,
+                Rule::H1,
+                format!("crate root is missing `{header}`"),
+            );
+        }
+    }
+}
+
+/// C1 phase 1: count non-test, non-allowed unwraps per crate.
+fn count_unwraps(src: &SourceFile, _config: &Config, report: &mut Report) {
+    if src.kind != TargetKind::Lib {
+        return;
+    }
+    let mut n = 0usize;
+    for (idx, line) in src.code.iter().enumerate() {
+        if src.in_test_module[idx] {
+            continue;
+        }
+        let hits = line.matches(".unwrap()").count() + line.matches(".expect(").count();
+        if hits > 0 && !src.is_allowed(idx + 1, "C1") {
+            n += hits;
+        }
+    }
+    *report
+        .unwrap_counts
+        .entry(src.crate_name.clone())
+        .or_insert(0) += n;
+}
+
+/// C1 phase 2: compare the counts against the budgets.
+pub fn check_unwrap_budgets(sources: &[SourceFile], config: &Config, report: &mut Report) {
+    for (crate_name, &count) in &report.unwrap_counts.clone() {
+        let budget = config.unwrap_budgets.get(crate_name).copied().unwrap_or(0);
+        if count > budget {
+            // Anchor the violation at the crate root for a stable path.
+            let anchor = sources
+                .iter()
+                .find(|s| {
+                    s.crate_name == *crate_name && s.path.file_name().is_some_and(|f| f == "lib.rs")
+                })
+                .map(|s| s.path.clone())
+                .unwrap_or_else(|| std::path::PathBuf::from(crate_name.clone()));
+            report.violations.push(Violation {
+                file: anchor,
+                line: 1,
+                rule: Rule::C1,
+                message: format!(
+                    "{crate_name} has {count} unwrap()/expect( calls in non-test library \
+                     code, over its budget of {budget} — convert to typed errors or \
+                     annotate invariant-guarding sites with lint:allow(C1)"
+                ),
+            });
+        }
+    }
+}
+
+fn metric_crate(name: &str) -> bool {
+    name == "magellan-graph" || name == "magellan-analysis"
+}
+
+/// Whether `line` contains `needle` as a standalone identifier
+/// (not a substring of a longer identifier).
+fn contains_ident(line: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(needle) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !line[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = line[abs + needle.len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + needle.len();
+    }
+    false
+}
+
+/// Detects `== 1.0`, `0.5 !=`, `== 1e-9` style comparisons against
+/// float literals, leaving `<=`, `>=`, and integer comparisons alone.
+fn has_float_equality(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    for (i, w) in bytes.windows(2).enumerate() {
+        let op = matches!(w, b"==" | b"!=");
+        if !op {
+            continue;
+        }
+        // Exclude `<=`, `>=`, `!==`-like runs handled naturally: `<=`
+        // and `>=` never match the `==`/`!=` windows at this offset
+        // unless preceded by `<`/`>`/`=`/`!`.
+        if i > 0 && matches!(bytes[i - 1], b'<' | b'>' | b'=' | b'!') {
+            continue;
+        }
+        if bytes.get(i + 2) == Some(&b'=') {
+            continue;
+        }
+        let left = line[..i].trim_end();
+        let right = line[i + 2..].trim_start();
+        if float_literal_at_end(left) || float_literal_at_start(right) {
+            return true;
+        }
+    }
+    false
+}
+
+fn float_literal_at_start(s: &str) -> bool {
+    let s = s.strip_prefix('-').unwrap_or(s);
+    let mut digits = false;
+    let mut dot = false;
+    let mut exp = false;
+    for c in s.chars() {
+        match c {
+            '0'..='9' | '_' => digits = true,
+            '.' if digits && !dot => dot = true,
+            'e' | 'E' if digits && !exp => exp = true,
+            '-' | '+' if exp => {}
+            _ => break,
+        }
+    }
+    digits && (dot || exp) || s.starts_with("f64::") || s.starts_with("f32::")
+}
+
+fn float_literal_at_end(s: &str) -> bool {
+    let tail: String = s
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '_' | 'e' | 'E' | '-' | '+'))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    let t = tail.trim_start_matches(['-', '+']);
+    t.contains('.') && t.chars().next().is_some_and(|c| c.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn lint_one(path: &str, text: &str) -> Vec<Violation> {
+        let src = SourceFile::parse(PathBuf::from(path), text);
+        let config = Config::default();
+        crate::lint_sources(&[src], &config).violations
+    }
+
+    fn ids(vs: &[Violation]) -> Vec<&'static str> {
+        vs.iter().map(|v| v.rule.id()).collect()
+    }
+
+    const CLEAN_HEADER: &str = "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n";
+
+    #[test]
+    fn d1_fires_in_sim_crates_only() {
+        let bad = "use std::collections::HashMap;\n";
+        assert!(ids(&lint_one("crates/overlay/src/x.rs", bad)).contains(&"D1"));
+        assert!(ids(&lint_one("crates/netsim/src/x.rs", bad)).contains(&"D1"));
+        assert!(!ids(&lint_one("crates/graph/src/x.rs", bad)).contains(&"D1"));
+        assert!(!ids(&lint_one("crates/overlay/tests/x.rs", bad)).contains(&"D1"));
+    }
+
+    #[test]
+    fn d1_allow_with_justification_suppresses() {
+        let ok = "use std::collections::HashMap; // lint:allow(D1): only point lookups\n";
+        assert!(lint_one("crates/overlay/src/x.rs", ok).is_empty());
+        let noreason = "use std::collections::HashMap; // lint:allow(D1)\n";
+        let vs = lint_one("crates/overlay/src/x.rs", noreason);
+        assert!(ids(&vs).contains(&"M1"), "{vs:?}");
+        assert!(ids(&vs).contains(&"D1"), "{vs:?}");
+    }
+
+    #[test]
+    fn d2_fires_on_clock_and_entropy() {
+        for bad in [
+            "let t = std::time::Instant::now();\n",
+            "let t = SystemTime::now();\n",
+            "let mut r = rand::rng();\n",
+            "let mut r = thread_rng();\n",
+        ] {
+            let vs = lint_one("crates/workload/src/x.rs", bad);
+            assert!(ids(&vs).contains(&"D2"), "{bad:?} -> {vs:?}");
+        }
+        // Doc comments and strings do not trip the rule.
+        let doc = "//! Never call `thread_rng` here.\nconst X: &str = \"Instant::now\";\n";
+        assert!(!ids(&lint_one("crates/workload/src/x.rs", doc)).contains(&"D2"));
+        // The bench harness may time things.
+        let bench = "let t = std::time::Instant::now();\n";
+        assert!(lint_one("crates/bench/src/x.rs", bench).is_empty());
+    }
+
+    #[test]
+    fn c1_budget_is_enforced_per_crate() {
+        // magellan-lint has budget 0, so one unwrap in lib code trips C1.
+        let bad = format!("{CLEAN_HEADER}fn f() {{ x.unwrap(); }}\n");
+        let vs = lint_one("crates/lint/src/lib.rs", &bad);
+        assert!(ids(&vs).contains(&"C1"), "{vs:?}");
+        // Inside #[cfg(test)] it is free.
+        let test_only =
+            format!("{CLEAN_HEADER}#[cfg(test)]\nmod tests {{\n fn t() {{ x.unwrap(); }}\n}}\n");
+        assert!(lint_one("crates/lint/src/lib.rs", &test_only).is_empty());
+        // An allow-annotated site does not count against the budget.
+        let allowed = format!(
+            "{CLEAN_HEADER}fn f() {{ x.unwrap(); // lint:allow(C1): index checked above\n}}\n"
+        );
+        assert!(lint_one("crates/lint/src/lib.rs", &allowed).is_empty());
+    }
+
+    #[test]
+    fn c2_fires_on_float_equality_only() {
+        let bad = "if x == 0.0 { }\n";
+        assert!(ids(&lint_one("crates/graph/src/x.rs", bad)).contains(&"C2"));
+        let bad2 = "if 1.5 != y { }\n";
+        assert!(ids(&lint_one("crates/analysis/src/x.rs", bad2)).contains(&"C2"));
+        for ok in [
+            "if x <= 0.5 { }\n",
+            "if x >= 1.0 { }\n",
+            "if (a - b).abs() < 1e-9 { }\n",
+            "if n == 0 { }\n",
+            "if version == 10 { }\n",
+        ] {
+            let vs = lint_one("crates/graph/src/x.rs", ok);
+            assert!(!ids(&vs).contains(&"C2"), "{ok:?} -> {vs:?}");
+        }
+    }
+
+    #[test]
+    fn c3_fires_on_narrowing_casts() {
+        let bad = "let x = big as u16;\n";
+        assert!(ids(&lint_one("crates/graph/src/x.rs", bad)).contains(&"C3"));
+        let bad2 = "let n = v.len() as u32;\n";
+        assert!(ids(&lint_one("crates/analysis/src/x.rs", bad2)).contains(&"C3"));
+        let ok = "let x = small as u64;\nlet y = n as f64;\nlet z = w as usize;\n";
+        assert!(!ids(&lint_one("crates/graph/src/x.rs", ok)).contains(&"C3"));
+    }
+
+    #[test]
+    fn h1_requires_both_headers() {
+        let vs = lint_one("crates/graph/src/lib.rs", "#![forbid(unsafe_code)]\n");
+        assert_eq!(ids(&vs), vec!["H1"]);
+        assert!(lint_one("crates/graph/src/lib.rs", CLEAN_HEADER).is_empty());
+        // Non-root files need no headers.
+        assert!(lint_one("crates/graph/src/degree.rs", "fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn m1_fires_on_unknown_rule() {
+        let vs = lint_one("crates/graph/src/x.rs", "// lint:allow(Z9): whatever\n");
+        assert_eq!(ids(&vs), vec!["M1"]);
+    }
+
+    #[test]
+    fn violations_are_sorted_and_displayed() {
+        let src_a = SourceFile::parse(
+            PathBuf::from("crates/overlay/src/a.rs"),
+            "use std::collections::HashSet;\n",
+        );
+        let src_b = SourceFile::parse(
+            PathBuf::from("crates/overlay/src/b.rs"),
+            "use std::collections::HashMap;\n",
+        );
+        let report = crate::lint_sources(&[src_b, src_a], &Config::default());
+        assert_eq!(report.violations.len(), 2);
+        assert!(report.violations[0].file < report.violations[1].file);
+        let shown = report.violations[0].to_string();
+        assert!(shown.contains("crates/overlay/src/a.rs:1: D1"), "{shown}");
+    }
+}

@@ -1,0 +1,462 @@
+//! Source-file model: comment/string stripping and region
+//! classification.
+//!
+//! Rules match against a *code-only* rendering of each line, in which
+//! comments and string/char literal contents are blanked out with
+//! spaces (preserving columns), so `"thread_rng"` in a message or a
+//! doc comment never trips rule D2. `lint:allow` annotations live in
+//! comments, so they are read from the raw text instead.
+
+use std::path::PathBuf;
+
+/// Which kind of target a file belongs to, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// Library code (`src/` of a crate) — every rule applies.
+    Lib,
+    /// Tests, benches, examples, build scripts — only hygiene rules.
+    TestLike,
+}
+
+/// A parsed workspace source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root.
+    pub path: PathBuf,
+    /// The crate this file belongs to (e.g. `magellan-overlay`;
+    /// `magellan` for the root package).
+    pub crate_name: String,
+    /// Lib vs. test-like target.
+    pub kind: TargetKind,
+    /// Raw lines as read.
+    pub raw: Vec<String>,
+    /// Code-only lines: comments and literal contents blanked.
+    pub code: Vec<String>,
+    /// Comment-only lines: everything but comment text blanked.
+    /// `lint:allow` annotations are read from here, so a string
+    /// literal mentioning the syntax never parses as one.
+    pub comments: Vec<String>,
+    /// Per-line flag: inside a `#[cfg(test)]` module.
+    pub in_test_module: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Parses `text` (already read from `path`, relative to the
+    /// workspace root).
+    pub fn parse(path: PathBuf, text: &str) -> SourceFile {
+        let crate_name = crate_of(&path);
+        let kind = kind_of(&path);
+        let raw: Vec<String> = text.lines().map(str::to_owned).collect();
+        let (code, comments) = strip_to_code(text);
+        let in_test_module = mark_test_modules(&code);
+        SourceFile {
+            path,
+            crate_name,
+            kind,
+            raw,
+            code,
+            comments,
+            in_test_module,
+        }
+    }
+
+    /// Whether the given 1-based line carries (or is directly followed
+    /// by, for the line above) a `lint:allow(<rule>)` with a
+    /// justification for `rule_id`.
+    pub fn is_allowed(&self, line: usize, rule_id: &str) -> bool {
+        let here = self.comments.get(line.wrapping_sub(1)).map(String::as_str);
+        // The line-above form only counts when that line is a
+        // standalone comment — a trailing allow belongs to its own
+        // line, not the one below it.
+        let above = if line >= 2 {
+            self.comments
+                .get(line - 2)
+                .filter(|_| {
+                    self.raw
+                        .get(line - 2)
+                        .is_some_and(|l| l.trim_start().starts_with("//"))
+                })
+                .map(String::as_str)
+        } else {
+            None
+        };
+        [here, above]
+            .into_iter()
+            .flatten()
+            .any(|l| allow_of(l).is_some_and(|(id, just)| id == rule_id && !just.is_empty()))
+    }
+}
+
+/// Extracts `(rule_id, justification)` from a `lint:allow` annotation,
+/// if the line carries one. The justification is everything after an
+/// optional `:` following the closing parenthesis, trimmed. Only
+/// id-shaped contents (an uppercase letter followed by a digit) parse
+/// as annotations, so prose like ``lint:allow(<rule>)`` in docs is
+/// ignored rather than reported as naming an unknown rule.
+pub fn allow_of(comment_line: &str) -> Option<(&str, &str)> {
+    let start = comment_line.find("lint:allow(")?;
+    let rest = &comment_line[start + "lint:allow(".len()..];
+    let close = rest.find(')')?;
+    let id = rest[..close].trim();
+    let mut chars = id.chars();
+    let id_shaped = matches!(
+        (chars.next(), chars.next(), chars.next()),
+        (Some('A'..='Z'), Some('0'..='9'), None)
+    );
+    if !id_shaped {
+        return None;
+    }
+    let tail = rest[close + 1..].trim_start();
+    let justification = tail.strip_prefix(':').map(str::trim).unwrap_or("");
+    Some((id, justification))
+}
+
+fn crate_of(path: &std::path::Path) -> String {
+    let mut parts = path.components().map(|c| c.as_os_str().to_string_lossy());
+    match parts.next().as_deref() {
+        Some("crates") => match parts.next() {
+            Some(dir) => format!("magellan-{dir}"),
+            None => "magellan".to_owned(),
+        },
+        _ => "magellan".to_owned(),
+    }
+}
+
+fn kind_of(path: &std::path::Path) -> TargetKind {
+    let is_lib = path
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .any(|p| p == "src");
+    if is_lib {
+        TargetKind::Lib
+    } else {
+        TargetKind::TestLike
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Renders `text` twice, preserving line structure and column
+/// positions: a code-only view (comments and literal contents blanked
+/// to spaces) and a comment-only view (everything else blanked).
+fn strip_to_code(text: &str) -> (Vec<String>, Vec<String>) {
+    let mut code_out: Vec<String> = Vec::new();
+    let mut cmt_out: Vec<String> = Vec::new();
+    let mut code = String::new();
+    let mut cmt = String::new();
+    let mut mode = Mode::Code;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    // Pushes `n` source chars starting at `i` into one view, blanking
+    // the other.
+    macro_rules! emit {
+        (code, $n:expr) => {{
+            for k in 0..$n {
+                code.push(chars.get(i + k).copied().unwrap_or(' '));
+                cmt.push(' ');
+            }
+            i += $n;
+        }};
+        (comment, $n:expr) => {{
+            for k in 0..$n {
+                cmt.push(chars.get(i + k).copied().unwrap_or(' '));
+                code.push(' ');
+            }
+            i += $n;
+        }};
+        (blank, $n:expr) => {{
+            for _ in 0..$n {
+                code.push(' ');
+                cmt.push(' ');
+            }
+            i += $n;
+        }};
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            if mode == Mode::LineComment {
+                mode = Mode::Code;
+            }
+            code_out.push(std::mem::take(&mut code));
+            cmt_out.push(std::mem::take(&mut cmt));
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => match c {
+                '/' if next == Some('/') => {
+                    mode = Mode::LineComment;
+                    emit!(comment, 2);
+                }
+                '/' if next == Some('*') => {
+                    mode = Mode::BlockComment(1);
+                    emit!(comment, 2);
+                }
+                '"' => {
+                    mode = Mode::Str;
+                    emit!(code, 1);
+                }
+                'r' | 'b' if is_raw_string_start(&chars, i) => {
+                    let (hashes, consumed) = raw_string_open(&chars, i);
+                    mode = Mode::RawStr(hashes);
+                    emit!(blank, consumed);
+                }
+                '\'' if is_char_literal(&chars, i) => {
+                    mode = Mode::Char;
+                    emit!(code, 1);
+                }
+                _ => emit!(code, 1),
+            },
+            Mode::LineComment => emit!(comment, 1),
+            Mode::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    emit!(comment, 2);
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    emit!(comment, 2);
+                } else {
+                    emit!(comment, 1);
+                }
+            }
+            Mode::Str => match c {
+                '\\' => emit!(blank, 2),
+                '"' => {
+                    mode = Mode::Code;
+                    emit!(code, 1);
+                }
+                _ => emit!(blank, 1),
+            },
+            Mode::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&chars, i, hashes) {
+                    mode = Mode::Code;
+                    emit!(blank, 1 + hashes as usize);
+                } else {
+                    emit!(blank, 1);
+                }
+            }
+            Mode::Char => match c {
+                '\\' => emit!(blank, 2),
+                '\'' => {
+                    mode = Mode::Code;
+                    emit!(code, 1);
+                }
+                _ => emit!(blank, 1),
+            },
+        }
+    }
+    // Mirror `str::lines`: no phantom final line after a trailing
+    // newline, so both views stay index-aligned with `raw`.
+    if !code.is_empty() || (!text.is_empty() && !text.ends_with('\n')) {
+        code_out.push(code);
+        cmt_out.push(cmt);
+    }
+    (code_out, cmt_out)
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // r", r#", br", br#" — conservatively require the quote within 4
+    // chars so identifiers like `radius` are untouched.
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+        if hashes > 8 {
+            return false;
+        }
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn raw_string_open(chars: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    (hashes, j - i)
+}
+
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    // 'x' or '\n' — otherwise it is a lifetime.
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Flags every line that lies inside a `#[cfg(test)] mod … { … }`.
+fn mark_test_modules(code: &[String]) -> Vec<bool> {
+    let mut flags = vec![false; code.len()];
+    let mut pending_cfg = false;
+    let mut depth: i32 = 0;
+    let mut in_test = false;
+    for (idx, line) in code.iter().enumerate() {
+        if in_test {
+            flags[idx] = true;
+            depth += brace_delta(line);
+            if depth <= 0 {
+                in_test = false;
+            }
+            continue;
+        }
+        if line.contains("#[cfg(test)]") {
+            if line.contains("mod ") {
+                flags[idx] = true;
+                depth = brace_delta(line);
+                in_test = depth > 0;
+            } else {
+                pending_cfg = true;
+            }
+            continue;
+        }
+        if pending_cfg {
+            if line.trim().is_empty() || line.trim_start().starts_with("#[") {
+                continue;
+            }
+            if line.contains("mod ") {
+                flags[idx] = true;
+                in_test = true;
+                depth = brace_delta(line);
+                if depth <= 0 && line.contains('{') {
+                    in_test = false;
+                }
+            }
+            pending_cfg = false;
+        }
+    }
+    flags
+}
+
+fn brace_delta(line: &str) -> i32 {
+    let mut d = 0;
+    for c in line.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("crates/overlay/src/x.rs"), text)
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src =
+            parse("let x = \"thread_rng\"; // SystemTime::now\n/* Instant::now */ let y = 1;\n");
+        assert!(!src.code[0].contains("thread_rng"));
+        assert!(!src.code[0].contains("SystemTime"));
+        assert!(!src.code[1].contains("Instant"));
+        assert!(src.code[1].contains("let y = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = parse("let p = r#\"HashMap<\"#; let q = HashMap::new();\n");
+        assert_eq!(src.code[0].matches("HashMap").count(), 1);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = parse("fn f<'a>(x: &'a str) -> char { 'y' }\n");
+        assert!(src.code[0].contains("fn f<'a>(x: &'a str)"));
+        assert!(!src.code[0].contains("'y'"));
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let src = parse("let s = \"a\\\"b\"; let t = HashMap::new();\n");
+        assert!(src.code[0].contains("HashMap::new()"));
+    }
+
+    #[test]
+    fn test_modules_are_marked() {
+        let text =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let src = parse(text);
+        assert_eq!(
+            src.in_test_module,
+            vec![false, false, true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn allow_annotations_parse() {
+        assert_eq!(
+            allow_of("x(); // lint:allow(D1): keys sorted below"),
+            Some(("D1", "keys sorted below"))
+        );
+        assert_eq!(allow_of("// lint:allow(C1)"), Some(("C1", "")));
+        assert_eq!(allow_of("// nothing here"), None);
+    }
+
+    #[test]
+    fn allowed_lines_require_justification() {
+        let text = "a(); // lint:allow(D2): uses seeded stream\nb(); // lint:allow(D2)\n";
+        let src = parse(text);
+        assert!(src.is_allowed(1, "D2"));
+        assert!(!src.is_allowed(2, "D2"));
+        assert!(!src.is_allowed(1, "D1"));
+    }
+
+    #[test]
+    fn allow_on_previous_line_applies() {
+        let text = "// lint:allow(C2): exact sentinel comparison\nif x == 0.0 {}\n";
+        let src = parse(text);
+        assert!(src.is_allowed(2, "C2"));
+    }
+
+    #[test]
+    fn crate_and_kind_classification() {
+        let s = SourceFile::parse(PathBuf::from("crates/graph/src/lib.rs"), "");
+        assert_eq!(s.crate_name, "magellan-graph");
+        assert_eq!(s.kind, TargetKind::Lib);
+        let t = SourceFile::parse(PathBuf::from("tests/end_to_end.rs"), "");
+        assert_eq!(t.crate_name, "magellan");
+        assert_eq!(t.kind, TargetKind::TestLike);
+        let b = SourceFile::parse(PathBuf::from("crates/bench/benches/fig1.rs"), "");
+        assert_eq!(b.crate_name, "magellan-bench");
+        assert_eq!(b.kind, TargetKind::TestLike);
+    }
+}

@@ -1,0 +1,93 @@
+//! Workspace discovery: which files get linted and where the root is.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into, wherever they appear.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "vendor", "node_modules"];
+
+/// Walks the workspace and returns every lintable `.rs` path, sorted,
+/// relative to `root`.
+///
+/// Covered: `crates/*` and the root package's `src/`, `examples/`,
+/// `tests/`, and `benches/`. Excluded: `vendor/` (third-party API
+/// stubs), `target/`, and VCS metadata.
+///
+/// # Errors
+///
+/// Returns an error when a directory cannot be read.
+pub fn collect_workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "examples", "tests", "benches"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk_dir(&dir, root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk_dir(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk_dir(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map(Path::to_path_buf)
+                .unwrap_or(path);
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Finds the workspace root by walking up from `start` until a
+/// directory containing a `Cargo.toml` with a `[workspace]` table is
+/// found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace() {
+        let here = std::env::current_dir().expect("cwd");
+        let root = find_workspace_root(&here).expect("workspace root above test cwd");
+        assert!(root.join("crates").is_dir(), "{}", root.display());
+    }
+
+    #[test]
+    fn walk_skips_vendor_and_sorts() {
+        let here = std::env::current_dir().expect("cwd");
+        let root = find_workspace_root(&here).expect("workspace root");
+        let files = collect_workspace_sources(&root).expect("walk");
+        assert!(files.iter().all(|p| !p.starts_with("vendor")));
+        assert!(files.iter().all(|p| !p.starts_with("target")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+        assert!(files.iter().any(|p| p.ends_with("crates/lint/src/walk.rs")));
+    }
+}

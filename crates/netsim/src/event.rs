@@ -80,7 +80,9 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|(Reverse(Key(t, _)), slot)| (t, slot.0))
+        self.heap
+            .pop()
+            .map(|(Reverse(Key(t, _)), slot)| (t, slot.0))
     }
 
     /// The timestamp of the earliest pending event.

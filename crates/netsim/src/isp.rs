@@ -14,7 +14,7 @@
 use crate::rng::weighted_index;
 use rand::RngExt as _;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -84,9 +84,7 @@ impl fmt::Display for Isp {
 ///
 /// The trace schema keys everything by IP address, exactly as the
 /// paper's reports do.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PeerAddr(pub Ipv4Addr);
 
 impl PeerAddr {
@@ -271,7 +269,7 @@ impl IspDatabase {
     pub fn allocator(&self) -> AddrAllocator {
         AddrAllocator {
             db: self.clone(),
-            used: HashSet::new(),
+            used: BTreeSet::new(),
         }
     }
 }
@@ -287,7 +285,7 @@ impl Default for IspDatabase {
 #[derive(Debug, Clone)]
 pub struct AddrAllocator {
     db: IspDatabase,
-    used: HashSet<u32>,
+    used: BTreeSet<u32>,
 }
 
 impl AddrAllocator {
@@ -374,7 +372,7 @@ mod tests {
         let db = IspDatabase::default();
         let mut alloc = db.allocator();
         let mut rng = RngFactory::new(1).fork("alloc");
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for _ in 0..5_000 {
             let a = alloc.alloc(&mut rng);
             assert!(seen.insert(a), "duplicate address {a}");

@@ -1,0 +1,112 @@
+//! Typed failures of the simulation engine.
+//!
+//! The engine's failure modes used to be `unwrap()`/`expect(` calls
+//! scattered through the tick loop; they are now explicit values, so
+//! callers can distinguish "the scenario is inconsistent" (a
+//! configuration bug worth a clean abort and message) from "the trace
+//! layer rejected a report" (a protocol bug).
+
+use magellan_workload::ChannelId;
+use std::fmt;
+
+/// A block-transfer tick could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransferError {
+    /// A live peer is tuned to a channel the rate function does not
+    /// know. Every peer joins through a scenario channel, so this
+    /// means the caller passed an inconsistent rate table.
+    UnknownChannel(ChannelId),
+    /// A channel's stream rate is non-finite or non-positive, which
+    /// would corrupt every downstream throughput figure.
+    InvalidRate {
+        /// The offending channel.
+        channel: ChannelId,
+        /// The rate it reported, in Kbps.
+        rate_kbps: f64,
+    },
+}
+
+impl fmt::Display for TransferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferError::UnknownChannel(ch) => {
+                write!(f, "no stream rate known for channel {ch:?}")
+            }
+            TransferError::InvalidRate { channel, rate_kbps } => {
+                write!(
+                    f,
+                    "channel {channel:?} has invalid stream rate {rate_kbps} Kbps"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
+
+/// A simulation run aborted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The transfer engine hit an inconsistency.
+    Transfer(TransferError),
+    /// The validating trace server rejected a simulator-generated
+    /// report — the report builder and the §3.2 schema disagree.
+    ReportRejected {
+        /// The server's rejection reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Transfer(e) => write!(f, "transfer tick failed: {e}"),
+            SimError::ReportRejected { reason } => {
+                write!(f, "trace server rejected a simulated report: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Transfer(e) => Some(e),
+            SimError::ReportRejected { .. } => None,
+        }
+    }
+}
+
+impl From<TransferError> for SimError {
+    fn from(e: TransferError) -> Self {
+        SimError::Transfer(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_channel() {
+        let e = TransferError::UnknownChannel(ChannelId(3));
+        assert!(e.to_string().contains("ChannelId(3)"));
+        let s: SimError = e.into();
+        assert!(s.to_string().contains("transfer tick failed"));
+    }
+
+    #[test]
+    fn sim_error_exposes_source() {
+        use std::error::Error as _;
+        let s: SimError = TransferError::InvalidRate {
+            channel: ChannelId(1),
+            rate_kbps: f64::NAN,
+        }
+        .into();
+        assert!(s.source().is_some());
+        let r = SimError::ReportRejected {
+            reason: "bad".into(),
+        };
+        assert!(r.source().is_none());
+    }
+}

@@ -37,20 +37,22 @@
 //!     .calendar(StudyCalendar { window_days: 1 })
 //!     .build();
 //! let mut sim = OverlaySim::new(scenario, SimConfig::default());
-//! let (trace, summary) = sim.run_collecting();
+//! let (trace, summary) = sim.run_collecting().expect("consistent scenario");
 //! println!("{} reports from {} joins", trace.len(), summary.joins);
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
+pub mod error;
 pub mod peer;
 pub mod sim;
 pub mod tracker;
 pub mod transfer;
 
 pub use config::SimConfig;
+pub use error::{SimError, TransferError};
 pub use peer::{PeerId, PeerState};
 pub use sim::{OverlaySim, SimSummary};
 pub use tracker::Tracker;

@@ -2,10 +2,10 @@
 //! throughput accounting, supplier selection, and report assembly.
 
 use crate::config::SimConfig;
-use rand::RngExt as _;
 use magellan_netsim::{Isp, LinkQuality, PeerAddr, PeerCapacity, SimTime};
 use magellan_trace::{BufferMap, PartnerRecord, PeerReport};
 use magellan_workload::ChannelId;
+use rand::RngExt as _;
 use std::collections::BTreeMap;
 
 /// Dense identifier of a peer within one [`crate::OverlaySim`] run.
@@ -207,13 +207,9 @@ impl PeerState {
                 scored.swap(i, j);
             }
         } else {
-            scored.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .expect("scores are finite")
-                    .then(a.0.cmp(&b.0))
-            });
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         }
-        let chosen: std::collections::HashSet<PeerId> =
+        let chosen: std::collections::BTreeSet<PeerId> =
             scored.into_iter().take(target).map(|(id, _)| id).collect();
         for (id, link) in self.partners.iter_mut() {
             link.supplier = chosen.contains(id);
@@ -232,7 +228,7 @@ impl PeerState {
             .filter(|(_, l)| !l.supplier)
             .map(|(&id, l)| (id, l.score()))
             .collect();
-        victims.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        victims.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         let excess = self.partners.len() - max;
         for (id, _) in victims.into_iter().take(excess) {
             self.partners.remove(&id);
@@ -459,7 +455,9 @@ mod tests {
         p.add_partner(PeerId(2), quality(800.0, 40.0), SimTime::ORIGIN);
         p.partners.get_mut(&PeerId(2)).unwrap().sent_interval = 42;
         p.partners.get_mut(&PeerId(2)).unwrap().recv_interval = 17;
-        let r = p.build_report(SimTime::at(0, 0, 30), 150, |id| PeerAddr::from_u32(id.0 + 100));
+        let r = p.build_report(SimTime::at(0, 0, 30), 150, |id| {
+            PeerAddr::from_u32(id.0 + 100)
+        });
         assert_eq!(r.partners.len(), 1);
         assert_eq!(r.partners[0].addr, PeerAddr::from_u32(102));
         assert_eq!(r.partners[0].segments_sent, 42);

@@ -14,17 +14,16 @@
 //! [`OverlaySim::run_collecting`].
 
 use crate::config::SimConfig;
+use crate::error::SimError;
 use crate::peer::{PeerId, PeerState};
 use crate::tracker::{BootstrapPolicy, Tracker};
 use crate::transfer;
-use magellan_netsim::{
-    AddrAllocator, Isp, IspDatabase, PeerAddr, RngFactory, SimTime,
-};
+use magellan_netsim::{AddrAllocator, Isp, IspDatabase, PeerAddr, RngFactory, SimTime};
 use magellan_trace::{PeerReport, TraceServer, TraceStore, REPORT_INTERVAL};
 use magellan_workload::{ChannelId, JoinEvent, Scenario};
 use rand::rngs::StdRng;
 use rand::RngExt as _;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Aggregate statistics of one simulation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -95,7 +94,14 @@ impl OverlaySim {
 
     /// Runs the whole study window, pushing every report into `sink`
     /// (called with the report's own timestamp order per tick).
-    pub fn run<F>(&mut self, mut sink: F) -> SimSummary
+    ///
+    /// # Errors
+    ///
+    /// Fails when the transfer engine detects an inconsistency
+    /// between the scenario's channel table and the live peers — see
+    /// [`crate::TransferError`]. A scenario built through
+    /// [`magellan_workload::Scenario`] cannot trigger this.
+    pub fn run<F>(&mut self, mut sink: F) -> Result<SimSummary, SimError>
     where
         F: FnMut(PeerReport),
     {
@@ -116,7 +122,7 @@ impl OverlaySim {
         let mut summary = SimSummary::default();
         let tick = self.cfg.tick;
         let ticks_total = window_end.as_millis() / tick.as_millis();
-        let rates: HashMap<ChannelId, f64> = self
+        let rates: BTreeMap<ChannelId, f64> = self
             .scenario
             .channels
             .iter()
@@ -151,11 +157,8 @@ impl OverlaySim {
 
             // 4. Block transfers.
             let rates_ref = &rates;
-            let outcome = transfer::run_tick(
-                &mut self.peers,
-                |ch| rates_ref.get(&ch).copied().unwrap_or(400.0),
-                &self.cfg,
-            );
+            let outcome =
+                transfer::run_tick(&mut self.peers, |ch| rates_ref.get(&ch).copied(), &self.cfg)?;
             summary.segments += outcome.segments;
 
             // 5. Reports due by the end of this tick.
@@ -165,19 +168,32 @@ impl OverlaySim {
             summary.ticks += 1;
         }
         summary.final_concurrent = self.live;
-        summary
+        Ok(summary)
     }
 
     /// Convenience wrapper: run and collect everything through a
     /// validating [`TraceServer`] into a [`TraceStore`]. Use only at
     /// small scales; figure pipelines stream instead.
-    pub fn run_collecting(&mut self) -> (TraceStore, SimSummary) {
+    ///
+    /// # Errors
+    ///
+    /// Fails on any [`OverlaySim::run`] failure, or when the
+    /// validating server rejects a simulated report (a disagreement
+    /// between the report builder and the §3.2 schema).
+    pub fn run_collecting(&mut self) -> Result<(TraceStore, SimSummary), SimError> {
         let server = TraceServer::new(self.scenario.calendar.window_end());
+        let mut rejected: Option<String> = None;
         let summary = self.run(|r| {
-            // Reports generated by the simulator always validate.
-            server.submit(r).expect("simulated report rejected");
-        });
-        (server.into_store(), summary)
+            if rejected.is_none() {
+                if let Err(e) = server.submit(r) {
+                    rejected = Some(e.to_string());
+                }
+            }
+        })?;
+        if let Some(reason) = rejected {
+            return Err(SimError::ReportRejected { reason });
+        }
+        Ok((server.into_store(), summary))
     }
 
     fn spawn_servers(&mut self, link_rng: &mut StdRng, horizon: SimTime) {
@@ -220,7 +236,14 @@ impl OverlaySim {
         let isp = self.db.lookup(addr);
         let capacity = self.cfg.capacity_model.sample(join_rng, isp);
         let id = PeerId(self.peers.len() as u32);
-        let mut peer = PeerState::new_peer(addr, isp, capacity, ev.channel, ev.time, ev.time + ev.duration);
+        let mut peer = PeerState::new_peer(
+            addr,
+            isp,
+            capacity,
+            ev.channel,
+            ev.time,
+            ev.time + ev.duration,
+        );
 
         // Tracker bootstrap: up to 50 partners, volunteers first.
         let candidates = self.tracker.bootstrap(
@@ -239,13 +262,32 @@ impl OverlaySim {
             other.add_partner(id, quality, ev.time);
             peer.add_partner(cand, quality, ev.time);
         }
-        peer.select_suppliers(self.cfg.target_suppliers, self.cfg.random_selection, sel_rng);
+        peer.select_suppliers(
+            self.cfg.target_suppliers,
+            self.cfg.random_selection,
+            sel_rng,
+        );
         self.peers.push(Some(peer));
         self.addrs.push(addr);
         self.isps.push(isp);
         self.tracker.register(ev.channel, id, isp);
         self.live += 1;
         id
+    }
+
+    /// Shared borrow of slot `i`, which the caller has already
+    /// verified live this tick. Concentrates the slab-liveness
+    /// invariant in one place instead of ad-hoc `expect`s at every
+    /// re-borrow.
+    fn live_ref(&self, i: usize) -> &PeerState {
+        // lint:allow(C1): slot verified live at the loop head; a None here is a simulator bug worth aborting on
+        self.peers[i].as_ref().expect("slot verified live")
+    }
+
+    /// Exclusive borrow of slot `i`; see [`Self::live_ref`].
+    fn live_mut(&mut self, i: usize) -> &mut PeerState {
+        // lint:allow(C1): slot verified live at the loop head; a None here is a simulator bug worth aborting on
+        self.peers[i].as_mut().expect("slot verified live")
     }
 
     fn depart(&mut self, id: PeerId) {
@@ -255,7 +297,7 @@ impl OverlaySim {
         self.live -= 1;
         self.tracker.deregister(peer.channel, id);
         // Tear down both connection endpoints.
-        for (&pid, _) in &peer.partners {
+        for &pid in peer.partners.keys() {
             if let Some(Some(other)) = self.peers.get_mut(pid.index()) {
                 other.remove_partner(id);
             }
@@ -266,7 +308,7 @@ impl OverlaySim {
         &mut self,
         tick_idx: u64,
         now: SimTime,
-        rates: &HashMap<ChannelId, f64>,
+        rates: &BTreeMap<ChannelId, f64>,
         sel_rng: &mut StdRng,
         gossip_rng: &mut StdRng,
     ) {
@@ -284,8 +326,9 @@ impl OverlaySim {
             let util = p.upload_utilization();
             let starving = p.recv_kbps < self.cfg.fallback_quality * rate && p.buffer_fill > 0.0;
             {
-                let p = self.peers[i].as_mut().expect("checked live");
-                if util < self.cfg.volunteer_utilization {
+                let volunteer_util = self.cfg.volunteer_utilization;
+                let p = self.live_mut(i);
+                if util < volunteer_util {
                     p.underused_ticks += 1;
                 } else {
                     p.underused_ticks = 0;
@@ -299,16 +342,16 @@ impl OverlaySim {
 
             // Volunteer list churn.
             let (underused, starved, volunteered) = {
-                let p = self.peers[i].as_ref().expect("live");
+                let p = self.live_ref(i);
                 (p.underused_ticks, p.starved_ticks, p.volunteered)
             };
             if !self.cfg.disable_volunteer {
                 if underused >= self.cfg.sustain_ticks && !volunteered {
                     self.tracker.volunteer(channel, id);
-                    self.peers[i].as_mut().expect("live").volunteered = true;
+                    self.live_mut(i).volunteered = true;
                 } else if volunteered && util > 0.95 {
                     self.tracker.unvolunteer(channel, id);
-                    self.peers[i].as_mut().expect("live").volunteered = false;
+                    self.live_mut(i).volunteered = false;
                 }
             }
 
@@ -334,12 +377,9 @@ impl OverlaySim {
                     } else {
                         continue;
                     }
-                    self.peers[i]
-                        .as_mut()
-                        .expect("live")
-                        .add_partner(cand, quality, now);
+                    self.live_mut(i).add_partner(cand, quality, now);
                 }
-                self.peers[i].as_mut().expect("live").starved_ticks = 0;
+                self.live_mut(i).starved_ticks = 0;
             }
 
             // Gossip every third tick (staggered by id).
@@ -354,25 +394,30 @@ impl OverlaySim {
                 // (Departure already tears down both ends; this is a
                 // safety net for links formed in the same tick.)
                 let dead: Vec<PeerId> = {
-                    let p = self.peers[i].as_ref().expect("live");
+                    let p = self.live_ref(i);
                     p.partners
                         .keys()
                         .copied()
                         .filter(|pid| self.peers[pid.index()].is_none())
                         .collect()
                 };
-                let p = self.peers[i].as_mut().expect("live");
+                let (target, random, membership_target) = (
+                    self.cfg.target_suppliers,
+                    self.cfg.random_selection,
+                    self.cfg.gossip_target_partners,
+                );
+                let p = self.live_mut(i);
                 for d in dead {
                     p.remove_partner(d);
                 }
-                p.select_suppliers(self.cfg.target_suppliers, self.cfg.random_selection, sel_rng);
+                p.select_suppliers(target, random, sel_rng);
                 // Prune to the membership *target*, not the hard cap:
                 // passive link accumulation (every newcomer's
                 // bootstrap touches ~50 existing peers) would
                 // otherwise pile the partner-count distribution at
                 // the cap, where the paper observes counts decaying
                 // from the bootstrap 50.
-                p.prune_partners(self.cfg.gossip_target_partners);
+                p.prune_partners(membership_target);
             }
         }
     }
@@ -396,9 +441,14 @@ impl OverlaySim {
         }
         // Pick a random live partner as the recommender.
         let recommender = {
-            let p = self.peers[i].as_ref().expect("live");
+            let p = self.live_ref(i);
             let k = rng.random_range(0..partner_count);
-            p.partners.keys().nth(k).copied().expect("in range")
+            // lint:allow(C1): k < partner_count == p.partners.len() by the range above
+            p.partners
+                .keys()
+                .nth(k)
+                .copied()
+                .expect("k within partner count")
         };
         let Some(rec_state) = self.peers[recommender.index()].as_ref() else {
             return;
@@ -418,20 +468,14 @@ impl OverlaySim {
             })
             .collect();
         recs.sort_by(|a, b| {
-            let key_a = (locality && a.2, a.1);
-            let key_b = (locality && b.2, b.1);
-            key_b
-                .partial_cmp(&key_a)
-                .expect("finite scores")
+            ((locality && b.2), b.1)
+                .0
+                .cmp(&(locality && a.2))
+                .then(b.1.total_cmp(&a.1))
         });
         recs.truncate(self.cfg.gossip_fanout);
-        let my_known: std::collections::HashSet<PeerId> = self.peers[i]
-            .as_ref()
-            .expect("live")
-            .partners
-            .keys()
-            .copied()
-            .collect();
+        let my_known: std::collections::BTreeSet<PeerId> =
+            self.live_ref(i).partners.keys().copied().collect();
         for (cand, _, _) in recs {
             if my_known.contains(&cand) || cand.index() >= self.peers.len() {
                 continue;
@@ -439,19 +483,13 @@ impl OverlaySim {
             let Some(other) = &self.peers[cand.index()] else {
                 continue;
             };
-            if other.channel != self.peers[i].as_ref().expect("live").channel {
+            if other.channel != self.live_ref(i).channel {
                 continue;
             }
             let other_isp = other.isp;
             let quality = self.cfg.link_model.sample(rng, my_isp, other_isp);
-            self.peers[cand.index()]
-                .as_mut()
-                .expect("checked live")
-                .add_partner(id, quality, now);
-            self.peers[i]
-                .as_mut()
-                .expect("live")
-                .add_partner(cand, quality, now);
+            self.live_mut(cand.index()).add_partner(id, quality, now);
+            self.live_mut(i).add_partner(cand, quality, now);
         }
     }
 
@@ -518,19 +556,13 @@ impl OverlaySim {
                     self.cfg.target_suppliers
                 ));
             }
-            for (&pid, _) in &p.partners {
-                match self.peers.get(pid.index()) {
-                    Some(Some(other)) => {
-                        if !other.partners.contains_key(&PeerId(i as u32)) {
-                            return Err(format!(
-                                "connection {i} -> {} is not mutual",
-                                pid.index()
-                            ));
-                        }
+            for &pid in p.partners.keys() {
+                // Dead partners are purged lazily within one
+                // selection round; they are tolerated here.
+                if let Some(Some(other)) = self.peers.get(pid.index()) {
+                    if !other.partners.contains_key(&PeerId(i as u32)) {
+                        return Err(format!("connection {i} -> {} is not mutual", pid.index()));
                     }
-                    // Dead partners are purged lazily within one
-                    // selection round; they are tolerated here.
-                    _ => {}
                 }
             }
         }
@@ -579,7 +611,7 @@ pub(crate) mod tests {
     #[test]
     fn run_produces_reports_and_churn() {
         let mut sim = OverlaySim::new(tiny_scenario(1), quick_cfg());
-        let (store, summary) = sim.run_collecting();
+        let (store, summary) = sim.run_collecting().expect("tiny run succeeds");
         assert!(summary.joins > 50, "joins = {}", summary.joins);
         assert!(summary.leaves > 0);
         assert!(summary.reports > 0, "no reports emitted");
@@ -592,7 +624,7 @@ pub(crate) mod tests {
     fn runs_are_deterministic() {
         let run = |seed| {
             let mut sim = OverlaySim::new(tiny_scenario(seed), quick_cfg());
-            sim.run_collecting()
+            sim.run_collecting().expect("tiny run succeeds")
         };
         let (store_a, sum_a) = run(7);
         let (store_b, sum_b) = run(7);
@@ -605,9 +637,9 @@ pub(crate) mod tests {
     #[test]
     fn reports_follow_the_measurement_schedule() {
         let mut sim = OverlaySim::new(tiny_scenario(2), quick_cfg());
-        let (store, _) = sim.run_collecting();
+        let (store, _) = sim.run_collecting().expect("tiny run succeeds");
         // Group reports by reporter; check spacing is REPORT_INTERVAL.
-        let mut by_peer: HashMap<PeerAddr, Vec<SimTime>> = HashMap::new();
+        let mut by_peer: BTreeMap<PeerAddr, Vec<SimTime>> = BTreeMap::new();
         for r in store.reports() {
             by_peer.entry(r.addr).or_default().push(r.time);
         }
@@ -628,7 +660,7 @@ pub(crate) mod tests {
     #[test]
     fn most_viewers_achieve_good_rates() {
         let mut sim = OverlaySim::new(tiny_scenario(3), quick_cfg());
-        let (store, _) = sim.run_collecting();
+        let (store, _) = sim.run_collecting().expect("tiny run succeeds");
         let total = store.len();
         assert!(total > 20);
         let good = store
@@ -648,7 +680,7 @@ pub(crate) mod tests {
         let cfg = quick_cfg();
         let max = cfg.max_partners;
         let mut sim = OverlaySim::new(tiny_scenario(4), cfg);
-        let (store, _) = sim.run_collecting();
+        let (store, _) = sim.run_collecting().expect("tiny run succeeds");
         let mut nonempty = 0;
         for r in store.reports() {
             assert!(r.partners.len() <= max, "partner list over bound");
@@ -668,14 +700,14 @@ pub(crate) mod tests {
         // run_collecting panics internally if the server rejects any
         // report; reaching here is the assertion.
         let mut sim = OverlaySim::new(tiny_scenario(5), quick_cfg());
-        let (store, _) = sim.run_collecting();
+        let (store, _) = sim.run_collecting().expect("tiny run succeeds");
         assert!(!store.is_empty());
     }
 
     #[test]
     fn active_links_exist_in_reports() {
         let mut sim = OverlaySim::new(tiny_scenario(6), quick_cfg());
-        let (store, _) = sim.run_collecting();
+        let (store, _) = sim.run_collecting().expect("tiny run succeeds");
         let active_links: u64 = store
             .reports()
             .iter()
@@ -687,7 +719,7 @@ pub(crate) mod tests {
     #[test]
     fn invariants_hold_after_a_run() {
         let mut sim = OverlaySim::new(tiny_scenario(11), quick_cfg());
-        let _ = sim.run(|_| {});
+        sim.run(|_| {}).expect("tiny run succeeds");
         sim.check_invariants().expect("invariants violated");
     }
 
@@ -698,7 +730,7 @@ pub(crate) mod tests {
             ..quick_cfg()
         };
         let mut sim = OverlaySim::new(tiny_scenario(7), cfg);
-        let (_, summary) = sim.run_collecting();
+        let (_, summary) = sim.run_collecting().expect("tiny run succeeds");
         assert!(summary.reports > 0);
     }
 
@@ -709,7 +741,7 @@ pub(crate) mod tests {
             ..quick_cfg()
         };
         let mut sim = OverlaySim::new(tiny_scenario(8), cfg);
-        let (_, summary) = sim.run_collecting();
+        let (_, summary) = sim.run_collecting().expect("tiny run succeeds");
         assert!(summary.reports > 0);
     }
 }
@@ -722,20 +754,58 @@ mod debug_tests {
     #[ignore]
     fn dump_rates() {
         let mut sim = OverlaySim::new(super::tests::tiny_scenario(3), SimConfig::default());
-        let (store, summary) = sim.run_collecting();
+        let (store, summary) = sim.run_collecting().expect("tiny run succeeds");
         println!("summary: {summary:?}");
-        let mut rates: Vec<f64> = store.reports().iter().map(|r| r.recv_throughput_kbps).collect();
+        let mut rates: Vec<f64> = store
+            .reports()
+            .iter()
+            .map(|r| r.recv_throughput_kbps)
+            .collect();
         rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let n = rates.len();
-        println!("n={n} p10={} p50={} p90={} max={}", rates[n/10], rates[n/2], rates[9*n/10], rates[n-1]);
-        let fills: Vec<f64> = store.reports().iter().map(|r| r.buffer_map.fill_fraction()).collect();
-        println!("fill p50 = {}", {let mut f=fills.clone(); f.sort_by(|a,b|a.partial_cmp(b).unwrap()); f[f.len()/2]});
+        println!(
+            "n={n} p10={} p50={} p90={} max={}",
+            rates[n / 10],
+            rates[n / 2],
+            rates[9 * n / 10],
+            rates[n - 1]
+        );
+        let fills: Vec<f64> = store
+            .reports()
+            .iter()
+            .map(|r| r.buffer_map.fill_fraction())
+            .collect();
+        println!("fill p50 = {}", {
+            let mut f = fills.clone();
+            f.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            f[f.len() / 2]
+        });
         let pc: Vec<usize> = store.reports().iter().map(|r| r.partner_count()).collect();
-        println!("partners p50 = {}", {let mut f=pc.clone(); f.sort(); f[f.len()/2]});
-        let ind: Vec<usize> = store.reports().iter().map(|r| r.active_indegree()).collect();
-        println!("indegree p50 = {}", {let mut f=ind.clone(); f.sort(); f[f.len()/2]});
-        let send: Vec<f64> = store.reports().iter().map(|r| r.send_throughput_kbps).collect();
-        println!("send p50 = {}", {let mut f=send.clone(); f.sort_by(|a,b|a.partial_cmp(b).unwrap()); f[f.len()/2]});
+        println!("partners p50 = {}", {
+            let mut f = pc.clone();
+            f.sort();
+            f[f.len() / 2]
+        });
+        let ind: Vec<usize> = store
+            .reports()
+            .iter()
+            .map(|r| r.active_indegree())
+            .collect();
+        println!("indegree p50 = {}", {
+            let mut f = ind.clone();
+            f.sort();
+            f[f.len() / 2]
+        });
+        let send: Vec<f64> = store
+            .reports()
+            .iter()
+            .map(|r| r.send_throughput_kbps)
+            .collect();
+        println!("send p50 = {}", {
+            let mut f = send.clone();
+            f.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            f[f.len() / 2]
+        });
     }
 }
 
@@ -754,18 +824,27 @@ mod locality_debug {
             };
             let mut sim = OverlaySim::new(super::tests::tiny_scenario(5), cfg);
             let db = sim.isp_database().clone();
-            let (store, _) = sim.run_collecting();
+            let (store, _) = sim.run_collecting().expect("tiny run succeeds");
             // Pool intra fraction over all reports.
             let mut sum = 0.0;
             let mut n = 0;
             for r in store.reports() {
-                if r.partners.is_empty() { continue; }
+                if r.partners.is_empty() {
+                    continue;
+                }
                 let my = db.lookup(r.addr);
-                let same = r.partners.iter().filter(|p| db.lookup(p.addr) == my).count();
+                let same = r
+                    .partners
+                    .iter()
+                    .filter(|p| db.lookup(p.addr) == my)
+                    .count();
                 sum += same as f64 / r.partners.len() as f64;
                 n += 1;
             }
-            println!("locality {locality}: pool intra fraction = {:.3} over {n} reports", sum / n as f64);
+            println!(
+                "locality {locality}: pool intra fraction = {:.3} over {n} reports",
+                sum / n as f64
+            );
         }
     }
 }

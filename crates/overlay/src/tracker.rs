@@ -18,17 +18,17 @@ use crate::peer::PeerId;
 use magellan_netsim::Isp;
 use magellan_workload::ChannelId;
 use rand::RngExt as _;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-channel tracking state.
 #[derive(Debug, Default, Clone)]
 struct ChannelState {
     members: Vec<PeerId>,
-    member_set: HashSet<PeerId>,
+    member_set: BTreeSet<PeerId>,
     volunteers: Vec<PeerId>,
-    volunteer_set: HashSet<PeerId>,
+    volunteer_set: BTreeSet<PeerId>,
     /// Members indexed by ISP, for the locality-aware extension.
-    members_by_isp: HashMap<Isp, Vec<PeerId>>,
+    members_by_isp: BTreeMap<Isp, Vec<PeerId>>,
 }
 
 /// How the tracker assembles a bootstrap partner list.
@@ -56,8 +56,8 @@ impl Default for BootstrapPolicy {
 /// The tracking server.
 #[derive(Debug, Default, Clone)]
 pub struct Tracker {
-    channels: HashMap<ChannelId, ChannelState>,
-    isps: HashMap<PeerId, Isp>,
+    channels: BTreeMap<ChannelId, ChannelState>,
+    isps: BTreeMap<PeerId, Isp>,
 }
 
 impl Tracker {
@@ -146,7 +146,7 @@ impl Tracker {
             return Vec::new();
         };
         let mut out: Vec<PeerId> = Vec::with_capacity(want);
-        let mut seen: HashSet<PeerId> = HashSet::with_capacity(want + 1);
+        let mut seen: BTreeSet<PeerId> = BTreeSet::new();
         seen.insert(joiner);
         if policy.locality_fraction > 0.0 {
             let local_want = ((want as f64) * policy.locality_fraction).round() as usize;
@@ -172,7 +172,7 @@ fn sample_into<R: rand::Rng + ?Sized>(
     pool: &[PeerId],
     want: usize,
     out: &mut Vec<PeerId>,
-    seen: &mut HashSet<PeerId>,
+    seen: &mut BTreeSet<PeerId>,
     rng: &mut R,
 ) {
     if pool.is_empty() || out.len() >= want {
@@ -263,7 +263,7 @@ mod tests {
         let got = t.bootstrap(CH, PeerId(3), Isp::Telecom, 50, plain(), &mut rng);
         assert!(got.len() <= 9);
         assert!(!got.contains(&PeerId(3)));
-        let set: HashSet<_> = got.iter().collect();
+        let set: BTreeSet<_> = got.iter().collect();
         assert_eq!(set.len(), got.len());
     }
 

@@ -15,9 +15,10 @@
 //! joined peer (empty buffer) can receive but not yet supply.
 
 use crate::config::SimConfig;
+use crate::error::TransferError;
 use crate::peer::{PeerId, PeerState};
 use magellan_workload::ChannelId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Aggregate outcome of one tick, for instrumentation.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -49,13 +50,35 @@ struct RecvCtx {
 
 /// Runs one transfer tick over the peer slab.
 ///
-/// `rate_of` maps a channel to its stream rate in Kbps. Dead slots
-/// (`None`) are skipped; links to dead peers contribute nothing (the
-/// simulator purges them separately).
-pub fn run_tick<F>(peers: &mut [Option<PeerState>], rate_of: F, cfg: &SimConfig) -> TickOutcome
+/// `rate_of` maps a channel to its stream rate in Kbps, returning
+/// `None` for channels it does not know. Dead slots (`None` peers)
+/// are skipped; links to dead peers contribute nothing (the simulator
+/// purges them separately).
+///
+/// # Errors
+///
+/// Fails when a live peer is tuned to an unknown channel or a channel
+/// reports a non-finite / non-positive stream rate — both mean the
+/// caller's rate table is inconsistent with the peer slab, and any
+/// output computed from it would be garbage.
+pub fn run_tick<F>(
+    peers: &mut [Option<PeerState>],
+    rate_of: F,
+    cfg: &SimConfig,
+) -> Result<TickOutcome, TransferError>
 where
-    F: Fn(ChannelId) -> f64,
+    F: Fn(ChannelId) -> Option<f64>,
 {
+    let rate_of = |ch: ChannelId| -> Result<f64, TransferError> {
+        let rate = rate_of(ch).ok_or(TransferError::UnknownChannel(ch))?;
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(TransferError::InvalidRate {
+                channel: ch,
+                rate_kbps: rate,
+            });
+        }
+        Ok(rate)
+    };
     // Pass A: per-receiver context (demand plus eligible supplier
     // links) and per-supplier budgets/usefulness.
     //
@@ -65,14 +88,14 @@ where
     // useful segments. A small floor keeps exploring partners whose
     // buffers are still filling.
     let mut recvs: Vec<RecvCtx> = Vec::new();
-    let mut budget_left: HashMap<u32, f64> = HashMap::new();
-    let mut useful: HashMap<u32, f64> = HashMap::new();
+    let mut budget_left: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut useful: BTreeMap<u32, f64> = BTreeMap::new();
     for (j, slot) in peers.iter().enumerate() {
         let Some(p) = slot else { continue };
         if p.is_server {
             continue;
         }
-        let rate = rate_of(p.channel);
+        let rate = rate_of(p.channel)?;
         let demand = p.demand_segments(cfg, rate);
         if demand <= 0.0 {
             continue;
@@ -124,32 +147,35 @@ where
         if links.is_empty() {
             continue;
         }
-        recvs.push(RecvCtx {
-            demand,
-            links,
-        });
+        recvs.push(RecvCtx { demand, links });
     }
 
-    let mut outcome = TickOutcome::default();
-    outcome.receivers = recvs.len();
+    let mut outcome = TickOutcome {
+        receivers: recvs.len(),
+        ..TickOutcome::default()
+    };
 
     // Passes B/C: iterative request/grant rounds. A tick spans
     // hundreds of real request cycles, so receivers re-aim unmet
     // demand at suppliers that still have budget — a few rounds of
     // proportional waterfilling approximate that.
     const ROUNDS: usize = 3;
-    let mut delivered_links: HashMap<(u32, u32), f64> = HashMap::new();
+    let mut delivered_links: BTreeMap<(u32, u32), f64> = BTreeMap::new();
     for _ in 0..ROUNDS {
-        let mut requested: HashMap<u32, f64> = HashMap::new();
+        let mut requested: BTreeMap<u32, f64> = BTreeMap::new();
         let mut round_flows: Vec<(usize, usize, f64)> = Vec::new();
         for (ri, rc) in recvs.iter().enumerate() {
             if rc.demand <= 1e-6 {
                 continue;
             }
-            let eligible = |l: &Flow| {
-                l.cap > 1e-9 && budget_left.get(&l.sup).copied().unwrap_or(0.0) > 1e-9
-            };
-            let tw: f64 = rc.links.iter().filter(|l| eligible(l)).map(|l| l.want).sum();
+            let eligible =
+                |l: &Flow| l.cap > 1e-9 && budget_left.get(&l.sup).copied().unwrap_or(0.0) > 1e-9;
+            let tw: f64 = rc
+                .links
+                .iter()
+                .filter(|l| eligible(l))
+                .map(|l| l.want)
+                .sum();
             if tw <= 0.0 {
                 continue;
             }
@@ -168,7 +194,7 @@ where
         if round_flows.is_empty() {
             break;
         }
-        let scale: HashMap<u32, f64> = requested
+        let scale: BTreeMap<u32, f64> = requested
             .iter()
             .map(|(&sup, &req)| {
                 let b = budget_left.get(&sup).copied().unwrap_or(0.0);
@@ -199,9 +225,9 @@ where
         .into_iter()
         .map(|((s, r), m)| (s, r, m))
         .collect();
-    link_updates.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
-    let mut delivered_to: HashMap<u32, f64> = HashMap::new();
-    let mut sent_by: HashMap<u32, f64> = HashMap::new();
+    link_updates.sort_by_key(|u| (u.0, u.1));
+    let mut delivered_to: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut sent_by: BTreeMap<u32, f64> = BTreeMap::new();
     for &(sup, rcv, moved) in &link_updates {
         if moved >= 1.0 {
             outcome.active_flows += 1;
@@ -218,7 +244,7 @@ where
             p.send_kbps = cfg.segments_to_kbps(sent);
             continue;
         }
-        let rate = rate_of(p.channel);
+        let rate = rate_of(p.channel)?;
         let delivered = delivered_to.get(&(j as u32)).copied().unwrap_or(0.0);
         let demand = p.demand_segments(cfg, rate);
         if delivered + 1e-9 >= demand.min(cfg.stream_segments_per_tick(rate)) && demand > 0.0 {
@@ -229,8 +255,7 @@ where
     }
 
     // Pass E: per-link counters and EWMA estimates, on both endpoints.
-    let mut moved_links: std::collections::HashSet<(u32, u32)> =
-        std::collections::HashSet::with_capacity(link_updates.len());
+    let mut moved_links: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
     for (sup, rcv, moved) in link_updates {
         moved_links.insert((sup, rcv));
         let segs = moved.round() as u64;
@@ -267,7 +292,7 @@ where
             }
         }
     }
-    outcome
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -338,9 +363,12 @@ mod tests {
 
     #[test]
     fn server_feeds_a_lone_peer_at_full_rate() {
-        let mut peers = vec![Some(mk_server(0, 10_000.0)), Some(mk_peer(1, 512.0, 2_000.0))];
+        let mut peers = vec![
+            Some(mk_server(0, 10_000.0)),
+            Some(mk_peer(1, 512.0, 2_000.0)),
+        ];
         connect(&mut peers, 1, 0, 5_000.0);
-        let out = run_tick(&mut peers, |_| RATE, &cfg());
+        let out = run_tick(&mut peers, |_| Some(RATE), &cfg()).expect("rates known");
         let p = peers[1].as_ref().unwrap();
         assert!(
             p.recv_kbps >= RATE * 0.99,
@@ -356,19 +384,26 @@ mod tests {
     #[test]
     fn empty_buffered_supplier_delivers_nothing() {
         // Peer 1 requests from peer 2, whose buffer is empty.
-        let mut peers = vec![None, Some(mk_peer(1, 512.0, 2_000.0)), Some(mk_peer(2, 512.0, 2_000.0))];
+        let mut peers = vec![
+            None,
+            Some(mk_peer(1, 512.0, 2_000.0)),
+            Some(mk_peer(2, 512.0, 2_000.0)),
+        ];
         connect(&mut peers, 1, 2, 1_000.0);
-        let out = run_tick(&mut peers, |_| RATE, &cfg());
+        let out = run_tick(&mut peers, |_| Some(RATE), &cfg()).expect("rates known");
         assert_eq!(peers[1].as_ref().unwrap().recv_kbps, 0.0);
         assert_eq!(out.satisfied_receivers, 0);
     }
 
     #[test]
     fn full_buffered_peer_can_supply() {
-        let mut peers = vec![Some(mk_peer(0, 512.0, 2_000.0)), Some(mk_peer(1, 512.0, 2_000.0))];
+        let mut peers = vec![
+            Some(mk_peer(0, 512.0, 2_000.0)),
+            Some(mk_peer(1, 512.0, 2_000.0)),
+        ];
         peers[0].as_mut().unwrap().buffer_fill = 1.0;
         connect(&mut peers, 1, 0, 1_000.0);
-        let _ = run_tick(&mut peers, |_| RATE, &cfg());
+        let _ = run_tick(&mut peers, |_| Some(RATE), &cfg()).expect("rates known");
         let r = peers[1].as_ref().unwrap();
         // The 512 Kbps uplink covers the 400 Kbps stream.
         assert!(r.recv_kbps > 390.0, "recv = {}", r.recv_kbps);
@@ -387,15 +422,15 @@ mod tests {
         for i in 1..=4 {
             connect(&mut peers, i, 0, 1_000.0);
         }
-        let _ = run_tick(&mut peers, |_| RATE, &cfg());
+        let _ = run_tick(&mut peers, |_| Some(RATE), &cfg()).expect("rates known");
         let sup = peers[0].as_ref().unwrap();
         assert!(
             sup.send_kbps <= 512.0 * 1.01,
             "supplier exceeded capacity: {}",
             sup.send_kbps
         );
-        for i in 1..=4usize {
-            let r = peers[i].as_ref().unwrap();
+        for (i, slot) in peers.iter().enumerate().skip(1).take(4) {
+            let r = slot.as_ref().unwrap();
             assert!(
                 (r.recv_kbps - 128.0).abs() < 15.0,
                 "receiver {i} got {}",
@@ -406,18 +441,24 @@ mod tests {
 
     #[test]
     fn path_ceiling_caps_a_flow() {
-        let mut peers = vec![Some(mk_server(0, 100_000.0)), Some(mk_peer(1, 512.0, 5_000.0))];
+        let mut peers = vec![
+            Some(mk_server(0, 100_000.0)),
+            Some(mk_peer(1, 512.0, 5_000.0)),
+        ];
         connect(&mut peers, 1, 0, 100.0); // terrible path: 100 Kbps
-        let _ = run_tick(&mut peers, |_| RATE, &cfg());
+        let _ = run_tick(&mut peers, |_| Some(RATE), &cfg()).expect("rates known");
         let r = peers[1].as_ref().unwrap();
         assert!(r.recv_kbps <= 105.0, "recv = {}", r.recv_kbps);
     }
 
     #[test]
     fn interval_counters_accumulate_on_both_ends() {
-        let mut peers = vec![Some(mk_server(0, 10_000.0)), Some(mk_peer(1, 512.0, 2_000.0))];
+        let mut peers = vec![
+            Some(mk_server(0, 10_000.0)),
+            Some(mk_peer(1, 512.0, 2_000.0)),
+        ];
         connect(&mut peers, 1, 0, 5_000.0);
-        let _ = run_tick(&mut peers, |_| RATE, &cfg());
+        let _ = run_tick(&mut peers, |_| Some(RATE), &cfg()).expect("rates known");
         let recv = peers[1].as_ref().unwrap().partners[&PeerId(0)].recv_interval;
         let sent = peers[0].as_ref().unwrap().partners[&PeerId(1)].sent_interval;
         assert!(recv > 0);
@@ -426,33 +467,45 @@ mod tests {
 
     #[test]
     fn ewma_estimate_tracks_observation() {
-        let mut peers = vec![Some(mk_server(0, 10_000.0)), Some(mk_peer(1, 512.0, 2_000.0))];
+        let mut peers = vec![
+            Some(mk_server(0, 10_000.0)),
+            Some(mk_peer(1, 512.0, 2_000.0)),
+        ];
         connect(&mut peers, 1, 0, 5_000.0);
         let before = peers[1].as_ref().unwrap().partners[&PeerId(0)].est_recv_kbps;
-        let _ = run_tick(&mut peers, |_| RATE, &cfg());
+        let _ = run_tick(&mut peers, |_| Some(RATE), &cfg()).expect("rates known");
         let after = peers[1].as_ref().unwrap().partners[&PeerId(0)].est_recv_kbps;
         // Observation (~stream-rate share) is far below the 5000 prior.
-        assert!(after < before, "estimate did not adapt: {before} -> {after}");
+        assert!(
+            after < before,
+            "estimate did not adapt: {before} -> {after}"
+        );
     }
 
     #[test]
     fn dead_suppliers_are_ignored() {
-        let mut peers = vec![Some(mk_server(0, 10_000.0)), Some(mk_peer(1, 512.0, 2_000.0))];
+        let mut peers = vec![
+            Some(mk_server(0, 10_000.0)),
+            Some(mk_peer(1, 512.0, 2_000.0)),
+        ];
         connect(&mut peers, 1, 0, 5_000.0);
         peers[0] = None; // supplier vanished
-        let out = run_tick(&mut peers, |_| RATE, &cfg());
+        let out = run_tick(&mut peers, |_| Some(RATE), &cfg()).expect("rates known");
         assert_eq!(out.segments, 0.0);
         assert_eq!(peers[1].as_ref().unwrap().recv_kbps, 0.0);
     }
 
     #[test]
     fn reciprocal_pair_exchanges_both_ways() {
-        let mut peers = vec![Some(mk_peer(0, 512.0, 2_000.0)), Some(mk_peer(1, 512.0, 2_000.0))];
+        let mut peers = vec![
+            Some(mk_peer(0, 512.0, 2_000.0)),
+            Some(mk_peer(1, 512.0, 2_000.0)),
+        ];
         peers[0].as_mut().unwrap().buffer_fill = 0.8;
         peers[1].as_mut().unwrap().buffer_fill = 0.8;
         connect(&mut peers, 1, 0, 1_000.0);
         connect(&mut peers, 0, 1, 1_000.0);
-        let out = run_tick(&mut peers, |_| RATE, &cfg());
+        let out = run_tick(&mut peers, |_| Some(RATE), &cfg()).expect("rates known");
         assert!(out.active_flows >= 2, "flows = {}", out.active_flows);
         let a = &peers[0].as_ref().unwrap().partners[&PeerId(1)];
         let b = &peers[1].as_ref().unwrap().partners[&PeerId(0)];
@@ -481,13 +534,16 @@ mod tests {
             mk(&mut peers);
             connect(&mut peers, 2, 0, 5_000.0); // excellent path
             connect(&mut peers, 2, 1, 200.0); // poor path
-            let _ = run_tick(&mut peers, |_| RATE, &cfg);
+            let _ = run_tick(&mut peers, |_| Some(RATE), &cfg).expect("rates known");
             let a = peers[2].as_ref().unwrap().partners[&PeerId(0)].recv_interval as f64;
             let b = peers[2].as_ref().unwrap().partners[&PeerId(1)].recv_interval as f64;
             (a, b)
         };
         let (qa, qb) = run(false);
-        assert!(qa > qb * 3.0, "quality mode did not concentrate: {qa} vs {qb}");
+        assert!(
+            qa > qb * 3.0,
+            "quality mode did not concentrate: {qa} vs {qb}"
+        );
         let (ra, rb) = run(true);
         // Even split up to the poor path's ceiling; the good path may
         // absorb spillover, so allow a wide band — just not the
@@ -499,7 +555,7 @@ mod tests {
     #[test]
     fn empty_slab_is_a_noop() {
         let mut peers: Vec<Option<PeerState>> = vec![None, None];
-        let out = run_tick(&mut peers, |_| RATE, &cfg());
+        let out = run_tick(&mut peers, |_| Some(RATE), &cfg()).expect("rates known");
         assert_eq!(out, TickOutcome::default());
     }
 }

@@ -22,7 +22,7 @@ impl BufferMap {
         BufferMap {
             start,
             len,
-            bits: vec![0; (len as usize + 7) / 8],
+            bits: vec![0; (len as usize).div_ceil(8)],
         }
     }
 
@@ -111,9 +111,7 @@ impl BufferMap {
     pub fn missing_from(&self, other: &BufferMap) -> Vec<u64> {
         let lo = self.start.max(other.start);
         let hi = (self.start + self.len as u64).min(other.start + other.len as u64);
-        (lo..hi)
-            .filter(|&s| other.has(s) && !self.has(s))
-            .collect()
+        (lo..hi).filter(|&s| other.has(s) && !self.has(s)).collect()
     }
 
     /// Raw bitmap bytes (for wire encoding).
@@ -128,7 +126,7 @@ impl BufferMap {
     /// Panics if `bits` is shorter than `len` requires.
     pub fn from_raw(start: u64, len: u16, bits: Vec<u8>) -> Self {
         assert!(
-            bits.len() >= (len as usize + 7) / 8,
+            bits.len() >= (len as usize).div_ceil(8),
             "bitmap too short for window length"
         );
         BufferMap { start, len, bits }

@@ -25,7 +25,11 @@ pub struct JsonError {
 
 impl fmt::Display for JsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -310,7 +314,7 @@ pub fn from_json_line(line: &str) -> Result<PeerReport, JsonError> {
     };
     let bm_len = bm_len.ok_or_else(|| missing("bm_len"))?;
     let bits = bm_bits.ok_or_else(|| missing("bm_bits"))?;
-    if bits.len() < (bm_len as usize + 7) / 8 {
+    if bits.len() < (bm_len as usize).div_ceil(8) {
         return Err(JsonError {
             offset: 0,
             message: "bitmap shorter than bm_len requires".into(),
@@ -374,7 +378,7 @@ mod tests {
     #[test]
     fn fractional_capacities_roundtrip_exactly() {
         let mut r = sample();
-        r.download_capacity_kbps = 1234.567890123456789;
+        r.download_capacity_kbps = 1_234.567_890_123_456;
         r.recv_throughput_kbps = 1.0 / 3.0;
         let back = from_json_line(&to_json_line(&r)).unwrap();
         assert_eq!(back.download_capacity_kbps, r.download_capacity_kbps);
@@ -383,7 +387,9 @@ mod tests {
 
     #[test]
     fn whitespace_is_tolerated() {
-        let line = to_json_line(&sample()).replace(":", " : ").replace(",", " ,  ");
+        let line = to_json_line(&sample())
+            .replace(":", " : ")
+            .replace(",", " ,  ");
         assert_eq!(from_json_line(&line).unwrap(), sample());
     }
 

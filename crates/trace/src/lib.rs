@@ -50,7 +50,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod buffer;
 pub mod jsonl;
@@ -63,7 +63,9 @@ pub mod store;
 pub mod wire;
 
 pub use buffer::BufferMap;
-pub use report::{PartnerRecord, PeerReport, ACTIVE_SEGMENT_THRESHOLD, FIRST_REPORT_DELAY, REPORT_INTERVAL};
+pub use report::{
+    PartnerRecord, PeerReport, ACTIVE_SEGMENT_THRESHOLD, FIRST_REPORT_DELAY, REPORT_INTERVAL,
+};
 pub use server::TraceServer;
 pub use snapshot::{Snapshot, SnapshotBuilder};
 pub use stats::TraceStats;

@@ -92,12 +92,18 @@ impl PeerReport {
 
     /// Active indegree: number of active supplying partners (Fig. 4B).
     pub fn active_indegree(&self) -> usize {
-        self.partners.iter().filter(|p| p.is_active_supplier()).count()
+        self.partners
+            .iter()
+            .filter(|p| p.is_active_supplier())
+            .count()
     }
 
     /// Active outdegree: number of active receiving partners (Fig. 4C).
     pub fn active_outdegree(&self) -> usize {
-        self.partners.iter().filter(|p| p.is_active_receiver()).count()
+        self.partners
+            .iter()
+            .filter(|p| p.is_active_receiver())
+            .count()
     }
 
     /// Whether the peer achieves at least `fraction` of the channel
@@ -123,7 +129,8 @@ impl PeerReport {
 /// ```
 pub fn report_times(join: SimTime, leave: SimTime) -> impl Iterator<Item = SimTime> {
     let first = join + FIRST_REPORT_DELAY;
-    (0u64..).map(move |k| first + SimDuration::from_millis(k * REPORT_INTERVAL.as_millis()))
+    (0u64..)
+        .map(move |k| first + SimDuration::from_millis(k * REPORT_INTERVAL.as_millis()))
         .take_while(move |&t| t < leave)
 }
 

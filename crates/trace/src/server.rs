@@ -156,11 +156,7 @@ impl TraceServer {
                 return Err(SubmitError::Implausible { what });
             }
         }
-        if report
-            .partners
-            .iter()
-            .any(|p| p.addr == report.addr)
-        {
+        if report.partners.iter().any(|p| p.addr == report.addr) {
             return Err(SubmitError::Implausible {
                 what: "peer lists itself as partner",
             });
@@ -220,7 +216,13 @@ mod tests {
         s.submit(report(20)).unwrap();
         s.submit(report(30)).unwrap();
         assert_eq!(s.len(), 2);
-        assert_eq!(s.stats(), ServerStats { accepted: 2, rejected: 0 });
+        assert_eq!(
+            s.stats(),
+            ServerStats {
+                accepted: 2,
+                rejected: 0
+            }
+        );
         assert!(!s.is_empty());
     }
 

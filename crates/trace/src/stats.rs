@@ -58,7 +58,11 @@ impl TraceStats {
         TraceStats {
             reports: n,
             wire_bytes,
-            mean_report_bytes: if n > 0 { wire_bytes as f64 / n as f64 } else { 0.0 },
+            mean_report_bytes: if n > 0 {
+                wire_bytes as f64 / n as f64
+            } else {
+                0.0
+            },
             distinct_reporters: reporters.len() as u64,
             distinct_addresses: addresses.len() as u64,
             mean_partners: if n > 0 {
@@ -130,13 +134,9 @@ mod tests {
 
     #[test]
     fn counts_match_contents() {
-        let store: TraceStore = vec![
-            report(1, 20, 3),
-            report(2, 25, 5),
-            report(1, 30, 3),
-        ]
-        .into_iter()
-        .collect();
+        let store: TraceStore = vec![report(1, 20, 3), report(2, 25, 5), report(1, 30, 3)]
+            .into_iter()
+            .collect();
         let s = TraceStats::compute(&store);
         assert_eq!(s.reports, 3);
         assert_eq!(s.distinct_reporters, 2);
@@ -152,10 +152,7 @@ mod tests {
     fn wire_bytes_match_encoding_sum() {
         let store: TraceStore = vec![report(1, 20, 10)].into_iter().collect();
         let s = TraceStats::compute(&store);
-        assert_eq!(
-            s.wire_bytes,
-            wire::encode(&store.reports()[0]).len() as u64
-        );
+        assert_eq!(s.wire_bytes, wire::encode(&store.reports()[0]).len() as u64);
     }
 
     #[test]

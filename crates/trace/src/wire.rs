@@ -92,7 +92,7 @@ pub fn decode(buf: &mut impl Buf) -> Result<PeerReport, WireError> {
     let channel = ChannelId(buf.get_u16());
     let bm_start = buf.get_u64();
     let bm_len = buf.get_u16();
-    let bm_bytes = (bm_len as usize + 7) / 8;
+    let bm_bytes = (bm_len as usize).div_ceil(8);
     need(buf, bm_bytes, "buffer map")?;
     let mut bits = vec![0u8; bm_bytes];
     buf.copy_to_slice(&mut bits);

@@ -8,27 +8,35 @@ use magellan_workload::ChannelId;
 use proptest::prelude::*;
 
 fn arb_buffer_map() -> impl Strategy<Value = BufferMap> {
-    (0u64..1_000_000, 0u16..256, proptest::collection::vec(any::<u64>(), 0..40)).prop_map(
-        |(start, len, seqs)| {
+    (
+        0u64..1_000_000,
+        0u16..256,
+        proptest::collection::vec(any::<u64>(), 0..40),
+    )
+        .prop_map(|(start, len, seqs)| {
             let mut bm = BufferMap::new(start, len);
             for s in seqs {
                 bm.set(start + s % (len as u64 + 1));
             }
             bm
-        },
-    )
+        })
 }
 
 fn arb_partner() -> impl Strategy<Value = PartnerRecord> {
-    (any::<u32>(), any::<u16>(), any::<u16>(), 0u64..100_000, 0u64..100_000).prop_map(
-        |(addr, tcp, udp, sent, recv)| PartnerRecord {
+    (
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        0u64..100_000,
+        0u64..100_000,
+    )
+        .prop_map(|(addr, tcp, udp, sent, recv)| PartnerRecord {
             addr: PeerAddr::from_u32(addr),
             tcp_port: tcp,
             udp_port: udp,
             segments_sent: sent,
             segments_received: recv,
-        },
-    )
+        })
 }
 
 prop_compose! {

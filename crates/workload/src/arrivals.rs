@@ -41,7 +41,7 @@ where
         if !step_ms.is_finite() || step_ms > (end.since(start).as_millis() as f64) * 2.0 + 1e9 {
             break;
         }
-        t = t + SimDuration::from_millis(step_ms.ceil().max(1.0) as u64);
+        t += SimDuration::from_millis(step_ms.ceil().max(1.0) as u64);
         if t >= end {
             break;
         }
@@ -96,13 +96,13 @@ mod tests {
         let start = SimTime::ORIGIN;
         let mid = start + SimDuration::from_hours(50);
         let end = start + SimDuration::from_hours(100);
-        let arrivals = generate_arrivals(
-            &mut rng,
-            start,
-            end,
-            200.0,
-            |t| if t < mid { 200.0 } else { 0.0 },
-        );
+        let arrivals = generate_arrivals(&mut rng, start, end, 200.0, |t| {
+            if t < mid {
+                200.0
+            } else {
+                0.0
+            }
+        });
         assert!(arrivals.iter().all(|&t| t < mid));
         let expect = 200.0 * 50.0;
         let got = arrivals.len() as f64;
@@ -141,13 +141,9 @@ mod tests {
     #[should_panic(expected = "majorant")]
     fn rejects_zero_majorant() {
         let mut rng = RngFactory::new(6).fork("arrivals");
-        let _ = generate_arrivals(
-            &mut rng,
-            SimTime::ORIGIN,
-            SimTime::at(0, 1, 0),
-            0.0,
-            |_| 0.0,
-        );
+        let _ = generate_arrivals(&mut rng, SimTime::ORIGIN, SimTime::at(0, 1, 0), 0.0, |_| {
+            0.0
+        });
     }
 
     #[test]

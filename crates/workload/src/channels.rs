@@ -12,9 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a channel within a [`ChannelDirectory`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ChannelId(pub u16);
 
 impl ChannelId {
@@ -141,9 +139,7 @@ mod tests {
     #[test]
     fn shares_sum_to_one() {
         let dir = ChannelDirectory::uusee(50);
-        let sum: f64 = (0..dir.len())
-            .map(|i| dir.share(ChannelId(i as u16)))
-            .sum();
+        let sum: f64 = (0..dir.len()).map(|i| dir.share(ChannelId(i as u16))).sum();
         assert!((sum - 1.0).abs() < 1e-9);
     }
 

@@ -270,10 +270,7 @@ mod tests {
         };
         let evening = count_in(20, 23);
         let dawn = count_in(3, 6);
-        assert!(
-            evening > dawn * 2,
-            "evening {evening} not ≫ dawn {dawn}"
-        );
+        assert!(evening > dawn * 2, "evening {evening} not ≫ dawn {dawn}");
     }
 
     #[test]

@@ -45,8 +45,8 @@ impl Default for SessionModel {
 impl SessionModel {
     /// Draws one session duration.
     pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
-        let mins = lognormal_median(rng, self.median_mins, self.sigma)
-            .clamp(self.min_mins, self.max_mins);
+        let mins =
+            lognormal_median(rng, self.median_mins, self.sigma).clamp(self.min_mins, self.max_mins);
         SimDuration::from_millis((mins * 60_000.0) as u64)
     }
 
@@ -102,7 +102,8 @@ fn erfc(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x_abs);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let e = poly * (-x_abs * x_abs).exp();
     if sign_neg {
         2.0 - e

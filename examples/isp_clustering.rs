@@ -60,7 +60,9 @@ fn main() {
         let scenario = cfg.scenario();
         let mut sim = OverlaySim::new(scenario, cfg.sim.clone());
         let db: IspDatabase = sim.isp_database().clone();
-        let (store, _) = sim.run_collecting();
+        let (store, _) = sim
+            .run_collecting()
+            .expect("example scenario is self-consistent");
         let snap = SnapshotBuilder::new(&store).at(SimTime::at(1, 21, 0));
         let reports: Vec<_> = snap.reports().cloned().collect();
         let g = active_link_graph(&reports, NodeScope::StableOnly);

@@ -10,8 +10,8 @@
 use magellan::analysis::graphs::{active_link_graph, NodeScope};
 use magellan::graph::assortativity::{assortativity, AssortKind};
 use magellan::graph::clustering::{clustering_coefficient, transitivity};
-use magellan::graph::kcore::core_decomposition;
 use magellan::graph::degree::{average_degree, degree_histogram, DegreeKind};
+use magellan::graph::kcore::core_decomposition;
 use magellan::graph::paths::{
     average_path_length, largest_component_fraction, PathSampling, PathTreatment,
 };
@@ -44,7 +44,9 @@ fn characterize<N: Eq + Hash + Clone>(name: &str, g: &DiGraph<N>) {
         .unwrap_or(f64::NAN);
     let baseline = RandomBaseline::analytic(n, m_und);
     let r = simple_reciprocity(g);
-    let rho = garlaschelli_reciprocity(g).map(|v| format!("{v:+.3}")).unwrap_or("n/a".into());
+    let rho = garlaschelli_reciprocity(g)
+        .map(|v| format!("{v:+.3}"))
+        .unwrap_or("n/a".into());
     let assort = assortativity(g, AssortKind::Undirected)
         .map(|v| format!("{v:+.3}"))
         .unwrap_or("n/a".into());
@@ -61,7 +63,10 @@ fn characterize<N: Eq + Hash + Clone>(name: &str, g: &DiGraph<N>) {
         })
         .unwrap_or_else(|e| format!("n/a ({e})"));
     println!("== {name} ==");
-    println!("  nodes {n}, undirected edges {m_und}, giant component {:.2}", giant);
+    println!(
+        "  nodes {n}, undirected edges {m_und}, giant component {:.2}",
+        giant
+    );
     println!(
         "  degree: mean {:.1}, spike {:?}, max {:?}",
         average_degree(g, DegreeKind::Undirected),
@@ -99,7 +104,9 @@ fn main() {
         .calendar(StudyCalendar { window_days: 1 })
         .build();
     let mut sim = OverlaySim::new(scenario, SimConfig::default());
-    let (store, summary) = sim.run_collecting();
+    let (store, summary) = sim
+        .run_collecting()
+        .expect("example scenario is self-consistent");
     println!(
         "simulated {} joins, {} reports, peak {} concurrent\n",
         summary.joins, summary.reports, summary.peak_concurrent

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Pre-PR gate for the Magellan workspace: formatting, clippy with
+# warnings denied, the magellan-lint determinism/invariant pass, and
+# the test suite. Run from anywhere inside the repo.
+#
+# The two advisory clippy lints (unwrap_used, indexing_slicing) are
+# allowed here on purpose: their enforced counterpart is magellan-lint's
+# budgeted C1 rule — see DESIGN.md §9.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (warnings denied)"
+cargo clippy --workspace --all-targets -- \
+    -D warnings \
+    -A clippy::unwrap_used \
+    -A clippy::indexing_slicing
+
+echo "==> magellan-lint"
+cargo run -q -p magellan-lint
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> all checks passed"

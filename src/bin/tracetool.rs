@@ -36,8 +36,12 @@ fn usage() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let Some(cmd) = args.get(1) else { return usage() };
-    let Some(path) = args.get(2) else { return usage() };
+    let Some(cmd) = args.get(1) else {
+        return usage();
+    };
+    let Some(path) = args.get(2) else {
+        return usage();
+    };
     let get = |name: &str| -> Option<String> {
         args.iter()
             .position(|a| a == name)
@@ -89,7 +93,10 @@ fn main() -> ExitCode {
                 eprintln!("snapshot needs --at d,h,m");
                 return ExitCode::FAILURE;
             };
-            let parts: Vec<u64> = at.split(',').filter_map(|p| p.trim().parse().ok()).collect();
+            let parts: Vec<u64> = at
+                .split(',')
+                .filter_map(|p| p.trim().parse().ok())
+                .collect();
             if parts.len() != 3 {
                 eprintln!("--at wants day,hour,minute (e.g. 0,21,0)");
                 return ExitCode::FAILURE;

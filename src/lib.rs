@@ -32,7 +32,7 @@
 //! | [`analysis`] | the study: classification, topologies, every figure |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use magellan_analysis as analysis;
 pub use magellan_graph as graph;

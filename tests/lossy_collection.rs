@@ -21,7 +21,7 @@ fn collect(drop_prob: f64) -> (TraceStore, magellan::trace::loss::LossStats) {
     let mut sim = OverlaySim::new(scenario, SimConfig::default());
     let server = TraceServer::new(SimTime::at(2, 0, 0));
     let mut chan = LossyCollector::new(&server, drop_prob, 0.01, 7);
-    sim.run(|r| chan.transmit(&r));
+    sim.run(|r| chan.transmit(&r)).expect("run succeeds");
     let stats = chan.stats();
     (server.into_store(), stats)
 }
@@ -85,7 +85,10 @@ fn topology_conclusions_survive_loss() {
     let g_dirty = graph_of(dirty);
     let rho_clean = garlaschelli_reciprocity(&g_clean).unwrap();
     let rho_dirty = garlaschelli_reciprocity(&g_dirty).unwrap();
-    assert!(rho_clean > 0.0 && rho_dirty > 0.0, "reciprocity sign flipped");
+    assert!(
+        rho_clean > 0.0 && rho_dirty > 0.0,
+        "reciprocity sign flipped"
+    );
     assert!(
         (rho_clean - rho_dirty).abs() < 0.15,
         "rho moved too much under loss: {rho_clean:.3} vs {rho_dirty:.3}"

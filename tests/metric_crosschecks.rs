@@ -26,7 +26,11 @@ fn ba_degrees_look_power_law_ws_degrees_do_not() {
     let ba = barabasi_albert(4_000, 2, 5);
     let ba_deg: Vec<usize> = ba.node_ids().map(|i| ba.undirected_degree(i)).collect();
     let v = powerlaw::assess(&ba_deg).unwrap();
-    assert!(v.plausible, "BA rejected: ks {} thr {}", v.fit.ks, v.threshold);
+    assert!(
+        v.plausible,
+        "BA rejected: ks {} thr {}",
+        v.fit.ks, v.threshold
+    );
 
     let ws = watts_strogatz(4_000, 8, 0.05, 5);
     let ws_deg: Vec<usize> = ws.node_ids().map(|i| ws.undirected_degree(i)).collect();

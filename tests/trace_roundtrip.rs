@@ -18,8 +18,11 @@ fn sim_store() -> &'static TraceStore {
             .flash_crowds(vec![])
             .build();
         let mut sim = OverlaySim::new(scenario, SimConfig::default());
-        let (store, summary) = sim.run_collecting();
-        assert!(summary.reports > 100, "too few reports for the roundtrip suite");
+        let (store, summary) = sim.run_collecting().expect("run succeeds");
+        assert!(
+            summary.reports > 100,
+            "too few reports for the roundtrip suite"
+        );
         store
     })
 }

@@ -1,0 +1,169 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides just enough of the criterion API for the workspace's
+//! benchmark harnesses to compile and produce rough timings offline:
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`, and
+//! the `criterion_group!` / `criterion_main!` macros. Each bench runs
+//! a short calibrated loop and prints a mean time — useful as a smoke
+//! signal, not a statistics engine.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifies one parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Drives the timed closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, printing a mean per-iteration estimate.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up pass, then a short measured loop.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let per_iter = start.elapsed().as_secs_f64() / self.iters as f64;
+        println!("    {:>12.3} µs/iter", per_iter * 1e6);
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` as a benchmark named `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_named(&format!("{}/{}", self.name, id.into_benchmark_id().name), f);
+        self
+    }
+
+    /// Runs `f` with `input` as a benchmark named `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_named(
+            &format!("{}/{}", self.name, id.into_benchmark_id().name),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Conversion into a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+        }
+    }
+}
+
+fn run_named<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    println!("bench {name}");
+    let mut b = Bencher { iters: 10 };
+    f(&mut b);
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs `f` as a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_named(name, f);
+        self
+    }
+}
+
+/// Declares a group function invoking each listed bench target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` invoking each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,79 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length specification: fixed or a half-open range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max_exclusive: r.end() + 1,
+        }
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max_exclusive - self.size.min) as u64;
+        let len = self.size.min + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// A strategy for vectors of `element` values with the given length.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_respected() {
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..200 {
+            let v = vec(0u8..10, 2..6).new_value(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            let fixed = vec(0u8..10, 7).new_value(&mut rng);
+            assert_eq!(fixed.len(), 7);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API the workspace's property
+//! tests use — `proptest!`, `prop_compose!`, `prop_assert*!`,
+//! `prop_assume!`, range / tuple / `vec` / `any` strategies and
+//! `prop_map` — on top of a deterministic xoshiro256++ stream. Every
+//! case is a pure function of (test name, case index), so failures
+//! reproduce exactly; there is no shrinking and no persistence. Set
+//! `MAGELLAN_PROPTEST_SEED` to perturb the stream for exploratory
+//! runs.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+
+/// The `proptest::prelude::prop` namespace.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest,
+    };
+}
+
+/// Runs every `#[test]` item in the block as a property over its
+/// strategies. Supports an optional leading
+/// `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                $crate::test_runner::run(stringify!($name), &config, |__rng| {
+                    $(let $pat = $crate::strategy::Strategy::new_value(&($strat), __rng);)+
+                    let __out: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    __out
+                });
+            }
+        )*
+    };
+}
+
+/// Defines a function returning a composed strategy:
+/// `prop_compose! { fn name()(x in s, ...) -> T { expr } }`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($param:tt)*)($($pat:pat in $strat:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($param)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy(move |__rng: &mut $crate::test_runner::TestRng| {
+                $(let $pat = $crate::strategy::Strategy::new_value(&($strat), __rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// `assert!` that fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// `assert_ne!` that fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Rejects the current case (does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,24 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// An abstract index resolved against a concrete collection length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Wraps raw random bits.
+    pub fn from_raw(raw: u64) -> Self {
+        Index { raw }
+    }
+
+    /// Resolves to an index in `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.raw % len as u64) as usize
+    }
+}

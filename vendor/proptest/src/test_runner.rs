@@ -1,0 +1,186 @@
+//! Deterministic case runner and its RNG.
+
+use std::fmt;
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case violated a `prop_assert*!`.
+    Fail(String),
+    /// The case was filtered out by `prop_assume!`.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            TestCaseError::Reject => write!(f, "input rejected by prop_assume!"),
+        }
+    }
+}
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Deterministic xoshiro256++ stream used to generate case inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A stream derived from an arbitrary seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform draw below `bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn base_seed() -> u64 {
+    match std::env::var("MAGELLAN_PROPTEST_SEED") {
+        Ok(v) => v.parse().unwrap_or_else(|_| fnv1a(&v)),
+        Err(_) => 0,
+    }
+}
+
+/// Runs `case` until `config.cases` accepted cases pass, panicking on
+/// the first failure with enough context to reproduce it.
+///
+/// # Panics
+///
+/// Panics when a case fails or when `prop_assume!` rejects too great a
+/// fraction of the generated inputs.
+pub fn run<F>(name: &str, config: &Config, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let seed = base_seed() ^ fnv1a(name);
+    let mut accepted: u32 = 0;
+    let mut attempts: u32 = 0;
+    let max_attempts = config.cases.saturating_mul(10).max(100);
+    while accepted < config.cases {
+        if attempts >= max_attempts {
+            panic!(
+                "property {name}: prop_assume! rejected too many inputs \
+                 ({accepted}/{attempts} accepted)"
+            );
+        }
+        let mut rng = TestRng::from_seed(seed.wrapping_add(attempts as u64));
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property {name} failed at case {attempts} \
+                     (seed {seed:#018x}): {msg}"
+                );
+            }
+        }
+        attempts += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mut seen_a = Vec::new();
+        run("det", &Config::with_cases(8), |rng| {
+            seen_a.push(rng.next_u64());
+            Ok(())
+        });
+        let mut seen_b = Vec::new();
+        run("det", &Config::with_cases(8), |rng| {
+            seen_b.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(seen_a, seen_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_context() {
+        run("boom", &Config::with_cases(4), |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected too many")]
+    fn pathological_assume_is_detected() {
+        run("reject", &Config::with_cases(4), |_| {
+            Err(TestCaseError::Reject)
+        });
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace's `#[derive(Serialize, Deserialize)]` annotations are
+//! schema documentation: no code path serializes through serde (the
+//! trace JSONL codec is hand-written). This stub supplies the two
+//! marker traits and re-exports the no-op derives so the annotated
+//! types compile in the offline build container.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Magellan uses `#[derive(Serialize, Deserialize)]` purely as schema
+//! documentation — nothing in the workspace bounds on the serde traits
+//! or calls a serializer (the JSONL codec is hand-rolled). These
+//! derives therefore expand to nothing, which keeps the annotated
+//! types compiling without the real proc-macro stack (`syn`/`quote`)
+//! that the offline build container cannot fetch.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts and ignores `#[serde(...)]` attrs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts and ignores `#[serde(...)]` attrs.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
