@@ -17,9 +17,11 @@ use crate::graphs::{
 use crate::timeseries::Series;
 use magellan_graph::paths::PathSampling;
 use magellan_graph::powerlaw;
-use magellan_graph::reciprocity::{garlaschelli_reciprocity, weighted_reciprocity};
-use magellan_graph::smallworld::{assess, SmallWorldConfig};
-use magellan_graph::DegreeHistogram;
+use magellan_graph::reciprocity::{
+    garlaschelli_reciprocity, garlaschelli_reciprocity_csr, weighted_reciprocity_csr,
+};
+use magellan_graph::smallworld::{assess, assess_csr, SmallWorldConfig, SmallWorldReport};
+use magellan_graph::{Csr, DegreeHistogram};
 use magellan_netsim::{Isp, IspDatabase, PeerAddr, SimDuration, SimTime, StudyCalendar};
 use magellan_overlay::{OverlaySim, SimConfig};
 use magellan_trace::PeerReport;
@@ -540,19 +542,53 @@ impl Accumulator {
             ..SmallWorldConfig::default()
         };
 
-        // Fig. 7A: stable-peer graph.
+        // Build both topologies up front (construction allocates and
+        // stays sequential); the metric kernels below run over shared
+        // Csr snapshots and fan out.
         let stable_graph = active_link_graph(stable.iter(), NodeScope::StableOnly);
-        let r = assess(&stable_graph, &sw_cfg(stable_graph.node_count()));
-        if let (Some(l), Some(lr)) = (r.l, r.l_rand) {
-            self.report.fig7.global.c.push(at, r.c);
-            self.report.fig7.global.c_rand.push(at, r.c_rand);
+        let full = active_link_graph(stable.iter(), NodeScope::AllKnown);
+        let db = &self.db;
+        let isp_panel = self.cfg.isp_panel;
+        let min_graph_nodes = self.cfg.min_graph_nodes;
+
+        // Fig. 7 (small-world) and Fig. 8 (reciprocity) read disjoint
+        // graphs, so the two metric sets compute concurrently via
+        // `magellan_par::join`. Both closures are pure functions of
+        // their graphs; the results come back as an ordered pair and
+        // the series pushes below happen in the same fixed order as
+        // the sequential schedule, so the report is byte-identical for
+        // every thread count.
+        type Fig7 = (SmallWorldReport, Option<SmallWorldReport>);
+        type Fig8 = (Option<f64>, Option<f64>, Option<f64>, Option<f64>);
+        let (fig7, fig8): (Fig7, Fig8) = magellan_par::join(
+            || {
+                // Fig. 7A: stable-peer graph; 7B: one ISP's subgraph.
+                let csr = Csr::from_digraph(&stable_graph);
+                let global = assess_csr(&csr, &sw_cfg(stable_graph.node_count()));
+                let sub = isp_subgraph(&stable_graph, db, isp_panel);
+                let isp = (sub.node_count() >= min_graph_nodes)
+                    .then(|| assess(&sub, &sw_cfg(sub.node_count())));
+                (global, isp)
+            },
+            || {
+                // Fig. 8: reciprocity over the all-known topology.
+                let csr = Csr::from_digraph(&full);
+                let all = garlaschelli_reciprocity_csr(&csr).ok();
+                let weighted = weighted_reciprocity_csr(&csr).ok();
+                let intra = garlaschelli_reciprocity(&intra_isp_link_graph(&full, db)).ok();
+                let inter = garlaschelli_reciprocity(&inter_isp_link_graph(&full, db)).ok();
+                (all, weighted, intra, inter)
+            },
+        );
+
+        let (global, isp) = fig7;
+        if let (Some(l), Some(lr)) = (global.l, global.l_rand) {
+            self.report.fig7.global.c.push(at, global.c);
+            self.report.fig7.global.c_rand.push(at, global.c_rand);
             self.report.fig7.global.l.push(at, l);
             self.report.fig7.global.l_rand.push(at, lr);
         }
-        // Fig. 7B: one ISP's subgraph.
-        let sub = isp_subgraph(&stable_graph, &self.db, self.cfg.isp_panel);
-        if sub.node_count() >= self.cfg.min_graph_nodes {
-            let r = assess(&sub, &sw_cfg(sub.node_count()));
+        if let Some(r) = isp {
             if let (Some(l), Some(lr)) = (r.l, r.l_rand) {
                 self.report.fig7.isp.c.push(at, r.c);
                 self.report.fig7.isp.c_rand.push(at, r.c_rand);
@@ -560,21 +596,17 @@ impl Accumulator {
                 self.report.fig7.isp.l_rand.push(at, lr);
             }
         }
-
-        // Fig. 8: reciprocity over the all-known topology.
-        let full = active_link_graph(stable.iter(), NodeScope::AllKnown);
-        if let Ok(rho) = garlaschelli_reciprocity(&full) {
+        let (all, weighted, intra, inter) = fig8;
+        if let Some(rho) = all {
             self.report.fig8.all.push(at, rho);
         }
-        if let Ok(rw) = weighted_reciprocity(&full) {
+        if let Some(rw) = weighted {
             self.report.fig8.weighted.push(at, rw);
         }
-        let intra = intra_isp_link_graph(&full, &self.db);
-        if let Ok(rho) = garlaschelli_reciprocity(&intra) {
+        if let Some(rho) = intra {
             self.report.fig8.intra.push(at, rho);
         }
-        let inter = inter_isp_link_graph(&full, &self.db);
-        if let Ok(rho) = garlaschelli_reciprocity(&inter) {
+        if let Some(rho) = inter {
             self.report.fig8.inter.push(at, rho);
         }
     }

@@ -5,17 +5,22 @@
 //! undirected projection of the active-link graph (§4.3). Nodes with
 //! fewer than two neighbors contribute `C_i = 0`, following the
 //! convention of Watts' *Six Degrees* which the paper cites.
+//!
+//! The kernels run over a flat [`Csr`] snapshot view. Per-node `C_i`
+//! values are independent, so the graph-level sums fan out across
+//! cores with [`magellan_par::par_map_collect`]; the per-node values
+//! come back in node order and are summed left-to-right, keeping every
+//! coefficient bit-identical for any thread count. For repeated
+//! single-node queries build the [`Csr`] once and pass it to
+//! [`local_clustering_csr`] — the one-shot [`local_clustering`]
+//! rebuilds all neighborhoods (`O(n + m)`) on every call.
 
+use crate::csr::Csr;
 use crate::{DiGraph, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::hash::Hash;
-
-/// Precomputed undirected neighborhoods, reused across per-node queries.
-fn neighborhoods<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> Vec<Vec<NodeId>> {
-    g.node_ids().map(|id| g.undirected_neighbors(id)).collect()
-}
 
 /// Number of common elements of two ascending-sorted slices.
 fn intersection_size(a: &[NodeId], b: &[NodeId]) -> usize {
@@ -34,8 +39,9 @@ fn intersection_size(a: &[NodeId], b: &[NodeId]) -> usize {
     n
 }
 
-fn local_from_neighborhoods(hoods: &[Vec<NodeId>], id: NodeId) -> f64 {
-    let hood = &hoods[id.index()];
+/// `C_i` from a prebuilt snapshot view.
+fn local_from_csr(csr: &Csr, id: NodeId) -> f64 {
+    let hood = csr.und(id);
     let k = hood.len();
     if k < 2 {
         return 0.0;
@@ -44,32 +50,45 @@ fn local_from_neighborhoods(hoods: &[Vec<NodeId>], id: NodeId) -> f64 {
     // v in N(u) and u in N(v).
     let mut twice_links = 0usize;
     for &u in hood {
-        twice_links += intersection_size(&hoods[u.index()], hood);
+        twice_links += intersection_size(csr.und(u), hood);
     }
     twice_links as f64 / (k * (k - 1)) as f64
 }
 
+/// The local clustering coefficient `C_i` of one node on a prebuilt
+/// [`Csr`] snapshot — the reusable-handle form of
+/// [`local_clustering`]: build the view once, query many nodes for
+/// free.
+pub fn local_clustering_csr(csr: &Csr, id: NodeId) -> f64 {
+    local_from_csr(csr, id)
+}
+
 /// The local clustering coefficient `C_i` of one node, on the
 /// undirected projection. `0.0` for nodes with fewer than 2 neighbors.
+///
+/// Convenience one-shot: rebuilds every neighborhood (`O(n + m)`) per
+/// call. Querying more than one node? Build a [`Csr`] once and use
+/// [`local_clustering_csr`].
 pub fn local_clustering<N: Eq + Hash + Clone>(g: &DiGraph<N>, id: NodeId) -> f64 {
-    let hoods = neighborhoods(g);
-    local_from_neighborhoods(&hoods, id)
+    local_from_csr(&Csr::from_digraph(g), id)
 }
 
 /// The graph clustering coefficient `C_g = (1/n) Σ C_i`.
 ///
 /// Returns `0.0` on an empty graph.
 pub fn clustering_coefficient<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> f64 {
-    let n = g.node_count();
+    clustering_coefficient_csr(&Csr::from_digraph(g))
+}
+
+/// [`clustering_coefficient`] over a prebuilt [`Csr`] snapshot,
+/// fanning the per-node coefficients across cores.
+pub fn clustering_coefficient_csr(csr: &Csr) -> f64 {
+    let n = csr.node_count();
     if n == 0 {
         return 0.0;
     }
-    let hoods = neighborhoods(g);
-    let sum: f64 = g
-        .node_ids()
-        .map(|id| local_from_neighborhoods(&hoods, id))
-        .sum();
-    sum / n as f64
+    let locals = magellan_par::par_map_collect(n, |i| local_from_csr(csr, NodeId::from_index(i)));
+    locals.iter().sum::<f64>() / n as f64
 }
 
 /// Estimates the clustering coefficient from a uniform sample of
@@ -77,23 +96,26 @@ pub fn clustering_coefficient<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> f64 {
 ///
 /// Falls back to the exact value when `samples >= node_count`.
 pub fn sampled_clustering<N: Eq + Hash + Clone>(g: &DiGraph<N>, samples: usize, seed: u64) -> f64 {
-    let n = g.node_count();
+    sampled_clustering_csr(&Csr::from_digraph(g), samples, seed)
+}
+
+/// [`sampled_clustering`] over a prebuilt [`Csr`] snapshot. The sample
+/// is drawn (seeded) before the fan-out, so the estimate is identical
+/// for every thread count.
+pub fn sampled_clustering_csr(csr: &Csr, samples: usize, seed: u64) -> f64 {
+    let n = csr.node_count();
     if n == 0 {
         return 0.0;
     }
     if samples >= n {
-        return clustering_coefficient(g);
+        return clustering_coefficient_csr(csr);
     }
-    let hoods = neighborhoods(g);
-    let mut ids: Vec<NodeId> = g.node_ids().collect();
+    let mut ids: Vec<NodeId> = csr.node_ids().collect();
     let mut rng = StdRng::seed_from_u64(seed);
     ids.shuffle(&mut rng);
     ids.truncate(samples);
-    let sum: f64 = ids
-        .iter()
-        .map(|&id| local_from_neighborhoods(&hoods, id))
-        .sum();
-    sum / samples as f64
+    let locals = magellan_par::par_map_collect(ids.len(), |k| local_from_csr(csr, ids[k]));
+    locals.iter().sum::<f64>() / samples as f64
 }
 
 /// Global transitivity: `3 × triangles / connected triples`, an
@@ -101,21 +123,30 @@ pub fn sampled_clustering<N: Eq + Hash + Clone>(g: &DiGraph<N>, samples: usize, 
 ///
 /// Returns `0.0` when the graph has no connected triple.
 pub fn transitivity<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> f64 {
-    let hoods = neighborhoods(g);
-    let mut closed = 0u64; // ordered pairs of neighbors that are linked
-    let mut triples = 0u64; // ordered pairs of neighbors
-    for id in g.node_ids() {
-        let hood = &hoods[id.index()];
+    transitivity_csr(&Csr::from_digraph(g))
+}
+
+/// [`transitivity`] over a prebuilt [`Csr`] snapshot, fanning the
+/// per-node triple/link counts across cores (integer partials, summed
+/// in node order).
+pub fn transitivity_csr(csr: &Csr) -> f64 {
+    let partials: Vec<(u64, u64)> = magellan_par::par_map_collect(csr.node_count(), |i| {
+        let hood = csr.und(NodeId::from_index(i));
         let k = hood.len() as u64;
         if k < 2 {
-            continue;
+            return (0, 0);
         }
-        triples += k * (k - 1);
         let mut twice_links = 0usize;
         for &u in hood {
-            twice_links += intersection_size(&hoods[u.index()], hood);
+            twice_links += intersection_size(csr.und(u), hood);
         }
-        closed += twice_links as u64;
+        (twice_links as u64, k * (k - 1))
+    });
+    let mut closed = 0u64; // ordered pairs of neighbors that are linked
+    let mut triples = 0u64; // ordered pairs of neighbors
+    for &(c, t) in &partials {
+        closed += c;
+        triples += t;
     }
     if triples == 0 {
         return 0.0;
@@ -198,6 +229,24 @@ mod tests {
     }
 
     #[test]
+    fn reusable_csr_handle_matches_one_shot_queries() {
+        let mut g = triangle();
+        let n3 = g.intern(3);
+        let n0 = g.node_id(&0).unwrap();
+        g.add_edge(n0, n3, 1);
+        // One view, many queries — the satellite-fix API: no O(n + m)
+        // neighborhood rebuild per node.
+        let csr = Csr::from_digraph(&g);
+        for id in g.node_ids() {
+            assert_eq!(
+                local_clustering_csr(&csr, id).to_bits(),
+                local_clustering(&g, id).to_bits(),
+                "node {id}"
+            );
+        }
+    }
+
+    #[test]
     fn reciprocal_edges_do_not_double_count() {
         // Triangle with every edge bidirectional must still give C = 1.
         let mut g = triangle();
@@ -229,5 +278,24 @@ mod tests {
         let a = sampled_clustering(&g, 2, 42);
         let b = sampled_clustering(&g, 2, 42);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_and_sequential_runs_are_bit_identical() {
+        // A graph big enough to cross the par cutoff.
+        let g = crate::random::watts_strogatz(300, 6, 0.2, 11);
+        let csr = Csr::from_digraph(&g);
+        magellan_par::set_threads(1);
+        let seq = clustering_coefficient_csr(&csr);
+        let seq_t = transitivity_csr(&csr);
+        let seq_s = sampled_clustering_csr(&csr, 128, 5);
+        magellan_par::set_threads(8);
+        let par = clustering_coefficient_csr(&csr);
+        let par_t = transitivity_csr(&csr);
+        let par_s = sampled_clustering_csr(&csr, 128, 5);
+        magellan_par::set_threads(0);
+        assert_eq!(seq.to_bits(), par.to_bits());
+        assert_eq!(seq_t.to_bits(), par_t.to_bits());
+        assert_eq!(seq_s.to_bits(), par_s.to_bits());
     }
 }

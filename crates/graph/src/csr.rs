@@ -1,0 +1,270 @@
+//! Compressed-sparse-row snapshot view of a [`DiGraph`].
+//!
+//! The Magellan study loop recomputes clustering, sampled path
+//! lengths, k-core, and reciprocity on every snapshot of the study
+//! window. Those kernels are traversal-bound, and the `DiGraph`'s
+//! `Vec<Vec<…>>` adjacency pays one pointer chase plus one potential
+//! cache miss per row. [`Csr`] is the flat alternative: built once per
+//! snapshot (`O(n + m)`), it packs the out-, in-, and
+//! undirected-projection adjacency into contiguous `offsets`/`targets`
+//! arrays that BFS, triangle counting, peeling, and reciprocity merges
+//! can stream through linearly. It is also `Send + Sync` with no
+//! generic key parameter, so the fork-join kernels in `magellan-par`
+//! can share one snapshot across worker threads.
+//!
+//! The view is immutable by construction — mutate the `DiGraph`, then
+//! rebuild.
+
+use crate::{DiGraph, NodeId};
+use std::hash::Hash;
+
+/// Flat adjacency arrays for one graph snapshot.
+///
+/// Row `u` of each projection lives at `targets[offsets[u] ..
+/// offsets[u + 1]]`; every row is sorted ascending, matching the
+/// `DiGraph` invariant it was built from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    n: usize,
+    edge_count: usize,
+    out_off: Vec<usize>,
+    out_tgt: Vec<NodeId>,
+    out_w: Vec<u64>,
+    in_off: Vec<usize>,
+    in_tgt: Vec<NodeId>,
+    und_off: Vec<usize>,
+    und_tgt: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Builds the flat view of `g` in one `O(n + m)` pass.
+    pub fn from_digraph<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> Csr {
+        let n = g.node_count();
+        let m = g.edge_count();
+        let mut out_off = Vec::with_capacity(n + 1);
+        let mut out_tgt = Vec::with_capacity(m);
+        let mut out_w = Vec::with_capacity(m);
+        let mut in_off = Vec::with_capacity(n + 1);
+        let mut in_tgt = Vec::with_capacity(m);
+        let mut und_off = Vec::with_capacity(n + 1);
+        let mut und_tgt = Vec::with_capacity(m); // lower bound; grows on one-way-heavy graphs
+        out_off.push(0);
+        in_off.push(0);
+        und_off.push(0);
+        for u in g.node_ids() {
+            let out_row = g.out_row(u);
+            let in_row = g.in_row(u);
+            out_tgt.extend(out_row.iter().map(|&(t, _)| t));
+            out_w.extend(out_row.iter().map(|&(_, w)| w));
+            in_tgt.extend_from_slice(in_row);
+            // Undirected projection: linear merge of the two sorted
+            // rows, deduplicating bilateral partners.
+            let (mut i, mut j) = (0, 0);
+            while i < out_row.len() && j < in_row.len() {
+                let (x, y) = (out_row[i].0, in_row[j]);
+                match x.cmp(&y) {
+                    std::cmp::Ordering::Less => {
+                        und_tgt.push(x);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        und_tgt.push(y);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        und_tgt.push(x);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            und_tgt.extend(out_row[i..].iter().map(|&(t, _)| t));
+            und_tgt.extend_from_slice(&in_row[j..]);
+            out_off.push(out_tgt.len());
+            in_off.push(in_tgt.len());
+            und_off.push(und_tgt.len());
+        }
+        Csr {
+            n,
+            edge_count: m,
+            out_off,
+            out_tgt,
+            out_w,
+            in_off,
+            in_tgt,
+            und_off,
+            und_tgt,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether the snapshot has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sorted out-neighbors of `u`.
+    pub fn out(&self, u: NodeId) -> &[NodeId] {
+        &self.out_tgt[self.out_off[u.index()]..self.out_off[u.index() + 1]]
+    }
+
+    /// Weights aligned with [`Csr::out`].
+    pub fn out_weights(&self, u: NodeId) -> &[u64] {
+        &self.out_w[self.out_off[u.index()]..self.out_off[u.index() + 1]]
+    }
+
+    /// Sorted in-neighbors of `u`.
+    pub fn inn(&self, u: NodeId) -> &[NodeId] {
+        &self.in_tgt[self.in_off[u.index()]..self.in_off[u.index() + 1]]
+    }
+
+    /// Sorted, deduplicated neighbors of `u` in the undirected
+    /// projection.
+    pub fn und(&self, u: NodeId) -> &[NodeId] {
+        &self.und_tgt[self.und_off[u.index()]..self.und_off[u.index() + 1]]
+    }
+
+    /// Out-degree of `u`.
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out_off[u.index() + 1] - self.out_off[u.index()]
+    }
+
+    /// In-degree of `u`.
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        self.in_off[u.index() + 1] - self.in_off[u.index()]
+    }
+
+    /// Degree of `u` in the undirected projection.
+    pub fn und_degree(&self, u: NodeId) -> usize {
+        self.und_off[u.index() + 1] - self.und_off[u.index()]
+    }
+
+    /// Number of edges in the undirected projection (each bilateral
+    /// pair collapsed to one link). Total undirected row length counts
+    /// every link twice.
+    pub fn und_edge_count(&self) -> usize {
+        self.und_tgt.len() / 2
+    }
+
+    /// Directed edge density `ā = M / (N (N − 1))`; 0.0 below two
+    /// nodes.
+    pub fn density(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        self.edge_count as f64 / (self.n as f64 * (self.n as f64 - 1.0))
+    }
+
+    /// Whether the directed edge `from -> to` exists (`O(log d)`).
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.out(from).binary_search(&to).is_ok()
+    }
+
+    /// Weight of `from -> to`, when present (`O(log d)`).
+    pub fn edge_weight(&self, from: NodeId, to: NodeId) -> Option<u64> {
+        self.out(from)
+            .binary_search(&to)
+            .ok()
+            .map(|pos| self.out_weights(from)[pos])
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        // lint:allow(C3): DiGraph::intern guarantees node count fits in u32
+        (0..self.n as u32).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DiGraph<u32> {
+        // 0 <-> 1, 0 -> 2, 3 -> 0, 2 -> 3 (weights distinguishable).
+        let mut g = DiGraph::new();
+        let ids: Vec<NodeId> = (0..4u32).map(|k| g.intern(k)).collect();
+        g.add_edge(ids[0], ids[1], 5);
+        g.add_edge(ids[1], ids[0], 7);
+        g.add_edge(ids[0], ids[2], 1);
+        g.add_edge(ids[3], ids[0], 2);
+        g.add_edge(ids[2], ids[3], 9);
+        g
+    }
+
+    #[test]
+    fn mirrors_digraph_adjacency_exactly() {
+        let g = sample();
+        let c = Csr::from_digraph(&g);
+        assert_eq!(c.node_count(), g.node_count());
+        assert_eq!(c.edge_count(), g.edge_count());
+        for u in g.node_ids() {
+            let out: Vec<NodeId> = g.out_neighbors(u).collect();
+            assert_eq!(c.out(u), &out[..], "out row of {u}");
+            let inn: Vec<NodeId> = g.in_neighbors(u).collect();
+            assert_eq!(c.inn(u), &inn[..], "in row of {u}");
+            assert_eq!(c.und(u), &g.undirected_neighbors(u)[..], "und row of {u}");
+            assert_eq!(c.out_degree(u), g.out_degree(u));
+            assert_eq!(c.in_degree(u), g.in_degree(u));
+            assert_eq!(c.und_degree(u), g.undirected_degree(u));
+            let weights: Vec<u64> = g.out_edges(u).map(|(_, w)| w).collect();
+            assert_eq!(c.out_weights(u), &weights[..]);
+        }
+    }
+
+    #[test]
+    fn edge_queries_match() {
+        let g = sample();
+        let c = Csr::from_digraph(&g);
+        for u in g.node_ids() {
+            for v in g.node_ids() {
+                if u == v {
+                    continue;
+                }
+                assert_eq!(c.has_edge(u, v), g.has_edge(u, v));
+                assert_eq!(c.edge_weight(u, v), g.edge_weight(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn undirected_edge_count_collapses_bilateral() {
+        let g = sample();
+        let c = Csr::from_digraph(&g);
+        assert_eq!(c.und_edge_count(), g.undirected_edge_count());
+        assert!((c.density() - g.density()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_view() {
+        let g: DiGraph<u32> = DiGraph::new();
+        let c = Csr::from_digraph(&g);
+        assert!(c.is_empty());
+        assert_eq!(c.node_count(), 0);
+        assert_eq!(c.edge_count(), 0);
+        assert_eq!(c.und_edge_count(), 0);
+        assert_eq!(c.density(), 0.0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_rows() {
+        let mut g: DiGraph<u32> = DiGraph::new();
+        let a = g.intern(0);
+        let b = g.intern(1);
+        g.intern(2); // isolated
+        g.add_edge(a, b, 1);
+        let c = Csr::from_digraph(&g);
+        let iso = NodeId::from_index(2);
+        assert!(c.out(iso).is_empty());
+        assert!(c.inn(iso).is_empty());
+        assert!(c.und(iso).is_empty());
+    }
+}

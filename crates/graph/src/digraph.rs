@@ -23,8 +23,17 @@ impl NodeId {
     ///
     /// Use only with indices obtained from the same graph (for example
     /// when iterating `0..g.node_count()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` does not fit in the `u32` node-id space —
+    /// a silent truncation here would alias two distinct nodes, which
+    /// is precisely the kind of bug that corrupts metrics quietly.
     pub fn from_index(index: usize) -> Self {
-        NodeId(index as u32)
+        match u32::try_from(index) {
+            Ok(raw) => NodeId(raw),
+            Err(_) => panic!("node index {index} exceeds the u32 node-id space"),
+        }
     }
 }
 
@@ -206,6 +215,17 @@ impl<N: Eq + Hash + Clone> DiGraph<N> {
     /// In-degree (number of distinct sources).
     pub fn in_degree(&self, id: NodeId) -> usize {
         self.inc[id.index()].len()
+    }
+
+    /// The sorted `(target, weight)` row of `id`'s outgoing edges —
+    /// the raw adjacency slice [`crate::csr::Csr`] is built from.
+    pub(crate) fn out_row(&self, id: NodeId) -> &[(NodeId, u64)] {
+        &self.out[id.index()]
+    }
+
+    /// The sorted sources of `id`'s incoming edges.
+    pub(crate) fn in_row(&self, id: NodeId) -> &[NodeId] {
+        &self.inc[id.index()]
     }
 
     /// Iterates over the targets of `id`'s outgoing edges, ascending.
@@ -479,5 +499,20 @@ mod tests {
         let id = NodeId::from_index(3);
         assert_eq!(id.index(), 3);
         assert_eq!(id.to_string(), "n3");
+    }
+
+    #[test]
+    fn node_id_roundtrips_at_the_u32_boundary() {
+        let id = NodeId::from_index(u32::MAX as usize);
+        assert_eq!(id.index(), u32::MAX as usize);
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    #[should_panic(expected = "exceeds the u32 node-id space")]
+    fn node_id_from_oversized_index_panics_instead_of_truncating() {
+        // Before the guard this silently wrapped to NodeId(0), aliasing
+        // two distinct nodes.
+        let _ = NodeId::from_index(u32::MAX as usize + 1);
     }
 }

@@ -26,10 +26,10 @@
 //! [`check_all`] in a `debug_assert!`, making the whole layer free in
 //! release builds while still tripping loudly under `cargo test`.
 
-use crate::clustering::{clustering_coefficient, local_clustering};
+use crate::clustering::{clustering_coefficient_csr, local_clustering_csr};
 use crate::kcore::{core_decomposition, CoreDecomposition};
-use crate::reciprocity::simple_reciprocity;
-use crate::{DiGraph, NodeId};
+use crate::reciprocity::simple_reciprocity_checked_csr;
+use crate::{Csr, DiGraph, NodeId};
 use std::fmt;
 use std::hash::Hash;
 
@@ -207,10 +207,17 @@ pub fn check_core_monotonicity<N: Eq + Hash + Clone>(
 /// ranges: simple reciprocity, the graph-level clustering coefficient,
 /// and every node's local clustering.
 pub fn check_metric_ranges<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> Result<(), InvariantViolation> {
-    check_unit_interval("simple_reciprocity", simple_reciprocity(g))?;
-    check_unit_interval("clustering_coefficient", clustering_coefficient(g))?;
+    // One snapshot view for every query below: the per-node loop used
+    // to rebuild all neighborhoods per node, turning this check into
+    // O(n·(n + m)).
+    let csr = Csr::from_digraph(g);
+    check_unit_interval(
+        "simple_reciprocity",
+        simple_reciprocity_checked_csr(&csr).unwrap_or(0.0),
+    )?;
+    check_unit_interval("clustering_coefficient", clustering_coefficient_csr(&csr))?;
     for id in g.node_ids() {
-        check_unit_interval("local_clustering", local_clustering(g, id))?;
+        check_unit_interval("local_clustering", local_clustering_csr(&csr, id))?;
     }
     Ok(())
 }

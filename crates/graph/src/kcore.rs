@@ -9,8 +9,12 @@
 //! stars shed almost everything at k = 2.
 //!
 //! Computed on the undirected projection with the linear-time
-//! peeling algorithm (Batagelj–Zaveršnik).
+//! peeling algorithm (Batagelj–Zaveršnik), streaming over a flat
+//! [`Csr`] view so the peel touches contiguous memory. Peeling is
+//! inherently sequential (each removal changes later degrees), so this
+//! kernel gains from the layout, not from threads.
 
+use crate::csr::Csr;
 use crate::{DiGraph, NodeId};
 use std::hash::Hash;
 
@@ -49,9 +53,14 @@ impl CoreDecomposition {
 
 /// Computes the k-core decomposition of the undirected projection.
 pub fn core_decomposition<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> CoreDecomposition {
-    let n = g.node_count();
+    core_decomposition_csr(&Csr::from_digraph(g))
+}
+
+/// [`core_decomposition`] over a prebuilt [`Csr`] snapshot.
+pub fn core_decomposition_csr(csr: &Csr) -> CoreDecomposition {
+    let n = csr.node_count();
     let mut degree: Vec<usize> = (0..n)
-        .map(|i| g.undirected_degree(NodeId::from_index(i)))
+        .map(|i| csr.und_degree(NodeId::from_index(i)))
         .collect();
     let max_deg = degree.iter().copied().max().unwrap_or(0);
     // Bucket sort nodes by degree (Batagelj–Zaveršnik).
@@ -80,7 +89,7 @@ pub fn core_decomposition<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> CoreDecomposi
     for i in 0..n {
         let v = order[i];
         cores[v] = degree[v] as u32;
-        for u in g.undirected_neighbors(NodeId::from_index(v)) {
+        for &u in csr.und(NodeId::from_index(v)) {
             let u = u.index();
             if degree[u] > degree[v] {
                 // Move u one bucket down: swap it with the first

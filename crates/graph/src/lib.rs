@@ -36,6 +36,7 @@ mod histogram;
 
 pub mod assortativity;
 pub mod clustering;
+pub mod csr;
 pub mod degree;
 pub mod export;
 pub mod invariants;
@@ -47,6 +48,7 @@ pub mod reciprocity;
 pub mod smallworld;
 pub mod subgraph;
 
+pub use csr::Csr;
 pub use digraph::{DiGraph, EdgeRef, NodeId};
 pub use histogram::{DegreeHistogram, HistogramPoint};
 

@@ -7,7 +7,16 @@
 //! (§4.3, Fig. 7). Snapshots can be large, so alongside the exact
 //! all-pairs BFS a seeded source-sampling estimator is provided; the
 //! `ablation_estimators` bench quantifies the accuracy/cost trade-off.
+//!
+//! The hot kernels traverse a flat [`Csr`] snapshot view instead of
+//! the `DiGraph`'s nested rows, and [`average_path_length_csr`] fans
+//! its per-source BFS passes across cores with
+//! [`magellan_par::par_map_collect`] — the source list is fixed (and
+//! any sampling RNG drawn) *before* the fan-out, and the per-source
+//! partial sums are reduced in source order, so the result is
+//! bit-identical for every thread count.
 
+use crate::csr::Csr;
 use crate::{DiGraph, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -61,37 +70,42 @@ pub struct PathLengthStats {
 
 /// BFS distances from `src` to every node.
 ///
-/// Unreachable nodes get [`UNREACHABLE`].
+/// Unreachable nodes get [`UNREACHABLE`]. Builds a one-shot [`Csr`]
+/// view; callers running many BFS passes over the same graph should
+/// build the view once and call [`bfs_distances_csr`].
 pub fn bfs_distances<N: Eq + Hash + Clone>(
     g: &DiGraph<N>,
     src: NodeId,
     treatment: PathTreatment,
 ) -> Vec<u32> {
-    let mut dist = vec![UNREACHABLE; g.node_count()];
-    let mut queue = VecDeque::new();
+    bfs_distances_csr(&Csr::from_digraph(g), src, treatment)
+}
+
+/// BFS distances from `src` over a prebuilt [`Csr`] snapshot.
+///
+/// Unreachable nodes get [`UNREACHABLE`]. The frontier is an index
+/// cursor over a flat visit vector — no per-step deque shuffling —
+/// and each popped node streams through one contiguous adjacency row.
+pub fn bfs_distances_csr(csr: &Csr, src: NodeId, treatment: PathTreatment) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; csr.node_count()];
+    let mut queue: Vec<NodeId> = Vec::with_capacity(csr.node_count().min(1024));
     dist[src.index()] = 0;
-    queue.push_back(src);
-    while let Some(u) = queue.pop_front() {
+    queue.push(src);
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
         let du = dist[u.index()];
-        let push = |v: NodeId, dist: &mut Vec<u32>, queue: &mut VecDeque<NodeId>| {
+        let row = match treatment {
+            PathTreatment::Directed => csr.out(u),
+            // The undirected row is the deduplicated union of out- and
+            // in-neighbors, so one pass covers both directions.
+            PathTreatment::Undirected => csr.und(u),
+        };
+        for &v in row {
             if dist[v.index()] == UNREACHABLE {
                 dist[v.index()] = du + 1;
-                queue.push_back(v);
-            }
-        };
-        match treatment {
-            PathTreatment::Directed => {
-                for v in g.out_neighbors(u) {
-                    push(v, &mut dist, &mut queue);
-                }
-            }
-            PathTreatment::Undirected => {
-                for v in g.out_neighbors(u) {
-                    push(v, &mut dist, &mut queue);
-                }
-                for v in g.in_neighbors(u) {
-                    push(v, &mut dist, &mut queue);
-                }
+                queue.push(v);
             }
         }
     }
@@ -109,17 +123,32 @@ pub fn average_path_length<N: Eq + Hash + Clone>(
     treatment: PathTreatment,
     sampling: PathSampling,
 ) -> Option<PathLengthStats> {
-    let n = g.node_count();
+    average_path_length_csr(&Csr::from_digraph(g), treatment, sampling)
+}
+
+/// [`average_path_length`] over a prebuilt [`Csr`] snapshot.
+///
+/// The per-source BFS passes are independent, so they fan out across
+/// cores; the source list (including any seeded sampling shuffle) is
+/// fixed before the fan-out and the per-source partials are reduced in
+/// source order, keeping the result bit-identical for every thread
+/// count.
+pub fn average_path_length_csr(
+    csr: &Csr,
+    treatment: PathTreatment,
+    sampling: PathSampling,
+) -> Option<PathLengthStats> {
+    let n = csr.node_count();
     if n < 2 {
         return None;
     }
     let (sources, exact): (Vec<NodeId>, bool) = match sampling {
-        PathSampling::Exact => (g.node_ids().collect(), true),
+        PathSampling::Exact => (csr.node_ids().collect(), true),
         PathSampling::Sources { count, seed } => {
             if count >= n {
-                (g.node_ids().collect(), true)
+                (csr.node_ids().collect(), true)
             } else {
-                let mut ids: Vec<NodeId> = g.node_ids().collect();
+                let mut ids: Vec<NodeId> = csr.node_ids().collect();
                 let mut rng = StdRng::seed_from_u64(seed);
                 ids.shuffle(&mut rng);
                 ids.truncate(count.max(1));
@@ -127,18 +156,27 @@ pub fn average_path_length<N: Eq + Hash + Clone>(
             }
         }
     };
-    let mut sum = 0u64;
-    let mut pairs = 0u64;
-    let mut diameter = 0u32;
-    for &src in &sources {
-        let dist = bfs_distances(g, src, treatment);
+    // Per-source partials, in source order.
+    let partials: Vec<(u64, u64, u32)> = magellan_par::par_map_collect(sources.len(), |k| {
+        let src = sources[k];
+        let dist = bfs_distances_csr(csr, src, treatment);
+        let (mut sum, mut pairs, mut far) = (0u64, 0u64, 0u32);
         for (i, &d) in dist.iter().enumerate() {
             if d != UNREACHABLE && i != src.index() {
                 sum += d as u64;
                 pairs += 1;
-                diameter = diameter.max(d);
+                far = far.max(d);
             }
         }
+        (sum, pairs, far)
+    });
+    let mut sum = 0u64;
+    let mut pairs = 0u64;
+    let mut diameter = 0u32;
+    for &(s, p, f) in &partials {
+        sum += s;
+        pairs += p;
+        diameter = diameter.max(f);
     }
     if pairs == 0 {
         return None;

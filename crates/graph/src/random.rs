@@ -225,11 +225,15 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> DiGraph<u32> {
         }
     }
     for v in (m + 1) as u32..n as u32 {
-        let mut targets: HashSet<u32> = HashSet::with_capacity(m);
+        // Draw-ordered Vec, not a HashSet: the attachment order feeds
+        // `endpoints` and thus every later degree-proportional draw,
+        // so it must not depend on hash iteration order (m is small,
+        // the linear `contains` is cheaper than hashing anyway).
+        let mut targets: Vec<u32> = Vec::with_capacity(m);
         while targets.len() < m {
             let t = endpoints[rng.random_range(0..endpoints.len())];
-            if t != v {
-                targets.insert(t);
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
             }
         }
         for t in targets {
@@ -470,6 +474,36 @@ mod tests {
         let spike = h.spike().unwrap();
         assert!((1..=20).contains(&spike));
         assert!(h.count_at(20) + h.count_at(19) > 300, "spike eroded");
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        // Two same-seed calls must produce identical edge lists. This
+        // is a real regression guard, not a tautology: each std
+        // HashSet instance gets its own RandomState keys, so any
+        // generator that lets set iteration order reach the output
+        // (as barabasi_albert once did) diverges even within one
+        // process.
+        fn edge_list(g: &crate::DiGraph<u32>) -> Vec<(u32, u32, u64)> {
+            g.edges()
+                .map(|e| (*g.key(e.from), *g.key(e.to), e.weight))
+                .collect()
+        }
+        let pairs = [
+            (barabasi_albert(300, 4, 7), barabasi_albert(300, 4, 7)),
+            (gnm_directed(200, 900, 7), gnm_directed(200, 900, 7)),
+            (gnm_undirected(200, 600, 7), gnm_undirected(200, 600, 7)),
+            (
+                watts_strogatz(200, 6, 0.3, 7),
+                watts_strogatz(200, 6, 0.3, 7),
+            ),
+        ];
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            assert_eq!(edge_list(a), edge_list(b), "generator #{i} diverged");
+        }
+        let (ca, _) = configuration_model(&[3usize; 200], 7);
+        let (cb, _) = configuration_model(&[3usize; 200], 7);
+        assert_eq!(edge_list(&ca), edge_list(&cb), "configuration_model");
     }
 
     #[test]

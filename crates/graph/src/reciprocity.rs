@@ -12,13 +12,41 @@
 //!   *antireciprocal* (e.g. a tree-like feeding structure), `ρ ≈ 0`
 //!   uncorrelated.
 
-use crate::{DiGraph, GraphError};
+use crate::csr::Csr;
+use crate::{DiGraph, GraphError, NodeId};
 use std::hash::Hash;
 
 /// Number of directed edges whose reverse also exists (each bilateral
 /// pair contributes 2, matching `Σ_{i≠j} a_ij a_ji`).
 pub fn bilateral_edge_count<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> usize {
-    g.edges().filter(|e| g.has_edge(e.to, e.from)).count()
+    bilateral_edge_count_csr(&Csr::from_digraph(g))
+}
+
+/// [`bilateral_edge_count`] over a prebuilt [`Csr`] snapshot.
+///
+/// An edge `u -> v` is bilateral iff `v` also appears in `u`'s
+/// in-row, so the count is `Σ_u |out(u) ∩ in(u)|` — one linear merge
+/// of two sorted rows per node (`O(n + m)` total), fanned across
+/// cores with integer partials summed in node order.
+pub fn bilateral_edge_count_csr(csr: &Csr) -> usize {
+    let partials = magellan_par::par_map_collect(csr.node_count(), |i| {
+        let u = NodeId::from_index(i);
+        let (out, inn) = (csr.out(u), csr.inn(u));
+        let (mut a, mut b, mut n) = (0, 0, 0usize);
+        while a < out.len() && b < inn.len() {
+            match out[a].cmp(&inn[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        n
+    });
+    partials.iter().sum()
 }
 
 /// Simple reciprocity `r` (Eq. 1): fraction of edges that are
@@ -28,10 +56,19 @@ pub fn bilateral_edge_count<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> usize {
 ///
 /// Returns [`GraphError::EmptyGraph`] when the graph has no edges.
 pub fn simple_reciprocity_checked<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> Result<f64, GraphError> {
-    if g.edge_count() == 0 {
+    simple_reciprocity_checked_csr(&Csr::from_digraph(g))
+}
+
+/// [`simple_reciprocity_checked`] over a prebuilt [`Csr`] snapshot.
+///
+/// # Errors
+///
+/// Returns [`GraphError::EmptyGraph`] when the graph has no edges.
+pub fn simple_reciprocity_checked_csr(csr: &Csr) -> Result<f64, GraphError> {
+    if csr.edge_count() == 0 {
         return Err(GraphError::EmptyGraph);
     }
-    Ok(bilateral_edge_count(g) as f64 / g.edge_count() as f64)
+    Ok(bilateral_edge_count_csr(csr) as f64 / csr.edge_count() as f64)
 }
 
 /// Simple reciprocity `r`, returning `0.0` for an edgeless graph.
@@ -50,14 +87,23 @@ pub fn simple_reciprocity<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> f64 {
 /// [`GraphError::CompleteGraph`] when every possible directed edge is
 /// present (`ā = 1` makes `ρ` undefined).
 pub fn garlaschelli_reciprocity<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> Result<f64, GraphError> {
-    if g.edge_count() == 0 {
+    garlaschelli_reciprocity_csr(&Csr::from_digraph(g))
+}
+
+/// [`garlaschelli_reciprocity`] over a prebuilt [`Csr`] snapshot.
+///
+/// # Errors
+///
+/// Same contract as [`garlaschelli_reciprocity`].
+pub fn garlaschelli_reciprocity_csr(csr: &Csr) -> Result<f64, GraphError> {
+    if csr.edge_count() == 0 {
         return Err(GraphError::EmptyGraph);
     }
-    let a_bar = g.density();
+    let a_bar = csr.density();
     if (a_bar - 1.0).abs() < f64::EPSILON || a_bar > 1.0 {
         return Err(GraphError::CompleteGraph);
     }
-    let r = bilateral_edge_count(g) as f64 / g.edge_count() as f64;
+    let r = bilateral_edge_count_csr(csr) as f64 / csr.edge_count() as f64;
     Ok((r - a_bar) / (1.0 - a_bar))
 }
 
@@ -73,16 +119,38 @@ pub fn garlaschelli_reciprocity<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> Result<
 /// Returns [`GraphError::EmptyGraph`] when the graph has no edges or
 /// zero total weight.
 pub fn weighted_reciprocity<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> Result<f64, GraphError> {
-    if g.edge_count() == 0 {
+    weighted_reciprocity_csr(&Csr::from_digraph(g))
+}
+
+/// [`weighted_reciprocity`] over a prebuilt [`Csr`] snapshot. Per-node
+/// `(total, matched)` weight partials are fanned across cores and
+/// summed in node order.
+///
+/// # Errors
+///
+/// Same contract as [`weighted_reciprocity`].
+pub fn weighted_reciprocity_csr(csr: &Csr) -> Result<f64, GraphError> {
+    if csr.edge_count() == 0 {
         return Err(GraphError::EmptyGraph);
     }
+    let partials = magellan_par::par_map_collect(csr.node_count(), |i| {
+        let u = NodeId::from_index(i);
+        let (out, w) = (csr.out(u), csr.out_weights(u));
+        let mut total = 0u128;
+        let mut matched = 0u128;
+        for (k, &v) in out.iter().enumerate() {
+            total += w[k] as u128;
+            if let Some(back) = csr.edge_weight(v, u) {
+                matched += w[k].min(back) as u128;
+            }
+        }
+        (total, matched)
+    });
     let mut total = 0u128;
     let mut matched = 0u128;
-    for e in g.edges() {
-        total += e.weight as u128;
-        if let Some(back) = g.edge_weight(e.to, e.from) {
-            matched += e.weight.min(back) as u128;
-        }
+    for &(t, m) in &partials {
+        total += t;
+        matched += m;
     }
     if total == 0 {
         return Err(GraphError::EmptyGraph);
@@ -96,7 +164,15 @@ pub fn weighted_reciprocity<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> Result<f64,
 /// The paper uses this to argue that tree-like propagation would show
 /// up as negative measured reciprocity.
 pub fn tree_baseline<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> f64 {
-    let a_bar = g.density();
+    tree_baseline_from_density(g.density())
+}
+
+/// [`tree_baseline`] over a prebuilt [`Csr`] snapshot.
+pub fn tree_baseline_csr(csr: &Csr) -> f64 {
+    tree_baseline_from_density(csr.density())
+}
+
+fn tree_baseline_from_density(a_bar: f64) -> f64 {
     if a_bar >= 1.0 {
         return f64::NEG_INFINITY;
     }

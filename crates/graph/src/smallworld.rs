@@ -7,7 +7,8 @@
 //! — than `C_rand`. The "corresponding random graph" has the same
 //! number of vertices and undirected links.
 
-use crate::paths::{average_path_length, PathSampling, PathTreatment};
+use crate::csr::Csr;
+use crate::paths::{average_path_length_csr, PathSampling, PathTreatment};
 use crate::random::RandomBaseline;
 use crate::{clustering, DiGraph};
 use std::hash::Hash;
@@ -63,15 +64,25 @@ pub struct SmallWorldReport {
 
 /// Measures `C`, `L`, their random baselines, and renders the
 /// small-world verdict.
+///
+/// Builds one [`Csr`] snapshot and shares it between the clustering
+/// and path-length kernels; call [`assess_csr`] directly to reuse a
+/// view you already built.
 pub fn assess<N: Eq + Hash + Clone>(g: &DiGraph<N>, cfg: &SmallWorldConfig) -> SmallWorldReport {
-    let n = g.node_count();
-    let m_und = g.undirected_edge_count();
+    assess_csr(&Csr::from_digraph(g), cfg)
+}
+
+/// [`assess`] over a prebuilt [`Csr`] snapshot.
+pub fn assess_csr(csr: &Csr, cfg: &SmallWorldConfig) -> SmallWorldReport {
+    let n = csr.node_count();
+    let m_und = csr.und_edge_count();
     let c = match cfg.clustering_samples {
-        Some(k) => clustering::sampled_clustering(g, k, cfg.seed),
-        None => clustering::clustering_coefficient(g),
+        Some(k) => clustering::sampled_clustering_csr(csr, k, cfg.seed),
+        None => clustering::clustering_coefficient_csr(csr),
     };
     let baseline = RandomBaseline::analytic(n, m_und);
-    let l = average_path_length(g, PathTreatment::Undirected, cfg.path_sampling).map(|s| s.mean);
+    let l =
+        average_path_length_csr(csr, PathTreatment::Undirected, cfg.path_sampling).map(|s| s.mean);
     let c_ratio = if baseline.c_expected > 0.0 {
         c / baseline.c_expected
     } else if c > 0.0 {

@@ -2,12 +2,12 @@
 //! invariants that must hold for *any* graph, not just hand-picked
 //! fixtures.
 
-use magellan_graph::clustering::{clustering_coefficient, local_clustering};
+use magellan_graph::clustering::{clustering_coefficient, local_clustering_csr};
 use magellan_graph::degree::{degree_sequence, DegreeKind};
-use magellan_graph::paths::{bfs_distances, PathTreatment, UNREACHABLE};
+use magellan_graph::paths::{bfs_distances, bfs_distances_csr, PathTreatment, UNREACHABLE};
 use magellan_graph::reciprocity::{garlaschelli_reciprocity, simple_reciprocity};
 use magellan_graph::subgraph::induced_by_nodes;
-use magellan_graph::{DegreeHistogram, DiGraph};
+use magellan_graph::{Csr, DegreeHistogram, DiGraph};
 use proptest::prelude::*;
 
 /// Strategy: a directed graph on up to 12 nodes from an arbitrary edge
@@ -88,8 +88,9 @@ proptest! {
     fn clustering_in_unit_interval(g in arb_graph()) {
         let c = clustering_coefficient(&g);
         prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+        let csr = Csr::from_digraph(&g);
         for id in g.node_ids() {
-            let ci = local_clustering(&g, id);
+            let ci = local_clustering_csr(&csr, id);
             prop_assert!((0.0..=1.0 + 1e-12).contains(&ci));
         }
     }
@@ -121,14 +122,31 @@ proptest! {
 
     #[test]
     fn bfs_undirected_is_symmetric(g in arb_graph()) {
-        // d(u, v) == d(v, u) under the undirected treatment.
+        // d(u, v) == d(v, u) under the undirected treatment. One CSR
+        // view serves every source.
+        let csr = Csr::from_digraph(&g);
         let ids: Vec<_> = g.node_ids().collect();
         for &u in ids.iter().take(3) {
-            let du = bfs_distances(&g, u, PathTreatment::Undirected);
+            let du = bfs_distances_csr(&csr, u, PathTreatment::Undirected);
             for &v in ids.iter().take(3) {
-                let dv = bfs_distances(&g, v, PathTreatment::Undirected);
+                let dv = bfs_distances_csr(&csr, v, PathTreatment::Undirected);
                 prop_assert_eq!(du[v.index()], dv[u.index()]);
             }
+        }
+    }
+
+    #[test]
+    fn csr_view_mirrors_digraph(g in arb_graph()) {
+        let csr = Csr::from_digraph(&g);
+        prop_assert_eq!(csr.node_count(), g.node_count());
+        prop_assert_eq!(csr.edge_count(), g.edge_count());
+        prop_assert_eq!(csr.und_edge_count(), g.undirected_edge_count());
+        for u in g.node_ids() {
+            let out: Vec<_> = g.out_neighbors(u).collect();
+            prop_assert_eq!(csr.out(u), &out[..]);
+            let inn: Vec<_> = g.in_neighbors(u).collect();
+            prop_assert_eq!(csr.inn(u), &inn[..]);
+            prop_assert_eq!(csr.und(u), &g.undirected_neighbors(u)[..]);
         }
     }
 

@@ -11,6 +11,8 @@ pub enum Rule {
     D1,
     /// Ambient entropy / wall-clock reads in simulation code.
     D2,
+    /// Raw `thread::spawn` outside the deterministic fork-join crate.
+    D3,
     /// `unwrap()`/`expect(` beyond the per-crate budget.
     C1,
     /// Float `==`/`!=` comparisons in metric code.
@@ -24,9 +26,10 @@ pub enum Rule {
 }
 
 /// Every rule, in reporting order.
-pub const RULES: [Rule; 7] = [
+pub const RULES: [Rule; 8] = [
     Rule::D1,
     Rule::D2,
+    Rule::D3,
     Rule::C1,
     Rule::C2,
     Rule::C3,
@@ -40,6 +43,7 @@ impl Rule {
         match self {
             Rule::D1 => "D1",
             Rule::D2 => "D2",
+            Rule::D3 => "D3",
             Rule::C1 => "C1",
             Rule::C2 => "C2",
             Rule::C3 => "C3",
@@ -58,6 +62,10 @@ impl Rule {
             Rule::D2 => {
                 "thread_rng()/rand::rng()/SystemTime::now()/Instant::now() in library code: \
                  all randomness must come from the seeded RngFactory, all time from SimTime"
+            }
+            Rule::D3 => {
+                "raw thread::spawn in simulation/metric crates: scheduling-dependent results \
+                 break parallel equivalence; use magellan-par's deterministic primitives"
             }
             Rule::C1 => {
                 "unwrap()/expect( in non-test library code beyond the per-crate budget: \
@@ -89,6 +97,7 @@ pub fn default_unwrap_budgets() -> BTreeMap<String, usize> {
     // migrate to typed errors; never raise one without an audit.
     let mut m = BTreeMap::new();
     m.insert("magellan-graph".to_owned(), 18);
+    m.insert("magellan-par".to_owned(), 0);
     m.insert("magellan-analysis".to_owned(), 12);
     m.insert("magellan-trace".to_owned(), 6);
     m.insert("magellan-netsim".to_owned(), 6);
@@ -117,6 +126,7 @@ pub fn check_file(src: &SourceFile, config: &Config, report: &mut Report) {
     check_allow_annotations(src, report);
     check_hash_iteration(src, report);
     check_wall_clock_and_entropy(src, report);
+    check_raw_thread_spawn(src, report);
     check_float_equality(src, report);
     check_lossy_casts(src, report);
     check_crate_headers(src, report);
@@ -219,6 +229,43 @@ fn check_wall_clock_and_entropy(src: &SourceFile, report: &mut Report) {
                     format!("`{needle}` in simulation code — {why}"),
                 );
             }
+        }
+    }
+}
+
+/// D3: raw thread spawns outside magellan-par.
+///
+/// Applies to the simulation and metric crates: ad-hoc threads make
+/// results depend on the scheduler, which breaks the parallel
+/// equivalence guarantee (same bytes at every thread count). All
+/// parallelism must go through `magellan-par`'s deterministic
+/// primitives — whose own scoped spawns (`scope.spawn`) the needle
+/// deliberately does not match.
+fn check_raw_thread_spawn(src: &SourceFile, report: &mut Report) {
+    let governed = SIM_PATH_CRATES.contains(&src.crate_name.as_str())
+        || metric_crate(&src.crate_name)
+        || src.crate_name == "magellan-trace"
+        || src.crate_name == "magellan";
+    if !governed
+        || DETERMINISM_EXEMPT.contains(&src.crate_name.as_str())
+        || src.kind != TargetKind::Lib
+    {
+        return;
+    }
+    for (idx, line) in src.code.iter().enumerate() {
+        if src.in_test_module[idx] {
+            continue;
+        }
+        if line.contains("thread::spawn") || line.contains("thread::Builder") {
+            push(
+                report,
+                src,
+                idx + 1,
+                Rule::D3,
+                "raw thread spawn in a simulation/metric crate — route parallelism \
+                 through magellan-par so results stay identical at every thread count"
+                    .to_owned(),
+            );
         }
     }
 }
@@ -481,6 +528,45 @@ mod tests {
         // The bench harness may time things.
         let bench = "let t = std::time::Instant::now();\n";
         assert!(lint_one("crates/bench/src/x.rs", bench).is_empty());
+    }
+
+    #[test]
+    fn d3_fires_on_raw_thread_spawn_in_governed_crates() {
+        for bad in [
+            "let h = std::thread::spawn(move || work());\n",
+            "let h = thread::spawn(f);\n",
+            "let b = thread::Builder::new();\n",
+        ] {
+            for file in [
+                "crates/overlay/src/x.rs",
+                "crates/graph/src/x.rs",
+                "crates/analysis/src/x.rs",
+                "crates/trace/src/x.rs",
+                "src/lib.rs",
+            ] {
+                let vs = lint_one(file, bad);
+                assert!(ids(&vs).contains(&"D3"), "{file} {bad:?} -> {vs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn d3_spares_magellan_par_tests_and_the_escape_hatch() {
+        let spawn = "let h = std::thread::spawn(f);\n";
+        // magellan-par is the sanctioned home of spawns (its own scoped
+        // `scope.spawn` calls would not match the needle anyway).
+        assert!(!ids(&lint_one("crates/par/src/lib.rs", spawn)).contains(&"D3"));
+        // The bench harness is determinism-exempt; test modules are free.
+        assert!(!ids(&lint_one("crates/bench/src/x.rs", spawn)).contains(&"D3"));
+        let in_test = format!("#[cfg(test)]\nmod tests {{\n{spawn}}}\n");
+        assert!(!ids(&lint_one("crates/graph/src/x.rs", &in_test)).contains(&"D3"));
+        // Annotated escape with justification.
+        let allowed =
+            "let h = std::thread::spawn(f); // lint:allow(D3): detached IO thread, output unused\n";
+        assert!(!ids(&lint_one("crates/graph/src/x.rs", allowed)).contains(&"D3"));
+        // scope.spawn (the magellan-par implementation idiom) is fine.
+        let scoped = "let h = scope.spawn(f);\n";
+        assert!(!ids(&lint_one("crates/graph/src/x.rs", scoped)).contains(&"D3"));
     }
 
     #[test]

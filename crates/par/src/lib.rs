@@ -1,0 +1,259 @@
+//! # magellan-par
+//!
+//! Dependency-free deterministic fork-join primitives for the Magellan
+//! metric kernels, built on [`std::thread::scope`].
+//!
+//! The Magellan pipeline guarantees that two runs with the same seed
+//! produce byte-identical outputs. Parallelism is only admissible when
+//! it cannot perturb that guarantee, so this crate exposes nothing but
+//! *deterministic* primitives:
+//!
+//! * [`par_map_collect`] — maps a pure function over `0..len` with
+//!   static contiguous chunking and returns the results **in index
+//!   order**. The output is the same `Vec` the sequential loop would
+//!   produce, for every thread count, so any subsequent reduction that
+//!   folds the `Vec` left-to-right (including floating-point sums) is
+//!   bit-identical to the sequential run.
+//! * [`join`] — runs two independent closures, possibly concurrently,
+//!   and returns both results as an ordered pair.
+//!
+//! Work-stealing, atomic accumulators, and unordered reductions are
+//! deliberately absent: their results depend on scheduling. The static
+//! lint rule D3 (see `magellan-lint`) keeps raw `std::thread::spawn`
+//! out of the simulation and metric crates so that this module stays
+//! the single entry point for parallelism.
+//!
+//! ## Thread-count knob
+//!
+//! The worker count is resolved, in order, from:
+//!
+//! 1. a programmatic [`set_threads`] override (used by benches and the
+//!    parallel-equivalence determinism test),
+//! 2. the `MAGELLAN_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Because every primitive is deterministic, the knob trades wall
+//! clock only — never output bytes.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Programmatic thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Below this many items a parallel map runs inline: spawn cost would
+/// dominate, and the tiny graphs of unit tests should not pay it.
+const PAR_CUTOFF: usize = 64;
+
+/// Overrides the worker count for this process (`0` clears the
+/// override, returning control to `MAGELLAN_THREADS` /
+/// `available_parallelism`).
+///
+/// Intended for benchmarks and determinism tests that compare thread
+/// counts within one process; production code should prefer the
+/// environment variable.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The worker count the primitives will use right now.
+///
+/// Resolution order: [`set_threads`] override, then the
+/// `MAGELLAN_THREADS` environment variable (values that fail to parse
+/// or equal 0 are ignored), then [`std::thread::available_parallelism`]
+/// (1 when unavailable).
+pub fn threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("MAGELLAN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f` over `0..len` and collects the results in index order.
+///
+/// The items are split into at most [`threads()`] contiguous chunks,
+/// one scoped worker per chunk, and the per-chunk vectors are
+/// concatenated in chunk order — so the returned `Vec` is identical to
+/// `(0..len).map(f).collect()` for every thread count. `f` must be a
+/// pure function of its index (it may read shared state, never write).
+///
+/// Short inputs (`len < 64`) and single-thread configurations run
+/// inline without spawning.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn par_map_collect<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads().min(len);
+    if workers <= 1 || len < PAR_CUTOFF {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(len);
+                    (lo..hi).map(f).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for h in handles {
+            // Re-raise a worker panic with its original payload so the
+            // caller sees the mapped closure's own message.
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// Runs `fa` and `fb`, possibly concurrently, returning `(a, b)`.
+///
+/// With one worker the closures run sequentially in argument order.
+/// Either way the result pair is the same, so callers may treat this
+/// as a drop-in replacement for `(fa(), fb())`.
+///
+/// # Panics
+///
+/// Propagates a panic from either closure.
+pub fn join<A, B, FA, FB>(fa: FA, fb: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    if threads() <= 1 {
+        let a = fa();
+        let b = fb();
+        return (a, b);
+    }
+    std::thread::scope(|scope| {
+        let ha = scope.spawn(fa);
+        let b = fb();
+        // Re-raise a panic from `fa` with its original payload.
+        let a = match ha.join() {
+            Ok(a) => a,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (a, b)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that touch the global override. Recovers from
+    /// poisoning so one panicking test cannot cascade.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        match LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[test]
+    fn map_matches_sequential_for_every_thread_count() {
+        let _g = lock();
+        let expect: Vec<u64> = (0..1000u64).map(|i| i * i).collect();
+        for t in [1, 2, 3, 8, 16] {
+            set_threads(t);
+            let got = par_map_collect(1000, |i| (i as u64) * (i as u64));
+            assert_eq!(got, expect, "threads = {t}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn float_reduction_is_bit_identical_across_thread_counts() {
+        let _g = lock();
+        // Left-fold of the returned Vec must be bit-identical because
+        // the Vec itself is identical — the property every metric
+        // kernel relies on.
+        let f = |i: usize| ((i as f64) * 0.1).sin();
+        set_threads(1);
+        let seq: f64 = par_map_collect(4096, f).iter().sum();
+        set_threads(7);
+        let par: f64 = par_map_collect(4096, f).iter().sum();
+        set_threads(0);
+        assert_eq!(seq.to_bits(), par.to_bits());
+    }
+
+    #[test]
+    fn short_inputs_run_inline() {
+        let _g = lock();
+        set_threads(8);
+        let got = par_map_collect(5, |i| i + 1);
+        set_threads(0);
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_vec() {
+        let got: Vec<usize> = par_map_collect(0, |i| i);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn join_returns_both_in_order() {
+        let _g = lock();
+        for t in [1, 4] {
+            set_threads(t);
+            let (a, b) = join(|| 2 + 2, || "b".to_owned());
+            assert_eq!(a, 4);
+            assert_eq!(b, "b");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn override_beats_env() {
+        let _g = lock();
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let _g = lock();
+        set_threads(4);
+        let r = std::panic::catch_unwind(|| {
+            par_map_collect(256, |i| {
+                if i == 200 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        set_threads(0);
+        if let Err(e) = r {
+            std::panic::resume_unwind(e)
+        }
+    }
+}

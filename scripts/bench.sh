@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Metric-engine benchmark baseline: builds the workspace in release
+# mode and runs the machine-readable bench binary, writing
+# BENCH_metrics.json at the repo root. Progress goes to stderr; the
+# JSON document is everything the binary prints on stdout.
+#
+# The file records ns/op for each Csr kernel at three graph scales and
+# 1 vs 8 workers, the legacy DiGraph-walk baselines the kernels
+# replaced, end-to-end study latency per sample instant, and
+# host_cores (thread scaling is only physically possible when the
+# measuring box has >1 core).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release -p magellan-bench" >&2
+cargo build --release -p magellan-bench --bin bench_metrics
+
+echo "==> running bench_metrics (writes BENCH_metrics.json)" >&2
+./target/release/bench_metrics > BENCH_metrics.json
+
+echo "==> wrote BENCH_metrics.json" >&2

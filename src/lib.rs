@@ -25,6 +25,7 @@
 //! | crate | role |
 //! |---|---|
 //! | [`graph`] | directed graph + degree/clustering/path/reciprocity/power-law metrics |
+//! | [`par`] | deterministic fork-join primitives behind the metric kernels |
 //! | [`netsim`] | simulation clock, event queue, ISP database, RTT/bandwidth underlay |
 //! | [`workload`] | diurnal arrivals, flash crowds, sessions, channel popularity |
 //! | [`overlay`] | the UUSee protocol simulator (tracker, selection, block exchange) |
@@ -38,6 +39,7 @@ pub use magellan_analysis as analysis;
 pub use magellan_graph as graph;
 pub use magellan_netsim as netsim;
 pub use magellan_overlay as overlay;
+pub use magellan_par as par;
 pub use magellan_trace as trace;
 pub use magellan_workload as workload;
 

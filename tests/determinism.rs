@@ -8,7 +8,8 @@
 //! bans the sources of nondeterminism (hash iteration, wall clocks,
 //! entropy), and this test catches anything the ban missed.
 
-use magellan::netsim::StudyCalendar;
+use magellan::analysis::study::{MagellanStudy, StudyConfig};
+use magellan::netsim::{SimDuration, SimTime, StudyCalendar};
 use magellan::overlay::{OverlaySim, SimConfig};
 use magellan::prelude::*;
 use magellan::workload::DiurnalProfile;
@@ -49,6 +50,48 @@ fn same_seed_runs_are_byte_identical() {
         "same-seed trace archives hash differently: the simulator leaked nondeterminism"
     );
     assert_eq!(a, b, "hash collision hid a byte-level divergence");
+}
+
+/// A small full study whose report exercises every parallel kernel:
+/// clustering, sampled paths, small-world, reciprocity.
+fn study_report_debug(seed: u64) -> String {
+    let cfg = StudyConfig {
+        seed,
+        scale: 0.0008,
+        window_days: 2,
+        sample_every: SimDuration::from_hours(2),
+        degree_captures: vec![("9pm d1".into(), SimTime::at(1, 21, 0))],
+        min_graph_nodes: 10,
+        ..StudyConfig::default()
+    };
+    format!("{:?}", MagellanStudy::new(cfg).run())
+}
+
+#[test]
+fn thread_count_does_not_change_output_bytes() {
+    // The parallel-equivalence guarantee of magellan-par: the worker
+    // count trades wall clock only, never output. Same seed at 1 and
+    // 8 workers must yield a byte-identical trace archive and an
+    // identical StudyReport (the Debug rendering covers every series
+    // point of every figure, so any f64 that drifted by one ulp under
+    // a different reduction order would show here).
+    magellan::par::set_threads(1);
+    let archive_seq = archive_bytes(2006);
+    let report_seq = study_report_debug(2006);
+    magellan::par::set_threads(8);
+    let archive_par = archive_bytes(2006);
+    let report_par = study_report_debug(2006);
+    magellan::par::set_threads(0);
+    assert_eq!(
+        fnv1a(&archive_seq),
+        fnv1a(&archive_par),
+        "trace archives diverge across thread counts"
+    );
+    assert_eq!(archive_seq, archive_par);
+    assert_eq!(
+        report_seq, report_par,
+        "StudyReport diverges across thread counts"
+    );
 }
 
 #[test]

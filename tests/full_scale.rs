@@ -18,6 +18,38 @@ fn default_scale_report() -> &'static magellan::prelude::StudyReport {
     REPORT.get_or_init(|| MagellanStudy::new(StudyConfig::default()).run())
 }
 
+/// Reduced-scale smoke version of [`fig1_population_shape`]: the same
+/// 14-day calendar and flash crowd at 0.05× the default population
+/// (scale 0.0005 ≈ 50 concurrent peers vs the default 0.01 ≈ 1,000),
+/// with the shape assertions loosened for the miniature statistics.
+/// Runs on every `cargo test` so the default-scale scenario path is
+/// exercised continuously, not only in `--ignored` runs.
+///
+/// Wall-clock budget (documented, not enforced): ~20 s in a debug
+/// build on one core of the baseline box; if it creeps past a minute,
+/// shrink `scale` or `window_days` rather than `#[ignore]`-ing it.
+#[test]
+fn smoke_population_shape_at_reduced_scale() {
+    let cfg = StudyConfig {
+        scale: 0.0005,
+        min_graph_nodes: 10,
+        ..StudyConfig::default()
+    };
+    let r = MagellanStudy::new(cfg).run();
+    // Stable peers are a minority but a visible one (the full-scale
+    // band is 0.2..=0.45; tiny populations are noisier).
+    let ratio = r.fig1a.stable_ratio();
+    assert!((0.05..=0.8).contains(&ratio), "stable ratio {ratio:.3}");
+    // The flash crowd still dominates the window even in miniature.
+    let (t, _) = r.fig1a.total.max_point().unwrap();
+    let fc = StudyCalendar::default().flash_crowd_instant();
+    assert_eq!(t.day(), fc.day(), "window peak at {t}, expected day 5");
+    // Every figure family produced points.
+    assert!(!r.fig7.global.c.is_empty(), "fig7 empty");
+    assert!(!r.fig8.all.is_empty(), "fig8 empty");
+    assert!(r.fig8.all.mean() > 0.0, "reciprocity not positive");
+}
+
 #[test]
 #[ignore = "minutes-long default-scale run; use cargo test --release -- --ignored"]
 fn fig1_population_shape() {
