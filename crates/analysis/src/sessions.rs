@@ -11,7 +11,7 @@
 
 use magellan_netsim::{PeerAddr, SimDuration, SimTime};
 use magellan_trace::{TraceStore, FIRST_REPORT_DELAY, REPORT_INTERVAL};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One reconstructed stable session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,16 +51,14 @@ pub struct SessionSummary {
 /// (one lost datagram is bridged; two mean the peer left and later
 /// rejoined).
 pub fn stable_sessions(store: &TraceStore) -> Vec<StableSession> {
-    let mut times: HashMap<PeerAddr, Vec<SimTime>> = HashMap::new();
+    // BTreeMap: address order is the deterministic output order.
+    let mut times: BTreeMap<PeerAddr, Vec<SimTime>> = BTreeMap::new();
     for r in store.reports() {
         times.entry(r.addr).or_default().push(r.time);
     }
     let split_gap = SimDuration::from_millis(REPORT_INTERVAL.as_millis() * 2);
     let mut sessions = Vec::new();
-    let mut addrs: Vec<PeerAddr> = times.keys().copied().collect();
-    addrs.sort();
-    for addr in addrs {
-        let mut ts = times.remove(&addr).expect("key exists");
+    for (addr, mut ts) in times {
         ts.sort();
         let mut run_start = ts[0];
         let mut prev = ts[0];
@@ -106,7 +104,7 @@ pub fn summarize(sessions: &[StableSession]) -> Option<SessionSummary> {
         sessions: n,
         mean_mins: mins.iter().sum::<f64>() / n as f64,
         median_mins: mins[n / 2],
-        p90_mins: mins[(n * 9 / 10).min(n - 1)],
+        p90_mins: mins[(n.saturating_mul(9) / 10).min(n - 1)],
     })
 }
 

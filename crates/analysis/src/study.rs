@@ -26,7 +26,7 @@ use magellan_netsim::{Isp, IspDatabase, PeerAddr, SimDuration, SimTime, StudyCal
 use magellan_overlay::{OverlaySim, SimConfig};
 use magellan_trace::PeerReport;
 use magellan_workload::Scenario;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Configuration of one study run.
 #[derive(Debug, Clone)]
@@ -208,7 +208,9 @@ struct Accumulator {
     cfg: StudyConfig,
     db: IspDatabase,
     staleness: SimDuration,
-    recent: HashMap<PeerAddr, RecentPair>,
+    // BTreeMaps: both maps are iterated/retained on the metric path,
+    // where hash order would leak into figure bytes (rule D4).
+    recent: BTreeMap<PeerAddr, RecentPair>,
     boundaries: Vec<Boundary>,
     next_boundary: usize,
     day_total_ips: Vec<HashSet<u32>>,
@@ -216,7 +218,7 @@ struct Accumulator {
     isp_share_sums: [f64; 7],
     isp_share_samples: u64,
     /// Per-peer open report run: (run start, previous report, count).
-    session_runs: HashMap<PeerAddr, (SimTime, SimTime, u32)>,
+    session_runs: BTreeMap<PeerAddr, (SimTime, SimTime, u32)>,
     /// Observed lengths (minutes) of completed report runs.
     finished_sessions_mins: Vec<f64>,
     report: StudyReport,
@@ -285,14 +287,14 @@ impl Accumulator {
             cfg: cfg.clone(),
             db,
             staleness: SimDuration::from_mins(15),
-            recent: HashMap::new(),
+            recent: BTreeMap::new(),
             boundaries,
             next_boundary: 0,
             day_total_ips: vec![HashSet::new(); days],
             day_stable_ips: vec![HashSet::new(); days],
             isp_share_sums: [0.0; 7],
             isp_share_samples: 0,
-            session_runs: HashMap::new(),
+            session_runs: BTreeMap::new(),
             finished_sessions_mins: Vec::new(),
             report,
         }
@@ -399,7 +401,7 @@ impl Accumulator {
                 sessions: n,
                 mean_mins: mins.iter().sum::<f64>() / n as f64,
                 median_mins: mins[n / 2],
-                p90_mins: mins[(n * 9 / 10).min(n - 1)],
+                p90_mins: mins[(n.saturating_mul(9) / 10).min(n - 1)],
             });
         }
         // Fig. 2.
@@ -447,7 +449,8 @@ impl Accumulator {
     }
 
     fn sample_population(&mut self, at: SimTime, stable: &[PeerReport]) {
-        let mut known: HashSet<PeerAddr> = HashSet::new();
+        // BTreeSet: iterated below for the ISP share counts.
+        let mut known: BTreeSet<PeerAddr> = BTreeSet::new();
         for r in stable {
             known.insert(r.addr);
             for p in &r.partners {

@@ -36,6 +36,14 @@ pub struct Csr {
     und_tgt: Vec<NodeId>,
 }
 
+/// The half-open row range `off[i]..off[i + 1]` of one CSR offset
+/// array. The single place index arithmetic happens in the hot
+/// accessors, so the overflow reasoning lives on one line.
+fn row(off: &[usize], i: usize) -> std::ops::Range<usize> {
+    // lint:allow(C4): off.len() == n + 1 with n ≤ u32::MAX (u32-backed NodeId), so i + 1 ≤ n never overflows usize
+    off[i]..off[i + 1]
+}
+
 impl Csr {
     /// Builds the flat view of `g` in one `O(n + m)` pass.
     pub fn from_digraph<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> Csr {
@@ -114,38 +122,38 @@ impl Csr {
 
     /// Sorted out-neighbors of `u`.
     pub fn out(&self, u: NodeId) -> &[NodeId] {
-        &self.out_tgt[self.out_off[u.index()]..self.out_off[u.index() + 1]]
+        &self.out_tgt[row(&self.out_off, u.index())]
     }
 
     /// Weights aligned with [`Csr::out`].
     pub fn out_weights(&self, u: NodeId) -> &[u64] {
-        &self.out_w[self.out_off[u.index()]..self.out_off[u.index() + 1]]
+        &self.out_w[row(&self.out_off, u.index())]
     }
 
     /// Sorted in-neighbors of `u`.
     pub fn inn(&self, u: NodeId) -> &[NodeId] {
-        &self.in_tgt[self.in_off[u.index()]..self.in_off[u.index() + 1]]
+        &self.in_tgt[row(&self.in_off, u.index())]
     }
 
     /// Sorted, deduplicated neighbors of `u` in the undirected
     /// projection.
     pub fn und(&self, u: NodeId) -> &[NodeId] {
-        &self.und_tgt[self.und_off[u.index()]..self.und_off[u.index() + 1]]
+        &self.und_tgt[row(&self.und_off, u.index())]
     }
 
     /// Out-degree of `u`.
     pub fn out_degree(&self, u: NodeId) -> usize {
-        self.out_off[u.index() + 1] - self.out_off[u.index()]
+        row(&self.out_off, u.index()).len()
     }
 
     /// In-degree of `u`.
     pub fn in_degree(&self, u: NodeId) -> usize {
-        self.in_off[u.index() + 1] - self.in_off[u.index()]
+        row(&self.in_off, u.index()).len()
     }
 
     /// Degree of `u` in the undirected projection.
     pub fn und_degree(&self, u: NodeId) -> usize {
-        self.und_off[u.index() + 1] - self.und_off[u.index()]
+        row(&self.und_off, u.index()).len()
     }
 
     /// Number of edges in the undirected projection (each bilateral

@@ -14,7 +14,7 @@ use crate::paths::{average_path_length, PathSampling, PathTreatment};
 use crate::{clustering, DiGraph};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 /// Directed Erdős–Rényi `G(n, m)`: exactly `m` distinct directed
 /// edges chosen uniformly among the `n(n−1)` possibilities.
@@ -151,7 +151,10 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> DiGraph<u32> 
     assert!(k < n, "k = {k} must be < n = {n}");
     assert!((0.0..=1.0).contains(&beta), "beta {beta} outside [0, 1]");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut edges: HashSet<(u32, u32)> = HashSet::new();
+    // BTreeSet: the edge set is iterated twice below (rewiring pass
+    // and final emission), and both orders feed the seeded RNG stream
+    // and the graph bytes.
+    let mut edges: BTreeSet<(u32, u32)> = BTreeSet::new();
     let norm = |a: u32, b: u32| if a < b { (a, b) } else { (b, a) };
     for i in 0..n as u32 {
         for d in 1..=(k / 2) as u32 {
@@ -159,9 +162,9 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> DiGraph<u32> 
             edges.insert(norm(i, j));
         }
     }
-    // Rewire: iterate over the lattice edges in deterministic order.
-    let mut lattice: Vec<(u32, u32)> = edges.iter().copied().collect();
-    lattice.sort();
+    // Rewire: iterate over the lattice edges in deterministic
+    // (ascending) order, snapshotted so rewiring can mutate the set.
+    let lattice: Vec<(u32, u32)> = edges.iter().copied().collect();
     for (a, b) in lattice {
         if rng.random_range(0.0..1.0) < beta {
             // Rewire the far endpoint to a random target.
@@ -185,9 +188,7 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> DiGraph<u32> 
     for v in 0..n as u32 {
         g.intern(v);
     }
-    let mut sorted: Vec<_> = edges.into_iter().collect();
-    sorted.sort();
-    for (a, b) in sorted {
+    for (a, b) in edges {
         let ai = g.node_id(&a).expect("interned");
         let bi = g.node_id(&b).expect("interned");
         g.add_edge(ai, bi, 1);

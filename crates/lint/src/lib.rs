@@ -6,19 +6,28 @@
 //! hidden nondeterminism — unseeded RNG, hash-order iteration,
 //! wall-clock reads — silently corrupts reproduced figures the same
 //! way measurement artifacts distorted early crawler studies. This
-//! crate is a fast, dependency-light (line-based, no `syn`) pass over
-//! every workspace `.rs` file that enforces the policy *before* code
-//! lands:
+//! crate is a fast, dependency-light (no `syn`) pass over every
+//! workspace `.rs` file that enforces the policy *before* code lands:
 //!
 //! | Rule | Scope | What it catches |
 //! |------|-------|-----------------|
 //! | `D1` | sim crates (`overlay`, `netsim`, `workload`) | `HashMap`/`HashSet` use — iteration order is seed-hostile; use `BTreeMap`/`BTreeSet` or sort |
 //! | `D2` | all lib crates | `thread_rng`, `rand::rng()`, `SystemTime::now`, `Instant::now` — ambient entropy / wall clock in simulation code |
+//! | `D3` | sim + metric crates | raw `thread::spawn` outside `magellan-par` |
+//! | `D4` | entry crates (`overlay`, `netsim`, `workload`, `graph`, `analysis`) | public entry point that *transitively* reaches a nondeterminism source through the workspace call graph |
+//! | `P1` | sim + metric crates | locks, channels, non-SeqCst atomic orderings outside `magellan-par` |
 //! | `C1` | all lib crates | `unwrap()` / `expect(` in non-test library code beyond the per-crate budget |
 //! | `C2` | metric crates (`graph`, `analysis`) | float `==` / `!=` comparisons |
 //! | `C3` | metric crates (`graph`, `analysis`) | lossy `as` casts: narrow widths (`u8`/`u16`/`i8`/`i16`/`f32`) and `len() as u32`-style truncations |
+//! | `C4` | metric crates (`graph`, `analysis`) | unchecked `+`/`*` arithmetic inside index brackets — debug overflow panics where release wraps |
 //! | `H1` | every workspace crate | missing `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]` crate header |
 //! | `M1` | everywhere | malformed `lint:allow` (missing rule id or justification) |
+//!
+//! The line-local rules run per file; `D4` is the semantic pass — it
+//! parses `fn` items, `use` imports, and call sites out of every file
+//! ([`items`]), links them into a workspace call graph, and propagates
+//! taint from nondeterminism sources back to public entry points
+//! ([`taint`]), printing the full call chain in the violation.
 //!
 //! Any finding can be waived *with a written justification* by
 //! annotating the offending line (or the line above it):
@@ -30,21 +39,37 @@
 //! String literals and comments are stripped before rules run, so
 //! mentioning `thread_rng` in a doc comment is fine; the allow
 //! annotations themselves are read from the raw comment text.
+//!
+//! Reports render as human text, `--format json` (stable,
+//! byte-reproducible schema `magellan-lint-report/1`), or `--format
+//! sarif` (SARIF 2.1.0, loadable by GitHub code scanning); a
+//! checked-in baseline file can grandfather known findings, and an
+//! mtime+hash cache under `target/` keeps warm runs fast.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+mod cache;
+mod items;
+mod output;
 mod rules;
 mod source;
+mod taint;
 mod walk;
 
+pub use cache::{load_cache, store_cache, FileStamp, CACHE_FILE};
+pub use items::{parse_items, CallSite, FileItems, FnItem, UseImport};
+pub use output::{
+    load_baseline, render_human, render_json, render_sarif, violation_fingerprint, Baseline,
+    BASELINE_FILE,
+};
 pub use rules::{default_unwrap_budgets, Rule, RULES};
-pub use source::SourceFile;
-pub use walk::{collect_workspace_sources, find_workspace_root};
+pub use source::{SourceFile, TargetKind};
+pub use walk::{collect_workspace_sources, find_workspace_root, parse_crate_deps};
 
 /// One finding: a rule violated at a specific file and line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,14 +103,108 @@ pub struct Config {
     /// Per-crate `unwrap()`/`expect(` budgets for rule C1. Crates not
     /// listed have budget 0.
     pub unwrap_budgets: BTreeMap<String, usize>,
+    /// Workspace crate dependency edges (`crate -> deps`), used to
+    /// gate D4 call resolution. When empty (in-memory runs), calls
+    /// resolve across every crate pair — a fully connected fallback.
+    pub crate_deps: BTreeMap<String, BTreeSet<String>>,
 }
 
 impl Default for Config {
     fn default() -> Self {
         Config {
             unwrap_budgets: rules::default_unwrap_budgets(),
+            crate_deps: BTreeMap::new(),
         }
     }
+}
+
+/// What kind of nondeterminism a taint source introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TaintKind {
+    /// Wall-clock reads (`SystemTime::now`, `Instant::now`).
+    Clock,
+    /// Ambient OS entropy (`thread_rng`, `from_entropy`, …).
+    Entropy,
+    /// Raw thread spawns (scheduler-dependent interleaving).
+    Spawn,
+    /// Iteration over hash-ordered collections.
+    HashOrder,
+}
+
+impl TaintKind {
+    /// Stable identifier used in the cache serialization.
+    pub fn id(self) -> &'static str {
+        match self {
+            TaintKind::Clock => "clock",
+            TaintKind::Entropy => "entropy",
+            TaintKind::Spawn => "spawn",
+            TaintKind::HashOrder => "hash",
+        }
+    }
+
+    /// Inverse of [`TaintKind::id`].
+    pub fn from_id(s: &str) -> Option<Self> {
+        match s {
+            "clock" => Some(TaintKind::Clock),
+            "entropy" => Some(TaintKind::Entropy),
+            "spawn" => Some(TaintKind::Spawn),
+            "hash" => Some(TaintKind::HashOrder),
+            _ => None,
+        }
+    }
+}
+
+/// One nondeterminism source seeded inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintSource {
+    /// 1-based line of the source.
+    pub line: usize,
+    /// Source category.
+    pub kind: TaintKind,
+    /// Human description (`"wall-clock read `Instant::now`"`).
+    pub what: String,
+}
+
+/// Per-function analysis product: everything rule D4 needs, detached
+/// from the source text so it can be cached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSummary {
+    /// Bare function name (call-graph node key within its crate).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub def_line: usize,
+    /// Whether the definition carries a visibility qualifier.
+    pub is_pub: bool,
+    /// Whether the definition sits inside a `#[cfg(test)]` module.
+    pub in_test: bool,
+    /// Whether the `fn` line carries a `lint:allow(D4): <why>`
+    /// annotation (waives this entry point).
+    pub d4_allowed: bool,
+    /// Call sites inside the body.
+    pub calls: Vec<CallSite>,
+    /// Nondeterminism sources inside the body.
+    pub sources: Vec<TaintSource>,
+}
+
+/// Per-file analysis product: line-local violations plus the call
+/// graph fragment. The cache stores these; the global phases (C1
+/// budgets, D4 taint) always recompute from them.
+#[derive(Debug, Clone)]
+pub struct FileSummary {
+    /// Path relative to the workspace root.
+    pub path: PathBuf,
+    /// Owning crate.
+    pub crate_name: String,
+    /// Library code vs test-like target.
+    pub kind: TargetKind,
+    /// Line-local violations (already `lint:allow`-filtered).
+    pub violations: Vec<Violation>,
+    /// Non-test, non-allowed `unwrap()`/`expect(` count (C1 input).
+    pub unwrap_count: usize,
+    /// Function definitions with calls and taint sources.
+    pub fns: Vec<FnSummary>,
+    /// `use` imports (D4 call resolution input).
+    pub uses: Vec<UseImport>,
 }
 
 /// Outcome of a whole-workspace lint run.
@@ -97,6 +216,8 @@ pub struct Report {
     pub files_scanned: usize,
     /// Per-crate non-test `unwrap()`/`expect(` counts (rule C1 input).
     pub unwrap_counts: BTreeMap<String, usize>,
+    /// Findings suppressed by the baseline file (not in `violations`).
+    pub suppressed_baseline: usize,
 }
 
 impl Report {
@@ -106,34 +227,135 @@ impl Report {
     }
 }
 
+/// Runs every line-local rule and the item/taint-source extraction
+/// over one file. Pure per-file work — this is the unit the cache
+/// stores.
+pub fn analyze_file(src: &SourceFile, config: &Config) -> FileSummary {
+    let mut scratch = Report::default();
+    rules::check_file(src, config, &mut scratch);
+    let unwrap_count = scratch.unwrap_counts.values().sum();
+    let items = if src.kind == TargetKind::Lib {
+        items::parse_items(src)
+    } else {
+        FileItems::default()
+    };
+    let sources = taint::detect_sources(src, &items.fns);
+    let fns = items
+        .fns
+        .iter()
+        .enumerate()
+        .map(|(i, f)| FnSummary {
+            name: f.name.clone(),
+            def_line: f.def_line,
+            is_pub: f.is_pub,
+            in_test: f.in_test,
+            d4_allowed: src.is_allowed(f.def_line, Rule::D4.id()),
+            calls: f.calls.clone(),
+            sources: sources
+                .iter()
+                .filter(|(idx, _)| *idx == i)
+                .map(|(_, s)| s.clone())
+                .collect(),
+        })
+        .collect();
+    FileSummary {
+        path: src.path.clone(),
+        crate_name: src.crate_name.clone(),
+        kind: src.kind,
+        violations: scratch.violations,
+        unwrap_count,
+        fns,
+        uses: items.uses,
+    }
+}
+
+/// Runs the global phases (C1 budgets, D4 taint) over per-file
+/// summaries and assembles the sorted report. `summaries` must be
+/// path-sorted for deterministic chain rendering.
+pub fn finalize(summaries: &[FileSummary], config: &Config) -> Report {
+    let mut report = Report {
+        files_scanned: summaries.len(),
+        ..Report::default()
+    };
+    for s in summaries {
+        report.violations.extend(s.violations.iter().cloned());
+        *report
+            .unwrap_counts
+            .entry(s.crate_name.clone())
+            .or_insert(0) += s.unwrap_count;
+    }
+    rules::check_unwrap_budgets(summaries, config, &mut report);
+    taint::check_taint(summaries, &config.crate_deps, &mut report);
+    report.violations.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    report
+}
+
+/// Lints pre-parsed sources (the in-memory entry point self-tests use).
+pub fn lint_sources(sources: &[SourceFile], config: &Config) -> Report {
+    let mut summaries: Vec<FileSummary> = sources.iter().map(|s| analyze_file(s, config)).collect();
+    summaries.sort_by(|a, b| a.path.cmp(&b.path));
+    finalize(&summaries, config)
+}
+
 /// Lints every workspace source under `root` with `config`.
+///
+/// Reads the crate dependency graph from the workspace `Cargo.toml`s
+/// when `config.crate_deps` is empty, and (with `use_cache`) reuses
+/// per-file summaries from `target/` for unchanged files.
+///
+/// # Errors
+///
+/// Returns an error when the tree cannot be walked or a file cannot be
+/// read. Cache read/write failures are non-fatal (cold run).
+pub fn lint_workspace_cached(
+    root: &Path,
+    config: &Config,
+    use_cache: bool,
+) -> std::io::Result<Report> {
+    let mut config = config.clone();
+    if config.crate_deps.is_empty() {
+        config.crate_deps = parse_crate_deps(root);
+    }
+    let mut paths = collect_workspace_sources(root)?;
+    paths.sort();
+    let cached = if use_cache {
+        load_cache(root, &config)
+    } else {
+        BTreeMap::new()
+    };
+    let mut summaries = Vec::with_capacity(paths.len());
+    let mut entries = Vec::with_capacity(paths.len());
+    for path in paths {
+        let abs = root.join(&path);
+        let stamp = cache::file_stamp(&abs)?;
+        if let Some((entry_stamp, summary)) = cached.get(&path) {
+            if cache::stamp_fresh(entry_stamp, &stamp, &abs)? {
+                entries.push((path, entry_stamp.clone(), summary.clone()));
+                summaries.push(summary.clone());
+                continue;
+            }
+        }
+        let text = std::fs::read_to_string(&abs)?;
+        let stamp = cache::full_stamp(stamp, &text);
+        let summary = analyze_file(&SourceFile::parse(path.clone(), &text), &config);
+        entries.push((path, stamp, summary.clone()));
+        summaries.push(summary);
+    }
+    if use_cache {
+        // Best-effort: a read-only target/ just means cold runs.
+        let _ = store_cache(root, &config, &entries);
+    }
+    Ok(finalize(&summaries, &config))
+}
+
+/// Lints every workspace source under `root` with `config` (no cache).
 ///
 /// # Errors
 ///
 /// Returns an error when the tree cannot be walked or a file cannot be
 /// read.
 pub fn lint_workspace(root: &Path, config: &Config) -> std::io::Result<Report> {
-    let paths = collect_workspace_sources(root)?;
-    let mut sources = Vec::with_capacity(paths.len());
-    for path in paths {
-        let text = std::fs::read_to_string(root.join(&path))?;
-        sources.push(SourceFile::parse(path, &text));
-    }
-    Ok(lint_sources(&sources, config))
-}
-
-/// Lints pre-parsed sources (the in-memory entry point self-tests use).
-pub fn lint_sources(sources: &[SourceFile], config: &Config) -> Report {
-    let mut report = Report {
-        files_scanned: sources.len(),
-        ..Report::default()
-    };
-    for src in sources {
-        rules::check_file(src, config, &mut report);
-    }
-    rules::check_unwrap_budgets(sources, config, &mut report);
-    report
-        .violations
-        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    report
+    lint_workspace_cached(root, config, false)
 }

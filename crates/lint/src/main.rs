@@ -3,34 +3,95 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p magellan-lint             # lint the workspace, exit 1 on findings
-//! cargo run -p magellan-lint -- --counts # dump per-crate unwrap counts (C1 budgets)
+//! cargo run -p magellan-lint                         # lint, exit 1 on findings
+//! cargo run -p magellan-lint -- --format json        # stable machine report
+//! cargo run -p magellan-lint -- --format sarif --output lint.sarif
+//! cargo run -p magellan-lint -- --write-baseline     # grandfather current findings
+//! cargo run -p magellan-lint -- --counts             # per-crate unwrap counts
 //! cargo run -p magellan-lint -- --list-rules
 //! ```
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-use std::path::Path;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use magellan_lint::{find_workspace_root, lint_workspace, Config, RULES};
+use magellan_lint::{
+    find_workspace_root, lint_workspace_cached, load_baseline, render_human, render_json,
+    render_sarif, Baseline, Config, BASELINE_FILE, RULES,
+};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
+struct Cli {
+    format: Format,
+    output: Option<PathBuf>,
+    counts: bool,
+    list_rules: bool,
+    no_baseline: bool,
+    write_baseline: bool,
+    no_cache: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
+    let mut cli = Cli {
+        format: Format::Human,
+        output: None,
+        counts: false,
+        list_rules: false,
+        no_baseline: false,
+        write_baseline: false,
+        no_cache: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--counts" => cli.counts = true,
+            "--list-rules" => cli.list_rules = true,
+            "--no-baseline" => cli.no_baseline = true,
+            "--write-baseline" => cli.write_baseline = true,
+            "--no-cache" => cli.no_cache = true,
+            "--format" => {
+                let value = it.next().ok_or("--format needs a value")?;
+                cli.format = match value.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--output" => {
+                let value = it.next().ok_or("--output needs a path")?;
+                cli.output = Some(PathBuf::from(value));
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Some(cli))
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--help" || a == "-h") {
-        print_help();
-        return ExitCode::SUCCESS;
-    }
-    if let Some(unknown) = args
-        .iter()
-        .find(|a| !matches!(a.as_str(), "--counts" | "--list-rules"))
-    {
-        eprintln!("magellan-lint: unknown argument `{unknown}`");
-        print_help();
-        return ExitCode::FAILURE;
-    }
-    if args.iter().any(|a| a == "--list-rules") {
+    let cli = match parse_args(&args) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => {
+            print_help();
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("magellan-lint: {e}");
+            print_help();
+            return ExitCode::FAILURE;
+        }
+    };
+    if cli.list_rules {
         for rule in RULES {
             println!("{:3} {}", rule.id(), rule.describe());
         }
@@ -50,7 +111,7 @@ fn main() -> ExitCode {
     };
 
     let config = Config::default();
-    let report = match lint_workspace(&root, &config) {
+    let mut report = match lint_workspace_cached(&root, &config, !cli.no_cache) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("magellan-lint: walk failed: {e}");
@@ -58,7 +119,7 @@ fn main() -> ExitCode {
         }
     };
 
-    if args.iter().any(|a| a == "--counts") {
+    if cli.counts {
         println!("non-test unwrap()/expect( per crate (rule C1 input):");
         for (krate, count) in &report.unwrap_counts {
             let budget = config.unwrap_budgets.get(krate).copied().unwrap_or(0);
@@ -67,19 +128,42 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    print_report(&root, &report)
-}
+    if cli.write_baseline {
+        let path = root.join(BASELINE_FILE);
+        if let Err(e) = std::fs::write(&path, Baseline::render(&report)) {
+            eprintln!("magellan-lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "magellan-lint: baselined {} finding(s) into {}",
+            report.violations.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
 
-fn print_report(root: &Path, report: &magellan_lint::Report) -> ExitCode {
-    for v in &report.violations {
-        println!("{v}");
+    if !cli.no_baseline {
+        load_baseline(&root).apply(&mut report);
+    }
+
+    let rendered = match cli.format {
+        Format::Human => render_human(&report, &root),
+        Format::Json => render_json(&report),
+        Format::Sarif => render_sarif(&report),
+    };
+    match &cli.output {
+        Some(path) => {
+            // Write the machine report to the file and keep the human
+            // view on stdout, so one CI invocation does both jobs.
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("magellan-lint: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            print!("{}", render_human(&report, &root));
+        }
+        None => print!("{rendered}"),
     }
     if report.is_clean() {
-        println!(
-            "magellan-lint: {} files clean ({})",
-            report.files_scanned,
-            root.display()
-        );
         ExitCode::SUCCESS
     } else {
         eprintln!(
@@ -97,10 +181,22 @@ fn print_help() {
         "magellan-lint — determinism & invariant static-analysis gate\n\
          \n\
          USAGE:\n\
-         \x20   magellan-lint [--counts | --list-rules | --help]\n\
+         \x20   magellan-lint [OPTIONS]\n\
+         \n\
+         OPTIONS:\n\
+         \x20   --format <human|json|sarif>  report format (default human)\n\
+         \x20   --output <path>              write the report to a file, keep human\n\
+         \x20                                output on stdout\n\
+         \x20   --no-baseline                ignore {baseline}\n\
+         \x20   --write-baseline             grandfather all current findings\n\
+         \x20   --no-cache                   ignore and skip the incremental cache\n\
+         \x20   --counts                     dump per-crate unwrap counts (C1 budgets)\n\
+         \x20   --list-rules                 print the rule table\n\
+         \x20   --help                       this text\n\
          \n\
          Exits 0 when the workspace is clean, 1 when violations are found.\n\
          Waive a finding with `// lint:allow(<rule>): <justification>` on the\n\
-         offending line or the line above it."
+         offending line or the line above it.",
+        baseline = BASELINE_FILE
     );
 }

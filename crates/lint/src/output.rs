@@ -1,0 +1,334 @@
+//! Report rendering (human / JSON / SARIF) and the baseline file.
+//!
+//! Both machine formats are emitted by hand (the workspace vendors no
+//! JSON library) with a fixed field order and no timestamps, so two
+//! runs over the same tree produce byte-identical output — a property
+//! the golden-file tests assert. The JSON schema is versioned as
+//! `magellan-lint-report/1`; SARIF follows the 2.1.0 schema that
+//! GitHub code scanning ingests.
+//!
+//! The baseline file (`.magellan-lint-baseline` at the workspace root)
+//! grandfathers known findings: one fingerprint per line, where a
+//! fingerprint is the FNV-1a 64 hash of `rule|file|message` (line
+//! numbers are deliberately excluded so unrelated edits above a
+//! finding do not invalidate it). Suppressed findings are counted in
+//! [`Report::suppressed_baseline`], never silently dropped from the
+//! totals.
+
+use crate::{Report, Violation, RULES};
+use std::path::Path;
+
+/// Baseline file name, resolved against the workspace root.
+pub const BASELINE_FILE: &str = ".magellan-lint-baseline";
+
+/// FNV-1a 64-bit — tiny, stable, dependency-free.
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The stable fingerprint of one violation for baseline matching.
+pub fn violation_fingerprint(v: &Violation) -> String {
+    let key = format!("{}|{}|{}", v.rule.id(), v.file.display(), v.message);
+    format!("{:016x}", fnv64(key.as_bytes()))
+}
+
+/// A loaded set of grandfathered finding fingerprints.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Fingerprints from the baseline file, in file order.
+    pub entries: Vec<String>,
+}
+
+impl Baseline {
+    /// Removes baselined findings from `report.violations`, counting
+    /// them in `report.suppressed_baseline`.
+    pub fn apply(&self, report: &mut Report) {
+        if self.entries.is_empty() {
+            return;
+        }
+        let before = report.violations.len();
+        report
+            .violations
+            .retain(|v| !self.entries.iter().any(|e| *e == violation_fingerprint(v)));
+        report.suppressed_baseline += before - report.violations.len();
+    }
+
+    /// Renders a baseline file covering every violation in `report`,
+    /// with the human-readable finding as a trailing comment.
+    pub fn render(report: &Report) -> String {
+        let mut out = String::from(
+            "# magellan-lint baseline — grandfathered findings, one fingerprint per line.\n\
+             # Regenerate with `magellan-lint --write-baseline`; shrink it, never grow it.\n",
+        );
+        for v in &report.violations {
+            out.push_str(&format!("{}  # {v}\n", violation_fingerprint(v)));
+        }
+        out
+    }
+}
+
+/// Loads the baseline at `root/.magellan-lint-baseline`. A missing
+/// file is an empty baseline; `#` comments and blank lines are
+/// ignored, and inline `# …` trailers are stripped.
+pub fn load_baseline(root: &Path) -> Baseline {
+    let Ok(text) = std::fs::read_to_string(root.join(BASELINE_FILE)) else {
+        return Baseline::default();
+    };
+    let entries = text
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim().to_owned())
+        .filter(|l| !l.is_empty())
+        .collect();
+    Baseline { entries }
+}
+
+/// Renders the human report body (one violation per line plus the
+/// summary trailer main() prints today).
+pub fn render_human(report: &Report, root: &Path) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    if report.is_clean() {
+        out.push_str(&format!(
+            "magellan-lint: {} files clean ({})",
+            report.files_scanned,
+            root.display()
+        ));
+        if report.suppressed_baseline > 0 {
+            out.push_str(&format!(
+                " [{} baselined finding(s) suppressed]",
+                report.suppressed_baseline
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Escapes `s` for a JSON string literal (RFC 8259).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Paths in reports always use `/`, regardless of host separator.
+fn json_path(p: &Path) -> String {
+    let s = p.display().to_string();
+    json_escape(&s.replace('\\', "/"))
+}
+
+/// Renders the stable JSON report (schema `magellan-lint-report/1`).
+///
+/// Field order, indentation, and ordering of violations are all fixed;
+/// the output carries no timestamps or absolute paths, so consecutive
+/// runs over the same tree are byte-identical.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"magellan-lint-report/1\",\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!(
+        "  \"suppressed_baseline\": {},\n",
+        report.suppressed_baseline
+    ));
+    out.push_str("  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n");
+        out.push_str(&format!("      \"file\": \"{}\",\n", json_path(&v.file)));
+        out.push_str(&format!("      \"line\": {},\n", v.line));
+        out.push_str(&format!("      \"rule\": \"{}\",\n", v.rule.id()));
+        out.push_str(&format!(
+            "      \"message\": \"{}\"\n",
+            json_escape(&v.message)
+        ));
+        out.push_str("    }");
+    }
+    if report.violations.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n  ]\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a SARIF 2.1.0 log (the subset GitHub code scanning loads):
+/// one run, the full rule table on the driver, one result per
+/// violation with a physical location relative to the repo root.
+pub fn render_sarif(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"magellan-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/magellan\",\n");
+    out.push_str(&format!(
+        "          \"version\": \"{}\",\n",
+        env!("CARGO_PKG_VERSION")
+    ));
+    out.push_str("          \"rules\": [");
+    for (i, rule) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n            {\n");
+        out.push_str(&format!("              \"id\": \"{}\",\n", rule.id()));
+        out.push_str(&format!(
+            "              \"shortDescription\": {{ \"text\": \"{}\" }}\n",
+            json_escape(rule.describe())
+        ));
+        out.push_str("            }");
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n        {\n");
+        out.push_str(&format!("          \"ruleId\": \"{}\",\n", v.rule.id()));
+        out.push_str(&format!(
+            "          \"ruleIndex\": {},\n",
+            RULES.iter().position(|r| *r == v.rule).unwrap_or_default()
+        ));
+        out.push_str("          \"level\": \"error\",\n");
+        out.push_str(&format!(
+            "          \"message\": {{ \"text\": \"{}\" }},\n",
+            json_escape(&v.message)
+        ));
+        out.push_str("          \"locations\": [\n            {\n");
+        out.push_str("              \"physicalLocation\": {\n");
+        out.push_str(&format!(
+            "                \"artifactLocation\": {{ \"uri\": \"{}\" }},\n",
+            json_path(&v.file)
+        ));
+        out.push_str(&format!(
+            "                \"region\": {{ \"startLine\": {} }}\n",
+            v.line.max(1)
+        ));
+        out.push_str("              }\n            }\n          ]\n");
+        out.push_str("        }");
+    }
+    if report.violations.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n      ]\n");
+    }
+    out.push_str("    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rule;
+    use std::path::PathBuf;
+
+    fn sample_report() -> Report {
+        Report {
+            violations: vec![
+                Violation {
+                    file: PathBuf::from("crates/overlay/src/a.rs"),
+                    line: 3,
+                    rule: Rule::D1,
+                    message: "HashMap in a simulation path — say \"no\"".to_owned(),
+                },
+                Violation {
+                    file: PathBuf::from("crates/graph/src/b.rs"),
+                    line: 9,
+                    rule: Rule::C4,
+                    message: "unchecked arithmetic in index `[u + 1]`".to_owned(),
+                },
+            ],
+            files_scanned: 2,
+            unwrap_counts: Default::default(),
+            suppressed_baseline: 0,
+        }
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let r = sample_report();
+        let a = render_json(&r);
+        let b = render_json(&r);
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"magellan-lint-report/1\""));
+        assert!(a.contains("say \\\"no\\\""), "{a}");
+        assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_report_renders_empty_array() {
+        let r = Report {
+            files_scanned: 5,
+            ..Report::default()
+        };
+        let j = render_json(&r);
+        assert!(j.contains("\"violations\": []"), "{j}");
+        let s = render_sarif(&r);
+        assert!(s.contains("\"results\": []"), "{s}");
+    }
+
+    #[test]
+    fn sarif_carries_rules_and_locations() {
+        let s = render_sarif(&sample_report());
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        for rule in RULES {
+            assert!(s.contains(&format!("\"id\": \"{}\"", rule.id())), "{s}");
+        }
+        assert!(s.contains("\"uri\": \"crates/overlay/src/a.rs\""));
+        assert!(s.contains("\"startLine\": 3"));
+        assert!(s.contains("\"ruleId\": \"D1\""));
+    }
+
+    #[test]
+    fn baseline_roundtrip_suppresses() {
+        let mut r = sample_report();
+        let rendered = Baseline::render(&r);
+        let entries: Vec<String> = rendered
+            .lines()
+            .map(|l| l.split('#').next().unwrap_or("").trim().to_owned())
+            .filter(|l| !l.is_empty())
+            .collect();
+        assert_eq!(entries.len(), 2);
+        let baseline = Baseline { entries };
+        baseline.apply(&mut r);
+        assert!(r.violations.is_empty());
+        assert_eq!(r.suppressed_baseline, 2);
+    }
+
+    #[test]
+    fn fingerprint_ignores_line_numbers() {
+        let mut v = sample_report().violations[0].clone();
+        let a = violation_fingerprint(&v);
+        v.line = 99;
+        assert_eq!(a, violation_fingerprint(&v));
+        v.message.push('!');
+        assert_ne!(a, violation_fingerprint(&v));
+    }
+}

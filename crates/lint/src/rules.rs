@@ -1,7 +1,7 @@
 //! The rule set: what each rule scans for and where it applies.
 
 use crate::source::{allow_of, SourceFile, TargetKind};
-use crate::{Config, Report, Violation};
+use crate::{Config, FileSummary, Report, Violation};
 use std::collections::BTreeMap;
 
 /// Identifier and metadata for one lint rule.
@@ -13,12 +13,18 @@ pub enum Rule {
     D2,
     /// Raw `thread::spawn` outside the deterministic fork-join crate.
     D3,
+    /// Entry point transitively reaching a nondeterminism source.
+    D4,
+    /// Shared-state concurrency primitives outside `magellan-par`.
+    P1,
     /// `unwrap()`/`expect(` beyond the per-crate budget.
     C1,
     /// Float `==`/`!=` comparisons in metric code.
     C2,
     /// Lossy `as` casts in metric code.
     C3,
+    /// Unchecked index arithmetic in metric kernels.
+    C4,
     /// Missing crate hygiene headers.
     H1,
     /// Malformed `lint:allow` annotation.
@@ -26,13 +32,16 @@ pub enum Rule {
 }
 
 /// Every rule, in reporting order.
-pub const RULES: [Rule; 8] = [
+pub const RULES: [Rule; 11] = [
     Rule::D1,
     Rule::D2,
     Rule::D3,
+    Rule::D4,
+    Rule::P1,
     Rule::C1,
     Rule::C2,
     Rule::C3,
+    Rule::C4,
     Rule::H1,
     Rule::M1,
 ];
@@ -44,9 +53,12 @@ impl Rule {
             Rule::D1 => "D1",
             Rule::D2 => "D2",
             Rule::D3 => "D3",
+            Rule::D4 => "D4",
+            Rule::P1 => "P1",
             Rule::C1 => "C1",
             Rule::C2 => "C2",
             Rule::C3 => "C3",
+            Rule::C4 => "C4",
             Rule::H1 => "H1",
             Rule::M1 => "M1",
         }
@@ -67,12 +79,26 @@ impl Rule {
                 "raw thread::spawn in simulation/metric crates: scheduling-dependent results \
                  break parallel equivalence; use magellan-par's deterministic primitives"
             }
+            Rule::D4 => {
+                "public entry point in overlay/netsim/workload/graph/analysis that transitively \
+                 reaches a nondeterminism source through the workspace call graph; the violation \
+                 prints the full call chain"
+            }
+            Rule::P1 => {
+                "locks, channels, or non-SeqCst atomic orderings in simulation/metric crates: \
+                 shared-state concurrency belongs in magellan-par's order-preserving primitives"
+            }
             Rule::C1 => {
                 "unwrap()/expect( in non-test library code beyond the per-crate budget: \
                  return typed errors instead"
             }
             Rule::C2 => "float == / != comparison in metric code: compare against a tolerance",
             Rule::C3 => "lossy `as` cast in metric code: narrow-width target or len()-truncation",
+            Rule::C4 => {
+                "unchecked `+`/`*` arithmetic inside an index expression in metric code: \
+                 debug builds panic on overflow where release wraps; use checked/saturating \
+                 ops or a guarded helper"
+            }
             Rule::H1 => "crate root missing #![forbid(unsafe_code)] and #![deny(missing_docs)]",
             Rule::M1 => "lint:allow annotation without a rule id or justification",
         }
@@ -127,8 +153,10 @@ pub fn check_file(src: &SourceFile, config: &Config, report: &mut Report) {
     check_hash_iteration(src, report);
     check_wall_clock_and_entropy(src, report);
     check_raw_thread_spawn(src, report);
+    check_concurrency_primitives(src, report);
     check_float_equality(src, report);
     check_lossy_casts(src, report);
+    check_index_arithmetic(src, report);
     check_crate_headers(src, report);
     count_unwraps(src, config, report);
 }
@@ -270,6 +298,80 @@ fn check_raw_thread_spawn(src: &SourceFile, report: &mut Report) {
     }
 }
 
+/// P1: shared-state concurrency primitives outside magellan-par.
+///
+/// Locks introduce acquisition-order nondeterminism, channels
+/// interleave by scheduler whim, and any atomic ordering weaker than
+/// SeqCst permits observably different interleavings across runs.
+/// `magellan-par` is the one sanctioned home for such machinery (its
+/// primitives are proven order-preserving by the parallel-equivalence
+/// tests); everywhere else in the sim/metric path they need a written
+/// `lint:allow(P1): <why>` justification.
+fn check_concurrency_primitives(src: &SourceFile, report: &mut Report) {
+    let governed = SIM_PATH_CRATES.contains(&src.crate_name.as_str())
+        || metric_crate(&src.crate_name)
+        || src.crate_name == "magellan-trace"
+        || src.crate_name == "magellan";
+    if !governed
+        || DETERMINISM_EXEMPT.contains(&src.crate_name.as_str())
+        || src.kind != TargetKind::Lib
+    {
+        return;
+    }
+    const LOCKS: [&str; 4] = ["Mutex", "RwLock", "Condvar", "Barrier"];
+    const ORDERINGS: [&str; 4] = [
+        "Ordering::Relaxed",
+        "Ordering::Acquire",
+        "Ordering::Release",
+        "Ordering::AcqRel",
+    ];
+    for (idx, line) in src.code.iter().enumerate() {
+        if src.in_test_module[idx] {
+            continue;
+        }
+        for lock in LOCKS {
+            if contains_ident(line, lock) {
+                push(
+                    report,
+                    src,
+                    idx + 1,
+                    Rule::P1,
+                    format!(
+                        "`{lock}` in a simulation/metric crate — lock acquisition order is \
+                         scheduler-dependent; route shared state through magellan-par or \
+                         justify with lint:allow(P1)"
+                    ),
+                );
+            }
+        }
+        if contains_ident(line, "mpsc") || line.contains("sync_channel(") {
+            push(
+                report,
+                src,
+                idx + 1,
+                Rule::P1,
+                "channel in a simulation/metric crate — message interleaving is \
+                 scheduler-dependent; use magellan-par's order-preserving primitives"
+                    .to_owned(),
+            );
+        }
+        for ord in ORDERINGS {
+            if line.contains(ord) {
+                push(
+                    report,
+                    src,
+                    idx + 1,
+                    Rule::P1,
+                    format!(
+                        "atomic `{ord}` — orderings weaker than SeqCst admit per-run \
+                         interleaving differences; use SeqCst or justify with lint:allow(P1)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
 /// C2: float equality in metric crates.
 fn check_float_equality(src: &SourceFile, report: &mut Report) {
     if !metric_crate(&src.crate_name) || src.kind != TargetKind::Lib {
@@ -326,6 +428,100 @@ fn check_lossy_casts(src: &SourceFile, report: &mut Report) {
     }
 }
 
+/// C4: unchecked `+`/`*` arithmetic inside index brackets in metric
+/// kernels.
+///
+/// `off[u.index() + 1]` panics on overflow in debug builds but wraps
+/// in release — the two profiles would disagree exactly when an
+/// invariant is already broken, which is the worst time for the gate
+/// to diverge. Hot CSR loops must use checked/saturating arithmetic
+/// or a guarded row helper.
+fn check_index_arithmetic(src: &SourceFile, report: &mut Report) {
+    if !metric_crate(&src.crate_name) || src.kind != TargetKind::Lib {
+        return;
+    }
+    for (idx, line) in src.code.iter().enumerate() {
+        if src.in_test_module[idx] {
+            continue;
+        }
+        for expr in index_arithmetic_exprs(line) {
+            push(
+                report,
+                src,
+                idx + 1,
+                Rule::C4,
+                format!(
+                    "unchecked arithmetic in index `[{expr}]` — debug overflow panics \
+                     where release wraps; use checked/saturating ops or a guarded helper"
+                ),
+            );
+        }
+    }
+}
+
+/// The bracketed index expressions on `line` containing a `+` or a
+/// binary `*`. Only genuine indexing counts: the character before `[`
+/// must close an expression (identifier, `)`, or `]`), which excludes
+/// macros (`vec![`), slice types (`&[`), and array literals.
+fn index_arithmetic_exprs(line: &str) -> Vec<String> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'[' {
+            i += 1;
+            continue;
+        }
+        let indexing = i > 0
+            && (bytes[i - 1].is_ascii_alphanumeric() || matches!(bytes[i - 1], b'_' | b')' | b']'));
+        // Find the matching `]` on this line (nesting-aware).
+        let mut depth = 1usize;
+        let mut j = i + 1;
+        while j < bytes.len() && depth > 0 {
+            match bytes[j] {
+                b'[' => depth += 1,
+                b']' => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let end = if depth == 0 { j - 1 } else { bytes.len() };
+        if indexing {
+            let inner = &line[i + 1..end];
+            if has_unchecked_arithmetic(inner) {
+                out.push(inner.to_owned());
+            }
+        }
+        i += 1; // nested brackets get their own look
+    }
+    out
+}
+
+/// Whether `expr` contains a `+` or a *binary* `*` (a `*` whose
+/// preceding non-space character ends an operand; leading `*` is a
+/// deref).
+fn has_unchecked_arithmetic(expr: &str) -> bool {
+    let bytes = expr.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'+' => {
+                // `+=` never appears in an index; any `+` counts.
+                return true;
+            }
+            b'*' => {
+                let prev = expr[..i].trim_end().as_bytes().last().copied();
+                if prev
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || matches!(c, b'_' | b')' | b']'))
+                {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
 /// H1: hygiene headers on crate roots.
 fn check_crate_headers(src: &SourceFile, report: &mut Report) {
     let name = src.path.file_name().map(|f| f.to_string_lossy());
@@ -367,12 +563,12 @@ fn count_unwraps(src: &SourceFile, _config: &Config, report: &mut Report) {
 }
 
 /// C1 phase 2: compare the counts against the budgets.
-pub fn check_unwrap_budgets(sources: &[SourceFile], config: &Config, report: &mut Report) {
+pub fn check_unwrap_budgets(summaries: &[FileSummary], config: &Config, report: &mut Report) {
     for (crate_name, &count) in &report.unwrap_counts.clone() {
         let budget = config.unwrap_budgets.get(crate_name).copied().unwrap_or(0);
         if count > budget {
             // Anchor the violation at the crate root for a stable path.
-            let anchor = sources
+            let anchor = summaries
                 .iter()
                 .find(|s| {
                     s.crate_name == *crate_name && s.path.file_name().is_some_and(|f| f == "lib.rs")

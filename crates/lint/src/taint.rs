@@ -1,0 +1,676 @@
+//! Rule D4: transitive determinism-taint analysis over the workspace
+//! call graph.
+//!
+//! The line-local rules (D1–D3) catch nondeterminism at the use site,
+//! but only inside the crates they govern. A simulation entry point
+//! can still reach ambient entropy *through a helper in another
+//! crate* — exactly how a hash-ordered `HashSet` in
+//! `magellan_graph::random` once leaked into `barabasi_albert`'s
+//! output. This module closes that hole:
+//!
+//! 1. **Seed** taint sources: wall-clock reads, OS entropy, raw thread
+//!    spawns, and — the subtle one — *iteration over hash-ordered
+//!    collections* (declared `HashMap`/`HashSet` locals and fields
+//!    whose `.iter()`/`.keys()`/`.values()`/`.drain()`/`for … in`
+//!    sites leak per-process order).
+//! 2. **Propagate** reachability backwards over the workspace call
+//!    graph (name-based resolution through `use` imports and the
+//!    crate dependency graph — an over-approximation, documented in
+//!    DESIGN.md §9).
+//! 3. **Report** every public entry point in the simulation and metric
+//!    crates (`overlay`, `netsim`, `workload`, `graph`, `analysis`)
+//!    that can reach a source, printing the full call chain from the
+//!    entry point down to the offending line.
+//!
+//! A `lint:allow(D4): <why>` on the *source line* certifies the
+//! iteration (or read) as order-insensitive and un-seeds it for every
+//! caller; on an *entry point's `fn` line* it waives that one entry.
+
+use crate::items::{CallSite, UseImport};
+use crate::rules::Rule;
+use crate::source::{SourceFile, TargetKind};
+use crate::{FileSummary, Report, TaintKind, TaintSource, Violation};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Crates whose public functions are D4 entry points.
+const ENTRY_CRATES: [&str; 5] = [
+    "magellan-overlay",
+    "magellan-netsim",
+    "magellan-workload",
+    "magellan-graph",
+    "magellan-analysis",
+];
+
+/// Crates whose internals never seed taint: the bench harness times
+/// things by design, and `magellan-par`'s order-preserving primitives
+/// are proven deterministic by the parallel-equivalence tests.
+const SEED_EXEMPT: [&str; 2] = ["magellan-bench", "magellan-par"];
+
+/// Sim-path crates where rule D1 already bans hash collections
+/// wholesale; depth-0 hash findings there would double-report.
+const D1_CRATES: [&str; 3] = ["magellan-overlay", "magellan-netsim", "magellan-workload"];
+
+/// Path prefixes that never resolve into the workspace.
+const EXTERNAL_ROOTS: [&str; 9] = [
+    "std",
+    "core",
+    "alloc",
+    "rand",
+    "proptest",
+    "serde",
+    "bytes",
+    "parking_lot",
+    "criterion",
+];
+
+/// Direct needles: pattern, taint kind, human label.
+const NEEDLES: [(&str, TaintKind, &str); 7] = [
+    ("SystemTime::now", TaintKind::Clock, "wall-clock read"),
+    ("Instant::now", TaintKind::Clock, "wall-clock read"),
+    ("thread_rng", TaintKind::Entropy, "ambient OS entropy"),
+    ("rand::rng()", TaintKind::Entropy, "ambient OS entropy"),
+    ("from_entropy", TaintKind::Entropy, "ambient OS entropy"),
+    ("thread::spawn", TaintKind::Spawn, "raw thread spawn"),
+    ("thread::Builder", TaintKind::Spawn, "raw thread spawn"),
+];
+
+/// Method suffixes whose hash-ordered iteration leaks process order.
+const ITER_TOKENS: [&str; 10] = [
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".retain(",
+];
+
+/// Detects the taint sources inside `src`, attributed per function.
+///
+/// Returns `(fn_index_in_items, source)` pairs; sources outside any
+/// function (e.g. in `const` initializers) are dropped — they cannot
+/// be reached through the call graph anyway.
+pub fn detect_sources(src: &SourceFile, fns: &[crate::items::FnItem]) -> Vec<(usize, TaintSource)> {
+    if src.kind != TargetKind::Lib || SEED_EXEMPT.contains(&src.crate_name.as_str()) {
+        return Vec::new();
+    }
+    let hash_names = hash_typed_names(src);
+    let mut out = Vec::new();
+    for (idx, line) in src.code.iter().enumerate() {
+        let lineno = idx + 1;
+        if src.in_test_module[idx] || src.is_allowed(lineno, Rule::D4.id()) {
+            continue;
+        }
+        let Some(fn_idx) = enclosing_fn(fns, lineno) else {
+            continue;
+        };
+        for (needle, kind, label) in NEEDLES {
+            if line.contains(needle) {
+                out.push((
+                    fn_idx,
+                    TaintSource {
+                        line: lineno,
+                        kind,
+                        what: format!("{label} `{needle}`"),
+                    },
+                ));
+            }
+        }
+        for name in &hash_names {
+            if let Some(what) = hash_iteration_on(line, name) {
+                out.push((
+                    fn_idx,
+                    TaintSource {
+                        line: lineno,
+                        kind: TaintKind::HashOrder,
+                        what,
+                    },
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Collects names bound (or typed) as `HashMap`/`HashSet` anywhere in
+/// the file: `let` bindings, struct fields, and parameters. Tracking
+/// is file-local by design — a field iterated from another file needs
+/// its own binding there to be seen.
+fn hash_typed_names(src: &SourceFile) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for line in &src.code {
+        if !line.contains("HashMap") && !line.contains("HashSet") {
+            continue;
+        }
+        let t = line.trim_start();
+        // `let [mut] name ... = HashMap::…` / `let name: HashMap<…>`.
+        if let Some(rest) = t.strip_prefix("let ") {
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                names.insert(name);
+            }
+            continue;
+        }
+        // `name: HashMap<…>` — struct field or parameter.
+        if let Some(colon) = t.find(':') {
+            if t[colon..].contains("HashMap") || t[colon..].contains("HashSet") {
+                let head = t[..colon].trim();
+                let head = head.strip_prefix("pub ").unwrap_or(head);
+                let head = head.split_whitespace().last().unwrap_or("");
+                if !head.is_empty()
+                    && head.chars().all(|c| c.is_alphanumeric() || c == '_')
+                    && head
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_lowercase() || c == '_')
+                {
+                    names.insert(head.to_owned());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Whether `line` iterates the hash-typed binding `name` (directly or
+/// through `self.`), returning the human description when it does.
+fn hash_iteration_on(line: &str, name: &str) -> Option<String> {
+    for owner in [name.to_owned(), format!("self.{name}")] {
+        for token in ITER_TOKENS {
+            let pat = format!("{owner}{token}");
+            if let Some(pos) = line.find(&pat) {
+                if ident_boundary_before(line, pos) {
+                    let method = token.trim_start_matches('.');
+                    let method = &method[..method.find(['(', ')']).unwrap_or(method.len())];
+                    return Some(format!(
+                        "hash-ordered iteration `{name}.{method}` — \
+                         HashMap/HashSet order varies per process"
+                    ));
+                }
+            }
+        }
+        // `for x in &name` / `for x in name` at statement level.
+        if let Some(in_pos) = line.find(" in ") {
+            let tail = line[in_pos + 4..].trim_start();
+            let tail = tail.strip_prefix("&mut ").unwrap_or(tail);
+            let tail = tail.strip_prefix('&').unwrap_or(tail);
+            let stripped = tail.strip_prefix(owner.as_str());
+            if line.trim_start().starts_with("for ")
+                && stripped.is_some_and(|rest| {
+                    !rest
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.')
+                })
+            {
+                return Some(format!(
+                    "hash-ordered iteration `for … in {name}` — \
+                     HashMap/HashSet order varies per process"
+                ));
+            }
+        }
+    }
+    None
+}
+
+fn ident_boundary_before(line: &str, pos: usize) -> bool {
+    pos == 0
+        || !line[..pos]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.')
+}
+
+/// The innermost function whose body span covers `lineno`.
+fn enclosing_fn(fns: &[crate::items::FnItem], lineno: usize) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, f) in fns.iter().enumerate() {
+        if f.body_start <= lineno && lineno <= f.body_end {
+            let tighter = match best {
+                None => true,
+                Some(b) => (f.body_end - f.body_start) < (fns[b].body_end - fns[b].body_start),
+            };
+            if tighter {
+                best = Some(i);
+            }
+        }
+    }
+    best
+}
+
+/// A call-graph node key: functions are merged per `(crate, name)` —
+/// impl blocks are not resolved, so same-name functions in one crate
+/// share a node (a documented over-approximation).
+type FnKey = (String, String);
+
+#[derive(Debug, Default)]
+struct Node {
+    /// `(file_idx, def_line, is_entry_def, d4_allowed)` per definition.
+    defs: Vec<(usize, usize, bool, bool)>,
+    /// Taint sources inside any definition: `(file_idx, source)`.
+    sources: Vec<(usize, TaintSource)>,
+    /// Resolved callees: callee key → smallest call line (with the
+    /// caller file) for deterministic chain reconstruction.
+    callees: BTreeMap<FnKey, (usize, usize)>,
+}
+
+/// Runs the D4 analysis over per-file summaries and appends
+/// violations to `report`.
+pub fn check_taint(
+    files: &[FileSummary],
+    crate_deps: &BTreeMap<String, BTreeSet<String>>,
+    report: &mut Report,
+) {
+    let workspace_crates: BTreeSet<&str> = files.iter().map(|f| f.crate_name.as_str()).collect();
+
+    // Index: simple fn name → set of crates defining it.
+    let mut by_name: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for f in files {
+        if f.kind != TargetKind::Lib {
+            continue;
+        }
+        for func in &f.fns {
+            if !func.in_test {
+                by_name
+                    .entry(func.name.as_str())
+                    .or_default()
+                    .insert(f.crate_name.as_str());
+            }
+        }
+    }
+
+    // Build nodes.
+    let mut nodes: BTreeMap<FnKey, Node> = BTreeMap::new();
+    for (file_idx, f) in files.iter().enumerate() {
+        if f.kind != TargetKind::Lib {
+            continue;
+        }
+        let import_map: BTreeMap<&str, &UseImport> =
+            f.uses.iter().map(|u| (u.name.as_str(), u)).collect();
+        for func in &f.fns {
+            if func.in_test {
+                continue;
+            }
+            let key: FnKey = (f.crate_name.clone(), func.name.clone());
+            let node = nodes.entry(key).or_default();
+            let is_entry_def = func.is_pub && ENTRY_CRATES.contains(&f.crate_name.as_str());
+            node.defs
+                .push((file_idx, func.def_line, is_entry_def, func.d4_allowed));
+            for s in &func.sources {
+                node.sources.push((file_idx, s.clone()));
+            }
+            for call in &func.calls {
+                for callee_crate in resolve_call(
+                    call,
+                    &f.crate_name,
+                    &import_map,
+                    &by_name,
+                    &workspace_crates,
+                    crate_deps,
+                ) {
+                    let Some(callee_name) = call.path.last() else {
+                        continue;
+                    };
+                    let callee_key: FnKey = (callee_crate, callee_name.clone());
+                    let entry = node
+                        .callees
+                        .entry(callee_key)
+                        .or_insert((file_idx, call.line));
+                    if call.line < entry.1 {
+                        *entry = (file_idx, call.line);
+                    }
+                }
+            }
+        }
+    }
+
+    // Reverse adjacency.
+    let mut callers: BTreeMap<&FnKey, BTreeSet<&FnKey>> = BTreeMap::new();
+    for (key, node) in &nodes {
+        for callee in node.callees.keys() {
+            if nodes.contains_key(callee) {
+                callers.entry(callee).or_default().insert(key);
+            }
+        }
+    }
+
+    // Multi-source BFS from seeded nodes toward callers. `via` records
+    // the deterministic next hop toward the nearest source.
+    let mut dist: BTreeMap<&FnKey, (usize, Option<&FnKey>)> = BTreeMap::new();
+    let mut frontier: Vec<&FnKey> = nodes
+        .iter()
+        .filter(|(_, n)| !n.sources.is_empty())
+        .map(|(k, _)| k)
+        .collect();
+    for k in &frontier {
+        dist.insert(k, (0, None));
+    }
+    while !frontier.is_empty() {
+        let mut next: Vec<&FnKey> = Vec::new();
+        for callee in frontier {
+            let d = dist[&callee].0;
+            if let Some(cs) = callers.get(&callee) {
+                for caller in cs {
+                    dist.entry(caller).or_insert_with(|| {
+                        next.push(caller);
+                        (d + 1, Some(callee))
+                    });
+                }
+            }
+        }
+        next.sort();
+        next.dedup();
+        frontier = next;
+    }
+
+    // Report tainted entry points.
+    for (key, node) in &nodes {
+        let Some(&(d, _)) = dist.get(key) else {
+            continue;
+        };
+        let entry_defs: Vec<_> = node
+            .defs
+            .iter()
+            .filter(|(_, _, is_entry, allowed)| *is_entry && !allowed)
+            .collect();
+        let Some(&&(def_file, def_line, _, _)) = entry_defs.first() else {
+            continue;
+        };
+        if d == 0 {
+            // Depth 0: the entry contains the source itself. Wall
+            // clock, entropy, and spawns are D2/D3's findings; hash
+            // iteration in D1-governed crates is D1's. Only
+            // hash-order sources in the metric crates are D4's alone.
+            let direct_hash = node.sources.iter().any(|(_, s)| {
+                s.kind == TaintKind::HashOrder && !D1_CRATES.contains(&key.0.as_str())
+            });
+            if !direct_hash {
+                continue;
+            }
+        }
+        let chain = render_chain(key, node, &nodes, &dist, files);
+        report.violations.push(Violation {
+            file: files[def_file].path.clone(),
+            line: def_line,
+            rule: Rule::D4,
+            message: format!(
+                "public entry point `{}` can transitively reach nondeterminism: {chain} — \
+                 make the sink order-insensitive (sort / BTree collections / seeded RNG) or \
+                 justify the source line with lint:allow(D4)",
+                key.1
+            ),
+        });
+    }
+}
+
+/// Renders `entry -> hop (file:line) -> … : source at file:line`.
+fn render_chain(
+    entry: &FnKey,
+    entry_node: &Node,
+    nodes: &BTreeMap<FnKey, Node>,
+    dist: &BTreeMap<&FnKey, (usize, Option<&FnKey>)>,
+    files: &[FileSummary],
+) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut key = entry;
+    let mut node = entry_node;
+    loop {
+        let (file_idx, def_line, _, _) = node.defs[0];
+        parts.push(format!(
+            "{}() ({}:{})",
+            key.1,
+            files[file_idx].path.display(),
+            def_line
+        ));
+        match dist.get(key).and_then(|&(_, via)| via) {
+            Some(next) => {
+                key = next;
+                node = &nodes[next];
+            }
+            None => break,
+        }
+    }
+    // The BFS only reaches nodes whose chain ends at a seeded node, so
+    // `sources` is non-empty here; the fallback keeps the walk total.
+    let Some(source) = node.sources.iter().min_by_key(|(f, s)| (*f, s.line)) else {
+        return parts.join(" -> ");
+    };
+    format!(
+        "{} -> {} at {}:{}",
+        parts.join(" -> "),
+        source.1.what,
+        files[source.0].path.display(),
+        source.1.line
+    )
+}
+
+/// Resolves one call site to the set of workspace crates that may
+/// define the callee.
+fn resolve_call(
+    call: &CallSite,
+    caller_crate: &str,
+    imports: &BTreeMap<&str, &UseImport>,
+    by_name: &BTreeMap<&str, BTreeSet<&str>>,
+    workspace_crates: &BTreeSet<&str>,
+    crate_deps: &BTreeMap<String, BTreeSet<String>>,
+) -> Vec<String> {
+    let Some(name) = call.path.last().map(String::as_str) else {
+        return Vec::new();
+    };
+    let Some(defining) = by_name.get(name) else {
+        return Vec::new();
+    };
+    let visible = |c: &str| {
+        c == caller_crate
+            || crate_deps.is_empty()
+            || crate_deps
+                .get(caller_crate)
+                .is_some_and(|deps| deps.contains(c))
+    };
+    // Fully-qualified path or an import naming the first segment.
+    let mut path = call.path.clone();
+    if path.len() == 1 {
+        if let Some(u) = imports.get(name) {
+            path = u.path.clone();
+        }
+    } else if let Some(u) = imports.get(path[0].as_str()) {
+        let mut full = u.path.clone();
+        full.extend_from_slice(&path[1..]);
+        path = full;
+    }
+    if path.len() > 1 {
+        let root = path[0].as_str();
+        if EXTERNAL_ROOTS.contains(&root) {
+            return Vec::new();
+        }
+        let as_crate = root.replace('_', "-");
+        if workspace_crates.contains(as_crate.as_str()) {
+            return if defining.contains(as_crate.as_str()) && visible(&as_crate) {
+                vec![as_crate]
+            } else {
+                Vec::new()
+            };
+        }
+        if matches!(root, "crate" | "self" | "super" | "Self") {
+            return if defining.contains(caller_crate) {
+                vec![caller_crate.to_owned()]
+            } else {
+                Vec::new()
+            };
+        }
+        // Unresolvable qualifier (local module, local type): within
+        // the caller's crate only.
+        return if defining.contains(caller_crate) {
+            vec![caller_crate.to_owned()]
+        } else {
+            Vec::new()
+        };
+    }
+    // Bare or method call: the caller's crate, plus (for methods) its
+    // workspace dependencies — receiver types are not resolved, so
+    // method calls over-approximate across the dep edge.
+    let mut out: Vec<String> = Vec::new();
+    if defining.contains(caller_crate) {
+        out.push(caller_crate.to_owned());
+    }
+    if call.method {
+        for &c in defining.iter() {
+            if c != caller_crate && visible(c) {
+                out.push(c.to_owned());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn summarize(path: &str, text: &str) -> FileSummary {
+        let src = SourceFile::parse(PathBuf::from(path), text);
+        crate::analyze_file(&src, &crate::Config::default())
+    }
+
+    fn d4(files: &[FileSummary]) -> Vec<Violation> {
+        let mut report = Report::default();
+        check_taint(files, &BTreeMap::new(), &mut report);
+        report.violations
+    }
+
+    #[test]
+    fn hash_typed_names_are_collected() {
+        let src = SourceFile::parse(
+            PathBuf::from("crates/analysis/src/x.rs"),
+            "struct S {\n    recent: HashMap<u32, u32>,\n}\nfn f() {\n    let mut times: HashMap<u32, u32> = HashMap::new();\n    let seen = HashSet::new();\n    let plain: Vec<u32> = vec![];\n}\n",
+        );
+        let names = hash_typed_names(&src);
+        assert!(names.contains("recent"));
+        assert!(names.contains("times"));
+        assert!(names.contains("seen"));
+        assert!(!names.contains("plain"));
+    }
+
+    #[test]
+    fn direct_hash_iteration_in_metric_entry_fires_depth_zero() {
+        let f = summarize(
+            "crates/analysis/src/x.rs",
+            "pub fn shares() -> Vec<u32> {\n    let counts: HashMap<u32, u32> = HashMap::new();\n    counts.values().copied().collect()\n}\n",
+        );
+        let vs = d4(&[f]);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, Rule::D4);
+        assert!(vs[0].message.contains("counts.values"), "{}", vs[0].message);
+    }
+
+    #[test]
+    fn transitive_chain_across_crates_is_reported_with_path() {
+        let helper = summarize(
+            "crates/trace/src/helper.rs",
+            "pub fn leak() -> Vec<u32> {\n    let m: HashMap<u32, u32> = HashMap::new();\n    m.keys().copied().collect()\n}\n",
+        );
+        let entry = summarize(
+            "crates/analysis/src/entry.rs",
+            "use magellan_trace::helper::leak;\npub fn study() -> Vec<u32> {\n    leak()\n}\n",
+        );
+        let vs = d4(&[helper, entry]);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        let m = &vs[0].message;
+        assert!(m.contains("study()"), "{m}");
+        assert!(m.contains("leak()"), "{m}");
+        assert!(m.contains("crates/trace/src/helper.rs:3"), "{m}");
+    }
+
+    #[test]
+    fn sorted_after_collect_is_justified_with_allow() {
+        let f = summarize(
+            "crates/analysis/src/x.rs",
+            "pub fn ordered() -> Vec<u32> {\n    let m: HashMap<u32, u32> = HashMap::new();\n    // lint:allow(D4): keys collected then sorted before use\n    let mut v: Vec<u32> = m.keys().copied().collect();\n    v.sort();\n    v\n}\n",
+        );
+        assert!(d4(&[f]).is_empty());
+    }
+
+    #[test]
+    fn point_lookups_do_not_seed() {
+        let f = summarize(
+            "crates/analysis/src/x.rs",
+            "pub fn lookup(k: u32) -> bool {\n    let m: HashSet<u32> = HashSet::new();\n    m.contains(&k)\n}\n",
+        );
+        assert!(d4(&[f]).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_depth_zero_left_to_d2_but_transitive_fires() {
+        // Depth 0: D2's finding, not D4's.
+        let direct = summarize(
+            "crates/graph/src/x.rs",
+            "pub fn t() -> u64 {\n    let _ = std::time::Instant::now();\n    0\n}\n",
+        );
+        assert!(d4(&[direct]).is_empty());
+        // Transitive through a private helper: D4's finding.
+        let chained = summarize(
+            "crates/graph/src/y.rs",
+            "pub fn outer() -> u64 {\n    inner()\n}\nfn inner() -> u64 {\n    let _ = std::time::Instant::now();\n    0\n}\n",
+        );
+        let vs = d4(&[chained]);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("Instant::now"), "{}", vs[0].message);
+    }
+
+    #[test]
+    fn dep_graph_gates_method_resolution() {
+        let helper = summarize(
+            "crates/trace/src/h.rs",
+            "pub fn snap(&self) -> u32 {\n    let m: HashMap<u32, u32> = HashMap::new();\n    for v in m.values() { return *v; }\n    0\n}\n",
+        );
+        let entry = summarize(
+            "crates/overlay/src/e.rs",
+            "pub fn run(x: &X) -> u32 {\n    x.snap()\n}\n",
+        );
+        // With overlay -> trace in the dep graph, the method call
+        // resolves and the chain fires.
+        let mut deps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        deps.insert(
+            "magellan-overlay".into(),
+            ["magellan-trace".to_owned()].into_iter().collect(),
+        );
+        deps.insert("magellan-trace".into(), BTreeSet::new());
+        let mut report = Report::default();
+        check_taint(&[helper.clone(), entry.clone()], &deps, &mut report);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        // Without the dep edge, the method call cannot target trace.
+        let mut no_edge: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        no_edge.insert("magellan-overlay".into(), BTreeSet::new());
+        no_edge.insert("magellan-trace".into(), BTreeSet::new());
+        let mut report = Report::default();
+        check_taint(&[helper, entry], &no_edge, &mut report);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn entry_allow_waives_one_entry_point() {
+        let f = summarize(
+            "crates/analysis/src/x.rs",
+            "// lint:allow(D4): exposition only, output unordered by contract\npub fn unordered() -> Vec<u32> {\n    let m: HashMap<u32, u32> = HashMap::new();\n    m.values().copied().collect()\n}\n",
+        );
+        assert!(d4(&[f]).is_empty());
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let f = summarize(
+            "crates/graph/src/x.rs",
+            "pub fn a() { b() }\npub fn b() { a(); c() }\nfn c() {\n    let m: HashSet<u32> = HashSet::new();\n    for v in &m { let _ = v; }\n}\n",
+        );
+        let vs = d4(&[f]);
+        assert_eq!(vs.len(), 2, "{vs:?}"); // a and b both tainted
+    }
+}

@@ -1,10 +1,13 @@
 //! Workspace discovery: which files get linted and where the root is.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Directories never descended into, wherever they appear.
-const SKIP_DIRS: [&str; 4] = ["target", ".git", "vendor", "node_modules"];
+/// Directories never descended into, wherever they appear. `fixtures`
+/// holds the lint suite's golden-file trees, which contain deliberate
+/// violations and must never be scanned as workspace code.
+const SKIP_DIRS: [&str; 5] = ["target", ".git", "vendor", "node_modules", "fixtures"];
 
 /// Walks the workspace and returns every lintable `.rs` path, sorted,
 /// relative to `root`.
@@ -67,6 +70,60 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     None
 }
 
+/// Parses the workspace crate dependency graph (`crate -> direct
+/// magellan-* deps`) from `crates/*/Cargo.toml` plus the root
+/// manifest's `[dependencies]` (the `magellan` facade package).
+///
+/// Line-based on purpose: the manifests are workspace-controlled and
+/// rustfmt-regular, and a missing edge only makes rule D4 *miss* a
+/// cross-crate resolution, never false-positive. Unreadable manifests
+/// are skipped (the caller falls back to fully connected resolution
+/// when the map comes back empty).
+pub fn parse_crate_deps(root: &Path) -> BTreeMap<String, BTreeSet<String>> {
+    let mut deps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut manifests: Vec<(String, PathBuf)> =
+        vec![("magellan".to_owned(), root.join("Cargo.toml"))];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let name = dir
+                .file_name()
+                .map(|n| format!("magellan-{}", n.to_string_lossy()))
+                .unwrap_or_default();
+            manifests.push((name, dir.join("Cargo.toml")));
+        }
+    }
+    for (crate_name, manifest) in manifests {
+        let Ok(text) = std::fs::read_to_string(&manifest) else {
+            continue;
+        };
+        let entry = deps.entry(crate_name).or_default();
+        let mut in_deps = false;
+        for line in text.lines() {
+            let t = line.trim();
+            if t.starts_with('[') {
+                in_deps = t == "[dependencies]" || t == "[dev-dependencies]";
+                continue;
+            }
+            if !in_deps || !t.starts_with("magellan") {
+                continue;
+            }
+            let dep: String = t
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '-' || *c == '_')
+                .collect();
+            if !dep.is_empty() {
+                entry.insert(dep);
+            }
+        }
+    }
+    deps
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +146,18 @@ mod tests {
         sorted.sort();
         assert_eq!(files, sorted);
         assert!(files.iter().any(|p| p.ends_with("crates/lint/src/walk.rs")));
+    }
+
+    #[test]
+    fn dep_graph_has_known_edges() {
+        let here = std::env::current_dir().expect("cwd");
+        let root = find_workspace_root(&here).expect("workspace root");
+        let deps = parse_crate_deps(&root);
+        let analysis = deps.get("magellan-analysis").expect("analysis crate");
+        assert!(analysis.contains("magellan-trace"), "{analysis:?}");
+        assert!(analysis.contains("magellan-graph"), "{analysis:?}");
+        // No back-edge: the graph crate never depends on analysis.
+        let graph = deps.get("magellan-graph").expect("graph crate");
+        assert!(!graph.contains("magellan-analysis"), "{graph:?}");
     }
 }

@@ -1,0 +1,16 @@
+//! Figure pipeline that leaks hash order *transitively*: the public
+//! entry point below never touches a hash collection itself, yet D4
+//! must report it with the full chain into `magellan-trace`.
+
+use magellan_trace::store::freshest_reports;
+
+/// Sums report ids in store order — order-dependent through the
+/// helper crate (D4, depth 1).
+pub fn total_report_id() -> u32 {
+    freshest_reports().iter().sum()
+}
+
+/// Exact comparison on a computed float (C2).
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0
+}

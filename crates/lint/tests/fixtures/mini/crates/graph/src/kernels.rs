@@ -1,0 +1,18 @@
+//! CSR-style kernel with one unchecked index (C4) and needle-shaped
+//! distractors in comments and strings that must stay inert.
+
+/* The needles below live inside a nested block comment:
+   /* inner comment: SystemTime::now() and thread::spawn(...) */
+   still inside the outer comment: reports.keys().copied()
+*/
+
+/// Row length of `off` — the `i + 1` is deliberately unchecked (C4).
+pub fn row_len(off: &[usize], i: usize) -> usize {
+    off[i + 1] - off[i]
+}
+
+/// Raw strings keep their needles: the stripper must blank them, so
+/// neither the fake source nor the fake hash iteration fires.
+pub fn banner() -> &'static str {
+    r#"fake "source": SystemTime::now(); reports.values().count()"#
+}

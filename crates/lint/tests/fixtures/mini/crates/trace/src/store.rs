@@ -1,0 +1,13 @@
+//! Report store with a deliberate hash-order leak: the taint source
+//! end of the cross-crate D4 chain asserted by the golden test.
+
+use std::collections::HashMap;
+
+// lint:allow(D9): names a rule that does not exist, so M1 fires
+
+/// Returns stored report ids in whatever order the map yields them —
+/// the seed of the transitive chain reported in `magellan-analysis`.
+pub fn freshest_reports() -> Vec<u32> {
+    let reports: HashMap<u32, u32> = HashMap::new();
+    reports.keys().copied().collect()
+}

@@ -96,6 +96,38 @@ fn injected_budget_overrun_is_detected() {
 }
 
 #[test]
+fn injected_transitive_taint_is_detected() {
+    // The entry point itself is hash-free; the taint sits in a private
+    // helper, so only the call-graph pass (D4) can see it.
+    let src = parse(
+        "crates/analysis/src/injected.rs",
+        "pub fn entry() -> Vec<u32> {\n    helper()\n}\nfn helper() -> Vec<u32> {\n    let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();\n    m.keys().copied().collect()\n}\n",
+    );
+    let ids = rule_ids(&[src], &Config::default());
+    assert!(ids.contains(&"D4".to_owned()), "got {ids:?}");
+}
+
+#[test]
+fn injected_lock_is_detected() {
+    let src = parse(
+        "crates/netsim/src/injected.rs",
+        "pub fn f() -> bool {\n    let m: std::sync::Mutex<u32> = std::sync::Mutex::new(0);\n    m.lock().is_ok()\n}\n",
+    );
+    let ids = rule_ids(&[src], &Config::default());
+    assert!(ids.contains(&"P1".to_owned()), "got {ids:?}");
+}
+
+#[test]
+fn injected_index_arithmetic_is_detected() {
+    let src = parse(
+        "crates/graph/src/injected.rs",
+        "pub fn row(off: &[usize], i: usize) -> usize {\n    off[i + 1]\n}\n",
+    );
+    let ids = rule_ids(&[src], &Config::default());
+    assert!(ids.contains(&"C4".to_owned()), "got {ids:?}");
+}
+
+#[test]
 fn injected_missing_headers_are_detected() {
     let src = parse("crates/graph/src/lib.rs", "//! Docs.\n\npub mod x;\n");
     let ids = rule_ids(&[src], &Config::default());

@@ -11,7 +11,7 @@ use crate::report::{PeerReport, REPORT_INTERVAL};
 use crate::store::TraceStore;
 use magellan_netsim::{PeerAddr, SimDuration, SimTime};
 use magellan_workload::ChannelId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A reconstructed view of the overlay at one instant.
 #[derive(Debug, Clone)]
@@ -19,8 +19,10 @@ pub struct Snapshot<'a> {
     /// The reconstruction instant.
     pub time: SimTime,
     /// The freshest report of each stable peer (report within the
-    /// staleness horizon), keyed by reporter address.
-    reports: HashMap<PeerAddr, &'a PeerReport>,
+    /// staleness horizon), keyed by reporter address. A `BTreeMap` so
+    /// every iterator below yields address order — snapshot consumers
+    /// feed figure pipelines where hash order would leak into bytes.
+    reports: BTreeMap<PeerAddr, &'a PeerReport>,
 }
 
 impl<'a> Snapshot<'a> {
@@ -29,7 +31,7 @@ impl<'a> Snapshot<'a> {
         self.reports.len()
     }
 
-    /// The stable peers' reports (iteration order unspecified).
+    /// The stable peers' reports, in ascending address order.
     pub fn reports(&self) -> impl Iterator<Item = &'a PeerReport> + '_ {
         self.reports.values().copied()
     }
@@ -99,7 +101,7 @@ impl<'a> SnapshotBuilder<'a> {
     pub fn at(&self, t: SimTime) -> Snapshot<'a> {
         let start = t - self.staleness + SimDuration::from_millis(1);
         let end = t + SimDuration::from_millis(1); // inclusive of t
-        let mut freshest: HashMap<PeerAddr, &'a PeerReport> = HashMap::new();
+        let mut freshest: BTreeMap<PeerAddr, &'a PeerReport> = BTreeMap::new();
         for r in self.store.range(start, end) {
             match freshest.get(&r.addr) {
                 Some(prev) if prev.time >= r.time => {}

@@ -6,23 +6,41 @@
 # The two advisory clippy lints (unwrap_used, indexing_slicing) are
 # allowed here on purpose: their enforced counterpart is magellan-lint's
 # budgeted C1 rule — see DESIGN.md §9.
+#
+# Every stage prints a banner; on failure the trap below names the
+# stage that died, so CI logs point straight at the culprit.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
+STAGE="startup"
+trap 'status=$?; if [ "$status" -ne 0 ]; then echo "==> FAILED at stage: ${STAGE} (exit ${status})" >&2; fi' EXIT
+
+stage() {
+    STAGE="$1"
+    echo
+    echo "=================================================================="
+    echo "==> stage: ${STAGE}"
+    echo "=================================================================="
+}
+
+stage "cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> cargo clippy (warnings denied)"
+stage "cargo clippy (warnings denied)"
 cargo clippy --workspace --all-targets -- \
     -D warnings \
     -A clippy::unwrap_used \
     -A clippy::indexing_slicing
 
-echo "==> magellan-lint"
-cargo run -q -p magellan-lint
+stage "magellan-lint"
+# Human report on stdout; SARIF written for the CI code-scanning
+# artifact (target/ is gitignored, so local runs stay clean).
+mkdir -p target
+cargo run -q -p magellan-lint -- --format sarif --output target/magellan-lint.sarif
 
-echo "==> cargo test"
+stage "cargo test"
 cargo test -q --workspace
 
+stage "done"
 echo "==> all checks passed"
