@@ -160,6 +160,10 @@ pub struct DegreeSnapshot {
     pub label: String,
     /// Capture instant.
     pub time: SimTime,
+    /// Fraction of the staleness horizon with the collection server
+    /// up (1.0 when no outage overlapped; below 1.0 the capture
+    /// under-counts and must be read with that caveat).
+    pub coverage: f64,
     /// Total-partner-count distribution (Fig. 4A).
     pub partners: DegreeHistogram,
     /// Active-indegree distribution (Fig. 4B).
@@ -184,9 +188,14 @@ impl Fig4Distributions {
     pub fn render_text(&self) -> String {
         let mut out = String::from("Fig 4 — degree distributions of stable peers\n");
         for s in &self.snapshots {
+            let partial = if s.coverage < 1.0 {
+                format!(" | PARTIAL coverage={:.2}", s.coverage)
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
-                "  [{}] n={} | partners spike={:?} mean={:.1} | indegree spike={:?} p99={:?} | outdegree spike={:?}",
+                "  [{}] n={} | partners spike={:?} mean={:.1} | indegree spike={:?} p99={:?} | outdegree spike={:?}{partial}",
                 s.label,
                 s.partners.total(),
                 s.partners.spike(),
@@ -394,6 +403,18 @@ impl Fig8Reciprocity {
     }
 }
 
+/// A sample boundary whose measurement horizon overlapped a trace
+/// server outage. The figure pipelines skip these instants instead of
+/// silently averaging over the hole; this record keeps the hole
+/// visible in the report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartialSample {
+    /// The sample instant that was skipped.
+    pub time: SimTime,
+    /// Fraction of the staleness horizon the server was up (< 1.0).
+    pub coverage: f64,
+}
+
 /// Everything one study run produces.
 #[derive(Debug, Clone, Default)]
 pub struct StudyReport {
@@ -420,6 +441,16 @@ pub struct StudyReport {
     /// Observed stable-session statistics (reconstructed from report
     /// runs — the measurement-side view of peer lifetimes).
     pub sessions: Option<crate::sessions::SessionSummary>,
+    /// Sample instants excluded from the figure averages because a
+    /// trace-server outage ate into their staleness horizon.
+    pub partial_samples: Vec<PartialSample>,
+    /// Collection-endpoint statistics when the study ran through a
+    /// real [`magellan_trace::TraceServer`] (None for the in-process
+    /// sink path).
+    pub collection: Option<magellan_trace::ServerStats>,
+    /// Lossy-channel statistics when datagram loss/corruption was
+    /// injected between peers and the server.
+    pub loss: Option<magellan_trace::loss::LossStats>,
 }
 
 impl StudyReport {
@@ -445,6 +476,47 @@ impl StudyReport {
                 out,
                 "Stable sessions — {} observed | mean {:.0} min | median {:.0} min | p90 {:.0} min",
                 s.sessions, s.mean_mins, s.median_mins, s.p90_mins
+            );
+        }
+        let f = &self.sim.faults;
+        let _ = writeln!(
+            out,
+            "Faults — crashes {} | tracker denials {} | bootstrap retries {} (recovered {}) | gossip fallbacks {} | partner timeouts {} | links blocked {} | flows blocked {} | reports lost {}",
+            f.crashes,
+            f.tracker_denied_joins,
+            f.bootstrap_retries,
+            f.bootstrap_recoveries,
+            f.gossip_fallbacks,
+            f.partner_timeouts,
+            f.links_blocked,
+            f.flows_blocked,
+            f.reports_lost
+        );
+        if !self.partial_samples.is_empty() {
+            let min_cov = self
+                .partial_samples
+                .iter()
+                .map(|p| p.coverage)
+                .fold(1.0, f64::min);
+            let _ = writeln!(
+                out,
+                "  {} sample(s) flagged PARTIAL (min coverage {:.2}) and excluded from figure averages",
+                self.partial_samples.len(),
+                min_cov
+            );
+        }
+        if let Some(cs) = &self.collection {
+            let _ = writeln!(
+                out,
+                "Collection — accepted {} | rejected {} | bounced (server down) {} | duplicates absorbed {}",
+                cs.accepted, cs.rejected, cs.unavailable, cs.duplicates
+            );
+        }
+        if let Some(ls) = &self.loss {
+            let _ = writeln!(
+                out,
+                "Datagram channel — sent {} | delivered {} | dropped {} | corrupted {} | rejected by server {}",
+                ls.sent, ls.delivered, ls.dropped, ls.corrupted, ls.rejected_by_server
             );
         }
         out
@@ -516,6 +588,7 @@ mod tests {
         let snap = DegreeSnapshot {
             label: "test".into(),
             time: SimTime::at(0, 9, 0),
+            coverage: 1.0,
             partners: [10usize, 10, 12].into_iter().collect::<DegreeHistogram>(),
             indegree: [5usize, 6, 7].into_iter().collect(),
             outdegree: [3usize, 3, 4].into_iter().collect(),

@@ -9,7 +9,7 @@
 //! the active-link topology, and appends one point to each figure's
 //! series.
 
-use crate::figures::{DegreeSnapshot, StudyReport};
+use crate::figures::{DegreeSnapshot, PartialSample, StudyReport};
 use crate::graphs::{
     active_link_graph, inter_isp_link_graph, intra_isp_degree_fractions, intra_isp_link_graph,
     intra_isp_pool_fraction, isp_share_baseline, isp_subgraph, NodeScope,
@@ -22,10 +22,12 @@ use magellan_graph::reciprocity::{
 };
 use magellan_graph::smallworld::{assess, assess_csr, SmallWorldConfig, SmallWorldReport};
 use magellan_graph::{Csr, DegreeHistogram};
-use magellan_netsim::{Isp, IspDatabase, PeerAddr, SimDuration, SimTime, StudyCalendar};
+use magellan_netsim::{
+    uncovered_fraction, Isp, IspDatabase, PeerAddr, SimDuration, SimTime, StudyCalendar,
+};
 use magellan_overlay::{OverlaySim, SimConfig};
 use magellan_trace::PeerReport;
-use magellan_workload::Scenario;
+use magellan_workload::{FaultPlan, Scenario};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Configuration of one study run.
@@ -59,6 +61,12 @@ pub struct StudyConfig {
     pub channels: Option<magellan_workload::ChannelDirectory>,
     /// Protocol/simulator parameters.
     pub sim: SimConfig,
+    /// Scheduled faults (default: none). Tracker/server outages,
+    /// crash waves, partitions and report loss run inside the
+    /// simulator; the `server_outages` schedule additionally marks
+    /// analysis samples whose staleness horizon overlaps an outage as
+    /// partial, in both the live and the replay path.
+    pub faults: FaultPlan,
 }
 
 impl Default for StudyConfig {
@@ -80,6 +88,7 @@ impl Default for StudyConfig {
             flash_crowds: None,
             channels: None,
             sim: SimConfig::default(),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -95,6 +104,9 @@ impl StudyConfig {
         }
         if let Some(channels) = &self.channels {
             b = b.channels(channels.clone());
+        }
+        if !self.faults.is_empty() {
+            b = b.faults(self.faults.clone());
         }
         b.build()
     }
@@ -437,14 +449,32 @@ impl Accumulator {
             .collect();
         stable.sort_by_key(|r| r.addr);
 
+        // Fraction of this boundary's horizon with the collection
+        // server up. Derived from the configured outage schedule — not
+        // from the report stream — so the live and replay paths mark
+        // the same boundaries partial and stay byte-identical.
+        let coverage = uncovered_fraction(
+            &self.cfg.faults.server_outages,
+            floor + SimDuration::from_millis(1),
+            at + SimDuration::from_millis(1),
+        );
         if b.sample {
-            self.sample_population(at, &stable);
-            self.sample_quality(at, &stable);
-            self.sample_degrees(at, &stable);
-            self.sample_graph_metrics(at, &stable);
+            if coverage < 1.0 {
+                // A server outage ate into this horizon: the stable
+                // set is a known undercount. Record the hole instead
+                // of averaging over it.
+                self.report
+                    .partial_samples
+                    .push(PartialSample { time: at, coverage });
+            } else {
+                self.sample_population(at, &stable);
+                self.sample_quality(at, &stable);
+                self.sample_degrees(at, &stable);
+                self.sample_graph_metrics(at, &stable);
+            }
         }
         if let Some(ci) = b.capture {
-            self.capture_degree_distribution(ci, at, &stable);
+            self.capture_degree_distribution(ci, at, coverage, &stable);
         }
     }
 
@@ -614,7 +644,13 @@ impl Accumulator {
         }
     }
 
-    fn capture_degree_distribution(&mut self, ci: usize, at: SimTime, stable: &[PeerReport]) {
+    fn capture_degree_distribution(
+        &mut self,
+        ci: usize,
+        at: SimTime,
+        coverage: f64,
+        stable: &[PeerReport],
+    ) {
         let label = self.cfg.degree_captures[ci].0.clone();
         let mut partners = DegreeHistogram::new();
         let mut indegree = DegreeHistogram::new();
@@ -630,6 +666,7 @@ impl Accumulator {
         self.report.fig4.snapshots.push(DegreeSnapshot {
             label,
             time: at,
+            coverage,
             partners,
             indegree,
             outdegree,
@@ -730,6 +767,40 @@ mod tests {
             offline.sessions.map(|s| s.sessions),
             live.sessions.map(|s| s.sessions)
         );
+    }
+
+    #[test]
+    fn server_outage_marks_samples_partial_in_live_and_replay() {
+        use magellan_netsim::FaultWindow;
+        let clean = MagellanStudy::new(quick_config()).run();
+        let mut cfg = quick_config();
+        cfg.faults.server_outages = vec![FaultWindow::new(
+            SimTime::at(0, 9, 0),
+            SimTime::at(0, 13, 0),
+        )];
+        let faulty = MagellanStudy::new(cfg.clone()).run();
+        assert!(
+            !faulty.partial_samples.is_empty(),
+            "no sample flagged partial"
+        );
+        assert!(faulty
+            .partial_samples
+            .iter()
+            .all(|p| (0.0..1.0).contains(&p.coverage)));
+        assert!(
+            faulty.fig1a.stable.len() < clean.fig1a.stable.len(),
+            "partial samples were not excluded from the series"
+        );
+        // The replay path over the collected (buffered + retransmitted)
+        // trace marks exactly the same holes.
+        let scenario = cfg.scenario();
+        let mut sim = magellan_overlay::OverlaySim::new(scenario, cfg.sim.clone());
+        let db = sim.isp_database().clone();
+        let (store, _) = sim.run_collecting().expect("run succeeds");
+        let offline = MagellanStudy::new(cfg).analyze_trace(&store, &db);
+        assert_eq!(offline.partial_samples, faulty.partial_samples);
+        assert_eq!(offline.fig1a.stable.points, faulty.fig1a.stable.points);
+        assert_eq!(offline.fig5.indegree.points, faulty.fig5.indegree.points);
     }
 
     #[test]

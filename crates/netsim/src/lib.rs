@@ -18,7 +18,9 @@
 //!   intra-ISP paths are systematically better than inter-ISP ones
 //!   (the mechanism behind the paper's "natural clustering");
 //! * [`capacity`] — access-link classes (ADSL, cable, Ethernet,
-//!   campus) with upload/download capacity distributions.
+//!   campus) with upload/download capacity distributions;
+//! * [`partition`] — fault windows and inter-ISP partitions, the
+//!   underlay primitives consumed by the fault-injection subsystem.
 
 //!
 //! ## Example
@@ -51,6 +53,7 @@ pub mod capacity;
 pub mod event;
 pub mod isp;
 pub mod link;
+pub mod partition;
 pub mod rng;
 pub mod time;
 
@@ -58,5 +61,6 @@ pub use capacity::{AccessClass, CapacityModel, PeerCapacity};
 pub use event::EventQueue;
 pub use isp::{AddrAllocator, Isp, IspDatabase, IspShares, PeerAddr};
 pub use link::{LinkModel, LinkQuality};
+pub use partition::{uncovered_fraction, FaultWindow, IspPartition};
 pub use rng::RngFactory;
 pub use time::{SimDuration, SimTime, StudyCalendar, Weekday};

@@ -1,5 +1,6 @@
 //! Simulator configuration.
 
+use crate::error::ConfigError;
 use magellan_netsim::{CapacityModel, IspShares, LinkModel, SimDuration};
 
 /// All protocol and model parameters of the overlay simulation.
@@ -7,7 +8,7 @@ use magellan_netsim::{CapacityModel, IspShares, LinkModel, SimDuration};
 /// Defaults implement the UUSee protocol as §3.1 describes it; the
 /// `random_selection` / `disable_volunteer` switches exist for the
 /// ablation benches that knock out one mechanism at a time.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Simulation tick. Transfers, selection, and gossip run per
     /// tick; reports follow their own 20/10-minute schedule. Must
@@ -73,6 +74,17 @@ pub struct SimConfig {
     /// ABLATION: disable the volunteer mechanism (tracker bootstraps
     /// from the whole membership instead).
     pub disable_volunteer: bool,
+    /// RESILIENCE: base bootstrap-retry delay in ticks when the
+    /// tracker is unreachable; successive failures back off
+    /// exponentially (doubling) up to `bootstrap_retry_cap_ticks`.
+    pub bootstrap_retry_ticks: u32,
+    /// RESILIENCE: cap on the exponential bootstrap-retry backoff, in
+    /// ticks.
+    pub bootstrap_retry_cap_ticks: u32,
+    /// RESILIENCE: consecutive silent ticks after which a partner is
+    /// declared dead (transfer timeout) and replaced — how crashed
+    /// peers are discovered, since they send no leave message.
+    pub partner_timeout_ticks: u32,
 }
 
 impl Default for SimConfig {
@@ -100,6 +112,9 @@ impl Default for SimConfig {
             tracker_locality_fraction: 0.0,
             random_selection: false,
             disable_volunteer: false,
+            bootstrap_retry_ticks: 1,
+            bootstrap_retry_cap_ticks: 16,
+            partner_timeout_ticks: 3,
         }
     }
 }
@@ -123,26 +138,79 @@ impl SimConfig {
 
     /// Validates internal consistency.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the tick does not divide the 10-minute report
-    /// interval, or when bounds are inconsistent (e.g. more suppliers
-    /// than partners).
-    pub fn validate(&self) {
+    /// Returns a [`ConfigError`] when the tick does not divide the
+    /// 10-minute report interval, when bounds are inconsistent (e.g.
+    /// more suppliers than partners), or when a fractional knob —
+    /// including [`tracker_locality_fraction`](Self::tracker_locality_fraction),
+    /// which parameterizes `BootstrapPolicy::locality_fraction` — is
+    /// outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         use magellan_trace::REPORT_INTERVAL;
-        assert!(
+        fn unit(what: &'static str, value: f64) -> Result<(), ConfigError> {
+            if value.is_finite() && (0.0..=1.0).contains(&value) {
+                Ok(())
+            } else {
+                Err(ConfigError::OutOfRange {
+                    what,
+                    value,
+                    lo: 0.0,
+                    hi: 1.0,
+                })
+            }
+        }
+        fn demand(ok: bool, what: &'static str) -> Result<(), ConfigError> {
+            if ok {
+                Ok(())
+            } else {
+                Err(ConfigError::Inconsistent { what })
+            }
+        }
+        demand(
             REPORT_INTERVAL.as_millis() % self.tick.as_millis() == 0,
-            "tick must divide the 10-minute report interval"
-        );
-        assert!(self.target_suppliers <= self.max_partners);
-        assert!(self.max_bootstrap_partners <= self.max_partners);
-        assert!(self.segment_kbits > 0.0);
-        assert!((0.0..=1.0).contains(&self.throughput_ewma));
-        assert!(self.sustain_ticks >= 1);
-        assert!(self.servers_per_channel >= 1);
-        assert!(self.gossip_target_partners <= self.max_partners);
-        assert!(self.request_concentration >= 1.0);
-        assert!((0.0..=1.0).contains(&self.tracker_locality_fraction));
+            "tick must divide the 10-minute report interval",
+        )?;
+        demand(
+            self.target_suppliers <= self.max_partners,
+            "target_suppliers exceeds max_partners",
+        )?;
+        demand(
+            self.max_bootstrap_partners <= self.max_partners,
+            "max_bootstrap_partners exceeds max_partners",
+        )?;
+        demand(
+            self.segment_kbits.is_finite() && self.segment_kbits > 0.0,
+            "segment_kbits must be positive",
+        )?;
+        unit("throughput_ewma", self.throughput_ewma)?;
+        demand(self.sustain_ticks >= 1, "sustain_ticks must be at least 1")?;
+        demand(
+            self.servers_per_channel >= 1,
+            "servers_per_channel must be at least 1",
+        )?;
+        demand(
+            self.gossip_target_partners <= self.max_partners,
+            "gossip_target_partners exceeds max_partners",
+        )?;
+        demand(
+            self.request_concentration.is_finite() && self.request_concentration >= 1.0,
+            "request_concentration must be at least 1",
+        )?;
+        unit("tracker_locality_fraction", self.tracker_locality_fraction)?;
+        demand(
+            self.bootstrap_retry_ticks >= 1,
+            "bootstrap_retry_ticks must be at least 1",
+        )?;
+        demand(
+            self.bootstrap_retry_cap_ticks >= self.bootstrap_retry_ticks,
+            "bootstrap_retry_cap_ticks below bootstrap_retry_ticks",
+        )?;
+        demand(
+            self.partner_timeout_ticks >= 1,
+            "partner_timeout_ticks must be at least 1",
+        )?;
+        Ok(())
     }
 }
 
@@ -152,7 +220,7 @@ mod tests {
 
     #[test]
     fn default_config_is_valid() {
-        SimConfig::default().validate();
+        SimConfig::default().validate().unwrap();
     }
 
     #[test]
@@ -166,23 +234,77 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "report interval")]
     fn tick_must_divide_report_interval() {
         let cfg = SimConfig {
             tick: SimDuration::from_mins(3),
             ..SimConfig::default()
         };
-        cfg.validate();
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("report interval"), "{err}");
     }
 
     #[test]
-    #[should_panic]
     fn suppliers_cannot_exceed_partners() {
         let cfg = SimConfig {
             target_suppliers: 100,
             max_partners: 50,
             ..SimConfig::default()
         };
-        cfg.validate();
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn locality_fraction_is_range_checked() {
+        for bad in [-0.1, 1.1, f64::NAN] {
+            let cfg = SimConfig {
+                tracker_locality_fraction: bad,
+                ..SimConfig::default()
+            };
+            assert!(
+                matches!(
+                    cfg.validate(),
+                    Err(ConfigError::OutOfRange { what, .. })
+                        if what == "tracker_locality_fraction"
+                ),
+                "accepted locality_fraction = {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn resilience_knobs_are_validated() {
+        let cfg = SimConfig {
+            bootstrap_retry_ticks: 0,
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = SimConfig {
+            bootstrap_retry_ticks: 8,
+            bootstrap_retry_cap_ticks: 4,
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = SimConfig {
+            partner_timeout_ticks: 0,
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn config_equality_detects_knob_changes() {
+        // `SimConfig` derives `PartialEq` so experiment harnesses can
+        // assert two runs really used the same protocol parameters.
+        let a = SimConfig::default();
+        let b = SimConfig::default();
+        assert_eq!(a, b);
+        let c = SimConfig {
+            partner_timeout_ticks: 5,
+            ..SimConfig::default()
+        };
+        assert_ne!(a, c);
     }
 }

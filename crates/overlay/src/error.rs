@@ -44,6 +44,47 @@ impl fmt::Display for TransferError {
 
 impl std::error::Error for TransferError {}
 
+/// A configuration value failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A numeric knob is outside its legal range.
+    OutOfRange {
+        /// Which knob failed.
+        what: &'static str,
+        /// The value it had.
+        value: f64,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+    /// Two or more knobs are mutually inconsistent.
+    Inconsistent {
+        /// What the inconsistency is.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::OutOfRange {
+                what,
+                value,
+                lo,
+                hi,
+            } => {
+                write!(f, "config {what} = {value} is outside [{lo}, {hi}]")
+            }
+            ConfigError::Inconsistent { what } => {
+                write!(f, "inconsistent config: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// A simulation run aborted.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {

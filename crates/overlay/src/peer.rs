@@ -38,6 +38,12 @@ pub struct PartnerLink {
     pub recv_interval: u64,
     /// When the connection was established.
     pub since: SimTime,
+    /// Consecutive maintenance ticks this partner has been silent
+    /// (its peer slot is gone — a crash or departure we were never
+    /// told about). At `SimConfig::partner_timeout_ticks` the link is
+    /// declared dead and removed; the delay models transfer-timeout
+    /// discovery, since crashed peers send no leave message.
+    pub stale_ticks: u32,
 }
 
 impl PartnerLink {
@@ -84,6 +90,12 @@ pub struct PeerState {
     pub volunteered: bool,
     /// Next report due (none for servers).
     pub next_report: Option<SimTime>,
+    /// Failed bootstrap attempts so far (tracker unreachable); drives
+    /// the capped exponential retry backoff.
+    pub bootstrap_attempts: u32,
+    /// Earliest tick index at which the next bootstrap retry may run
+    /// (0 = no retry pending).
+    pub next_bootstrap_tick: u64,
 }
 
 impl PeerState {
@@ -112,6 +124,8 @@ impl PeerState {
             starved_ticks: 0,
             volunteered: false,
             next_report: Some(joined + magellan_trace::FIRST_REPORT_DELAY),
+            bootstrap_attempts: 0,
+            next_bootstrap_tick: 0,
         }
     }
 
@@ -144,6 +158,8 @@ impl PeerState {
             starved_ticks: 0,
             volunteered: false,
             next_report: None,
+            bootstrap_attempts: 0,
+            next_bootstrap_tick: 0,
         }
     }
 
@@ -162,6 +178,7 @@ impl PeerState {
                 sent_interval: 0,
                 recv_interval: 0,
                 since: now,
+                stale_ticks: 0,
             },
         );
         true
@@ -534,6 +551,7 @@ mod tests {
             sent_interval: 0,
             recv_interval: 0,
             since: SimTime::ORIGIN,
+            stale_ticks: 0,
         };
         let far = PartnerLink {
             quality: quality(500.0, 400.0),
@@ -542,6 +560,7 @@ mod tests {
             sent_interval: 0,
             recv_interval: 0,
             since: SimTime::ORIGIN,
+            stale_ticks: 0,
         };
         assert!(near.score() > far.score());
     }

@@ -19,11 +19,42 @@ use crate::peer::{PeerId, PeerState};
 use crate::tracker::{BootstrapPolicy, Tracker};
 use crate::transfer;
 use magellan_netsim::{AddrAllocator, Isp, IspDatabase, PeerAddr, RngFactory, SimTime};
-use magellan_trace::{PeerReport, TraceServer, TraceStore, REPORT_INTERVAL};
-use magellan_workload::{ChannelId, JoinEvent, Scenario};
+use magellan_trace::{PeerReport, ReportUplink, TraceServer, TraceStore, REPORT_INTERVAL};
+use magellan_workload::{ChannelId, FaultPlan, JoinEvent, Scenario};
 use rand::rngs::StdRng;
 use rand::RngExt as _;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+/// Counters of injected faults and the resilience reactions they
+/// triggered; all zero when the scenario's [`FaultPlan`] is empty.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Peers that crashed ungracefully (no leave message).
+    pub crashes: u64,
+    /// Joins that found the tracker down and got no bootstrap.
+    pub tracker_denied_joins: u64,
+    /// Bootstrap retry attempts made under the backoff schedule.
+    pub bootstrap_retries: u64,
+    /// Bootstrap retries that finally obtained partners.
+    pub bootstrap_recoveries: u64,
+    /// Starvation fallbacks served by gossip because the tracker was
+    /// down.
+    pub gossip_fallbacks: u64,
+    /// Crashed peers the tracker expired after its liveness horizon.
+    pub tracker_expirations: u64,
+    /// Partner links declared dead by transfer timeout and removed.
+    /// Nonzero even without faults: one-sided pruning leaves silent
+    /// edges behind when the pruning side departs, and those are
+    /// discovered exactly like crashes — by timeout.
+    pub partner_timeouts: u64,
+    /// Partner-link formations blocked by an active inter-ISP
+    /// partition (at join, fallback, or gossip time).
+    pub links_blocked: u64,
+    /// Transfer flows skipped because the path was severed mid-link.
+    pub flows_blocked: u64,
+    /// Reports lost in flight to injected datagram loss.
+    pub reports_lost: u64,
+}
 
 /// Aggregate statistics of one simulation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -42,6 +73,8 @@ pub struct SimSummary {
     pub segments: f64,
     /// Ticks executed.
     pub ticks: u64,
+    /// Fault-injection and resilience accounting.
+    pub faults: FaultCounters,
 }
 
 /// The UUSee overlay simulator.
@@ -60,6 +93,11 @@ pub struct OverlaySim {
     allocator: AddrAllocator,
     db: IspDatabase,
     live: usize,
+    /// FIFO of crashed peers the tracker has not yet noticed:
+    /// `(expiry tick, channel, slab index)`. A crash sends no leave
+    /// message, so the tracker keeps handing the peer out until its
+    /// liveness horizon (`partner_timeout_ticks`) passes.
+    crash_expiry: VecDeque<(u64, ChannelId, u32)>,
 }
 
 impl OverlaySim {
@@ -70,7 +108,8 @@ impl OverlaySim {
     /// Panics if the configuration is inconsistent (see
     /// [`SimConfig::validate`]).
     pub fn new(scenario: Scenario, cfg: SimConfig) -> Self {
-        cfg.validate();
+        // lint:allow(C1): a bad config is experiment-setup error; abort before any simulation work
+        cfg.validate().expect("invalid simulator configuration");
         let db = IspDatabase::synthetic(cfg.isp_shares);
         let allocator = db.allocator();
         OverlaySim {
@@ -83,6 +122,7 @@ impl OverlaySim {
             allocator,
             db,
             live: 0,
+            crash_expiry: VecDeque::new(),
         }
     }
 
@@ -110,6 +150,12 @@ impl OverlaySim {
         let mut link_rng = factory.fork("sim/link");
         let mut sel_rng = factory.fork("sim/select");
         let mut gossip_rng = factory.fork("sim/gossip");
+        // Dedicated stream for fault draws: a fault-free plan makes
+        // zero draws from it, so enabling faults never perturbs the
+        // join/link/select/gossip streams and a fault-free run is
+        // byte-identical to one on a build without fault support.
+        let mut fault_rng = factory.fork("sim/faults");
+        let faults = self.scenario.faults.clone();
 
         let joins = self.scenario.generate_joins();
         let mut join_idx = 0usize;
@@ -133,36 +179,95 @@ impl OverlaySim {
             let tick_start = SimTime::from_millis(k * tick.as_millis());
             let tick_end = tick_start + tick;
 
-            // 1. Departures scheduled before this tick.
+            // 0. Tracker liveness expiry: crashed peers sent no
+            //    leave message; the tracker notices after its
+            //    liveness horizon and drops the stale entry.
+            while let Some(&(due, ch, id)) = self.crash_expiry.front() {
+                if due > k {
+                    break;
+                }
+                self.crash_expiry.pop_front();
+                self.tracker.deregister(ch, PeerId(id));
+                summary.faults.tracker_expirations += 1;
+            }
+
+            // 1. Departures scheduled before this tick. A crashed
+            //    peer's scheduled departure finds the slot already
+            //    empty and is not counted as a leave.
             while let Some(&std::cmp::Reverse((t, id))) = departures.peek() {
                 if t >= tick_start {
                     break;
                 }
                 departures.pop();
-                self.depart(PeerId(id));
-                summary.leaves += 1;
+                if self.depart(PeerId(id)) {
+                    summary.leaves += 1;
+                }
             }
 
             // 2. Joins landing in this tick.
             while join_idx < joins.len() && joins[join_idx].time < tick_end {
                 let ev = joins[join_idx];
                 join_idx += 1;
-                let id = self.join(&ev, &mut join_rng, &mut link_rng, &mut sel_rng);
+                let id = self.join(
+                    &ev,
+                    k,
+                    &faults,
+                    &mut summary.faults,
+                    &mut join_rng,
+                    &mut link_rng,
+                    &mut sel_rng,
+                );
                 departures.push(std::cmp::Reverse((ev.time + ev.duration, id.0)));
                 summary.joins += 1;
             }
 
-            // 3. Per-peer maintenance.
-            self.maintenance_pass(k, tick_start, &rates, &mut sel_rng, &mut gossip_rng);
+            // 2b. Ungraceful crash waves landing in this tick: each
+            //     live viewer crashes with the wave's probability,
+            //     drawn from the dedicated fault stream in slab
+            //     order (deterministic per seed).
+            for wave in faults.crash_waves_in(tick_start, tick_end) {
+                for i in 0..self.peers.len() {
+                    match &self.peers[i] {
+                        Some(p) if !p.is_server => {}
+                        _ => continue,
+                    }
+                    if fault_rng.random_range(0.0..1.0) < wave.fraction {
+                        self.crash(PeerId(i as u32), k, &mut summary.faults);
+                    }
+                }
+            }
 
-            // 4. Block transfers.
+            // 3. Per-peer maintenance.
+            self.maintenance_pass(
+                k,
+                tick_start,
+                &rates,
+                &faults,
+                &mut summary.faults,
+                &mut sel_rng,
+                &mut gossip_rng,
+            );
+
+            // 4. Block transfers (skipping partition-severed paths).
             let rates_ref = &rates;
-            let outcome =
-                transfer::run_tick(&mut self.peers, |ch| rates_ref.get(&ch).copied(), &self.cfg)?;
+            let outcome = transfer::run_tick(
+                &mut self.peers,
+                |ch| rates_ref.get(&ch).copied(),
+                |a, b| faults.path_open(a, b, tick_start),
+                &self.cfg,
+            )?;
             summary.segments += outcome.segments;
+            summary.faults.flows_blocked += outcome.blocked_flows as u64;
 
             // 5. Reports due by the end of this tick.
-            summary.reports += self.emit_reports(tick_end, &mut sink);
+            let emitted = self.emit_reports(
+                tick_end,
+                &faults,
+                &mut fault_rng,
+                &mut summary.faults,
+                &mut sink,
+            );
+            summary.reports += emitted;
 
             summary.peak_concurrent = summary.peak_concurrent.max(self.live);
             summary.ticks += 1;
@@ -175,23 +280,34 @@ impl OverlaySim {
     /// validating [`TraceServer`] into a [`TraceStore`]. Use only at
     /// small scales; figure pipelines stream instead.
     ///
+    /// The server honours the scenario's trace-server outage schedule;
+    /// reports arriving during downtime ride a bounded
+    /// store-and-forward uplink and are retransmitted (oldest first)
+    /// once the server answers again, with a final drain after the
+    /// window closes — so the archived trace stays complete across
+    /// outages unless the buffer overflows.
+    ///
     /// # Errors
     ///
     /// Fails on any [`OverlaySim::run`] failure, or when the
     /// validating server rejects a simulated report (a disagreement
     /// between the report builder and the §3.2 schema).
     pub fn run_collecting(&mut self) -> Result<(TraceStore, SimSummary), SimError> {
-        let server = TraceServer::new(self.scenario.calendar.window_end());
-        let mut rejected: Option<String> = None;
+        let window_end = self.scenario.calendar.window_end();
+        let server =
+            TraceServer::with_downtime(window_end, self.scenario.faults.server_outages.clone());
+        let mut uplink = ReportUplink::new(1 << 16);
         let summary = self.run(|r| {
-            if rejected.is_none() {
-                if let Err(e) = server.submit(r) {
-                    rejected = Some(e.to_string());
-                }
-            }
+            let now = r.time;
+            uplink.send(r, now, &server);
         })?;
-        if let Some(reason) = rejected {
-            return Err(SimError::ReportRejected { reason });
+        // The real collector kept listening past the window: drain
+        // whatever the last outage left buffered.
+        uplink.flush(window_end, &server);
+        if uplink.stats().rejected > 0 {
+            return Err(SimError::ReportRejected {
+                reason: "validating trace server rejected a simulated report".into(),
+            });
         }
         Ok((server.into_store(), summary))
     }
@@ -225,9 +341,13 @@ impl OverlaySim {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn join(
         &mut self,
         ev: &JoinEvent,
+        tick_idx: u64,
+        faults: &FaultPlan,
+        counters: &mut FaultCounters,
         join_rng: &mut StdRng,
         link_rng: &mut StdRng,
         sel_rng: &mut StdRng,
@@ -245,6 +365,21 @@ impl OverlaySim {
             ev.time + ev.duration,
         );
 
+        if faults.tracker_down(ev.time) {
+            // Tracker outage: no bootstrap and no registration. The
+            // peer schedules its first retry under the capped
+            // exponential backoff; until one succeeds it is unknown
+            // to the rest of the overlay.
+            counters.tracker_denied_joins += 1;
+            peer.bootstrap_attempts = 1;
+            peer.next_bootstrap_tick = tick_idx + self.backoff_ticks(1);
+            self.peers.push(Some(peer));
+            self.addrs.push(addr);
+            self.isps.push(isp);
+            self.live += 1;
+            return id;
+        }
+
         // Tracker bootstrap: up to 50 partners, volunteers first.
         let candidates = self.tracker.bootstrap(
             ev.channel,
@@ -258,6 +393,10 @@ impl OverlaySim {
             let Some(other) = self.peers[cand.index()].as_mut() else {
                 continue;
             };
+            if !faults.path_open(isp, other.isp, ev.time) {
+                counters.links_blocked += 1;
+                continue;
+            }
             let quality = self.cfg.link_model.sample(link_rng, isp, other.isp);
             other.add_partner(id, quality, ev.time);
             peer.add_partner(cand, quality, ev.time);
@@ -290,9 +429,12 @@ impl OverlaySim {
         self.peers[i].as_mut().expect("slot verified live")
     }
 
-    fn depart(&mut self, id: PeerId) {
+    /// Graceful departure: deregisters at the tracker and tears down
+    /// both connection endpoints. Returns `false` when the slot was
+    /// already empty (the peer crashed before its scheduled leave).
+    fn depart(&mut self, id: PeerId) -> bool {
         let Some(peer) = self.peers[id.index()].take() else {
-            return;
+            return false;
         };
         self.live -= 1;
         self.tracker.deregister(peer.channel, id);
@@ -302,29 +444,125 @@ impl OverlaySim {
                 other.remove_partner(id);
             }
         }
+        true
     }
 
+    /// Ungraceful crash: the slot empties with no leave message — no
+    /// tracker deregistration and no partner teardown. Partners
+    /// discover the death via transfer timeout
+    /// ([`SimConfig::partner_timeout_ticks`]); the tracker expires
+    /// the stale entry on the same horizon via `crash_expiry`.
+    fn crash(&mut self, id: PeerId, tick_idx: u64, counters: &mut FaultCounters) {
+        let Some(peer) = self.peers[id.index()].take() else {
+            return;
+        };
+        self.live -= 1;
+        counters.crashes += 1;
+        self.crash_expiry.push_back((
+            tick_idx + u64::from(self.cfg.partner_timeout_ticks),
+            peer.channel,
+            id.0,
+        ));
+    }
+
+    /// Retry delay after `attempts` failed bootstraps: capped
+    /// exponential, base `bootstrap_retry_ticks` doubling per failure
+    /// up to `bootstrap_retry_cap_ticks`.
+    fn backoff_ticks(&self, attempts: u32) -> u64 {
+        let base = u64::from(self.cfg.bootstrap_retry_ticks);
+        let cap = u64::from(self.cfg.bootstrap_retry_cap_ticks);
+        base.saturating_mul(1u64 << attempts.saturating_sub(1).min(16))
+            .min(cap)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn maintenance_pass(
         &mut self,
         tick_idx: u64,
         now: SimTime,
         rates: &BTreeMap<ChannelId, f64>,
+        faults: &FaultPlan,
+        counters: &mut FaultCounters,
         sel_rng: &mut StdRng,
         gossip_rng: &mut StdRng,
     ) {
         let n = self.peers.len();
         for i in 0..n {
-            let Some(p) = &self.peers[i] else { continue };
-            if p.is_server {
-                continue;
+            // Copy the per-peer reads out so the slot borrow ends
+            // before the mutating phases below.
+            let (id, channel, util, starving, retry_due) = {
+                let Some(p) = &self.peers[i] else { continue };
+                if p.is_server {
+                    continue;
+                }
+                let rate = rates.get(&p.channel).copied().unwrap_or(400.0);
+                (
+                    PeerId(i as u32),
+                    p.channel,
+                    p.upload_utilization(),
+                    p.recv_kbps < self.cfg.fallback_quality * rate && p.buffer_fill > 0.0,
+                    p.next_bootstrap_tick != 0 && tick_idx >= p.next_bootstrap_tick,
+                )
+            };
+
+            // Bootstrap retry: a peer denied at join (tracker
+            // outage) keeps retrying on the capped exponential
+            // schedule until a bootstrap lands.
+            if retry_due {
+                counters.bootstrap_retries += 1;
+                if faults.tracker_down(now) {
+                    let p = self.live_mut(i);
+                    p.bootstrap_attempts = p.bootstrap_attempts.saturating_add(1);
+                    let delay = self.backoff_ticks(self.live_ref(i).bootstrap_attempts);
+                    self.live_mut(i).next_bootstrap_tick = tick_idx + delay;
+                } else {
+                    let my_isp = self.isps[i];
+                    let candidates = self.tracker.bootstrap(
+                        channel,
+                        id,
+                        my_isp,
+                        self.cfg.max_bootstrap_partners,
+                        self.bootstrap_policy(),
+                        sel_rng,
+                    );
+                    let mut got = 0usize;
+                    for cand in candidates {
+                        if cand == id {
+                            continue;
+                        }
+                        let Some(other) = self.peers[cand.index()].as_mut() else {
+                            continue;
+                        };
+                        if !faults.path_open(my_isp, other.isp, now) {
+                            counters.links_blocked += 1;
+                            continue;
+                        }
+                        let quality = self.cfg.link_model.sample(sel_rng, my_isp, other.isp);
+                        other.add_partner(id, quality, now);
+                        self.live_mut(i).add_partner(cand, quality, now);
+                        got += 1;
+                    }
+                    // Register regardless: even with an empty pool
+                    // the peer becomes discoverable by later joins
+                    // (register is idempotent across retries).
+                    self.tracker.register(channel, id, my_isp);
+                    let (target, random) = (self.cfg.target_suppliers, self.cfg.random_selection);
+                    let p = self.live_mut(i);
+                    if got > 0 {
+                        p.bootstrap_attempts = 0;
+                        p.next_bootstrap_tick = 0;
+                        p.select_suppliers(target, random, sel_rng);
+                        counters.bootstrap_recoveries += 1;
+                    } else {
+                        p.bootstrap_attempts = p.bootstrap_attempts.saturating_add(1);
+                        let attempts = p.bootstrap_attempts;
+                        let delay = self.backoff_ticks(attempts);
+                        self.live_mut(i).next_bootstrap_tick = tick_idx + delay;
+                    }
+                }
             }
-            let id = PeerId(i as u32);
-            let channel = p.channel;
-            let rate = rates.get(&channel).copied().unwrap_or(400.0);
 
             // Volunteer / starvation accounting (reads, then writes).
-            let util = p.upload_utilization();
-            let starving = p.recv_kbps < self.cfg.fallback_quality * rate && p.buffer_fill > 0.0;
             {
                 let volunteer_util = self.cfg.volunteer_utilization;
                 let p = self.live_mut(i);
@@ -355,44 +593,59 @@ impl OverlaySim {
                 }
             }
 
-            // Tracker fallback: playback not sustained → more partners.
+            // Tracker fallback: playback not sustained → more
+            // partners. When the tracker is down, fall back to an
+            // extra gossip exchange instead — the only discovery
+            // path that still works.
             if starved >= self.cfg.sustain_ticks {
-                let my_isp = self.isps[i];
-                let extra = self.tracker.bootstrap(
-                    channel,
-                    id,
-                    my_isp,
-                    self.cfg.fallback_partners,
-                    self.bootstrap_policy(),
-                    sel_rng,
-                );
-                for cand in extra {
-                    if cand == id {
-                        continue;
+                if faults.tracker_down(now) {
+                    counters.gossip_fallbacks += 1;
+                    self.gossip(i, now, faults, counters, sel_rng);
+                    self.live_mut(i).starved_ticks = 0;
+                } else {
+                    let my_isp = self.isps[i];
+                    let extra = self.tracker.bootstrap(
+                        channel,
+                        id,
+                        my_isp,
+                        self.cfg.fallback_partners,
+                        self.bootstrap_policy(),
+                        sel_rng,
+                    );
+                    for cand in extra {
+                        if cand == id {
+                            continue;
+                        }
+                        let other_isp = self.isps[cand.index()];
+                        if !faults.path_open(my_isp, other_isp, now) {
+                            counters.links_blocked += 1;
+                            continue;
+                        }
+                        let quality = self.cfg.link_model.sample(sel_rng, my_isp, other_isp);
+                        if let Some(other) = self.peers[cand.index()].as_mut() {
+                            other.add_partner(id, quality, now);
+                        } else {
+                            continue;
+                        }
+                        self.live_mut(i).add_partner(cand, quality, now);
                     }
-                    let other_isp = self.isps[cand.index()];
-                    let quality = self.cfg.link_model.sample(sel_rng, my_isp, other_isp);
-                    if let Some(other) = self.peers[cand.index()].as_mut() {
-                        other.add_partner(id, quality, now);
-                    } else {
-                        continue;
-                    }
-                    self.live_mut(i).add_partner(cand, quality, now);
+                    self.live_mut(i).starved_ticks = 0;
                 }
-                self.live_mut(i).starved_ticks = 0;
             }
 
             // Gossip every third tick (staggered by id).
             if (tick_idx + i as u64) % 3 == 0 {
-                self.gossip(i, now, gossip_rng);
+                self.gossip(i, now, faults, counters, gossip_rng);
             }
 
-            // Supplier re-selection every second tick (staggered),
-            // i.e. every 10 minutes as buffer maps are exchanged.
-            if (tick_idx + i as u64) % 2 == 0 {
-                // Purge dead partners first so selection sees reality.
-                // (Departure already tears down both ends; this is a
-                // safety net for links formed in the same tick.)
+            // Transfer-timeout detection: a partner whose slot is
+            // gone sends nothing; after `partner_timeout_ticks`
+            // consecutive silent ticks the link is declared dead and
+            // removed. Graceful departures tear down both ends
+            // immediately — this path is how *crashed* peers are
+            // discovered, since they send no leave message.
+            {
+                let timeout = self.cfg.partner_timeout_ticks;
                 let dead: Vec<PeerId> = {
                     let p = self.live_ref(i);
                     p.partners
@@ -401,15 +654,31 @@ impl OverlaySim {
                         .filter(|pid| self.peers[pid.index()].is_none())
                         .collect()
                 };
+                let p = self.live_mut(i);
+                for pid in dead {
+                    let expired = match p.partners.get_mut(&pid) {
+                        Some(link) => {
+                            link.stale_ticks += 1;
+                            link.stale_ticks >= timeout
+                        }
+                        None => false,
+                    };
+                    if expired {
+                        p.remove_partner(pid);
+                        counters.partner_timeouts += 1;
+                    }
+                }
+            }
+
+            // Supplier re-selection every second tick (staggered),
+            // i.e. every 10 minutes as buffer maps are exchanged.
+            if (tick_idx + i as u64) % 2 == 0 {
                 let (target, random, membership_target) = (
                     self.cfg.target_suppliers,
                     self.cfg.random_selection,
                     self.cfg.gossip_target_partners,
                 );
                 let p = self.live_mut(i);
-                for d in dead {
-                    p.remove_partner(d);
-                }
                 p.select_suppliers(target, random, sel_rng);
                 // Prune to the membership *target*, not the hard cap:
                 // passive link accumulation (every newcomer's
@@ -427,7 +696,14 @@ impl OverlaySim {
     /// recommend known partners to each other, based on estimated
     /// availability" — recommendations prefer partners the
     /// recommender currently receives well from).
-    fn gossip(&mut self, i: usize, now: SimTime, rng: &mut StdRng) {
+    fn gossip(
+        &mut self,
+        i: usize,
+        now: SimTime,
+        faults: &FaultPlan,
+        counters: &mut FaultCounters,
+        rng: &mut StdRng,
+    ) {
         let (id, my_isp, partner_count) = {
             let Some(p) = &self.peers[i] else { return };
             (PeerId(i as u32), p.isp, p.partners.len())
@@ -487,13 +763,24 @@ impl OverlaySim {
                 continue;
             }
             let other_isp = other.isp;
+            if !faults.path_open(my_isp, other_isp, now) {
+                counters.links_blocked += 1;
+                continue;
+            }
             let quality = self.cfg.link_model.sample(rng, my_isp, other_isp);
             self.live_mut(cand.index()).add_partner(id, quality, now);
             self.live_mut(i).add_partner(cand, quality, now);
         }
     }
 
-    fn emit_reports<F>(&mut self, tick_end: SimTime, sink: &mut F) -> u64
+    fn emit_reports<F>(
+        &mut self,
+        tick_end: SimTime,
+        faults: &FaultPlan,
+        fault_rng: &mut StdRng,
+        counters: &mut FaultCounters,
+        sink: &mut F,
+    ) -> u64
     where
         F: FnMut(PeerReport),
     {
@@ -509,6 +796,15 @@ impl OverlaySim {
             }
             let report = p.build_report(due, window, |pid| addrs[pid.index()]);
             p.next_report = Some(due + REPORT_INTERVAL);
+            // Injected datagram loss: the peer built and sent its
+            // report either way, but it never arrives. Draw only
+            // when loss is possible, so a fault-free plan makes zero
+            // draws from the fault stream.
+            let loss = faults.report_loss_prob(p.isp, due);
+            if loss > 0.0 && fault_rng.random_range(0.0..1.0) < loss {
+                counters.reports_lost += 1;
+                continue;
+            }
             sink(report);
             emitted += 1;
         }
@@ -721,6 +1017,91 @@ pub(crate) mod tests {
         let mut sim = OverlaySim::new(tiny_scenario(11), quick_cfg());
         sim.run(|_| {}).expect("tiny run succeeds");
         sim.check_invariants().expect("invariants violated");
+    }
+
+    #[test]
+    fn no_fault_plan_means_zero_fault_counters() {
+        let mut sim = OverlaySim::new(tiny_scenario(1), quick_cfg());
+        let (_, summary) = sim.run_collecting().expect("tiny run succeeds");
+        // partner_timeouts is legitimately nonzero without faults
+        // (lazy discovery of one-sidedly pruned edges after the
+        // pruner departs); every *injection* counter must be zero.
+        let f = FaultCounters {
+            partner_timeouts: summary.faults.partner_timeouts,
+            ..FaultCounters::default()
+        };
+        assert_eq!(summary.faults, f);
+    }
+
+    #[test]
+    fn crash_wave_kills_without_leave_messages() {
+        use magellan_workload::CrashWave;
+        let run = |faults: FaultPlan| {
+            let mut s = tiny_scenario(9);
+            s.faults = faults;
+            let mut sim = OverlaySim::new(s, quick_cfg());
+            let summary = sim.run_collecting().expect("run succeeds").1;
+            sim.check_invariants().expect("invariants violated");
+            summary
+        };
+        let clean = run(FaultPlan::default());
+        let dirty = run(FaultPlan {
+            crash_waves: vec![CrashWave {
+                at: SimTime::at(0, 3, 0),
+                fraction: 0.5,
+            }],
+            ..FaultPlan::default()
+        });
+        assert!(dirty.faults.crashes > 0, "no crashes injected");
+        // Crashed peers send no leave message, so their scheduled
+        // departures are never counted…
+        assert!(
+            dirty.leaves < clean.leaves,
+            "leaves {} not below clean {}",
+            dirty.leaves,
+            clean.leaves
+        );
+        // …their partners discover the loss by transfer timeout, and
+        // the tracker expires the stale entries.
+        assert!(dirty.faults.partner_timeouts > 0);
+        assert_eq!(dirty.faults.tracker_expirations, dirty.faults.crashes);
+    }
+
+    #[test]
+    fn tracker_outage_denies_and_retries_bootstrap() {
+        use magellan_netsim::FaultWindow;
+        let mut s = tiny_scenario(10);
+        s.faults = FaultPlan {
+            tracker_outages: vec![FaultWindow::new(SimTime::at(0, 1, 0), SimTime::at(0, 2, 0))],
+            ..FaultPlan::default()
+        };
+        let mut sim = OverlaySim::new(s, quick_cfg());
+        let (_, summary) = sim.run_collecting().expect("run succeeds");
+        assert!(summary.faults.tracker_denied_joins > 0, "{summary:?}");
+        assert!(summary.faults.bootstrap_retries > 0, "{summary:?}");
+        assert!(
+            summary.faults.bootstrap_recoveries > 0,
+            "nobody recovered after the outage: {summary:?}"
+        );
+        assert!(summary.reports > 0);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let run = || {
+            let mut s = tiny_scenario(12);
+            s.faults = FaultPlan::combined_stress(0);
+            let mut sim = OverlaySim::new(s, quick_cfg());
+            sim.run_collecting().expect("faulty run succeeds")
+        };
+        let (store_a, sum_a) = run();
+        let (store_b, sum_b) = run();
+        assert_eq!(sum_a, sum_b);
+        assert_eq!(store_a.reports(), store_b.reports());
+        // The combined schedule exercises every fault class.
+        assert!(sum_a.faults.reports_lost > 0, "{:?}", sum_a.faults);
+        assert!(sum_a.faults.crashes > 0, "{:?}", sum_a.faults);
+        assert!(sum_a.faults.flows_blocked > 0, "{:?}", sum_a.faults);
     }
 
     #[test]

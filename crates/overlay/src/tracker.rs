@@ -145,7 +145,9 @@ impl Tracker {
         let Some(st) = self.channels.get(&channel) else {
             return Vec::new();
         };
-        let mut out: Vec<PeerId> = Vec::with_capacity(want);
+        // The pool bounds what can possibly be returned; a huge `want`
+        // must not translate into a huge allocation.
+        let mut out: Vec<PeerId> = Vec::with_capacity(want.min(st.members.len()));
         let mut seen: BTreeSet<PeerId> = BTreeSet::new();
         seen.insert(joiner);
         if policy.locality_fraction > 0.0 {
@@ -178,7 +180,11 @@ fn sample_into<R: rand::Rng + ?Sized>(
     if pool.is_empty() || out.len() >= want {
         return;
     }
-    if pool.len() <= (want - out.len()) * 2 {
+    // Saturating arithmetic throughout: a drained channel or a
+    // pathological `want` (e.g. a caller passing `usize::MAX` to mean
+    // "everyone") must degrade to a short list, never overflow the
+    // deficit/try budget math or spin.
+    if pool.len() <= (want - out.len()).saturating_mul(2) {
         let mut idx: Vec<usize> = (0..pool.len()).collect();
         for i in 0..idx.len() {
             let j = rng.random_range(i..idx.len());
@@ -195,8 +201,8 @@ fn sample_into<R: rand::Rng + ?Sized>(
         }
         return;
     }
-    let mut tries = 0;
-    while out.len() < want && tries < want * 8 {
+    let mut tries = 0usize;
+    while out.len() < want && tries < want.saturating_mul(8) {
         let cand = pool[rng.random_range(0..pool.len())];
         if seen.insert(cand) {
             out.push(cand);
@@ -319,6 +325,55 @@ mod tests {
         assert!(t
             .bootstrap(CH, PeerId(0), Isp::Telecom, 50, plain(), &mut rng)
             .is_empty());
+    }
+
+    #[test]
+    fn bootstrap_on_drained_channel_is_empty() {
+        // Regression: every member crashed / deregistered mid-outage.
+        // The channel state still exists but all pools are empty; the
+        // request must return cleanly, not panic or spin.
+        let mut t = Tracker::new();
+        for i in 0..20 {
+            t.register(CH, PeerId(i), Isp::Telecom);
+            t.volunteer(CH, PeerId(i));
+        }
+        for i in 0..20 {
+            t.deregister(CH, PeerId(i));
+        }
+        let mut rng = RngFactory::new(9).fork("boot");
+        assert!(t
+            .bootstrap(CH, PeerId(99), Isp::Telecom, 50, plain(), &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn bootstrap_when_only_the_joiner_remains_is_empty() {
+        let mut t = Tracker::new();
+        t.register(CH, PeerId(5), Isp::Netcom);
+        let mut rng = RngFactory::new(10).fork("boot");
+        let got = t.bootstrap(CH, PeerId(5), Isp::Netcom, 50, plain(), &mut rng);
+        assert!(got.is_empty(), "joiner handed itself: {got:?}");
+    }
+
+    #[test]
+    fn pathological_want_saturates_instead_of_overflowing() {
+        // Regression: `want * 8` / `(want - out.len()) * 2` overflowed
+        // in debug builds for huge requests; the request must degrade
+        // to "everyone available" without panicking or allocating
+        // `usize::MAX` capacity.
+        let mut t = Tracker::new();
+        for i in 0..7 {
+            t.register(CH, PeerId(i), Isp::Telecom);
+        }
+        let mut rng = RngFactory::new(11).fork("boot");
+        let got = t.bootstrap(CH, PeerId(0), Isp::Telecom, usize::MAX, plain(), &mut rng);
+        assert_eq!(got.len(), 6);
+        let locality = BootstrapPolicy {
+            use_volunteers: false,
+            locality_fraction: 0.9,
+        };
+        let got = t.bootstrap(CH, PeerId(0), Isp::Telecom, usize::MAX, locality, &mut rng);
+        assert_eq!(got.len(), 6);
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub struct TickOutcome {
     pub satisfied_receivers: usize,
     /// Number of receivers processed.
     pub receivers: usize,
+    /// Supplier links skipped because the underlay path was severed
+    /// (an active inter-ISP partition).
+    pub blocked_flows: usize,
 }
 
 /// One receiver→supplier request channel. `want` holds the static
@@ -53,7 +56,11 @@ struct RecvCtx {
 /// `rate_of` maps a channel to its stream rate in Kbps, returning
 /// `None` for channels it does not know. Dead slots (`None` peers)
 /// are skipped; links to dead peers contribute nothing (the simulator
-/// purges them separately).
+/// purges them separately). `link_open` answers whether the underlay
+/// path between a receiver's ISP and a supplier's ISP is currently
+/// open — an active inter-ISP partition closes it, and closed links
+/// carry no segments this tick (counted in
+/// [`TickOutcome::blocked_flows`]).
 ///
 /// # Errors
 ///
@@ -61,13 +68,15 @@ struct RecvCtx {
 /// reports a non-finite / non-positive stream rate — both mean the
 /// caller's rate table is inconsistent with the peer slab, and any
 /// output computed from it would be garbage.
-pub fn run_tick<F>(
+pub fn run_tick<F, L>(
     peers: &mut [Option<PeerState>],
     rate_of: F,
+    link_open: L,
     cfg: &SimConfig,
 ) -> Result<TickOutcome, TransferError>
 where
     F: Fn(ChannelId) -> Option<f64>,
+    L: Fn(magellan_netsim::Isp, magellan_netsim::Isp) -> bool,
 {
     let rate_of = |ch: ChannelId| -> Result<f64, TransferError> {
         let rate = rate_of(ch).ok_or(TransferError::UnknownChannel(ch))?;
@@ -90,6 +99,7 @@ where
     let mut recvs: Vec<RecvCtx> = Vec::new();
     let mut budget_left: BTreeMap<u32, f64> = BTreeMap::new();
     let mut useful: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut blocked_flows = 0usize;
     for (j, slot) in peers.iter().enumerate() {
         let Some(p) = slot else { continue };
         if p.is_server {
@@ -106,6 +116,10 @@ where
             .filter(|(_, l)| l.supplier)
             .filter_map(|(&id, l)| {
                 let sup = peers[id.index()].as_ref()?;
+                if !link_open(p.isp, sup.isp) {
+                    blocked_flows += 1;
+                    return None;
+                }
                 let advertised = if sup.is_server { 1.0 } else { sup.buffer_fill };
                 budget_left
                     .entry(id.0)
@@ -152,6 +166,7 @@ where
 
     let mut outcome = TickOutcome {
         receivers: recvs.len(),
+        blocked_flows,
         ..TickOutcome::default()
     };
 
@@ -368,7 +383,7 @@ mod tests {
             Some(mk_peer(1, 512.0, 2_000.0)),
         ];
         connect(&mut peers, 1, 0, 5_000.0);
-        let out = run_tick(&mut peers, |_| Some(RATE), &cfg()).expect("rates known");
+        let out = run_tick(&mut peers, |_| Some(RATE), |_, _| true, &cfg()).expect("rates known");
         let p = peers[1].as_ref().unwrap();
         assert!(
             p.recv_kbps >= RATE * 0.99,
@@ -390,7 +405,7 @@ mod tests {
             Some(mk_peer(2, 512.0, 2_000.0)),
         ];
         connect(&mut peers, 1, 2, 1_000.0);
-        let out = run_tick(&mut peers, |_| Some(RATE), &cfg()).expect("rates known");
+        let out = run_tick(&mut peers, |_| Some(RATE), |_, _| true, &cfg()).expect("rates known");
         assert_eq!(peers[1].as_ref().unwrap().recv_kbps, 0.0);
         assert_eq!(out.satisfied_receivers, 0);
     }
@@ -403,7 +418,7 @@ mod tests {
         ];
         peers[0].as_mut().unwrap().buffer_fill = 1.0;
         connect(&mut peers, 1, 0, 1_000.0);
-        let _ = run_tick(&mut peers, |_| Some(RATE), &cfg()).expect("rates known");
+        let _ = run_tick(&mut peers, |_| Some(RATE), |_, _| true, &cfg()).expect("rates known");
         let r = peers[1].as_ref().unwrap();
         // The 512 Kbps uplink covers the 400 Kbps stream.
         assert!(r.recv_kbps > 390.0, "recv = {}", r.recv_kbps);
@@ -422,7 +437,7 @@ mod tests {
         for i in 1..=4 {
             connect(&mut peers, i, 0, 1_000.0);
         }
-        let _ = run_tick(&mut peers, |_| Some(RATE), &cfg()).expect("rates known");
+        let _ = run_tick(&mut peers, |_| Some(RATE), |_, _| true, &cfg()).expect("rates known");
         let sup = peers[0].as_ref().unwrap();
         assert!(
             sup.send_kbps <= 512.0 * 1.01,
@@ -446,7 +461,7 @@ mod tests {
             Some(mk_peer(1, 512.0, 5_000.0)),
         ];
         connect(&mut peers, 1, 0, 100.0); // terrible path: 100 Kbps
-        let _ = run_tick(&mut peers, |_| Some(RATE), &cfg()).expect("rates known");
+        let _ = run_tick(&mut peers, |_| Some(RATE), |_, _| true, &cfg()).expect("rates known");
         let r = peers[1].as_ref().unwrap();
         assert!(r.recv_kbps <= 105.0, "recv = {}", r.recv_kbps);
     }
@@ -458,7 +473,7 @@ mod tests {
             Some(mk_peer(1, 512.0, 2_000.0)),
         ];
         connect(&mut peers, 1, 0, 5_000.0);
-        let _ = run_tick(&mut peers, |_| Some(RATE), &cfg()).expect("rates known");
+        let _ = run_tick(&mut peers, |_| Some(RATE), |_, _| true, &cfg()).expect("rates known");
         let recv = peers[1].as_ref().unwrap().partners[&PeerId(0)].recv_interval;
         let sent = peers[0].as_ref().unwrap().partners[&PeerId(1)].sent_interval;
         assert!(recv > 0);
@@ -473,7 +488,7 @@ mod tests {
         ];
         connect(&mut peers, 1, 0, 5_000.0);
         let before = peers[1].as_ref().unwrap().partners[&PeerId(0)].est_recv_kbps;
-        let _ = run_tick(&mut peers, |_| Some(RATE), &cfg()).expect("rates known");
+        let _ = run_tick(&mut peers, |_| Some(RATE), |_, _| true, &cfg()).expect("rates known");
         let after = peers[1].as_ref().unwrap().partners[&PeerId(0)].est_recv_kbps;
         // Observation (~stream-rate share) is far below the 5000 prior.
         assert!(
@@ -490,7 +505,7 @@ mod tests {
         ];
         connect(&mut peers, 1, 0, 5_000.0);
         peers[0] = None; // supplier vanished
-        let out = run_tick(&mut peers, |_| Some(RATE), &cfg()).expect("rates known");
+        let out = run_tick(&mut peers, |_| Some(RATE), |_, _| true, &cfg()).expect("rates known");
         assert_eq!(out.segments, 0.0);
         assert_eq!(peers[1].as_ref().unwrap().recv_kbps, 0.0);
     }
@@ -505,7 +520,7 @@ mod tests {
         peers[1].as_mut().unwrap().buffer_fill = 0.8;
         connect(&mut peers, 1, 0, 1_000.0);
         connect(&mut peers, 0, 1, 1_000.0);
-        let out = run_tick(&mut peers, |_| Some(RATE), &cfg()).expect("rates known");
+        let out = run_tick(&mut peers, |_| Some(RATE), |_, _| true, &cfg()).expect("rates known");
         assert!(out.active_flows >= 2, "flows = {}", out.active_flows);
         let a = &peers[0].as_ref().unwrap().partners[&PeerId(1)];
         let b = &peers[1].as_ref().unwrap().partners[&PeerId(0)];
@@ -534,7 +549,7 @@ mod tests {
             mk(&mut peers);
             connect(&mut peers, 2, 0, 5_000.0); // excellent path
             connect(&mut peers, 2, 1, 200.0); // poor path
-            let _ = run_tick(&mut peers, |_| Some(RATE), &cfg).expect("rates known");
+            let _ = run_tick(&mut peers, |_| Some(RATE), |_, _| true, &cfg).expect("rates known");
             let a = peers[2].as_ref().unwrap().partners[&PeerId(0)].recv_interval as f64;
             let b = peers[2].as_ref().unwrap().partners[&PeerId(1)].recv_interval as f64;
             (a, b)
@@ -555,7 +570,7 @@ mod tests {
     #[test]
     fn empty_slab_is_a_noop() {
         let mut peers: Vec<Option<PeerState>> = vec![None, None];
-        let out = run_tick(&mut peers, |_| Some(RATE), &cfg()).expect("rates known");
+        let out = run_tick(&mut peers, |_| Some(RATE), |_, _| true, &cfg()).expect("rates known");
         assert_eq!(out, TickOutcome::default());
     }
 }

@@ -15,7 +15,11 @@
 //!   dependency set to the approved crates.
 //! * [`loss`] — lossy-collection injection (dropped/corrupted
 //!   datagrams) for robustness testing.
-//! * [`server`] — the standalone trace server collecting reports.
+//! * [`server`] — the standalone trace server collecting reports,
+//!   with scheduled-downtime windows and `(peer, timestamp)`
+//!   deduplication of retransmitted reports.
+//! * [`uplink`] — the peer-side bounded store-and-forward queue that
+//!   buffers reports across server downtime and retransmits them.
 //! * [`store`] — the trace store with 10-minute bucketing and range
 //!   queries.
 //! * [`snapshot`] — reconstruction of "continuous-time snapshots of
@@ -60,13 +64,15 @@ pub mod server;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
+pub mod uplink;
 pub mod wire;
 
 pub use buffer::BufferMap;
 pub use report::{
     PartnerRecord, PeerReport, ACTIVE_SEGMENT_THRESHOLD, FIRST_REPORT_DELAY, REPORT_INTERVAL,
 };
-pub use server::TraceServer;
+pub use server::{ServerStats, SubmitError, TraceServer};
 pub use snapshot::{Snapshot, SnapshotBuilder};
 pub use stats::TraceStats;
 pub use store::TraceStore;
+pub use uplink::{ReportUplink, UplinkStats};

@@ -11,7 +11,7 @@ use crate::report::PeerReport;
 use crate::store::TraceStore;
 use crate::wire;
 use bytes::Buf;
-use magellan_netsim::SimTime;
+use magellan_netsim::{FaultWindow, SimTime};
 // lint:allow(P1): the server is the one real concurrent ingestion boundary — datagrams arrive from OS threads, and the protected store is only read after collection ends
 use parking_lot::Mutex;
 use std::error::Error;
@@ -33,6 +33,12 @@ pub enum SubmitError {
     },
     /// The datagram could not be decoded.
     Malformed(wire::WireError),
+    /// The server was down when the datagram arrived; the sender
+    /// should buffer and retransmit after the outage.
+    Unavailable {
+        /// Arrival time of the rejected datagram.
+        time: SimTime,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -43,6 +49,9 @@ impl fmt::Display for SubmitError {
             }
             SubmitError::Implausible { what } => write!(f, "implausible report field: {what}"),
             SubmitError::Malformed(e) => write!(f, "malformed datagram: {e}"),
+            SubmitError::Unavailable { time } => {
+                write!(f, "trace server down at {time}")
+            }
         }
     }
 }
@@ -69,12 +78,20 @@ pub struct ServerStats {
     pub accepted: u64,
     /// Reports rejected by validation or decoding.
     pub rejected: u64,
+    /// Datagrams bounced because the server was down.
+    pub unavailable: u64,
+    /// Retransmitted duplicates absorbed idempotently (counted, not
+    /// stored; keyed by `(peer, timestamp)`).
+    pub duplicates: u64,
 }
 
 /// The trace collection endpoint.
 #[derive(Debug)]
 pub struct TraceServer {
     window_end: SimTime,
+    /// Scheduled downtime; datagrams arriving inside any window
+    /// bounce with [`SubmitError::Unavailable`].
+    downtime: Vec<FaultWindow>,
     // lint:allow(P1): guards ingestion only; analysis drains the store into ordered structures after the lock is gone
     inner: Mutex<Inner>,
 }
@@ -92,8 +109,17 @@ const MAX_PARTNERS: usize = 256;
 impl TraceServer {
     /// Creates a server accepting reports with `time < window_end`.
     pub fn new(window_end: SimTime) -> Self {
+        Self::with_downtime(window_end, Vec::new())
+    }
+
+    /// Creates a server with scheduled downtime windows; datagrams
+    /// arriving inside one bounce with [`SubmitError::Unavailable`]
+    /// and are expected to be buffered and retransmitted by the
+    /// sender (see [`crate::uplink::ReportUplink`]).
+    pub fn with_downtime(window_end: SimTime, downtime: Vec<FaultWindow>) -> Self {
         TraceServer {
             window_end,
+            downtime,
             // lint:allow(P1): constructor of the ingestion lock justified on the field above
             inner: Mutex::new(Inner {
                 store: TraceStore::new(),
@@ -102,19 +128,43 @@ impl TraceServer {
         }
     }
 
-    /// Validates and stores one decoded report.
+    /// Validates and stores one decoded report that arrives at its
+    /// own timestamp (the common live path).
     ///
     /// # Errors
     ///
-    /// Returns [`SubmitError`] and leaves the store untouched when the
-    /// report fails validation. Rejections are counted either way.
+    /// Returns [`SubmitError`] and leaves the store untouched when
+    /// the server is down at the report's timestamp or the report
+    /// fails validation. Rejections are counted either way.
     pub fn submit(&self, report: PeerReport) -> Result<(), SubmitError> {
+        let now = report.time;
+        self.submit_at(report, now)
+    }
+
+    /// Validates and stores one decoded report arriving at `now` —
+    /// later than its timestamp for buffered retransmissions.
+    /// Duplicate `(peer, timestamp)` submissions are absorbed
+    /// idempotently: counted and dropped, `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceServer::submit`], with downtime checked against
+    /// `now` rather than the report's own timestamp.
+    pub fn submit_at(&self, report: PeerReport, now: SimTime) -> Result<(), SubmitError> {
+        if self.downtime.iter().any(|w| w.contains(now)) {
+            self.inner.lock().stats.unavailable += 1;
+            return Err(SubmitError::Unavailable { time: now });
+        }
         let verdict = self.validate(&report);
         let mut inner = self.inner.lock();
         match verdict {
             Ok(()) => {
-                inner.store.push(report);
-                inner.stats.accepted += 1;
+                if inner.store.contains(report.addr, report.time) {
+                    inner.stats.duplicates += 1;
+                } else {
+                    inner.store.push(report);
+                    inner.stats.accepted += 1;
+                }
                 Ok(())
             }
             Err(e) => {
@@ -223,10 +273,38 @@ mod tests {
             s.stats(),
             ServerStats {
                 accepted: 2,
-                rejected: 0
+                ..ServerStats::default()
             }
         );
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn downtime_bounces_datagrams_with_unavailable() {
+        let down = FaultWindow::new(SimTime::at(0, 1, 0), SimTime::at(0, 2, 0));
+        let s = TraceServer::with_downtime(SimTime::at(14, 0, 0), vec![down]);
+        // 90 minutes in: inside the outage.
+        assert!(matches!(
+            s.submit(report(90)),
+            Err(SubmitError::Unavailable { .. })
+        ));
+        assert_eq!(s.stats().unavailable, 1);
+        assert!(s.is_empty());
+        // Same report retransmitted after recovery is accepted even
+        // though its own timestamp is inside the window.
+        s.submit_at(report(90), SimTime::at(0, 2, 30)).unwrap();
+        assert_eq!(s.stats().accepted, 1);
+    }
+
+    #[test]
+    fn duplicates_are_absorbed_idempotently() {
+        let s = server();
+        s.submit(report(20)).unwrap();
+        s.submit(report(20)).unwrap();
+        s.submit(report(30)).unwrap();
+        assert_eq!(s.len(), 2, "duplicate was stored");
+        let st = s.stats();
+        assert_eq!((st.accepted, st.duplicates), (2, 1));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::report::{PeerReport, REPORT_INTERVAL};
 use crate::store::TraceStore;
-use magellan_netsim::{PeerAddr, SimDuration, SimTime};
+use magellan_netsim::{uncovered_fraction, FaultWindow, PeerAddr, SimDuration, SimTime};
 use magellan_workload::ChannelId;
 use std::collections::BTreeMap;
 
@@ -18,6 +18,12 @@ use std::collections::BTreeMap;
 pub struct Snapshot<'a> {
     /// The reconstruction instant.
     pub time: SimTime,
+    /// Fraction of this snapshot's staleness horizon during which the
+    /// collection server was up (1.0 when no outage overlapped it).
+    /// Snapshots with `coverage < 1.0` systematically under-count
+    /// peers — consumers must flag them, not silently average over
+    /// the hole.
+    pub coverage: f64,
     /// The freshest report of each stable peer (report within the
     /// staleness horizon), keyed by reporter address. A `BTreeMap` so
     /// every iterator below yields address order — snapshot consumers
@@ -26,6 +32,11 @@ pub struct Snapshot<'a> {
 }
 
 impl<'a> Snapshot<'a> {
+    /// Whether a server outage ate into this snapshot's horizon, so
+    /// the stable-peer set is a known undercount.
+    pub fn is_partial(&self) -> bool {
+        self.coverage < 1.0
+    }
     /// Number of stable peers.
     pub fn stable_count(&self) -> usize {
         self.reports.len()
@@ -77,6 +88,10 @@ impl<'a> Snapshot<'a> {
 pub struct SnapshotBuilder<'a> {
     store: &'a TraceStore,
     staleness: SimDuration,
+    /// Known collection-server outages; overlap with a snapshot's
+    /// horizon marks it partial (a slice borrow so the builder stays
+    /// `Copy`).
+    outages: &'a [FaultWindow],
 }
 
 impl<'a> SnapshotBuilder<'a> {
@@ -87,6 +102,7 @@ impl<'a> SnapshotBuilder<'a> {
         SnapshotBuilder {
             store,
             staleness: SimDuration::from_millis(REPORT_INTERVAL.as_millis() * 3 / 2),
+            outages: &[],
         }
     }
 
@@ -96,8 +112,17 @@ impl<'a> SnapshotBuilder<'a> {
         self
     }
 
+    /// Declares the collection server's outage schedule so snapshots
+    /// overlapping an outage carry `coverage < 1.0` instead of
+    /// masquerading as complete.
+    pub fn outages(mut self, outages: &'a [FaultWindow]) -> Self {
+        self.outages = outages;
+        self
+    }
+
     /// Reconstructs the snapshot at `t`: for every peer with a report
-    /// in `(t − staleness, t]`, its freshest such report.
+    /// in `(t − staleness, t]`, its freshest such report, plus the
+    /// fraction of that horizon the collection server was up.
     pub fn at(&self, t: SimTime) -> Snapshot<'a> {
         let start = t - self.staleness + SimDuration::from_millis(1);
         let end = t + SimDuration::from_millis(1); // inclusive of t
@@ -112,6 +137,7 @@ impl<'a> SnapshotBuilder<'a> {
         }
         Snapshot {
             time: t,
+            coverage: uncovered_fraction(self.outages, start, end),
             reports: freshest,
         }
     }
@@ -224,5 +250,29 @@ mod tests {
         let snap = SnapshotBuilder::new(&store).at(at_min(100));
         assert_eq!(snap.stable_count(), 0);
         assert!(snap.known_peers().is_empty());
+        assert!(!snap.is_partial());
+        assert!((snap.coverage - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outage_overlap_marks_snapshots_partial() {
+        let store: TraceStore = vec![report(1, 20, &[])].into_iter().collect();
+        // Server down minutes 25–30; horizon of the minute-30
+        // snapshot is (15, 30], so 5 of 15 minutes are dark.
+        let outage = [FaultWindow::new(at_min(25), at_min(30))];
+        let b = SnapshotBuilder::new(&store).outages(&outage);
+        let partial = b.at(at_min(30));
+        assert!(partial.is_partial());
+        assert!(
+            (partial.coverage - 2.0 / 3.0).abs() < 1e-3,
+            "coverage = {}",
+            partial.coverage
+        );
+        // A snapshot whose horizon misses the outage is complete.
+        let full = b.at(at_min(50));
+        assert!(!full.is_partial());
+        assert!((full.coverage - 1.0).abs() < 1e-12);
+        // The default builder never marks anything partial.
+        assert!(!SnapshotBuilder::new(&store).at(at_min(30)).is_partial());
     }
 }

@@ -4,18 +4,20 @@
 use crate::jsonl::{from_json_line, to_json_line, JsonError};
 use crate::report::{PeerReport, REPORT_INTERVAL};
 use magellan_netsim::{PeerAddr, SimTime};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::io::{self, BufRead, Write};
 
 /// In-memory store of peer reports.
 ///
 /// Reports are kept in arrival order; a bucket index over
 /// [`REPORT_INTERVAL`]-wide windows serves the snapshot builder's
-/// range scans.
+/// range scans, and a `(peer, timestamp)` identity set lets the
+/// server deduplicate retransmitted reports.
 #[derive(Debug, Default, Clone)]
 pub struct TraceStore {
     reports: Vec<PeerReport>,
     buckets: HashMap<u64, Vec<usize>>,
+    seen: BTreeSet<(u32, u64)>,
 }
 
 /// The bucket index of an instant.
@@ -29,14 +31,26 @@ impl TraceStore {
         Self::default()
     }
 
-    /// Appends one report.
+    /// Appends one report. The store itself is append-only;
+    /// deduplication policy belongs to the server (see
+    /// [`TraceStore::contains`]).
     pub fn push(&mut self, report: PeerReport) {
         let idx = self.reports.len();
         self.buckets
             .entry(bucket_of(report.time))
             .or_default()
             .push(idx);
+        self.seen
+            .insert((report.addr.as_u32(), report.time.as_millis()));
         self.reports.push(report);
+    }
+
+    /// Whether a report with this `(peer, timestamp)` identity is
+    /// already stored — the retransmission-dedup key: a peer emits at
+    /// most one report per schedule instant, so an identical key
+    /// means a buffered resend, not new data.
+    pub fn contains(&self, addr: PeerAddr, time: SimTime) -> bool {
+        self.seen.contains(&(addr.as_u32(), time.as_millis()))
     }
 
     /// Number of stored reports.
@@ -222,6 +236,24 @@ mod tests {
         let text = format!("\n{good}\n\n");
         let back = TraceStore::read_jsonl(text.as_bytes()).unwrap();
         assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn contains_tracks_peer_timestamp_identity() {
+        let mut s = TraceStore::new();
+        s.push(report(7, 20));
+        let t = SimTime::ORIGIN + SimDuration::from_mins(20);
+        assert!(s.contains(PeerAddr::from_u32(7), t));
+        assert!(!s.contains(PeerAddr::from_u32(8), t));
+        assert!(!s.contains(
+            PeerAddr::from_u32(7),
+            SimTime::ORIGIN + SimDuration::from_mins(30)
+        ));
+        // Identity survives a JSONL roundtrip.
+        let mut buf = Vec::new();
+        s.write_jsonl(&mut buf).unwrap();
+        let back = TraceStore::read_jsonl(&buf[..]).unwrap();
+        assert!(back.contains(PeerAddr::from_u32(7), t));
     }
 
     #[test]

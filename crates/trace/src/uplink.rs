@@ -1,0 +1,222 @@
+//! Peer-side report uplink with buffering across server downtime.
+//!
+//! The measurement client fires one UDP datagram per report. When the
+//! collection server is down ([`SubmitError::Unavailable`]) the
+//! report is not lost outright: the client buffers it in a bounded
+//! FIFO and retransmits once the server answers again, oldest first,
+//! dropping the oldest on overflow. The server deduplicates
+//! retransmissions by `(peer, timestamp)`, so a retry that raced a
+//! successful delivery is absorbed idempotently.
+
+use crate::report::PeerReport;
+use crate::server::{SubmitError, TraceServer};
+use magellan_netsim::SimTime;
+use std::collections::VecDeque;
+
+/// Delivery accounting of one uplink.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UplinkStats {
+    /// Reports handed to the uplink.
+    pub offered: u64,
+    /// Reports the server accepted (first try or retransmission).
+    pub delivered: u64,
+    /// Buffered reports delivered by a later retransmission.
+    pub retransmitted: u64,
+    /// Buffered reports evicted because the FIFO overflowed.
+    pub dropped_overflow: u64,
+    /// Reports the server rejected on validation — retrying cannot
+    /// help, so they are not buffered.
+    pub rejected: u64,
+}
+
+/// A bounded store-and-forward queue in front of a [`TraceServer`].
+#[derive(Debug)]
+pub struct ReportUplink {
+    capacity: usize,
+    queue: VecDeque<PeerReport>,
+    stats: UplinkStats,
+}
+
+impl ReportUplink {
+    /// Creates an uplink that buffers at most `capacity` reports
+    /// across an outage (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        ReportUplink {
+            capacity: capacity.max(1),
+            queue: VecDeque::new(),
+            stats: UplinkStats::default(),
+        }
+    }
+
+    /// Offers one report at time `now`. Pending buffered reports are
+    /// flushed first so the server sees FIFO order; if the server is
+    /// down the report joins the buffer (evicting the oldest entry on
+    /// overflow).
+    pub fn send(&mut self, report: PeerReport, now: SimTime, server: &TraceServer) {
+        self.stats.offered += 1;
+        if !self.queue.is_empty() {
+            self.flush(now, server);
+        }
+        if !self.queue.is_empty() {
+            // Server still down mid-flush: preserve order, buffer.
+            self.buffer(report);
+            return;
+        }
+        match server.submit_at(report.clone(), now) {
+            Ok(()) => self.stats.delivered += 1,
+            Err(SubmitError::Unavailable { .. }) => self.buffer(report),
+            Err(_) => self.stats.rejected += 1,
+        }
+    }
+
+    /// Retransmits buffered reports, oldest first, until the queue
+    /// drains or the server bounces again. Returns how many were
+    /// delivered by this call.
+    pub fn flush(&mut self, now: SimTime, server: &TraceServer) -> usize {
+        let mut sent = 0;
+        while let Some(front) = self.queue.front() {
+            match server.submit_at(front.clone(), now) {
+                Ok(()) => {
+                    self.queue.pop_front();
+                    self.stats.delivered += 1;
+                    self.stats.retransmitted += 1;
+                    sent += 1;
+                }
+                Err(SubmitError::Unavailable { .. }) => break,
+                Err(_) => {
+                    self.queue.pop_front();
+                    self.stats.rejected += 1;
+                }
+            }
+        }
+        sent
+    }
+
+    fn buffer(&mut self, report: PeerReport) {
+        if self.queue.len() == self.capacity {
+            self.queue.pop_front();
+            self.stats.dropped_overflow += 1;
+        }
+        self.queue.push_back(report);
+    }
+
+    /// Reports currently awaiting retransmission.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Delivery accounting so far.
+    pub fn stats(&self) -> UplinkStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferMap;
+    use magellan_netsim::{FaultWindow, PeerAddr, SimDuration};
+    use magellan_workload::ChannelId;
+
+    fn report(ip: u32, minute: u64) -> PeerReport {
+        PeerReport {
+            time: SimTime::ORIGIN + SimDuration::from_mins(minute),
+            addr: PeerAddr::from_u32(ip),
+            channel: ChannelId::CCTV1,
+            buffer_map: BufferMap::new(0, 8),
+            download_capacity_kbps: 2000.0,
+            upload_capacity_kbps: 512.0,
+            recv_throughput_kbps: 400.0,
+            send_throughput_kbps: 50.0,
+            partners: vec![],
+        }
+    }
+
+    fn at_min(m: u64) -> SimTime {
+        SimTime::ORIGIN + SimDuration::from_mins(m)
+    }
+
+    fn downtime_server() -> TraceServer {
+        TraceServer::with_downtime(
+            SimTime::at(14, 0, 0),
+            vec![FaultWindow::new(at_min(30), at_min(60))],
+        )
+    }
+
+    #[test]
+    fn delivers_directly_when_server_is_up() {
+        let server = downtime_server();
+        let mut up = ReportUplink::new(8);
+        up.send(report(1, 20), at_min(20), &server);
+        assert_eq!(up.pending(), 0);
+        assert_eq!(up.stats().delivered, 1);
+        assert_eq!(server.len(), 1);
+    }
+
+    #[test]
+    fn buffers_across_downtime_and_retransmits_in_order() {
+        let server = downtime_server();
+        let mut up = ReportUplink::new(8);
+        up.send(report(1, 35), at_min(35), &server);
+        up.send(report(2, 45), at_min(45), &server);
+        assert_eq!(up.pending(), 2);
+        assert_eq!(server.len(), 0);
+        // Server back at minute 60: next send flushes backlog first.
+        up.send(report(3, 65), at_min(65), &server);
+        assert_eq!(up.pending(), 0);
+        let st = up.stats();
+        assert_eq!(st.delivered, 3);
+        assert_eq!(st.retransmitted, 2);
+        let addrs: Vec<u32> = server
+            .into_store()
+            .reports()
+            .iter()
+            .map(|r| r.addr.as_u32())
+            .collect();
+        assert_eq!(addrs, vec![1, 2, 3], "FIFO order violated");
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let server = downtime_server();
+        let mut up = ReportUplink::new(2);
+        for (ip, minute) in [(1, 31), (2, 40), (3, 50)] {
+            up.send(report(ip, minute), at_min(minute), &server);
+        }
+        assert_eq!(up.pending(), 2);
+        assert_eq!(up.stats().dropped_overflow, 1);
+        assert_eq!(up.flush(at_min(61), &server), 2);
+        let addrs: Vec<u32> = server
+            .into_store()
+            .reports()
+            .iter()
+            .map(|r| r.addr.as_u32())
+            .collect();
+        assert_eq!(addrs, vec![2, 3], "oldest report should have been evicted");
+    }
+
+    #[test]
+    fn retransmitted_duplicates_are_absorbed() {
+        let server = downtime_server();
+        let mut up = ReportUplink::new(8);
+        // Delivered once directly…
+        up.send(report(1, 20), at_min(20), &server);
+        // …and offered again (e.g. an ack was lost): the server
+        // absorbs the duplicate, the uplink still counts delivery.
+        up.send(report(1, 20), at_min(21), &server);
+        assert_eq!(server.len(), 1);
+        assert_eq!(server.stats().duplicates, 1);
+        assert_eq!(up.stats().delivered, 2);
+    }
+
+    #[test]
+    fn validation_failures_are_not_buffered() {
+        let server = downtime_server();
+        let mut up = ReportUplink::new(8);
+        let mut bad = report(1, 20);
+        bad.recv_throughput_kbps = f64::NAN;
+        up.send(bad, at_min(20), &server);
+        assert_eq!(up.pending(), 0);
+        assert_eq!(up.stats().rejected, 1);
+    }
+}

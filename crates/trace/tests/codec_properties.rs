@@ -3,7 +3,7 @@
 //! byte-for-byte, and malformed inputs must fail cleanly.
 
 use magellan_netsim::{PeerAddr, SimTime};
-use magellan_trace::{jsonl, wire, BufferMap, PartnerRecord, PeerReport};
+use magellan_trace::{jsonl, wire, BufferMap, PartnerRecord, PeerReport, TraceServer};
 use magellan_workload::ChannelId;
 use proptest::prelude::*;
 
@@ -109,5 +109,44 @@ proptest! {
     fn wire_decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
         let mut buf = bytes::Bytes::from(bytes);
         let _ = wire::decode(&mut buf);
+    }
+
+    /// A truncated datagram fired at the server must land in a
+    /// [`SubmitError`] path (almost always `Malformed`), never a
+    /// panic, and the rejection must be counted.
+    #[test]
+    fn server_counts_truncated_datagrams(report in arb_report(), cut_frac in 0.0f64..1.0) {
+        let server = TraceServer::new(SimTime::from_millis(14 * 86_400_000));
+        let bytes = wire::encode(&report);
+        let cut = ((bytes.len() as f64 * cut_frac) as usize).min(bytes.len().saturating_sub(1));
+        let res = server.submit_wire(bytes.slice(0..cut));
+        let st = server.stats();
+        prop_assert_eq!(st.accepted + st.rejected, 1);
+        prop_assert_eq!(res.is_ok(), st.accepted == 1);
+        if let Err(e) = res {
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+
+    /// A single flipped bit either still decodes into a report the
+    /// validator can judge, or fails decoding — both are counted
+    /// `SubmitError` paths; nothing panics and the books balance.
+    #[test]
+    fn server_counts_bitflipped_datagrams(
+        report in arb_report(),
+        idx in any::<prop::sample::Index>(),
+        bit in 0u32..8,
+    ) {
+        let server = TraceServer::new(SimTime::from_millis(14 * 86_400_000));
+        let mut bytes = wire::encode(&report).to_vec();
+        let i = idx.index(bytes.len());
+        bytes[i] ^= 1 << bit;
+        let res = server.submit_wire(bytes::Bytes::from(bytes));
+        let st = server.stats();
+        prop_assert_eq!(st.accepted + st.rejected, 1);
+        prop_assert_eq!(res.is_ok(), st.accepted == 1);
+        if let Err(e) = res {
+            prop_assert!(!e.to_string().is_empty());
+        }
     }
 }

@@ -1,0 +1,118 @@
+//! Property tests over snapshot reconstruction: the stable-peer set
+//! must match the surviving reports under *any* report-loss pattern,
+//! and the coverage flag must agree with the outage schedule.
+
+use magellan_netsim::{FaultWindow, PeerAddr, SimDuration, SimTime};
+use magellan_trace::{BufferMap, PeerReport, SnapshotBuilder, TraceStore};
+use magellan_workload::ChannelId;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn report(ip: u32, minute: u64) -> PeerReport {
+    PeerReport {
+        time: SimTime::ORIGIN + SimDuration::from_mins(minute),
+        addr: PeerAddr::from_u32(ip),
+        channel: ChannelId::CCTV1,
+        buffer_map: BufferMap::new(0, 8),
+        download_capacity_kbps: 2000.0,
+        upload_capacity_kbps: 512.0,
+        recv_throughput_kbps: 400.0,
+        send_throughput_kbps: 50.0,
+        partners: vec![],
+    }
+}
+
+fn at_min(m: u64) -> SimTime {
+    SimTime::ORIGIN + SimDuration::from_mins(m)
+}
+
+proptest! {
+    /// Drop any subset of a regular report schedule: the snapshot must
+    /// contain exactly the peers with a surviving report inside the
+    /// staleness horizon, each represented by its freshest survivor.
+    #[test]
+    fn stable_set_matches_survivors_under_any_loss_pattern(
+        peers in 1u32..12,
+        survive in proptest::collection::vec(any::<bool>(), 0..144),
+        sample_min in 0u64..150,
+        staleness_mins in 1u64..40,
+    ) {
+        // Peer p would report at minutes 10, 20, …, 120; `survive`
+        // masks each (peer, slot) pair.
+        let mut surviving = Vec::new();
+        let mut idx = 0usize;
+        for p in 1..=peers {
+            for slot in 1..=12u64 {
+                if survive.get(idx).copied().unwrap_or(false) {
+                    surviving.push(report(p, slot * 10));
+                }
+                idx += 1;
+            }
+        }
+        let store: TraceStore = surviving.iter().cloned().collect();
+        let staleness = SimDuration::from_mins(staleness_mins);
+        let at = at_min(sample_min);
+        let snap = SnapshotBuilder::new(&store).staleness(staleness).at(at);
+
+        // Independent oracle for the stable set.
+        let floor = at - staleness;
+        let expect: BTreeSet<u32> = surviving
+            .iter()
+            .filter(|r| r.time <= at && r.time > floor)
+            .map(|r| r.addr.as_u32())
+            .collect();
+        let got: BTreeSet<u32> = snap.reports().map(|r| r.addr.as_u32()).collect();
+        prop_assert_eq!(&got, &expect);
+        prop_assert_eq!(snap.stable_count(), expect.len());
+
+        // Freshest survivor wins for every stable peer.
+        for r in snap.reports() {
+            let best = surviving
+                .iter()
+                .filter(|x| x.addr == r.addr && x.time <= at && x.time > floor)
+                .map(|x| x.time)
+                .max()
+                .expect("stable peer has a surviving report");
+            prop_assert_eq!(r.time, best);
+        }
+
+        // Loss alone never marks a snapshot partial — only a declared
+        // server outage does.
+        prop_assert!(!snap.is_partial());
+    }
+
+    /// The coverage fraction equals the uncovered share of the
+    /// staleness horizon for a single outage window.
+    #[test]
+    fn coverage_matches_outage_overlap(
+        sample_min in 40u64..200,
+        out_start in 0u64..220,
+        out_len in 1u64..60,
+        staleness_mins in 5u64..30,
+    ) {
+        prop_assume!(sample_min >= staleness_mins);
+        let store = TraceStore::new();
+        let outage = [FaultWindow::new(at_min(out_start), at_min(out_start + out_len))];
+        let snap = SnapshotBuilder::new(&store)
+            .staleness(SimDuration::from_mins(staleness_mins))
+            .outages(&outage)
+            .at(at_min(sample_min));
+
+        // Oracle in milliseconds over the horizon
+        // [sample − staleness + 1ms, sample + 1ms).
+        let lo = at_min(sample_min - staleness_mins).as_millis() + 1;
+        let hi = at_min(sample_min).as_millis() + 1;
+        let (os, oe) = (at_min(out_start).as_millis(), at_min(out_start + out_len).as_millis());
+        let overlap = oe.min(hi).saturating_sub(os.max(lo));
+        let expected = 1.0 - overlap as f64 / (hi - lo) as f64;
+
+        prop_assert!((0.0..=1.0).contains(&snap.coverage));
+        prop_assert!(
+            (snap.coverage - expected).abs() < 1e-9,
+            "coverage {} expected {}",
+            snap.coverage,
+            expected
+        );
+        prop_assert_eq!(snap.is_partial(), overlap > 0);
+    }
+}

@@ -35,6 +35,7 @@
 pub mod arrivals;
 pub mod channels;
 pub mod diurnal;
+pub mod faults;
 pub mod flashcrowd;
 pub mod scenario;
 pub mod session;
@@ -42,6 +43,7 @@ pub mod session;
 pub use arrivals::generate_arrivals;
 pub use channels::{Channel, ChannelDirectory, ChannelId};
 pub use diurnal::DiurnalProfile;
+pub use faults::{CrashWave, FaultPlan, FaultPlanError, LossSpike};
 pub use flashcrowd::FlashCrowd;
 pub use scenario::{JoinEvent, Scenario, ScenarioBuilder};
 pub use session::SessionModel;

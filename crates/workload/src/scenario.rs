@@ -12,6 +12,7 @@
 use crate::arrivals::generate_arrivals;
 use crate::channels::{ChannelDirectory, ChannelId};
 use crate::diurnal::DiurnalProfile;
+use crate::faults::FaultPlan;
 use crate::flashcrowd::{combined_multiplier, FlashCrowd};
 use crate::session::SessionModel;
 use magellan_netsim::{RngFactory, SimDuration, SimTime, StudyCalendar};
@@ -52,6 +53,8 @@ pub struct Scenario {
     pub sessions: SessionModel,
     /// Channel directory.
     pub channels: ChannelDirectory,
+    /// Scheduled fault events (default: none).
+    pub faults: FaultPlan,
 }
 
 impl Scenario {
@@ -177,6 +180,7 @@ impl ScenarioBuilder {
                 ])],
                 sessions: SessionModel::default(),
                 channels: ChannelDirectory::uusee(20),
+                faults: FaultPlan::default(),
             },
         }
     }
@@ -208,6 +212,19 @@ impl ScenarioBuilder {
     /// Replaces the channel directory.
     pub fn channels(mut self, channels: ChannelDirectory) -> Self {
         self.scenario.channels = channels;
+        self
+    }
+
+    /// Replaces the fault plan (default: no faults).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`] — a fault
+    /// schedule is experiment configuration, and a bad one should
+    /// abort before any simulation work starts.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        faults.validate().expect("invalid fault plan");
+        self.scenario.faults = faults;
         self
     }
 

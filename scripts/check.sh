@@ -42,5 +42,11 @@ cargo run -q -p magellan-lint -- --format sarif --output target/magellan-lint.sa
 stage "cargo test"
 cargo test -q --workspace
 
+stage "fault-schedule smoke"
+# A 0.05x-scale study under the combined stress schedule (tracker +
+# server outages, partition, crash wave, report loss): proves the
+# fault path stays wired end to end. Warm runtime is ~1 s in release.
+cargo run -q --release --example faults -- --scale 0.0005 --days 2 > /dev/null
+
 stage "done"
 echo "==> all checks passed"

@@ -51,5 +51,5 @@ pub mod prelude {
     pub use magellan_netsim::{Isp, IspDatabase, PeerAddr, SimDuration, SimTime, StudyCalendar};
     pub use magellan_overlay::{OverlaySim, SimConfig, SimSummary};
     pub use magellan_trace::{PeerReport, TraceStore};
-    pub use magellan_workload::{ChannelDirectory, ChannelId, Scenario};
+    pub use magellan_workload::{ChannelDirectory, ChannelId, FaultPlan, Scenario};
 }

@@ -14,11 +14,14 @@ use magellan::overlay::{OverlaySim, SimConfig};
 use magellan::prelude::*;
 use magellan::workload::DiurnalProfile;
 
-fn archive_bytes(seed: u64) -> Vec<u8> {
-    let scenario = Scenario::builder(seed, 0.0004)
+fn archive_bytes_with(seed: u64, faults: FaultPlan) -> Vec<u8> {
+    let mut b = Scenario::builder(seed, 0.0004)
         .calendar(StudyCalendar { window_days: 1 })
-        .diurnal(DiurnalProfile::flat())
-        .build();
+        .diurnal(DiurnalProfile::flat());
+    if !faults.is_empty() {
+        b = b.faults(faults);
+    }
+    let scenario = b.build();
     let mut sim = OverlaySim::new(scenario, SimConfig::default());
     let (store, summary) = sim.run_collecting().expect("run succeeds");
     assert!(summary.reports > 0, "a run with no reports proves nothing");
@@ -27,6 +30,10 @@ fn archive_bytes(seed: u64) -> Vec<u8> {
         .write_jsonl(&mut buf)
         .expect("in-memory serialization succeeds");
     buf
+}
+
+fn archive_bytes(seed: u64) -> Vec<u8> {
+    archive_bytes_with(seed, FaultPlan::default())
 }
 
 /// FNV-1a, so a mismatch shows up as a compact hash diff before the
@@ -91,6 +98,31 @@ fn thread_count_does_not_change_output_bytes() {
     assert_eq!(
         report_seq, report_par,
         "StudyReport diverges across thread counts"
+    );
+}
+
+#[test]
+fn fault_runs_are_byte_identical_across_repeats_and_thread_counts() {
+    // The fault subsystem draws every probabilistic event (crash
+    // membership, report loss) from its own RNG fork, so a faulted
+    // run must be exactly as reproducible as a clean one — same seed,
+    // same plan, same bytes, at any worker count.
+    magellan::par::set_threads(1);
+    let a = archive_bytes_with(2006, FaultPlan::combined_stress(0));
+    magellan::par::set_threads(8);
+    let b = archive_bytes_with(2006, FaultPlan::combined_stress(0));
+    magellan::par::set_threads(0);
+    assert_eq!(
+        fnv1a(&a),
+        fnv1a(&b),
+        "same-seed fault-injected archives hash differently"
+    );
+    assert_eq!(a, b, "hash collision hid a byte-level divergence");
+    // And the plan must actually change the run relative to clean.
+    assert_ne!(
+        fnv1a(&a),
+        fnv1a(&archive_bytes(2006)),
+        "the combined stress plan had no effect on the trace"
     );
 }
 
