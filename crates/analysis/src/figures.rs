@@ -451,6 +451,12 @@ pub struct StudyReport {
     /// Lossy-channel statistics when datagram loss/corruption was
     /// injected between peers and the server.
     pub loss: Option<magellan_trace::loss::LossStats>,
+    /// Archive-recovery accounting when the report stream was
+    /// replayed from a segmented on-disk archive (None for live
+    /// runs — a resumed live study re-reads its own archive prefix
+    /// but reports as live, so interrupted and uninterrupted runs
+    /// render identically).
+    pub recovery: Option<magellan_trace::RecoveryReport>,
 }
 
 impl StudyReport {
@@ -517,6 +523,18 @@ impl StudyReport {
                 out,
                 "Datagram channel — sent {} | delivered {} | dropped {} | corrupted {} | rejected by server {}",
                 ls.sent, ls.delivered, ls.dropped, ls.corrupted, ls.rejected_by_server
+            );
+        }
+        if let Some(rc) = &self.recovery {
+            let _ = writeln!(
+                out,
+                "Archive replay — {} record(s) recovered from {} segment(s) ({} sealed) | corrupt regions {} | bytes quarantined {} | torn tail {}",
+                rc.records_recovered,
+                rc.segments_read,
+                rc.sealed_segments,
+                rc.corrupt_regions,
+                rc.bytes_quarantined,
+                if rc.truncated_tail { "yes" } else { "no" }
             );
         }
         out

@@ -39,6 +39,7 @@
 #![deny(missing_docs)]
 
 pub mod classify;
+pub mod durable;
 pub mod figures;
 pub mod graphs;
 pub mod plot;
@@ -46,5 +47,6 @@ pub mod sessions;
 pub mod study;
 pub mod timeseries;
 
+pub use durable::{DurableConfig, DurableStudy};
 pub use figures::StudyReport;
 pub use study::{MagellanStudy, StudyConfig};

@@ -216,7 +216,7 @@ struct Boundary {
     capture: Option<usize>,
 }
 
-struct Accumulator {
+pub(crate) struct Accumulator {
     cfg: StudyConfig,
     db: IspDatabase,
     staleness: SimDuration,
@@ -237,7 +237,7 @@ struct Accumulator {
 }
 
 impl Accumulator {
-    fn new(cfg: &StudyConfig, db: IspDatabase) -> Self {
+    pub(crate) fn new(cfg: &StudyConfig, db: IspDatabase) -> Self {
         let window_end = SimTime::at(cfg.window_days, 0, 0);
         // Merge the periodic grid with the capture instants.
         let mut boundaries: Vec<Boundary> = Vec::new();
@@ -319,7 +319,7 @@ impl Accumulator {
             / 60_000.0
     }
 
-    fn ingest(&mut self, r: PeerReport) {
+    pub(crate) fn ingest(&mut self, r: PeerReport) {
         // Finalize every boundary that is certainly complete: report
         // emission lags report timestamps by less than one tick, so
         // once a report with time >= B + tick arrives, no report with
@@ -378,7 +378,7 @@ impl Accumulator {
         }
     }
 
-    fn finish(mut self) -> StudyReport {
+    pub(crate) fn finish(mut self) -> StudyReport {
         // Remaining boundaries (the stream ended).
         while self.next_boundary < self.boundaries.len() {
             let b = self.boundaries[self.next_boundary].clone();

@@ -19,7 +19,6 @@
 use magellan_analysis::study::{MagellanStudy, StudyConfig};
 use magellan_analysis::timeseries::to_csv;
 use magellan_netsim::SimDuration;
-use std::io::Write as _;
 
 struct Args {
     scale: f64,
@@ -165,7 +164,8 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create svg dir");
         let write = |name: &str, contents: String| {
             let path = format!("{dir}/{name}.svg");
-            std::fs::write(&path, contents).expect("write svg");
+            magellan_trace::atomic_write(std::path::Path::new(&path), contents.as_bytes())
+                .expect("write svg");
             eprintln!("wrote {path}");
         };
         let opts = |title: &str, y: &str| PlotOptions {
@@ -287,8 +287,8 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create csv dir");
         let write = |name: &str, contents: String| {
             let path = format!("{dir}/{name}.csv");
-            let mut f = std::fs::File::create(&path).expect("create csv");
-            f.write_all(contents.as_bytes()).expect("write csv");
+            magellan_trace::atomic_write(std::path::Path::new(&path), contents.as_bytes())
+                .expect("write csv");
             eprintln!("wrote {path}");
         };
         write("fig1a_population", report.fig1a.to_csv());

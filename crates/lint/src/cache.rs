@@ -407,7 +407,29 @@ pub fn store_cache(
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
-    std::fs::write(path, render(config, entries))
+    atomic_write(&path, render(config, entries).as_bytes())
+}
+
+/// Writes `bytes` to `path` through a sibling temp file and an atomic
+/// rename, so an interrupted run never leaves a torn artifact (a
+/// half-written cache or baseline would silently skew the next run).
+/// Local stand-in for `magellan_trace::atomic_write` — the lint gate
+/// stays dependency-free so it builds before anything else does.
+///
+/// # Errors
+///
+/// Propagates creation, write, sync, and rename failures.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    use std::io::Write as _;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
 }
 
 #[cfg(test)]

@@ -61,7 +61,7 @@ mod source;
 mod taint;
 mod walk;
 
-pub use cache::{load_cache, store_cache, FileStamp, CACHE_FILE};
+pub use cache::{atomic_write, load_cache, store_cache, FileStamp, CACHE_FILE};
 pub use items::{parse_items, CallSite, FileItems, FnItem, UseImport};
 pub use output::{
     load_baseline, render_human, render_json, render_sarif, violation_fingerprint, Baseline,

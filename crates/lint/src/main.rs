@@ -130,7 +130,7 @@ fn main() -> ExitCode {
 
     if cli.write_baseline {
         let path = root.join(BASELINE_FILE);
-        if let Err(e) = std::fs::write(&path, Baseline::render(&report)) {
+        if let Err(e) = magellan_lint::atomic_write(&path, Baseline::render(&report).as_bytes()) {
             eprintln!("magellan-lint: cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
@@ -155,7 +155,7 @@ fn main() -> ExitCode {
         Some(path) => {
             // Write the machine report to the file and keep the human
             // view on stdout, so one CI invocation does both jobs.
-            if let Err(e) = std::fs::write(path, &rendered) {
+            if let Err(e) = magellan_lint::atomic_write(path, rendered.as_bytes()) {
                 eprintln!("magellan-lint: cannot write {}: {e}", path.display());
                 return ExitCode::FAILURE;
             }

@@ -324,6 +324,15 @@ impl AddrAllocator {
     pub fn allocated(&self) -> usize {
         self.used.len()
     }
+
+    /// Records an address as already handed out without drawing it.
+    ///
+    /// Checkpoint restore uses this to rebuild the allocator from the
+    /// set of live addresses so that post-resume draws skip exactly
+    /// the addresses an uninterrupted run would have skipped.
+    pub fn mark_used(&mut self, addr: PeerAddr) {
+        self.used.insert(addr.as_u32());
+    }
 }
 
 #[cfg(test)]

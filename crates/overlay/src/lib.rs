@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod error;
 pub mod peer;
@@ -51,8 +52,9 @@ pub mod sim;
 pub mod tracker;
 pub mod transfer;
 
+pub use checkpoint::SimCheckpoint;
 pub use config::SimConfig;
 pub use error::{SimError, TransferError};
 pub use peer::{PeerId, PeerState};
-pub use sim::{OverlaySim, SimSummary};
+pub use sim::{OverlaySim, RunState, SimSummary};
 pub use tracker::Tracker;

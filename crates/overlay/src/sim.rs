@@ -13,6 +13,7 @@
 //! [`magellan_trace::TraceStore`] for small runs via
 //! [`OverlaySim::run_collecting`].
 
+use crate::checkpoint::SimCheckpoint;
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::peer::{PeerId, PeerState};
@@ -75,6 +76,49 @@ pub struct SimSummary {
     pub ticks: u64,
     /// Fault-injection and resilience accounting.
     pub faults: FaultCounters,
+}
+
+/// The loop state of a stepped run ([`OverlaySim::begin`] /
+/// [`OverlaySim::tick_once`]): the five deterministic RNG streams,
+/// the join schedule and its cursor, pending departures, the derived
+/// channel-rate table, and the running summary. Together with the
+/// simulator itself this is the *complete* state of a run — which is
+/// what [`OverlaySim::capture`] serializes for crash-safe resume.
+#[derive(Debug)]
+pub struct RunState {
+    pub(crate) join_rng: StdRng,
+    pub(crate) link_rng: StdRng,
+    pub(crate) sel_rng: StdRng,
+    pub(crate) gossip_rng: StdRng,
+    pub(crate) fault_rng: StdRng,
+    pub(crate) faults: FaultPlan,
+    pub(crate) joins: Vec<JoinEvent>,
+    pub(crate) join_idx: usize,
+    /// Max-heap over `Reverse(time)` → min-heap of departures.
+    pub(crate) departures: BinaryHeap<std::cmp::Reverse<(SimTime, u32)>>,
+    pub(crate) rates: BTreeMap<ChannelId, f64>,
+    pub(crate) ticks_total: u64,
+    pub(crate) next_tick: u64,
+    pub(crate) summary: SimSummary,
+}
+
+impl RunState {
+    /// The summary accumulated so far (final once
+    /// [`OverlaySim::tick_once`] has returned `false`).
+    pub fn summary(&self) -> &SimSummary {
+        &self.summary
+    }
+
+    /// The tick index the next [`OverlaySim::tick_once`] call will
+    /// execute.
+    pub fn next_tick(&self) -> u64 {
+        self.next_tick
+    }
+
+    /// Total ticks in the study window.
+    pub fn ticks_total(&self) -> u64 {
+        self.ticks_total
+    }
 }
 
 /// The UUSee overlay simulator.
@@ -145,27 +189,34 @@ impl OverlaySim {
     where
         F: FnMut(PeerReport),
     {
+        let mut state = self.begin();
+        while self.tick_once(&mut state, &mut sink)? {}
+        Ok(state.summary)
+    }
+
+    /// Initialises a stepped run: forks the RNG streams, generates
+    /// the join schedule, spawns the channel servers, and returns the
+    /// loop state that [`OverlaySim::tick_once`] advances. Equivalent
+    /// to the setup [`OverlaySim::run`] performs — `run` is exactly
+    /// `begin` plus a `tick_once` loop.
+    pub fn begin(&mut self) -> RunState {
         let factory = RngFactory::new(self.scenario.seed);
-        let mut join_rng = factory.fork("sim/join");
+        let join_rng = factory.fork("sim/join");
         let mut link_rng = factory.fork("sim/link");
-        let mut sel_rng = factory.fork("sim/select");
-        let mut gossip_rng = factory.fork("sim/gossip");
+        let sel_rng = factory.fork("sim/select");
+        let gossip_rng = factory.fork("sim/gossip");
         // Dedicated stream for fault draws: a fault-free plan makes
         // zero draws from it, so enabling faults never perturbs the
         // join/link/select/gossip streams and a fault-free run is
         // byte-identical to one on a build without fault support.
-        let mut fault_rng = factory.fork("sim/faults");
+        let fault_rng = factory.fork("sim/faults");
         let faults = self.scenario.faults.clone();
 
         let joins = self.scenario.generate_joins();
-        let mut join_idx = 0usize;
-        // Max-heap over Reverse(time) → min-heap of departures.
-        let mut departures: BinaryHeap<std::cmp::Reverse<(SimTime, u32)>> = BinaryHeap::new();
 
         let window_end = self.scenario.calendar.window_end();
         self.spawn_servers(&mut link_rng, window_end);
 
-        let mut summary = SimSummary::default();
         let tick = self.cfg.tick;
         let ticks_total = window_end.as_millis() / tick.as_millis();
         let rates: BTreeMap<ChannelId, f64> = self
@@ -175,105 +226,252 @@ impl OverlaySim {
             .map(|c| (c.id, c.rate_kbps))
             .collect();
 
-        for k in 0..ticks_total {
-            let tick_start = SimTime::from_millis(k * tick.as_millis());
-            let tick_end = tick_start + tick;
-
-            // 0. Tracker liveness expiry: crashed peers sent no
-            //    leave message; the tracker notices after its
-            //    liveness horizon and drops the stale entry.
-            while let Some(&(due, ch, id)) = self.crash_expiry.front() {
-                if due > k {
-                    break;
-                }
-                self.crash_expiry.pop_front();
-                self.tracker.deregister(ch, PeerId(id));
-                summary.faults.tracker_expirations += 1;
-            }
-
-            // 1. Departures scheduled before this tick. A crashed
-            //    peer's scheduled departure finds the slot already
-            //    empty and is not counted as a leave.
-            while let Some(&std::cmp::Reverse((t, id))) = departures.peek() {
-                if t >= tick_start {
-                    break;
-                }
-                departures.pop();
-                if self.depart(PeerId(id)) {
-                    summary.leaves += 1;
-                }
-            }
-
-            // 2. Joins landing in this tick.
-            while join_idx < joins.len() && joins[join_idx].time < tick_end {
-                let ev = joins[join_idx];
-                join_idx += 1;
-                let id = self.join(
-                    &ev,
-                    k,
-                    &faults,
-                    &mut summary.faults,
-                    &mut join_rng,
-                    &mut link_rng,
-                    &mut sel_rng,
-                );
-                departures.push(std::cmp::Reverse((ev.time + ev.duration, id.0)));
-                summary.joins += 1;
-            }
-
-            // 2b. Ungraceful crash waves landing in this tick: each
-            //     live viewer crashes with the wave's probability,
-            //     drawn from the dedicated fault stream in slab
-            //     order (deterministic per seed).
-            for wave in faults.crash_waves_in(tick_start, tick_end) {
-                for i in 0..self.peers.len() {
-                    match &self.peers[i] {
-                        Some(p) if !p.is_server => {}
-                        _ => continue,
-                    }
-                    if fault_rng.random_range(0.0..1.0) < wave.fraction {
-                        self.crash(PeerId(i as u32), k, &mut summary.faults);
-                    }
-                }
-            }
-
-            // 3. Per-peer maintenance.
-            self.maintenance_pass(
-                k,
-                tick_start,
-                &rates,
-                &faults,
-                &mut summary.faults,
-                &mut sel_rng,
-                &mut gossip_rng,
-            );
-
-            // 4. Block transfers (skipping partition-severed paths).
-            let rates_ref = &rates;
-            let outcome = transfer::run_tick(
-                &mut self.peers,
-                |ch| rates_ref.get(&ch).copied(),
-                |a, b| faults.path_open(a, b, tick_start),
-                &self.cfg,
-            )?;
-            summary.segments += outcome.segments;
-            summary.faults.flows_blocked += outcome.blocked_flows as u64;
-
-            // 5. Reports due by the end of this tick.
-            let emitted = self.emit_reports(
-                tick_end,
-                &faults,
-                &mut fault_rng,
-                &mut summary.faults,
-                &mut sink,
-            );
-            summary.reports += emitted;
-
-            summary.peak_concurrent = summary.peak_concurrent.max(self.live);
-            summary.ticks += 1;
+        RunState {
+            join_rng,
+            link_rng,
+            sel_rng,
+            gossip_rng,
+            fault_rng,
+            faults,
+            joins,
+            join_idx: 0,
+            departures: BinaryHeap::new(),
+            rates,
+            ticks_total,
+            next_tick: 0,
+            summary: SimSummary::default(),
         }
-        summary.final_concurrent = self.live;
-        Ok(summary)
+    }
+
+    /// Advances one simulation tick. Returns `Ok(false)` once the
+    /// study window is exhausted (the summary in `state` is then
+    /// final, including `final_concurrent`).
+    ///
+    /// # Errors
+    ///
+    /// As [`OverlaySim::run`].
+    pub fn tick_once<F>(&mut self, state: &mut RunState, sink: &mut F) -> Result<bool, SimError>
+    where
+        F: FnMut(PeerReport),
+    {
+        if state.next_tick >= state.ticks_total {
+            state.summary.final_concurrent = self.live;
+            return Ok(false);
+        }
+        let k = state.next_tick;
+        let tick = self.cfg.tick;
+        let tick_start = SimTime::from_millis(k * tick.as_millis());
+        let tick_end = tick_start + tick;
+
+        // 0. Tracker liveness expiry: crashed peers sent no
+        //    leave message; the tracker notices after its
+        //    liveness horizon and drops the stale entry.
+        while let Some(&(due, ch, id)) = self.crash_expiry.front() {
+            if due > k {
+                break;
+            }
+            self.crash_expiry.pop_front();
+            self.tracker.deregister(ch, PeerId(id));
+            state.summary.faults.tracker_expirations += 1;
+        }
+
+        // 1. Departures scheduled before this tick. A crashed
+        //    peer's scheduled departure finds the slot already
+        //    empty and is not counted as a leave.
+        while let Some(&std::cmp::Reverse((t, id))) = state.departures.peek() {
+            if t >= tick_start {
+                break;
+            }
+            state.departures.pop();
+            if self.depart(PeerId(id)) {
+                state.summary.leaves += 1;
+            }
+        }
+
+        // 2. Joins landing in this tick.
+        while state.join_idx < state.joins.len() && state.joins[state.join_idx].time < tick_end {
+            let ev = state.joins[state.join_idx];
+            state.join_idx += 1;
+            let id = self.join(
+                &ev,
+                k,
+                &state.faults,
+                &mut state.summary.faults,
+                &mut state.join_rng,
+                &mut state.link_rng,
+                &mut state.sel_rng,
+            );
+            state
+                .departures
+                .push(std::cmp::Reverse((ev.time + ev.duration, id.0)));
+            state.summary.joins += 1;
+        }
+
+        // 2b. Ungraceful crash waves landing in this tick: each
+        //     live viewer crashes with the wave's probability,
+        //     drawn from the dedicated fault stream in slab
+        //     order (deterministic per seed).
+        for wave in state.faults.crash_waves_in(tick_start, tick_end) {
+            for i in 0..self.peers.len() {
+                match &self.peers[i] {
+                    Some(p) if !p.is_server => {}
+                    _ => continue,
+                }
+                if state.fault_rng.random_range(0.0..1.0) < wave.fraction {
+                    self.crash(PeerId(i as u32), k, &mut state.summary.faults);
+                }
+            }
+        }
+
+        // 3. Per-peer maintenance.
+        self.maintenance_pass(
+            k,
+            tick_start,
+            &state.rates,
+            &state.faults,
+            &mut state.summary.faults,
+            &mut state.sel_rng,
+            &mut state.gossip_rng,
+        );
+
+        // 4. Block transfers (skipping partition-severed paths).
+        let rates_ref = &state.rates;
+        let faults_ref = &state.faults;
+        let outcome = transfer::run_tick(
+            &mut self.peers,
+            |ch| rates_ref.get(&ch).copied(),
+            |a, b| faults_ref.path_open(a, b, tick_start),
+            &self.cfg,
+        )?;
+        state.summary.segments += outcome.segments;
+        state.summary.faults.flows_blocked += outcome.blocked_flows as u64;
+
+        // 5. Reports due by the end of this tick.
+        let emitted = self.emit_reports(
+            tick_end,
+            &state.faults,
+            &mut state.fault_rng,
+            &mut state.summary.faults,
+            sink,
+        );
+        state.summary.reports += emitted;
+
+        state.summary.peak_concurrent = state.summary.peak_concurrent.max(self.live);
+        state.summary.ticks += 1;
+        state.next_tick += 1;
+        if state.next_tick >= state.ticks_total {
+            state.summary.final_concurrent = self.live;
+        }
+        Ok(true)
+    }
+
+    /// Captures the complete deterministic state of a stepped run:
+    /// the peer slab, tracker, address/ISP tables, crash-expiry
+    /// queue, all five RNG stream states, the join cursor, pending
+    /// departures, and the running summary. Everything else a resumed
+    /// run needs (join schedule, channel rates, ISP database) is
+    /// recomputed from the scenario and config, which the caller
+    /// persists separately (fingerprinted — see
+    /// [`magellan_trace::checkpoint`]).
+    ///
+    /// Must be called *between* ticks (never mid-tick); the capture
+    /// then marks a point from which [`OverlaySim::resume`] continues
+    /// byte-identically.
+    pub fn capture(&self, state: &RunState) -> SimCheckpoint {
+        let mut departures: Vec<(u64, u32)> = state
+            .departures
+            .iter()
+            .map(|&std::cmp::Reverse((t, id))| (t.as_millis(), id))
+            .collect();
+        departures.sort_unstable();
+        SimCheckpoint {
+            next_tick: state.next_tick,
+            rng_states: [
+                state.join_rng.state(),
+                state.link_rng.state(),
+                state.sel_rng.state(),
+                state.gossip_rng.state(),
+                state.fault_rng.state(),
+            ],
+            join_idx: state.join_idx as u64,
+            departures,
+            crash_expiry: self
+                .crash_expiry
+                .iter()
+                .map(|&(due, ch, id)| (due, ch.0, id))
+                .collect(),
+            peers: self.peers.clone(),
+            addrs: self.addrs.clone(),
+            isps: self.isps.clone(),
+            tracker: self.tracker.snapshot(),
+            live: self.live as u64,
+            summary: state.summary,
+        }
+    }
+
+    /// Rebuilds a simulator and its loop state from a checkpoint
+    /// taken by [`OverlaySim::capture`], given the *same* scenario
+    /// and config that produced it. Continuing the returned pair with
+    /// [`OverlaySim::tick_once`] replays the remainder of the run
+    /// byte-identically to one that was never interrupted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`SimConfig::validate`]).
+    pub fn resume(scenario: Scenario, cfg: SimConfig, ckpt: &SimCheckpoint) -> (Self, RunState) {
+        // lint:allow(C1): a bad config is experiment-setup error; abort before any simulation work
+        cfg.validate().expect("invalid simulator configuration");
+        let db = IspDatabase::synthetic(cfg.isp_shares);
+        let mut allocator = db.allocator();
+        for &addr in &ckpt.addrs {
+            allocator.mark_used(addr);
+        }
+        let sim = OverlaySim {
+            cfg,
+            scenario,
+            peers: ckpt.peers.clone(),
+            addrs: ckpt.addrs.clone(),
+            isps: ckpt.isps.clone(),
+            tracker: Tracker::restore(&ckpt.tracker),
+            allocator,
+            db,
+            live: ckpt.live as usize,
+            crash_expiry: ckpt
+                .crash_expiry
+                .iter()
+                .map(|&(due, ch, id)| (due, ChannelId(ch), id))
+                .collect(),
+        };
+        let joins = sim.scenario.generate_joins();
+        let window_end = sim.scenario.calendar.window_end();
+        let ticks_total = window_end.as_millis() / sim.cfg.tick.as_millis();
+        let rates: BTreeMap<ChannelId, f64> = sim
+            .scenario
+            .channels
+            .iter()
+            .map(|c| (c.id, c.rate_kbps))
+            .collect();
+        let state = RunState {
+            join_rng: StdRng::from_state(ckpt.rng_states[0]),
+            link_rng: StdRng::from_state(ckpt.rng_states[1]),
+            sel_rng: StdRng::from_state(ckpt.rng_states[2]),
+            gossip_rng: StdRng::from_state(ckpt.rng_states[3]),
+            fault_rng: StdRng::from_state(ckpt.rng_states[4]),
+            faults: sim.scenario.faults.clone(),
+            joins,
+            join_idx: ckpt.join_idx as usize,
+            departures: ckpt
+                .departures
+                .iter()
+                .map(|&(t, id)| std::cmp::Reverse((SimTime::from_millis(t), id)))
+                .collect(),
+            rates,
+            ticks_total,
+            next_tick: ckpt.next_tick,
+            summary: ckpt.summary,
+        };
+        (sim, state)
     }
 
     /// Convenience wrapper: run and collect everything through a
@@ -1102,6 +1300,79 @@ pub(crate) mod tests {
         assert!(sum_a.faults.reports_lost > 0, "{:?}", sum_a.faults);
         assert!(sum_a.faults.crashes > 0, "{:?}", sum_a.faults);
         assert!(sum_a.faults.flows_blocked > 0, "{:?}", sum_a.faults);
+    }
+
+    /// Runs `scenario` to completion two ways — uninterrupted, and
+    /// interrupted at `stop_tick` with a capture → encode → decode →
+    /// resume round-trip — and asserts byte-identical reports and an
+    /// identical summary.
+    fn assert_resume_is_identical(scenario: Scenario, stop_tick_frac: (u64, u64)) {
+        let mut clean_reports: Vec<Vec<u8>> = Vec::new();
+        let mut sim = OverlaySim::new(scenario.clone(), quick_cfg());
+        let mut state = sim.begin();
+        let mut sink =
+            |r: PeerReport| clean_reports.push(magellan_trace::wire::encode(&r).to_vec());
+        while sim.tick_once(&mut state, &mut sink).expect("tick") {}
+        let clean = state.summary;
+        let clean_final = sim.capture(&state).encode();
+
+        let mut resumed_reports: Vec<Vec<u8>> = Vec::new();
+        let mut sink =
+            |r: PeerReport| resumed_reports.push(magellan_trace::wire::encode(&r).to_vec());
+        let mut sim = OverlaySim::new(scenario.clone(), quick_cfg());
+        let mut state = sim.begin();
+        let stop = state.ticks_total() * stop_tick_frac.0 / stop_tick_frac.1;
+        while state.next_tick() < stop {
+            sim.tick_once(&mut state, &mut sink).expect("tick");
+        }
+        // Simulated crash: everything but the checkpoint bytes dies.
+        let bytes = sim.capture(&state).encode();
+        drop((sim, state));
+        let ckpt = crate::checkpoint::SimCheckpoint::decode(&bytes).expect("decodes");
+        let (mut sim, mut state) = OverlaySim::resume(scenario, quick_cfg(), &ckpt);
+        while sim.tick_once(&mut state, &mut sink).expect("tick") {}
+
+        assert_eq!(state.summary, clean, "summaries diverged");
+        assert_eq!(
+            resumed_reports.len(),
+            clean_reports.len(),
+            "report counts diverged"
+        );
+        assert_eq!(resumed_reports, clean_reports, "report bytes diverged");
+        // The strongest check: the complete end-of-run state (peer
+        // slab, tracker, RNG streams, …) is byte-identical to the
+        // uninterrupted run's.
+        assert_eq!(
+            sim.capture(&state).encode(),
+            clean_final,
+            "final captured state diverged"
+        );
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical() {
+        assert_resume_is_identical(tiny_scenario(13), (1, 2));
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical_under_faults() {
+        let mut s = tiny_scenario(14);
+        s.faults = FaultPlan::combined_stress(0);
+        assert_resume_is_identical(s, (1, 3));
+    }
+
+    #[test]
+    fn stepped_run_matches_run() {
+        let mut a_reports = Vec::new();
+        let mut sim = OverlaySim::new(tiny_scenario(15), quick_cfg());
+        let a = sim.run(|r| a_reports.push(r)).expect("run succeeds");
+        let mut b_reports = Vec::new();
+        let mut sim = OverlaySim::new(tiny_scenario(15), quick_cfg());
+        let mut state = sim.begin();
+        let mut sink = |r: PeerReport| b_reports.push(r);
+        while sim.tick_once(&mut state, &mut sink).expect("tick") {}
+        assert_eq!(a, *state.summary());
+        assert_eq!(a_reports, b_reports);
     }
 
     #[test]

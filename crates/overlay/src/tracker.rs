@@ -166,6 +166,77 @@ impl Tracker {
     }
 }
 
+/// Ordered snapshot of one channel's tracking state.
+///
+/// The list orders are semantically significant: bootstrap samples
+/// members and volunteers *by index*, so a resumed run only replays
+/// the same draws if the lists come back in the exact live order —
+/// which is why the snapshot keeps `Vec`s rather than sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelSnapshot {
+    /// The channel.
+    pub channel: ChannelId,
+    /// Member list, in registration order.
+    pub members: Vec<PeerId>,
+    /// Volunteer list, in volunteering order.
+    pub volunteers: Vec<PeerId>,
+}
+
+/// Ordered snapshot of the whole tracker — checkpoint capture.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrackerSnapshot {
+    /// Per-channel state, one entry per known channel.
+    pub channels: Vec<ChannelSnapshot>,
+    /// ISP of every registered peer (sorted by peer id).
+    pub isps: Vec<(PeerId, Isp)>,
+}
+
+impl Tracker {
+    /// Captures an ordered snapshot of the tracker (see
+    /// [`TrackerSnapshot`]).
+    pub fn snapshot(&self) -> TrackerSnapshot {
+        TrackerSnapshot {
+            channels: self
+                .channels
+                .iter()
+                .map(|(&channel, st)| ChannelSnapshot {
+                    channel,
+                    members: st.members.clone(),
+                    volunteers: st.volunteers.clone(),
+                })
+                .collect(),
+            isps: self.isps.iter().map(|(&id, &isp)| (id, isp)).collect(),
+        }
+    }
+
+    /// Rebuilds a tracker from a snapshot, reproducing every list in
+    /// its captured order (including the per-ISP member indices,
+    /// which are re-derived by replaying registrations in member
+    /// order — exactly how the live tracker built them).
+    pub fn restore(snap: &TrackerSnapshot) -> Self {
+        let isps: BTreeMap<PeerId, Isp> = snap.isps.iter().copied().collect();
+        let mut channels: BTreeMap<ChannelId, ChannelState> = BTreeMap::new();
+        for ch in &snap.channels {
+            let mut st = ChannelState::default();
+            for &id in &ch.members {
+                if st.member_set.insert(id) {
+                    st.members.push(id);
+                    if let Some(&isp) = isps.get(&id) {
+                        st.members_by_isp.entry(isp).or_default().push(id);
+                    }
+                }
+            }
+            for &id in &ch.volunteers {
+                if st.member_set.contains(&id) && st.volunteer_set.insert(id) {
+                    st.volunteers.push(id);
+                }
+            }
+            channels.insert(ch.channel, st);
+        }
+        Tracker { channels, isps }
+    }
+}
+
 /// Reservoir-free partial sample: randomly probes `pool` (bounded
 /// tries) and fills `out` up to `want` with unseen entries, falling
 /// back to a shuffled scan when the pool is small relative to the

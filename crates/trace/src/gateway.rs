@@ -1,0 +1,162 @@
+//! The report-delivery abstraction behind the peer uplink.
+//!
+//! [`crate::uplink::ReportUplink`] originally spoke only to the
+//! in-memory [`TraceServer`]; the durable study pipeline needs the
+//! same downtime/validation/dedup semantics in front of an on-disk
+//! archive. [`ReportGateway`] is the common trait, and
+//! [`GatewayCore`] packages the server-equivalent admission logic
+//! (downtime windows, validation, `(peer, timestamp)` dedup, stats)
+//! for any storage backend to compose with.
+
+use crate::report::PeerReport;
+use crate::server::{validate_report, ServerStats, SubmitError, TraceServer};
+use magellan_netsim::{FaultWindow, SimTime};
+use std::collections::BTreeSet;
+
+/// Anything that can accept a report delivery at a given arrival
+/// time, with server-style error semantics ([`SubmitError`]).
+pub trait ReportGateway {
+    /// Validates and stores one report arriving at `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Unavailable`] when the endpoint is down at
+    /// `now` (the sender should buffer and retransmit); any other
+    /// [`SubmitError`] is a validation rejection that retrying cannot
+    /// fix.
+    fn submit_report(&mut self, report: PeerReport, now: SimTime) -> Result<(), SubmitError>;
+}
+
+impl ReportGateway for &TraceServer {
+    fn submit_report(&mut self, report: PeerReport, now: SimTime) -> Result<(), SubmitError> {
+        self.submit_at(report, now)
+    }
+}
+
+/// The admission half of a trace collection endpoint, storage
+/// agnostic: downtime windows, the validation rules of
+/// [`TraceServer`], `(peer, timestamp)` retransmission dedup, and
+/// [`ServerStats`] accounting. Callers decide what to do with an
+/// admitted report (archive it, feed an accumulator, both).
+#[derive(Debug, Clone)]
+pub struct GatewayCore {
+    window_end: SimTime,
+    downtime: Vec<FaultWindow>,
+    seen: BTreeSet<(u32, u64)>,
+    stats: ServerStats,
+}
+
+impl GatewayCore {
+    /// An endpoint accepting reports with `time < window_end`, down
+    /// inside any of the `downtime` windows.
+    pub fn new(window_end: SimTime, downtime: Vec<FaultWindow>) -> Self {
+        GatewayCore {
+            window_end,
+            downtime,
+            seen: BTreeSet::new(),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Admission decision for one report arriving at `now`:
+    /// `Ok(true)` = fresh, store it; `Ok(false)` = duplicate,
+    /// absorbed idempotently.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReportGateway::submit_report`]. Rejections are counted.
+    pub fn admit(&mut self, report: &PeerReport, now: SimTime) -> Result<bool, SubmitError> {
+        if self.downtime.iter().any(|w| w.contains(now)) {
+            self.stats.unavailable += 1;
+            return Err(SubmitError::Unavailable { time: now });
+        }
+        if let Err(e) = validate_report(report, self.window_end) {
+            self.stats.rejected += 1;
+            return Err(e);
+        }
+        let key = (report.addr.as_u32(), report.time.as_millis());
+        if !self.seen.insert(key) {
+            self.stats.duplicates += 1;
+            return Ok(false);
+        }
+        self.stats.accepted += 1;
+        Ok(true)
+    }
+
+    /// Re-registers an identity as already stored without touching
+    /// the stats — checkpoint resume rebuilds the dedup set by
+    /// replaying the archive prefix through this.
+    pub fn mark_seen(&mut self, report: &PeerReport) {
+        self.seen
+            .insert((report.addr.as_u32(), report.time.as_millis()));
+    }
+
+    /// Current accounting.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Overwrites the accounting — checkpoint restore.
+    pub fn restore_stats(&mut self, stats: ServerStats) {
+        self.stats = stats;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferMap;
+    use magellan_netsim::{PeerAddr, SimDuration};
+    use magellan_workload::ChannelId;
+
+    fn report(minute: u64) -> PeerReport {
+        PeerReport {
+            time: SimTime::ORIGIN + SimDuration::from_mins(minute),
+            addr: PeerAddr::from_u32(42),
+            channel: ChannelId::CCTV4,
+            buffer_map: BufferMap::new(0, 8),
+            download_capacity_kbps: 2000.0,
+            upload_capacity_kbps: 512.0,
+            recv_throughput_kbps: 380.0,
+            send_throughput_kbps: 90.0,
+            partners: vec![],
+        }
+    }
+
+    #[test]
+    fn admission_matches_server_semantics() {
+        let down = FaultWindow::new(SimTime::at(0, 1, 0), SimTime::at(0, 2, 0));
+        let mut g = GatewayCore::new(SimTime::at(14, 0, 0), vec![down]);
+        // Inside the outage: unavailable.
+        assert!(matches!(
+            g.admit(&report(90), SimTime::ORIGIN + SimDuration::from_mins(90)),
+            Err(SubmitError::Unavailable { .. })
+        ));
+        // Retransmitted after recovery: fresh.
+        let now = SimTime::at(0, 2, 30);
+        assert_eq!(g.admit(&report(90), now), Ok(true));
+        // Same identity again: duplicate, absorbed.
+        assert_eq!(g.admit(&report(90), now), Ok(false));
+        // Validation failure: rejected.
+        let mut bad = report(95);
+        bad.upload_capacity_kbps = -1.0;
+        assert!(matches!(
+            g.admit(&bad, now),
+            Err(SubmitError::Implausible { .. })
+        ));
+        let st = g.stats();
+        assert_eq!(
+            (st.accepted, st.duplicates, st.unavailable, st.rejected),
+            (1, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn mark_seen_primes_dedup_without_stats() {
+        let mut g = GatewayCore::new(SimTime::at(14, 0, 0), vec![]);
+        g.mark_seen(&report(20));
+        assert_eq!(g.stats(), ServerStats::default());
+        assert_eq!(g.admit(&report(20), report(20).time), Ok(false));
+        assert_eq!(g.stats().duplicates, 1);
+    }
+}

@@ -9,6 +9,14 @@
 //!   counters; plus the reporting schedule (first report 20 minutes
 //!   after join, then every 10 minutes).
 //! * [`buffer`] — the sliding-window buffer map peers advertise.
+//! * [`archive`] / [`segment`] — the durable segmented report archive:
+//!   CRC-framed records in sealed-by-atomic-rename segments, plus the
+//!   corruption-tolerant streaming reader and its [`RecoveryReport`].
+//! * [`checkpoint`] — the self-validating checkpoint-file envelope
+//!   behind crash-safe study resume.
+//! * [`gateway`] — the report-delivery trait the uplink speaks, with
+//!   the server's admission logic factored out for archive backends.
+//! * [`atomicio`] — write-temp-then-atomic-rename artifact emission.
 //! * [`wire`] — a compact binary encoding of reports (the real system
 //!   shipped them as UDP datagrams).
 //! * [`jsonl`] — JSON-lines persistence, hand-rolled to keep the
@@ -56,10 +64,15 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod archive;
+pub mod atomicio;
 pub mod buffer;
+pub mod checkpoint;
+pub mod gateway;
 pub mod jsonl;
 pub mod loss;
 pub mod report;
+pub mod segment;
 pub mod server;
 pub mod snapshot;
 pub mod stats;
@@ -67,7 +80,10 @@ pub mod store;
 pub mod uplink;
 pub mod wire;
 
+pub use archive::{ArchiveConfig, ArchiveWriter, RecoveryReport};
+pub use atomicio::atomic_write;
 pub use buffer::BufferMap;
+pub use gateway::{GatewayCore, ReportGateway};
 pub use report::{
     PartnerRecord, PeerReport, ACTIVE_SEGMENT_THRESHOLD, FIRST_REPORT_DELAY, REPORT_INTERVAL,
 };

@@ -106,6 +106,36 @@ struct Inner {
 /// out at most 50; gossip adds a bounded number more).
 const MAX_PARTNERS: usize = 256;
 
+/// The collection-endpoint validation rules, shared by the in-memory
+/// [`TraceServer`] and the durable archive gateway
+/// ([`crate::gateway::GatewayCore`]).
+pub(crate) fn validate_report(report: &PeerReport, window_end: SimTime) -> Result<(), SubmitError> {
+    if report.time >= window_end {
+        return Err(SubmitError::OutOfWindow { time: report.time });
+    }
+    if report.partners.len() > MAX_PARTNERS {
+        return Err(SubmitError::Implausible {
+            what: "partner list length",
+        });
+    }
+    for (v, what) in [
+        (report.download_capacity_kbps, "download capacity"),
+        (report.upload_capacity_kbps, "upload capacity"),
+        (report.recv_throughput_kbps, "recv throughput"),
+        (report.send_throughput_kbps, "send throughput"),
+    ] {
+        if !v.is_finite() || v < 0.0 {
+            return Err(SubmitError::Implausible { what });
+        }
+    }
+    if report.partners.iter().any(|p| p.addr == report.addr) {
+        return Err(SubmitError::Implausible {
+            what: "peer lists itself as partner",
+        });
+    }
+    Ok(())
+}
+
 impl TraceServer {
     /// Creates a server accepting reports with `time < window_end`.
     pub fn new(window_end: SimTime) -> Self {
@@ -191,30 +221,7 @@ impl TraceServer {
     }
 
     fn validate(&self, report: &PeerReport) -> Result<(), SubmitError> {
-        if report.time >= self.window_end {
-            return Err(SubmitError::OutOfWindow { time: report.time });
-        }
-        if report.partners.len() > MAX_PARTNERS {
-            return Err(SubmitError::Implausible {
-                what: "partner list length",
-            });
-        }
-        for (v, what) in [
-            (report.download_capacity_kbps, "download capacity"),
-            (report.upload_capacity_kbps, "upload capacity"),
-            (report.recv_throughput_kbps, "recv throughput"),
-            (report.send_throughput_kbps, "send throughput"),
-        ] {
-            if !v.is_finite() || v < 0.0 {
-                return Err(SubmitError::Implausible { what });
-            }
-        }
-        if report.partners.iter().any(|p| p.addr == report.addr) {
-            return Err(SubmitError::Implausible {
-                what: "peer lists itself as partner",
-            });
-        }
-        Ok(())
+        validate_report(report, self.window_end)
     }
 
     /// Current collection statistics.

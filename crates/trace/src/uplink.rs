@@ -8,6 +8,7 @@
 //! retransmissions by `(peer, timestamp)`, so a retry that raced a
 //! successful delivery is absorbed idempotently.
 
+use crate::gateway::ReportGateway;
 use crate::report::PeerReport;
 use crate::server::{SubmitError, TraceServer};
 use magellan_netsim::SimTime;
@@ -53,16 +54,28 @@ impl ReportUplink {
     /// down the report joins the buffer (evicting the oldest entry on
     /// overflow).
     pub fn send(&mut self, report: PeerReport, now: SimTime, server: &TraceServer) {
+        self.send_via(report, now, &mut &*server);
+    }
+
+    /// As [`ReportUplink::send`], for any [`ReportGateway`] backend —
+    /// the durable study pipeline delivers into an archive gateway
+    /// through this.
+    pub fn send_via<G: ReportGateway>(
+        &mut self,
+        report: PeerReport,
+        now: SimTime,
+        gateway: &mut G,
+    ) {
         self.stats.offered += 1;
         if !self.queue.is_empty() {
-            self.flush(now, server);
+            self.flush_via(now, gateway);
         }
         if !self.queue.is_empty() {
             // Server still down mid-flush: preserve order, buffer.
             self.buffer(report);
             return;
         }
-        match server.submit_at(report.clone(), now) {
+        match gateway.submit_report(report.clone(), now) {
             Ok(()) => self.stats.delivered += 1,
             Err(SubmitError::Unavailable { .. }) => self.buffer(report),
             Err(_) => self.stats.rejected += 1,
@@ -73,9 +86,14 @@ impl ReportUplink {
     /// drains or the server bounces again. Returns how many were
     /// delivered by this call.
     pub fn flush(&mut self, now: SimTime, server: &TraceServer) -> usize {
+        self.flush_via(now, &mut &*server)
+    }
+
+    /// As [`ReportUplink::flush`], for any [`ReportGateway`] backend.
+    pub fn flush_via<G: ReportGateway>(&mut self, now: SimTime, gateway: &mut G) -> usize {
         let mut sent = 0;
         while let Some(front) = self.queue.front() {
-            match server.submit_at(front.clone(), now) {
+            match gateway.submit_report(front.clone(), now) {
                 Ok(()) => {
                     self.queue.pop_front();
                     self.stats.delivered += 1;
@@ -108,6 +126,21 @@ impl ReportUplink {
     /// Delivery accounting so far.
     pub fn stats(&self) -> UplinkStats {
         self.stats
+    }
+
+    /// The buffered reports, oldest first — checkpoint capture.
+    pub fn queued(&self) -> impl Iterator<Item = &PeerReport> {
+        self.queue.iter()
+    }
+
+    /// Rebuilds an uplink mid-flight from checkpointed state: the
+    /// buffered backlog (oldest first) and the accounting so far.
+    pub fn restore(capacity: usize, queue: Vec<PeerReport>, stats: UplinkStats) -> Self {
+        ReportUplink {
+            capacity: capacity.max(1),
+            queue: queue.into(),
+            stats,
+        }
     }
 }
 

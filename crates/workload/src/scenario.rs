@@ -97,6 +97,22 @@ impl Scenario {
         self.arrival_rate_per_hour(t) * mean_mins / 60.0
     }
 
+    /// A stable fingerprint over every field that shapes the
+    /// generated workload. Checkpoint resume stores it alongside
+    /// captured state and refuses state from a different scenario —
+    /// resuming seed 7's study with seed 8's checkpoint would
+    /// silently corrupt the archive. Hashes the canonical debug
+    /// rendering (FNV-1a): exhaustive over fields by construction,
+    /// deterministic within a build.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{self:?}").bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
     /// Generates the deterministic join stream for the whole window.
     ///
     /// Channel choice follows directory popularity, except while a
@@ -243,6 +259,21 @@ mod tests {
         Scenario::builder(42, 0.002)
             .calendar(StudyCalendar { window_days: 2 })
             .build()
+    }
+
+    #[test]
+    fn fingerprint_tracks_workload_fields() {
+        let a = small();
+        assert_eq!(a.fingerprint(), small().fingerprint());
+        let mut b = small();
+        b.seed = 43;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = small();
+        c.scale = 0.004;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = small();
+        d.channels = ChannelDirectory::uusee(3);
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 
     #[test]

@@ -17,6 +17,9 @@ echo "==> cargo build --release -p magellan-bench" >&2
 cargo build --release -p magellan-bench --bin bench_metrics
 
 echo "==> running bench_metrics (writes BENCH_metrics.json)" >&2
-./target/release/bench_metrics > BENCH_metrics.json
+# Stage into a temp file and rename so an interrupted run never leaves
+# a truncated BENCH_metrics.json behind.
+./target/release/bench_metrics > BENCH_metrics.json.tmp
+mv BENCH_metrics.json.tmp BENCH_metrics.json
 
 echo "==> wrote BENCH_metrics.json" >&2

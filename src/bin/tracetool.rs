@@ -5,11 +5,16 @@
 //! tracetool sessions <trace.jsonl>
 //! tracetool snapshot <trace.jsonl> --at d,h,m [--scope stable|all]
 //!                    [--format summary|edges|dot] [--out file]
+//! tracetool inspect  <archive-dir>
+//! tracetool fsck     <archive-dir>
 //! ```
 //!
 //! Traces come from `figures --save-trace` (or any §3.2-conformant
 //! JSON-lines archive). `snapshot --format edges|dot` exports the
-//! reconstructed topology for networkx / Graphviz.
+//! reconstructed topology for networkx / Graphviz. `inspect` and
+//! `fsck` operate on the segmented binary archives written by
+//! `magellan study`: `inspect` summarizes contents and recovery
+//! state, `fsck` exits non-zero when any frame was lost to damage.
 
 use magellan::analysis::graphs::{active_link_graph, node_isps, NodeScope};
 use magellan::analysis::sessions::{stable_sessions, summarize};
@@ -17,8 +22,9 @@ use magellan::graph::export::{to_dot, to_edge_list};
 use magellan::graph::reciprocity::garlaschelli_reciprocity;
 use magellan::graph::smallworld::{assess, SmallWorldConfig};
 use magellan::netsim::{IspDatabase, SimTime};
-use magellan::trace::{SnapshotBuilder, TraceStats, TraceStore};
+use magellan::trace::{atomic_write, SnapshotBuilder, TraceStats, TraceStore};
 use std::io::BufReader;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn load(path: &str) -> Result<TraceStore, String> {
@@ -29,9 +35,66 @@ fn load(path: &str) -> Result<TraceStore, String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  tracetool stats    <trace.jsonl>\n  tracetool sessions <trace.jsonl>\n  \
-         tracetool snapshot <trace.jsonl> --at d,h,m [--scope stable|all] [--format summary|edges|dot] [--out file]"
+         tracetool snapshot <trace.jsonl> --at d,h,m [--scope stable|all] [--format summary|edges|dot] [--out file]\n  \
+         tracetool inspect  <archive-dir>\n  tracetool fsck     <archive-dir>"
     );
     ExitCode::FAILURE
+}
+
+/// Accepts either an archive directory or a `magellan study` run
+/// directory that contains one.
+fn archive_dir(path: &str) -> PathBuf {
+    let p = Path::new(path);
+    let nested = p.join("archive");
+    if nested.is_dir() {
+        nested
+    } else {
+        p.to_path_buf()
+    }
+}
+
+/// Streams an archive, printing recovery state; returns the exit code
+/// (`fsck` fails on any damage, `inspect` only on I/O errors).
+fn scan_archive(path: &str, strict: bool) -> ExitCode {
+    let dir = archive_dir(path);
+    let mut records = 0u64;
+    let mut span: Option<(SimTime, SimTime)> = None;
+    let mut reporters = std::collections::BTreeSet::new();
+    let report = match magellan::trace::archive::read_archive(&dir, |r| {
+        records += 1;
+        reporters.insert(r.addr.as_u32());
+        span = Some(match span {
+            None => (r.time, r.time),
+            Some((lo, hi)) => (lo.min(r.time), hi.max(r.time)),
+        });
+    }) {
+        Ok(rep) => rep,
+        Err(e) => {
+            eprintln!("error: read archive {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("archive            : {}", dir.display());
+    println!("records recovered  : {records}");
+    println!("distinct reporters : {}", reporters.len());
+    if let Some((lo, hi)) = span {
+        println!("time span          : {lo} .. {hi}");
+    }
+    println!(
+        "segments           : {} ({} sealed)",
+        report.segments_read, report.sealed_segments
+    );
+    println!("corrupt regions    : {}", report.corrupt_regions);
+    println!("bytes quarantined  : {}", report.bytes_quarantined);
+    println!(
+        "torn tail          : {}",
+        if report.truncated_tail { "yes" } else { "no" }
+    );
+    if strict && !report.is_clean() {
+        eprintln!("fsck: archive sustained damage");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -48,6 +111,12 @@ fn main() -> ExitCode {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
+    // Archive-directory commands never parse JSON lines.
+    match cmd.as_str() {
+        "inspect" => return scan_archive(path, false),
+        "fsck" => return scan_archive(path, true),
+        _ => {}
+    }
     let store = match load(path) {
         Ok(s) => s,
         Err(e) => {
@@ -139,7 +208,7 @@ fn main() -> ExitCode {
             };
             match get("--out") {
                 Some(out) => {
-                    if let Err(e) = std::fs::write(&out, output) {
+                    if let Err(e) = atomic_write(Path::new(&out), output.as_bytes()) {
                         eprintln!("write {out}: {e}");
                         return ExitCode::FAILURE;
                     }

@@ -1,0 +1,285 @@
+//! Crash-safe study runner.
+//!
+//! ```text
+//! magellan study  --archive DIR [--seed N] [--scale F] [--days N]
+//!                 [--sample-every-mins N] [--checkpoint-every-ticks N]
+//!                 [--segment-bytes N] [--resume] [--kill-at-tick N]
+//!                 [--report FILE] [--threads N]
+//! magellan replay --archive DIR [--report FILE]
+//! ```
+//!
+//! `study` runs the full Magellan pipeline with every admitted report
+//! archived durably and the simulator checkpointed; `--resume` picks
+//! up a killed run from its newest valid checkpoint and finishes with
+//! byte-identical archives and report. `--kill-at-tick` aborts the
+//! process at a deterministic tick (the crash drill in
+//! `scripts/check.sh` uses it). `replay` re-analyzes an existing
+//! archive offline, tolerating damage and reporting what recovery had
+//! to skip. The run directory carries a `study.cfg` describing the
+//! study parameters so `--resume` and `replay` reconstruct the exact
+//! configuration.
+
+use magellan::analysis::durable::{DurableConfig, DurableStudy};
+use magellan::analysis::study::StudyConfig;
+use magellan::netsim::SimDuration;
+use magellan::trace::{atomic_write, ArchiveConfig};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The CLI-settable subset of the study parameters. Everything else
+/// stays at [`StudyConfig::default`] so a persisted `study.cfg`
+/// reconstructs the identical configuration (and fingerprint).
+#[derive(Debug, Clone, PartialEq)]
+struct RunParams {
+    seed: u64,
+    scale: f64,
+    days: u64,
+    sample_every_mins: u64,
+    checkpoint_every_ticks: u64,
+    segment_bytes: u64,
+}
+
+impl Default for RunParams {
+    fn default() -> Self {
+        RunParams {
+            seed: 2006,
+            scale: 0.002,
+            days: 2,
+            sample_every_mins: 60,
+            checkpoint_every_ticks: 512,
+            segment_bytes: 256 * 1024,
+        }
+    }
+}
+
+impl RunParams {
+    fn render(&self) -> String {
+        format!(
+            "version 1\nseed {}\nscale_bits {:016x}\ndays {}\nsample_every_mins {}\n\
+             checkpoint_every_ticks {}\nsegment_bytes {}\n",
+            self.seed,
+            self.scale.to_bits(),
+            self.days,
+            self.sample_every_mins,
+            self.checkpoint_every_ticks,
+            self.segment_bytes,
+        )
+    }
+
+    fn parse(text: &str) -> Result<Self, String> {
+        let mut p = RunParams::default();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("study.cfg line {}: expected `key value`", i + 1))?;
+            let num = |radix: u32| {
+                u64::from_str_radix(value, radix)
+                    .map_err(|e| format!("study.cfg line {}: {key}: {e}", i + 1))
+            };
+            match key {
+                "version" => {
+                    if value != "1" {
+                        return Err(format!("study.cfg version {value} not supported"));
+                    }
+                }
+                "seed" => p.seed = num(10)?,
+                "scale_bits" => p.scale = f64::from_bits(num(16)?),
+                "days" => p.days = num(10)?,
+                "sample_every_mins" => p.sample_every_mins = num(10)?,
+                "checkpoint_every_ticks" => p.checkpoint_every_ticks = num(10)?,
+                "segment_bytes" => p.segment_bytes = num(10)?,
+                _ => return Err(format!("study.cfg line {}: unknown key {key}", i + 1)),
+            }
+        }
+        Ok(p)
+    }
+
+    fn study_config(&self) -> StudyConfig {
+        StudyConfig {
+            seed: self.seed,
+            scale: self.scale,
+            window_days: self.days,
+            sample_every: SimDuration::from_mins(self.sample_every_mins),
+            ..StudyConfig::default()
+        }
+    }
+
+    fn durable_config(&self) -> DurableConfig {
+        DurableConfig {
+            archive: ArchiveConfig {
+                segment_bytes: self.segment_bytes,
+            },
+            checkpoint_every_ticks: self.checkpoint_every_ticks,
+            keep_checkpoints: 2,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  magellan study  --archive DIR [--seed N] [--scale F] [--days N]\n                  \
+         [--sample-every-mins N] [--checkpoint-every-ticks N] [--segment-bytes N]\n                  \
+         [--resume] [--kill-at-tick N] [--report FILE] [--threads N]\n  \
+         magellan replay --archive DIR [--report FILE]"
+    );
+    ExitCode::FAILURE
+}
+
+fn cfg_path(dir: &Path) -> PathBuf {
+    dir.join("study.cfg")
+}
+
+fn load_params(dir: &Path) -> Result<RunParams, String> {
+    let path = cfg_path(dir);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "read {}: {e} (not a magellan run directory?)",
+            path.display()
+        )
+    })?;
+    RunParams::parse(&text)
+}
+
+fn emit_report(text: &str, out: Option<&str>) -> Result<(), String> {
+    match out {
+        Some(path) => {
+            atomic_write(Path::new(path), text.as_bytes()).map_err(|e| format!("write {path}: {e}"))
+        }
+        None => {
+            println!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let get = |name: &str| -> Option<&String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let has = |name: &str| args.iter().any(|a| a == name);
+    let parse_u64 = |name: &str| -> Result<Option<u64>, String> {
+        get(name)
+            .map(|v| v.parse::<u64>().map_err(|e| format!("{name}: {e}")))
+            .transpose()
+    };
+
+    if let Some(n) = parse_u64("--threads")? {
+        magellan::par::set_threads(n as usize);
+    }
+    let dir = PathBuf::from(
+        get("--archive")
+            .ok_or_else(|| "--archive DIR is required".to_string())?
+            .clone(),
+    );
+    let report_out = get("--report").map(String::as_str);
+
+    match args.first().map(String::as_str) {
+        Some("study") => {
+            let resume = has("--resume");
+            let mut params = if resume {
+                load_params(&dir)?
+            } else {
+                RunParams::default()
+            };
+            if let Some(v) = parse_u64("--seed")? {
+                params.seed = v;
+            }
+            if let Some(v) = get("--scale") {
+                params.scale = v.parse::<f64>().map_err(|e| format!("--scale: {e}"))?;
+            }
+            if let Some(v) = parse_u64("--days")? {
+                params.days = v;
+            }
+            if let Some(v) = parse_u64("--sample-every-mins")? {
+                params.sample_every_mins = v;
+            }
+            if let Some(v) = parse_u64("--checkpoint-every-ticks")? {
+                params.checkpoint_every_ticks = v;
+            }
+            if let Some(v) = parse_u64("--segment-bytes")? {
+                params.segment_bytes = v;
+            }
+            let kill_at = parse_u64("--kill-at-tick")?;
+
+            std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+            // Persist the parameters before simulating so a run killed
+            // at any tick can still be resumed.
+            atomic_write(&cfg_path(&dir), params.render().as_bytes())
+                .map_err(|e| format!("write study.cfg: {e}"))?;
+
+            let study = DurableStudy::new(&dir, params.study_config(), params.durable_config());
+            let observer = |tick: u64| {
+                if Some(tick) == kill_at {
+                    eprintln!("magellan: simulating crash at tick {tick}");
+                    std::process::abort();
+                }
+            };
+            let report = if resume {
+                study.resume_observed(observer)
+            } else {
+                study.run_observed(observer)
+            }
+            .map_err(|e| format!("study: {e}"))?;
+            emit_report(&report.render_text(), report_out)
+        }
+        Some("replay") => {
+            let params = load_params(&dir)?;
+            let study = DurableStudy::new(&dir, params.study_config(), params.durable_config());
+            let report = study
+                .analyze_archive()
+                .map_err(|e| format!("replay: {e}"))?;
+            emit_report(&report.render_text(), report_out)
+        }
+        _ => Err("unknown command".to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            if e == "unknown command" {
+                return usage();
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_round_trip_through_cfg_text() {
+        let p = RunParams {
+            seed: 7,
+            scale: 0.000_8,
+            days: 1,
+            sample_every_mins: 120,
+            checkpoint_every_ticks: 64,
+            segment_bytes: 16 * 1024,
+        };
+        let back = RunParams::parse(&p.render()).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.scale.to_bits(), p.scale.to_bits());
+    }
+
+    #[test]
+    fn params_reject_garbage() {
+        assert!(RunParams::parse("version 2\n").is_err());
+        assert!(RunParams::parse("seed\n").is_err());
+        assert!(RunParams::parse("mystery 4\n").is_err());
+    }
+}

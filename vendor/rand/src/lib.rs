@@ -160,6 +160,22 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Expose the raw xoshiro256++ state so callers can persist a
+        /// generator mid-stream (checkpoint/resume) and later rebuild
+        /// it with [`StdRng::from_state`] at the exact same point.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a state previously captured with
+        /// [`StdRng::state`]. The restored generator produces the same
+        /// output stream as the original from that point onward.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             // xoshiro256++ step.
