@@ -197,6 +197,35 @@ fn main() {
         });
     }
 
+    // Lint-gate wall time — the fixed cost every scripts/check.sh run
+    // pays. One cold run (incremental cache deleted) and one warm run
+    // (cache reused); the gap is what the cache buys. Rows are empty
+    // when the release binary is missing (bench.sh builds it).
+    let lint_bin = std::path::Path::new("target/release/magellan-lint");
+    let mut lint_rows: Vec<(&str, f64)> = Vec::new();
+    if lint_bin.is_file() {
+        let _ = std::fs::remove_file("target/magellan-lint-cache.v2");
+        for phase in ["cold", "warm"] {
+            eprintln!("lint gate, {phase} cache ...");
+            let start = Instant::now();
+            let status = std::process::Command::new(lint_bin)
+                .stdout(std::process::Stdio::null())
+                .status();
+            match status {
+                Ok(s) if s.success() => {
+                    lint_rows.push((phase, start.elapsed().as_secs_f64() * 1e3));
+                }
+                _ => {
+                    eprintln!("lint gate {phase} run failed; dropping lint rows");
+                    lint_rows.clear();
+                    break;
+                }
+            }
+        }
+    } else {
+        eprintln!("target/release/magellan-lint missing; skipping lint rows");
+    }
+
     // End-to-end: one full quick study (12 sample boundaries) per
     // thread count. The study includes the simulation itself, so this
     // is the pipeline latency a user actually sees.
@@ -237,6 +266,15 @@ fn main() {
     out.push_str("\n  ],\n");
     out.push_str("  \"legacy_baseline\": [\n");
     out.push_str(&emit(&legacy_rows));
+    out.push_str("\n  ],\n");
+    out.push_str("  \"lint_gate\": [\n");
+    out.push_str(
+        &lint_rows
+            .iter()
+            .map(|(phase, ms)| format!("    {{\"phase\": \"{phase}\", \"wall_ms\": {ms:.1}}}"))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
     out.push_str("\n  ],\n");
     out.push_str("  \"end_to_end_study\": [\n");
     out.push_str(

@@ -110,7 +110,7 @@ pub fn sampled_clustering_csr(csr: &Csr, samples: usize, seed: u64) -> f64 {
     if samples >= n {
         return clustering_coefficient_csr(csr);
     }
-    let mut ids: Vec<NodeId> = csr.node_ids().collect();
+    let mut ids: Vec<NodeId> = csr.node_ids().collect(); // lint:allow(H2): sampling needs an owned, shuffleable id list; one allocation per kernel call
     let mut rng = StdRng::seed_from_u64(seed);
     ids.shuffle(&mut rng);
     ids.truncate(samples);

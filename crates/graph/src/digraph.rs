@@ -115,7 +115,7 @@ impl<N: Eq + Hash + Clone> DiGraph<N> {
         }
         let next = u32::try_from(self.keys.len()).expect("node count exceeds u32::MAX");
         let id = NodeId(next);
-        self.keys.push(key.clone());
+        self.keys.push(key.clone()); // lint:allow(H2): interning stores an owned key; one clone per newly seen node by design
         self.index.insert(key, id);
         self.out.push(Vec::new());
         self.inc.push(Vec::new());

@@ -61,7 +61,7 @@ pub fn core_decomposition_csr(csr: &Csr) -> CoreDecomposition {
     let n = csr.node_count();
     let mut degree: Vec<usize> = (0..n)
         .map(|i| csr.und_degree(NodeId::from_index(i)))
-        .collect();
+        .collect(); // lint:allow(H2): Batagelj-Zaversnik working array, allocated once per decomposition
     let max_deg = degree.iter().copied().max().unwrap_or(0);
     // Bucket sort nodes by degree (Batagelj–Zaveršnik).
     let mut bins: Vec<usize> = vec![0; max_deg + 1];
@@ -77,7 +77,7 @@ pub fn core_decomposition_csr(csr: &Csr) -> CoreDecomposition {
     let mut order: Vec<usize> = vec![0; n]; // nodes sorted by degree
     let mut pos: Vec<usize> = vec![0; n]; // position of node in `order`
     {
-        let mut next = bins.clone();
+        let mut next = bins.clone(); // lint:allow(H2): second bucket-cursor array, allocated once per decomposition
         for v in 0..n {
             let d = degree[v];
             order[next[d]] = v;

@@ -68,7 +68,7 @@ pub fn fit_with_xmin(samples: &[usize], xmin: usize) -> Result<PowerLawFit, Grap
     if xmin == 0 {
         return Err(GraphError::EmptyGraph);
     }
-    let tail: Vec<usize> = samples.iter().copied().filter(|&x| x >= xmin).collect();
+    let tail: Vec<usize> = samples.iter().copied().filter(|&x| x >= xmin).collect(); // lint:allow(H2): tail slice per candidate xmin, bounded by MAX_CANDIDATES per fit
     const MIN_TAIL: usize = 10;
     if tail.len() < MIN_TAIL {
         return Err(GraphError::InsufficientSamples {
@@ -105,7 +105,7 @@ pub fn fit_with_xmin(samples: &[usize], xmin: usize) -> Result<PowerLawFit, Grap
 /// KS distance between the empirical CDF of `tail` (all `>= xmin`)
 /// and the fitted discrete power-law CDF.
 fn ks_distance(tail: &[usize], alpha: f64, xmin: usize) -> f64 {
-    let mut data = tail.to_vec();
+    let mut data = tail.to_vec(); // lint:allow(H2): KS needs a sorted copy; the tail is already truncated
     data.sort_unstable();
     let n = data.len() as f64;
     let z = hurwitz_zeta(alpha, xmin);
@@ -143,7 +143,7 @@ fn ks_distance(tail: &[usize], alpha: f64, xmin: usize) -> f64 {
 /// enough tail data.
 pub fn fit(samples: &[usize]) -> Result<PowerLawFit, GraphError> {
     const MAX_CANDIDATES: usize = 50;
-    let mut distinct: Vec<usize> = samples.iter().copied().filter(|&x| x >= 1).collect();
+    let mut distinct: Vec<usize> = samples.iter().copied().filter(|&x| x >= 1).collect(); // lint:allow(H2): distinct-degree candidate list, one per fit
     distinct.sort_unstable();
     distinct.dedup();
     let mut best: Option<PowerLawFit> = None;

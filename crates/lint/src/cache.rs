@@ -4,28 +4,33 @@
 //! The cache stores exactly the per-file products of
 //! [`crate::analyze_file`] — line-local violations, the unwrap count,
 //! and the call-graph fragment (functions, calls, taint sources,
-//! imports). The *global* phases (C1 budgets, D4 taint propagation)
-//! are cheap and always recompute from the summaries, so a cached file
-//! still participates fully in cross-file analysis.
+//! cost sinks, imports). The *global* phases (C1 budgets, D4 taint
+//! propagation, H2/H3/P2 hot-path cost) are cheap and always recompute
+//! from the summaries, so a cached file still participates fully in
+//! cross-file analysis.
 //!
 //! Invalidation is layered: the whole cache is dropped when the
-//! ruleset/config fingerprint changes (new rules, changed budgets,
-//! changed dep graph, new crate version); a single entry is reused
+//! ruleset/config fingerprint changes (new rules via
+//! [`crate::RULES_VERSION`], changed budgets, changed dep graph, new
+//! crate version); a single entry is reused
 //! when mtime+size match, or — when only the mtime moved — when the
 //! re-hashed content matches. The file lives under `target/`, which
 //! the workspace walker already skips.
 
 use crate::output::fnv64;
 use crate::{
-    CallSite, Config, FileSummary, FnSummary, TaintKind, TaintSource, UseImport, Violation, RULES,
+    CallSite, Config, CostKind, CostSink, FileSummary, FnSummary, TaintKind, TaintSource,
+    UseImport, Violation, RULES, RULES_VERSION,
 };
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::time::UNIX_EPOCH;
 
-/// Cache location relative to the workspace root.
-pub const CACHE_FILE: &str = "target/magellan-lint-cache.v1";
+/// Cache location relative to the workspace root. The `.v2` suffix
+/// changed with the hot-path cost pass (sink lines, wider `N`
+/// records) so v1 caches are never even opened.
+pub const CACHE_FILE: &str = "target/magellan-lint-cache.v2";
 
 /// Freshness stamp for one file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,15 +93,28 @@ pub fn stamp_fresh(entry: &FileStamp, now: &FileStamp, abs: &Path) -> io::Result
 }
 
 /// Fingerprint over everything that invalidates the whole cache: the
-/// rule set, the budgets, the dep graph, and the crate version.
+/// rule set (ids *and* [`RULES_VERSION`], so behavior changes inside
+/// an existing rule also bust warm caches), the budgets, the dep
+/// graph, and the crate version.
 fn config_fingerprint(config: &Config) -> String {
+    format!("{:016x}", fnv64(fingerprint_key(config).as_bytes()))
+}
+
+/// The unhashed fingerprint key: crate version, rules version, rule
+/// ids, budgets, and the crate dependency graph. Any drift in these
+/// invalidates every cache entry.
+fn fingerprint_key(config: &Config) -> String {
     let mut key = String::from(env!("CARGO_PKG_VERSION"));
+    key.push_str(&format!("|rv{RULES_VERSION}"));
     for rule in RULES {
         key.push('|');
         key.push_str(rule.id());
     }
     for (k, v) in &config.unwrap_budgets {
         key.push_str(&format!("|{k}={v}"));
+    }
+    for (k, v) in &config.hot_alloc_budgets {
+        key.push_str(&format!("|hot:{k}={v}"));
     }
     for (k, deps) in &config.crate_deps {
         key.push_str(&format!("|{k}->"));
@@ -105,7 +123,7 @@ fn config_fingerprint(config: &Config) -> String {
             key.push(',');
         }
     }
-    format!("{:016x}", fnv64(key.as_bytes()))
+    key
 }
 
 fn escape(s: &str) -> String {
@@ -146,7 +164,7 @@ fn kind_from_tag(tag: &str) -> Option<crate::TargetKind> {
 
 /// Serializes cache entries to the versioned line format.
 fn render(config: &Config, entries: &[(PathBuf, FileStamp, FileSummary)]) -> String {
-    let mut out = format!("magellan-lint-cache/1 {}\n", config_fingerprint(config));
+    let mut out = format!("magellan-lint-cache/2 {}\n", config_fingerprint(config));
     for (path, stamp, s) in entries {
         out.push_str(&format!(
             "F {} {} {:016x} {}\n",
@@ -174,11 +192,15 @@ fn render(config: &Config, entries: &[(PathBuf, FileStamp, FileSummary)]) -> Str
         }
         for f in &s.fns {
             out.push_str(&format!(
-                "N {} {} {} {} {}\n",
+                "N {} {} {} {} {} {} {} {} {}\n",
                 f.def_line,
                 u8::from(f.is_pub),
                 u8::from(f.in_test),
                 u8::from(f.d4_allowed),
+                u8::from(f.hot_marked),
+                u8::from(f.h2_allowed),
+                u8::from(f.h3_allowed),
+                u8::from(f.p2_allowed),
                 f.name
             ));
             for c in &f.calls {
@@ -197,6 +219,14 @@ fn render(config: &Config, entries: &[(PathBuf, FileStamp, FileSummary)]) -> Str
                     escape(&src.what)
                 ));
             }
+            for sink in &f.sinks {
+                out.push_str(&format!(
+                    "T {} {} {}\n",
+                    sink.line,
+                    sink.kind.id(),
+                    escape(&sink.what)
+                ));
+            }
         }
     }
     out
@@ -207,7 +237,7 @@ fn render(config: &Config, entries: &[(PathBuf, FileStamp, FileSummary)]) -> Str
 /// drops everything.
 fn parse(text: &str, config: &Config) -> BTreeMap<PathBuf, (FileStamp, FileSummary)> {
     let mut lines = text.lines();
-    let expected = format!("magellan-lint-cache/1 {}", config_fingerprint(config));
+    let expected = format!("magellan-lint-cache/2 {}", config_fingerprint(config));
     if lines.next() != Some(expected.as_str()) {
         return BTreeMap::new();
     }
@@ -308,14 +338,29 @@ fn parse(text: &str, config: &Config) -> BTreeMap<PathBuf, (FileStamp, FileSumma
                 });
             }
             "N" => {
-                let mut parts = rest.splitn(5, ' ');
-                let (Some(def), Some(p), Some(t), Some(a), Some(name)) = (
+                let mut parts = rest.splitn(9, ' ');
+                let (
+                    Some(def),
+                    Some(p),
+                    Some(t),
+                    Some(a),
+                    Some(h),
+                    Some(h2),
+                    Some(h3),
+                    Some(p2),
+                    Some(name),
+                ) = (
                     parts.next(),
                     parts.next(),
                     parts.next(),
                     parts.next(),
                     parts.next(),
-                ) else {
+                    parts.next(),
+                    parts.next(),
+                    parts.next(),
+                    parts.next(),
+                )
+                else {
                     current = None;
                     continue;
                 };
@@ -329,8 +374,13 @@ fn parse(text: &str, config: &Config) -> BTreeMap<PathBuf, (FileStamp, FileSumma
                     is_pub: p == "1",
                     in_test: t == "1",
                     d4_allowed: a == "1",
+                    hot_marked: h == "1",
+                    h2_allowed: h2 == "1",
+                    h3_allowed: h3 == "1",
+                    p2_allowed: p2 == "1",
                     calls: Vec::new(),
                     sources: Vec::new(),
+                    sinks: Vec::new(),
                 });
             }
             "C" => {
@@ -369,6 +419,28 @@ fn parse(text: &str, config: &Config) -> BTreeMap<PathBuf, (FileStamp, FileSumma
                     continue;
                 };
                 f.sources.push(TaintSource {
+                    line: line_no,
+                    kind,
+                    what: unescape(what),
+                });
+            }
+            "T" => {
+                let mut parts = rest.splitn(3, ' ');
+                let (Some(line_no), Some(kind), Some(what)) =
+                    (parts.next(), parts.next(), parts.next())
+                else {
+                    current = None;
+                    continue;
+                };
+                let (Ok(line_no), Some(kind), Some(f)) = (
+                    line_no.parse::<usize>(),
+                    CostKind::from_id(kind),
+                    summary.fns.last_mut(),
+                ) else {
+                    current = None;
+                    continue;
+                };
+                f.sinks.push(CostSink {
                     line: line_no,
                     kind,
                     what: unescape(what),
@@ -485,10 +557,39 @@ mod tests {
     fn garbage_is_ignored_not_fatal() {
         let config = Config::default();
         let text = format!(
-            "magellan-lint-cache/1 {}\nF not numbers at all\nV 1 D1 orphan\n",
+            "magellan-lint-cache/2 {}\nF not numbers at all\nV 1 D1 orphan\n",
             super::config_fingerprint(&config)
         );
         assert!(parse(&text, &config).is_empty());
+    }
+
+    #[test]
+    fn hot_budget_change_drops_cache() {
+        let config = Config::default();
+        let entry = sample_entry();
+        let text = render(&config, std::slice::from_ref(&entry));
+        let mut other = config.clone();
+        other
+            .hot_alloc_budgets
+            .insert("magellan-overlay".to_owned(), 7);
+        assert!(parse(&text, &other).is_empty());
+    }
+
+    /// A warm cache from an older rule set must not mask findings from
+    /// rules added since: the prior-format header parses to nothing,
+    /// and the fingerprint hashes the `|rv{RULES_VERSION}` component so
+    /// a behavior bump inside an existing rule also forces a cold run.
+    #[test]
+    fn stale_rules_version_forces_cold_run() {
+        let config = Config::default();
+        let entry = sample_entry();
+        let v2 = render(&config, std::slice::from_ref(&entry));
+        let doctored = v2.replacen("magellan-lint-cache/2", "magellan-lint-cache/1", 1);
+        assert!(parse(&doctored, &config).is_empty(), "old header rejected");
+        assert!(
+            fingerprint_key(&config).contains(&format!("|rv{RULES_VERSION}")),
+            "fingerprint key must carry the rules version"
+        );
     }
 
     #[test]

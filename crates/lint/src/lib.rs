@@ -16,18 +16,25 @@
 //! | `D3` | sim + metric crates | raw `thread::spawn` outside `magellan-par` |
 //! | `D4` | entry crates (`overlay`, `netsim`, `workload`, `graph`, `analysis`) | public entry point that *transitively* reaches a nondeterminism source through the workspace call graph |
 //! | `P1` | sim + metric crates | locks, channels, non-SeqCst atomic orderings outside `magellan-par` |
+//! | `P2` | hot-path crates (`overlay`, `netsim`, `workload`, `graph`, `analysis`) | lock/channel machinery *transitively reachable from a hot entry point* — fires even when the site's P1 finding was `lint:allow`ed |
 //! | `C1` | all lib crates | `unwrap()` / `expect(` in non-test library code beyond the per-crate budget |
 //! | `C2` | metric crates (`graph`, `analysis`) | float `==` / `!=` comparisons |
 //! | `C3` | metric crates (`graph`, `analysis`) | lossy `as` casts: narrow widths (`u8`/`u16`/`i8`/`i16`/`f32`) and `len() as u32`-style truncations |
 //! | `C4` | metric crates (`graph`, `analysis`) | unchecked `+`/`*` arithmetic inside index brackets — debug overflow panics where release wraps |
 //! | `H1` | every workspace crate | missing `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]` crate header |
+//! | `H2` | hot-path crates | heap allocation (collect/clone/to_vec/format!/`Box::new`, or a constructor in a loop) reachable from a hot entry point, beyond the per-crate budget |
+//! | `H3` | hot-path crates | whole-collection iteration (map/set `.iter()`/`.keys()`/`.values()`/`.retain()`, `0..len()` range scans) reachable from a hot entry point |
 //! | `M1` | everywhere | malformed `lint:allow` (missing rule id or justification) |
 //!
-//! The line-local rules run per file; `D4` is the semantic pass — it
-//! parses `fn` items, `use` imports, and call sites out of every file
-//! ([`items`]), links them into a workspace call graph, and propagates
-//! taint from nondeterminism sources back to public entry points
-//! ([`taint`]), printing the full call chain in the violation.
+//! The line-local rules run per file; `D4` and `H2`/`H3`/`P2` are the
+//! semantic passes — they parse `fn` items, `use` imports, and call
+//! sites out of every file ([`items`]), link them into a workspace
+//! call graph ([`reach`]), and propagate reachability: `D4` walks
+//! *backwards* from nondeterminism sources to public entry points
+//! ([`taint`]); the hot-path cost pass walks *forward* from `lint:hot`
+//! entry points (plus a built-in registry) to allocation, scan, and
+//! lock sinks ([`hotpath`]). Both print the full call chain in the
+//! violation.
 //!
 //! Any finding can be waived *with a written justification* by
 //! annotating the offending line (or the line above it):
@@ -54,8 +61,10 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 mod cache;
+mod hotpath;
 mod items;
 mod output;
+mod reach;
 mod rules;
 mod source;
 mod taint;
@@ -67,7 +76,8 @@ pub use output::{
     load_baseline, render_human, render_json, render_sarif, violation_fingerprint, Baseline,
     BASELINE_FILE,
 };
-pub use rules::{default_unwrap_budgets, Rule, RULES};
+pub use reach::{CallGraph, Direction, FnKey};
+pub use rules::{default_hot_alloc_budgets, default_unwrap_budgets, Rule, RULES, RULES_VERSION};
 pub use source::{SourceFile, TargetKind};
 pub use walk::{collect_workspace_sources, find_workspace_root, parse_crate_deps};
 
@@ -103,9 +113,13 @@ pub struct Config {
     /// Per-crate `unwrap()`/`expect(` budgets for rule C1. Crates not
     /// listed have budget 0.
     pub unwrap_budgets: BTreeMap<String, usize>,
+    /// Per-crate budgets for hot-path allocation sinks (rule H2).
+    /// Crates not listed have budget 0.
+    pub hot_alloc_budgets: BTreeMap<String, usize>,
     /// Workspace crate dependency edges (`crate -> deps`), used to
-    /// gate D4 call resolution. When empty (in-memory runs), calls
-    /// resolve across every crate pair — a fully connected fallback.
+    /// gate call resolution in the semantic passes (D4, H2/H3/P2).
+    /// When empty (in-memory runs), calls resolve across every crate
+    /// pair — a fully connected fallback.
     pub crate_deps: BTreeMap<String, BTreeSet<String>>,
 }
 
@@ -113,6 +127,7 @@ impl Default for Config {
     fn default() -> Self {
         Config {
             unwrap_budgets: rules::default_unwrap_budgets(),
+            hot_alloc_budgets: rules::default_hot_alloc_budgets(),
             crate_deps: BTreeMap::new(),
         }
     }
@@ -165,6 +180,58 @@ pub struct TaintSource {
     pub what: String,
 }
 
+/// What kind of hot-path cost a sink incurs (rules H2/H3/P2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CostKind {
+    /// Heap allocation (rule H2).
+    Alloc,
+    /// Whole-collection iteration / range scan (rule H3).
+    Scan,
+    /// Lock acquisition or channel machinery (rule P2).
+    Lock,
+}
+
+impl CostKind {
+    /// Stable identifier used in the cache serialization.
+    pub fn id(self) -> &'static str {
+        match self {
+            CostKind::Alloc => "alloc",
+            CostKind::Scan => "scan",
+            CostKind::Lock => "lock",
+        }
+    }
+
+    /// Inverse of [`CostKind::id`].
+    pub fn from_id(s: &str) -> Option<Self> {
+        match s {
+            "alloc" => Some(CostKind::Alloc),
+            "scan" => Some(CostKind::Scan),
+            "lock" => Some(CostKind::Lock),
+            _ => None,
+        }
+    }
+
+    /// The rule that reports this sink kind.
+    pub fn rule(self) -> Rule {
+        match self {
+            CostKind::Alloc => Rule::H2,
+            CostKind::Scan => Rule::H3,
+            CostKind::Lock => Rule::P2,
+        }
+    }
+}
+
+/// One hot-path cost sink inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostSink {
+    /// 1-based line of the sink.
+    pub line: usize,
+    /// Cost category.
+    pub kind: CostKind,
+    /// Human description (`"`.collect()` materializes a fresh collection"`).
+    pub what: String,
+}
+
 /// Per-function analysis product: everything rule D4 needs, detached
 /// from the source text so it can be cached.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -180,10 +247,25 @@ pub struct FnSummary {
     /// Whether the `fn` line carries a `lint:allow(D4): <why>`
     /// annotation (waives this entry point).
     pub d4_allowed: bool,
+    /// Whether the `fn` line (or the line above) carries a `lint:hot`
+    /// marker declaring a hot entry point.
+    pub hot_marked: bool,
+    /// Whether the `fn` line carries a `lint:allow(H2): <why>`
+    /// annotation — exempts every allocation sink in this body (and,
+    /// on a hot entry, waives its subtree).
+    pub h2_allowed: bool,
+    /// Whether the `fn` line carries a `lint:allow(H3): <why>`
+    /// annotation (scan analogue of `h2_allowed`).
+    pub h3_allowed: bool,
+    /// Whether the `fn` line carries a `lint:allow(P2): <why>`
+    /// annotation (lock analogue of `h2_allowed`).
+    pub p2_allowed: bool,
     /// Call sites inside the body.
     pub calls: Vec<CallSite>,
     /// Nondeterminism sources inside the body.
     pub sources: Vec<TaintSource>,
+    /// Hot-path cost sinks inside the body.
+    pub sinks: Vec<CostSink>,
 }
 
 /// Per-file analysis product: line-local violations plus the call
@@ -240,6 +322,7 @@ pub fn analyze_file(src: &SourceFile, config: &Config) -> FileSummary {
         FileItems::default()
     };
     let sources = taint::detect_sources(src, &items.fns);
+    let sinks = hotpath::detect_sinks(src, &items.fns);
     let fns = items
         .fns
         .iter()
@@ -250,8 +333,17 @@ pub fn analyze_file(src: &SourceFile, config: &Config) -> FileSummary {
             is_pub: f.is_pub,
             in_test: f.in_test,
             d4_allowed: src.is_allowed(f.def_line, Rule::D4.id()),
+            hot_marked: src.is_hot_marked(f.def_line),
+            h2_allowed: src.is_allowed(f.def_line, Rule::H2.id()),
+            h3_allowed: src.is_allowed(f.def_line, Rule::H3.id()),
+            p2_allowed: src.is_allowed(f.def_line, Rule::P2.id()),
             calls: f.calls.clone(),
             sources: sources
+                .iter()
+                .filter(|(idx, _)| *idx == i)
+                .map(|(_, s)| s.clone())
+                .collect(),
+            sinks: sinks
                 .iter()
                 .filter(|(idx, _)| *idx == i)
                 .map(|(_, s)| s.clone())
@@ -269,9 +361,9 @@ pub fn analyze_file(src: &SourceFile, config: &Config) -> FileSummary {
     }
 }
 
-/// Runs the global phases (C1 budgets, D4 taint) over per-file
-/// summaries and assembles the sorted report. `summaries` must be
-/// path-sorted for deterministic chain rendering.
+/// Runs the global phases (C1 budgets, D4 taint, H2/H3/P2 hot-path
+/// cost) over per-file summaries and assembles the sorted report.
+/// `summaries` must be path-sorted for deterministic chain rendering.
 pub fn finalize(summaries: &[FileSummary], config: &Config) -> Report {
     let mut report = Report {
         files_scanned: summaries.len(),
@@ -285,7 +377,9 @@ pub fn finalize(summaries: &[FileSummary], config: &Config) -> Report {
             .or_insert(0) += s.unwrap_count;
     }
     rules::check_unwrap_budgets(summaries, config, &mut report);
-    taint::check_taint(summaries, &config.crate_deps, &mut report);
+    let graph = CallGraph::build(summaries, &config.crate_deps);
+    taint::check_taint(&graph, summaries, &mut report);
+    hotpath::check_hot_paths(&graph, summaries, config, &mut report);
     report.violations.sort_by(|a, b| {
         (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
     });

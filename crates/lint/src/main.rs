@@ -196,7 +196,9 @@ fn print_help() {
          \n\
          Exits 0 when the workspace is clean, 1 when violations are found.\n\
          Waive a finding with `// lint:allow(<rule>): <justification>` on the\n\
-         offending line or the line above it.",
+         offending line or the line above it. Mark a hot entry point for the\n\
+         H2/H3/P2 hot-path cost pass with `// lint:hot` on or above its `fn`\n\
+         line; the built-in registry seeds the tick/sample surface regardless.",
         baseline = BASELINE_FILE
     );
 }

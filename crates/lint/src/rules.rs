@@ -17,6 +17,8 @@ pub enum Rule {
     D4,
     /// Shared-state concurrency primitives outside `magellan-par`.
     P1,
+    /// Lock/channel machinery reachable from a hot entry point.
+    P2,
     /// `unwrap()`/`expect(` beyond the per-crate budget.
     C1,
     /// Float `==`/`!=` comparisons in metric code.
@@ -27,24 +29,38 @@ pub enum Rule {
     C4,
     /// Missing crate hygiene headers.
     H1,
+    /// Heap allocation reachable from a hot entry point.
+    H2,
+    /// Whole-collection iteration reachable from a hot entry point.
+    H3,
     /// Malformed `lint:allow` annotation.
     M1,
 }
 
 /// Every rule, in reporting order.
-pub const RULES: [Rule; 11] = [
+pub const RULES: [Rule; 14] = [
     Rule::D1,
     Rule::D2,
     Rule::D3,
     Rule::D4,
     Rule::P1,
+    Rule::P2,
     Rule::C1,
     Rule::C2,
     Rule::C3,
     Rule::C4,
     Rule::H1,
+    Rule::H2,
+    Rule::H3,
     Rule::M1,
 ];
+
+/// Semantic version of the rule *internals* (needle sets, the hot
+/// entry-point registry, chain rendering). Folded into the cache
+/// fingerprint so a warm cache never silently applies a stale rule
+/// set — adding a rule id already busts the cache, but tightening an
+/// existing rule would not without this. Bump on any behavior change.
+pub const RULES_VERSION: u32 = 2;
 
 impl Rule {
     /// The short id used in reports and `lint:allow(...)`.
@@ -55,11 +71,14 @@ impl Rule {
             Rule::D3 => "D3",
             Rule::D4 => "D4",
             Rule::P1 => "P1",
+            Rule::P2 => "P2",
             Rule::C1 => "C1",
             Rule::C2 => "C2",
             Rule::C3 => "C3",
             Rule::C4 => "C4",
             Rule::H1 => "H1",
+            Rule::H2 => "H2",
+            Rule::H3 => "H3",
             Rule::M1 => "M1",
         }
     }
@@ -88,6 +107,11 @@ impl Rule {
                 "locks, channels, or non-SeqCst atomic orderings in simulation/metric crates: \
                  shared-state concurrency belongs in magellan-par's order-preserving primitives"
             }
+            Rule::P2 => {
+                "lock acquisition or channel machinery transitively reachable from a hot entry \
+                 point (lint:hot marker or built-in registry); fires even when the site itself \
+                 carries lint:allow(P1) — a justified lock is still a per-tick cost"
+            }
             Rule::C1 => {
                 "unwrap()/expect( in non-test library code beyond the per-crate budget: \
                  return typed errors instead"
@@ -100,6 +124,16 @@ impl Rule {
                  ops or a guarded helper"
             }
             Rule::H1 => "crate root missing #![forbid(unsafe_code)] and #![deny(missing_docs)]",
+            Rule::H2 => {
+                "heap allocation (collect/clone/to_vec/format!/Box::new, or a constructor \
+                 inside a loop) transitively reachable from a hot entry point, beyond the \
+                 per-crate budget; the violation prints the full call chain from the entry"
+            }
+            Rule::H3 => {
+                "whole-collection iteration (iter()/keys()/values()/retain on a map or set, \
+                 or a 0..len() range scan) transitively reachable from a hot entry point: \
+                 per-tick code must touch only the peers an event names, never the population"
+            }
             Rule::M1 => "lint:allow annotation without a rule id or justification",
         }
     }
@@ -132,6 +166,23 @@ pub fn default_unwrap_budgets() -> BTreeMap<String, usize> {
     m.insert("magellan".to_owned(), 2);
     m.insert("magellan-bench".to_owned(), 18);
     m.insert("magellan-lint".to_owned(), 0);
+    m
+}
+
+/// Default per-crate budgets for hot-path allocation sinks (rule H2).
+/// Same ratchet discipline as the unwrap budgets: the value is the
+/// audited count of *justified-by-design* allocations reachable from a
+/// hot entry point. The policy default is zero — a per-tick or
+/// per-sample allocation is either hoisted out of the hot path or
+/// carries an individual `lint:allow(H2): <why>`; budget slack is for
+/// crates where an audit has signed off a stable residue wholesale.
+pub fn default_hot_alloc_budgets() -> BTreeMap<String, usize> {
+    let mut m = BTreeMap::new();
+    m.insert("magellan-overlay".to_owned(), 0);
+    m.insert("magellan-netsim".to_owned(), 0);
+    m.insert("magellan-workload".to_owned(), 0);
+    m.insert("magellan-graph".to_owned(), 0);
+    m.insert("magellan-analysis".to_owned(), 0);
     m
 }
 
@@ -175,7 +226,7 @@ fn check_allow_annotations(src: &SourceFile, report: &mut Report) {
                 rule: Rule::M1,
                 message: format!("lint:allow names unknown rule `{id}`"),
             });
-        } else if justification.is_empty() {
+        } else if !crate::source::justified(justification) {
             report.violations.push(Violation {
                 file: src.path.clone(),
                 line: idx + 1,
@@ -595,7 +646,7 @@ fn metric_crate(name: &str) -> bool {
 
 /// Whether `line` contains `needle` as a standalone identifier
 /// (not a substring of a longer identifier).
-fn contains_ident(line: &str, needle: &str) -> bool {
+pub(crate) fn contains_ident(line: &str, needle: &str) -> bool {
     let mut start = 0;
     while let Some(pos) = line[start..].find(needle) {
         let abs = start + pos;

@@ -83,8 +83,50 @@ impl SourceFile {
         [here, above]
             .into_iter()
             .flatten()
-            .any(|l| allow_of(l).is_some_and(|(id, just)| id == rule_id && !just.is_empty()))
+            .any(|l| allow_of(l).is_some_and(|(id, just)| id == rule_id && justified(just)))
     }
+
+    /// Whether the given 1-based line (a function definition line) is
+    /// marked as a hot entry point via a `lint:hot` comment, either
+    /// trailing on the line itself or on a standalone comment line
+    /// directly above.
+    pub fn is_hot_marked(&self, line: usize) -> bool {
+        let here = self.comments.get(line.wrapping_sub(1)).map(String::as_str);
+        let above = if line >= 2 {
+            self.comments
+                .get(line - 2)
+                .filter(|_| {
+                    self.raw
+                        .get(line - 2)
+                        .is_some_and(|l| l.trim_start().starts_with("//"))
+                })
+                .map(String::as_str)
+        } else {
+            None
+        };
+        [here, above].into_iter().flatten().any(is_hot_comment)
+    }
+}
+
+/// Whether a `lint:allow` justification actually says something: at
+/// least one alphanumeric character. Rejects the empty string,
+/// whitespace, and delimiter debris like `*/` or `--`, so
+/// `lint:allow(RULE):` with no real rationale never waives a rule.
+pub fn justified(justification: &str) -> bool {
+    justification.chars().any(|c| c.is_ascii_alphanumeric())
+}
+
+/// Whether a comment line carries the `lint:hot` marker. The token
+/// must end the line or be followed by `:`/whitespace, so prose like
+/// "lint:hotness" never registers an entry point.
+fn is_hot_comment(comment_line: &str) -> bool {
+    let Some(start) = comment_line.find("lint:hot") else {
+        return false;
+    };
+    matches!(
+        comment_line[start + "lint:hot".len()..].chars().next(),
+        None | Some(':') | Some(' ') | Some('\t')
+    )
 }
 
 /// Extracts `(rule_id, justification)` from a `lint:allow` annotation,
@@ -438,6 +480,19 @@ mod tests {
         assert!(src.is_allowed(1, "D2"));
         assert!(!src.is_allowed(2, "D2"));
         assert!(!src.is_allowed(1, "D1"));
+    }
+
+    #[test]
+    fn delimiter_debris_is_not_a_justification() {
+        // An annotation inside a block comment leaves `*/` as the
+        // parsed justification; alphanumeric-free tails never waive.
+        assert!(!justified("*/"));
+        assert!(!justified("--"));
+        assert!(!justified("   "));
+        assert!(!justified(""));
+        assert!(justified("bounded by fanout"));
+        let src = parse("a(); /* lint:allow(D2): */\n");
+        assert!(!src.is_allowed(1, "D2"));
     }
 
     #[test]

@@ -14,9 +14,9 @@
 //!    whose `.iter()`/`.keys()`/`.values()`/`.drain()`/`for … in`
 //!    sites leak per-process order).
 //! 2. **Propagate** reachability backwards over the workspace call
-//!    graph (name-based resolution through `use` imports and the
-//!    crate dependency graph — an over-approximation, documented in
-//!    DESIGN.md §9).
+//!    graph ([`crate::reach`] — name-based resolution through `use`
+//!    imports and the crate dependency graph, an over-approximation
+//!    documented in DESIGN.md §9).
 //! 3. **Report** every public entry point in the simulation and metric
 //!    crates (`overlay`, `netsim`, `workload`, `graph`, `analysis`)
 //!    that can reach a source, printing the full call chain from the
@@ -26,7 +26,7 @@
 //! iteration (or read) as order-insensitive and un-seeds it for every
 //! caller; on an *entry point's `fn` line* it waives that one entry.
 
-use crate::items::{CallSite, UseImport};
+use crate::reach::{render_hop, CallGraph, Direction, FnKey};
 use crate::rules::Rule;
 use crate::source::{SourceFile, TargetKind};
 use crate::{FileSummary, Report, TaintKind, TaintSource, Violation};
@@ -50,19 +50,6 @@ const SEED_EXEMPT: [&str; 2] = ["magellan-bench", "magellan-par"];
 /// wholesale; depth-0 hash findings there would double-report.
 const D1_CRATES: [&str; 3] = ["magellan-overlay", "magellan-netsim", "magellan-workload"];
 
-/// Path prefixes that never resolve into the workspace.
-const EXTERNAL_ROOTS: [&str; 9] = [
-    "std",
-    "core",
-    "alloc",
-    "rand",
-    "proptest",
-    "serde",
-    "bytes",
-    "parking_lot",
-    "criterion",
-];
-
 /// Direct needles: pattern, taint kind, human label.
 const NEEDLES: [(&str, TaintKind, &str); 7] = [
     ("SystemTime::now", TaintKind::Clock, "wall-clock read"),
@@ -74,7 +61,7 @@ const NEEDLES: [(&str, TaintKind, &str); 7] = [
     ("thread::Builder", TaintKind::Spawn, "raw thread spawn"),
 ];
 
-/// Method suffixes whose hash-ordered iteration leaks process order.
+/// Method suffixes whose iteration walks the whole collection.
 const ITER_TOKENS: [&str; 10] = [
     ".iter()",
     ".iter_mut()",
@@ -97,7 +84,7 @@ pub fn detect_sources(src: &SourceFile, fns: &[crate::items::FnItem]) -> Vec<(us
     if src.kind != TargetKind::Lib || SEED_EXEMPT.contains(&src.crate_name.as_str()) {
         return Vec::new();
     }
-    let hash_names = hash_typed_names(src);
+    let hash_names = typed_names(src, &["HashMap", "HashSet"]);
     let mut out = Vec::new();
     for (idx, line) in src.code.iter().enumerate() {
         let lineno = idx + 1;
@@ -120,13 +107,16 @@ pub fn detect_sources(src: &SourceFile, fns: &[crate::items::FnItem]) -> Vec<(us
             }
         }
         for name in &hash_names {
-            if let Some(what) = hash_iteration_on(line, name) {
+            if let Some(how) = iteration_of(line, name) {
                 out.push((
                     fn_idx,
                     TaintSource {
                         line: lineno,
                         kind: TaintKind::HashOrder,
-                        what,
+                        what: format!(
+                            "hash-ordered iteration `{how}` — \
+                             HashMap/HashSet order varies per process"
+                        ),
                     },
                 ));
             }
@@ -135,14 +125,14 @@ pub fn detect_sources(src: &SourceFile, fns: &[crate::items::FnItem]) -> Vec<(us
     out
 }
 
-/// Collects names bound (or typed) as `HashMap`/`HashSet` anywhere in
-/// the file: `let` bindings, struct fields, and parameters. Tracking
-/// is file-local by design — a field iterated from another file needs
-/// its own binding there to be seen.
-fn hash_typed_names(src: &SourceFile) -> BTreeSet<String> {
+/// Collects names bound (or typed) as any of the `markers` collection
+/// types anywhere in the file: `let` bindings, struct fields, and
+/// parameters. Tracking is file-local by design — a field iterated
+/// from another file needs its own binding there to be seen.
+pub(crate) fn typed_names(src: &SourceFile, markers: &[&str]) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for line in &src.code {
-        if !line.contains("HashMap") && !line.contains("HashSet") {
+        if !markers.iter().any(|m| line.contains(m)) {
             continue;
         }
         let t = line.trim_start();
@@ -160,7 +150,7 @@ fn hash_typed_names(src: &SourceFile) -> BTreeSet<String> {
         }
         // `name: HashMap<…>` — struct field or parameter.
         if let Some(colon) = t.find(':') {
-            if t[colon..].contains("HashMap") || t[colon..].contains("HashSet") {
+            if markers.iter().any(|m| t[colon..].contains(m)) {
                 let head = t[..colon].trim();
                 let head = head.strip_prefix("pub ").unwrap_or(head);
                 let head = head.split_whitespace().last().unwrap_or("");
@@ -179,9 +169,10 @@ fn hash_typed_names(src: &SourceFile) -> BTreeSet<String> {
     names
 }
 
-/// Whether `line` iterates the hash-typed binding `name` (directly or
-/// through `self.`), returning the human description when it does.
-fn hash_iteration_on(line: &str, name: &str) -> Option<String> {
+/// Whether `line` iterates the whole of the binding `name` (directly
+/// or through `self.`), returning a `name.method` / `for … in name`
+/// description when it does.
+pub(crate) fn iteration_of(line: &str, name: &str) -> Option<String> {
     for owner in [name.to_owned(), format!("self.{name}")] {
         for token in ITER_TOKENS {
             let pat = format!("{owner}{token}");
@@ -189,10 +180,7 @@ fn hash_iteration_on(line: &str, name: &str) -> Option<String> {
                 if ident_boundary_before(line, pos) {
                     let method = token.trim_start_matches('.');
                     let method = &method[..method.find(['(', ')']).unwrap_or(method.len())];
-                    return Some(format!(
-                        "hash-ordered iteration `{name}.{method}` — \
-                         HashMap/HashSet order varies per process"
-                    ));
+                    return Some(format!("{name}.{method}"));
                 }
             }
         }
@@ -210,10 +198,7 @@ fn hash_iteration_on(line: &str, name: &str) -> Option<String> {
                         .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.')
                 })
             {
-                return Some(format!(
-                    "hash-ordered iteration `for … in {name}` — \
-                     HashMap/HashSet order varies per process"
-                ));
+                return Some(format!("for … in {name}"));
             }
         }
     }
@@ -229,7 +214,7 @@ fn ident_boundary_before(line: &str, pos: usize) -> bool {
 }
 
 /// The innermost function whose body span covers `lineno`.
-fn enclosing_fn(fns: &[crate::items::FnItem], lineno: usize) -> Option<usize> {
+pub(crate) fn enclosing_fn(fns: &[crate::items::FnItem], lineno: usize) -> Option<usize> {
     let mut best: Option<usize> = None;
     for (i, f) in fns.iter().enumerate() {
         if f.body_start <= lineno && lineno <= f.body_end {
@@ -245,142 +230,53 @@ fn enclosing_fn(fns: &[crate::items::FnItem], lineno: usize) -> Option<usize> {
     best
 }
 
-/// A call-graph node key: functions are merged per `(crate, name)` —
-/// impl blocks are not resolved, so same-name functions in one crate
-/// share a node (a documented over-approximation).
-type FnKey = (String, String);
-
-#[derive(Debug, Default)]
-struct Node {
-    /// `(file_idx, def_line, is_entry_def, d4_allowed)` per definition.
-    defs: Vec<(usize, usize, bool, bool)>,
-    /// Taint sources inside any definition: `(file_idx, source)`.
-    sources: Vec<(usize, TaintSource)>,
-    /// Resolved callees: callee key → smallest call line (with the
-    /// caller file) for deterministic chain reconstruction.
-    callees: BTreeMap<FnKey, (usize, usize)>,
+/// Taint sources inside any definition of `key`'s node, as
+/// `(file_idx, source)` pairs in definition order.
+fn node_sources<'a>(
+    graph: &CallGraph,
+    key: &FnKey,
+    files: &'a [FileSummary],
+) -> Vec<(usize, &'a TaintSource)> {
+    let Some(node) = graph.nodes.get(key) else {
+        return Vec::new();
+    };
+    node.defs
+        .iter()
+        .flat_map(|d| {
+            files[d.file].fns[d.fun]
+                .sources
+                .iter()
+                .map(move |s| (d.file, s))
+        })
+        .collect()
 }
 
-/// Runs the D4 analysis over per-file summaries and appends
+/// Runs the D4 analysis over the shared call graph and appends
 /// violations to `report`.
-pub fn check_taint(
-    files: &[FileSummary],
-    crate_deps: &BTreeMap<String, BTreeSet<String>>,
-    report: &mut Report,
-) {
-    let workspace_crates: BTreeSet<&str> = files.iter().map(|f| f.crate_name.as_str()).collect();
-
-    // Index: simple fn name → set of crates defining it.
-    let mut by_name: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
-    for f in files {
-        if f.kind != TargetKind::Lib {
-            continue;
-        }
-        for func in &f.fns {
-            if !func.in_test {
-                by_name
-                    .entry(func.name.as_str())
-                    .or_default()
-                    .insert(f.crate_name.as_str());
-            }
-        }
-    }
-
-    // Build nodes.
-    let mut nodes: BTreeMap<FnKey, Node> = BTreeMap::new();
-    for (file_idx, f) in files.iter().enumerate() {
-        if f.kind != TargetKind::Lib {
-            continue;
-        }
-        let import_map: BTreeMap<&str, &UseImport> =
-            f.uses.iter().map(|u| (u.name.as_str(), u)).collect();
-        for func in &f.fns {
-            if func.in_test {
-                continue;
-            }
-            let key: FnKey = (f.crate_name.clone(), func.name.clone());
-            let node = nodes.entry(key).or_default();
-            let is_entry_def = func.is_pub && ENTRY_CRATES.contains(&f.crate_name.as_str());
-            node.defs
-                .push((file_idx, func.def_line, is_entry_def, func.d4_allowed));
-            for s in &func.sources {
-                node.sources.push((file_idx, s.clone()));
-            }
-            for call in &func.calls {
-                for callee_crate in resolve_call(
-                    call,
-                    &f.crate_name,
-                    &import_map,
-                    &by_name,
-                    &workspace_crates,
-                    crate_deps,
-                ) {
-                    let Some(callee_name) = call.path.last() else {
-                        continue;
-                    };
-                    let callee_key: FnKey = (callee_crate, callee_name.clone());
-                    let entry = node
-                        .callees
-                        .entry(callee_key)
-                        .or_insert((file_idx, call.line));
-                    if call.line < entry.1 {
-                        *entry = (file_idx, call.line);
-                    }
-                }
-            }
-        }
-    }
-
-    // Reverse adjacency.
-    let mut callers: BTreeMap<&FnKey, BTreeSet<&FnKey>> = BTreeMap::new();
-    for (key, node) in &nodes {
-        for callee in node.callees.keys() {
-            if nodes.contains_key(callee) {
-                callers.entry(callee).or_default().insert(key);
-            }
-        }
-    }
-
-    // Multi-source BFS from seeded nodes toward callers. `via` records
-    // the deterministic next hop toward the nearest source.
-    let mut dist: BTreeMap<&FnKey, (usize, Option<&FnKey>)> = BTreeMap::new();
-    let mut frontier: Vec<&FnKey> = nodes
+pub fn check_taint(graph: &CallGraph, files: &[FileSummary], report: &mut Report) {
+    // Seeds: every node containing at least one taint source.
+    let seeds: Vec<&FnKey> = graph
+        .nodes
         .iter()
-        .filter(|(_, n)| !n.sources.is_empty())
+        .filter(|(_, n)| {
+            n.defs
+                .iter()
+                .any(|d| !files[d.file].fns[d.fun].sources.is_empty())
+        })
         .map(|(k, _)| k)
         .collect();
-    for k in &frontier {
-        dist.insert(k, (0, None));
-    }
-    while !frontier.is_empty() {
-        let mut next: Vec<&FnKey> = Vec::new();
-        for callee in frontier {
-            let d = dist[&callee].0;
-            if let Some(cs) = callers.get(&callee) {
-                for caller in cs {
-                    dist.entry(caller).or_insert_with(|| {
-                        next.push(caller);
-                        (d + 1, Some(callee))
-                    });
-                }
-            }
-        }
-        next.sort();
-        next.dedup();
-        frontier = next;
-    }
+    let dist = graph.reach(&seeds, Direction::Callers);
 
     // Report tainted entry points.
-    for (key, node) in &nodes {
+    for (key, node) in &graph.nodes {
         let Some(&(d, _)) = dist.get(key) else {
             continue;
         };
-        let entry_defs: Vec<_> = node
-            .defs
-            .iter()
-            .filter(|(_, _, is_entry, allowed)| *is_entry && !allowed)
-            .collect();
-        let Some(&&(def_file, def_line, _, _)) = entry_defs.first() else {
+        let entry_def = node.defs.iter().find(|def| {
+            let f = &files[def.file].fns[def.fun];
+            f.is_pub && ENTRY_CRATES.contains(&files[def.file].crate_name.as_str()) && !f.d4_allowed
+        });
+        let Some(def) = entry_def else {
             continue;
         };
         if d == 0 {
@@ -388,17 +284,17 @@ pub fn check_taint(
             // clock, entropy, and spawns are D2/D3's findings; hash
             // iteration in D1-governed crates is D1's. Only
             // hash-order sources in the metric crates are D4's alone.
-            let direct_hash = node.sources.iter().any(|(_, s)| {
+            let direct_hash = node_sources(graph, key, files).iter().any(|(_, s)| {
                 s.kind == TaintKind::HashOrder && !D1_CRATES.contains(&key.0.as_str())
             });
             if !direct_hash {
                 continue;
             }
         }
-        let chain = render_chain(key, node, &nodes, &dist, files);
+        let chain = render_chain(graph, key, &dist, files);
         report.violations.push(Violation {
-            file: files[def_file].path.clone(),
-            line: def_line,
+            file: files[def.file].path.clone(),
+            line: files[def.file].fns[def.fun].def_line,
             rule: Rule::D4,
             message: format!(
                 "public entry point `{}` can transitively reach nondeterminism: {chain} — \
@@ -412,34 +308,23 @@ pub fn check_taint(
 
 /// Renders `entry -> hop (file:line) -> … : source at file:line`.
 fn render_chain(
+    graph: &CallGraph,
     entry: &FnKey,
-    entry_node: &Node,
-    nodes: &BTreeMap<FnKey, Node>,
     dist: &BTreeMap<&FnKey, (usize, Option<&FnKey>)>,
     files: &[FileSummary],
 ) -> String {
-    let mut parts: Vec<String> = Vec::new();
-    let mut key = entry;
-    let mut node = entry_node;
-    loop {
-        let (file_idx, def_line, _, _) = node.defs[0];
-        parts.push(format!(
-            "{}() ({}:{})",
-            key.1,
-            files[file_idx].path.display(),
-            def_line
-        ));
-        match dist.get(key).and_then(|&(_, via)| via) {
-            Some(next) => {
-                key = next;
-                node = &nodes[next];
-            }
-            None => break,
-        }
-    }
+    let keys = graph.chain(entry, dist);
+    let parts: Vec<String> = keys
+        .iter()
+        .map(|k| render_hop(k, &graph.nodes[*k], files))
+        .collect();
     // The BFS only reaches nodes whose chain ends at a seeded node, so
-    // `sources` is non-empty here; the fallback keeps the walk total.
-    let Some(source) = node.sources.iter().min_by_key(|(f, s)| (*f, s.line)) else {
+    // the last hop has sources; the fallback keeps the walk total.
+    let sources = keys
+        .last()
+        .map(|k| node_sources(graph, k, files))
+        .unwrap_or_default();
+    let Some(source) = sources.iter().min_by_key(|(f, s)| (*f, s.line)) else {
         return parts.join(" -> ");
     };
     format!(
@@ -449,85 +334,6 @@ fn render_chain(
         files[source.0].path.display(),
         source.1.line
     )
-}
-
-/// Resolves one call site to the set of workspace crates that may
-/// define the callee.
-fn resolve_call(
-    call: &CallSite,
-    caller_crate: &str,
-    imports: &BTreeMap<&str, &UseImport>,
-    by_name: &BTreeMap<&str, BTreeSet<&str>>,
-    workspace_crates: &BTreeSet<&str>,
-    crate_deps: &BTreeMap<String, BTreeSet<String>>,
-) -> Vec<String> {
-    let Some(name) = call.path.last().map(String::as_str) else {
-        return Vec::new();
-    };
-    let Some(defining) = by_name.get(name) else {
-        return Vec::new();
-    };
-    let visible = |c: &str| {
-        c == caller_crate
-            || crate_deps.is_empty()
-            || crate_deps
-                .get(caller_crate)
-                .is_some_and(|deps| deps.contains(c))
-    };
-    // Fully-qualified path or an import naming the first segment.
-    let mut path = call.path.clone();
-    if path.len() == 1 {
-        if let Some(u) = imports.get(name) {
-            path = u.path.clone();
-        }
-    } else if let Some(u) = imports.get(path[0].as_str()) {
-        let mut full = u.path.clone();
-        full.extend_from_slice(&path[1..]);
-        path = full;
-    }
-    if path.len() > 1 {
-        let root = path[0].as_str();
-        if EXTERNAL_ROOTS.contains(&root) {
-            return Vec::new();
-        }
-        let as_crate = root.replace('_', "-");
-        if workspace_crates.contains(as_crate.as_str()) {
-            return if defining.contains(as_crate.as_str()) && visible(&as_crate) {
-                vec![as_crate]
-            } else {
-                Vec::new()
-            };
-        }
-        if matches!(root, "crate" | "self" | "super" | "Self") {
-            return if defining.contains(caller_crate) {
-                vec![caller_crate.to_owned()]
-            } else {
-                Vec::new()
-            };
-        }
-        // Unresolvable qualifier (local module, local type): within
-        // the caller's crate only.
-        return if defining.contains(caller_crate) {
-            vec![caller_crate.to_owned()]
-        } else {
-            Vec::new()
-        };
-    }
-    // Bare or method call: the caller's crate, plus (for methods) its
-    // workspace dependencies — receiver types are not resolved, so
-    // method calls over-approximate across the dep edge.
-    let mut out: Vec<String> = Vec::new();
-    if defining.contains(caller_crate) {
-        out.push(caller_crate.to_owned());
-    }
-    if call.method {
-        for &c in defining.iter() {
-            if c != caller_crate && visible(c) {
-                out.push(c.to_owned());
-            }
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -540,10 +346,15 @@ mod tests {
         crate::analyze_file(&src, &crate::Config::default())
     }
 
-    fn d4(files: &[FileSummary]) -> Vec<Violation> {
+    fn d4_with(files: &[FileSummary], deps: &BTreeMap<String, BTreeSet<String>>) -> Vec<Violation> {
+        let graph = CallGraph::build(files, deps);
         let mut report = Report::default();
-        check_taint(files, &BTreeMap::new(), &mut report);
+        check_taint(&graph, files, &mut report);
         report.violations
+    }
+
+    fn d4(files: &[FileSummary]) -> Vec<Violation> {
+        d4_with(files, &BTreeMap::new())
     }
 
     #[test]
@@ -552,7 +363,7 @@ mod tests {
             PathBuf::from("crates/analysis/src/x.rs"),
             "struct S {\n    recent: HashMap<u32, u32>,\n}\nfn f() {\n    let mut times: HashMap<u32, u32> = HashMap::new();\n    let seen = HashSet::new();\n    let plain: Vec<u32> = vec![];\n}\n",
         );
-        let names = hash_typed_names(&src);
+        let names = typed_names(&src, &["HashMap", "HashSet"]);
         assert!(names.contains("recent"));
         assert!(names.contains("times"));
         assert!(names.contains("seen"));
@@ -643,16 +454,14 @@ mod tests {
             ["magellan-trace".to_owned()].into_iter().collect(),
         );
         deps.insert("magellan-trace".into(), BTreeSet::new());
-        let mut report = Report::default();
-        check_taint(&[helper.clone(), entry.clone()], &deps, &mut report);
-        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        let vs = d4_with(&[helper.clone(), entry.clone()], &deps);
+        assert_eq!(vs.len(), 1, "{vs:?}");
         // Without the dep edge, the method call cannot target trace.
         let mut no_edge: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
         no_edge.insert("magellan-overlay".into(), BTreeSet::new());
         no_edge.insert("magellan-trace".into(), BTreeSet::new());
-        let mut report = Report::default();
-        check_taint(&[helper, entry], &no_edge, &mut report);
-        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        let vs = d4_with(&[helper, entry], &no_edge);
+        assert!(vs.is_empty(), "{vs:?}");
     }
 
     #[test]

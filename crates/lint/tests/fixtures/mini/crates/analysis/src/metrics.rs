@@ -2,6 +2,7 @@
 //! entry point below never touches a hash collection itself, yet D4
 //! must report it with the full chain into `magellan-trace`.
 
+use magellan_graph::scratch::scratch_degrees;
 use magellan_trace::store::freshest_reports;
 
 /// Sums report ids in store order — order-dependent through the
@@ -13,4 +14,21 @@ pub fn total_report_id() -> u32 {
 /// Exact comparison on a computed float (C2).
 pub fn is_unit(x: f64) -> bool {
     x == 1.0
+}
+
+/// Per-sample boundary sampler — a hot entry point whose allocation
+/// sits one crate away, in `magellan-graph` (H2, depth 1).
+// lint:hot
+pub fn sample_boundary(off: &[usize]) -> usize {
+    scratch_degrees(off).len()
+}
+
+/// Hot entry that scans the whole slab per call (H3, depth 0).
+// lint:hot
+pub fn horizon_scan(xs: &[u32]) -> u32 {
+    let mut acc = 0;
+    for i in 0..xs.len() {
+        acc += xs[i];
+    }
+    acc
 }

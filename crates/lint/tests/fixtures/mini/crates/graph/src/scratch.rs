@@ -1,0 +1,23 @@
+//! Scratch-buffer helpers seeding the hot-path cost fixtures: one
+//! allocation reached from a hot entry in `magellan-analysis` (H2
+//! lands here with a two-crate chain), one cold allocation and one
+//! justified hot allocation that must both stay inert.
+
+/// Fresh degree vector per call — the H2 sink at the end of the
+/// two-crate hot chain from `sample_boundary`.
+pub fn scratch_degrees(off: &[usize]) -> Vec<usize> {
+    off.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+/// Cold path: allocates freely, but no hot entry reaches it, so H2
+/// stays silent.
+pub fn cold_histogram(vals: &[usize]) -> Vec<usize> {
+    vals.to_vec()
+}
+
+/// Hot but audited: the allow on the `fn` line waives the body and
+/// un-seeds the entry, so H2 stays silent here too.
+// lint:hot
+pub fn audited_scratch(n: usize) -> Vec<usize> { // lint:allow(H2): startup-only warmup, measured cold
+    (0..n).collect()
+}

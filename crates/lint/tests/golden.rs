@@ -76,6 +76,64 @@ fn transitive_d4_chain_crosses_the_crate_boundary() {
 }
 
 #[test]
+fn hot_chain_crosses_the_crate_boundary() {
+    let report = lint_workspace(&fixture_root(), &Config::default()).expect("fixture tree");
+    let h2: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule.id() == "H2")
+        .collect();
+    assert_eq!(h2.len(), 1, "{h2:?}");
+    let m = &h2[0].message;
+    assert!(m.contains("sample_boundary()"), "{m}");
+    assert!(m.contains("scratch_degrees()"), "{m}");
+    assert!(m.contains("budget 0"), "{m}");
+    assert!(
+        h2[0].file == Path::new("crates/graph/src/scratch.rs"),
+        "H2 must anchor at the sink, got {:?}",
+        h2[0].file
+    );
+    // The cold allocation and the fn-line-justified hot one stay inert.
+    assert!(!m.contains("cold_histogram"), "{m}");
+    assert!(
+        !report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("audited_scratch")),
+        "{:?}",
+        report.violations
+    );
+    // H3 anchors at the hot entry's own scan; P2 at the justified lock.
+    let h3: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule.id() == "H3")
+        .collect();
+    assert_eq!(h3.len(), 1, "{h3:?}");
+    assert!(
+        h3[0].message.contains("horizon_scan()"),
+        "{}",
+        h3[0].message
+    );
+    let p2: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule.id() == "P2")
+        .collect();
+    assert_eq!(p2.len(), 1, "{p2:?}");
+    assert!(
+        p2[0].message.contains("behind a lint:allow(P1)"),
+        "{}",
+        p2[0].message
+    );
+    assert!(
+        p2[0].file == Path::new("crates/netsim/src/pump.rs"),
+        "{:?}",
+        p2[0].file
+    );
+}
+
+#[test]
 fn distractors_in_strings_and_comments_stay_inert() {
     let report = lint_workspace(&fixture_root(), &Config::default()).expect("fixture tree");
     // kernels.rs carries SystemTime::now / hash iteration text inside
@@ -131,7 +189,7 @@ fn cold_and_warm_cache_runs_are_identical() {
 
     let cold = lint_workspace_cached(&scratch, &Config::default(), true).expect("cold run");
     assert!(
-        scratch.join("target/magellan-lint-cache.v1").is_file(),
+        scratch.join("target/magellan-lint-cache.v2").is_file(),
         "cold run must persist the cache"
     );
     let warm = lint_workspace_cached(&scratch, &Config::default(), true).expect("warm run");

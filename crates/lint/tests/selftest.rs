@@ -108,6 +108,49 @@ fn injected_transitive_taint_is_detected() {
 }
 
 #[test]
+fn injected_hot_allocation_is_detected_with_chain() {
+    // The hot entry itself is allocation-free; the `.collect()` sits in
+    // a private helper, so only the forward call-graph pass (H2) can
+    // see it — and the finding must carry the full chain.
+    let src = parse(
+        "crates/overlay/src/injected.rs",
+        "// lint:hot: per-tick driver\npub fn drive(xs: &[u32]) -> Vec<u32> {\n    widen(xs)\n}\nfn widen(xs: &[u32]) -> Vec<u32> {\n    xs.iter().map(|x| x + 1).collect()\n}\n",
+    );
+    let report = lint_sources(&[src], &Config::default());
+    let h2: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule.id() == "H2")
+        .collect();
+    assert_eq!(h2.len(), 1, "{:?}", report.violations);
+    assert!(h2[0].message.contains("drive()"), "{}", h2[0].message);
+    assert!(h2[0].message.contains("widen()"), "{}", h2[0].message);
+}
+
+#[test]
+fn injected_hot_scan_is_detected() {
+    let src = parse(
+        "crates/overlay/src/injected.rs",
+        "// lint:hot\npub fn drive(xs: &[u32]) -> u32 {\n    let mut t = 0;\n    for i in 0..xs.len() {\n        t += xs[i];\n    }\n    t\n}\n",
+    );
+    let ids = rule_ids(&[src], &Config::default());
+    assert!(ids.contains(&"H3".to_owned()), "got {ids:?}");
+}
+
+#[test]
+fn injected_allowed_lock_on_hot_path_is_detected() {
+    // A line-level `lint:allow(P1): <why>` silences the line rule; on
+    // a hot path, P2 must re-raise the cost anyway.
+    let src = parse(
+        "crates/netsim/src/injected.rs",
+        "// lint:hot\npub fn f() -> bool {\n    // lint:allow(P1): shared with the harness thread\n    std::sync::Mutex::new(0).lock().is_ok()\n}\n",
+    );
+    let ids = rule_ids(&[src], &Config::default());
+    assert!(!ids.contains(&"P1".to_owned()), "got {ids:?}");
+    assert!(ids.contains(&"P2".to_owned()), "got {ids:?}");
+}
+
+#[test]
 fn injected_lock_is_detected() {
     let src = parse(
         "crates/netsim/src/injected.rs",

@@ -259,7 +259,7 @@ impl IspDatabase {
             .iter()
             .filter(|&&(_, _, i)| i == isp)
             .map(|&(s, e, _)| (s, e))
-            .collect()
+            .collect() // lint:allow(H2): at most 64 slabs per ISP, drawn once per join event
     }
 
     /// Creates an allocator of unique addresses over this database.

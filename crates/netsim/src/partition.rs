@@ -80,7 +80,7 @@ pub fn uncovered_fraction(windows: &[FaultWindow], lo: SimTime, hi: SimTime) -> 
             let e = w.end.min(hi).as_millis();
             (s < e).then_some((s, e))
         })
-        .collect();
+        .collect(); // lint:allow(H2): clips the configured outage windows once per boundary
     clipped.sort_unstable();
     let mut covered = 0u64;
     let mut cur: Option<(u64, u64)> = None;

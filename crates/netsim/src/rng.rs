@@ -186,16 +186,34 @@ impl ZipfTable {
 ///
 /// Panics if the weights are empty or all zero.
 pub fn weighted_index<R: rand::Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
-    let total: f64 = weights.iter().sum();
+    weighted_index_iter(rng, weights.iter().sum(), weights.iter().copied())
+}
+
+/// Allocation-free core of [`weighted_index`]: draws against the
+/// pre-summed `total` and walks `weights` once, so hot-path callers
+/// can sample straight off their own storage without materializing a
+/// scratch slice. The single `random_range` call consumes the RNG
+/// exactly like the slice wrapper, keeping seeded streams identical.
+///
+/// # Panics
+///
+/// Panics if `total` is not positive.
+pub fn weighted_index_iter<R, I>(rng: &mut R, total: f64, weights: I) -> usize
+where
+    R: rand::Rng + ?Sized,
+    I: IntoIterator<Item = f64>,
+{
     assert!(total > 0.0, "weights must not be all zero");
     let mut u: f64 = rng.random_range(0.0..total);
-    for (i, &w) in weights.iter().enumerate() {
+    let mut last = 0;
+    for (i, w) in weights.into_iter().enumerate() {
         if u < w {
             return i;
         }
         u -= w;
+        last = i;
     }
-    weights.len() - 1
+    last
 }
 
 #[cfg(test)]

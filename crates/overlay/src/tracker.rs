@@ -256,7 +256,8 @@ fn sample_into<R: rand::Rng + ?Sized>(
     // "everyone") must degrade to a short list, never overflow the
     // deficit/try budget math or spin.
     if pool.len() <= (want - out.len()).saturating_mul(2) {
-        let mut idx: Vec<usize> = (0..pool.len()).collect();
+        let mut idx: Vec<usize> = (0..pool.len()).collect(); // lint:allow(H2): full-pool shuffle only when the pool is at most twice the deficit
+                                                             // lint:allow(H3): prefix shuffle over the small pool admitted by the branch above
         for i in 0..idx.len() {
             let j = rng.random_range(i..idx.len());
             idx.swap(i, j);

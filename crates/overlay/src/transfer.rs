@@ -157,7 +157,7 @@ where
                     cap: cfg.capacity_segments_per_tick(l.quality.bandwidth_kbps),
                 })
             })
-            .collect();
+            .collect(); // lint:allow(H2): per-receiver flow context, bounded by receivers with demand and their links
         if links.is_empty() {
             continue;
         }
@@ -176,9 +176,13 @@ where
     // proportional waterfilling approximate that.
     const ROUNDS: usize = 3;
     let mut delivered_links: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+    // Round-scoped scratch, hoisted so the rounds reuse one
+    // allocation instead of rebuilding both per round.
+    let mut requested: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut round_flows: Vec<(usize, usize, f64)> = Vec::new();
     for _ in 0..ROUNDS {
-        let mut requested: BTreeMap<u32, f64> = BTreeMap::new();
-        let mut round_flows: Vec<(usize, usize, f64)> = Vec::new();
+        requested.clear();
+        round_flows.clear();
         for (ri, rc) in recvs.iter().enumerate() {
             if rc.demand <= 1e-6 {
                 continue;
@@ -215,8 +219,8 @@ where
                 let b = budget_left.get(&sup).copied().unwrap_or(0.0);
                 (sup, if req > b { b / req } else { 1.0 })
             })
-            .collect();
-        for (ri, li, ask) in round_flows {
+            .collect(); // lint:allow(H2): the scale snapshot must be taken before budgets drain; bounded by active suppliers
+        for (ri, li, ask) in round_flows.drain(..) {
             let sup = recvs[ri].links[li].sup;
             let s = scale.get(&sup).copied().unwrap_or(0.0);
             let u = useful.get(&sup).copied().unwrap_or(0.0);
@@ -239,7 +243,7 @@ where
     let mut link_updates: Vec<(u32, u32, f64)> = delivered_links
         .into_iter()
         .map(|((s, r), m)| (s, r, m))
-        .collect();
+        .collect(); // lint:allow(H2): flattens delivered flows once per tick, bounded by active links
     link_updates.sort_by_key(|u| (u.0, u.1));
     let mut delivered_to: BTreeMap<u32, f64> = BTreeMap::new();
     let mut sent_by: BTreeMap<u32, f64> = BTreeMap::new();

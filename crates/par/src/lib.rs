@@ -32,8 +32,13 @@
 //! 2. the `MAGELLAN_THREADS` environment variable,
 //! 3. [`std::thread::available_parallelism`].
 //!
-//! Because every primitive is deterministic, the knob trades wall
-//! clock only — never output bytes.
+//! The knob is a *ceiling*, not a demand: the primitives additionally
+//! clamp to the host's [`std::thread::available_parallelism`] (eight
+//! requested workers on a one-core host would only add scheduling
+//! overhead) and to the work size, so each worker has at least
+//! [`PAR_CUTOFF`] items (see [`effective_workers`]). Because every
+//! primitive is deterministic, none of this ever changes output bytes
+//! — only wall clock.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -43,9 +48,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Programmatic thread-count override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
-/// Below this many items a parallel map runs inline: spawn cost would
-/// dominate, and the tiny graphs of unit tests should not pay it.
-const PAR_CUTOFF: usize = 64;
+/// Minimum items per worker: below this, spawn cost dominates the
+/// work, and the tiny graphs of unit tests should not pay it.
+pub const PAR_CUTOFF: usize = 64;
 
 /// Overrides the worker count for this process (`0` clears the
 /// override, returning control to `MAGELLAN_THREADS` /
@@ -79,6 +84,17 @@ pub fn threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// The worker count [`par_map_collect`] would actually spawn for
+/// `len` items: [`threads()`] clamped to the host's
+/// [`std::thread::available_parallelism`] (a requested count above
+/// the core count only adds context-switch overhead) and to
+/// `len / PAR_CUTOFF` (so every worker owns at least [`PAR_CUTOFF`]
+/// items). A result of 1 or 0 means the map runs inline.
+pub fn effective_workers(len: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    threads().min(cores).min(len / PAR_CUTOFF)
+}
+
 /// Maps `f` over `0..len` and collects the results in index order.
 ///
 /// The items are split into at most [`threads()`] contiguous chunks,
@@ -87,8 +103,11 @@ pub fn threads() -> usize {
 /// `(0..len).map(f).collect()` for every thread count. `f` must be a
 /// pure function of its index (it may read shared state, never write).
 ///
-/// Short inputs (`len < 64`) and single-thread configurations run
-/// inline without spawning.
+/// The spawn count is [`effective_workers`]`(len)`: the thread knob
+/// clamped to the host core count and the work size, so short inputs
+/// and oversubscribed configurations (more workers than cores, or
+/// fewer than [`PAR_CUTOFF`] items each) fall back to the inline
+/// sequential loop instead of paying spawn overhead for nothing.
 ///
 /// # Panics
 ///
@@ -98,8 +117,8 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = threads().min(len);
-    if workers <= 1 || len < PAR_CUTOFF {
+    let workers = effective_workers(len);
+    if workers <= 1 {
         return (0..len).map(f).collect();
     }
     let chunk = len.div_ceil(workers);
@@ -129,9 +148,10 @@ where
 
 /// Runs `fa` and `fb`, possibly concurrently, returning `(a, b)`.
 ///
-/// With one worker the closures run sequentially in argument order.
-/// Either way the result pair is the same, so callers may treat this
-/// as a drop-in replacement for `(fa(), fb())`.
+/// With one worker — requested via the knob or all the host has — the
+/// closures run sequentially in argument order. Either way the result
+/// pair is the same, so callers may treat this as a drop-in
+/// replacement for `(fa(), fb())`.
 ///
 /// # Panics
 ///
@@ -143,7 +163,8 @@ where
     FA: FnOnce() -> A + Send,
     FB: FnOnce() -> B + Send,
 {
-    if threads() <= 1 {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if threads().min(cores) <= 1 {
         let a = fa();
         let b = fb();
         return (a, b);
@@ -226,6 +247,20 @@ mod tests {
             assert_eq!(a, 4);
             assert_eq!(b, "b");
         }
+        set_threads(0);
+    }
+
+    #[test]
+    fn workers_are_clamped_to_cores_and_work_size() {
+        let _g = lock();
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        set_threads(64);
+        // An oversubscribed request never exceeds the host cores…
+        assert!(effective_workers(1_000_000) <= cores);
+        // …and small inputs never spawn: 100 items / 64-per-worker
+        // rounds down to one worker, i.e. the inline path.
+        assert!(effective_workers(100) <= 1);
+        assert_eq!(effective_workers(PAR_CUTOFF - 1), 0);
         set_threads(0);
     }
 

@@ -7,7 +7,7 @@
 //! shares and spreads the rest of the audience over the remaining
 //! channels with a Zipf tail.
 
-use magellan_netsim::rng::weighted_index;
+use magellan_netsim::rng::weighted_index_iter;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -119,8 +119,11 @@ impl ChannelDirectory {
 
     /// Draws a channel according to popularity.
     pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> ChannelId {
-        let weights: Vec<f64> = self.channels.iter().map(|c| c.weight).collect();
-        ChannelId(weighted_index(rng, &weights) as u16)
+        // On the per-join hot path: sum + draw straight off the
+        // directory, no per-call scratch Vec.
+        let total: f64 = self.channels.iter().map(|c| c.weight).sum();
+        let i = weighted_index_iter(rng, total, self.channels.iter().map(|c| c.weight));
+        ChannelId(i as u16)
     }
 }
 

@@ -6,15 +6,17 @@
 #
 # The file records ns/op for each Csr kernel at three graph scales and
 # 1 vs 8 workers, the legacy DiGraph-walk baselines the kernels
-# replaced, end-to-end study latency per sample instant, and
-# host_cores (thread scaling is only physically possible when the
-# measuring box has >1 core).
+# replaced, cold/warm wall time of the magellan-lint gate, end-to-end
+# study latency per sample instant, and host_cores (thread scaling is
+# only physically possible when the measuring box has >1 core).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release -p magellan-bench" >&2
-cargo build --release -p magellan-bench --bin bench_metrics
+echo "==> cargo build --release -p magellan-bench -p magellan-lint" >&2
+# The lint binary is benched too (cold/warm gate wall time), so build
+# it in release alongside the bench harness.
+cargo build --release -p magellan-bench --bin bench_metrics -p magellan-lint
 
 echo "==> running bench_metrics (writes BENCH_metrics.json)" >&2
 # Stage into a temp file and rename so an interrupted run never leaves

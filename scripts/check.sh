@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Pre-PR gate for the Magellan workspace: formatting, clippy with
-# warnings denied, the magellan-lint determinism/invariant pass, and
-# the test suite. Run from anywhere inside the repo.
+# warnings denied, the magellan-lint pass (line rules, D4 taint, and
+# the H2/H3/P2 hot-path cost analysis), and the test suite. Run from
+# anywhere inside the repo.
 #
 # The two advisory clippy lints (unwrap_used, indexing_slicing) are
 # allowed here on purpose: their enforced counterpart is magellan-lint's
@@ -34,8 +35,10 @@ cargo clippy --workspace --all-targets -- \
     -A clippy::indexing_slicing
 
 stage "magellan-lint"
-# Human report on stdout; SARIF written for the CI code-scanning
-# artifact (target/ is gitignored, so local runs stay clean).
+# Full pass — line rules plus both call-graph analyses (D4 backward
+# taint, H2/H3/P2 forward hot-path cost). Human report on stdout;
+# SARIF written for the CI code-scanning artifact (target/ is
+# gitignored, so local runs stay clean).
 mkdir -p target
 cargo run -q -p magellan-lint -- --format sarif --output target/magellan-lint.sarif
 
