@@ -17,11 +17,11 @@ use crate::graphs::{
 use crate::timeseries::Series;
 use magellan_graph::paths::PathSampling;
 use magellan_graph::powerlaw;
-use magellan_graph::reciprocity::{
-    garlaschelli_reciprocity, garlaschelli_reciprocity_csr, weighted_reciprocity_csr,
+use magellan_graph::reciprocity::garlaschelli_reciprocity;
+use magellan_graph::smallworld::{
+    assess, assess_csr, assess_csr_with_clustering, SmallWorldConfig, SmallWorldReport,
 };
-use magellan_graph::smallworld::{assess, assess_csr, SmallWorldConfig, SmallWorldReport};
-use magellan_graph::{Csr, DegreeHistogram};
+use magellan_graph::{Csr, DegreeHistogram, DiGraph, IncrementalTopology};
 use magellan_netsim::{
     uncovered_fraction, Isp, IspDatabase, PeerAddr, SimDuration, SimTime, StudyCalendar,
 };
@@ -233,7 +233,28 @@ pub(crate) struct Accumulator {
     session_runs: BTreeMap<PeerAddr, (SimTime, SimTime, u32)>,
     /// Observed lengths (minutes) of completed report runs.
     finished_sessions_mins: Vec<f64>,
+    /// Incremental snapshot engines carried across report boundaries:
+    /// one tracking the stable-peer topology (Fig. 7 clustering), one
+    /// the all-known topology (Fig. 8 reciprocity). Their state is a
+    /// pure function of the snapshots synced so far, so live, replay,
+    /// and resumed runs all arrive at identical metric bytes.
+    inc_stable: IncrementalTopology,
+    inc_full: IncrementalTopology,
     report: StudyReport,
+}
+
+/// Extracts the engine-facing snapshot of one topology: sorted node
+/// keys and `(from, to, weight)` edges in ascending `(from, to)`
+/// order, as [`IncrementalTopology::sync_snapshot`] requires.
+fn graph_snapshot(g: &DiGraph<PeerAddr>) -> (Vec<u32>, Vec<(u32, u32, u64)>) {
+    let mut nodes: Vec<u32> = g.nodes().map(|(_, k)| k.as_u32()).collect(); // lint:allow(H2): one snapshot extraction per report boundary, reused by the diff
+    nodes.sort_unstable();
+    let mut edges: Vec<(u32, u32, u64)> = g
+        .edges()
+        .map(|e| (g.key(e.from).as_u32(), g.key(e.to).as_u32(), e.weight))
+        .collect(); // lint:allow(H2): same per-boundary snapshot extraction
+    edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+    (nodes, edges)
 }
 
 impl Accumulator {
@@ -308,6 +329,8 @@ impl Accumulator {
             isp_share_samples: 0,
             session_runs: BTreeMap::new(),
             finished_sessions_mins: Vec::new(),
+            inc_stable: IncrementalTopology::new(),
+            inc_full: IncrementalTopology::new(),
             report,
         }
     }
@@ -581,37 +604,65 @@ impl Accumulator {
         // Csr snapshots and fan out.
         let stable_graph = active_link_graph(stable.iter(), NodeScope::StableOnly);
         let full = active_link_graph(stable.iter(), NodeScope::AllKnown);
+
+        // Advance the incremental engines to this boundary's snapshots
+        // (sequentially — they mutate accumulator state). Successive
+        // boundaries share most of their links, so each sync costs
+        // O(delta) instead of a full triangle/reciprocity recount; the
+        // engines then answer Fig. 7's exact clustering and Fig. 8's
+        // whole-graph reciprocity from maintained counters.
+        let (snodes, sedges) = graph_snapshot(&stable_graph);
+        self.inc_stable.sync_snapshot(&snodes, &sedges);
+        let (fnodes, fedges) = graph_snapshot(&full);
+        self.inc_full.sync_snapshot(&fnodes, &fedges);
+
+        // Exact clustering comes straight from the stable engine when
+        // the config would compute it exactly anyway; larger graphs
+        // keep the sampled estimator inside `assess_csr`.
+        let stable_cfg = sw_cfg(stable_graph.node_count());
+        let c_exact = stable_cfg
+            .clustering_samples
+            .is_none()
+            .then(|| self.inc_stable.clustering_coefficient());
+        // Fig. 8's whole-graph reciprocity reads the full engine's
+        // counters directly — no `Csr` build of the all-known topology
+        // at all.
+        let all = self.inc_full.garlaschelli_reciprocity().ok();
+        let weighted = self.inc_full.weighted_reciprocity().ok();
+
         let db = &self.db;
         let isp_panel = self.cfg.isp_panel;
         let min_graph_nodes = self.cfg.min_graph_nodes;
 
-        // Fig. 7 (small-world) and Fig. 8 (reciprocity) read disjoint
-        // graphs, so the two metric sets compute concurrently via
-        // `magellan_par::join`. Both closures are pure functions of
-        // their graphs; the results come back as an ordered pair and
-        // the series pushes below happen in the same fixed order as
-        // the sequential schedule, so the report is byte-identical for
-        // every thread count.
+        // Fig. 7 (small-world) and Fig. 8 (per-ISP reciprocity) read
+        // disjoint graphs, so the two metric sets compute concurrently
+        // via `magellan_par::join`. Both closures are pure functions
+        // of their graphs; the results come back as an ordered pair
+        // and the series pushes below happen in the same fixed order
+        // as the sequential schedule, so the report is byte-identical
+        // for every thread count.
         type Fig7 = (SmallWorldReport, Option<SmallWorldReport>);
-        type Fig8 = (Option<f64>, Option<f64>, Option<f64>, Option<f64>);
+        type Fig8 = (Option<f64>, Option<f64>);
         let (fig7, fig8): (Fig7, Fig8) = magellan_par::join(
             || {
                 // Fig. 7A: stable-peer graph; 7B: one ISP's subgraph.
                 let csr = Csr::from_digraph(&stable_graph);
-                let global = assess_csr(&csr, &sw_cfg(stable_graph.node_count()));
+                let global = match c_exact {
+                    Some(c) => assess_csr_with_clustering(&csr, c, &stable_cfg),
+                    None => assess_csr(&csr, &stable_cfg),
+                };
                 let sub = isp_subgraph(&stable_graph, db, isp_panel);
                 let isp = (sub.node_count() >= min_graph_nodes)
                     .then(|| assess(&sub, &sw_cfg(sub.node_count())));
                 (global, isp)
             },
             || {
-                // Fig. 8: reciprocity over the all-known topology.
-                let csr = Csr::from_digraph(&full);
-                let all = garlaschelli_reciprocity_csr(&csr).ok();
-                let weighted = weighted_reciprocity_csr(&csr).ok();
+                // Fig. 8: per-ISP reciprocity over the all-known
+                // topology (the whole-graph values came from the
+                // incremental engine above).
                 let intra = garlaschelli_reciprocity(&intra_isp_link_graph(&full, db)).ok();
                 let inter = garlaschelli_reciprocity(&inter_isp_link_graph(&full, db)).ok();
-                (all, weighted, intra, inter)
+                (intra, inter)
             },
         );
 
@@ -630,7 +681,7 @@ impl Accumulator {
                 self.report.fig7.isp.l_rand.push(at, lr);
             }
         }
-        let (all, weighted, intra, inter) = fig8;
+        let (intra, inter) = fig8;
         if let Some(rho) = all {
             self.report.fig8.all.push(at, rho);
         }

@@ -20,7 +20,7 @@ use magellan_graph::kcore::core_decomposition_csr;
 use magellan_graph::paths::{average_path_length_csr, PathSampling, PathTreatment, UNREACHABLE};
 use magellan_graph::random::watts_strogatz;
 use magellan_graph::reciprocity::garlaschelli_reciprocity_csr;
-use magellan_graph::{Csr, DiGraph, NodeId};
+use magellan_graph::{Csr, CsrDelta, DiGraph, IncrementalTopology, NodeId};
 use std::collections::VecDeque;
 use std::hint::black_box;
 use std::time::Instant;
@@ -163,6 +163,65 @@ fn main() {
             threads: 1,
             ns_per_op: time_ns(|| {
                 black_box(core_decomposition_csr(black_box(&csr)));
+            }),
+        });
+        // One bit-parallel traversal of 64 sources — the batched
+        // kernel behind apl_sampled64, measured raw. Directly
+        // comparable to the scalar-loop apl_sampled64 rows of older
+        // baselines (64 BFS passes vs one 64-wide pass).
+        let sources: Vec<NodeId> = (0..64.min(n)).map(NodeId::from_index).collect();
+        rows.push(Row {
+            name: "bfs_multi64",
+            n,
+            threads: 1,
+            ns_per_op: time_ns(|| {
+                black_box(magellan_graph::paths::bfs_multi64_csr(
+                    black_box(&csr),
+                    black_box(&sources),
+                    PathTreatment::Undirected,
+                ));
+            }),
+        });
+        // Incremental snapshot engine: one boundary advance under a
+        // study-shaped delta (every surviving link reweighted, ~1% of
+        // links churned) vs the full rebuild it replaces. The timing
+        // loop applies an A->B delta then its B->A inverse, so the
+        // engine lands back on A every cycle; one sync = half a cycle.
+        let nodes_a: Vec<u32> = (0..n as u32).collect();
+        let mut edges_a: Vec<(u32, u32, u64)> = g
+            .edges()
+            .map(|e| (e.from.index() as u32, e.to.index() as u32, e.weight.max(1)))
+            .collect();
+        edges_a.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        let cut = edges_a.len() / 100;
+        let mut edges_b: Vec<(u32, u32, u64)> = edges_a[cut..]
+            .iter()
+            .map(|&(u, v, w)| (u, v, w + 1))
+            .collect();
+        edges_b.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        let base = IncrementalTopology::from_snapshot(&nodes_a, &edges_a);
+        let d_ab = CsrDelta::diff_snapshot(&base, &nodes_a, &edges_b);
+        let other = IncrementalTopology::from_snapshot(&nodes_a, &edges_b);
+        let d_ba = CsrDelta::diff_snapshot(&other, &nodes_a, &edges_a);
+        let mut live = base;
+        rows.push(Row {
+            name: "study_incremental_sync",
+            n,
+            threads: 1,
+            ns_per_op: time_ns(|| {
+                live.apply_delta(black_box(&d_ab));
+                live.apply_delta(black_box(&d_ba));
+            }) / 2.0,
+        });
+        rows.push(Row {
+            name: "study_incremental_rebuild",
+            n,
+            threads: 1,
+            ns_per_op: time_ns(|| {
+                black_box(IncrementalTopology::from_snapshot(
+                    black_box(&nodes_a),
+                    black_box(&edges_a),
+                ));
             }),
         });
 

@@ -8,9 +8,12 @@
 //!
 //! The kernels run over a flat [`Csr`] snapshot view. Per-node `C_i`
 //! values are independent, so the graph-level sums fan out across
-//! cores with [`magellan_par::par_map_collect`]; the per-node values
-//! come back in node order and are summed left-to-right, keeping every
-//! coefficient bit-identical for any thread count. For repeated
+//! cores with [`magellan_par::par_map_collect_grained`] (at
+//! [`CLUSTERING_GRAIN`] nodes per worker minimum — each node costs
+//! `O(k²)` intersections, far more than the reciprocity merges, so the
+//! quota is correspondingly smaller); the per-node values come back in
+//! node order and are summed left-to-right, keeping every coefficient
+//! bit-identical for any thread count. For repeated
 //! single-node queries build the [`Csr`] once and pass it to
 //! [`local_clustering_csr`] — the one-shot [`local_clustering`]
 //! rebuilds all neighborhoods (`O(n + m)`) on every call.
@@ -21,6 +24,11 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::hash::Hash;
+
+/// Per-worker node quota for the clustering kernels: each node's `C_i`
+/// runs `k` sorted-row intersections over its neighborhood, so a few
+/// hundred nodes already outweigh a fork/join round-trip.
+const CLUSTERING_GRAIN: usize = 256;
 
 /// Number of common elements of two ascending-sorted slices.
 fn intersection_size(a: &[NodeId], b: &[NodeId]) -> usize {
@@ -87,7 +95,9 @@ pub fn clustering_coefficient_csr(csr: &Csr) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    let locals = magellan_par::par_map_collect(n, |i| local_from_csr(csr, NodeId::from_index(i)));
+    let locals = magellan_par::par_map_collect_grained(n, CLUSTERING_GRAIN, |i| {
+        local_from_csr(csr, NodeId::from_index(i))
+    });
     locals.iter().sum::<f64>() / n as f64
 }
 
@@ -114,7 +124,9 @@ pub fn sampled_clustering_csr(csr: &Csr, samples: usize, seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     ids.shuffle(&mut rng);
     ids.truncate(samples);
-    let locals = magellan_par::par_map_collect(ids.len(), |k| local_from_csr(csr, ids[k]));
+    let locals = magellan_par::par_map_collect_grained(ids.len(), CLUSTERING_GRAIN, |k| {
+        local_from_csr(csr, ids[k])
+    });
     locals.iter().sum::<f64>() / samples as f64
 }
 
@@ -130,18 +142,19 @@ pub fn transitivity<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> f64 {
 /// per-node triple/link counts across cores (integer partials, summed
 /// in node order).
 pub fn transitivity_csr(csr: &Csr) -> f64 {
-    let partials: Vec<(u64, u64)> = magellan_par::par_map_collect(csr.node_count(), |i| {
-        let hood = csr.und(NodeId::from_index(i));
-        let k = hood.len() as u64;
-        if k < 2 {
-            return (0, 0);
-        }
-        let mut twice_links = 0usize;
-        for &u in hood {
-            twice_links += intersection_size(csr.und(u), hood);
-        }
-        (twice_links as u64, k * (k - 1))
-    });
+    let partials: Vec<(u64, u64)> =
+        magellan_par::par_map_collect_grained(csr.node_count(), CLUSTERING_GRAIN, |i| {
+            let hood = csr.und(NodeId::from_index(i));
+            let k = hood.len() as u64;
+            if k < 2 {
+                return (0, 0);
+            }
+            let mut twice_links = 0usize;
+            for &u in hood {
+                twice_links += intersection_size(csr.und(u), hood);
+            }
+            (twice_links as u64, k * (k - 1))
+        });
     let mut closed = 0u64; // ordered pairs of neighbors that are linked
     let mut triples = 0u64; // ordered pairs of neighbors
     for &(c, t) in &partials {

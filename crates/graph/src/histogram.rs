@@ -48,6 +48,30 @@ impl DegreeHistogram {
         self.total += 1;
     }
 
+    /// Removes one previously recorded sample, the inverse of
+    /// [`record`](Self::record) — the maintenance primitive behind the
+    /// incremental snapshot engine's live degree histograms.
+    ///
+    /// Trailing zero buckets are trimmed so that a histogram maintained
+    /// by record/unrecord pairs compares equal (`==`) to one freshly
+    /// built from the surviving samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no sample is currently recorded at `degree` — an
+    /// unrecord that does not pair with an earlier record is a caller
+    /// accounting bug, not a recoverable state.
+    pub fn unrecord(&mut self, degree: usize) {
+        let Some(slot) = self.counts.get_mut(degree).filter(|c| **c > 0) else {
+            panic!("unrecord at degree {degree}: no sample recorded");
+        };
+        *slot -= 1;
+        self.total -= 1;
+        while self.counts.last() == Some(&0) {
+            self.counts.pop();
+        }
+    }
+
     /// Total number of samples recorded.
     pub fn total(&self) -> u64 {
         self.total

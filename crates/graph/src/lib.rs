@@ -39,6 +39,7 @@ pub mod clustering;
 pub mod csr;
 pub mod degree;
 pub mod export;
+pub mod incremental;
 pub mod invariants;
 pub mod kcore;
 pub mod paths;
@@ -51,6 +52,7 @@ pub mod subgraph;
 pub use csr::Csr;
 pub use digraph::{DiGraph, EdgeRef, NodeId};
 pub use histogram::{DegreeHistogram, HistogramPoint};
+pub use incremental::{CsrDelta, IncrementalTopology, SyncReport};
 
 use std::error::Error;
 use std::fmt;

@@ -9,12 +9,15 @@
 //! `ablation_estimators` bench quantifies the accuracy/cost trade-off.
 //!
 //! The hot kernels traverse a flat [`Csr`] snapshot view instead of
-//! the `DiGraph`'s nested rows, and [`average_path_length_csr`] fans
-//! its per-source BFS passes across cores with
-//! [`magellan_par::par_map_collect`] — the source list is fixed (and
-//! any sampling RNG drawn) *before* the fan-out, and the per-source
-//! partial sums are reduced in source order, so the result is
-//! bit-identical for every thread count.
+//! the `DiGraph`'s nested rows. [`average_path_length_csr`] packs its
+//! sources into 64-wide batches and advances all wavefronts of a batch
+//! simultaneously with the bit-parallel [`bfs_multi64_csr`] kernel —
+//! one traversal per 64 sources instead of 64 — then fans the batches
+//! across cores with [`magellan_par::par_map_collect_grained`]. The
+//! source list is fixed (and any sampling RNG drawn) *before* the
+//! fan-out, and the per-batch partial sums are integers reduced in
+//! batch order, so the result is bit-identical for every thread count
+//! *and* for every batching of the same source list.
 
 use crate::csr::Csr;
 use crate::{DiGraph, NodeId};
@@ -112,6 +115,98 @@ pub fn bfs_distances_csr(csr: &Csr, src: NodeId, treatment: PathTreatment) -> Ve
     dist
 }
 
+/// Aggregate BFS distance statistics for up to 64 sources at once,
+/// advanced bit-parallel over one shared traversal.
+///
+/// Each source owns one bit of a per-node `u64` word: `seen[v]` holds
+/// the sources that have reached `v`, `frontier[v]` the sources whose
+/// wavefront sits on `v` this level. One level advances *every*
+/// wavefront with a single sweep of the active adjacency rows —
+/// `frontier[u] & !seen[v]` is the set of sources discovering `v`
+/// through `u` — so a batch costs roughly one traversal of the graph
+/// per BFS *level* instead of one full BFS per source.
+///
+/// Returns `(sum, pairs, far)` over the batch: the summed shortest-path
+/// distances from each source to every node it reaches (excluding
+/// itself), the count of such reachable ordered pairs, and the largest
+/// finite distance seen. These are exactly the values accumulating
+/// [`bfs_distances_csr`] per source would produce — integer partials,
+/// so any batching of a source list reduces to identical totals.
+///
+/// # Panics
+///
+/// Panics if `sources` holds more than 64 ids (one bit each).
+pub fn bfs_multi64_csr(csr: &Csr, sources: &[NodeId], treatment: PathTreatment) -> (u64, u64, u32) {
+    assert!(
+        sources.len() <= 64,
+        "bfs_multi64_csr batches at most 64 sources, got {}",
+        sources.len()
+    );
+    let n = csr.node_count();
+    // `seen` and `next` interleaved per node ([0] = seen, [1] = next):
+    // the inner sweep reads one and writes the other for the same
+    // random node, so pairing them halves the cache lines it touches.
+    let mut words = vec![[0u64; 2]; n];
+    let mut frontier = vec![0u64; n];
+    let mut cur: Vec<NodeId> = Vec::with_capacity(sources.len());
+    for (b, &s) in sources.iter().enumerate() {
+        let bit = 1u64 << b;
+        if frontier[s.index()] == 0 {
+            cur.push(s);
+        }
+        frontier[s.index()] |= bit;
+        words[s.index()][0] |= bit;
+    }
+    cur.sort_unstable();
+    cur.dedup();
+    let (mut sum, mut pairs, mut far) = (0u64, 0u64, 0u32);
+    let mut depth = 0u32;
+    while !cur.is_empty() {
+        depth += 1;
+        for &u in &cur {
+            let wave = frontier[u.index()];
+            let row = match treatment {
+                PathTreatment::Directed => csr.out(u),
+                PathTreatment::Undirected => csr.und(u),
+            };
+            for &v in row {
+                // Sources on `u`'s wavefront that have not reached `v`
+                // yet: they all discover `v` now, at this depth.
+                let w = &mut words[v.index()];
+                let add = wave & !w[0];
+                if add != 0 {
+                    w[1] |= add;
+                }
+            }
+        }
+        for &u in &cur {
+            frontier[u.index()] = 0;
+        }
+        cur.clear();
+        // Commit the level with one sequential pass: every bit that
+        // landed on `v` is a source whose shortest path to `v` has
+        // length `depth`. The pass also rebuilds the frontier list in
+        // ascending node order, which keeps the next sweep's adjacency
+        // rows and frontier clears sequential in memory.
+        for (vi, w) in words.iter_mut().enumerate() {
+            let newly = w[1];
+            if newly != 0 {
+                w[0] |= newly;
+                w[1] = 0;
+                frontier[vi] = newly;
+                cur.push(NodeId::from_index(vi));
+                let found = u64::from(newly.count_ones());
+                sum += u64::from(depth) * found;
+                pairs += found;
+            }
+        }
+        if !cur.is_empty() {
+            far = depth;
+        }
+    }
+    (sum, pairs, far)
+}
+
 /// Average pairwise shortest-path length `L_g`.
 ///
 /// Averages over *reachable* ordered pairs `(s, t)` with `s != t`,
@@ -128,11 +223,14 @@ pub fn average_path_length<N: Eq + Hash + Clone>(
 
 /// [`average_path_length`] over a prebuilt [`Csr`] snapshot.
 ///
-/// The per-source BFS passes are independent, so they fan out across
-/// cores; the source list (including any seeded sampling shuffle) is
-/// fixed before the fan-out and the per-source partials are reduced in
-/// source order, keeping the result bit-identical for every thread
-/// count.
+/// Sources are packed into 64-wide bit-parallel batches
+/// ([`bfs_multi64_csr`]) and the batches fan out across cores — with a
+/// grain of one, because a batch is a whole multi-source traversal and
+/// always outweighs one pool dispatch. The source list (including any
+/// seeded sampling shuffle) is fixed before the fan-out and the
+/// per-batch integer partials are reduced in batch order, keeping the
+/// result bit-identical for every thread count and batch split —
+/// including the scalar one-BFS-per-source path this replaced.
 pub fn average_path_length_csr(
     csr: &Csr,
     treatment: PathTreatment,
@@ -156,20 +254,13 @@ pub fn average_path_length_csr(
             }
         }
     };
-    // Per-source partials, in source order.
-    let partials: Vec<(u64, u64, u32)> = magellan_par::par_map_collect(sources.len(), |k| {
-        let src = sources[k];
-        let dist = bfs_distances_csr(csr, src, treatment);
-        let (mut sum, mut pairs, mut far) = (0u64, 0u64, 0u32);
-        for (i, &d) in dist.iter().enumerate() {
-            if d != UNREACHABLE && i != src.index() {
-                sum += d as u64;
-                pairs += 1;
-                far = far.max(d);
-            }
-        }
-        (sum, pairs, far)
-    });
+    // Per-batch partials, in batch order. The totals are sums/maxima
+    // of integers, so they are identical for any batching.
+    let batches: Vec<&[NodeId]> = sources.chunks(64).collect(); // lint:allow(H2): owned batch list, one per kernel call
+    let partials: Vec<(u64, u64, u32)> =
+        magellan_par::par_map_collect_grained(batches.len(), 1, |k| {
+            bfs_multi64_csr(csr, batches[k], treatment)
+        });
     let mut sum = 0u64;
     let mut pairs = 0u64;
     let mut diameter = 0u32;
@@ -340,6 +431,90 @@ mod tests {
         assert_eq!(a, b);
         assert!(!a.exact);
         assert_eq!(a.sources, 2);
+    }
+
+    /// Scalar reference: accumulate `(sum, pairs, far)` with one
+    /// [`bfs_distances_csr`] pass per source.
+    fn scalar_stats(csr: &Csr, sources: &[NodeId], treatment: PathTreatment) -> (u64, u64, u32) {
+        let (mut sum, mut pairs, mut far) = (0u64, 0u64, 0u32);
+        for &src in sources {
+            let dist = bfs_distances_csr(csr, src, treatment);
+            for (i, &d) in dist.iter().enumerate() {
+                if d != UNREACHABLE && i != src.index() {
+                    sum += u64::from(d);
+                    pairs += 1;
+                    far = far.max(d);
+                }
+            }
+        }
+        (sum, pairs, far)
+    }
+
+    #[test]
+    fn multi64_matches_scalar_bfs_on_random_graphs() {
+        for (seed, beta) in [(1u64, 0.1), (7, 0.4)] {
+            let g = crate::random::watts_strogatz(300, 6, beta, seed);
+            let csr = Csr::from_digraph(&g);
+            let sources: Vec<NodeId> = csr.node_ids().take(64).collect();
+            for treatment in [PathTreatment::Undirected, PathTreatment::Directed] {
+                let batch = bfs_multi64_csr(&csr, &sources, treatment);
+                let scalar = scalar_stats(&csr, &sources, treatment);
+                assert_eq!(batch, scalar, "seed {seed} beta {beta} {treatment:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi64_matches_scalar_on_disconnected_graph() {
+        let mut g: DiGraph<u32> = DiGraph::new();
+        let ids: Vec<_> = (0..9u32).map(|k| g.intern(k)).collect();
+        for w in ids[..4].windows(2) {
+            g.add_edge(w[0], w[1], 1);
+        }
+        for w in ids[4..].windows(2) {
+            g.add_edge(w[0], w[1], 1);
+        }
+        let csr = Csr::from_digraph(&g);
+        let sources: Vec<NodeId> = csr.node_ids().collect();
+        for treatment in [PathTreatment::Undirected, PathTreatment::Directed] {
+            let batch = bfs_multi64_csr(&csr, &sources, treatment);
+            let scalar = scalar_stats(&csr, &sources, treatment);
+            assert_eq!(batch, scalar, "{treatment:?}");
+        }
+    }
+
+    #[test]
+    fn multi64_handles_partial_and_duplicate_batches() {
+        let g = crate::random::watts_strogatz(100, 4, 0.2, 3);
+        let csr = Csr::from_digraph(&g);
+        let few: Vec<NodeId> = csr.node_ids().take(5).collect();
+        let batch = bfs_multi64_csr(&csr, &few, PathTreatment::Undirected);
+        assert_eq!(batch, scalar_stats(&csr, &few, PathTreatment::Undirected));
+        // A repeated source counts twice, exactly as two scalar passes would.
+        let dup = vec![few[0], few[0]];
+        let batch = bfs_multi64_csr(&csr, &dup, PathTreatment::Undirected);
+        assert_eq!(batch, scalar_stats(&csr, &dup, PathTreatment::Undirected));
+        // An empty batch is a no-op.
+        assert_eq!(
+            bfs_multi64_csr(&csr, &[], PathTreatment::Undirected),
+            (0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn multi64_batched_exact_apl_matches_scalar_accumulation() {
+        // More nodes than one batch: exercises the chunked reduction in
+        // average_path_length_csr against the scalar per-source totals.
+        let g = crate::random::watts_strogatz(150, 4, 0.15, 11);
+        let csr = Csr::from_digraph(&g);
+        let sources: Vec<NodeId> = csr.node_ids().collect();
+        let (sum, pairs, far) = scalar_stats(&csr, &sources, PathTreatment::Undirected);
+        let s = average_path_length_csr(&csr, PathTreatment::Undirected, PathSampling::Exact)
+            .expect("connected enough");
+        assert_eq!(s.reachable_pairs, pairs);
+        assert_eq!(s.diameter_lower_bound, far);
+        assert_eq!(s.mean.to_bits(), (sum as f64 / pairs as f64).to_bits());
+        assert!(s.exact);
     }
 
     #[test]

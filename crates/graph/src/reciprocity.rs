@@ -16,6 +16,14 @@ use crate::csr::Csr;
 use crate::{DiGraph, GraphError, NodeId};
 use std::hash::Hash;
 
+/// Per-worker node quota for the reciprocity kernels. A node costs one
+/// sorted-row merge (a few ns), so a worker needs thousands of nodes
+/// before the fork/join round-trip pays for itself; below
+/// `workers × RECIPROCITY_GRAIN` nodes the kernels shed workers rather
+/// than split profitless slices (the n=2000, t=8 regression in
+/// `BENCH_metrics.json`).
+const RECIPROCITY_GRAIN: usize = 8192;
+
 /// Number of directed edges whose reverse also exists (each bilateral
 /// pair contributes 2, matching `Σ_{i≠j} a_ij a_ji`).
 pub fn bilateral_edge_count<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> usize {
@@ -27,25 +35,28 @@ pub fn bilateral_edge_count<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> usize {
 /// An edge `u -> v` is bilateral iff `v` also appears in `u`'s
 /// in-row, so the count is `Σ_u |out(u) ∩ in(u)|` — one linear merge
 /// of two sorted rows per node (`O(n + m)` total), fanned across
-/// cores with integer partials summed in node order.
+/// cores with integer partials summed in node order (at
+/// [`RECIPROCITY_GRAIN`] nodes per worker minimum — the merge is too
+/// cheap to split finer).
 pub fn bilateral_edge_count_csr(csr: &Csr) -> usize {
-    let partials = magellan_par::par_map_collect(csr.node_count(), |i| {
-        let u = NodeId::from_index(i);
-        let (out, inn) = (csr.out(u), csr.inn(u));
-        let (mut a, mut b, mut n) = (0, 0, 0usize);
-        while a < out.len() && b < inn.len() {
-            match out[a].cmp(&inn[b]) {
-                std::cmp::Ordering::Less => a += 1,
-                std::cmp::Ordering::Greater => b += 1,
-                std::cmp::Ordering::Equal => {
-                    n += 1;
-                    a += 1;
-                    b += 1;
+    let partials =
+        magellan_par::par_map_collect_grained(csr.node_count(), RECIPROCITY_GRAIN, |i| {
+            let u = NodeId::from_index(i);
+            let (out, inn) = (csr.out(u), csr.inn(u));
+            let (mut a, mut b, mut n) = (0, 0, 0usize);
+            while a < out.len() && b < inn.len() {
+                match out[a].cmp(&inn[b]) {
+                    std::cmp::Ordering::Less => a += 1,
+                    std::cmp::Ordering::Greater => b += 1,
+                    std::cmp::Ordering::Equal => {
+                        n += 1;
+                        a += 1;
+                        b += 1;
+                    }
                 }
             }
-        }
-        n
-    });
+            n
+        });
     partials.iter().sum()
 }
 
@@ -123,8 +134,9 @@ pub fn weighted_reciprocity<N: Eq + Hash + Clone>(g: &DiGraph<N>) -> Result<f64,
 }
 
 /// [`weighted_reciprocity`] over a prebuilt [`Csr`] snapshot. Per-node
-/// `(total, matched)` weight partials are fanned across cores and
-/// summed in node order.
+/// `(total, matched)` weight partials are fanned across cores (at
+/// [`RECIPROCITY_GRAIN`] nodes per worker minimum) and summed in node
+/// order.
 ///
 /// # Errors
 ///
@@ -133,19 +145,20 @@ pub fn weighted_reciprocity_csr(csr: &Csr) -> Result<f64, GraphError> {
     if csr.edge_count() == 0 {
         return Err(GraphError::EmptyGraph);
     }
-    let partials = magellan_par::par_map_collect(csr.node_count(), |i| {
-        let u = NodeId::from_index(i);
-        let (out, w) = (csr.out(u), csr.out_weights(u));
-        let mut total = 0u128;
-        let mut matched = 0u128;
-        for (k, &v) in out.iter().enumerate() {
-            total += w[k] as u128;
-            if let Some(back) = csr.edge_weight(v, u) {
-                matched += w[k].min(back) as u128;
+    let partials =
+        magellan_par::par_map_collect_grained(csr.node_count(), RECIPROCITY_GRAIN, |i| {
+            let u = NodeId::from_index(i);
+            let (out, w) = (csr.out(u), csr.out_weights(u));
+            let mut total = 0u128;
+            let mut matched = 0u128;
+            for (k, &v) in out.iter().enumerate() {
+                total += w[k] as u128;
+                if let Some(back) = csr.edge_weight(v, u) {
+                    matched += w[k].min(back) as u128;
+                }
             }
-        }
-        (total, matched)
-    });
+            (total, matched)
+        });
     let mut total = 0u128;
     let mut matched = 0u128;
     for &(t, m) in &partials {

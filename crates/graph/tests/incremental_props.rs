@@ -1,0 +1,183 @@
+//! Property tests for the incremental snapshot engine: under *any*
+//! sequence of deltas or snapshots — empty deltas, edge re-adds, node
+//! churn, weight growth — the incrementally maintained state must be
+//! indistinguishable from a from-scratch rebuild, and every metric it
+//! answers must be byte-identical between the two.
+
+use magellan_graph::{CsrDelta, IncrementalTopology};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Reference model: the naive materialization of the same tolerant
+/// delta semantics the engine documents, with none of the maintained
+/// counters — ground truth is always a fresh `from_snapshot` of it.
+#[derive(Debug, Clone, Default)]
+struct Model {
+    nodes: BTreeSet<u32>,
+    edges: BTreeMap<(u32, u32), u64>,
+}
+
+impl Model {
+    fn apply(&mut self, d: &CsrDelta) {
+        // Mirror the engine's application order exactly.
+        for &k in &d.added_nodes {
+            self.nodes.insert(k);
+        }
+        for &(u, v) in &d.removed {
+            self.edges.remove(&(u, v));
+        }
+        for &(u, v, w) in d.added.iter().chain(&d.reweighted) {
+            if u != v {
+                self.nodes.insert(u);
+                self.nodes.insert(v);
+                self.edges.insert((u, v), w);
+            }
+        }
+        for &k in &d.removed_nodes {
+            if self.nodes.remove(&k) {
+                self.edges.retain(|&(u, v), _| u != k && v != k);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> (Vec<u32>, Vec<(u32, u32, u64)>) {
+        let nodes: Vec<u32> = self.nodes.iter().copied().collect();
+        let edges: Vec<(u32, u32, u64)> =
+            self.edges.iter().map(|(&(u, v), &w)| (u, v, w)).collect();
+        (nodes, edges)
+    }
+}
+
+/// Strategy: one arbitrary delta over a small key space (so re-adds,
+/// removals of absent edges, and node churn all actually collide).
+fn arb_delta() -> impl Strategy<Value = CsrDelta> {
+    (
+        proptest::collection::vec(0u32..16, 0..4),
+        proptest::collection::vec(0u32..16, 0..3),
+        proptest::collection::vec((0u32..16, 0u32..16, 1u64..50), 0..12),
+        proptest::collection::vec((0u32..16, 0u32..16), 0..8),
+        proptest::collection::vec((0u32..16, 0u32..16, 1u64..50), 0..6),
+    )
+        .prop_map(
+            |(added_nodes, removed_nodes, added, removed, reweighted)| CsrDelta {
+                added_nodes,
+                removed_nodes,
+                added,
+                removed,
+                reweighted,
+            },
+        )
+}
+
+/// Strategy: one arbitrary normalized snapshot (duplicate edge pairs
+/// collapse last-write-wins; self-loops dropped; endpoints closed).
+fn arb_snapshot() -> impl Strategy<Value = Model> {
+    (
+        proptest::collection::vec(0u32..16, 0..6),
+        proptest::collection::vec((0u32..16, 0u32..16, 1u64..50), 0..40),
+    )
+        .prop_map(|(extra, raw)| {
+            let mut m = Model::default();
+            m.nodes.extend(extra);
+            for (u, v, w) in raw {
+                if u != v {
+                    m.nodes.insert(u);
+                    m.nodes.insert(v);
+                    m.edges.insert((u, v), w);
+                }
+            }
+            m
+        })
+}
+
+/// Asserts the engine is indistinguishable from a fresh build of the
+/// model's current snapshot — structural state and every metric byte.
+fn assert_matches_rebuild(topo: &IncrementalTopology, model: &Model) -> Result<(), TestCaseError> {
+    let (nodes, edges) = model.snapshot();
+    let fresh = IncrementalTopology::from_snapshot(&nodes, &edges);
+    prop_assert!(*topo == fresh, "engine state diverged from rebuild");
+    prop_assert_eq!(
+        topo.clustering_coefficient().to_bits(),
+        fresh.clustering_coefficient().to_bits()
+    );
+    prop_assert_eq!(topo.simple_reciprocity(), fresh.simple_reciprocity());
+    prop_assert_eq!(
+        topo.garlaschelli_reciprocity(),
+        fresh.garlaschelli_reciprocity()
+    );
+    prop_assert_eq!(topo.weighted_reciprocity(), fresh.weighted_reciprocity());
+    prop_assert_eq!(topo.out_degree_histogram(), fresh.out_degree_histogram());
+    prop_assert_eq!(topo.in_degree_histogram(), fresh.in_degree_histogram());
+    prop_assert_eq!(topo.und_degree_histogram(), fresh.und_degree_histogram());
+    Ok(())
+}
+
+proptest! {
+    /// Any sequence of arbitrary deltas leaves the engine equal to a
+    /// rebuild of the reference model after every single step.
+    #[test]
+    fn delta_sequences_match_full_rebuild(deltas in proptest::collection::vec(arb_delta(), 0..8)) {
+        let mut topo = IncrementalTopology::new();
+        let mut model = Model::default();
+        for d in &deltas {
+            topo.apply_delta(d);
+            model.apply(d);
+            assert_matches_rebuild(&topo, &model)?;
+        }
+    }
+
+    /// Syncing through any sequence of unrelated snapshots (arbitrary
+    /// churn, including total turnover and shrink-to-empty) always
+    /// lands on rebuild-identical state.
+    #[test]
+    fn snapshot_sync_sequences_match_rebuild(models in proptest::collection::vec(arb_snapshot(), 1..6)) {
+        let mut topo = IncrementalTopology::new();
+        for model in &models {
+            let (nodes, edges) = model.snapshot();
+            topo.sync_snapshot(&nodes, &edges);
+            assert_matches_rebuild(&topo, model)?;
+        }
+    }
+
+    /// The empty delta is the identity on any engine state.
+    #[test]
+    fn empty_delta_is_identity(model in arb_snapshot()) {
+        let (nodes, edges) = model.snapshot();
+        let mut topo = IncrementalTopology::from_snapshot(&nodes, &edges);
+        let before = topo.clone();
+        topo.apply_delta(&CsrDelta::default());
+        prop_assert!(topo == before);
+        // diff against the identical snapshot must also be empty.
+        let d = CsrDelta::diff_snapshot(&topo, &nodes, &edges);
+        prop_assert!(d.is_empty());
+    }
+
+    /// diff + apply transports the engine between any two snapshots:
+    /// the delta path and the rebuild path are interchangeable.
+    #[test]
+    fn diff_then_apply_reaches_any_target(a in arb_snapshot(), b in arb_snapshot()) {
+        let (an, ae) = a.snapshot();
+        let mut topo = IncrementalTopology::from_snapshot(&an, &ae);
+        let (bn, be) = b.snapshot();
+        let delta = CsrDelta::diff_snapshot(&topo, &bn, &be);
+        topo.apply_delta(&delta);
+        assert_matches_rebuild(&topo, &b)?;
+    }
+
+    /// Re-adding every present edge (same or different weight) is
+    /// structurally inert: only weight counters may move.
+    #[test]
+    fn edge_readds_are_reweights(model in arb_snapshot(), bump in 0u64..5) {
+        let (nodes, edges) = model.snapshot();
+        let mut topo = IncrementalTopology::from_snapshot(&nodes, &edges);
+        let readds: Vec<(u32, u32, u64)> =
+            edges.iter().map(|&(u, v, w)| (u, v, w + bump)).collect();
+        topo.apply_delta(&CsrDelta { added: readds, ..CsrDelta::default() });
+        let mut bumped = model.clone();
+        for w in bumped.edges.values_mut() {
+            *w += bump;
+        }
+        assert_matches_rebuild(&topo, &bumped)?;
+        prop_assert_eq!(topo.edge_count(), edges.len());
+    }
+}

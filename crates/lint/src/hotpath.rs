@@ -58,7 +58,7 @@ const COST_GOVERNED: [&str; 5] = [
 /// Built-in hot entry points (`(crate, fn)`), independent of source
 /// markers: the per-tick driver, the per-sample study surface, and the
 /// Csr kernel surface the study fans out to via `magellan-par`.
-const HOT_REGISTRY: [(&str, &str); 12] = [
+const HOT_REGISTRY: [(&str, &str); 15] = [
     ("magellan-overlay", "tick_once"),
     ("magellan-analysis", "finalize_boundary"),
     ("magellan-graph", "local_clustering_csr"),
@@ -66,11 +66,14 @@ const HOT_REGISTRY: [(&str, &str); 12] = [
     ("magellan-graph", "sampled_clustering_csr"),
     ("magellan-graph", "transitivity_csr"),
     ("magellan-graph", "bfs_distances_csr"),
+    ("magellan-graph", "bfs_multi64_csr"),
     ("magellan-graph", "average_path_length_csr"),
     ("magellan-graph", "core_decomposition_csr"),
     ("magellan-graph", "garlaschelli_reciprocity_csr"),
     ("magellan-graph", "weighted_reciprocity_csr"),
     ("magellan-graph", "assess_csr"),
+    ("magellan-graph", "apply_delta"),
+    ("magellan-graph", "sync_snapshot"),
 ];
 
 /// Allocation needles that cost on every execution: method/macro

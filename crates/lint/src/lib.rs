@@ -21,7 +21,7 @@
 //! | `C2` | metric crates (`graph`, `analysis`) | float `==` / `!=` comparisons |
 //! | `C3` | metric crates (`graph`, `analysis`) | lossy `as` casts: narrow widths (`u8`/`u16`/`i8`/`i16`/`f32`) and `len() as u32`-style truncations |
 //! | `C4` | metric crates (`graph`, `analysis`) | unchecked `+`/`*` arithmetic inside index brackets — debug overflow panics where release wraps |
-//! | `H1` | every workspace crate | missing `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]` crate header |
+//! | `H1` | every workspace crate | missing `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]` crate header (`magellan-par` may `deny` unsafe instead — its pool opts one audited module back in) |
 //! | `H2` | hot-path crates | heap allocation (collect/clone/to_vec/format!/`Box::new`, or a constructor in a loop) reachable from a hot entry point, beyond the per-crate budget |
 //! | `H3` | hot-path crates | whole-collection iteration (map/set `.iter()`/`.keys()`/`.values()`/`.retain()`, `0..len()` range scans) reachable from a hot entry point |
 //! | `M1` | everywhere | malformed `lint:allow` (missing rule id or justification) |

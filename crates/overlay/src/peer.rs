@@ -226,11 +226,11 @@ impl PeerState {
         } else {
             scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         }
-        let chosen: std::collections::BTreeSet<PeerId> =
-            scored.into_iter().take(target).map(|(id, _)| id).collect(); // lint:allow(H2): chosen-supplier set over the capped partner table
-                                                                         // lint:allow(H3): this peer's own capped partner table - the event's peer, not the population
+        let mut chosen: Vec<PeerId> = scored.into_iter().take(target).map(|(id, _)| id).collect(); // lint:allow(H2): chosen-supplier list over the capped partner table
+        chosen.sort_unstable();
+        // lint:allow(H3): this peer's own capped partner table - the event's peer, not the population
         for (id, link) in self.partners.iter_mut() {
-            link.supplier = chosen.contains(id);
+            link.supplier = chosen.binary_search(id).is_ok();
         }
     }
 

@@ -949,10 +949,11 @@ impl OverlaySim {
                 .then(b.1.total_cmp(&a.1))
         });
         recs.truncate(self.cfg.gossip_fanout);
-        let my_known: std::collections::BTreeSet<PeerId> =
-            self.live_ref(i).partners.keys().copied().collect(); // lint:allow(H2): known-set of one peer's capped partner table
+        // Partner-table keys iterate in ascending order, so the known
+        // list is already sorted for the binary search below.
+        let my_known: Vec<PeerId> = self.live_ref(i).partners.keys().copied().collect(); // lint:allow(H2): known-list of one peer's capped partner table
         for (cand, _, _) in recs {
-            if my_known.contains(&cand) || cand.index() >= self.peers.len() {
+            if my_known.binary_search(&cand).is_ok() || cand.index() >= self.peers.len() {
                 continue;
             }
             let Some(other) = &self.peers[cand.index()] else {

@@ -16,9 +16,8 @@
 
 use crate::config::SimConfig;
 use crate::error::TransferError;
-use crate::peer::{PeerId, PeerState};
+use crate::peer::PeerState;
 use magellan_workload::ChannelId;
-use std::collections::BTreeMap;
 
 /// Aggregate outcome of one tick, for instrumentation.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -45,10 +44,13 @@ struct Flow {
     cap: f64,
 }
 
-/// A receiver's unmet demand and its request channels.
+/// A receiver's unmet demand and its request-channel range in the
+/// tick's flattened flow arena (one allocation for the whole tick
+/// instead of one `Vec` per receiver).
 struct RecvCtx {
     demand: f64,
-    links: Vec<Flow>,
+    lo: u32,
+    hi: u32,
 }
 
 /// Runs one transfer tick over the peer slab.
@@ -91,14 +93,24 @@ where
     // Pass A: per-receiver context (demand plus eligible supplier
     // links) and per-supplier budgets/usefulness.
     //
+    // All per-supplier state lives in dense slab-indexed arrays:
+    // slot ids are already dense, and the request/grant rounds below
+    // touch each entry many times per tick, so O(1) indexing replaces
+    // the tree walks that used to dominate the tick. `NAN` marks "no
+    // budget entry yet", preserving the lazy-insert semantics of the
+    // keyed map this replaces (NaN fails every `> 1e-9` eligibility
+    // test exactly as an absent key did).
+    //
     // Request weights combine the link's goodput estimate with the
     // supplier's advertised buffer occupancy — peers exchange buffer
     // maps periodically (§3.1), so they know who actually holds
     // useful segments. A small floor keeps exploring partners whose
     // buffers are still filling.
+    let n = peers.len();
+    let mut budget_left = vec![f64::NAN; n];
+    let mut useful = vec![0.0f64; n];
+    let mut flows: Vec<Flow> = Vec::new();
     let mut recvs: Vec<RecvCtx> = Vec::new();
-    let mut budget_left: BTreeMap<u32, f64> = BTreeMap::new();
-    let mut useful: BTreeMap<u32, f64> = BTreeMap::new();
     let mut blocked_flows = 0usize;
     for (j, slot) in peers.iter().enumerate() {
         let Some(p) = slot else { continue };
@@ -110,58 +122,58 @@ where
         if demand <= 0.0 {
             continue;
         }
-        let links: Vec<Flow> = p
-            .partners
-            .iter()
-            .filter(|(_, l)| l.supplier)
-            .filter_map(|(&id, l)| {
-                let sup = peers[id.index()].as_ref()?;
-                if !link_open(p.isp, sup.isp) {
-                    blocked_flows += 1;
-                    return None;
-                }
-                let advertised = if sup.is_server { 1.0 } else { sup.buffer_fill };
-                budget_left
-                    .entry(id.0)
-                    .or_insert_with(|| cfg.capacity_segments_per_tick(sup.capacity.up_kbps));
+        let lo = flows.len();
+        for (&id, l) in p.partners.iter().filter(|(_, l)| l.supplier) {
+            let Some(sup) = peers[id.index()].as_ref() else {
+                continue;
+            };
+            if !link_open(p.isp, sup.isp) {
+                blocked_flows += 1;
+                continue;
+            }
+            let advertised = if sup.is_server { 1.0 } else { sup.buffer_fill };
+            if budget_left[id.index()].is_nan() {
+                budget_left[id.index()] = cfg.capacity_segments_per_tick(sup.capacity.up_kbps);
                 // Receivers aim requests at advertised segments, so
                 // delivery is not discounted linearly in occupancy;
                 // what remains is the holdings/missing overlap, which
                 // only collapses for badly under-filled suppliers —
                 // a square root captures that (q=0.25 → 0.5).
-                useful.entry(id.0).or_insert_with(|| {
-                    if sup.is_server {
-                        1.0
-                    } else {
-                        sup.buffer_fill.max(0.0).sqrt()
-                    }
-                });
-                // Raising the weight to `request_concentration`
-                // concentrates requests on the few best partners, as
-                // a real block scheduler does — this is what keeps
-                // the *active* indegree (Fig. 4B) far below the ~30
-                // requested partners. Under the `random_selection`
-                // ablation the measured-quality term is dropped
-                // entirely (only content availability steers
-                // requests), so the ablation removes *all* bandwidth
-                // awareness, not just the supplier-set choice.
-                let w = if cfg.random_selection {
-                    advertised.max(0.02)
+                useful[id.index()] = if sup.is_server {
+                    1.0
                 } else {
-                    (l.score() * advertised.max(0.02)).max(1e-3)
+                    sup.buffer_fill.max(0.0).sqrt()
                 };
-                Some(Flow {
-                    sup: id.0,
-                    rcv: j as u32,
-                    want: w.powf(cfg.request_concentration),
-                    cap: cfg.capacity_segments_per_tick(l.quality.bandwidth_kbps),
-                })
-            })
-            .collect(); // lint:allow(H2): per-receiver flow context, bounded by receivers with demand and their links
-        if links.is_empty() {
+            }
+            // Raising the weight to `request_concentration`
+            // concentrates requests on the few best partners, as
+            // a real block scheduler does — this is what keeps
+            // the *active* indegree (Fig. 4B) far below the ~30
+            // requested partners. Under the `random_selection`
+            // ablation the measured-quality term is dropped
+            // entirely (only content availability steers
+            // requests), so the ablation removes *all* bandwidth
+            // awareness, not just the supplier-set choice.
+            let w = if cfg.random_selection {
+                advertised.max(0.02)
+            } else {
+                (l.score() * advertised.max(0.02)).max(1e-3)
+            };
+            flows.push(Flow {
+                sup: id.0,
+                rcv: j as u32,
+                want: w.powf(cfg.request_concentration),
+                cap: cfg.capacity_segments_per_tick(l.quality.bandwidth_kbps),
+            });
+        }
+        if flows.len() == lo {
             continue;
         }
-        recvs.push(RecvCtx { demand, links });
+        recvs.push(RecvCtx {
+            demand,
+            lo: lo as u32,
+            hi: flows.len() as u32,
+        });
     }
 
     let mut outcome = TickOutcome {
@@ -175,30 +187,35 @@ where
     // demand at suppliers that still have budget — a few rounds of
     // proportional waterfilling approximate that.
     const ROUNDS: usize = 3;
-    let mut delivered_links: BTreeMap<(u32, u32), f64> = BTreeMap::new();
-    // Round-scoped scratch, hoisted so the rounds reuse one
-    // allocation instead of rebuilding both per round.
-    let mut requested: BTreeMap<u32, f64> = BTreeMap::new();
-    let mut round_flows: Vec<(usize, usize, f64)> = Vec::new();
+    // Per-link delivery totals, parallel to `flows`. Each (supplier,
+    // receiver) pair owns exactly one arena entry, so accumulating
+    // here sums a link's increments in arrival order — the same order
+    // a keyed map's entry API produced, hence identical float totals.
+    let mut flow_moved = vec![0.0f64; flows.len()];
+    // Round-scoped dense scratch, hoisted so the rounds reuse the
+    // allocations; `touched` lists the suppliers requested this round
+    // so the reset costs O(touched), not O(slab).
+    let mut requested = vec![0.0f64; n];
+    let mut scale = vec![0.0f64; n];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut round_flows: Vec<(u32, u32, f64)> = Vec::new();
     for _ in 0..ROUNDS {
-        requested.clear();
+        for &s in &touched {
+            requested[s as usize] = 0.0;
+        }
+        touched.clear();
         round_flows.clear();
         for (ri, rc) in recvs.iter().enumerate() {
             if rc.demand <= 1e-6 {
                 continue;
             }
-            let eligible =
-                |l: &Flow| l.cap > 1e-9 && budget_left.get(&l.sup).copied().unwrap_or(0.0) > 1e-9;
-            let tw: f64 = rc
-                .links
-                .iter()
-                .filter(|l| eligible(l))
-                .map(|l| l.want)
-                .sum();
+            let links = &flows[rc.lo as usize..rc.hi as usize];
+            let eligible = |l: &Flow| l.cap > 1e-9 && budget_left[l.sup as usize] > 1e-9;
+            let tw: f64 = links.iter().filter(|l| eligible(l)).map(|l| l.want).sum();
             if tw <= 0.0 {
                 continue;
             }
-            for (li, l) in rc.links.iter().enumerate() {
+            for (off, l) in links.iter().enumerate() {
                 if !eligible(l) {
                     continue;
                 }
@@ -206,106 +223,147 @@ where
                 if ask <= 1e-9 {
                     continue;
                 }
-                *requested.entry(l.sup).or_insert(0.0) += ask;
-                round_flows.push((ri, li, ask));
+                // Asks are strictly positive, so a zero entry means
+                // "first request for this supplier this round".
+                if requested[l.sup as usize] == 0.0 {
+                    touched.push(l.sup);
+                }
+                requested[l.sup as usize] += ask;
+                round_flows.push((ri as u32, rc.lo + off as u32, ask));
             }
         }
         if round_flows.is_empty() {
             break;
         }
-        let scale: BTreeMap<u32, f64> = requested
-            .iter()
-            .map(|(&sup, &req)| {
-                let b = budget_left.get(&sup).copied().unwrap_or(0.0);
-                (sup, if req > b { b / req } else { 1.0 })
-            })
-            .collect(); // lint:allow(H2): the scale snapshot must be taken before budgets drain; bounded by active suppliers
-        for (ri, li, ask) in round_flows.drain(..) {
-            let sup = recvs[ri].links[li].sup;
-            let s = scale.get(&sup).copied().unwrap_or(0.0);
-            let u = useful.get(&sup).copied().unwrap_or(0.0);
-            let moved = (ask * s).min(recvs[ri].links[li].cap) * u;
+        // The scale snapshot must be taken before budgets drain.
+        for &s in &touched {
+            let b = budget_left[s as usize];
+            let req = requested[s as usize];
+            scale[s as usize] = if req > b { b / req } else { 1.0 };
+        }
+        for &(ri, fi, ask) in &round_flows {
+            let (sup, cap) = {
+                let f = &flows[fi as usize];
+                (f.sup, f.cap)
+            };
+            let moved = (ask * scale[sup as usize]).min(cap) * useful[sup as usize];
             if moved <= 1e-9 {
                 continue;
             }
-            let rcv = recvs[ri].links[li].rcv;
-            *delivered_links.entry((sup, rcv)).or_insert(0.0) += moved;
-            recvs[ri].demand = (recvs[ri].demand - moved).max(0.0);
-            recvs[ri].links[li].cap -= moved;
-            if let Some(b) = budget_left.get_mut(&sup) {
-                *b = (*b - moved).max(0.0);
-            }
+            flow_moved[fi as usize] += moved;
+            recvs[ri as usize].demand = (recvs[ri as usize].demand - moved).max(0.0);
+            flows[fi as usize].cap -= moved;
+            budget_left[sup as usize] = (budget_left[sup as usize] - moved).max(0.0);
             outcome.segments += moved;
         }
     }
 
-    // Flatten into deterministic per-peer / per-link aggregates.
-    let mut link_updates: Vec<(u32, u32, f64)> = delivered_links
-        .into_iter()
-        .map(|((s, r), m)| (s, r, m))
-        .collect(); // lint:allow(H2): flattens delivered flows once per tick, bounded by active links
-    link_updates.sort_by_key(|u| (u.0, u.1));
-    let mut delivered_to: BTreeMap<u32, f64> = BTreeMap::new();
-    let mut sent_by: BTreeMap<u32, f64> = BTreeMap::new();
-    for &(sup, rcv, moved) in &link_updates {
+    // Flatten into deterministic per-peer aggregates. The flow arena
+    // is in (receiver, supplier) order (receivers in slab order, each
+    // one's partner table in ascending id order), so both sums below
+    // visit a peer's links in ascending-counterpart order — the same
+    // order the sorted per-link map produced, hence identical sums.
+    let mut delivered_to = vec![0.0f64; n];
+    let mut sent_by = vec![0.0f64; n];
+    for (f, &moved) in flows.iter().zip(&flow_moved) {
+        if moved <= 0.0 {
+            continue;
+        }
         if moved >= 1.0 {
             outcome.active_flows += 1;
         }
-        *delivered_to.entry(rcv).or_insert(0.0) += moved;
-        *sent_by.entry(sup).or_insert(0.0) += moved;
+        delivered_to[f.rcv as usize] += moved;
+        sent_by[f.sup as usize] += moved;
     }
 
     // Pass D: apply per-peer effects.
     for (j, slot) in peers.iter_mut().enumerate() {
         let Some(p) = slot else { continue };
         if p.is_server {
-            let sent = sent_by.get(&(j as u32)).copied().unwrap_or(0.0);
-            p.send_kbps = cfg.segments_to_kbps(sent);
+            p.send_kbps = cfg.segments_to_kbps(sent_by[j]);
             continue;
         }
         let rate = rate_of(p.channel)?;
-        let delivered = delivered_to.get(&(j as u32)).copied().unwrap_or(0.0);
+        let delivered = delivered_to[j];
         let demand = p.demand_segments(cfg, rate);
         if delivered + 1e-9 >= demand.min(cfg.stream_segments_per_tick(rate)) && demand > 0.0 {
             outcome.satisfied_receivers += 1;
         }
         p.apply_tick_delivery(cfg, rate, delivered);
-        p.send_kbps = cfg.segments_to_kbps(sent_by.get(&(j as u32)).copied().unwrap_or(0.0));
+        p.send_kbps = cfg.segments_to_kbps(sent_by[j]);
     }
 
-    // Pass E: per-link counters and EWMA estimates, on both endpoints.
-    let mut moved_links: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
-    for (sup, rcv, moved) in link_updates {
-        moved_links.insert((sup, rcv));
-        let segs = moved.round() as u64;
-        let rate_kbps = cfg.segments_to_kbps(moved);
-        if let Some(Some(r)) = peers.get_mut(rcv as usize) {
-            if let Some(link) = r.partners.get_mut(&PeerId(sup)) {
-                link.recv_interval += segs;
-                link.est_recv_kbps = (1.0 - cfg.throughput_ewma) * link.est_recv_kbps
-                    + cfg.throughput_ewma * rate_kbps;
-            }
-        }
-        if let Some(Some(s)) = peers.get_mut(sup as usize) {
-            if let Some(link) = s.partners.get_mut(&PeerId(rcv)) {
-                link.sent_interval += segs;
-            }
-        }
-    }
-
-    // Pass F: decay the estimate of selected suppliers that delivered
-    // nothing this tick. Without this, an untried partner's
+    // Passes E/F, fused: per-link counters and EWMA estimates on both
+    // endpoints, plus the decay of selected suppliers that delivered
+    // nothing this tick. Without the decay, an untried partner's
     // optimistic prior would permanently outrank a supplier that is
     // actually delivering (the observed rate per link is well below
-    // the path ceiling once demand is split 30 ways). A floor of 5 %
-    // of the path ceiling keeps failed links re-triable.
-    for (j, slot) in peers.iter_mut().enumerate() {
-        let Some(p) = slot else { continue };
-        if p.is_server {
-            continue;
+    // the path ceiling once demand is split 30 ways); a floor of 5 %
+    // of the path ceiling keeps failed links re-triable. The two
+    // passes touch disjoint per-link state (a selected supplier link
+    // either delivered — E updates it — or did not — F decays it), so
+    // fusing them changes nothing observable.
+    //
+    // The flow arena is already in (receiver, supplier) order; the
+    // supplier-side view is derived with a stable counting sort over
+    // the delivering flows (`by_sup`, sorted by (supplier, receiver)).
+    // The peer slab and every partner table are both walked in
+    // ascending order, so each peer's incoming and outgoing
+    // deliveries merge with its partner walk via monotone cursors —
+    // no per-link map lookups.
+    let mut sup_start = vec![0u32; n + 1];
+    for (f, &moved) in flows.iter().zip(&flow_moved) {
+        if moved > 0.0 {
+            sup_start[f.sup as usize + 1] += 1;
         }
-        for (id, link) in p.partners.iter_mut() {
-            if link.supplier && !moved_links.contains(&(id.0, j as u32)) {
+    }
+    for s in 1..=n {
+        sup_start[s] += sup_start[s - 1];
+    }
+    let mut by_sup = vec![0u32; sup_start[n] as usize];
+    let mut sup_fill = sup_start.clone(); // lint:allow(H2): counting-sort cursor copy, one per tick, bounded by the slab
+    for (fi, (f, &moved)) in flows.iter().zip(&flow_moved).enumerate() {
+        if moved > 0.0 {
+            let c = &mut sup_fill[f.sup as usize];
+            by_sup[*c as usize] = fi as u32;
+            *c += 1;
+        }
+    }
+    let mut in_cursor = 0usize;
+    for (j, slot) in peers.iter_mut().enumerate() {
+        let j32 = j as u32;
+        // This slot's outgoing deliveries (ascending receiver) and
+        // incoming request channels (ascending supplier; entries that
+        // moved nothing stay — they drive the estimate decay below).
+        let outgoing = &by_sup[sup_start[j] as usize..sup_start[j + 1] as usize];
+        let in_lo = in_cursor;
+        while in_cursor < flows.len() && flows[in_cursor].rcv == j32 {
+            in_cursor += 1;
+        }
+        let in_hi = in_cursor;
+        let Some(p) = slot else { continue };
+        let is_server = p.is_server;
+        let mut oi = 0usize;
+        let mut ii = in_lo;
+        for (pid, link) in p.partners.iter_mut() {
+            // Supplier side: segments j sent to this partner.
+            while oi < outgoing.len() && flows[outgoing[oi] as usize].rcv < pid.0 {
+                oi += 1;
+            }
+            if oi < outgoing.len() && flows[outgoing[oi] as usize].rcv == pid.0 {
+                link.sent_interval += flow_moved[outgoing[oi] as usize].round() as u64;
+            }
+            // Receiver side: segments j received from this partner,
+            // or the decay of a selected supplier that sent nothing.
+            while ii < in_hi && flows[ii].sup < pid.0 {
+                ii += 1;
+            }
+            if ii < in_hi && flows[ii].sup == pid.0 && flow_moved[ii] > 0.0 {
+                let moved = flow_moved[ii];
+                link.recv_interval += moved.round() as u64;
+                link.est_recv_kbps = (1.0 - cfg.throughput_ewma) * link.est_recv_kbps
+                    + cfg.throughput_ewma * cfg.segments_to_kbps(moved);
+            } else if !is_server && link.supplier {
                 link.est_recv_kbps = ((1.0 - cfg.throughput_ewma) * link.est_recv_kbps)
                     .max(0.05 * link.quality.bandwidth_kbps);
             }
@@ -317,6 +375,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::peer::PeerId;
     use magellan_netsim::{AccessClass, Isp, LinkQuality, PeerAddr, PeerCapacity, SimTime};
     use magellan_workload::ChannelId;
 

@@ -1,7 +1,8 @@
 //! # magellan-par
 //!
 //! Dependency-free deterministic fork-join primitives for the Magellan
-//! metric kernels, built on [`std::thread::scope`].
+//! metric kernels, built on a process-wide persistent worker pool (see
+//! [`pool`] internals in `pool.rs`).
 //!
 //! The Magellan pipeline guarantees that two runs with the same seed
 //! produce byte-identical outputs. Parallelism is only admissible when
@@ -14,14 +15,31 @@
 //!   produce, for every thread count, so any subsequent reduction that
 //!   folds the `Vec` left-to-right (including floating-point sums) is
 //!   bit-identical to the sequential run.
+//! * [`par_map_collect_grained`] — the same map with an explicit
+//!   per-worker work-size cutoff, for kernels whose per-item cost is
+//!   far from the [`PAR_CUTOFF`] default (a 15 ns adjacency merge
+//!   should not fan out at 64 items per worker; a multi-millisecond
+//!   BFS batch should fan out even one item per worker).
 //! * [`join`] — runs two independent closures, possibly concurrently,
 //!   and returns both results as an ordered pair.
 //!
-//! Work-stealing, atomic accumulators, and unordered reductions are
-//! deliberately absent: their results depend on scheduling. The static
-//! lint rule D3 (see `magellan-lint`) keeps raw `std::thread::spawn`
-//! out of the simulation and metric crates so that this module stays
-//! the single entry point for parallelism.
+//! Work-stealing *reductions*, atomic accumulators, and unordered
+//! combining are deliberately absent: their results depend on
+//! scheduling. (The pool lets waiting callers execute queued chunks —
+//! that moves work between threads but never reorders the assembled
+//! output.) The static lint rule D3 (see `magellan-lint`) keeps raw
+//! `std::thread::spawn` out of the simulation and metric crates so
+//! that this crate stays the single entry point for parallelism.
+//!
+//! ## Worker pool
+//!
+//! Earlier versions opened a fresh [`std::thread::scope`] per call;
+//! spawn/join overhead then dominated cheap kernels called thousands
+//! of times per study run. Workers are now spawned once, lazily, and
+//! parked on a condvar between calls — a fork-join costs one queue
+//! push and one wake per remote chunk. Scheduling remains invisible
+//! in outputs; see `pool.rs` for the lifecycle, deadlock-freedom, and
+//! safety arguments.
 //!
 //! ## Thread-count knob
 //!
@@ -29,32 +47,55 @@
 //!
 //! 1. a programmatic [`set_threads`] override (used by benches and the
 //!    parallel-equivalence determinism test),
-//! 2. the `MAGELLAN_THREADS` environment variable,
-//! 3. [`std::thread::available_parallelism`].
+//! 2. the `MAGELLAN_THREADS` environment variable (read once per
+//!    process),
+//! 3. [`std::thread::available_parallelism`] (cached — the underlying
+//!    syscall was measurable per-call overhead on µs-scale kernels).
 //!
 //! The knob is a *ceiling*, not a demand: the primitives additionally
-//! clamp to the host's [`std::thread::available_parallelism`] (eight
-//! requested workers on a one-core host would only add scheduling
-//! overhead) and to the work size, so each worker has at least
-//! [`PAR_CUTOFF`] items (see [`effective_workers`]). Because every
-//! primitive is deterministic, none of this ever changes output bytes
-//! — only wall clock.
+//! clamp to the host's core count (eight requested workers on a
+//! one-core host would only add scheduling overhead) and to the work
+//! size, so each worker has at least one grain of items (see
+//! [`effective_workers_grained`]). Because every primitive is
+//! deterministic, none of this ever changes output bytes — only wall
+//! clock.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+// The one module allowed to use `unsafe`: lifetime erasure for job
+// boxes crossing onto long-lived workers, with a scoped-thread-style
+// completion contract enforced by control flow. Everything else in the
+// workspace stays `unsafe`-free (lint rule H1).
+#[allow(unsafe_code)]
+mod pool;
 
 /// Programmatic thread-count override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
-/// Minimum items per worker: below this, spawn cost dominates the
-/// work, and the tiny graphs of unit tests should not pay it.
+/// Minimum items per worker for [`par_map_collect`]: below this,
+/// dispatch cost dominates the work, and the tiny graphs of unit tests
+/// should not pay it. Kernels with unusually cheap or expensive items
+/// pick their own grain via [`par_map_collect_grained`].
 pub const PAR_CUTOFF: usize = 64;
+
+/// The host's [`std::thread::available_parallelism`], queried once per
+/// process and cached.
+///
+/// The per-call syscall behind `available_parallelism` was a measurable
+/// fraction of cheap kernels' runtime (the `reciprocity` 8-worker rows
+/// in `BENCH_metrics.json` lost to serial partly on this overhead).
+pub fn host_cores() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
 
 /// Overrides the worker count for this process (`0` clears the
 /// override, returning control to `MAGELLAN_THREADS` /
-/// `available_parallelism`).
+/// [`host_cores`]).
 ///
 /// Intended for benchmarks and determinism tests that compare thread
 /// counts within one process; production code should prefer the
@@ -63,99 +104,119 @@ pub fn set_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::SeqCst);
 }
 
+/// The `MAGELLAN_THREADS` environment variable, parsed once per
+/// process; 0 means unset or unparseable.
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("MAGELLAN_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
 /// The worker count the primitives will use right now.
 ///
 /// Resolution order: [`set_threads`] override, then the
 /// `MAGELLAN_THREADS` environment variable (values that fail to parse
-/// or equal 0 are ignored), then [`std::thread::available_parallelism`]
-/// (1 when unavailable).
+/// or equal 0 are ignored; read once per process), then
+/// [`host_cores`].
 pub fn threads() -> usize {
     let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
     if forced > 0 {
         return forced;
     }
-    if let Ok(v) = std::env::var("MAGELLAN_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
+    let env = env_threads();
+    if env > 0 {
+        return env;
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    host_cores()
 }
 
-/// The worker count [`par_map_collect`] would actually spawn for
-/// `len` items: [`threads()`] clamped to the host's
-/// [`std::thread::available_parallelism`] (a requested count above
-/// the core count only adds context-switch overhead) and to
-/// `len / PAR_CUTOFF` (so every worker owns at least [`PAR_CUTOFF`]
-/// items). A result of 1 or 0 means the map runs inline.
+/// The worker count [`par_map_collect`] would actually use for `len`
+/// items: [`effective_workers_grained`] at the default [`PAR_CUTOFF`]
+/// grain.
 pub fn effective_workers(len: usize) -> usize {
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    threads().min(cores).min(len / PAR_CUTOFF)
+    effective_workers_grained(len, PAR_CUTOFF)
+}
+
+/// The worker count a grained map would actually use: [`threads()`]
+/// clamped to [`host_cores`] (a requested count above the core count
+/// only adds context-switch overhead) and to `len / grain` (so every
+/// worker owns at least `grain` items). A result of 1 or 0 means the
+/// map runs inline.
+pub fn effective_workers_grained(len: usize, grain: usize) -> usize {
+    threads().min(host_cores()).min(len / grain.max(1))
 }
 
 /// Maps `f` over `0..len` and collects the results in index order.
 ///
-/// The items are split into at most [`threads()`] contiguous chunks,
-/// one scoped worker per chunk, and the per-chunk vectors are
-/// concatenated in chunk order — so the returned `Vec` is identical to
-/// `(0..len).map(f).collect()` for every thread count. `f` must be a
-/// pure function of its index (it may read shared state, never write).
+/// The items are split into at most [`threads()`] contiguous chunks —
+/// chunk 0 on the caller, the rest on the worker pool — and the
+/// per-chunk vectors are concatenated in chunk order, so the returned
+/// `Vec` is identical to `(0..len).map(f).collect()` for every thread
+/// count. `f` must be a pure function of its index (it may read shared
+/// state, never write).
 ///
-/// The spawn count is [`effective_workers`]`(len)`: the thread knob
+/// The fan-out width is [`effective_workers`]`(len)`: the thread knob
 /// clamped to the host core count and the work size, so short inputs
-/// and oversubscribed configurations (more workers than cores, or
-/// fewer than [`PAR_CUTOFF`] items each) fall back to the inline
-/// sequential loop instead of paying spawn overhead for nothing.
+/// and oversubscribed configurations fall back to the inline
+/// sequential loop instead of paying dispatch overhead for nothing.
+/// Kernels whose per-item cost is far from the default should use
+/// [`par_map_collect_grained`].
 ///
 /// # Panics
 ///
-/// Propagates a panic from any worker.
+/// Propagates a panic from any chunk (lowest chunk index first), after
+/// all chunks have finished.
 pub fn par_map_collect<T, F>(len: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = effective_workers(len);
+    par_map_collect_grained(len, PAR_CUTOFF, f)
+}
+
+/// [`par_map_collect`] with an explicit per-worker work-size cutoff:
+/// the fan-out width is clamped so every worker owns at least `grain`
+/// items (see [`effective_workers_grained`]).
+///
+/// Pick the grain so that one grain of items clearly outweighs one
+/// pool dispatch (~µs): cheap per-item kernels (adjacency merges,
+/// ns-scale) want grains in the thousands so small inputs never lose
+/// to serial; expensive per-item kernels (BFS batches, ms-scale) want
+/// `grain = 1`. The choice affects wall clock only — the output `Vec`
+/// is identical to the sequential map for every grain and thread
+/// count.
+///
+/// # Panics
+///
+/// Propagates a panic from any chunk (lowest chunk index first), after
+/// all chunks have finished.
+pub fn par_map_collect_grained<T, F>(len: usize, grain: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = effective_workers_grained(len, grain);
     if workers <= 1 {
         return (0..len).map(f).collect();
     }
-    let chunk = len.div_ceil(workers);
-    std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                scope.spawn(move || {
-                    let lo = w * chunk;
-                    let hi = ((w + 1) * chunk).min(len);
-                    (lo..hi).map(f).collect::<Vec<T>>()
-                })
-            })
-            .collect();
-        let mut out = Vec::with_capacity(len);
-        for h in handles {
-            // Re-raise a worker panic with its original payload so the
-            // caller sees the mapped closure's own message.
-            match h.join() {
-                Ok(part) => out.extend(part),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
-        out
-    })
+    pool::run_chunks(workers, len, &f)
 }
 
 /// Runs `fa` and `fb`, possibly concurrently, returning `(a, b)`.
 ///
 /// With one worker — requested via the knob or all the host has — the
-/// closures run sequentially in argument order. Either way the result
-/// pair is the same, so callers may treat this as a drop-in
-/// replacement for `(fa(), fb())`.
+/// closures run sequentially in argument order. Otherwise `fa` is
+/// dispatched to the worker pool and `fb` runs on the caller. Either
+/// way the result pair is the same, so callers may treat this as a
+/// drop-in replacement for `(fa(), fb())`.
 ///
 /// # Panics
 ///
-/// Propagates a panic from either closure.
+/// Propagates a panic from either closure, after both have finished.
 pub fn join<A, B, FA, FB>(fa: FA, fb: FB) -> (A, B)
 where
     A: Send,
@@ -163,22 +224,12 @@ where
     FA: FnOnce() -> A + Send,
     FB: FnOnce() -> B + Send,
 {
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    if threads().min(cores) <= 1 {
+    if threads().min(host_cores()) <= 1 {
         let a = fa();
         let b = fb();
         return (a, b);
     }
-    std::thread::scope(|scope| {
-        let ha = scope.spawn(fa);
-        let b = fb();
-        // Re-raise a panic from `fa` with its original payload.
-        let a = match ha.join() {
-            Ok(a) => a,
-            Err(payload) => std::panic::resume_unwind(payload),
-        };
-        (a, b)
-    })
+    pool::run_pair(fa, fb)
 }
 
 #[cfg(test)]
@@ -224,6 +275,18 @@ mod tests {
     }
 
     #[test]
+    fn grained_map_matches_sequential_for_every_grain() {
+        let _g = lock();
+        let expect: Vec<usize> = (0..5_000).map(|i| i ^ 0x55).collect();
+        set_threads(8);
+        for grain in [1, 7, 64, 1024, 8192, usize::MAX] {
+            let got = par_map_collect_grained(5_000, grain, |i| i ^ 0x55);
+            assert_eq!(got, expect, "grain = {grain}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
     fn short_inputs_run_inline() {
         let _g = lock();
         set_threads(8);
@@ -253,14 +316,15 @@ mod tests {
     #[test]
     fn workers_are_clamped_to_cores_and_work_size() {
         let _g = lock();
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         set_threads(64);
         // An oversubscribed request never exceeds the host cores…
-        assert!(effective_workers(1_000_000) <= cores);
-        // …and small inputs never spawn: 100 items / 64-per-worker
+        assert!(effective_workers(1_000_000) <= host_cores());
+        // …and small inputs never fan out: 100 items / 64-per-worker
         // rounds down to one worker, i.e. the inline path.
         assert!(effective_workers(100) <= 1);
         assert_eq!(effective_workers(PAR_CUTOFF - 1), 0);
+        // A coarse grain keeps even large inputs inline.
+        assert!(effective_workers_grained(8_000, 8_192) == 0);
         set_threads(0);
     }
 

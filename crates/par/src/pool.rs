@@ -1,0 +1,357 @@
+//! Long-lived worker pool behind the fork-join façade.
+//!
+//! [`crate::par_map_collect`] used to open a fresh [`std::thread::scope`]
+//! per call, paying one `clone`/`spawn`/`join` round-trip per worker per
+//! kernel invocation. The study loop calls the metric kernels thousands
+//! of times per run, so that fixed cost dominated cheap kernels (the
+//! 8-worker `reciprocity` rows in `BENCH_metrics.json` lost to serial).
+//! This module replaces the per-call scopes with one process-wide set of
+//! long-lived workers sharing a FIFO job queue; a fork-join call now
+//! costs one mutex push + condvar wake per remote chunk.
+//!
+//! # Lifecycle
+//!
+//! Workers are spawned lazily on the first parallel call —
+//! `host_cores() - 1` of them (minimum 1), because the submitting caller
+//! always executes chunk 0 itself. They park on a condvar when the queue
+//! is empty and live for the rest of the process; a sequential program
+//! that never crosses the parallel cutoff never spawns them.
+//!
+//! # Determinism
+//!
+//! The pool changes *where* chunks run, never what they compute or the
+//! order results are assembled: [`run_chunks`] splits `0..len` into the
+//! same contiguous chunks the scoped version used, tags each remote
+//! result with its chunk index, and concatenates the per-chunk vectors
+//! in index order after all of them arrive. Scheduling (which worker
+//! runs which chunk, in which interleaving) is invisible in the output,
+//! so the byte-identity guarantee is unchanged.
+//!
+//! # Deadlock freedom
+//!
+//! A caller waiting for remote chunks does not merely block: it first
+//! drains the shared queue (running other submitters' jobs inline) and
+//! only parks on its result channel once the queue is empty. A submitted
+//! job is therefore always claimed either by a free worker or by a
+//! waiting submitter — nested fork-joins (`join` of two closures that
+//! each `par_map_collect`) cannot strand work on the queue even when
+//! every pool worker is blocked inside a nested wait.
+//!
+//! # Safety
+//!
+//! `std` offers no safe way to run a borrowing closure on a thread that
+//! outlives its stack frame, so job boxes are lifetime-erased with one
+//! `transmute` (the only `unsafe` in the workspace). The soundness
+//! argument is the scoped-thread one, enforced by control flow instead
+//! of types: [`run_chunks`] and [`run_pair`] do not return — normally or
+//! by unwind — until every job they submitted has either run to
+//! completion or been dropped, so no borrow captured by a job can
+//! outlive the frame that owns it.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Condvar, Mutex, MutexGuard, Once, OnceLock, PoisonError};
+
+/// A lifetime-erased unit of work. Every job is wrapped in
+/// `catch_unwind` by its submitter before erasure, so running one never
+/// unwinds into the worker loop.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The shared FIFO job queue workers and waiting submitters drain.
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+}
+
+/// Locks the job list, recovering from poisoning (jobs never unwind
+/// while holding the lock, but a defensive recovery keeps one broken
+/// test from cascading).
+fn lock_jobs(q: &Queue) -> MutexGuard<'_, VecDeque<Job>> {
+    q.jobs.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The process-wide queue, spawning the workers on first use.
+fn queue() -> &'static Queue {
+    static Q: OnceLock<Queue> = OnceLock::new();
+    static SPAWN: Once = Once::new();
+    let q = Q.get_or_init(|| Queue {
+        jobs: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+    });
+    SPAWN.call_once(|| {
+        // The caller of every fork-join runs chunk 0 itself, so
+        // `cores - 1` workers saturate the host; the minimum of one
+        // keeps the pool real (and testable) on single-core hosts.
+        let workers = crate::host_cores().saturating_sub(1).max(1);
+        for i in 0..workers {
+            // A failed spawn only shrinks the pool: waiting submitters
+            // drain the queue themselves, so progress never depends on
+            // any worker existing.
+            let _ = std::thread::Builder::new()
+                .name(format!("magellan-par-{i}"))
+                .spawn(move || worker_loop(q));
+        }
+    });
+    q
+}
+
+/// Worker body: pop a job or park until one arrives. Runs forever;
+/// workers die only with the process.
+fn worker_loop(q: &'static Queue) {
+    loop {
+        let job = {
+            let mut jobs = lock_jobs(q);
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                jobs = q.ready.wait(jobs).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        job();
+    }
+}
+
+/// Enqueues a job and wakes one parked worker.
+fn submit(q: &Queue, job: Job) {
+    lock_jobs(q).push_back(job);
+    q.ready.notify_one();
+}
+
+/// Claims one queued job without blocking, for submitters helping
+/// while they wait.
+fn try_steal(q: &Queue) -> Option<Job> {
+    lock_jobs(q).pop_front()
+}
+
+/// Erases the borrow lifetime of a job box so it can cross onto a
+/// long-lived worker.
+///
+/// # Safety
+///
+/// The caller must not return (normally or by unwind) until the job has
+/// either executed to completion or been dropped — exactly the
+/// guarantee [`std::thread::scope`] encodes in types. [`run_chunks`]
+/// and [`run_pair`] uphold it by collecting every outstanding result
+/// (or channel disconnect) before returning.
+unsafe fn erase(job: Box<dyn FnOnce() + Send + '_>) -> Job {
+    // SAFETY: lifetime-only transmute between identical fat-pointer
+    // types; the borrow-validity obligation is the caller contract
+    // documented above.
+    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) }
+}
+
+/// Runs one job-completion wait step for a submitter: take a finished
+/// result if one is ready, otherwise help drain the queue, otherwise
+/// park until a result arrives. Returns `None` when the channel is
+/// drained and disconnected (all jobs accounted for).
+fn wait_step<R>(rx: &Receiver<R>, q: &Queue) -> Option<R> {
+    match rx.try_recv() {
+        Ok(r) => return Some(r),
+        Err(TryRecvError::Disconnected) => return None,
+        Err(TryRecvError::Empty) => {}
+    }
+    if let Some(job) = try_steal(q) {
+        job();
+        return match rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(_) => wait_step(rx, q),
+        };
+    }
+    // Queue empty: every outstanding job is running on some thread, so
+    // parking here cannot strand queued work (see module docs).
+    rx.recv().ok()
+}
+
+/// The result of one chunk: its index and the mapped sub-vector (or the
+/// panic payload it unwound with).
+type ChunkResult<T> = (usize, std::thread::Result<Vec<T>>);
+
+/// Maps `f` over `0..len` in `workers` contiguous chunks: chunks
+/// `1..workers` go to the pool, chunk 0 runs on the caller, and the
+/// pieces are concatenated in chunk order. Panics from any chunk are
+/// re-raised (lowest chunk index first) only after every chunk has
+/// finished, keeping the borrow contract of [`erase`].
+pub(crate) fn run_chunks<T, F>(workers: usize, len: usize, f: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let chunk = len.div_ceil(workers.max(1));
+    let q = queue();
+    let (tx, rx) = channel::<ChunkResult<T>>();
+    for w in 1..workers {
+        let lo = (w * chunk).min(len);
+        let hi = ((w + 1) * chunk).min(len);
+        let tx: Sender<ChunkResult<T>> = tx.clone();
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            let part = catch_unwind(AssertUnwindSafe(|| (lo..hi).map(f).collect::<Vec<T>>()));
+            let _ = tx.send((w, part));
+        });
+        // SAFETY: this function collects every chunk result (or the
+        // channel disconnect) below before returning, so the borrows of
+        // `f` and `tx` captured by the job cannot outlive this frame.
+        submit(q, unsafe { erase(job) });
+    }
+    drop(tx);
+    let own = catch_unwind(AssertUnwindSafe(|| {
+        (0..chunk.min(len)).map(f).collect::<Vec<T>>()
+    }));
+    let mut parts: Vec<Option<std::thread::Result<Vec<T>>>> = Vec::new();
+    parts.resize_with(workers, || None);
+    let mut pending = workers - 1;
+    while pending > 0 {
+        match wait_step(&rx, q) {
+            Some((w, part)) => {
+                parts[w] = Some(part);
+                pending -= 1;
+            }
+            // Disconnected with results still pending: unreachable in
+            // practice (each job sends exactly once), but if a job box
+            // were dropped unrun its captures died with it, so
+            // returning is sound either way.
+            None => break,
+        }
+    }
+    parts[0] = Some(own);
+    let mut out = Vec::with_capacity(len);
+    for part in parts {
+        match part {
+            Some(Ok(piece)) => out.extend(piece),
+            // Deterministic re-raise: the lowest-indexed panicking
+            // chunk wins, matching the join-in-spawn-order semantics of
+            // the scoped implementation this replaced.
+            Some(Err(payload)) => resume_unwind(payload),
+            None => unreachable!("pool chunk vanished without a result"),
+        }
+    }
+    out
+}
+
+/// Runs `fa` on the pool and `fb` on the caller, returning `(a, b)`
+/// after both finish. Panics re-raise only after both closures have
+/// completed (the borrow contract of [`erase`]); `fa`'s payload wins
+/// when both unwind.
+pub(crate) fn run_pair<A, B, FA, FB>(fa: FA, fb: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    let q = queue();
+    let (tx, rx) = channel::<std::thread::Result<A>>();
+    let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+        let result = catch_unwind(AssertUnwindSafe(fa));
+        let _ = tx.send(result);
+    });
+    // SAFETY: the wait loop below does not return until the job's
+    // result (or the channel disconnect) arrives, so the borrows
+    // captured by `fa` cannot outlive this frame.
+    submit(q, unsafe { erase(job) });
+    let b = catch_unwind(AssertUnwindSafe(fb));
+    let a = match wait_step(&rx, q) {
+        Some(result) => result,
+        None => unreachable!("pool job vanished without a result"),
+    };
+    match (a, b) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(payload), _) | (Ok(_), Err(payload)) => resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunks_assemble_in_index_order() {
+        let expect: Vec<u64> = (0..10_000u64).map(|i| i * 3 + 1).collect();
+        for workers in [2, 3, 5, 8] {
+            let got = run_chunks(workers, 10_000, &|i| (i as u64) * 3 + 1);
+            assert_eq!(got, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn remote_chunks_really_cross_threads() {
+        // With >= 2 workers at least one chunk runs off-caller; detect
+        // it via thread names (workers are named magellan-par-*). On a
+        // loaded queue the caller may steal everything back, so accept
+        // either outcome but require correctness.
+        let hits = AtomicUsize::new(0);
+        let got = run_chunks(4, 4096, &|i| {
+            if std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("magellan-par-"))
+            {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }
+            i
+        });
+        assert_eq!(got, (0..4096).collect::<Vec<_>>());
+        // Not asserted: hits > 0 (scheduling-dependent); the counter
+        // exists so the test exercises cross-thread capture soundly.
+        let _ = hits.load(Ordering::Relaxed);
+    }
+
+    #[test]
+    fn nested_fork_join_completes() {
+        // A pair whose halves each fan out again: exercises the
+        // help-while-waiting path that prevents queue deadlock.
+        let (a, b) = run_pair(
+            || run_chunks(3, 3_000, &|i| i as u64).iter().sum::<u64>(),
+            || {
+                run_chunks(3, 3_000, &|i| (i as u64) * 2)
+                    .iter()
+                    .sum::<u64>()
+            },
+        );
+        let base: u64 = (0..3_000u64).sum();
+        assert_eq!(a, base);
+        assert_eq!(b, base * 2);
+    }
+
+    #[test]
+    fn chunk_panic_reraises_lowest_index_first() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_chunks(4, 1_024, &|i| {
+                if i >= 256 {
+                    panic!("chunk-{}", i / 256);
+                }
+                i
+            })
+        }));
+        let payload = caught.expect_err("must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(msg, "chunk-1");
+    }
+
+    #[test]
+    fn pair_panic_prefers_pool_side() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_pair::<(), (), _, _>(|| panic!("side-a"), || panic!("side-b"))
+        }));
+        let payload = caught.expect_err("must panic");
+        let msg = payload
+            .downcast_ref::<&'static str>()
+            .copied()
+            .unwrap_or_default();
+        assert_eq!(msg, "side-a");
+    }
+
+    #[test]
+    fn borrowed_state_survives_pool_round_trip() {
+        // The whole point of the lifetime erasure: jobs may borrow the
+        // caller's stack. Sum a stack-owned slice through the pool.
+        let data: Vec<u64> = (0..50_000u64).collect();
+        let view = data.as_slice();
+        let partials = run_chunks(6, view.len(), &|i| view[i]);
+        assert_eq!(partials.iter().sum::<u64>(), (0..50_000u64).sum());
+    }
+}

@@ -42,6 +42,16 @@ stage "magellan-lint"
 mkdir -p target
 cargo run -q -p magellan-lint -- --format sarif --output target/magellan-lint.sarif
 
+stage "kernel equivalence (bit-parallel BFS vs scalar, incremental vs rebuild)"
+# Fast fail-early pass over the equivalence tests that pin the
+# perf-path kernels to their reference implementations: the 64-wide
+# bit-parallel BFS against per-source scalar BFS, and the incremental
+# snapshot engine against full recomputation. These are the guarantees
+# the study's byte-determinism rests on, so they get their own stage
+# before the full suite.
+cargo test -q -p magellan-graph --lib multi64
+cargo test -q -p magellan-graph --lib incremental
+
 stage "cargo test"
 cargo test -q --workspace
 

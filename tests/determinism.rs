@@ -136,3 +136,66 @@ fn different_seeds_diverge() {
         "different seeds produced identical archives: the seed is not reaching the simulator"
     );
 }
+
+#[test]
+fn incremental_engine_matches_full_recompute_bytes() {
+    // The incremental snapshot engine behind the study's Fig. 7
+    // clustering and Fig. 8 reciprocity must be interchangeable with a
+    // from-scratch rebuild at every boundary — not just approximately,
+    // but in the exact bytes of every metric it answers. (The library
+    // asserts this internally in debug builds; this test keeps the
+    // guarantee pinned in release runs too.) Drive one engine through
+    // an evolving overlay-like snapshot sequence with link churn,
+    // weight growth, and node turnover, and compare every metric's
+    // bit pattern against a fresh engine built from the same snapshot.
+    use magellan::graph::IncrementalTopology;
+
+    let g = magellan::graph::random::watts_strogatz(150, 6, 0.2, 42);
+    let mut edges: Vec<(u32, u32, u64)> = g
+        .edges()
+        .map(|e| (e.from.index() as u32, e.to.index() as u32, e.weight.max(1)))
+        .collect();
+    edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+    let mut nodes: Vec<u32> = (0..150).collect();
+
+    let mut live = IncrementalTopology::new();
+    for round in 0u64..10 {
+        // Persisting links accumulate weight; a slice of links churns
+        // out; a new peer joins with two links.
+        for e in edges.iter_mut() {
+            e.2 += round;
+        }
+        let cut = edges.len() / 12;
+        edges.drain(..cut);
+        let fresh = 500 + round as u32;
+        edges.push((fresh, (round as u32) % 100, 5));
+        edges.push(((round as u32) % 100, fresh, 3));
+        edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        edges.dedup_by_key(|&mut (u, v, _)| (u, v));
+        nodes.push(fresh);
+        nodes.sort_unstable();
+        nodes.dedup();
+
+        live.sync_snapshot(&nodes, &edges);
+        let rebuilt = IncrementalTopology::from_snapshot(&nodes, &edges);
+        assert!(
+            live == rebuilt,
+            "round {round}: incremental state diverged from rebuild"
+        );
+        assert_eq!(
+            live.clustering_coefficient().to_bits(),
+            rebuilt.clustering_coefficient().to_bits(),
+            "round {round}: clustering bytes diverged"
+        );
+        assert_eq!(
+            live.garlaschelli_reciprocity().map(f64::to_bits),
+            rebuilt.garlaschelli_reciprocity().map(f64::to_bits),
+            "round {round}: reciprocity bytes diverged"
+        );
+        assert_eq!(
+            live.weighted_reciprocity().map(f64::to_bits),
+            rebuilt.weighted_reciprocity().map(f64::to_bits),
+            "round {round}: weighted reciprocity bytes diverged"
+        );
+    }
+}
