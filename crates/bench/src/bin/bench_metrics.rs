@@ -263,7 +263,7 @@ fn main() {
     let lint_bin = std::path::Path::new("target/release/magellan-lint");
     let mut lint_rows: Vec<(&str, f64)> = Vec::new();
     if lint_bin.is_file() {
-        let _ = std::fs::remove_file("target/magellan-lint-cache.v2");
+        let _ = std::fs::remove_file("target/magellan-lint-cache.v3");
         for phase in ["cold", "warm"] {
             eprintln!("lint gate, {phase} cache ...");
             let start = Instant::now();
@@ -301,10 +301,21 @@ fn main() {
     }
     magellan_par::set_threads(0);
 
+    // Debug metadata: the worker pool as the studies above left it.
+    // Workers spawn lazily on first dispatch and live for the process,
+    // so after the end-to-end runs this records how many threads the
+    // baseline actually exercised; queue_depth should read 0 between
+    // dispatches (a nonzero value here means a wedged drain).
+    let pool = magellan_par::pool_stats();
+
     // Hand-rolled JSON (no serializer dependency in the bench crate).
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    out.push_str(&format!(
+        "  \"pool\": {{\"workers\": {}, \"queue_depth\": {}}},\n",
+        pool.workers, pool.queue_depth
+    ));
     out.push_str(&format!(
         "  \"threads_measured\": [{}],\n",
         thread_counts.map(|t| t.to_string()).join(", ")

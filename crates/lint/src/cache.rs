@@ -19,18 +19,18 @@
 
 use crate::output::fnv64;
 use crate::{
-    CallSite, Config, CostKind, CostSink, FileSummary, FnSummary, TaintKind, TaintSource,
-    UseImport, Violation, RULES, RULES_VERSION,
+    CallSite, Config, CostKind, CostSink, FileSummary, FnSummary, LockAcquire, TaintKind,
+    TaintSource, UseImport, Violation, RULES, RULES_VERSION,
 };
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::time::UNIX_EPOCH;
 
-/// Cache location relative to the workspace root. The `.v2` suffix
-/// changed with the hot-path cost pass (sink lines, wider `N`
-/// records) so v1 caches are never even opened.
-pub const CACHE_FILE: &str = "target/magellan-lint-cache.v2";
+/// Cache location relative to the workspace root. The `.v3` suffix
+/// changed with the concurrency pass (lock records, unsafe counts,
+/// wider `K` records) so older caches are never even opened.
+pub const CACHE_FILE: &str = "target/magellan-lint-cache.v3";
 
 /// Freshness stamp for one file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,6 +116,9 @@ fn fingerprint_key(config: &Config) -> String {
     for (k, v) in &config.hot_alloc_budgets {
         key.push_str(&format!("|hot:{k}={v}"));
     }
+    for (k, v) in &config.unsafe_budgets {
+        key.push_str(&format!("|unsafe:{k}={v}"));
+    }
     for (k, deps) in &config.crate_deps {
         key.push_str(&format!("|{k}->"));
         for d in deps {
@@ -164,7 +167,7 @@ fn kind_from_tag(tag: &str) -> Option<crate::TargetKind> {
 
 /// Serializes cache entries to the versioned line format.
 fn render(config: &Config, entries: &[(PathBuf, FileStamp, FileSummary)]) -> String {
-    let mut out = format!("magellan-lint-cache/2 {}\n", config_fingerprint(config));
+    let mut out = format!("magellan-lint-cache/3 {}\n", config_fingerprint(config));
     for (path, stamp, s) in entries {
         out.push_str(&format!(
             "F {} {} {:016x} {}\n",
@@ -174,9 +177,10 @@ fn render(config: &Config, entries: &[(PathBuf, FileStamp, FileSummary)]) -> Str
             path.display()
         ));
         out.push_str(&format!(
-            "K {} {} {}\n",
+            "K {} {} {} {}\n",
             kind_tag(s.kind),
             s.unwrap_count,
+            s.unsafe_count,
             s.crate_name
         ));
         for v in &s.violations {
@@ -227,6 +231,15 @@ fn render(config: &Config, entries: &[(PathBuf, FileStamp, FileSummary)]) -> Str
                     escape(&sink.what)
                 ));
             }
+            for l in &f.locks {
+                out.push_str(&format!(
+                    "L {} {} {} {}\n",
+                    l.line,
+                    l.until,
+                    u8::from(l.l1_allowed),
+                    l.class
+                ));
+            }
         }
     }
     out
@@ -237,7 +250,7 @@ fn render(config: &Config, entries: &[(PathBuf, FileStamp, FileSummary)]) -> Str
 /// drops everything.
 fn parse(text: &str, config: &Config) -> BTreeMap<PathBuf, (FileStamp, FileSummary)> {
     let mut lines = text.lines();
-    let expected = format!("magellan-lint-cache/2 {}", config_fingerprint(config));
+    let expected = format!("magellan-lint-cache/3 {}", config_fingerprint(config));
     if lines.next() != Some(expected.as_str()) {
         return BTreeMap::new();
     }
@@ -279,6 +292,7 @@ fn parse(text: &str, config: &Config) -> BTreeMap<PathBuf, (FileStamp, FileSumma
                     kind: crate::TargetKind::TestLike,
                     violations: Vec::new(),
                     unwrap_count: 0,
+                    unsafe_count: 0,
                     fns: Vec::new(),
                     uses: Vec::new(),
                 },
@@ -290,19 +304,24 @@ fn parse(text: &str, config: &Config) -> BTreeMap<PathBuf, (FileStamp, FileSumma
         };
         match tag {
             "K" => {
-                let mut parts = rest.splitn(3, ' ');
-                let (Some(kind), Some(count), Some(name)) =
-                    (parts.next(), parts.next(), parts.next())
+                let mut parts = rest.splitn(4, ' ');
+                let (Some(kind), Some(count), Some(unsafe_count), Some(name)) =
+                    (parts.next(), parts.next(), parts.next(), parts.next())
                 else {
                     current = None;
                     continue;
                 };
-                let (Some(kind), Ok(count)) = (kind_from_tag(kind), count.parse::<usize>()) else {
+                let (Some(kind), Ok(count), Ok(unsafe_count)) = (
+                    kind_from_tag(kind),
+                    count.parse::<usize>(),
+                    unsafe_count.parse::<usize>(),
+                ) else {
                     current = None;
                     continue;
                 };
                 summary.kind = kind;
                 summary.unwrap_count = count;
+                summary.unsafe_count = unsafe_count;
                 summary.crate_name = name.to_owned();
             }
             "V" => {
@@ -381,6 +400,7 @@ fn parse(text: &str, config: &Config) -> BTreeMap<PathBuf, (FileStamp, FileSumma
                     calls: Vec::new(),
                     sources: Vec::new(),
                     sinks: Vec::new(),
+                    locks: Vec::new(),
                 });
             }
             "C" => {
@@ -444,6 +464,29 @@ fn parse(text: &str, config: &Config) -> BTreeMap<PathBuf, (FileStamp, FileSumma
                     line: line_no,
                     kind,
                     what: unescape(what),
+                });
+            }
+            "L" => {
+                let mut parts = rest.splitn(4, ' ');
+                let (Some(line_no), Some(until), Some(allowed), Some(class)) =
+                    (parts.next(), parts.next(), parts.next(), parts.next())
+                else {
+                    current = None;
+                    continue;
+                };
+                let (Ok(line_no), Ok(until), Some(f)) = (
+                    line_no.parse::<usize>(),
+                    until.parse::<usize>(),
+                    summary.fns.last_mut(),
+                ) else {
+                    current = None;
+                    continue;
+                };
+                f.locks.push(LockAcquire {
+                    line: line_no,
+                    class: class.to_owned(),
+                    until,
+                    l1_allowed: allowed == "1",
                 });
             }
             _ => {}
@@ -557,7 +600,7 @@ mod tests {
     fn garbage_is_ignored_not_fatal() {
         let config = Config::default();
         let text = format!(
-            "magellan-lint-cache/2 {}\nF not numbers at all\nV 1 D1 orphan\n",
+            "magellan-lint-cache/3 {}\nF not numbers at all\nV 1 D1 orphan\n",
             super::config_fingerprint(&config)
         );
         assert!(parse(&text, &config).is_empty());
@@ -583,8 +626,8 @@ mod tests {
     fn stale_rules_version_forces_cold_run() {
         let config = Config::default();
         let entry = sample_entry();
-        let v2 = render(&config, std::slice::from_ref(&entry));
-        let doctored = v2.replacen("magellan-lint-cache/2", "magellan-lint-cache/1", 1);
+        let current = render(&config, std::slice::from_ref(&entry));
+        let doctored = current.replacen("magellan-lint-cache/3", "magellan-lint-cache/2", 1);
         assert!(parse(&doctored, &config).is_empty(), "old header rejected");
         assert!(
             fingerprint_key(&config).contains(&format!("|rv{RULES_VERSION}")),

@@ -1,0 +1,690 @@
+//! The concurrency-soundness pass: rules L1, U1, and S1.
+//!
+//! P1/P2 can say that a lock *exists* (and what it costs on a hot
+//! path); this module asks whether the locking is *sound* before the
+//! trace layer grows sharded ingestion locks and the workspace carries
+//! more `unsafe` code:
+//!
+//! * **L1 — lock-order cycles.** [`detect_locks`] resolves lock/guard
+//!   creation sites per function: every `.lock()` call (plus `.read()`/
+//!   `.write()` on receivers whose declaration names `RwLock`) becomes
+//!   an acquisition of a *lock class* — the receiver's final
+//!   identifier (`self.inner.lock()` → class `inner`). A `let`-bound
+//!   guard is held from its acquisition to the end of the enclosing
+//!   block (or an explicit `drop(guard)`); a temporary is held for its
+//!   line. [`check_lock_order`] then builds a directed graph over lock
+//!   classes: an edge `A -> B` means some path acquires `B` while a
+//!   guard of `A` is held — either directly in one body, or through
+//!   the workspace call graph (a call inside `A`'s held region to a
+//!   function that can transitively reach an acquisition of `B`). Any
+//!   cycle (including a self-loop: re-reaching a class while holding
+//!   it, which self-deadlocks on a non-reentrant mutex) is a potential
+//!   deadlock, reported once with every edge's full chain. Classes are
+//!   receiver identifiers, deliberately unqualified: same-named locks
+//!   in different crates conservatively conflate (a shared lock
+//!   reached through another crate's API *is* the same class), and a
+//!   false conflation is waived at the acquisition site with
+//!   `lint:allow(L1): <why>`.
+//!
+//! * **U1 — unsafe contracts.** Every `unsafe` block, `unsafe impl`,
+//!   and `unsafe fn` in non-test library code must carry a structured
+//!   safety contract: a `// SAFETY: <invariant>` comment on the site
+//!   or in the contiguous comment block above it (an `unsafe fn` may
+//!   use a `# Safety` doc section instead). Empty contracts are
+//!   rejected exactly like empty `lint:allow` justifications. On top
+//!   of the per-site rule, each crate has an audited unsafe-site
+//!   *budget* (C1-style ratchet, default 0; `magellan-par`'s pool is
+//!   the one audited exception) so new unsafe is a conscious decision.
+//!
+//! * **S1 — pool-boundary audit.** Arguments captured by
+//!   `magellan-par`'s lifetime-erased job boxes must be honestly
+//!   `Send`: manual `unsafe impl Send`/`Sync` declarations are flagged
+//!   anywhere, interior-mutability types (`Cell`, `RefCell`,
+//!   `UnsafeCell`) are flagged in functions that dispatch to the pool,
+//!   and a lock guard held across a pool call is flagged as a
+//!   panic-safety hazard (a panicking chunk unwinds under the guard).
+//!
+//! Everything here is an over-approximation by design — name-based,
+//! flow-insensitive, resolved through the same call graph as D4 — and
+//! every finding is waivable with a written justification.
+
+use crate::items::{CallSite, FnItem, UseImport};
+use crate::reach::{render_hop, CallGraph, Direction, FnKey};
+use crate::rules::contains_ident;
+use crate::source::{justified, SourceFile};
+use crate::taint::{enclosing_fn, typed_names};
+use crate::{Config, FileSummary, LockAcquire, Report, Rule, Violation};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Pool-boundary dispatch names unique enough to match anywhere.
+/// `join` is deliberately absent — the name is too common
+/// (`JoinHandle::join`, `Path::join`, `[str]::join`) — and only
+/// matches when resolved through a `magellan_par` import or path.
+const POOL_DISPATCH: [&str; 4] = [
+    "par_map_collect",
+    "par_map_collect_grained",
+    "run_chunks",
+    "run_pair",
+];
+
+/// Receivers whose `.lock()` is a std stream handle, not a mutex.
+const STREAM_RECEIVERS: [&str; 3] = ["stdout", "stderr", "stdin"];
+
+/// Finds every lock acquisition in `src`, attributed to the enclosing
+/// function: `(fn index, acquisition)` pairs in line order.
+pub fn detect_locks(src: &SourceFile, fns: &[FnItem]) -> Vec<(usize, LockAcquire)> {
+    let rw_names = typed_names(src, &["RwLock"]);
+    let mut out = Vec::new();
+    for (idx, line) in src.code.iter().enumerate() {
+        if src.in_test_module[idx] {
+            continue;
+        }
+        let lineno = idx + 1;
+        let Some(fn_idx) = enclosing_fn(fns, lineno) else {
+            continue;
+        };
+        for pat in [".lock()", ".read()", ".write()"] {
+            let mut from = 0usize;
+            while let Some(pos) = line[from..].find(pat) {
+                let at = from + pos;
+                from = at + pat.len();
+                let Some(class) = receiver_ident(line, at) else {
+                    continue;
+                };
+                if STREAM_RECEIVERS.contains(&class.as_str()) {
+                    continue;
+                }
+                // `.read()`/`.write()` only count on declared RwLocks;
+                // `.lock()` is unambiguous.
+                if pat != ".lock()" && !rw_names.contains(&class) {
+                    continue;
+                }
+                out.push((
+                    fn_idx,
+                    LockAcquire {
+                        line: lineno,
+                        class,
+                        until: held_until(src, fns, fn_idx, idx, line),
+                        l1_allowed: src.is_allowed(lineno, Rule::L1.id()),
+                    },
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The final identifier of the receiver path ending at byte `at` (the
+/// `.` of `.lock()`): `self.inner.lock()` → `inner`. `None` when the
+/// receiver is not a plain path tail (a call or index result), whose
+/// guard is an unnameable temporary.
+fn receiver_ident(line: &str, at: usize) -> Option<String> {
+    let head: Vec<char> = line[..at]
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    let ident: String = head.into_iter().rev().collect();
+    if ident.is_empty() || ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(ident)
+    }
+}
+
+/// The last line (1-based, inclusive) on which the guard acquired at
+/// 0-based line `idx` is still held. A `let`-bound guard lives to the
+/// end of its enclosing block, an explicit `drop(<guard>)`, or the
+/// function body end, whichever comes first; anything else is a
+/// statement temporary held for its own line.
+fn held_until(src: &SourceFile, fns: &[FnItem], fn_idx: usize, idx: usize, line: &str) -> usize {
+    let trimmed = line.trim_start();
+    let Some(rest) = trimmed.strip_prefix("let ") else {
+        return idx + 1;
+    };
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let guard: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    let body_end = fns[fn_idx].body_end;
+    // Brace-depth walk from the acquisition statement: the guard dies
+    // when its block closes (depth sinks below the statement level).
+    let mut depth: i64 = 0;
+    for b in line.bytes() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => depth -= 1,
+            _ => {}
+        }
+    }
+    if depth < 0 {
+        return idx + 1;
+    }
+    for (j, later) in src.code.iter().enumerate().skip(idx + 1) {
+        let lineno = j + 1;
+        if lineno > body_end {
+            return body_end;
+        }
+        if !guard.is_empty() && later.contains("drop(") && contains_ident(later, &guard) {
+            return lineno;
+        }
+        for b in later.bytes() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => depth -= 1,
+                _ => {}
+            }
+            if depth < 0 {
+                return lineno;
+            }
+        }
+    }
+    body_end
+}
+
+/// U1 per-site pass: every `unsafe` site needs a written contract.
+/// Returns the number of non-test, non-allowed unsafe sites (the
+/// crate-budget input).
+pub fn check_unsafe_contracts(src: &SourceFile, report: &mut Report) -> usize {
+    let mut count = 0usize;
+    for (idx, line) in src.code.iter().enumerate() {
+        if src.in_test_module[idx] || !contains_ident(line, "unsafe") {
+            continue;
+        }
+        let lineno = idx + 1;
+        if src.is_allowed(lineno, Rule::U1.id()) {
+            continue;
+        }
+        count += 1;
+        let is_fn = line.contains("unsafe fn");
+        let what = if line.contains("unsafe impl") {
+            "`unsafe impl`"
+        } else if is_fn {
+            "`unsafe fn`"
+        } else {
+            "`unsafe` block"
+        };
+        match safety_contract(src, idx, is_fn) {
+            Contract::Named => {}
+            Contract::Empty => report.violations.push(Violation {
+                file: src.path.clone(),
+                line: lineno,
+                rule: Rule::U1,
+                message: format!(
+                    "{what} has an empty SAFETY: contract — name the invariant the \
+                     unsafe code relies on (an empty contract is a suppressed \
+                     obligation, not an audit)"
+                ),
+            }),
+            Contract::Missing => report.violations.push(Violation {
+                file: src.path.clone(),
+                line: lineno,
+                rule: Rule::U1,
+                message: format!(
+                    "{what} without a safety contract — write `// SAFETY: <invariant>` \
+                     on or directly above the site{}",
+                    if is_fn {
+                        " (or a `# Safety` doc section)"
+                    } else {
+                        ""
+                    }
+                ),
+            }),
+        }
+    }
+    count
+}
+
+/// Outcome of looking for a safety contract on an unsafe site.
+enum Contract {
+    /// A contract naming a non-empty invariant.
+    Named,
+    /// A `SAFETY:` marker with no invariant after it.
+    Empty,
+    /// No contract at all.
+    Missing,
+}
+
+/// Looks for a `SAFETY:` contract on 0-based line `idx` or in the
+/// contiguous comment/attribute block directly above it; `unsafe fn`
+/// sites may carry a `# Safety` doc section instead.
+fn safety_contract(src: &SourceFile, idx: usize, is_fn: bool) -> Contract {
+    let mut best = Contract::Missing;
+    let mut consider = |comment: &str| {
+        if let Some(pos) = comment.find("SAFETY:") {
+            if justified(&comment[pos + "SAFETY:".len()..]) {
+                best = Contract::Named;
+            } else if matches!(best, Contract::Missing) {
+                best = Contract::Empty;
+            }
+        }
+        if is_fn && comment.contains("# Safety") {
+            best = Contract::Named;
+        }
+    };
+    if let Some(comment) = src.comments.get(idx) {
+        consider(comment);
+    }
+    let mut above = idx;
+    while above > 0 {
+        above -= 1;
+        let raw = src.raw.get(above).map(|l| l.trim_start()).unwrap_or("");
+        // The contract may sit anywhere in the contiguous run of
+        // comment-only (or attribute) lines directly above the site.
+        if !(raw.starts_with("//") || raw.starts_with("#[")) {
+            break;
+        }
+        if let Some(comment) = src.comments.get(above) {
+            consider(comment);
+        }
+    }
+    best
+}
+
+/// S1 per-file pass: manual `Send`/`Sync` impls, interior mutability
+/// near the pool boundary, and guards held across pool dispatch.
+pub fn check_pool_boundary(
+    src: &SourceFile,
+    fns: &[FnItem],
+    uses: &[UseImport],
+    locks: &[(usize, LockAcquire)],
+    report: &mut Report,
+) {
+    // (a) Manual Send/Sync impls: the compiler can no longer prove the
+    // type is safe to move across the pool boundary — a human claims it.
+    for (idx, line) in src.code.iter().enumerate() {
+        if src.in_test_module[idx] || !line.contains("unsafe impl") {
+            continue;
+        }
+        for marker in ["Send", "Sync"] {
+            if contains_ident(line, marker) && line.contains(" for ") {
+                push_s1(
+                    report,
+                    src,
+                    idx + 1,
+                    format!(
+                        "manual `unsafe impl {marker}` — the compiler no longer checks \
+                         what crosses the magellan-par pool boundary; derive the bound \
+                         structurally or justify the invariant with lint:allow(S1)"
+                    ),
+                );
+            }
+        }
+    }
+
+    let par_imports_join = uses
+        .iter()
+        .any(|u| u.name == "join" && u.path.first().is_some_and(|p| p == "magellan_par"));
+    for (fn_idx, f) in fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let pool_sites: Vec<(usize, &str)> = f
+            .calls
+            .iter()
+            .filter_map(|c| pool_call(c, par_imports_join).map(|n| (c.line, n)))
+            .collect();
+        if pool_sites.is_empty() {
+            continue;
+        }
+        // (b) Interior mutability in a dispatching function: the chunk
+        // closures would share unsynchronized mutable state.
+        for lineno in f.body_start..=f.body_end {
+            let Some(line) = src.code.get(lineno - 1) else {
+                continue;
+            };
+            if src.in_test_module[lineno - 1] {
+                continue;
+            }
+            for cell in ["RefCell", "UnsafeCell", "Cell"] {
+                if contains_ident(line, cell) {
+                    push_s1(
+                        report,
+                        src,
+                        lineno,
+                        format!(
+                            "interior-mutability type `{cell}` in `{}`, which dispatches \
+                             to the magellan-par pool — chunk closures must not share \
+                             unsynchronized mutable state; pass owned per-chunk values \
+                             or justify with lint:allow(S1)",
+                            f.name
+                        ),
+                    );
+                }
+            }
+        }
+        // (c) A guard held across the dispatch: a panicking chunk
+        // unwinds under the held lock.
+        for (lock_fn, acq) in locks {
+            if *lock_fn != fn_idx {
+                continue;
+            }
+            for (call_line, call_name) in &pool_sites {
+                if acq.line < *call_line && *call_line <= acq.until {
+                    push_s1(
+                        report,
+                        src,
+                        *call_line,
+                        format!(
+                            "lock guard of `{}` (taken at {}:{}) is held across pool \
+                             call `{call_name}` — a panicking chunk unwinds under the \
+                             guard (poison/deadlock hazard); drop the guard before \
+                             dispatching or justify with lint:allow(S1)",
+                            acq.class,
+                            src.path.display(),
+                            acq.line
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Whether a call site dispatches work to the `magellan-par` pool,
+/// returning the dispatch name.
+fn pool_call(call: &CallSite, par_imports_join: bool) -> Option<&str> {
+    let name = call.path.last()?;
+    if POOL_DISPATCH.contains(&name.as_str()) {
+        return Some(name);
+    }
+    if name != "join" {
+        return None;
+    }
+    let qualified = call.path.len() > 1
+        && call
+            .path
+            .first()
+            .is_some_and(|p| p == "magellan_par" || p == "pool");
+    let bare_imported = !call.method && call.path.len() == 1 && par_imports_join;
+    (qualified || bare_imported).then_some("join")
+}
+
+fn push_s1(report: &mut Report, src: &SourceFile, line: usize, message: String) {
+    if src.is_allowed(line, Rule::S1.id()) {
+        return;
+    }
+    report.violations.push(Violation {
+        file: src.path.clone(),
+        line,
+        rule: Rule::S1,
+        message,
+    });
+}
+
+/// U1 budget phase: per-crate unsafe-site counts against the audited
+/// ratchet, anchored at the first file in the crate holding a site.
+pub fn check_unsafe_budgets(summaries: &[FileSummary], config: &Config, report: &mut Report) {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for s in summaries {
+        *counts.entry(s.crate_name.as_str()).or_insert(0) += s.unsafe_count;
+    }
+    for (crate_name, count) in counts {
+        let budget = config.unsafe_budgets.get(crate_name).copied().unwrap_or(0);
+        if count <= budget {
+            continue;
+        }
+        let anchor = summaries
+            .iter()
+            .find(|s| s.crate_name == crate_name && s.unsafe_count > 0)
+            .map(|s| s.path.clone())
+            .unwrap_or_else(|| std::path::PathBuf::from(crate_name));
+        report.violations.push(Violation {
+            file: anchor,
+            line: 1,
+            rule: Rule::U1,
+            message: format!(
+                "{crate_name} has {count} unsafe site(s) in non-test library code, over \
+                 its audited budget of {budget} — the workspace is safe Rust by \
+                 construction; remove the site or consciously raise \
+                 default_unsafe_budgets after an audit"
+            ),
+        });
+    }
+}
+
+/// One edge of the lock-order graph: how a guard of one class came to
+/// be live while another class was acquired.
+struct LockEdge<'a> {
+    /// The function holding the guard.
+    holder: &'a FnKey,
+    /// File index of the holder definition.
+    holder_file: usize,
+    /// Acquisition line of the held guard.
+    held_line: usize,
+    /// For an intra-function edge, the line of the nested acquisition;
+    /// for a cross-function edge, the call line leaving the holder.
+    via_line: usize,
+    /// For a cross-function edge, the callee whose subtree reaches the
+    /// acquisition (`None` for intra-function edges).
+    callee: Option<&'a FnKey>,
+}
+
+/// L1 phase: builds the lock-order graph over classes and reports
+/// every cycle once, with the full chain of each edge on the cycle.
+pub fn check_lock_order(graph: &CallGraph, files: &[FileSummary], report: &mut Report) {
+    // Direct acquisitions per call-graph node, and the seed set per class.
+    let mut direct: BTreeMap<&FnKey, Vec<(usize, usize, &LockAcquire)>> = BTreeMap::new();
+    let mut class_seeds: BTreeMap<&str, Vec<&FnKey>> = BTreeMap::new();
+    for (key, node) in &graph.nodes {
+        for d in &node.defs {
+            for acq in &files[d.file].fns[d.fun].locks {
+                if acq.l1_allowed {
+                    continue;
+                }
+                direct.entry(key).or_default().push((d.file, d.fun, acq));
+                class_seeds.entry(acq.class.as_str()).or_default().push(key);
+            }
+        }
+    }
+    if class_seeds.is_empty() {
+        return;
+    }
+    // Per class: which nodes can transitively reach an acquisition of it.
+    let reachers: BTreeMap<&str, BTreeMap<&FnKey, (usize, Option<&FnKey>)>> = class_seeds
+        .iter()
+        .map(|(class, seeds)| (*class, graph.reach(seeds, Direction::Callers)))
+        .collect();
+
+    // Edges, keeping the first (deterministic) witness per class pair.
+    let mut edges: BTreeMap<(&str, &str), LockEdge> = BTreeMap::new();
+    for (key, acqs) in &direct {
+        for &(file_idx, fun_idx, acq) in acqs {
+            // Intra-function: a second class acquired inside the held
+            // region of this guard (same definition only).
+            for &(other_file, other_fun, other) in acqs {
+                if other_file == file_idx
+                    && other_fun == fun_idx
+                    && acq.line < other.line
+                    && other.line <= acq.until
+                {
+                    edges
+                        .entry((acq.class.as_str(), other.class.as_str()))
+                        .or_insert(LockEdge {
+                            holder: key,
+                            holder_file: file_idx,
+                            held_line: acq.line,
+                            via_line: other.line,
+                            callee: None,
+                        });
+                }
+            }
+            // Cross-function: a call inside the held region whose
+            // callee subtree reaches another class.
+            let Some(node) = graph.nodes.get(*key) else {
+                continue;
+            };
+            for call in &files[file_idx].fns[fun_idx].calls {
+                if !(acq.line < call.line && call.line <= acq.until) {
+                    continue;
+                }
+                let Some(call_name) = call.path.last() else {
+                    continue;
+                };
+                for callee in node.callees.keys() {
+                    if callee.1 != *call_name {
+                        continue;
+                    }
+                    let Some((callee_key, _)) = graph.nodes.get_key_value(callee) else {
+                        continue;
+                    };
+                    for (class, dist) in &reachers {
+                        if !dist.contains_key(callee_key) {
+                            continue;
+                        }
+                        edges
+                            .entry((acq.class.as_str(), class))
+                            .or_insert(LockEdge {
+                                holder: key,
+                                holder_file: file_idx,
+                                held_line: acq.line,
+                                via_line: call.line,
+                                callee: Some(callee_key),
+                            });
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection over the class graph: report each cycle once,
+    // keyed by its lexicographically smallest class.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (held, acquired) in edges.keys() {
+        adj.entry(held).or_default().insert(acquired);
+    }
+    for start in adj.keys().copied().collect::<Vec<_>>() {
+        let Some(cycle) = shortest_cycle(&adj, start) else {
+            continue;
+        };
+        if cycle.iter().any(|c| *c < start) {
+            continue; // reported from the cycle's smallest class
+        }
+        let mut parts = Vec::new();
+        let mut anchor: Option<&LockEdge> = None;
+        for pair in cycle.windows(2) {
+            if let Some(edge) = edges.get(&(pair[0], pair[1])) {
+                parts.push(render_edge(edge, pair[0], pair[1], graph, files));
+                anchor.get_or_insert(edge);
+            }
+        }
+        let Some(first) = anchor else { continue };
+        let ring = cycle.iter().map(|c| format!("`{c}`")).collect::<Vec<_>>();
+        report.violations.push(Violation {
+            file: files[first.holder_file].path.clone(),
+            line: first.held_line,
+            rule: Rule::L1,
+            message: format!(
+                "potential deadlock: lock acquisition order cycle {}: {} — make every \
+                 path take these lock classes in one order (narrow the first guard's \
+                 scope before taking the second), or justify an acquisition site with \
+                 lint:allow(L1)",
+                ring.join(" -> "),
+                parts.join("; meanwhile ")
+            ),
+        });
+    }
+}
+
+/// The shortest cycle through `start`, as `[start, …, start]`
+/// (consecutive elements are edges; a self-loop yields
+/// `[start, start]`). `None` when no edge path returns to `start`.
+fn shortest_cycle<'a>(
+    adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    start: &'a str,
+) -> Option<Vec<&'a str>> {
+    let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut visited: BTreeSet<&str> = BTreeSet::new();
+    visited.insert(start);
+    let mut frontier: Vec<&str> = vec![start];
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for from in frontier {
+            let Some(ns) = adj.get(from) else { continue };
+            for n in ns {
+                if *n == start {
+                    // Close the ring: walk parents back up to start.
+                    let mut rev = vec![from];
+                    let mut cur = from;
+                    while let Some(p) = parent.get(cur) {
+                        rev.push(p);
+                        cur = p;
+                    }
+                    rev.reverse();
+                    rev.push(start);
+                    return Some(rev);
+                }
+                if visited.insert(n) {
+                    parent.insert(n, from);
+                    next.push(*n);
+                }
+            }
+        }
+        frontier = next;
+    }
+    None
+}
+
+/// Renders one lock-order edge (`held` acquired first, `acquired`
+/// taken under it) with its full chain.
+fn render_edge(
+    edge: &LockEdge,
+    held: &str,
+    acquired: &str,
+    graph: &CallGraph,
+    files: &[FileSummary],
+) -> String {
+    let file = files[edge.holder_file].path.display();
+    let holder = &edge.holder.1;
+    let Some(callee) = edge.callee else {
+        return format!(
+            "guard of `{held}` (taken at {file}:{}) is held in {holder}() while \
+             `{acquired}` is acquired at {file}:{}",
+            edge.held_line, edge.via_line
+        );
+    };
+    // Chain from the callee down to the nearest acquisition of the
+    // target class, via the Callers-direction parent pointers.
+    let seeds: Vec<&FnKey> = graph
+        .nodes
+        .iter()
+        .filter(|(_, node)| {
+            node.defs.iter().any(|d| {
+                files[d.file].fns[d.fun]
+                    .locks
+                    .iter()
+                    .any(|a| !a.l1_allowed && a.class == acquired)
+            })
+        })
+        .map(|(k, _)| k)
+        .collect();
+    let dist = graph.reach(&seeds, Direction::Callers);
+    let chain = graph.chain(callee, &dist);
+    let mut hops: Vec<String> = vec![format!("{holder}() ({file}:{})", edge.held_line)];
+    for key in &chain {
+        if let Some(node) = graph.nodes.get(*key) {
+            hops.push(render_hop(key, node, files));
+        }
+    }
+    let site = chain
+        .last()
+        .and_then(|k| graph.nodes.get(*k))
+        .and_then(|node| {
+            node.defs.iter().find_map(|d| {
+                files[d.file].fns[d.fun]
+                    .locks
+                    .iter()
+                    .find(|a| !a.l1_allowed && a.class == acquired)
+                    .map(|a| format!("{}:{}", files[d.file].path.display(), a.line))
+            })
+        })
+        .unwrap_or_default();
+    format!(
+        "guard of `{held}` (taken at {file}:{}) is held across the call at {file}:{}: \
+         {} -> `{acquired}` acquired at {site}",
+        edge.held_line,
+        edge.via_line,
+        hops.join(" -> ")
+    )
+}

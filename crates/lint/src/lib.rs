@@ -17,6 +17,8 @@
 //! | `D4` | entry crates (`overlay`, `netsim`, `workload`, `graph`, `analysis`) | public entry point that *transitively* reaches a nondeterminism source through the workspace call graph |
 //! | `P1` | sim + metric crates | locks, channels, non-SeqCst atomic orderings outside `magellan-par` |
 //! | `P2` | hot-path crates (`overlay`, `netsim`, `workload`, `graph`, `analysis`) | lock/channel machinery *transitively reachable from a hot entry point* — fires even when the site's P1 finding was `lint:allow`ed |
+//! | `L1` | all lib crates | cycle in the static lock-acquisition-order graph: some path acquires class `B` while holding `A` (directly or through the call graph) and another acquires `A` while holding `B` — a potential deadlock, reported with both full chains |
+//! | `S1` | all lib crates | unsound surface at the `magellan-par` pool boundary: manual `unsafe impl Send`/`Sync`, interior mutability in a dispatching function, or a lock guard held across a pool call |
 //! | `C1` | all lib crates | `unwrap()` / `expect(` in non-test library code beyond the per-crate budget |
 //! | `C2` | metric crates (`graph`, `analysis`) | float `==` / `!=` comparisons |
 //! | `C3` | metric crates (`graph`, `analysis`) | lossy `as` casts: narrow widths (`u8`/`u16`/`i8`/`i16`/`f32`) and `len() as u32`-style truncations |
@@ -24,6 +26,7 @@
 //! | `H1` | every workspace crate | missing `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]` crate header (`magellan-par` may `deny` unsafe instead — its pool opts one audited module back in) |
 //! | `H2` | hot-path crates | heap allocation (collect/clone/to_vec/format!/`Box::new`, or a constructor in a loop) reachable from a hot entry point, beyond the per-crate budget |
 //! | `H3` | hot-path crates | whole-collection iteration (map/set `.iter()`/`.keys()`/`.values()`/`.retain()`, `0..len()` range scans) reachable from a hot entry point |
+//! | `U1` | all lib crates | `unsafe` block/impl/fn without a structured `// SAFETY:` contract (or `# Safety` doc section), or a crate over its audited per-crate unsafe-site budget |
 //! | `M1` | everywhere | malformed `lint:allow` (missing rule id or justification) |
 //!
 //! The line-local rules run per file; `D4` and `H2`/`H3`/`P2` are the
@@ -61,6 +64,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 mod cache;
+mod concurrency;
 mod hotpath;
 mod items;
 mod output;
@@ -77,7 +81,10 @@ pub use output::{
     BASELINE_FILE,
 };
 pub use reach::{CallGraph, Direction, FnKey};
-pub use rules::{default_hot_alloc_budgets, default_unwrap_budgets, Rule, RULES, RULES_VERSION};
+pub use rules::{
+    default_hot_alloc_budgets, default_unsafe_budgets, default_unwrap_budgets, Rule, RULES,
+    RULES_VERSION,
+};
 pub use source::{SourceFile, TargetKind};
 pub use walk::{collect_workspace_sources, find_workspace_root, parse_crate_deps};
 
@@ -116,6 +123,9 @@ pub struct Config {
     /// Per-crate budgets for hot-path allocation sinks (rule H2).
     /// Crates not listed have budget 0.
     pub hot_alloc_budgets: BTreeMap<String, usize>,
+    /// Per-crate budgets for audited `unsafe` sites (rule U1). Crates
+    /// not listed have budget 0.
+    pub unsafe_budgets: BTreeMap<String, usize>,
     /// Workspace crate dependency edges (`crate -> deps`), used to
     /// gate call resolution in the semantic passes (D4, H2/H3/P2).
     /// When empty (in-memory runs), calls resolve across every crate
@@ -128,6 +138,7 @@ impl Default for Config {
         Config {
             unwrap_budgets: rules::default_unwrap_budgets(),
             hot_alloc_budgets: rules::default_hot_alloc_budgets(),
+            unsafe_budgets: rules::default_unsafe_budgets(),
             crate_deps: BTreeMap::new(),
         }
     }
@@ -232,6 +243,25 @@ pub struct CostSink {
     pub what: String,
 }
 
+/// One lock acquisition inside a function body (rules L1/S1 input).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockAcquire {
+    /// 1-based acquisition line.
+    pub line: usize,
+    /// Lock class: the receiver's final identifier
+    /// (`self.inner.lock()` → `inner`), deliberately unqualified so
+    /// same-named locks conflate across crates (a conservative
+    /// over-approximation).
+    pub class: String,
+    /// Last 1-based line (inclusive) on which the guard is held: the
+    /// end of the enclosing block for a `let`-bound guard (or an
+    /// explicit `drop`), the acquisition line for a temporary.
+    pub until: usize,
+    /// Whether the acquisition line carries a `lint:allow(L1): <why>`
+    /// annotation (drops it from the lock-order graph).
+    pub l1_allowed: bool,
+}
+
 /// Per-function analysis product: everything rule D4 needs, detached
 /// from the source text so it can be cached.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -266,6 +296,8 @@ pub struct FnSummary {
     pub sources: Vec<TaintSource>,
     /// Hot-path cost sinks inside the body.
     pub sinks: Vec<CostSink>,
+    /// Lock acquisitions inside the body (rules L1/S1 input).
+    pub locks: Vec<LockAcquire>,
 }
 
 /// Per-file analysis product: line-local violations plus the call
@@ -283,6 +315,8 @@ pub struct FileSummary {
     pub violations: Vec<Violation>,
     /// Non-test, non-allowed `unwrap()`/`expect(` count (C1 input).
     pub unwrap_count: usize,
+    /// Non-test, non-allowed `unsafe` site count (U1 budget input).
+    pub unsafe_count: usize,
     /// Function definitions with calls and taint sources.
     pub fns: Vec<FnSummary>,
     /// `use` imports (D4 call resolution input).
@@ -323,6 +357,14 @@ pub fn analyze_file(src: &SourceFile, config: &Config) -> FileSummary {
     };
     let sources = taint::detect_sources(src, &items.fns);
     let sinks = hotpath::detect_sinks(src, &items.fns);
+    let locks = concurrency::detect_locks(src, &items.fns);
+    let unsafe_count = if src.kind == TargetKind::Lib {
+        let n = concurrency::check_unsafe_contracts(src, &mut scratch);
+        concurrency::check_pool_boundary(src, &items.fns, &items.uses, &locks, &mut scratch);
+        n
+    } else {
+        0
+    };
     let fns = items
         .fns
         .iter()
@@ -348,6 +390,11 @@ pub fn analyze_file(src: &SourceFile, config: &Config) -> FileSummary {
                 .filter(|(idx, _)| *idx == i)
                 .map(|(_, s)| s.clone())
                 .collect(),
+            locks: locks
+                .iter()
+                .filter(|(idx, _)| *idx == i)
+                .map(|(_, l)| l.clone())
+                .collect(),
         })
         .collect();
     FileSummary {
@@ -356,13 +403,15 @@ pub fn analyze_file(src: &SourceFile, config: &Config) -> FileSummary {
         kind: src.kind,
         violations: scratch.violations,
         unwrap_count,
+        unsafe_count,
         fns,
         uses: items.uses,
     }
 }
 
-/// Runs the global phases (C1 budgets, D4 taint, H2/H3/P2 hot-path
-/// cost) over per-file summaries and assembles the sorted report.
+/// Runs the global phases (C1/U1 budgets, D4 taint, H2/H3/P2 hot-path
+/// cost, L1 lock order) over per-file summaries and assembles the
+/// sorted report.
 /// `summaries` must be path-sorted for deterministic chain rendering.
 pub fn finalize(summaries: &[FileSummary], config: &Config) -> Report {
     let mut report = Report {
@@ -377,9 +426,11 @@ pub fn finalize(summaries: &[FileSummary], config: &Config) -> Report {
             .or_insert(0) += s.unwrap_count;
     }
     rules::check_unwrap_budgets(summaries, config, &mut report);
+    concurrency::check_unsafe_budgets(summaries, config, &mut report);
     let graph = CallGraph::build(summaries, &config.crate_deps);
     taint::check_taint(&graph, summaries, &mut report);
     hotpath::check_hot_paths(&graph, summaries, config, &mut report);
+    concurrency::check_lock_order(&graph, summaries, &mut report);
     report.violations.sort_by(|a, b| {
         (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
     });

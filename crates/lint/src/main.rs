@@ -9,6 +9,7 @@
 //! cargo run -p magellan-lint -- --write-baseline     # grandfather current findings
 //! cargo run -p magellan-lint -- --counts             # per-crate unwrap counts
 //! cargo run -p magellan-lint -- --list-rules
+//! cargo run -p magellan-lint -- --explain L1         # rationale + fix guidance
 //! ```
 
 #![forbid(unsafe_code)]
@@ -34,6 +35,7 @@ struct Cli {
     output: Option<PathBuf>,
     counts: bool,
     list_rules: bool,
+    explain: Option<String>,
     no_baseline: bool,
     write_baseline: bool,
     no_cache: bool,
@@ -45,6 +47,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         output: None,
         counts: false,
         list_rules: false,
+        explain: None,
         no_baseline: false,
         write_baseline: false,
         no_cache: false,
@@ -55,6 +58,10 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             "--help" | "-h" => return Ok(None),
             "--counts" => cli.counts = true,
             "--list-rules" => cli.list_rules = true,
+            "--explain" => {
+                let value = it.next().ok_or("--explain needs a rule id (e.g. L1)")?;
+                cli.explain = Some(value.clone());
+            }
             "--no-baseline" => cli.no_baseline = true,
             "--write-baseline" => cli.write_baseline = true,
             "--no-cache" => cli.no_cache = true,
@@ -95,6 +102,17 @@ fn main() -> ExitCode {
         for rule in RULES {
             println!("{:3} {}", rule.id(), rule.describe());
         }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(wanted) = &cli.explain {
+        let wanted = wanted.to_ascii_uppercase();
+        let Some(rule) = RULES.iter().find(|r| r.id() == wanted) else {
+            eprintln!("magellan-lint: unknown rule `{wanted}` — see --list-rules for the table");
+            return ExitCode::FAILURE;
+        };
+        println!("{} — {}", rule.id(), rule.describe());
+        println!();
+        println!("Fix: {}", rule.fix_guidance());
         return ExitCode::SUCCESS;
     }
 
@@ -192,6 +210,7 @@ fn print_help() {
          \x20   --no-cache                   ignore and skip the incremental cache\n\
          \x20   --counts                     dump per-crate unwrap counts (C1 budgets)\n\
          \x20   --list-rules                 print the rule table\n\
+         \x20   --explain <RULE>             print one rule's rationale + fix guidance\n\
          \x20   --help                       this text\n\
          \n\
          Exits 0 when the workspace is clean, 1 when violations are found.\n\

@@ -199,8 +199,12 @@ pub fn render_sarif(report: &Report) -> String {
         out.push_str("\n            {\n");
         out.push_str(&format!("              \"id\": \"{}\",\n", rule.id()));
         out.push_str(&format!(
-            "              \"shortDescription\": {{ \"text\": \"{}\" }}\n",
+            "              \"shortDescription\": {{ \"text\": \"{}\" }},\n",
             json_escape(rule.describe())
+        ));
+        out.push_str(&format!(
+            "              \"help\": {{ \"text\": \"{}\" }}\n",
+            json_escape(rule.fix_guidance())
         ));
         out.push_str("            }");
     }
@@ -300,6 +304,11 @@ mod tests {
         assert!(s.contains("\"version\": \"2.1.0\""));
         for rule in RULES {
             assert!(s.contains(&format!("\"id\": \"{}\"", rule.id())), "{s}");
+            assert!(
+                s.contains(&json_escape(rule.fix_guidance())),
+                "rule {} must ship its fix guidance as SARIF help text",
+                rule.id()
+            );
         }
         assert!(s.contains("\"uri\": \"crates/overlay/src/a.rs\""));
         assert!(s.contains("\"startLine\": 3"));

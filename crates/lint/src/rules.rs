@@ -19,6 +19,10 @@ pub enum Rule {
     P1,
     /// Lock/channel machinery reachable from a hot entry point.
     P2,
+    /// Cycle in the static lock-acquisition-order graph.
+    L1,
+    /// Unsound type or guard crossing the `magellan-par` pool boundary.
+    S1,
     /// `unwrap()`/`expect(` beyond the per-crate budget.
     C1,
     /// Float `==`/`!=` comparisons in metric code.
@@ -33,18 +37,23 @@ pub enum Rule {
     H2,
     /// Whole-collection iteration reachable from a hot entry point.
     H3,
+    /// `unsafe` site without a structured `SAFETY:` contract, or a
+    /// crate over its unsafe-site budget.
+    U1,
     /// Malformed `lint:allow` annotation.
     M1,
 }
 
 /// Every rule, in reporting order.
-pub const RULES: [Rule; 14] = [
+pub const RULES: [Rule; 17] = [
     Rule::D1,
     Rule::D2,
     Rule::D3,
     Rule::D4,
     Rule::P1,
     Rule::P2,
+    Rule::L1,
+    Rule::S1,
     Rule::C1,
     Rule::C2,
     Rule::C3,
@@ -52,6 +61,7 @@ pub const RULES: [Rule; 14] = [
     Rule::H1,
     Rule::H2,
     Rule::H3,
+    Rule::U1,
     Rule::M1,
 ];
 
@@ -60,7 +70,7 @@ pub const RULES: [Rule; 14] = [
 /// fingerprint so a warm cache never silently applies a stale rule
 /// set — adding a rule id already busts the cache, but tightening an
 /// existing rule would not without this. Bump on any behavior change.
-pub const RULES_VERSION: u32 = 3;
+pub const RULES_VERSION: u32 = 4;
 
 impl Rule {
     /// The short id used in reports and `lint:allow(...)`.
@@ -72,6 +82,8 @@ impl Rule {
             Rule::D4 => "D4",
             Rule::P1 => "P1",
             Rule::P2 => "P2",
+            Rule::L1 => "L1",
+            Rule::S1 => "S1",
             Rule::C1 => "C1",
             Rule::C2 => "C2",
             Rule::C3 => "C3",
@@ -79,6 +91,7 @@ impl Rule {
             Rule::H1 => "H1",
             Rule::H2 => "H2",
             Rule::H3 => "H3",
+            Rule::U1 => "U1",
             Rule::M1 => "M1",
         }
     }
@@ -112,6 +125,18 @@ impl Rule {
                  point (lint:hot marker or built-in registry); fires even when the site itself \
                  carries lint:allow(P1) — a justified lock is still a per-tick cost"
             }
+            Rule::L1 => {
+                "cycle in the static lock-acquisition-order graph: some function acquires lock \
+                 class B while a guard of class A is held (directly or through the workspace \
+                 call graph) and some other path acquires A while holding B — a potential \
+                 deadlock; the violation prints both full chains"
+            }
+            Rule::S1 => {
+                "unsound surface at the magellan-par pool boundary: a manual `unsafe impl \
+                 Send/Sync`, an interior-mutability type (Cell/RefCell/UnsafeCell) in a \
+                 function that dispatches to the pool, or a lock guard held across a pool \
+                 call (a panicking chunk would poison or deadlock under the guard)"
+            }
             Rule::C1 => {
                 "unwrap()/expect( in non-test library code beyond the per-crate budget: \
                  return typed errors instead"
@@ -138,7 +163,102 @@ impl Rule {
                  or a 0..len() range scan) transitively reachable from a hot entry point: \
                  per-tick code must touch only the peers an event names, never the population"
             }
+            Rule::U1 => {
+                "`unsafe` block/impl/fn without a structured safety contract (a `// SAFETY:` \
+                 comment naming the invariant, or a `# Safety` doc section on an `unsafe fn`), \
+                 or a crate holding more unsafe sites than its audited budget"
+            }
             Rule::M1 => "lint:allow annotation without a rule id or justification",
+        }
+    }
+
+    /// Fix guidance for `--explain` and the SARIF `help` field: what to
+    /// do when the rule fires, as opposed to [`Rule::describe`]'s what
+    /// and why.
+    pub fn fix_guidance(self) -> &'static str {
+        match self {
+            Rule::D1 => {
+                "Switch the collection to BTreeMap/BTreeSet, or sort before iterating. If \
+                 only point lookups ever touch it, annotate the line with lint:allow(D1) \
+                 and say so."
+            }
+            Rule::D2 => {
+                "Thread a seeded rng (RngFactory fork) or SimTime value into the function \
+                 instead of reading ambient entropy or the wall clock."
+            }
+            Rule::D3 => {
+                "Express the parallelism as magellan_par::par_map_collect or join; those \
+                 primitives are order-preserving, so outputs stay byte-identical at every \
+                 thread count."
+            }
+            Rule::D4 => {
+                "Follow the printed chain to the source line and make the sink \
+                 order-insensitive (sort, BTree collections, seeded RNG). lint:allow(D4) on \
+                 the source line certifies it for every caller; on the entry's fn line it \
+                 waives that one entry point."
+            }
+            Rule::P1 => {
+                "Move the shared state behind magellan-par's primitives, or keep the lock \
+                 and write lint:allow(P1): <why the interleaving cannot reach an output>."
+            }
+            Rule::P2 => {
+                "Move the lock/channel off the hot path (hoist it out of the per-tick \
+                 subtree), or justify the per-tick cost with lint:allow(P2): <why>."
+            }
+            Rule::L1 => {
+                "Make every path acquire the two lock classes in the same order (usually by \
+                 narrowing the first guard's scope with drop(guard) or a block before taking \
+                 the second), or merge the locks. If the cycle is a false positive from \
+                 conflated receiver names, rename one lock or waive the acquisition site \
+                 with lint:allow(L1): <why the order is safe>."
+            }
+            Rule::S1 => {
+                "Drop the guard before dispatching to the pool (clone the data out or use a \
+                 block scope); replace Cell/RefCell near the boundary with owned values per \
+                 chunk; delete the manual Send/Sync impl or justify its invariant with \
+                 lint:allow(S1): <why>."
+            }
+            Rule::C1 => {
+                "Return a typed error (TransferError, SimError, GraphError) instead of \
+                 unwrapping, or annotate an invariant-guarded site with lint:allow(C1): \
+                 <why the invariant holds>. Budgets only ratchet down."
+            }
+            Rule::C2 => {
+                "Compare |a - b| against an explicit tolerance, or lint:allow(C2) an exact \
+                 sentinel comparison."
+            }
+            Rule::C3 => {
+                "Use try_from with an explicit error path, widen the target type, or guard \
+                 the bound and justify with lint:allow(C3)."
+            }
+            Rule::C4 => {
+                "Use checked_add/checked_mul (or saturating ops) for the index computation, \
+                 or centralize it behind one audited, justified helper like Csr::row."
+            }
+            Rule::H1 => {
+                "Add #![forbid(unsafe_code)] and #![deny(missing_docs)] to the crate root \
+                 (magellan-par may deny unsafe instead of forbidding it)."
+            }
+            Rule::H2 => {
+                "Hoist the buffer out of the per-tick/per-sample path and reuse scratch \
+                 storage; a constructor at function entry is amortized and exempt. \
+                 lint:allow(H2) on the sink waives one site; on the fn line, the body."
+            }
+            Rule::H3 => {
+                "Index or bucket so per-tick code touches only the peers an event names; \
+                 whole-population scans belong at sample boundaries, not in the tick loop."
+            }
+            Rule::U1 => {
+                "Write the invariant down: `// SAFETY: <why this cannot violate memory \
+                 safety>` on or above the unsafe site (a `# Safety` doc section for an \
+                 unsafe fn). Over-budget crates need the new site removed or the audited \
+                 budget consciously raised in default_unsafe_budgets."
+            }
+            Rule::M1 => {
+                "Write lint:allow(<RULE>): <reason> with a real rule id and a non-empty \
+                 justification — an escape hatch without a reason is a suppressed warning, \
+                 not a decision."
+            }
         }
     }
 }
@@ -187,6 +307,20 @@ pub fn default_hot_alloc_budgets() -> BTreeMap<String, usize> {
     m.insert("magellan-workload".to_owned(), 0);
     m.insert("magellan-graph".to_owned(), 0);
     m.insert("magellan-analysis".to_owned(), 0);
+    m
+}
+
+/// Default per-crate budgets for `unsafe` sites (rule U1). The policy
+/// is zero everywhere: the workspace is safe Rust by construction
+/// (rule H1 forbids `unsafe` at every crate root). The one audited
+/// exception is `magellan-par`, whose worker pool erases a job-box
+/// borrow lifetime behind a scoped-thread-style completion contract —
+/// exactly four sites (the erasing fn, its transmute, and the two
+/// submit call sites), each carrying a written contract. A new unsafe
+/// site anywhere is a conscious budget decision, never a drive-by.
+pub fn default_unsafe_budgets() -> BTreeMap<String, usize> {
+    let mut m = BTreeMap::new();
+    m.insert("magellan-par".to_owned(), 4);
     m
 }
 

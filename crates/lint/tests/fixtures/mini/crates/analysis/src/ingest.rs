@@ -1,0 +1,16 @@
+//! Ingest gate for the L1 golden case: acquires the shared ingest
+//! lock, then rotates the trace journal while still holding it — the
+//! `INGEST -> JOURNAL` half of the cross-crate acquisition-order
+//! cycle (the other half lives in crates/trace/src/locks.rs).
+
+use magellan_trace::locks::{rotate_journal, INGEST};
+
+/// Admits one batch: takes the ingest gate, then rotates the journal
+/// under it. L1 must anchor the cycle at the `gate` acquisition and
+/// report both directions with their full chains.
+pub fn admit_batch() -> u32 {
+    let gate = INGEST.lock();
+    let rotated = rotate_journal();
+    drop(gate);
+    rotated
+}

@@ -1,0 +1,31 @@
+//! Raw-pointer micro-kernels for the U1 golden case: one `unsafe`
+//! block with no contract at all, one with an empty `SAFETY:`, and
+//! one properly named contract that satisfies the per-site rule —
+//! all three still count against the crate's unsafe budget (0 for
+//! magellan-graph, so the ratchet fires too).
+
+/// Sums a slice through its raw pointer (U1: no contract at all).
+pub fn raw_sum(xs: &[u64]) -> u64 {
+    let mut total = 0;
+    let ptr = xs.as_ptr();
+    let mut i = 0;
+    while i < xs.len() {
+        total += unsafe { *ptr.add(i) };
+        i += 1;
+    }
+    total
+}
+
+/// Reads the first element unchecked (U1: contract marker present
+/// but names no invariant).
+pub fn first_unchecked(xs: &[u64]) -> u64 {
+    // SAFETY:
+    unsafe { *xs.as_ptr() }
+}
+
+/// Reads the low byte of a word (contract named — the per-site rule
+/// is satisfied; the budget ratchet still counts the site).
+pub fn low_byte(x: &u32) -> u8 {
+    // SAFETY: a &u32 is four initialized readable bytes on every target
+    unsafe { *(x as *const u32).cast::<u8>() }
+}

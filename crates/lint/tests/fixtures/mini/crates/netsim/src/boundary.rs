@@ -1,0 +1,26 @@
+//! Pool-boundary hazards for the S1 golden case: a hand-written
+//! `Send` claim and a lock guard held across pool dispatch.
+
+use magellan_par::par_map_collect;
+// lint:allow(P1): fixture — S1 is under test here, not the lock itself
+use std::sync::Mutex;
+
+/// Telemetry sink shared with the pump thread.
+// lint:allow(P1): fixture — S1 is under test here, not the lock itself
+pub static TELEMETRY: Mutex<u32> = Mutex::new(0);
+
+/// Raw peer slot shipped across the pool boundary.
+pub struct PeerSlot(pub *mut u64);
+
+// The compiler can no longer check this claim — S1 must flag it.
+// lint:allow(U1): fixture — the S1 finding owns this site
+unsafe impl Send for PeerSlot {}
+
+/// Doubles peer ids while (wrongly) holding the telemetry guard
+/// across the dispatch: S1 flags the pool call, not the lock.
+pub fn degrees_under_guard(n: usize) -> Vec<usize> {
+    let sink = TELEMETRY.lock();
+    let out = par_map_collect(n, |i| i * 2);
+    drop(sink);
+    out
+}

@@ -3,3 +3,4 @@
 #![forbid(unsafe_code)]
 
 pub mod store;
+pub mod locks;

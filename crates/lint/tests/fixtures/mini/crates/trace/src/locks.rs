@@ -1,0 +1,46 @@
+//! Lock pair for the L1 golden case: the journal side of the
+//! cross-crate acquisition-order cycle (`JOURNAL -> INGEST` here;
+//! the reverse `INGEST -> JOURNAL` edge lives in
+//! crates/analysis/src/ingest.rs).
+
+// lint:allow(P1): fixture — the L1 cycle is under test, not the lock itself
+use std::sync::Mutex;
+
+/// Journal rotation guard.
+// lint:allow(P1): fixture — the L1 cycle is under test, not the lock itself
+pub static JOURNAL: Mutex<u32> = Mutex::new(0);
+
+/// Ingest admission gate, shared with `magellan-analysis`.
+// lint:allow(P1): fixture — the L1 cycle is under test, not the lock itself
+pub static INGEST: Mutex<u32> = Mutex::new(0);
+
+/// Rotates the journal under `JOURNAL` — the far end of the
+/// ingest-side call chain.
+pub fn rotate_journal() -> u32 {
+    let guard = JOURNAL.lock();
+    if let Ok(v) = guard {
+        *v
+    } else {
+        0
+    }
+}
+
+/// Flushes under `JOURNAL`, then re-checks admission while the guard
+/// is still live: `INGEST` acquired under `JOURNAL`, the reverse of
+/// the order `admit_batch` uses.
+pub fn flush_and_admit() -> u32 {
+    let held = JOURNAL.lock();
+    let admitted = admit();
+    drop(held);
+    admitted
+}
+
+/// Admission check: acquires `INGEST`.
+fn admit() -> u32 {
+    let gate = INGEST.lock();
+    if let Ok(v) = gate {
+        *v
+    } else {
+        1
+    }
+}

@@ -11,7 +11,8 @@
 //!    gate's self-test exercises both.
 
 use magellan_lint::{
-    default_unwrap_budgets, find_workspace_root, lint_sources, lint_workspace, Config, SourceFile,
+    default_unsafe_budgets, default_unwrap_budgets, find_workspace_root, lint_sources,
+    lint_workspace, Config, SourceFile,
 };
 use std::path::{Path, PathBuf};
 
@@ -161,6 +162,85 @@ fn injected_lock_is_detected() {
 }
 
 #[test]
+fn injected_lock_order_cycle_is_detected() {
+    // Two functions take the same two lock classes in opposite orders;
+    // only the lock-order graph (L1) can see the cycle.
+    let src = parse(
+        "crates/netsim/src/injected.rs",
+        "pub fn ab() {\n    let a = ALPHA.lock();\n    let b = BETA.lock();\n    drop(b);\n    drop(a);\n}\n\npub fn ba() {\n    let b = BETA.lock();\n    let a = ALPHA.lock();\n    drop(a);\n    drop(b);\n}\n",
+    );
+    let report = lint_sources(&[src], &Config::default());
+    let l1: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule.id() == "L1")
+        .collect();
+    assert_eq!(l1.len(), 1, "{:?}", report.violations);
+    let m = &l1[0].message;
+    assert!(m.contains("`ALPHA` -> `BETA` -> `ALPHA`"), "{m}");
+    assert!(m.contains("ab()"), "{m}");
+    assert!(m.contains("ba()"), "{m}");
+}
+
+#[test]
+fn injected_unsafe_without_contract_is_detected() {
+    let src = parse(
+        "crates/graph/src/injected.rs",
+        "pub fn first(xs: &[u32]) -> u32 {\n    unsafe { *xs.as_ptr() }\n}\n",
+    );
+    let ids = rule_ids(&[src], &Config::default());
+    assert!(ids.contains(&"U1".to_owned()), "got {ids:?}");
+
+    // A named contract satisfies the per-site rule; the only remaining
+    // U1 is the budget ratchet (magellan-graph's budget is 0).
+    let contracted = parse(
+        "crates/graph/src/injected.rs",
+        "pub fn first(xs: &[u32]) -> u32 {\n    // SAFETY: caller guarantees xs is non-empty\n    unsafe { *xs.as_ptr() }\n}\n",
+    );
+    let report = lint_sources(&[contracted], &Config::default());
+    let u1: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule.id() == "U1")
+        .collect();
+    assert_eq!(u1.len(), 1, "{u1:?}");
+    assert!(u1[0].message.contains("over its audited budget"), "{u1:?}");
+}
+
+#[test]
+fn injected_guard_across_pool_call_is_detected() {
+    let src = parse(
+        "crates/analysis/src/injected.rs",
+        "pub fn f(n: usize) -> Vec<usize> {\n    let g = STATE.lock();\n    let out = magellan_par::par_map_collect(n, |i| i);\n    drop(g);\n    out\n}\n",
+    );
+    let report = lint_sources(&[src], &Config::default());
+    let s1: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule.id() == "S1")
+        .collect();
+    assert_eq!(s1.len(), 1, "{:?}", report.violations);
+    assert!(
+        s1[0].message.contains("guard of `STATE`")
+            && s1[0]
+                .message
+                .contains("held across pool call `par_map_collect`"),
+        "{}",
+        s1[0].message
+    );
+}
+
+#[test]
+fn injected_manual_send_impl_is_detected() {
+    let src = parse(
+        "crates/overlay/src/injected.rs",
+        "pub struct Slot(pub *mut u8);\n\nunsafe impl Sync for Slot {}\n",
+    );
+    let ids = rule_ids(&[src], &Config::default());
+    assert!(ids.contains(&"S1".to_owned()), "got {ids:?}");
+}
+
+#[test]
 fn injected_index_arithmetic_is_detected() {
     let src = parse(
         "crates/graph/src/injected.rs",
@@ -232,6 +312,18 @@ fn default_budgets_cover_every_workspace_crate() {
         budgets.get("magellan-lint"),
         Some(&0),
         "the lint crate leads by example"
+    );
+    let unsafe_budgets = default_unsafe_budgets();
+    assert_eq!(
+        unsafe_budgets.get("magellan-par"),
+        Some(&4),
+        "the pool's four lifetime-erasure sites are the only audited unsafe"
+    );
+    assert!(
+        unsafe_budgets
+            .iter()
+            .all(|(k, v)| k == "magellan-par" || *v == 0),
+        "every other crate stays at an unsafe budget of zero: {unsafe_budgets:?}"
     );
 }
 

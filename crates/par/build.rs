@@ -1,0 +1,10 @@
+//! Declares `loom` as an expected `--cfg` flag so the loom model
+//! suite (`RUSTFLAGS="--cfg loom" cargo test -p magellan-par --test
+//! loom`) builds without `unexpected_cfgs` warnings while ordinary
+//! builds keep the lint armed for genuine typos.
+
+fn main() {
+    // Single-colon syntax: the workspace MSRV (1.75) predates the
+    // `cargo::` form.
+    println!("cargo:rustc-check-cfg=cfg(loom)");
+}

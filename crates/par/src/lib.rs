@@ -73,6 +73,38 @@ use std::sync::OnceLock;
 #[allow(unsafe_code)]
 mod pool;
 
+/// The instantiable pool queue, exported only for the loom model
+/// suite (`tests/loom.rs`, built with `RUSTFLAGS="--cfg loom"`) so it
+/// can construct and model-check fresh queues. Production callers go
+/// through [`par_map_collect`] / [`join`] and never see this type.
+#[cfg(loom)]
+pub use pool::{Job, Queue};
+
+/// A point-in-time snapshot of the process-wide worker pool, for
+/// debug/metadata reporting (the bench harness embeds it in
+/// `BENCH_metrics.json`). Both fields are racy observations: the pool
+/// keeps running while you look at it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads successfully spawned — 0 until the first
+    /// parallel call creates the pool, then fixed for the process.
+    pub workers: usize,
+    /// Jobs currently enqueued and not yet claimed by any worker or
+    /// waiting submitter.
+    pub queue_depth: usize,
+}
+
+/// Snapshots the worker pool without forcing it into existence: a
+/// process that never crossed the parallel cutoff reports
+/// `{ workers: 0, queue_depth: 0 }`.
+pub fn pool_stats() -> PoolStats {
+    let (workers, queue_depth) = pool::stats();
+    PoolStats {
+        workers,
+        queue_depth,
+    }
+}
+
 /// Programmatic thread-count override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
@@ -326,6 +358,30 @@ mod tests {
         // A coarse grain keeps even large inputs inline.
         assert!(effective_workers_grained(8_000, 8_192) == 0);
         set_threads(0);
+    }
+
+    #[test]
+    fn pool_stats_reports_workers_after_first_dispatch() {
+        let _g = lock();
+        if host_cores() < 2 {
+            // A single-core host runs everything inline and never
+            // spawns the pool; nothing to observe.
+            return;
+        }
+        set_threads(4);
+        // Force at least one real pool dispatch, then snapshot.
+        let got = par_map_collect(4 * PAR_CUTOFF, |i| i);
+        set_threads(0);
+        assert_eq!(got.len(), 4 * PAR_CUTOFF);
+        let stats = pool_stats();
+        assert!(
+            stats.workers >= 1 && stats.workers <= host_cores(),
+            "workers = {}",
+            stats.workers
+        );
+        // Depth is racy (other tests may be dispatching); only its
+        // availability is asserted here.
+        let _ = stats.queue_depth;
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! `host_cores() - 1` of them (minimum 1), because the submitting caller
 //! always executes chunk 0 itself. They park on a condvar when the queue
 //! is empty and live for the rest of the process; a sequential program
-//! that never crosses the parallel cutoff never spawns them.
+//! that never crosses the parallel cutoff never spawns them. The
+//! process-wide queue is never shut down — [`Queue::shutdown`] exists
+//! for the model-checked instances the loom suite constructs (below).
 //!
 //! # Determinism
 //!
@@ -37,6 +39,19 @@
 //! each `par_map_collect`) cannot strand work on the queue even when
 //! every pool worker is blocked inside a nested wait.
 //!
+//! # Model checking
+//!
+//! The queue/shutdown/waiting-caller protocol is an instantiable type
+//! ([`Queue`]) rather than free functions over a global, so the loom
+//! suite (`tests/loom.rs`, built with `RUSTFLAGS="--cfg loom"`) can
+//! construct fresh queues and model-check the protocol: shutdown must
+//! drain every submitted job and wake parked workers, and concurrent
+//! stealers must claim each job exactly once. Under `cfg(loom)` the
+//! `Mutex`/`Condvar` below come from the vendored `loom` façade, which
+//! injects deterministic yields at every sync operation and converts
+//! lost-wakeup hangs into panics; the production build uses `std`
+//! directly and compiles the shim away.
+//!
 //! # Safety
 //!
 //! `std` offers no safe way to run a borrowing closure on a thread that
@@ -50,35 +65,140 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
-use std::sync::{Condvar, Mutex, MutexGuard, Once, OnceLock, PoisonError};
+use std::sync::{Once, OnceLock, PoisonError};
+
+#[cfg(loom)]
+use loom::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(not(loom))]
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// A lifetime-erased unit of work. Every job is wrapped in
 /// `catch_unwind` by its submitter before erasure, so running one never
 /// unwinds into the worker loop.
-type Job = Box<dyn FnOnce() + Send + 'static>;
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Everything guarded by the queue mutex: the FIFO of pending jobs and
+/// the shutdown flag. Keeping the flag under the same mutex as the
+/// jobs is what makes the condvar protocol lost-wakeup-free — a worker
+/// only parks after observing (under the lock) that there is no job
+/// *and* no shutdown, and [`Queue::shutdown`] flips the flag under
+/// that same lock before notifying.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
 
 /// The shared FIFO job queue workers and waiting submitters drain.
-struct Queue {
-    jobs: Mutex<VecDeque<Job>>,
+///
+/// Instantiable so the loom suite can model-check the protocol on
+/// fresh instances; production uses one process-wide [`Queue`] (see
+/// [`queue`]) that is never shut down.
+pub struct Queue {
+    state: Mutex<QueueState>,
     ready: Condvar,
 }
 
-/// Locks the job list, recovering from poisoning (jobs never unwind
-/// while holding the lock, but a defensive recovery keeps one broken
-/// test from cascading).
-fn lock_jobs(q: &Queue) -> MutexGuard<'_, VecDeque<Job>> {
-    q.jobs.lock().unwrap_or_else(PoisonError::into_inner)
+impl Default for Queue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
+
+impl Queue {
+    /// An empty queue, accepting jobs, not shut down.
+    pub fn new() -> Self {
+        Queue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Locks the queue state, recovering from poisoning (jobs never
+    /// unwind while holding the lock, but a defensive recovery keeps
+    /// one broken test from cascading).
+    fn lock_state(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues a job and wakes one parked worker.
+    pub fn submit(&self, job: Job) {
+        self.lock_state().jobs.push_back(job);
+        self.ready.notify_one();
+    }
+
+    /// Claims one queued job without blocking, for submitters helping
+    /// while they wait.
+    pub fn try_steal(&self) -> Option<Job> {
+        self.lock_state().jobs.pop_front()
+    }
+
+    /// The number of jobs currently queued and unclaimed — a point-in-
+    /// time snapshot for debug metadata, stale by the time it returns.
+    pub fn len(&self) -> usize {
+        self.lock_state().jobs.len()
+    }
+
+    /// Whether the queue currently holds no unclaimed jobs.
+    ///
+    /// Callers: the loom suite (via the `cfg(loom)` re-export) and
+    /// the unit tests — the production build never asks.
+    #[cfg_attr(not(any(test, loom)), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Worker body: pop a job or park until one arrives. Returns only
+    /// after [`Queue::shutdown`] *and* the queue has been drained — a
+    /// worker never abandons accepted jobs. The production workers run
+    /// this on a never-shut-down queue, so they live for the process.
+    pub fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut state = self.lock_state();
+                loop {
+                    if let Some(job) = state.jobs.pop_front() {
+                        break job;
+                    }
+                    if state.shutdown {
+                        return;
+                    }
+                    state = self
+                        .ready
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            job();
+        }
+    }
+
+    /// Asks every worker to exit once the queue is drained. Jobs
+    /// already submitted still run ([`Queue::worker_loop`] drains
+    /// before exiting); used by the loom suite — the production queue
+    /// is never shut down.
+    #[cfg_attr(not(any(test, loom)), allow(dead_code))]
+    pub fn shutdown(&self) {
+        self.lock_state().shutdown = true;
+        self.ready.notify_all();
+    }
+}
+
+/// The process-wide queue, created on first use by [`queue`].
+static Q: OnceLock<Queue> = OnceLock::new();
+/// One-shot guard for spawning the process-wide workers.
+static SPAWN: Once = Once::new();
+/// How many pool workers were actually spawned (0 until the first
+/// parallel call; spawn failures shrink the count, never block it).
+static WORKERS: AtomicUsize = AtomicUsize::new(0);
 
 /// The process-wide queue, spawning the workers on first use.
 fn queue() -> &'static Queue {
-    static Q: OnceLock<Queue> = OnceLock::new();
-    static SPAWN: Once = Once::new();
-    let q = Q.get_or_init(|| Queue {
-        jobs: Mutex::new(VecDeque::new()),
-        ready: Condvar::new(),
-    });
+    let q = Q.get_or_init(Queue::new);
     SPAWN.call_once(|| {
         // The caller of every fork-join runs chunk 0 itself, so
         // `cores - 1` workers saturate the host; the minimum of one
@@ -88,41 +208,23 @@ fn queue() -> &'static Queue {
             // A failed spawn only shrinks the pool: waiting submitters
             // drain the queue themselves, so progress never depends on
             // any worker existing.
-            let _ = std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("magellan-par-{i}"))
-                .spawn(move || worker_loop(q));
+                .spawn(move || q.worker_loop());
+            if spawned.is_ok() {
+                WORKERS.fetch_add(1, Ordering::Relaxed);
+            }
         }
     });
     q
 }
 
-/// Worker body: pop a job or park until one arrives. Runs forever;
-/// workers die only with the process.
-fn worker_loop(q: &'static Queue) {
-    loop {
-        let job = {
-            let mut jobs = lock_jobs(q);
-            loop {
-                if let Some(job) = jobs.pop_front() {
-                    break job;
-                }
-                jobs = q.ready.wait(jobs).unwrap_or_else(PoisonError::into_inner);
-            }
-        };
-        job();
-    }
-}
-
-/// Enqueues a job and wakes one parked worker.
-fn submit(q: &Queue, job: Job) {
-    lock_jobs(q).push_back(job);
-    q.ready.notify_one();
-}
-
-/// Claims one queued job without blocking, for submitters helping
-/// while they wait.
-fn try_steal(q: &Queue) -> Option<Job> {
-    lock_jobs(q).pop_front()
+/// `(worker count, queue depth)` of the process-wide pool, without
+/// forcing it into existence: `(0, 0)` until the first parallel call
+/// spawns the workers. Feeds [`crate::pool_stats`].
+pub(crate) fn stats() -> (usize, usize) {
+    let depth = Q.get().map_or(0, Queue::len);
+    (WORKERS.load(Ordering::Relaxed), depth)
 }
 
 /// Erases the borrow lifetime of a job box so it can cross onto a
@@ -152,7 +254,7 @@ fn wait_step<R>(rx: &Receiver<R>, q: &Queue) -> Option<R> {
         Err(TryRecvError::Disconnected) => return None,
         Err(TryRecvError::Empty) => {}
     }
-    if let Some(job) = try_steal(q) {
+    if let Some(job) = q.try_steal() {
         job();
         return match rx.try_recv() {
             Ok(r) => Some(r),
@@ -192,7 +294,7 @@ where
         // SAFETY: this function collects every chunk result (or the
         // channel disconnect) below before returning, so the borrows of
         // `f` and `tx` captured by the job cannot outlive this frame.
-        submit(q, unsafe { erase(job) });
+        q.submit(unsafe { erase(job) });
     }
     drop(tx);
     let own = catch_unwind(AssertUnwindSafe(|| {
@@ -249,7 +351,7 @@ where
     // SAFETY: the wait loop below does not return until the job's
     // result (or the channel disconnect) arrives, so the borrows
     // captured by `fa` cannot outlive this frame.
-    submit(q, unsafe { erase(job) });
+    q.submit(unsafe { erase(job) });
     let b = catch_unwind(AssertUnwindSafe(fb));
     let a = match wait_step(&rx, q) {
         Some(result) => result,
@@ -353,5 +455,29 @@ mod tests {
         let view = data.as_slice();
         let partials = run_chunks(6, view.len(), &|i| view[i]);
         assert_eq!(partials.iter().sum::<u64>(), (0..50_000u64).sum());
+    }
+
+    #[test]
+    fn fresh_queue_drains_on_shutdown() {
+        // The protocol the loom suite model-checks, smoke-tested here
+        // on the plain std build: shutdown lets a worker drain every
+        // accepted job before exiting.
+        let q = std::sync::Arc::new(Queue::new());
+        let done = std::sync::Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let done = std::sync::Arc::clone(&done);
+            q.submit(Box::new(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        assert!(!q.is_empty());
+        let worker = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || q.worker_loop())
+        };
+        q.shutdown();
+        worker.join().expect("worker exits after shutdown");
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+        assert_eq!(q.len(), 0);
     }
 }

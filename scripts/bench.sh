@@ -14,9 +14,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> cargo build --release -p magellan-bench -p magellan-lint" >&2
-# The lint binary is benched too (cold/warm gate wall time), so build
-# it in release alongside the bench harness.
-cargo build --release -p magellan-bench --bin bench_metrics -p magellan-lint
+# The lint binary is benched too (cold/warm gate wall time). Built as
+# a separate invocation: `--bin bench_metrics` filters the target list
+# across *every* selected package, so a combined command would skip
+# the magellan-lint binary and time whatever stale build was lying
+# around.
+cargo build --release -p magellan-bench --bin bench_metrics
+cargo build --release -p magellan-lint
 
 echo "==> running bench_metrics (writes BENCH_metrics.json)" >&2
 # Stage into a temp file and rename so an interrupted run never leaves

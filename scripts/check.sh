@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Pre-PR gate for the Magellan workspace: formatting, clippy with
-# warnings denied, the magellan-lint pass (line rules, D4 taint, and
-# the H2/H3/P2 hot-path cost analysis), and the test suite. Run from
-# anywhere inside the repo.
+# warnings denied, the magellan-lint pass (line rules, D4 taint, the
+# H2/H3/P2 hot-path cost analysis, and the L1/S1/U1 concurrency
+# pass), the test suite, and a loom smoke over the worker pool. Run
+# from anywhere inside the repo.
 #
 # The two advisory clippy lints (unwrap_used, indexing_slicing) are
 # allowed here on purpose: their enforced counterpart is magellan-lint's
@@ -54,6 +55,16 @@ cargo test -q -p magellan-graph --lib incremental
 
 stage "cargo test"
 cargo test -q --workspace
+
+stage "loom smoke (pool queue/shutdown protocol)"
+# A bounded-iteration pass over the worker-pool model tests: the
+# cfg(loom) shim swaps the pool's std primitives for the in-tree
+# schedule-perturbing stand-in (vendor/loom), so shutdown draining,
+# parked-worker wakeup, and steal races get exercised under many
+# interleavings. The nightly workflow runs the full-iteration suite
+# plus Miri; this is the fail-early version (DESIGN.md §10).
+RUSTFLAGS="--cfg loom" LOOM_MAX_ITER=16 \
+    cargo test -q -p magellan-par --test loom
 
 stage "fault-schedule smoke"
 # A 0.05x-scale study under the combined stress schedule (tracker +

@@ -1,0 +1,90 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! The build container has no access to crates.io, so this façade
+//! mirrors the small slice of loom's API the `magellan-par` model
+//! suite uses (`loom::model`, `loom::thread`, `loom::sync`). It is
+//! **not** an exhaustive model checker: where real loom enumerates
+//! every reachable interleaving under the C11 memory model, this
+//! stand-in re-runs the closure under *bounded deterministic schedule
+//! perturbation* — each [`model`] iteration reseeds an FNV-1a
+//! sequence that decides, at every synchronization touch point
+//! (lock, condvar wait/notify, spawn), whether to inject an OS-level
+//! yield. Different seeds push the real scheduler through different
+//! interleavings, so protocol bugs (lost wakeups, double-claims,
+//! shutdown races) get many distinct executions per test run instead
+//! of one.
+//!
+//! Two properties make hangs and races *fail* instead of wedging CI:
+//!
+//! * [`sync::Condvar::wait`] bounds each wait at five seconds and
+//!   panics on timeout — a lost wakeup becomes a red test, not a hung
+//!   job.
+//! * The yield decisions are a pure function of `(iteration, touch
+//!   counter)`, so a failing seed reproduces locally with the same
+//!   `LOOM_MAX_ITER`.
+//!
+//! Swapping in real loom later needs no source changes in the model
+//! suite: the API subset here matches loom 0.7 (`model` takes
+//! `Fn() + Send + Sync + 'static`, `sync::Mutex::lock` returns a
+//! `LockResult`, etc.). The iteration bound comes from the
+//! `LOOM_MAX_ITER` environment variable (default 64), mirroring
+//! loom's own `LOOM_MAX_BRANCHES`-style env knobs.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod sync;
+pub mod thread;
+
+mod sched;
+
+/// Runs `f` repeatedly — `LOOM_MAX_ITER` times, default 64 — under a
+/// fresh deterministic yield schedule per iteration.
+///
+/// Real loom explores interleavings exhaustively; this stand-in
+/// explores a bounded pseudo-random sample of OS schedules. The
+/// closure bounds match loom 0.7 so call sites are source-compatible.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let iterations = std::env::var("LOOM_MAX_ITER")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64);
+    for iteration in 0..iterations {
+        sched::reseed(iteration);
+        f();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn model_runs_the_default_iteration_count() {
+        static RUNS: AtomicUsize = AtomicUsize::new(0);
+        // LOOM_MAX_ITER may be set by an outer harness; accept any
+        // positive count but require the loop to actually repeat the
+        // closure.
+        super::model(|| {
+            RUNS.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(RUNS.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn perturbed_threads_still_join() {
+        super::model(|| {
+            let flag = crate::sync::Arc::new(AtomicUsize::new(0));
+            let t = {
+                let flag = crate::sync::Arc::clone(&flag);
+                crate::thread::spawn(move || flag.store(7, Ordering::SeqCst))
+            };
+            t.join().expect("spawned thread completes");
+            assert_eq!(flag.load(Ordering::SeqCst), 7);
+        });
+    }
+}

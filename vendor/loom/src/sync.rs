@@ -1,0 +1,116 @@
+//! Mirror of `loom::sync`: std primitives wrapped with yield
+//! injection at every acquire/wait/notify, plus a bounded condvar
+//! wait that turns lost wakeups into panics instead of hangs.
+
+use std::time::Duration;
+
+pub use std::sync::{Arc, LockResult, MutexGuard, PoisonError};
+
+/// Re-export of std atomics (real loom models these; the stand-in
+/// relies on the host's actual atomics, which is sound — just not
+/// exhaustive).
+pub mod atomic {
+    pub use std::sync::atomic::*;
+}
+
+/// How long [`Condvar::wait`] blocks before declaring the wakeup
+/// lost. Model-suite critical sections are microseconds long; five
+/// seconds of silence means the notify never came.
+const WAIT_BOUND: Duration = Duration::from_secs(5);
+
+/// A mutex that touches the yield schedule before every acquisition.
+/// API-compatible with `std::sync::Mutex` (and loom 0.7): `lock`
+/// returns a [`LockResult`] over the std guard.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wraps `value` in a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock after a scheduled yield decision, so the
+    /// winner of a contended acquire varies across model iterations.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        crate::sched::yield_point();
+        self.0.lock()
+    }
+}
+
+/// A condition variable with yield injection on wait/notify and a
+/// bounded wait: if no notification arrives within [`WAIT_BOUND`],
+/// the wait panics — a lost-wakeup bug fails the test instead of
+/// hanging the suite (real loom reports the same situation as a
+/// deadlocked execution).
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// A new condition variable.
+    pub fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Releases `guard` and blocks until notified (or panics after
+    /// [`WAIT_BOUND`] — see the type docs). Spurious wakeups are
+    /// possible, exactly as with `std`.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        crate::sched::yield_point();
+        match self.0.wait_timeout(guard, WAIT_BOUND) {
+            Ok((reacquired, timeout)) => {
+                assert!(
+                    !timeout.timed_out(),
+                    "loom (vendored): condvar wait exceeded {WAIT_BOUND:?} — \
+                     lost wakeup or deadlock in the modeled protocol"
+                );
+                Ok(reacquired)
+            }
+            Err(poisoned) => {
+                let (reacquired, _) = poisoned.into_inner();
+                Err(PoisonError::new(reacquired))
+            }
+        }
+    }
+
+    /// Wakes one waiter, after a scheduled yield decision (so the
+    /// notify can land before or after a racing wait across model
+    /// iterations).
+    pub fn notify_one(&self) {
+        crate::sched::yield_point();
+        self.0.notify_one();
+    }
+
+    /// Wakes every waiter, after a scheduled yield decision.
+    pub fn notify_all(&self) {
+        crate::sched::yield_point();
+        self.0.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waker = {
+            let pair = Arc::clone(&pair);
+            crate::thread::spawn(move || {
+                let (flag, cv) = &*pair;
+                *flag.lock().unwrap_or_else(PoisonError::into_inner) = true;
+                cv.notify_all();
+            })
+        };
+        let (flag, cv) = &*pair;
+        let mut ready = flag.lock().unwrap_or_else(PoisonError::into_inner);
+        while !*ready {
+            ready = cv.wait(ready).unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(ready);
+        waker.join().expect("waker thread");
+    }
+}

@@ -1,0 +1,19 @@
+//! Mirror of `loom::thread`: real OS threads with yield points
+//! injected at spawn boundaries.
+
+pub use std::thread::{yield_now, JoinHandle};
+
+/// Spawns a real OS thread, touching the yield schedule on both sides
+/// of the spawn so the parent/child race is perturbed across model
+/// iterations.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    crate::sched::yield_point();
+    std::thread::spawn(move || {
+        crate::sched::yield_point();
+        f()
+    })
+}
