@@ -40,8 +40,11 @@ use std::path::PathBuf;
 const UPLINK_CAPACITY: usize = 1 << 16;
 
 /// Version tag of the durable-study checkpoint body (the pipeline
-/// extras wrapped around the simulator checkpoint).
-const EXTRAS_VERSION: u32 = 1;
+/// extras wrapped around the simulator checkpoint). Version 2 added
+/// the uplink retry/backoff counters (`attempts`, `backoff_capped`,
+/// `dropped_permanent`); version-1 checkpoints are rejected and the
+/// driver cold-starts.
+const EXTRAS_VERSION: u32 = 2;
 
 /// Durability knobs of one [`DurableStudy`].
 #[derive(Debug, Clone)]
@@ -131,6 +134,9 @@ fn encode_body(extras: &Extras, sim: &[u8]) -> Vec<u8> {
         extras.uplink.retransmitted,
         extras.uplink.dropped_overflow,
         extras.uplink.rejected,
+        extras.uplink.attempts,
+        extras.uplink.backoff_capped,
+        extras.uplink.dropped_permanent,
     ] {
         put_u64(&mut out, v);
     }
@@ -174,6 +180,9 @@ fn decode_body(body: &[u8]) -> Option<(Extras, SimCheckpoint)> {
         retransmitted: u64_at()?,
         dropped_overflow: u64_at()?,
         rejected: u64_at()?,
+        attempts: u64_at()?,
+        backoff_capped: u64_at()?,
+        dropped_permanent: u64_at()?,
     };
     let mut u32_at = || -> Option<u32> { Some(u32::from_be_bytes(take(4)?.try_into().ok()?)) };
     let n = u32_at()? as usize;
@@ -419,6 +428,10 @@ impl DurableStudy {
         })?;
         let mut report = acc.finish();
         report.recovery = Some(recovery);
+        // Archives written by the networked `magellan-traced` service
+        // leave an INGEST sidecar with the service-side accounting;
+        // fold it in so replay surfaces shed/lost datagrams.
+        report.ingest = magellan_trace::service::read_ingest_stats(&self.archive_dir())?;
         Ok(report)
     }
 }
@@ -613,6 +626,9 @@ mod tests {
                 retransmitted: 7,
                 dropped_overflow: 8,
                 rejected: 9,
+                attempts: 10,
+                backoff_capped: 11,
+                dropped_permanent: 12,
             },
             queue: vec![],
         };

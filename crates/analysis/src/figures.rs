@@ -457,6 +457,10 @@ pub struct StudyReport {
     /// but reports as live, so interrupted and uninterrupted runs
     /// render identically).
     pub recovery: Option<magellan_trace::RecoveryReport>,
+    /// Networked-ingest accounting when the archive was produced by a
+    /// `magellan-traced` service (read from its `INGEST` sidecar;
+    /// None for in-process archives).
+    pub ingest: Option<magellan_trace::IngestStats>,
 }
 
 impl StudyReport {
@@ -535,6 +539,23 @@ impl StudyReport {
                 rc.corrupt_regions,
                 rc.bytes_quarantined,
                 if rc.truncated_tail { "yes" } else { "no" }
+            );
+        }
+        if let Some(ig) = &self.ingest {
+            let _ = writeln!(
+                out,
+                "Ingest — {} client(s) sent {} | admitted {} | deduped {} | shed busy {} | rejected {} | malformed {} | late {} | lost {} | merges {} | balanced {}",
+                ig.clients,
+                ig.sent,
+                ig.admitted,
+                ig.deduped,
+                ig.shed_busy,
+                ig.rejected,
+                ig.malformed,
+                ig.late,
+                ig.lost,
+                ig.merges,
+                if ig.balanced() { "yes" } else { "NO" }
             );
         }
         out

@@ -3,7 +3,9 @@
 //! Times the hot topology kernels on Watts–Strogatz graphs at three
 //! scales, at 1 worker and 8 workers (via `magellan_par::set_threads`),
 //! against the legacy `DiGraph`-walking implementations they replaced,
-//! plus the end-to-end latency of one study sample instant. Emits one
+//! the `magellan-traced` ingest admission path (reports/sec through
+//! one sans-I/O shard), plus the end-to-end latency of one study
+//! sample instant. Emits one
 //! JSON document on stdout; `scripts/bench.sh` redirects it to
 //! `BENCH_metrics.json`.
 //!
@@ -14,13 +16,15 @@
 //! beat threads=1).
 
 use magellan_analysis::study::MagellanStudy;
-use magellan_bench::quick_study;
+use magellan_bench::{bench_trace, quick_study, BENCH_DAYS};
 use magellan_graph::clustering::clustering_coefficient_csr;
 use magellan_graph::kcore::core_decomposition_csr;
 use magellan_graph::paths::{average_path_length_csr, PathSampling, PathTreatment, UNREACHABLE};
 use magellan_graph::random::watts_strogatz;
 use magellan_graph::reciprocity::garlaschelli_reciprocity_csr;
 use magellan_graph::{Csr, CsrDelta, DiGraph, IncrementalTopology, NodeId};
+use magellan_netsim::SimTime;
+use magellan_trace::Shard;
 use std::collections::VecDeque;
 use std::hint::black_box;
 use std::time::Instant;
@@ -256,6 +260,34 @@ fn main() {
         });
     }
 
+    // Service ingest throughput — the per-datagram admission path of
+    // magellan-traced (wire decode + window/dedup checks + bounded
+    // pending queue), measured sans-I/O on one shard so the number is
+    // pure CPU cost, not socket overhead. Each timed pass replays the
+    // whole bench window through a fresh shard and drains it once at
+    // the end, i.e. one full seal cycle. reports/sec is per shard;
+    // the service scales it by --shards until the wire saturates.
+    eprintln!("service ingest throughput ...");
+    let ingest_payloads: Vec<Vec<u8>> = bench_trace()
+        .store
+        .reports()
+        .iter()
+        .map(|r| magellan_trace::wire::encode(r).to_vec())
+        .collect();
+    let ingest_window_end = SimTime::at(BENCH_DAYS, 0, 0);
+    let ns_per_report = time_ns(|| {
+        let mut shard = Shard::new(ingest_window_end, 1 << 20);
+        for p in &ingest_payloads {
+            black_box(shard.ingest_wire(black_box(p)));
+        }
+        black_box(shard.drain_below(ingest_window_end));
+    }) / ingest_payloads.len() as f64;
+    let ingest = (
+        ingest_payloads.len(),
+        ns_per_report,
+        1e9 / ns_per_report.max(1.0),
+    );
+
     // Lint-gate wall time — the fixed cost every scripts/check.sh run
     // pays. One cold run (incremental cache deleted) and one warm run
     // (cache reused); the gap is what the cache buys. Rows are empty
@@ -337,6 +369,10 @@ fn main() {
     out.push_str("  \"legacy_baseline\": [\n");
     out.push_str(&emit(&legacy_rows));
     out.push_str("\n  ],\n");
+    out.push_str(&format!(
+        "  \"service_ingest\": {{\"reports\": {}, \"ns_per_report\": {:.1}, \"reports_per_sec\": {:.0}}},\n",
+        ingest.0, ingest.1, ingest.2
+    ));
     out.push_str("  \"lint_gate\": [\n");
     out.push_str(
         &lint_rows

@@ -47,18 +47,19 @@ use std::collections::BTreeMap;
 /// and the per-sample metric surface. `magellan-par` is deliberately
 /// absent — its chunk buffers and scoped spawns *are* the sanctioned
 /// parallelism cost, proven worthwhile by the bench baselines.
-const COST_GOVERNED: [&str; 5] = [
+const COST_GOVERNED: [&str; 6] = [
     "magellan-overlay",
     "magellan-netsim",
     "magellan-workload",
     "magellan-graph",
     "magellan-analysis",
+    "magellan-trace",
 ];
 
 /// Built-in hot entry points (`(crate, fn)`), independent of source
 /// markers: the per-tick driver, the per-sample study surface, and the
 /// Csr kernel surface the study fans out to via `magellan-par`.
-const HOT_REGISTRY: [(&str, &str); 15] = [
+const HOT_REGISTRY: [(&str, &str); 17] = [
     ("magellan-overlay", "tick_once"),
     ("magellan-analysis", "finalize_boundary"),
     ("magellan-graph", "local_clustering_csr"),
@@ -74,6 +75,10 @@ const HOT_REGISTRY: [(&str, &str); 15] = [
     ("magellan-graph", "assess_csr"),
     ("magellan-graph", "apply_delta"),
     ("magellan-graph", "sync_snapshot"),
+    // The networked service's per-datagram admission path: every
+    // report a client puts on the wire goes through these.
+    ("magellan-trace", "ingest_wire"),
+    ("magellan-trace", "ingest_payload"),
 ];
 
 /// Allocation needles that cost on every execution: method/macro

@@ -276,6 +276,11 @@ fn strip_to_code(text: &str) -> (Vec<String>, Vec<String>) {
                 }
             }
             Mode::Str => match c {
+                // A line-continuation backslash must not swallow the
+                // newline — eating it would shift every later line
+                // number, detaching `lint:allow` comments from their
+                // lines.
+                '\\' if next == Some('\n') => emit!(blank, 1),
                 '\\' => emit!(blank, 2),
                 '"' => {
                     mode = Mode::Code;
@@ -450,6 +455,18 @@ mod tests {
     fn escaped_quote_in_string() {
         let src = parse("let s = \"a\\\"b\"; let t = HashMap::new();\n");
         assert!(src.code[0].contains("HashMap::new()"));
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_numbering() {
+        // A `\` at the end of a string-literal line continues the
+        // literal on the next source line; both source lines must
+        // survive in every view or later annotations detach.
+        let text = "let s = \"one \\\n         two\";\nlet m = Mutex::new(());\n";
+        let src = parse(text);
+        assert_eq!(src.raw.len(), 3);
+        assert_eq!(src.code.len(), 3, "continuation swallowed a line");
+        assert!(src.code[2].contains("Mutex::new"));
     }
 
     #[test]

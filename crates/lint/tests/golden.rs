@@ -63,16 +63,23 @@ fn transitive_d4_chain_crosses_the_crate_boundary() {
         .iter()
         .filter(|v| v.rule.id() == "D4")
         .collect();
-    assert_eq!(d4.len(), 1, "{d4:?}");
-    let m = &d4[0].message;
+    assert_eq!(d4.len(), 2, "{d4:?}");
+    // The cross-crate chain anchors at the analysis entry point...
+    let cross = d4
+        .iter()
+        .find(|v| v.file == Path::new("crates/analysis/src/metrics.rs"))
+        .expect("chain must anchor at the entry point");
+    let m = &cross.message;
     assert!(m.contains("total_report_id()"), "{m}");
     assert!(m.contains("freshest_reports()"), "{m}");
     assert!(m.contains("crates/trace/src/store.rs:12"), "{m}");
-    assert!(
-        d4[0].file == Path::new("crates/analysis/src/metrics.rs"),
-        "chain must anchor at the entry point, got {:?}",
-        d4[0].file
-    );
+    // ...and the trace crate, itself an entry crate, reports the same sink
+    // directly from its own public surface.
+    let direct = d4
+        .iter()
+        .find(|v| v.file == Path::new("crates/trace/src/store.rs"))
+        .expect("trace entry crate must report its own public chain");
+    assert!(direct.message.contains("freshest_reports"), "{direct:?}");
 }
 
 #[test]

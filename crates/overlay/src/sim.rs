@@ -493,16 +493,16 @@ impl OverlaySim {
     /// between the report builder and the §3.2 schema).
     pub fn run_collecting(&mut self) -> Result<(TraceStore, SimSummary), SimError> {
         let window_end = self.scenario.calendar.window_end();
-        let server =
+        let mut server =
             TraceServer::with_downtime(window_end, self.scenario.faults.server_outages.clone());
         let mut uplink = ReportUplink::new(1 << 16);
         let summary = self.run(|r| {
             let now = r.time;
-            uplink.send(r, now, &server);
+            uplink.send(r, now, &mut server);
         })?;
         // The real collector kept listening past the window: drain
         // whatever the last outage left buffered.
-        uplink.flush(window_end, &server);
+        uplink.flush(window_end, &mut server);
         if uplink.stats().rejected > 0 {
             return Err(SimError::ReportRejected {
                 reason: "validating trace server rejected a simulated report".into(),

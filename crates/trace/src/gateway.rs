@@ -27,7 +27,7 @@ pub trait ReportGateway {
     fn submit_report(&mut self, report: PeerReport, now: SimTime) -> Result<(), SubmitError>;
 }
 
-impl ReportGateway for &TraceServer {
+impl ReportGateway for TraceServer {
     fn submit_report(&mut self, report: PeerReport, now: SimTime) -> Result<(), SubmitError> {
         self.submit_at(report, now)
     }
@@ -89,6 +89,42 @@ impl GatewayCore {
     pub fn mark_seen(&mut self, report: &PeerReport) {
         self.seen
             .insert((report.addr.as_u32(), report.time.as_millis()));
+    }
+
+    /// Whether this `(peer, timestamp)` identity was already admitted
+    /// — the sharded service distinguishes a straggler duplicate
+    /// (absorb idempotently) from a straggler fresh report (shed as
+    /// [`SubmitError::Late`]) with this.
+    pub fn contains(&self, report: &PeerReport) -> bool {
+        self.seen
+            .contains(&(report.addr.as_u32(), report.time.as_millis()))
+    }
+
+    /// Counts one rejection that happened before admission could run
+    /// (e.g. a datagram that failed wire decoding).
+    pub fn note_rejected(&mut self) {
+        self.stats.rejected += 1;
+    }
+
+    /// The end of the collection window this endpoint accepts.
+    pub fn window_end(&self) -> SimTime {
+        self.window_end
+    }
+
+    /// Drops dedup entries with `timestamp < below`, bounding the
+    /// memory of a long-running endpoint. Retransmissions of pruned
+    /// identities are no longer recognized as duplicates, so callers
+    /// must only prune behind a frontier old enough that in-flight
+    /// retries have drained (the service keeps a retention horizon of
+    /// whole merge windows behind the sealed frontier).
+    pub fn prune_seen_below(&mut self, below: SimTime) {
+        let cut = below.as_millis();
+        self.seen.retain(|&(_, t)| t >= cut);
+    }
+
+    /// Number of live dedup entries — memory-bound observability.
+    pub fn seen_len(&self) -> usize {
+        self.seen.len()
     }
 
     /// Current accounting.

@@ -129,7 +129,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            self.err(format!("expected '{}'", c as char))
+            self.err(format!("expected '{}'", c as char)) // lint:allow(H2): parse-error path — allocates the diagnostic once, never per record
         }
     }
 

@@ -26,8 +26,18 @@
 //! * [`server`] — the standalone trace server collecting reports,
 //!   with scheduled-downtime windows and `(peer, timestamp)`
 //!   deduplication of retransmitted reports.
+//! * [`codec`] — the networked service's message vocabulary: one
+//!   message per UDP datagram, length-prefixed frames over TCP.
+//! * [`shard`] — one shard of the sharded admission pipeline: an
+//!   owned [`GatewayCore`] plus a bounded pending buffer with
+//!   `Busy`/`Late` shedding and balanced per-shard accounting.
+//! * [`service`] — the sans-I/O service brain: client registry,
+//!   window-barrier merge sequencing, and the [`IngestStats`] sidecar
+//!   (`magellan-traced` is the thin socket shell around it).
 //! * [`uplink`] — the peer-side bounded store-and-forward queue that
-//!   buffers reports across server downtime and retransmits them.
+//!   buffers reports across server downtime and retransmits them,
+//!   and the networked [`NetUplink`] client shell with
+//!   capped-exponential retry.
 //! * [`store`] — the trace store with 10-minute bucketing and range
 //!   queries.
 //! * [`snapshot`] — reconstruction of "continuous-time snapshots of
@@ -68,12 +78,15 @@ pub mod archive;
 pub mod atomicio;
 pub mod buffer;
 pub mod checkpoint;
+pub mod codec;
 pub mod gateway;
 pub mod jsonl;
 pub mod loss;
 pub mod report;
 pub mod segment;
 pub mod server;
+pub mod service;
+pub mod shard;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
@@ -83,12 +96,16 @@ pub mod wire;
 pub use archive::{ArchiveConfig, ArchiveWriter, RecoveryReport};
 pub use atomicio::atomic_write;
 pub use buffer::BufferMap;
+pub use codec::{ClientMsg, FrameReader, ReplyMsg};
 pub use gateway::{GatewayCore, ReportGateway};
 pub use report::{
     PartnerRecord, PeerReport, ACTIVE_SEGMENT_THRESHOLD, FIRST_REPORT_DELAY, REPORT_INTERVAL,
 };
 pub use server::{ServerStats, SubmitError, TraceServer};
+pub use service::{ClientRegistry, IngestStats, ServiceCore};
+pub use shard::{shard_of, Shard, ShardStats};
 pub use snapshot::{Snapshot, SnapshotBuilder};
 pub use stats::TraceStats;
 pub use store::TraceStore;
-pub use uplink::{ReportUplink, UplinkStats};
+pub use uplink::{NetBackoff, NetUplink, ReportUplink, UplinkStats};
+pub use wire::StatusCode;

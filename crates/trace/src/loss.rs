@@ -35,7 +35,7 @@ pub struct LossStats {
 /// A lossy UDP path in front of a trace server.
 #[derive(Debug)]
 pub struct LossyCollector<'a> {
-    server: &'a TraceServer,
+    server: &'a mut TraceServer,
     drop_prob: f64,
     corrupt_prob: f64,
     rng: StdRng,
@@ -50,7 +50,7 @@ impl<'a> LossyCollector<'a> {
     /// # Panics
     ///
     /// Panics if either probability is outside `[0, 1]`.
-    pub fn new(server: &'a TraceServer, drop_prob: f64, corrupt_prob: f64, seed: u64) -> Self {
+    pub fn new(server: &'a mut TraceServer, drop_prob: f64, corrupt_prob: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&drop_prob), "drop_prob out of range");
         assert!(
             (0.0..=1.0).contains(&corrupt_prob),
@@ -125,8 +125,8 @@ mod tests {
 
     #[test]
     fn lossless_path_delivers_everything() {
-        let server = TraceServer::new(SimTime::at(1, 0, 0));
-        let mut chan = LossyCollector::new(&server, 0.0, 0.0, 1);
+        let mut server = TraceServer::new(SimTime::at(1, 0, 0));
+        let mut chan = LossyCollector::new(&mut server, 0.0, 0.0, 1);
         for i in 0..200 {
             chan.transmit(&report(i));
         }
@@ -139,8 +139,8 @@ mod tests {
 
     #[test]
     fn drop_rate_is_respected() {
-        let server = TraceServer::new(SimTime::at(1, 0, 0));
-        let mut chan = LossyCollector::new(&server, 0.3, 0.0, 2);
+        let mut server = TraceServer::new(SimTime::at(1, 0, 0));
+        let mut chan = LossyCollector::new(&mut server, 0.3, 0.0, 2);
         for i in 0..5_000 {
             chan.transmit(&report(i));
         }
@@ -152,8 +152,8 @@ mod tests {
 
     #[test]
     fn corruption_is_mostly_caught() {
-        let server = TraceServer::new(SimTime::at(1, 0, 0));
-        let mut chan = LossyCollector::new(&server, 0.0, 1.0, 3);
+        let mut server = TraceServer::new(SimTime::at(1, 0, 0));
+        let mut chan = LossyCollector::new(&mut server, 0.0, 1.0, 3);
         for i in 0..500 {
             chan.transmit(&report(i));
         }
@@ -169,27 +169,27 @@ mod tests {
 
     #[test]
     fn full_loss_delivers_nothing() {
-        let server = TraceServer::new(SimTime::at(1, 0, 0));
-        let mut chan = LossyCollector::new(&server, 1.0, 0.0, 4);
+        let mut server = TraceServer::new(SimTime::at(1, 0, 0));
+        let mut chan = LossyCollector::new(&mut server, 1.0, 0.0, 4);
         for i in 0..100 {
             chan.transmit(&report(i));
         }
-        assert!(server.is_empty());
         assert_eq!(chan.stats().dropped, 100);
+        assert!(server.is_empty());
     }
 
     #[test]
     #[should_panic(expected = "drop_prob")]
     fn rejects_invalid_probability() {
-        let server = TraceServer::new(SimTime::at(1, 0, 0));
-        let _ = LossyCollector::new(&server, 1.5, 0.0, 0);
+        let mut server = TraceServer::new(SimTime::at(1, 0, 0));
+        let _ = LossyCollector::new(&mut server, 1.5, 0.0, 0);
     }
 
     #[test]
     fn deterministic_per_seed() {
         let run = |seed| {
-            let server = TraceServer::new(SimTime::at(1, 0, 0));
-            let mut chan = LossyCollector::new(&server, 0.25, 0.1, seed);
+            let mut server = TraceServer::new(SimTime::at(1, 0, 0));
+            let mut chan = LossyCollector::new(&mut server, 0.25, 0.1, seed);
             for i in 0..1_000 {
                 chan.transmit(&report(i));
             }

@@ -3,17 +3,22 @@
 //! Peers fire UDP datagrams at a single collection endpoint; the
 //! server validates and stores them. This implementation accepts
 //! either decoded [`PeerReport`]s or raw datagrams (via
-//! [`TraceServer::submit_wire`]), is safe to share across threads, and
-//! counts what it rejects — datagram loss and corruption were facts of
-//! life for the real deployment too.
+//! [`TraceServer::submit_wire`]) and counts what it rejects —
+//! datagram loss and corruption were facts of life for the real
+//! deployment too.
+//!
+//! The server itself is single-threaded by design: admission lives in
+//! the sans-I/O [`crate::gateway::GatewayCore`] and concurrency is
+//! provided *around* it by the sharded service layer
+//! ([`crate::shard`], [`crate::service`]) — each shard owns its own
+//! admission state, so no lock guards the ingest hot path.
 
+use crate::gateway::GatewayCore;
 use crate::report::PeerReport;
 use crate::store::TraceStore;
 use crate::wire;
 use bytes::Buf;
 use magellan_netsim::{FaultWindow, SimTime};
-// lint:allow(P1): the server is the one real concurrent ingestion boundary — datagrams arrive from OS threads, and the protected store is only read after collection ends
-use parking_lot::Mutex;
 use std::error::Error;
 use std::fmt;
 
@@ -39,6 +44,22 @@ pub enum SubmitError {
         /// Arrival time of the rejected datagram.
         time: SimTime,
     },
+    /// The ingest path was saturated when the datagram arrived — a
+    /// shard queue or pending buffer was full. Transient: the sender
+    /// should back off and retransmit (see
+    /// [`crate::uplink::NetBackoff`]).
+    Busy {
+        /// Arrival time of the shed datagram.
+        time: SimTime,
+    },
+    /// The report belongs to a collection window the service has
+    /// already merged and sealed. Permanent for this report: the
+    /// archive is append-ordered, so the service sheds stragglers
+    /// rather than reordering history.
+    Late {
+        /// The sealed report timestamp.
+        time: SimTime,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -51,6 +72,15 @@ impl fmt::Display for SubmitError {
             SubmitError::Malformed(e) => write!(f, "malformed datagram: {e}"),
             SubmitError::Unavailable { time } => {
                 write!(f, "trace server down at {time}")
+            }
+            SubmitError::Busy { time } => {
+                write!(f, "ingest saturated at {time}, retry with backoff")
+            }
+            SubmitError::Late { time } => {
+                write!(
+                    f,
+                    "report timestamp {time} is behind the sealed merge frontier"
+                )
             }
         }
     }
@@ -85,27 +115,17 @@ pub struct ServerStats {
     pub duplicates: u64,
 }
 
-/// The trace collection endpoint.
+/// The trace collection endpoint: the [`GatewayCore`] admission rules
+/// in front of an in-memory [`TraceStore`].
+///
+/// Mutation is `&mut self` — there is no interior locking. Concurrent
+/// ingestion is the job of the sharded service layer
+/// ([`crate::service::ServiceCore`], `magellan-traced`), which runs
+/// one admission core per shard and merges at window boundaries.
 #[derive(Debug)]
 pub struct TraceServer {
-    window_end: SimTime,
-    /// Scheduled downtime; datagrams arriving inside any window
-    /// bounce with [`SubmitError::Unavailable`].
-    downtime: Vec<FaultWindow>,
-    /// Ingestion state. The vendored `parking_lot::Mutex` recovers
-    /// from poisoning explicitly (`PoisonError::into_inner`), so a
-    /// client thread that panics while holding the guard cannot wedge
-    /// ingestion for every later submitter — the store mutates one
-    /// whole report at a time, so the recovered state is at worst
-    /// missing the panicking client's report, never torn.
-    // lint:allow(P1): guards ingestion only; analysis drains the store into ordered structures after the lock is gone
-    inner: Mutex<Inner>,
-}
-
-#[derive(Debug)]
-struct Inner {
+    core: GatewayCore,
     store: TraceStore,
-    stats: ServerStats,
 }
 
 /// Partner lists beyond this length are implausible (bootstrap hands
@@ -154,13 +174,8 @@ impl TraceServer {
     /// sender (see [`crate::uplink::ReportUplink`]).
     pub fn with_downtime(window_end: SimTime, downtime: Vec<FaultWindow>) -> Self {
         TraceServer {
-            window_end,
-            downtime,
-            // lint:allow(P1): constructor of the ingestion lock justified on the field above
-            inner: Mutex::new(Inner {
-                store: TraceStore::new(),
-                stats: ServerStats::default(),
-            }),
+            core: GatewayCore::new(window_end, downtime),
+            store: TraceStore::new(),
         }
     }
 
@@ -172,7 +187,7 @@ impl TraceServer {
     /// Returns [`SubmitError`] and leaves the store untouched when
     /// the server is down at the report's timestamp or the report
     /// fails validation. Rejections are counted either way.
-    pub fn submit(&self, report: PeerReport) -> Result<(), SubmitError> {
+    pub fn submit(&mut self, report: PeerReport) -> Result<(), SubmitError> {
         let now = report.time;
         self.submit_at(report, now)
     }
@@ -186,29 +201,11 @@ impl TraceServer {
     ///
     /// As [`TraceServer::submit`], with downtime checked against
     /// `now` rather than the report's own timestamp.
-    pub fn submit_at(&self, report: PeerReport, now: SimTime) -> Result<(), SubmitError> {
-        if self.downtime.iter().any(|w| w.contains(now)) {
-            self.inner.lock().stats.unavailable += 1;
-            return Err(SubmitError::Unavailable { time: now });
+    pub fn submit_at(&mut self, report: PeerReport, now: SimTime) -> Result<(), SubmitError> {
+        if self.core.admit(&report, now)? {
+            self.store.push(report);
         }
-        let verdict = self.validate(&report);
-        // lint:allow(L1): name-merged false cycle — `TraceStore::push` shares a `len` node with `TraceServer::len`; the store never calls back into the server, and `inner` is this crate's only lock class
-        let mut inner = self.inner.lock();
-        match verdict {
-            Ok(()) => {
-                if inner.store.contains(report.addr, report.time) {
-                    inner.stats.duplicates += 1;
-                } else {
-                    inner.store.push(report);
-                    inner.stats.accepted += 1;
-                }
-                Ok(())
-            }
-            Err(e) => {
-                inner.stats.rejected += 1;
-                Err(e)
-            }
-        }
+        Ok(())
     }
 
     /// Decodes a datagram and submits it.
@@ -217,38 +214,34 @@ impl TraceServer {
     ///
     /// Returns [`SubmitError::Malformed`] on decode failure, else as
     /// [`TraceServer::submit`].
-    pub fn submit_wire(&self, mut datagram: impl Buf) -> Result<(), SubmitError> {
+    pub fn submit_wire(&mut self, mut datagram: impl Buf) -> Result<(), SubmitError> {
         match wire::decode(&mut datagram) {
             Ok(report) => self.submit(report),
             Err(e) => {
-                self.inner.lock().stats.rejected += 1;
+                self.core.note_rejected();
                 Err(e.into())
             }
         }
     }
 
-    fn validate(&self, report: &PeerReport) -> Result<(), SubmitError> {
-        validate_report(report, self.window_end)
-    }
-
     /// Current collection statistics.
     pub fn stats(&self) -> ServerStats {
-        self.inner.lock().stats
+        self.core.stats()
     }
 
     /// Number of stored reports so far.
     pub fn len(&self) -> usize {
-        self.inner.lock().store.len()
+        self.store.len()
     }
 
     /// Whether nothing has been stored.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.store.len() == 0
     }
 
     /// Consumes the server, yielding the store.
     pub fn into_store(self) -> TraceStore {
-        self.inner.into_inner().store
+        self.store
     }
 }
 
@@ -279,7 +272,7 @@ mod tests {
 
     #[test]
     fn accepts_valid_reports() {
-        let s = server();
+        let mut s = server();
         s.submit(report(20)).unwrap();
         s.submit(report(30)).unwrap();
         assert_eq!(s.len(), 2);
@@ -296,7 +289,7 @@ mod tests {
     #[test]
     fn downtime_bounces_datagrams_with_unavailable() {
         let down = FaultWindow::new(SimTime::at(0, 1, 0), SimTime::at(0, 2, 0));
-        let s = TraceServer::with_downtime(SimTime::at(14, 0, 0), vec![down]);
+        let mut s = TraceServer::with_downtime(SimTime::at(14, 0, 0), vec![down]);
         // 90 minutes in: inside the outage.
         assert!(matches!(
             s.submit(report(90)),
@@ -312,7 +305,7 @@ mod tests {
 
     #[test]
     fn duplicates_are_absorbed_idempotently() {
-        let s = server();
+        let mut s = server();
         s.submit(report(20)).unwrap();
         s.submit(report(20)).unwrap();
         s.submit(report(30)).unwrap();
@@ -323,7 +316,7 @@ mod tests {
 
     #[test]
     fn rejects_out_of_window() {
-        let s = server();
+        let mut s = server();
         let mut r = report(0);
         r.time = SimTime::at(20, 0, 0);
         assert!(matches!(s.submit(r), Err(SubmitError::OutOfWindow { .. })));
@@ -333,7 +326,7 @@ mod tests {
 
     #[test]
     fn rejects_negative_capacity() {
-        let s = server();
+        let mut s = server();
         let mut r = report(20);
         r.upload_capacity_kbps = -5.0;
         assert!(matches!(s.submit(r), Err(SubmitError::Implausible { .. })));
@@ -341,7 +334,7 @@ mod tests {
 
     #[test]
     fn rejects_self_partner() {
-        let s = server();
+        let mut s = server();
         let mut r = report(20);
         r.partners.push(crate::report::PartnerRecord {
             addr: r.addr,
@@ -355,7 +348,7 @@ mod tests {
 
     #[test]
     fn wire_path_roundtrips() {
-        let s = server();
+        let mut s = server();
         let datagram = crate::wire::encode(&report(25));
         s.submit_wire(datagram).unwrap();
         assert_eq!(s.len(), 1);
@@ -363,7 +356,7 @@ mod tests {
 
     #[test]
     fn wire_path_counts_garbage() {
-        let s = server();
+        let mut s = server();
         let garbage: &[u8] = &[1, 2, 3];
         assert!(matches!(
             s.submit_wire(garbage),
@@ -372,51 +365,35 @@ mod tests {
         assert_eq!(s.stats().rejected, 1);
     }
 
+    /// The old interior-Mutex server absorbed concurrent submissions
+    /// behind a lock; the rewritten server pushes that job to the
+    /// sharded service layer and stays single-threaded. This pins the
+    /// equivalent property at this level: interleaving many clients
+    /// through one `&mut` server preserves exact accounting.
     #[test]
-    fn concurrent_submission_is_safe() {
-        let s = std::sync::Arc::new(server());
-        let mut handles = Vec::new();
-        for t in 0..8 {
-            let s = s.clone();
-            handles.push(std::thread::spawn(move || {
-                for i in 0..500 {
-                    let mut r = report(20 + (i % 100));
-                    r.addr = PeerAddr::from_u32(t * 10_000 + i as u32);
-                    s.submit(r).unwrap();
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
+    fn interleaved_clients_preserve_accounting() {
+        let mut s = server();
+        for t in 0..8u32 {
+            for i in 0..500u32 {
+                let mut r = report(20 + u64::from(i % 100));
+                r.addr = PeerAddr::from_u32(t * 10_000 + i);
+                s.submit(r).unwrap();
+            }
         }
         assert_eq!(s.len(), 8 * 500);
         assert_eq!(s.stats().accepted, 4_000);
     }
 
-    /// A client thread that panics while holding the ingestion lock
-    /// must not wedge the server: the std mutex underneath is poisoned
-    /// by the unwinding thread, and the parking_lot shim's explicit
-    /// `PoisonError::into_inner` recovery keeps later submissions
-    /// flowing.
     #[test]
-    fn panicking_client_does_not_wedge_ingestion() {
-        let s = std::sync::Arc::new(server());
-        s.submit(report(10)).unwrap();
-        let poisoner = s.clone();
-        let crashed = std::thread::spawn(move || {
-            let _guard = poisoner.inner.lock();
-            panic!("client thread dies mid-ingestion");
-        })
-        .join();
-        assert!(crashed.is_err(), "the client thread really panicked");
-        s.submit(report(20)).unwrap();
-        assert_eq!(s.len(), 2);
-        assert_eq!(s.stats().accepted, 2);
+    fn busy_and_late_display_are_informative() {
+        let t = SimTime::at(0, 1, 0);
+        assert!(SubmitError::Busy { time: t }.to_string().contains("retry"));
+        assert!(SubmitError::Late { time: t }.to_string().contains("sealed"));
     }
 
     #[test]
     fn into_store_preserves_reports() {
-        let s = server();
+        let mut s = server();
         s.submit(report(20)).unwrap();
         let store = s.into_store();
         assert_eq!(store.len(), 1);

@@ -1,0 +1,619 @@
+//! The sans-I/O brain of the networked ingest service.
+//!
+//! `magellan-traced` is a thin socket shell; everything with protocol
+//! meaning lives here so it can be driven deterministically in tests:
+//!
+//! * [`ClientRegistry`] — who is participating, how far each client's
+//!   window marks have advanced, who has finished and how many report
+//!   datagrams they put on the wire;
+//! * [`ServiceCore`] — routes reports to [`Shard`]s, sequences the
+//!   window-boundary merges (a window seals only after *every*
+//!   client's mark passes it, so per-connection FIFO plus shard-queue
+//!   FIFO guarantee no report of that window is still in flight), and
+//!   reconciles the final [`IngestStats`];
+//! * [`IngestStats`] — the balanced service accounting, persisted
+//!   next to the archive as the `INGEST` sidecar so `magellan replay`
+//!   and `tracetool stats` can fold it into the [`StudyReport`]
+//!   without re-running the drill.
+//!
+//! The merge discipline is what keeps the networked run equal to the
+//! in-process study: each sealed window is sorted by `(time, addr)`
+//! and windows seal in increasing order, so the archive is globally
+//! `(time, addr)`-sorted — the canonical order the analysis
+//! accumulator is provably insensitive to (DESIGN.md §13).
+//!
+//! [`StudyReport`]: ../../magellan_analysis/figures/struct.StudyReport.html
+
+use crate::atomicio::atomic_write;
+use crate::codec::{peek_report_addr, ClientMsg, ReplyMsg};
+use crate::report::PeerReport;
+use crate::shard::{shard_of, Shard, ShardStats};
+use crate::wire::StatusCode;
+use magellan_netsim::SimTime;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// File name of the ingest-accounting sidecar, written next to the
+/// archive directory's segments.
+pub const INGEST_SIDECAR: &str = "INGEST";
+
+/// Service-wide ingest accounting: the sum of every shard's
+/// [`ShardStats`] plus the client-reported send counts that close the
+/// books. The balance identity is
+/// `sent == admitted + deduped + shed() + lost`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Clients that participated in the drill.
+    pub clients: u32,
+    /// Report datagrams clients put on the wire (sum of `Finish`
+    /// counts, retransmissions included).
+    pub sent: u64,
+    /// Fresh reports admitted and archived.
+    pub admitted: u64,
+    /// Duplicate retransmissions absorbed idempotently.
+    pub deduped: u64,
+    /// Reports shed with `Busy` under overload.
+    pub shed_busy: u64,
+    /// Reports rejected by validation.
+    pub rejected: u64,
+    /// Datagrams that failed wire decoding.
+    pub malformed: u64,
+    /// Fresh reports shed behind the sealed merge frontier.
+    pub late: u64,
+    /// Reports bounced by scheduled downtime (zero in service mode).
+    pub unavailable: u64,
+    /// Datagrams that left a client but never produced a server-side
+    /// classification — dropped in flight (UDP) or lost with a dying
+    /// connection. Derived: `sent - received()`.
+    pub lost: u64,
+    /// Window merges the coordinator sealed.
+    pub merges: u64,
+    /// Control messages that violated the protocol (unknown client
+    /// id, inconsistent client count) — drill debugging.
+    pub protocol_errors: u64,
+}
+
+impl IngestStats {
+    /// Everything the service classified (the receive-side total).
+    pub fn received(&self) -> u64 {
+        self.admitted
+            + self.deduped
+            + self.shed_busy
+            + self.rejected
+            + self.malformed
+            + self.late
+            + self.unavailable
+    }
+
+    /// Total shed/rejected datagrams — the `shed` term of the balance
+    /// identity.
+    pub fn shed(&self) -> u64 {
+        self.shed_busy + self.rejected + self.malformed + self.late + self.unavailable
+    }
+
+    /// Whether the books balance: every datagram a client sent is
+    /// admitted, deduped, shed, or lost.
+    pub fn balanced(&self) -> bool {
+        self.sent == self.admitted + self.deduped + self.shed() + self.lost
+    }
+
+    /// Renders the stable key-value sidecar format.
+    pub fn render(&self) -> String {
+        format!(
+            "ingest v1\nclients {}\nsent {}\nadmitted {}\ndeduped {}\nshed_busy {}\n\
+             rejected {}\nmalformed {}\nlate {}\nunavailable {}\nlost {}\nmerges {}\n\
+             protocol_errors {}\n",
+            self.clients,
+            self.sent,
+            self.admitted,
+            self.deduped,
+            self.shed_busy,
+            self.rejected,
+            self.malformed,
+            self.late,
+            self.unavailable,
+            self.lost,
+            self.merges,
+            self.protocol_errors,
+        )
+    }
+
+    /// Parses [`IngestStats::render`] output. `None` on any
+    /// structural mismatch.
+    pub fn parse(text: &str) -> Option<IngestStats> {
+        let mut lines = text.lines();
+        if lines.next()? != "ingest v1" {
+            return None;
+        }
+        let mut fields: BTreeMap<&str, u64> = BTreeMap::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once(' ')?;
+            fields.insert(key, value.parse().ok()?);
+        }
+        let mut get = |k: &str| fields.remove(k);
+        Some(IngestStats {
+            clients: u32::try_from(get("clients")?).ok()?,
+            sent: get("sent")?,
+            admitted: get("admitted")?,
+            deduped: get("deduped")?,
+            shed_busy: get("shed_busy")?,
+            rejected: get("rejected")?,
+            malformed: get("malformed")?,
+            late: get("late")?,
+            unavailable: get("unavailable")?,
+            lost: get("lost")?,
+            merges: get("merges")?,
+            protocol_errors: get("protocol_errors")?,
+        })
+    }
+}
+
+/// Writes the ingest sidecar atomically into `archive_dir`.
+///
+/// # Errors
+///
+/// Filesystem I/O failure.
+pub fn write_ingest_stats(archive_dir: &Path, stats: &IngestStats) -> io::Result<()> {
+    atomic_write(&archive_dir.join(INGEST_SIDECAR), stats.render().as_bytes())
+}
+
+/// Reads the ingest sidecar from `archive_dir`; `Ok(None)` when the
+/// archive was not produced by the networked service (no sidecar) or
+/// the sidecar is unreadable as stats.
+///
+/// # Errors
+///
+/// Filesystem I/O failure other than the file not existing.
+pub fn read_ingest_stats(archive_dir: &Path) -> io::Result<Option<IngestStats>> {
+    match std::fs::read_to_string(archive_dir.join(INGEST_SIDECAR)) {
+        Ok(text) => Ok(IngestStats::parse(&text)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Participation bookkeeping: hellos, window marks, and finish counts
+/// of the drill's clients.
+#[derive(Debug)]
+pub struct ClientRegistry {
+    expected: u32,
+    marks: BTreeMap<u32, SimTime>,
+    finished: BTreeMap<u32, u64>,
+    protocol_errors: u64,
+}
+
+impl ClientRegistry {
+    /// A registry expecting `expected` clients (at least 1).
+    pub fn new(expected: u32) -> Self {
+        ClientRegistry {
+            expected: expected.max(1),
+            marks: BTreeMap::new(),
+            finished: BTreeMap::new(),
+            protocol_errors: 0,
+        }
+    }
+
+    fn valid_id(&mut self, client_id: u32) -> bool {
+        if client_id < self.expected {
+            true
+        } else {
+            self.protocol_errors += 1;
+            false
+        }
+    }
+
+    /// Registers a hello; the client starts with a mark at the
+    /// origin. A `clients` count disagreeing with the server's
+    /// configuration is a protocol error (the drill would deadlock on
+    /// a barrier the extra client never marks).
+    pub fn hello(&mut self, client_id: u32, clients: u32) {
+        if clients != self.expected || !self.valid_id(client_id) {
+            self.protocol_errors += 1;
+            return;
+        }
+        self.marks.entry(client_id).or_insert(SimTime::ORIGIN);
+    }
+
+    /// Advances a client's sent-everything-below frontier (marks
+    /// never regress).
+    pub fn mark(&mut self, client_id: u32, up_to: SimTime) {
+        if !self.valid_id(client_id) {
+            return;
+        }
+        let m = self.marks.entry(client_id).or_insert(SimTime::ORIGIN);
+        if up_to > *m {
+            *m = up_to;
+        }
+    }
+
+    /// Records a client's final datagram count.
+    pub fn finish(&mut self, client_id: u32, sent: u64) {
+        if !self.valid_id(client_id) {
+            return;
+        }
+        self.finished.insert(client_id, sent);
+    }
+
+    /// The barrier: the frontier below which *every* expected client
+    /// has sent everything. `None` until all clients said hello.
+    pub fn ready_below(&self) -> Option<SimTime> {
+        if self.marks.len() < self.expected as usize {
+            return None;
+        }
+        self.marks.values().min().copied()
+    }
+
+    /// Whether every expected client finished.
+    pub fn all_finished(&self) -> bool {
+        self.finished.len() >= self.expected as usize
+    }
+
+    /// Sum of the clients' reported datagram counts.
+    pub fn total_sent(&self) -> u64 {
+        self.finished.values().sum()
+    }
+
+    /// Protocol violations seen so far.
+    pub fn protocol_errors(&self) -> u64 {
+        self.protocol_errors
+    }
+}
+
+/// Merges per-shard `(time, addr)`-sorted batches into one sorted
+/// window batch.
+pub fn merge_sorted(batches: Vec<Vec<PeerReport>>) -> Vec<PeerReport> {
+    let mut merged: Vec<PeerReport> = batches.into_iter().flatten().collect();
+    // Identities are unique post-dedup, so the sort is a total order
+    // and unstable sorting is deterministic.
+    merged.sort_unstable_by_key(|r| (r.time, r.addr.as_u32()));
+    merged
+}
+
+/// The single-threaded reference composition of the service: shards,
+/// registry, and merge sequencing behind one `handle` entry point.
+///
+/// The `magellan-traced` shell distributes the same pieces across
+/// threads (one shard per worker, FIFO queues, a coordinator); this
+/// in-process core is the deterministic reference the integration
+/// tests compare that shell against, and the unit-test surface for
+/// the protocol itself.
+#[derive(Debug)]
+pub struct ServiceCore {
+    shards: Vec<Shard>,
+    registry: ClientRegistry,
+    window_end: SimTime,
+    merged_below: SimTime,
+    merges: u64,
+}
+
+impl ServiceCore {
+    /// A service over `shards` shards admitting reports with
+    /// `time < window_end`, each shard buffering at most
+    /// `pending_cap` admitted reports, expecting `clients` clients.
+    pub fn new(window_end: SimTime, shards: usize, pending_cap: usize, clients: u32) -> Self {
+        let shards = shards.max(1);
+        let shards = (0..shards)
+            .map(|_| Shard::new(window_end, pending_cap))
+            .collect(); // lint:allow(H2): construction — once per process, not per datagram
+        ServiceCore {
+            shards,
+            registry: ClientRegistry::new(clients),
+            window_end,
+            merged_below: SimTime::ORIGIN,
+            merges: 0,
+        }
+    }
+
+    /// Handles one client message: the reply to send back (reports
+    /// only) and the window batch this message sealed, if any, in
+    /// archive order.
+    pub fn handle(&mut self, msg: &ClientMsg) -> (Option<ReplyMsg>, Option<Vec<PeerReport>>) {
+        match msg {
+            ClientMsg::Hello { client_id, clients } => {
+                self.registry.hello(*client_id, *clients);
+                (None, None)
+            }
+            ClientMsg::Report { seq, payload } => {
+                let status = self.ingest_payload(payload);
+                (Some(ReplyMsg { seq: *seq, status }), None)
+            }
+            ClientMsg::WindowMark { client_id, up_to } => {
+                self.registry.mark(*client_id, *up_to);
+                (None, self.try_merge())
+            }
+            ClientMsg::Finish { client_id, sent } => {
+                self.registry.finish(*client_id, *sent);
+                (None, None)
+            }
+        }
+    }
+
+    /// Routes one report payload to its shard and ingests it.
+    pub fn ingest_payload(&mut self, payload: &[u8]) -> StatusCode {
+        // A payload too short to carry an address is malformed
+        // wherever it lands; charge it to shard 0.
+        let shard = peek_report_addr(payload)
+            .map(|addr| shard_of(addr, self.shards.len()))
+            .unwrap_or(0);
+        self.shards[shard].ingest_wire(payload)
+    }
+
+    fn try_merge(&mut self) -> Option<Vec<PeerReport>> {
+        let ready = self.registry.ready_below()?;
+        if ready <= self.merged_below {
+            return None;
+        }
+        let batches = self
+            .shards
+            .iter_mut()
+            .map(|s| s.drain_below(ready))
+            .collect();
+        self.merged_below = ready;
+        self.merges += 1;
+        Some(merge_sorted(batches))
+    }
+
+    /// Whether every expected client finished.
+    pub fn all_finished(&self) -> bool {
+        self.registry.all_finished()
+    }
+
+    /// Seals everything still pending (the final merge after all
+    /// clients finish) and returns the batch plus the reconciled
+    /// accounting. The service is done after this.
+    pub fn finalize(&mut self) -> (Vec<PeerReport>, IngestStats) {
+        let end = self.window_end;
+        let batches = self.shards.iter_mut().map(|s| s.drain_below(end)).collect();
+        let final_batch = merge_sorted(batches);
+        if !final_batch.is_empty() {
+            self.merges += 1;
+        }
+        self.merged_below = end;
+
+        let mut totals = ShardStats::default();
+        for s in &self.shards {
+            totals.absorb(&s.stats());
+        }
+        let sent = self.registry.total_sent();
+        let mut stats = IngestStats {
+            clients: self.registry.expected,
+            sent,
+            admitted: totals.admitted,
+            deduped: totals.deduped,
+            shed_busy: totals.shed_busy,
+            rejected: totals.rejected,
+            malformed: totals.malformed,
+            late: totals.late,
+            unavailable: totals.unavailable,
+            lost: 0,
+            merges: self.merges,
+            protocol_errors: self.registry.protocol_errors(),
+        };
+        stats.lost = sent.saturating_sub(stats.received());
+        (final_batch, stats)
+    }
+
+    /// Merge windows sealed so far.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Total reports buffered across all shards — overload
+    /// observability for the shell.
+    pub fn pending_len(&self) -> usize {
+        self.shards.iter().map(Shard::pending_len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferMap;
+    use crate::wire;
+    use magellan_netsim::{PeerAddr, SimDuration};
+    use magellan_workload::ChannelId;
+
+    fn report(ip: u32, minute: u64) -> PeerReport {
+        PeerReport {
+            time: SimTime::ORIGIN + SimDuration::from_mins(minute),
+            addr: PeerAddr::from_u32(ip),
+            channel: ChannelId::CCTV1,
+            buffer_map: BufferMap::new(0, 8),
+            download_capacity_kbps: 2000.0,
+            upload_capacity_kbps: 512.0,
+            recv_throughput_kbps: 400.0,
+            send_throughput_kbps: 50.0,
+            partners: vec![],
+        }
+    }
+
+    fn at_min(m: u64) -> SimTime {
+        SimTime::ORIGIN + SimDuration::from_mins(m)
+    }
+
+    fn send(core: &mut ServiceCore, seq: u64, r: &PeerReport) -> StatusCode {
+        let msg = ClientMsg::Report {
+            seq,
+            payload: wire::encode(r),
+        };
+        let (reply, batch) = core.handle(&msg);
+        assert!(batch.is_none(), "a report sealed a window");
+        let reply = reply.expect("reports are always answered");
+        assert_eq!(reply.seq, seq);
+        reply.status
+    }
+
+    fn mark(core: &mut ServiceCore, client: u32, minute: u64) -> Option<Vec<PeerReport>> {
+        let (reply, batch) = core.handle(&ClientMsg::WindowMark {
+            client_id: client,
+            up_to: at_min(minute),
+        });
+        assert!(reply.is_none());
+        batch
+    }
+
+    #[test]
+    fn windows_seal_only_behind_every_clients_mark() {
+        let mut core = ServiceCore::new(SimTime::at(1, 0, 0), 4, 1024, 2);
+        core.handle(&ClientMsg::Hello {
+            client_id: 0,
+            clients: 2,
+        });
+        core.handle(&ClientMsg::Hello {
+            client_id: 1,
+            clients: 2,
+        });
+        assert_eq!(send(&mut core, 1, &report(1, 5)), StatusCode::Ack);
+        assert_eq!(send(&mut core, 2, &report(2, 8)), StatusCode::Ack);
+        // Client 0 marks 10 — client 1 hasn't, nothing seals.
+        assert!(mark(&mut core, 0, 10).is_none());
+        // Client 1 marks 20 — barrier is min(10, 20) = 10.
+        let batch = mark(&mut core, 1, 20).expect("window sealed");
+        let addrs: Vec<u32> = batch.iter().map(|r| r.addr.as_u32()).collect();
+        assert_eq!(addrs, vec![1, 2]);
+        assert_eq!(core.merges(), 1);
+        // Client 0 catches up to 20: the next window seals.
+        assert_eq!(send(&mut core, 3, &report(3, 15)), StatusCode::Ack);
+        let batch = mark(&mut core, 0, 20).expect("second window sealed");
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn merged_batches_are_globally_sorted_across_shards() {
+        let mut core = ServiceCore::new(SimTime::at(1, 0, 0), 8, 1024, 1);
+        core.handle(&ClientMsg::Hello {
+            client_id: 0,
+            clients: 1,
+        });
+        // Interleave timestamps so shards hold out-of-order slices.
+        for (seq, ip) in (0u32..64).enumerate() {
+            let minute = u64::from(63 - ip) % 17;
+            assert_eq!(
+                send(&mut core, seq as u64, &report(ip + 1, minute)),
+                StatusCode::Ack
+            );
+        }
+        let batch = mark(&mut core, 0, 30).expect("window sealed");
+        assert_eq!(batch.len(), 64);
+        let keys: Vec<(u64, u32)> = batch
+            .iter()
+            .map(|r| (r.time.as_millis(), r.addr.as_u32()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "merge not (time, addr)-sorted");
+    }
+
+    #[test]
+    fn finalize_reconciles_lost_and_balances() {
+        let mut core = ServiceCore::new(SimTime::at(1, 0, 0), 2, 1024, 1);
+        core.handle(&ClientMsg::Hello {
+            client_id: 0,
+            clients: 1,
+        });
+        assert_eq!(send(&mut core, 0, &report(1, 5)), StatusCode::Ack);
+        assert_eq!(send(&mut core, 1, &report(1, 5)), StatusCode::AckDuplicate);
+        let (_, none) = core.handle(&ClientMsg::Report {
+            seq: 2,
+            payload: bytes::Bytes::from_static(&[9, 9]),
+        });
+        assert!(none.is_none());
+        // The client claims 5 datagrams sent; the service saw 3 —
+        // two were lost in flight.
+        core.handle(&ClientMsg::Finish {
+            client_id: 0,
+            sent: 5,
+        });
+        assert!(core.all_finished());
+        let (batch, stats) = core.finalize();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(
+            (stats.admitted, stats.deduped, stats.malformed, stats.lost),
+            (1, 1, 1, 2)
+        );
+        assert!(stats.balanced(), "{stats:?}");
+        assert_eq!(stats.received(), 3);
+    }
+
+    #[test]
+    fn protocol_errors_are_counted_not_fatal() {
+        let mut core = ServiceCore::new(SimTime::at(1, 0, 0), 1, 16, 2);
+        core.handle(&ClientMsg::Hello {
+            client_id: 0,
+            clients: 3,
+        }); // wrong count
+        core.handle(&ClientMsg::Hello {
+            client_id: 7,
+            clients: 2,
+        }); // bad id
+        core.handle(&ClientMsg::WindowMark {
+            client_id: 9,
+            up_to: at_min(10),
+        });
+        core.handle(&ClientMsg::Finish {
+            client_id: 0,
+            sent: 0,
+        });
+        core.handle(&ClientMsg::Finish {
+            client_id: 1,
+            sent: 0,
+        });
+        let (_, stats) = core.finalize();
+        assert!(stats.protocol_errors >= 3, "{stats:?}");
+        assert!(stats.balanced());
+    }
+
+    #[test]
+    fn sidecar_round_trips_and_survives_atomic_write() {
+        let stats = IngestStats {
+            clients: 3,
+            sent: 1000,
+            admitted: 900,
+            deduped: 40,
+            shed_busy: 30,
+            rejected: 5,
+            malformed: 4,
+            late: 1,
+            unavailable: 0,
+            lost: 20,
+            merges: 12,
+            protocol_errors: 0,
+        };
+        assert!(stats.balanced());
+        assert_eq!(IngestStats::parse(&stats.render()), Some(stats));
+        assert_eq!(IngestStats::parse("garbage"), None);
+        assert_eq!(IngestStats::parse("ingest v1\nclients x\n"), None);
+
+        let dir =
+            std::env::temp_dir().join(format!("magellan-ingest-sidecar-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        write_ingest_stats(&dir, &stats).unwrap();
+        assert_eq!(read_ingest_stats(&dir).unwrap(), Some(stats));
+        std::fs::remove_dir_all(&dir).unwrap();
+        let missing = std::env::temp_dir().join("magellan-ingest-sidecar-none");
+        assert_eq!(read_ingest_stats(&missing).unwrap(), None);
+    }
+
+    #[test]
+    fn marks_never_regress_and_barrier_is_min() {
+        let mut reg = ClientRegistry::new(2);
+        assert_eq!(reg.ready_below(), None);
+        reg.hello(0, 2);
+        reg.hello(1, 2);
+        assert_eq!(reg.ready_below(), Some(SimTime::ORIGIN));
+        reg.mark(0, at_min(30));
+        reg.mark(1, at_min(10));
+        assert_eq!(reg.ready_below(), Some(at_min(10)));
+        reg.mark(1, at_min(5)); // regression ignored
+        assert_eq!(reg.ready_below(), Some(at_min(10)));
+        assert!(!reg.all_finished());
+        reg.finish(0, 100);
+        reg.finish(1, 200);
+        assert!(reg.all_finished());
+        assert_eq!(reg.total_sent(), 300);
+    }
+}

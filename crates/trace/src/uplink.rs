@@ -8,13 +8,27 @@
 //! retransmissions by `(peer, timestamp)`, so a retry that raced a
 //! successful delivery is absorbed idempotently.
 
+use crate::codec::{self, ClientMsg};
 use crate::gateway::ReportGateway;
 use crate::report::PeerReport;
 use crate::server::{SubmitError, TraceServer};
+use crate::wire::{self, StatusCode};
+use bytes::Bytes;
 use magellan_netsim::SimTime;
-use std::collections::VecDeque;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs, UdpSocket};
+use std::time::Duration;
 
 /// Delivery accounting of one uplink.
+///
+/// The balance identity is `offered == delivered + rejected +
+/// dropped_overflow + dropped_permanent + pending()`: every report
+/// handed to the uplink is eventually delivered, rejected by the
+/// server, evicted, abandoned after exhausting its retry budget, or
+/// still buffered.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct UplinkStats {
     /// Reports handed to the uplink.
@@ -28,9 +42,35 @@ pub struct UplinkStats {
     /// Reports the server rejected on validation — retrying cannot
     /// help, so they are not buffered.
     pub rejected: u64,
+    /// Submission attempts that reached the gateway, including every
+    /// retransmission of the same report — `attempts - offered` is
+    /// the retry volume a run generated.
+    pub attempts: u64,
+    /// Backoff delays that hit the configured cap ([`NetBackoff`]);
+    /// the in-process [`ReportUplink`] never waits, so this only
+    /// moves on networked uplinks.
+    pub backoff_capped: u64,
+    /// Reports abandoned after exhausting their retry budget — the
+    /// networked uplink's terminal failure. The in-process
+    /// [`ReportUplink`] retries forever (its buffer is the budget),
+    /// so there this stays 0 and overflow eviction is the only loss.
+    pub dropped_permanent: u64,
 }
 
 /// A bounded store-and-forward queue in front of a [`TraceServer`].
+///
+/// # Eviction policy
+///
+/// The buffer holds at most `capacity` reports. When a report must be
+/// buffered and the queue is full, the **oldest** buffered report is
+/// evicted (counted in [`UplinkStats::dropped_overflow`]) and the new
+/// one joins the tail: during a long outage the uplink keeps the
+/// freshest window of reports, matching what the paper's clients did
+/// — stale topology snapshots age out of usefulness, recent ones are
+/// what the collector wants once it returns. Rejected reports are
+/// never buffered (retrying cannot fix validation), and buffered
+/// reports are only removed by delivery, rejection-on-retry, or this
+/// oldest-first eviction.
 #[derive(Debug)]
 pub struct ReportUplink {
     capacity: usize,
@@ -53,8 +93,8 @@ impl ReportUplink {
     /// flushed first so the server sees FIFO order; if the server is
     /// down the report joins the buffer (evicting the oldest entry on
     /// overflow).
-    pub fn send(&mut self, report: PeerReport, now: SimTime, server: &TraceServer) {
-        self.send_via(report, now, &mut &*server);
+    pub fn send(&mut self, report: PeerReport, now: SimTime, server: &mut TraceServer) {
+        self.send_via(report, now, server);
     }
 
     /// As [`ReportUplink::send`], for any [`ReportGateway`] backend —
@@ -75,9 +115,10 @@ impl ReportUplink {
             self.buffer(report);
             return;
         }
+        self.stats.attempts += 1;
         match gateway.submit_report(report.clone(), now) {
             Ok(()) => self.stats.delivered += 1,
-            Err(SubmitError::Unavailable { .. }) => self.buffer(report),
+            Err(SubmitError::Unavailable { .. } | SubmitError::Busy { .. }) => self.buffer(report),
             Err(_) => self.stats.rejected += 1,
         }
     }
@@ -85,14 +126,15 @@ impl ReportUplink {
     /// Retransmits buffered reports, oldest first, until the queue
     /// drains or the server bounces again. Returns how many were
     /// delivered by this call.
-    pub fn flush(&mut self, now: SimTime, server: &TraceServer) -> usize {
-        self.flush_via(now, &mut &*server)
+    pub fn flush(&mut self, now: SimTime, server: &mut TraceServer) -> usize {
+        self.flush_via(now, server)
     }
 
     /// As [`ReportUplink::flush`], for any [`ReportGateway`] backend.
     pub fn flush_via<G: ReportGateway>(&mut self, now: SimTime, gateway: &mut G) -> usize {
         let mut sent = 0;
         while let Some(front) = self.queue.front() {
+            self.stats.attempts += 1;
             match gateway.submit_report(front.clone(), now) {
                 Ok(()) => {
                     self.queue.pop_front();
@@ -100,7 +142,7 @@ impl ReportUplink {
                     self.stats.retransmitted += 1;
                     sent += 1;
                 }
-                Err(SubmitError::Unavailable { .. }) => break,
+                Err(SubmitError::Unavailable { .. } | SubmitError::Busy { .. }) => break,
                 Err(_) => {
                     self.queue.pop_front();
                     self.stats.rejected += 1;
@@ -144,6 +186,377 @@ impl ReportUplink {
     }
 }
 
+/// Capped-exponential retry schedule with deterministic equal-jitter.
+///
+/// Delay for retry `n` is drawn uniformly from `[raw/2, raw]` where
+/// `raw = min(cap, base << n)` — the "equal jitter" scheme: enough
+/// spread to desynchronise a fleet of clients hammering a saturated
+/// shard, while never collapsing to a zero delay. The jitter stream
+/// is seeded explicitly (fork one per client from the experiment
+/// seed), so a drill's retry timing is reproducible.
+#[derive(Debug)]
+pub struct NetBackoff {
+    base_ms: u64,
+    cap_ms: u64,
+    max_attempts: u32,
+    rng: StdRng,
+}
+
+impl NetBackoff {
+    /// A schedule starting at `base_ms`, capped at `cap_ms`, allowing
+    /// at most `max_attempts` transmissions of one report (all
+    /// parameters clamped to at least 1).
+    pub fn new(base_ms: u64, cap_ms: u64, max_attempts: u32, seed: u64) -> Self {
+        let base_ms = base_ms.max(1);
+        NetBackoff {
+            base_ms,
+            cap_ms: cap_ms.max(base_ms),
+            max_attempts: max_attempts.max(1),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Total transmissions allowed per report before it is abandoned
+    /// as [`UplinkStats::dropped_permanent`].
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// The jittered delay before retry number `retry` (1-based), and
+    /// whether the un-jittered delay hit the cap.
+    pub fn delay_ms(&mut self, retry: u32) -> (u64, bool) {
+        let shift = retry.min(20);
+        let raw = self
+            .base_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.cap_ms)
+            .max(1);
+        let capped = raw == self.cap_ms;
+        let half = raw / 2;
+        let span = raw - half + 1;
+        (half + self.rng.next_u64() % span, capped)
+    }
+}
+
+/// How many times UDP control messages (`Hello`, `WindowMark`,
+/// `Finish`) are repeated. They carry no sequence number and get no
+/// reply; all three are idempotent on the server, so blind repetition
+/// is the loss armour. Reports are never sent blind — they use
+/// stop-and-wait with [`NetBackoff`].
+pub const UDP_CONTROL_REDUNDANCY: usize = 3;
+
+/// Receive timeout for one UDP stop-and-wait round before the report
+/// is retransmitted.
+pub const UDP_REPLY_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Read timeout on the TCP reply stream — hitting it means the
+/// service died mid-drill, which surfaces as an I/O error rather than
+/// a hang.
+pub const TCP_REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+enum NetIo {
+    Tcp(TcpStream),
+    Udp(UdpSocket),
+}
+
+/// The networked client shell: speaks the [`codec`] vocabulary to a
+/// `magellan-traced` service over a real socket, with capped
+/// exponential retry on `Busy`/`Unavailable` and (UDP) on reply
+/// timeout.
+///
+/// Two transports, one accounting surface ([`UplinkStats`]):
+///
+/// * **TCP** — length-framed messages, pipelined: up to `window`
+///   reports are in flight before the client blocks reading replies
+///   (fixed-size [`codec::REPLY_LEN`]-byte records). `mark`/`finish`
+///   drain all outstanding replies first, which is what makes a
+///   `WindowMark` a true barrier: FIFO byte stream plus drained
+///   window means every covered report was already processed.
+/// * **UDP** — one message per datagram, stop-and-wait per report
+///   (matched by sequence number; stale replies are ignored), control
+///   messages repeated [`UDP_CONTROL_REDUNDANCY`] times.
+pub struct NetUplink {
+    io: NetIo,
+    client_id: u32,
+    next_seq: u64,
+    window: usize,
+    outstanding: BTreeMap<u64, (Bytes, u32)>,
+    backoff: NetBackoff,
+    stats: UplinkStats,
+}
+
+impl NetUplink {
+    /// Connects over TCP, says hello, and pipelines up to `window`
+    /// reports (at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Socket connect/configure/write failure.
+    pub fn connect_tcp<A: ToSocketAddrs>(
+        server: A,
+        client_id: u32,
+        clients: u32,
+        window: usize,
+        backoff: NetBackoff,
+    ) -> io::Result<Self> {
+        let stream = TcpStream::connect(server)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(TCP_REPLY_TIMEOUT))?;
+        let mut up = NetUplink {
+            io: NetIo::Tcp(stream),
+            client_id,
+            next_seq: 0,
+            window: window.max(1),
+            outstanding: BTreeMap::new(),
+            backoff,
+            stats: UplinkStats::default(),
+        };
+        up.send_control(&ClientMsg::Hello { client_id, clients })?;
+        Ok(up)
+    }
+
+    /// Connects over UDP (stop-and-wait) and says hello.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/connect/configure/send failure.
+    pub fn connect_udp<A: ToSocketAddrs>(
+        server: A,
+        client_id: u32,
+        clients: u32,
+        backoff: NetBackoff,
+    ) -> io::Result<Self> {
+        let sock = UdpSocket::bind(("0.0.0.0", 0))?;
+        sock.connect(server)?;
+        sock.set_read_timeout(Some(UDP_REPLY_TIMEOUT))?;
+        let mut up = NetUplink {
+            io: NetIo::Udp(sock),
+            client_id,
+            next_seq: 0,
+            window: 1,
+            outstanding: BTreeMap::new(),
+            backoff,
+            stats: UplinkStats::default(),
+        };
+        up.send_control(&ClientMsg::Hello { client_id, clients })?;
+        Ok(up)
+    }
+
+    fn send_control(&mut self, msg: &ClientMsg) -> io::Result<()> {
+        let body = codec::encode_client_msg(msg);
+        match &mut self.io {
+            NetIo::Tcp(stream) => stream.write_all(&codec::frame(&body)),
+            NetIo::Udp(sock) => {
+                for _ in 0..UDP_CONTROL_REDUNDANCY {
+                    sock.send(&body)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Offers one report for delivery. Retryable verdicts are retried
+    /// on the backoff schedule; permanent verdicts are counted and
+    /// dropped. An `Err` means the transport itself failed.
+    ///
+    /// # Errors
+    ///
+    /// Socket I/O failure or an undecodable reply stream.
+    pub fn send_report(&mut self, report: &PeerReport) -> io::Result<()> {
+        let payload = wire::encode(report);
+        self.stats.offered += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match self.io {
+            NetIo::Tcp(_) => {
+                self.transmit_tcp(seq, &payload, 1)?;
+                while self.outstanding.len() >= self.window {
+                    self.read_reply_tcp()?;
+                }
+                Ok(())
+            }
+            NetIo::Udp(_) => self.stop_and_wait_udp(seq, &payload),
+        }
+    }
+
+    fn transmit_tcp(&mut self, seq: u64, payload: &Bytes, count: u32) -> io::Result<()> {
+        self.stats.attempts += 1;
+        let body = codec::encode_client_msg(&ClientMsg::Report {
+            seq,
+            payload: payload.clone(),
+        });
+        let NetIo::Tcp(stream) = &mut self.io else {
+            debug_assert!(false, "transmit_tcp on a UDP uplink");
+            return Ok(());
+        };
+        stream.write_all(&codec::frame(&body))?;
+        self.outstanding.insert(seq, (payload.clone(), count));
+        Ok(())
+    }
+
+    fn read_reply_tcp(&mut self) -> io::Result<()> {
+        let reply = {
+            let NetIo::Tcp(stream) = &mut self.io else {
+                debug_assert!(false, "read_reply_tcp on a UDP uplink");
+                return Ok(());
+            };
+            let mut buf = [0u8; codec::REPLY_LEN];
+            stream.read_exact(&mut buf)?;
+            codec::decode_reply(&mut &buf[..])
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+        };
+        // A reply to a sequence we no longer track (e.g. a duplicate)
+        // is ignorable noise.
+        let Some((payload, count)) = self.outstanding.remove(&reply.seq) else {
+            return Ok(());
+        };
+        if reply.status.is_delivered() {
+            self.stats.delivered += 1;
+            if count > 1 {
+                self.stats.retransmitted += 1;
+            }
+        } else if reply.status.is_retryable() {
+            if count >= self.backoff.max_attempts() {
+                self.stats.dropped_permanent += 1;
+            } else {
+                let (delay, capped) = self.backoff.delay_ms(count);
+                if capped {
+                    self.stats.backoff_capped += 1;
+                }
+                std::thread::sleep(Duration::from_millis(delay));
+                self.transmit_tcp(reply.seq, &payload, count + 1)?;
+            }
+        } else {
+            self.stats.rejected += 1;
+        }
+        Ok(())
+    }
+
+    fn stop_and_wait_udp(&mut self, seq: u64, payload: &Bytes) -> io::Result<()> {
+        let datagram = codec::encode_client_msg(&ClientMsg::Report {
+            seq,
+            payload: payload.clone(),
+        });
+        let mut count = 0u32;
+        loop {
+            count += 1;
+            self.stats.attempts += 1;
+            let verdict = {
+                let NetIo::Udp(sock) = &mut self.io else {
+                    debug_assert!(false, "stop_and_wait_udp on a TCP uplink");
+                    return Ok(());
+                };
+                sock.send(&datagram)?;
+                recv_matching_reply(sock, seq)?
+            };
+            match verdict {
+                Some(status) if status.is_delivered() => {
+                    self.stats.delivered += 1;
+                    if count > 1 {
+                        self.stats.retransmitted += 1;
+                    }
+                    return Ok(());
+                }
+                Some(status) if status.is_retryable() => {}
+                Some(_) => {
+                    self.stats.rejected += 1;
+                    return Ok(());
+                }
+                // Reply timeout: the datagram or its reply was lost.
+                None => {}
+            }
+            if count >= self.backoff.max_attempts() {
+                self.stats.dropped_permanent += 1;
+                return Ok(());
+            }
+            let (delay, capped) = self.backoff.delay_ms(count);
+            if capped {
+                self.stats.backoff_capped += 1;
+            }
+            std::thread::sleep(Duration::from_millis(delay));
+        }
+    }
+
+    /// Drains every outstanding TCP reply (no-op on UDP, where
+    /// stop-and-wait leaves nothing in flight).
+    ///
+    /// # Errors
+    ///
+    /// Socket I/O failure or an undecodable reply stream.
+    pub fn flush_outstanding(&mut self) -> io::Result<()> {
+        while !self.outstanding.is_empty() {
+            self.read_reply_tcp()?;
+        }
+        Ok(())
+    }
+
+    /// Declares that every report with `time < up_to` has been
+    /// offered. Outstanding replies are drained first, so by the time
+    /// the mark reaches the service every covered report has been
+    /// classified — the barrier the window merge relies on.
+    ///
+    /// # Errors
+    ///
+    /// Socket I/O failure or an undecodable reply stream.
+    pub fn mark(&mut self, up_to: SimTime) -> io::Result<()> {
+        self.flush_outstanding()?;
+        let client_id = self.client_id;
+        self.send_control(&ClientMsg::WindowMark { client_id, up_to })
+    }
+
+    /// Drains outstanding replies, reports the total datagram count
+    /// (`sent == attempts`, the server's reconciliation input), and
+    /// returns the final accounting.
+    ///
+    /// # Errors
+    ///
+    /// Socket I/O failure or an undecodable reply stream.
+    pub fn finish(mut self) -> io::Result<UplinkStats> {
+        self.flush_outstanding()?;
+        let client_id = self.client_id;
+        let sent = self.stats.attempts;
+        self.send_control(&ClientMsg::Finish { client_id, sent })?;
+        Ok(self.stats)
+    }
+
+    /// Delivery accounting so far.
+    pub fn stats(&self) -> UplinkStats {
+        self.stats
+    }
+
+    /// Reports currently awaiting a TCP reply.
+    pub fn pending(&self) -> usize {
+        self.outstanding.len()
+    }
+}
+
+fn recv_matching_reply(sock: &UdpSocket, seq: u64) -> io::Result<Option<StatusCode>> {
+    // Bound the stale-reply drain so a flood of late duplicates
+    // cannot pin us in this loop past the retry schedule.
+    for _ in 0..64 {
+        let mut buf = [0u8; 64];
+        match sock.recv(&mut buf) {
+            Ok(n) => {
+                if let Ok(reply) = codec::decode_reply(&mut buf.get(..n).unwrap_or(&[])) {
+                    if reply.seq == seq {
+                        return Ok(Some(reply.status));
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(None)
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(None)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,9 +591,9 @@ mod tests {
 
     #[test]
     fn delivers_directly_when_server_is_up() {
-        let server = downtime_server();
+        let mut server = downtime_server();
         let mut up = ReportUplink::new(8);
-        up.send(report(1, 20), at_min(20), &server);
+        up.send(report(1, 20), at_min(20), &mut server);
         assert_eq!(up.pending(), 0);
         assert_eq!(up.stats().delivered, 1);
         assert_eq!(server.len(), 1);
@@ -188,14 +601,14 @@ mod tests {
 
     #[test]
     fn buffers_across_downtime_and_retransmits_in_order() {
-        let server = downtime_server();
+        let mut server = downtime_server();
         let mut up = ReportUplink::new(8);
-        up.send(report(1, 35), at_min(35), &server);
-        up.send(report(2, 45), at_min(45), &server);
+        up.send(report(1, 35), at_min(35), &mut server);
+        up.send(report(2, 45), at_min(45), &mut server);
         assert_eq!(up.pending(), 2);
         assert_eq!(server.len(), 0);
         // Server back at minute 60: next send flushes backlog first.
-        up.send(report(3, 65), at_min(65), &server);
+        up.send(report(3, 65), at_min(65), &mut server);
         assert_eq!(up.pending(), 0);
         let st = up.stats();
         assert_eq!(st.delivered, 3);
@@ -211,14 +624,14 @@ mod tests {
 
     #[test]
     fn overflow_drops_oldest() {
-        let server = downtime_server();
+        let mut server = downtime_server();
         let mut up = ReportUplink::new(2);
         for (ip, minute) in [(1, 31), (2, 40), (3, 50)] {
-            up.send(report(ip, minute), at_min(minute), &server);
+            up.send(report(ip, minute), at_min(minute), &mut server);
         }
         assert_eq!(up.pending(), 2);
         assert_eq!(up.stats().dropped_overflow, 1);
-        assert_eq!(up.flush(at_min(61), &server), 2);
+        assert_eq!(up.flush(at_min(61), &mut server), 2);
         let addrs: Vec<u32> = server
             .into_store()
             .reports()
@@ -230,13 +643,13 @@ mod tests {
 
     #[test]
     fn retransmitted_duplicates_are_absorbed() {
-        let server = downtime_server();
+        let mut server = downtime_server();
         let mut up = ReportUplink::new(8);
         // Delivered once directly…
-        up.send(report(1, 20), at_min(20), &server);
+        up.send(report(1, 20), at_min(20), &mut server);
         // …and offered again (e.g. an ack was lost): the server
         // absorbs the duplicate, the uplink still counts delivery.
-        up.send(report(1, 20), at_min(21), &server);
+        up.send(report(1, 20), at_min(21), &mut server);
         assert_eq!(server.len(), 1);
         assert_eq!(server.stats().duplicates, 1);
         assert_eq!(up.stats().delivered, 2);
@@ -244,12 +657,184 @@ mod tests {
 
     #[test]
     fn validation_failures_are_not_buffered() {
-        let server = downtime_server();
+        let mut server = downtime_server();
         let mut up = ReportUplink::new(8);
         let mut bad = report(1, 20);
         bad.recv_throughput_kbps = f64::NAN;
-        up.send(bad, at_min(20), &server);
+        up.send(bad, at_min(20), &mut server);
         assert_eq!(up.pending(), 0);
         assert_eq!(up.stats().rejected, 1);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_jittered_and_capped() {
+        let mut a = NetBackoff::new(4, 100, 8, 42);
+        let mut b = NetBackoff::new(4, 100, 8, 42);
+        let delays: Vec<(u64, bool)> = (1..=8).map(|n| a.delay_ms(n)).collect();
+        let again: Vec<(u64, bool)> = (1..=8).map(|n| b.delay_ms(n)).collect();
+        assert_eq!(delays, again, "same seed must give same schedule");
+        for (i, (d, capped)) in delays.iter().enumerate() {
+            let raw = (4u64 << (i + 1)).min(100);
+            assert!(
+                *d >= raw / 2 && *d <= raw,
+                "delay {d} outside [{}, {raw}]",
+                raw / 2
+            );
+            assert_eq!(*capped, raw == 100);
+        }
+        let mut c = NetBackoff::new(4, 100, 8, 7);
+        let other: Vec<(u64, bool)> = (1..=8).map(|n| c.delay_ms(n)).collect();
+        assert_ne!(delays, other, "different seeds should jitter apart");
+    }
+
+    // A minimal in-test service: one accepted connection or UDP
+    // socket driven through a ServiceCore, with an optional
+    // first-transmission drop to force the client onto its retry
+    // path.
+    mod loopback {
+        use super::*;
+        use crate::codec::{decode_client_msg, encode_reply, FrameReader};
+        use crate::service::{IngestStats, ServiceCore};
+        use std::net::{TcpListener, UdpSocket};
+
+        pub fn tcp_service(
+            clients: u32,
+            pending_cap: usize,
+        ) -> (std::net::SocketAddr, std::thread::JoinHandle<IngestStats>) {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let handle = std::thread::spawn(move || {
+                // One shard so pending_cap applies to every address.
+                let mut core = ServiceCore::new(SimTime::at(14, 0, 0), 1, pending_cap, clients);
+                let mut conns: Vec<(std::net::TcpStream, FrameReader)> = (0..clients)
+                    .map(|_| {
+                        let (s, _) = listener.accept().unwrap();
+                        s.set_nodelay(true).unwrap();
+                        (s, FrameReader::new())
+                    })
+                    .collect();
+                let mut chunk = [0u8; 4096];
+                while !core.all_finished() {
+                    for (stream, frames) in &mut conns {
+                        let n = match stream.read(&mut chunk) {
+                            Ok(0) => continue,
+                            Ok(n) => n,
+                            Err(_) => continue,
+                        };
+                        frames.extend(&chunk[..n]);
+                        while let Some(mut body) = frames.next_frame().unwrap() {
+                            let msg = decode_client_msg(&mut body).unwrap();
+                            let (reply, _batch) = core.handle(&msg);
+                            if let Some(r) = reply {
+                                stream.write_all(&encode_reply(&r)).unwrap();
+                            }
+                        }
+                    }
+                }
+                core.finalize().1
+            });
+            (addr, handle)
+        }
+
+        pub fn udp_service(
+            clients: u32,
+            drop_first: bool,
+        ) -> (std::net::SocketAddr, std::thread::JoinHandle<IngestStats>) {
+            let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+            let addr = sock.local_addr().unwrap();
+            let handle = std::thread::spawn(move || {
+                let mut core = ServiceCore::new(SimTime::at(14, 0, 0), 2, 1024, clients);
+                let mut seen_seqs = std::collections::BTreeSet::new();
+                let mut buf = [0u8; 2048];
+                while !core.all_finished() {
+                    let (n, src) = sock.recv_from(&mut buf).unwrap();
+                    let Ok(msg) = decode_client_msg(&mut &buf[..n]) else {
+                        continue;
+                    };
+                    if let ClientMsg::Report { seq, .. } = &msg {
+                        if drop_first && seen_seqs.insert(*seq) {
+                            // Swallow the first transmission of every
+                            // report, reply to retries only.
+                            continue;
+                        }
+                    }
+                    let (reply, _batch) = core.handle(&msg);
+                    if let Some(r) = reply {
+                        sock.send_to(&encode_reply(&r), src).unwrap();
+                    }
+                }
+                core.finalize().1
+            });
+            (addr, handle)
+        }
+    }
+
+    #[test]
+    fn net_uplink_tcp_pipelines_and_balances() {
+        let (addr, service) = loopback::tcp_service(1, 1024);
+        let mut up = NetUplink::connect_tcp(addr, 0, 1, 4, NetBackoff::new(1, 4, 5, 11)).unwrap();
+        for ip in 1..=20u32 {
+            up.send_report(&report(ip, 20)).unwrap();
+        }
+        // A duplicate and a reject exercise the non-Ack verdicts.
+        up.send_report(&report(1, 20)).unwrap();
+        let mut bad = report(30, 20);
+        bad.upload_capacity_kbps = -5.0;
+        up.send_report(&bad).unwrap();
+        up.mark(at_min(30)).unwrap();
+        let stats = up.finish().unwrap();
+        assert_eq!(stats.offered, 22);
+        assert_eq!(stats.delivered, 21);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.dropped_permanent, 0);
+        let ingest = service.join().unwrap();
+        assert!(ingest.balanced(), "{ingest:?}");
+        assert_eq!(ingest.admitted, 20);
+        assert_eq!(ingest.deduped, 1);
+        assert_eq!(
+            ingest.merges, 1,
+            "the mark sealed everything; finalize adds nothing"
+        );
+        assert_eq!(ingest.lost, 0);
+    }
+
+    #[test]
+    fn net_uplink_tcp_retries_busy_until_drained() {
+        // pending_cap 1 with no marks: the second distinct report
+        // sheds Busy until... it never drains, so the retry budget
+        // runs out and the report is dropped permanently — while the
+        // books still balance on both ends.
+        let (addr, service) = loopback::tcp_service(1, 1);
+        let mut up = NetUplink::connect_tcp(addr, 0, 1, 1, NetBackoff::new(1, 2, 3, 13)).unwrap();
+        up.send_report(&report(1, 20)).unwrap();
+        up.send_report(&report(2, 20)).unwrap();
+        up.flush_outstanding().unwrap();
+        let stats = up.stats();
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.dropped_permanent, 1);
+        assert_eq!(stats.attempts, 1 + 3, "one ack + full retry budget");
+        let _ = up.finish().unwrap();
+        let ingest = service.join().unwrap();
+        assert!(ingest.balanced(), "{ingest:?}");
+        assert_eq!(ingest.shed_busy, 3);
+    }
+
+    #[test]
+    fn net_uplink_udp_stop_and_wait_survives_first_transmission_loss() {
+        let (addr, service) = loopback::udp_service(1, true);
+        let mut up = NetUplink::connect_udp(addr, 0, 1, NetBackoff::new(1, 4, 5, 17)).unwrap();
+        for ip in 1..=5u32 {
+            up.send_report(&report(ip, 20)).unwrap();
+        }
+        up.mark(at_min(30)).unwrap();
+        let stats = up.finish().unwrap();
+        assert_eq!(stats.delivered, 5);
+        assert_eq!(stats.retransmitted, 5, "every report needed a retry");
+        assert_eq!(stats.attempts, 10);
+        let ingest = service.join().unwrap();
+        assert!(ingest.balanced(), "{ingest:?}");
+        assert_eq!(ingest.admitted, 5);
+        // The swallowed first transmissions are exactly the lost ones.
+        assert_eq!(ingest.lost, 5);
     }
 }

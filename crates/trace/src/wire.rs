@@ -6,6 +6,7 @@
 
 use crate::buffer::BufferMap;
 use crate::report::{PartnerRecord, PeerReport};
+use crate::server::SubmitError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use magellan_netsim::{PeerAddr, SimTime};
 use magellan_workload::ChannelId;
@@ -45,6 +46,119 @@ impl Error for WireError {}
 /// bootstrap hands out at most 50 partners and gossip adds few more,
 /// so anything beyond this is corruption.
 pub const MAX_WIRE_PARTNERS: usize = 512;
+
+/// Wire-level admission status, one byte on the reply path of the
+/// networked service. Every [`SubmitError`] variant maps to exactly
+/// one code (plus the two success codes), so the in-process and
+/// networked paths cannot drift: [`StatusCode::from_admission`] and
+/// [`StatusCode::into_admission`] are inverse total mappings, pinned
+/// by an exhaustive round-trip test.
+///
+/// The numeric values are part of the protocol — never renumber, only
+/// append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum StatusCode {
+    /// Fresh report admitted and stored.
+    Ack = 0,
+    /// Duplicate `(peer, timestamp)` absorbed idempotently — the
+    /// client should treat this as delivered.
+    AckDuplicate = 1,
+    /// Ingest saturated; back off and retransmit
+    /// ([`SubmitError::Busy`]).
+    Busy = 2,
+    /// Endpoint down; buffer and retransmit
+    /// ([`SubmitError::Unavailable`]).
+    Unavailable = 3,
+    /// Timestamp outside the collection window
+    /// ([`SubmitError::OutOfWindow`]).
+    OutOfWindow = 4,
+    /// A field failed sanity checks ([`SubmitError::Implausible`]).
+    Implausible = 5,
+    /// The datagram could not be decoded
+    /// ([`SubmitError::Malformed`]).
+    Malformed = 6,
+    /// Report arrived behind the sealed merge frontier
+    /// ([`SubmitError::Late`]).
+    Late = 7,
+}
+
+impl StatusCode {
+    /// Every status code, in wire order — exhaustiveness harness.
+    pub const ALL: [StatusCode; 8] = [
+        StatusCode::Ack,
+        StatusCode::AckDuplicate,
+        StatusCode::Busy,
+        StatusCode::Unavailable,
+        StatusCode::OutOfWindow,
+        StatusCode::Implausible,
+        StatusCode::Malformed,
+        StatusCode::Late,
+    ];
+
+    /// The one-byte wire value.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a wire byte; `None` for codes this build does not know
+    /// (a newer server talking to an older client).
+    pub fn from_u8(v: u8) -> Option<StatusCode> {
+        StatusCode::ALL.get(v as usize).copied()
+    }
+
+    /// Maps an admission outcome ([`crate::gateway::GatewayCore`]'s
+    /// `Ok(fresh)` / [`SubmitError`]) to its wire code.
+    pub fn from_admission(outcome: &Result<bool, SubmitError>) -> StatusCode {
+        match outcome {
+            Ok(true) => StatusCode::Ack,
+            Ok(false) => StatusCode::AckDuplicate,
+            Err(SubmitError::Busy { .. }) => StatusCode::Busy,
+            Err(SubmitError::Unavailable { .. }) => StatusCode::Unavailable,
+            Err(SubmitError::OutOfWindow { .. }) => StatusCode::OutOfWindow,
+            Err(SubmitError::Implausible { .. }) => StatusCode::Implausible,
+            Err(SubmitError::Malformed(_)) => StatusCode::Malformed,
+            // Exhaustive on purpose: adding a `SubmitError` variant
+            // must force a decision about its wire code here.
+            Err(SubmitError::Late { .. }) => StatusCode::Late,
+        }
+    }
+
+    /// Reconstructs the client-side admission outcome from a wire
+    /// code. `at` stamps the time-carrying variants (the client's
+    /// send time — the server's own clock never crosses the wire).
+    /// Error payloads that cannot cross the wire (`&'static str`
+    /// contexts) come back as fixed remote-failure markers.
+    pub fn into_admission(self, at: SimTime) -> Result<bool, SubmitError> {
+        match self {
+            StatusCode::Ack => Ok(true),
+            StatusCode::AckDuplicate => Ok(false),
+            StatusCode::Busy => Err(SubmitError::Busy { time: at }),
+            StatusCode::Unavailable => Err(SubmitError::Unavailable { time: at }),
+            StatusCode::OutOfWindow => Err(SubmitError::OutOfWindow { time: at }),
+            StatusCode::Implausible => Err(SubmitError::Implausible {
+                what: "rejected by remote validation",
+            }),
+            StatusCode::Malformed => Err(SubmitError::Malformed(WireError::Invalid {
+                context: "rejected by remote decoder",
+            })),
+            StatusCode::Late => Err(SubmitError::Late { time: at }),
+        }
+    }
+
+    /// Whether a retransmission of the same report can succeed later.
+    /// Retryable bounces are transient server states; everything else
+    /// is a permanent verdict on this report.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, StatusCode::Busy | StatusCode::Unavailable)
+    }
+
+    /// Whether the report is settled server-side (stored or absorbed)
+    /// — the client counts it delivered and must not retransmit.
+    pub fn is_delivered(self) -> bool {
+        matches!(self, StatusCode::Ack | StatusCode::AckDuplicate)
+    }
+}
 
 /// Encodes a report into a datagram.
 pub fn encode(report: &PeerReport) -> Bytes {
@@ -239,5 +353,87 @@ mod tests {
     fn error_display_is_informative() {
         let e = WireError::UnexpectedEof { context: "header" };
         assert!(e.to_string().contains("header"));
+    }
+
+    /// Every admission outcome a gateway can produce — both success
+    /// arms and *every* [`SubmitError`] variant — maps to a status
+    /// code and back to a semantically equivalent outcome. Adding a
+    /// `SubmitError` variant without extending [`StatusCode`] breaks
+    /// this test (via the `debug_assert` in `from_admission`), which
+    /// is the point: the in-process and networked paths cannot drift.
+    #[test]
+    fn every_submit_error_round_trips_through_a_status_code() {
+        let at = SimTime::at(0, 3, 0);
+        let outcomes: Vec<Result<bool, SubmitError>> = vec![
+            Ok(true),
+            Ok(false),
+            Err(SubmitError::Busy { time: at }),
+            Err(SubmitError::Unavailable { time: at }),
+            Err(SubmitError::OutOfWindow { time: at }),
+            Err(SubmitError::Implausible {
+                what: "rejected by remote validation",
+            }),
+            Err(SubmitError::Malformed(WireError::Invalid {
+                context: "rejected by remote decoder",
+            })),
+            Err(SubmitError::Late { time: at }),
+        ];
+        // One outcome per code: the mapping is a bijection over ALL.
+        assert_eq!(outcomes.len(), StatusCode::ALL.len());
+        let mut seen = std::collections::BTreeSet::new();
+        for outcome in &outcomes {
+            let code = StatusCode::from_admission(outcome);
+            assert!(seen.insert(code), "two outcomes map to {code:?}");
+            // The representative outcomes above are exactly the fixed
+            // points of the wire mapping, so the round trip is exact.
+            assert_eq!(&code.into_admission(at), outcome, "code {code:?}");
+        }
+        assert_eq!(seen.len(), StatusCode::ALL.len(), "unreached status code");
+    }
+
+    /// The numeric wire values are frozen protocol; `from_u8` is the
+    /// exact inverse on known codes and `None` past the end.
+    #[test]
+    fn status_code_bytes_are_stable_and_invertible() {
+        let pinned: [(StatusCode, u8); 8] = [
+            (StatusCode::Ack, 0),
+            (StatusCode::AckDuplicate, 1),
+            (StatusCode::Busy, 2),
+            (StatusCode::Unavailable, 3),
+            (StatusCode::OutOfWindow, 4),
+            (StatusCode::Implausible, 5),
+            (StatusCode::Malformed, 6),
+            (StatusCode::Late, 7),
+        ];
+        for (code, byte) in pinned {
+            assert_eq!(code.as_u8(), byte, "{code:?} renumbered");
+            assert_eq!(StatusCode::from_u8(byte), Some(code));
+        }
+        for unknown in StatusCode::ALL.len() as u8..=u8::MAX {
+            assert_eq!(StatusCode::from_u8(unknown), None);
+        }
+    }
+
+    /// Retry classification partitions the codes: delivered and
+    /// retryable are disjoint, and the permanent rejections are
+    /// everything else.
+    #[test]
+    fn retry_classification_partitions_the_codes() {
+        for code in StatusCode::ALL {
+            assert!(
+                !(code.is_delivered() && code.is_retryable()),
+                "{code:?} both delivered and retryable"
+            );
+            let expect_retry = matches!(code, StatusCode::Busy | StatusCode::Unavailable);
+            assert_eq!(code.is_retryable(), expect_retry);
+            // A retryable bounce must come back as an error the
+            // uplink buffers rather than counts rejected.
+            if code.is_retryable() {
+                assert!(matches!(
+                    code.into_admission(SimTime::ORIGIN),
+                    Err(SubmitError::Busy { .. } | SubmitError::Unavailable { .. })
+                ));
+            }
+        }
     }
 }

@@ -116,7 +116,7 @@ proptest! {
     /// panic, and the rejection must be counted.
     #[test]
     fn server_counts_truncated_datagrams(report in arb_report(), cut_frac in 0.0f64..1.0) {
-        let server = TraceServer::new(SimTime::from_millis(14 * 86_400_000));
+        let mut server = TraceServer::new(SimTime::from_millis(14 * 86_400_000));
         let bytes = wire::encode(&report);
         let cut = ((bytes.len() as f64 * cut_frac) as usize).min(bytes.len().saturating_sub(1));
         let res = server.submit_wire(bytes.slice(0..cut));
@@ -137,7 +137,7 @@ proptest! {
         idx in any::<prop::sample::Index>(),
         bit in 0u32..8,
     ) {
-        let server = TraceServer::new(SimTime::from_millis(14 * 86_400_000));
+        let mut server = TraceServer::new(SimTime::from_millis(14 * 86_400_000));
         let mut bytes = wire::encode(&report).to_vec();
         let i = idx.index(bytes.len());
         bytes[i] ^= 1 << bit;

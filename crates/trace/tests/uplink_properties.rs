@@ -34,7 +34,7 @@ proptest! {
         down_start in 0u64..150,
         down_len in 1u64..120,
     ) {
-        let server = TraceServer::with_downtime(
+        let mut server = TraceServer::with_downtime(
             SimTime::ORIGIN + SimDuration::from_mins(WINDOW_END_MIN),
             vec![FaultWindow::new(
                 SimTime::ORIGIN + SimDuration::from_mins(down_start),
@@ -45,7 +45,7 @@ proptest! {
         let mut sorted = minutes.clone();
         sorted.sort_unstable();
         for (i, m) in sorted.iter().enumerate() {
-            up.send(report(i as u32 + 1, *m), SimTime::ORIGIN + SimDuration::from_mins(*m), &server);
+            up.send(report(i as u32 + 1, *m), SimTime::ORIGIN + SimDuration::from_mins(*m), &mut server);
             let st = up.stats();
             prop_assert_eq!(st.offered, i as u64 + 1);
             prop_assert_eq!(
@@ -60,7 +60,7 @@ proptest! {
         // the window drains every survivor.
         up.flush(
             SimTime::ORIGIN + SimDuration::from_mins(down_start + down_len + 1),
-            &server,
+            &mut server,
         );
         let st = up.stats();
         prop_assert_eq!(up.pending(), 0, "flush past the outage left a backlog");
@@ -79,7 +79,7 @@ proptest! {
     ) {
         let n = capacity + extra;
         let down_end = 1000u64;
-        let server = TraceServer::with_downtime(
+        let mut server = TraceServer::with_downtime(
             SimTime::ORIGIN + SimDuration::from_mins(WINDOW_END_MIN),
             vec![FaultWindow::new(
                 SimTime::ORIGIN,
@@ -89,11 +89,11 @@ proptest! {
         let mut up = ReportUplink::new(capacity);
         for i in 0..n {
             let m = i as u64;
-            up.send(report(i as u32 + 1, m), SimTime::ORIGIN + SimDuration::from_mins(m), &server);
+            up.send(report(i as u32 + 1, m), SimTime::ORIGIN + SimDuration::from_mins(m), &mut server);
         }
         prop_assert_eq!(up.pending(), capacity);
         prop_assert_eq!(up.stats().dropped_overflow, extra as u64);
-        up.flush(SimTime::ORIGIN + SimDuration::from_mins(down_end + 1), &server);
+        up.flush(SimTime::ORIGIN + SimDuration::from_mins(down_end + 1), &mut server);
         let delivered: Vec<u32> = server
             .into_store()
             .reports()

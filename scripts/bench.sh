@@ -6,9 +6,11 @@
 #
 # The file records ns/op for each Csr kernel at three graph scales and
 # 1 vs 8 workers, the legacy DiGraph-walk baselines the kernels
-# replaced, cold/warm wall time of the magellan-lint gate, end-to-end
-# study latency per sample instant, and host_cores (thread scaling is
-# only physically possible when the measuring box has >1 core).
+# replaced, the magellan-traced ingest throughput (reports/sec through
+# one shard's sans-I/O admission path), cold/warm wall time of the
+# magellan-lint gate, end-to-end study latency per sample instant, and
+# host_cores (thread scaling is only physically possible when the
+# measuring box has >1 core).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -2,7 +2,9 @@
 # Pre-PR gate for the Magellan workspace: formatting, clippy with
 # warnings denied, the magellan-lint pass (line rules, D4 taint, the
 # H2/H3/P2 hot-path cost analysis, and the L1/S1/U1 concurrency
-# pass), the test suite, and a loom smoke over the worker pool. Run
+# pass), the test suite, a loom smoke over the worker pool, and the
+# end-to-end smokes: fault schedule, crash recovery, and the
+# multi-process loopback-ingest drill against magellan-traced. Run
 # from anywhere inside the repo.
 #
 # The two advisory clippy lints (unwrap_used, indexing_slicing) are
@@ -91,6 +93,52 @@ diff -r "${SMOKE}/clean/archive" "${SMOKE}/crashed/archive"
 cmp "${SMOKE}/clean.txt" "${SMOKE}/crashed.txt"
 ./target/release/tracetool fsck "${SMOKE}/crashed" > /dev/null
 rm -rf "${SMOKE}"
+
+stage "loopback-ingest smoke"
+# The networked service drill (DESIGN.md §13): two drive processes
+# stream the same study over real loopback TCP sockets into one serve
+# process, and the replayed traced archive must match the replayed
+# in-process archive line for line (minus the service-only `Ingest`
+# accounting lines). Then an overload drill — tiny queues, few client
+# retries — must shed instead of stalling and still close balanced
+# books. `wait` propagates each child's exit status, so a panicking
+# serve or drive fails the stage.
+cargo build -q --release --bin magellan-traced
+INGEST=$(mktemp -d)
+PARAMS=(--seed 9 --scale 0.0005 --days 1 --sample-every-mins 240)
+./target/release/magellan study --archive "${INGEST}/inproc" "${PARAMS[@]}" \
+    > /dev/null
+./target/release/magellan-traced serve --archive "${INGEST}/traced" \
+    --listen 127.0.0.1:0 --port-file "${INGEST}/port" \
+    --clients 2 --shards 2 "${PARAMS[@]}" > "${INGEST}/serve.txt" &
+SERVE=$!
+for _ in $(seq 1 150); do [ -s "${INGEST}/port" ] && break; sleep 0.2; done
+ADDR=$(cat "${INGEST}/port")
+./target/release/magellan-traced drive --server "${ADDR}" --client-id 0 \
+    --clients 2 --transport tcp "${PARAMS[@]}" > /dev/null &
+DRIVE0=$!
+./target/release/magellan-traced drive --server "${ADDR}" --client-id 1 \
+    --clients 2 --transport tcp "${PARAMS[@]}" > /dev/null
+wait "${DRIVE0}"
+wait "${SERVE}"
+grep -q '^balanced yes$' "${INGEST}/serve.txt"
+./target/release/magellan replay --archive "${INGEST}/inproc" \
+    | grep -v '^Ingest' > "${INGEST}/inproc.txt"
+./target/release/magellan replay --archive "${INGEST}/traced" \
+    | grep -v '^Ingest' > "${INGEST}/traced.txt"
+cmp "${INGEST}/inproc.txt" "${INGEST}/traced.txt"
+./target/release/magellan-traced serve --archive "${INGEST}/overload" \
+    --listen 127.0.0.1:0 --port-file "${INGEST}/oport" \
+    --clients 1 --shards 1 --pending-cap 8 --queue-cap 2 "${PARAMS[@]}" \
+    > "${INGEST}/overload.txt" &
+OSERVE=$!
+for _ in $(seq 1 150); do [ -s "${INGEST}/oport" ] && break; sleep 0.2; done
+./target/release/magellan-traced drive --server "$(cat "${INGEST}/oport")" \
+    --client-id 0 --clients 1 --transport udp --max-attempts 3 \
+    --backoff-cap-ms 8 "${PARAMS[@]}" > /dev/null
+wait "${OSERVE}"
+grep -q '^balanced yes$' "${INGEST}/overload.txt"
+rm -rf "${INGEST}"
 
 stage "done"
 echo "==> all checks passed"

@@ -1,0 +1,628 @@
+//! `magellan-traced` — the networked ingest service and its drill
+//! client.
+//!
+//! ```text
+//! magellan-traced serve --archive DIR [--listen ADDR] [--clients N]
+//!                       [--shards N] [--pending-cap N] [--queue-cap N]
+//!                       [--port-file FILE] [--seed N] [--scale F] [--days N]
+//!                       [--sample-every-mins N] [--segment-bytes N]
+//! magellan-traced drive --server ADDR --client-id I --clients N
+//!                       [--transport tcp|udp] [--window N]
+//!                       [--mark-every-mins N] [--backoff-base-ms N]
+//!                       [--backoff-cap-ms N] [--max-attempts N]
+//!                       [--seed N] [--scale F] [--days N]
+//!                       [--sample-every-mins N]
+//! ```
+//!
+//! `serve` listens on one port (TCP and UDP simultaneously), ingests
+//! `wire`-encoded [`PeerReport`]s from `--clients` concurrent
+//! clients through `--shards` independent admission shards, and lands
+//! the merged windows in a standard archive under `DIR/archive` plus
+//! the `INGEST` accounting sidecar — so `magellan replay --archive
+//! DIR` analyzes a networked run exactly like an in-process one. The
+//! threading shape mirrors the sans-I/O
+//! [`ServiceCore`](magellan::trace::ServiceCore) reference: one owner
+//! thread per [`Shard`] behind a bounded FIFO (backpressure sheds
+//! `Busy` at the queue, accounted), reader threads that only route,
+//! and a coordinator owning the registry and the archive writer.
+//!
+//! `drive` runs the full deterministic study simulation and streams
+//! the partition `shard_of(addr, clients) == client_id` to the
+//! service through a [`NetUplink`], marking window boundaries every
+//! `--mark-every-mins` of simulated time. N drive processes with the
+//! same study parameters cover every report exactly once, which is
+//! what makes the multi-process drill reproduce the in-process
+//! `StudyReport`.
+//!
+//! Control messages over UDP are sent blind with redundancy; on a
+//! lossy path a fully lost `Hello`/`Finish` can stall the barrier, so
+//! the drill (and CI) use TCP and treat UDP as the loss-tolerance
+//! exercise.
+
+use bytes::Bytes;
+use magellan::netsim::{SimDuration, SimTime};
+use magellan::overlay::OverlaySim;
+use magellan::runcfg::{cfg_path, RunParams};
+use magellan::trace::codec::{self, ClientMsg, FrameReader, ReplyMsg};
+use magellan::trace::service::{merge_sorted, write_ingest_stats};
+use magellan::trace::shard::{shard_of, Shard, ShardStats};
+use magellan::trace::{
+    atomic_write, ArchiveWriter, ClientRegistry, IngestStats, NetBackoff, NetUplink, PeerReport,
+    StatusCode,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+// lint:allow(P1): service shell, not simulation — channels carry socket traffic whose interleaving is inherently external
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
+// lint:allow(P1): service shell — the reply half of a TCP stream is shared between shard workers, nothing simulation-visible
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::Duration;
+
+/// Where a shard worker sends the 9-byte reply record.
+enum ReplyTo {
+    /// The shared write half of the client's TCP stream.
+    // lint:allow(P1): service shell — guards only the socket write half; replies are matched by seq, order-free
+    Tcp(Arc<Mutex<TcpStream>>),
+    /// The server's UDP socket plus the client's return address.
+    Udp(Arc<UdpSocket>, SocketAddr),
+}
+
+/// One entry in a shard worker's bounded FIFO.
+enum ShardCmd {
+    /// A report datagram to classify and answer.
+    Report {
+        payload: Bytes,
+        seq: u64,
+        reply: ReplyTo,
+    },
+    /// Seal a window: drain everything below the barrier.
+    Drain {
+        below: SimTime,
+        out: Sender<Vec<PeerReport>>,
+    },
+    /// Final drain; the worker returns its accounting and exits.
+    Stop {
+        below: SimTime,
+        out: Sender<(Vec<PeerReport>, ShardStats)>,
+    },
+}
+
+/// Control-plane traffic the readers forward to the coordinator.
+enum Ctrl {
+    Hello { client_id: u32, clients: u32 },
+    Mark { client_id: u32, up_to: SimTime },
+    Finish { client_id: u32, sent: u64 },
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  magellan-traced serve --archive DIR [--listen ADDR] [--clients N] [--shards N]\n                        \
+         [--pending-cap N] [--queue-cap N] [--port-file FILE]\n                        \
+         [--seed N] [--scale F] [--days N] [--sample-every-mins N] [--segment-bytes N]\n  \
+         magellan-traced drive --server ADDR --client-id I --clients N [--transport tcp|udp]\n                        \
+         [--window N] [--mark-every-mins N] [--backoff-base-ms N] [--backoff-cap-ms N]\n                        \
+         [--max-attempts N] [--seed N] [--scale F] [--days N] [--sample-every-mins N]"
+    );
+    ExitCode::FAILURE
+}
+
+/// Writes one reply record, best-effort: a vanished client shows up
+/// in the books as client-side loss, never as a server error.
+fn send_reply(reply: &ReplyTo, msg: &ReplyMsg) {
+    let bytes = codec::encode_reply(msg);
+    match reply {
+        ReplyTo::Tcp(stream) => {
+            let mut s = stream.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ = s.write_all(&bytes);
+        }
+        ReplyTo::Udp(sock, peer) => {
+            let _ = sock.send_to(&bytes, *peer);
+        }
+    }
+}
+
+/// A shard worker: sole owner of one [`Shard`], fed by a bounded
+/// FIFO. No locks around admission state — the queue is the only
+/// synchronization.
+fn shard_worker(mut shard: Shard, rx: Receiver<ShardCmd>) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            ShardCmd::Report {
+                payload,
+                seq,
+                reply,
+            } => {
+                let status = shard.ingest_wire(&payload);
+                send_reply(&reply, &ReplyMsg { seq, status });
+            }
+            ShardCmd::Drain { below, out } => {
+                let _ = out.send(shard.drain_below(below));
+            }
+            ShardCmd::Stop { below, out } => {
+                let _ = out.send((shard.drain_below(below), shard.stats()));
+                return;
+            }
+        }
+    }
+}
+
+/// Routes one report to its shard's FIFO. A full queue is the
+/// overload backpressure path: the reader answers `Busy` itself and
+/// the shed is accounted in `queue_shed` so the books still balance.
+fn route_report(
+    shards: &[SyncSender<ShardCmd>],
+    payload: Bytes,
+    seq: u64,
+    reply: ReplyTo,
+    queue_shed: &AtomicU64,
+) {
+    let idx = codec::peek_report_addr(&payload)
+        .map(|addr| shard_of(addr, shards.len()))
+        .unwrap_or(0);
+    match shards[idx].try_send(ShardCmd::Report {
+        payload,
+        seq,
+        reply,
+    }) {
+        Ok(()) => {}
+        Err(TrySendError::Full(ShardCmd::Report { seq, reply, .. })) => {
+            queue_shed.fetch_add(1, Ordering::SeqCst);
+            send_reply(
+                &reply,
+                &ReplyMsg {
+                    seq,
+                    status: StatusCode::Busy,
+                },
+            );
+        }
+        // Disconnected only during shutdown; stragglers count as lost.
+        Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
+    }
+}
+
+/// Serves one TCP connection: length-framed requests in, raw reply
+/// records out (written by whichever shard worker classified the
+/// report). Returns — closing the connection — on EOF, I/O error, or
+/// the first undecodable frame (the stream is desynced beyond repair;
+/// the client's datagrams become `lost`).
+fn tcp_conn(
+    stream: TcpStream,
+    shards: Arc<Vec<SyncSender<ShardCmd>>>,
+    ctrl: Sender<Ctrl>,
+    queue_shed: Arc<AtomicU64>,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    // A client that stops reading replies must wedge only itself,
+    // never a shard worker.
+    let _ = write_half.set_write_timeout(Some(Duration::from_secs(5)));
+    // lint:allow(P1): service shell — shares the socket write half with shard workers; replies are seq-matched
+    let write_half = Arc::new(Mutex::new(write_half));
+    let mut stream = stream;
+    let mut frames = FrameReader::new();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => n,
+        };
+        frames.extend(&buf[..n]);
+        loop {
+            let mut body = match frames.next_frame() {
+                Ok(Some(body)) => body,
+                Ok(None) => break,
+                Err(_) => return,
+            };
+            let Ok(msg) = codec::decode_client_msg(&mut body) else {
+                return;
+            };
+            let forwarded = match msg {
+                ClientMsg::Report { seq, payload } => {
+                    route_report(
+                        &shards,
+                        payload,
+                        seq,
+                        ReplyTo::Tcp(Arc::clone(&write_half)),
+                        &queue_shed,
+                    );
+                    Ok(())
+                }
+                ClientMsg::Hello { client_id, clients } => {
+                    ctrl.send(Ctrl::Hello { client_id, clients })
+                }
+                ClientMsg::WindowMark { client_id, up_to } => {
+                    ctrl.send(Ctrl::Mark { client_id, up_to })
+                }
+                ClientMsg::Finish { client_id, sent } => {
+                    ctrl.send(Ctrl::Finish { client_id, sent })
+                }
+            };
+            if forwarded.is_err() {
+                return; // coordinator gone — shutdown
+            }
+        }
+    }
+}
+
+/// Serves the UDP side: one message per datagram, reports answered
+/// with one reply datagram, undecodable datagrams silently dropped
+/// (they reconcile as `lost` — there is no sequence number to answer).
+fn udp_reader(
+    sock: Arc<UdpSocket>,
+    shards: Arc<Vec<SyncSender<ShardCmd>>>,
+    ctrl: Sender<Ctrl>,
+    queue_shed: Arc<AtomicU64>,
+) {
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let (n, peer) = match sock.recv_from(&mut buf) {
+            Ok(v) => v,
+            Err(_) => continue,
+        };
+        let mut body = &buf[..n];
+        let Ok(msg) = codec::decode_client_msg(&mut body) else {
+            continue;
+        };
+        let forwarded = match msg {
+            ClientMsg::Report { seq, payload } => {
+                route_report(
+                    &shards,
+                    payload,
+                    seq,
+                    ReplyTo::Udp(Arc::clone(&sock), peer),
+                    &queue_shed,
+                );
+                Ok(())
+            }
+            ClientMsg::Hello { client_id, clients } => {
+                ctrl.send(Ctrl::Hello { client_id, clients })
+            }
+            ClientMsg::WindowMark { client_id, up_to } => {
+                ctrl.send(Ctrl::Mark { client_id, up_to })
+            }
+            ClientMsg::Finish { client_id, sent } => ctrl.send(Ctrl::Finish { client_id, sent }),
+        };
+        if forwarded.is_err() {
+            return;
+        }
+    }
+}
+
+/// Flag-scanning helpers shared by both subcommands.
+struct Args<'a>(&'a [String]);
+
+impl Args<'_> {
+    fn get(&self, name: &str) -> Option<&String> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+    }
+
+    fn num(&self, name: &str) -> Result<Option<u64>, String> {
+        self.get(name)
+            .map(|v| v.parse::<u64>().map_err(|e| format!("{name}: {e}")))
+            .transpose()
+    }
+
+    /// The CLI-settable study parameters both subcommands share —
+    /// every drive process and the server must agree on these for the
+    /// partition to cover the study exactly once.
+    fn params(&self) -> Result<RunParams, String> {
+        let mut p = RunParams::default();
+        if let Some(v) = self.num("--seed")? {
+            p.seed = v;
+        }
+        if let Some(v) = self.get("--scale") {
+            p.scale = v.parse::<f64>().map_err(|e| format!("--scale: {e}"))?;
+        }
+        if let Some(v) = self.num("--days")? {
+            p.days = v;
+        }
+        if let Some(v) = self.num("--sample-every-mins")? {
+            p.sample_every_mins = v;
+        }
+        if let Some(v) = self.num("--segment-bytes")? {
+            p.segment_bytes = v;
+        }
+        Ok(p)
+    }
+}
+
+fn serve(args: &Args) -> Result<(), String> {
+    let params = args.params()?;
+    let dir = PathBuf::from(
+        args.get("--archive")
+            .ok_or_else(|| "--archive DIR is required".to_string())?,
+    );
+    let listen = args
+        .get("--listen")
+        .map_or("127.0.0.1:0", String::as_str)
+        .to_string();
+    let clients = u32::try_from(args.num("--clients")?.unwrap_or(1).max(1))
+        .map_err(|_| "--clients out of range".to_string())?;
+    let shards = args.num("--shards")?.unwrap_or(4).max(1) as usize;
+    let pending_cap = args.num("--pending-cap")?.unwrap_or(1 << 16).max(1) as usize;
+    let queue_cap = args.num("--queue-cap")?.unwrap_or(1024).max(1) as usize;
+    let window_end = SimTime::at(params.days, 0, 0);
+
+    std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    // The run directory is replay-compatible: study.cfg first, so a
+    // killed drill still identifies its parameters.
+    atomic_write(&cfg_path(&dir), params.render().as_bytes())
+        .map_err(|e| format!("write study.cfg: {e}"))?;
+    let archive_dir = dir.join("archive");
+    let mut writer = ArchiveWriter::create(&archive_dir, params.durable_config().archive)
+        .map_err(|e| format!("create archive: {e}"))?;
+
+    // One owner thread per shard behind a bounded FIFO.
+    let mut shard_txs = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = sync_channel::<ShardCmd>(queue_cap); // lint:allow(P1): service shell — bounded ingest queue, the backpressure mechanism itself
+        let shard = Shard::new(window_end, pending_cap);
+        // lint:allow(D3): service shell — shard owner threads live for the whole process; the drill joins them via Stop
+        thread::spawn(move || shard_worker(shard, rx));
+        shard_txs.push(tx);
+    }
+    let shard_txs = Arc::new(shard_txs);
+    let queue_shed = Arc::new(AtomicU64::new(0));
+    let (ctrl_tx, ctrl_rx) = channel::<Ctrl>();
+
+    // TCP and UDP share one port.
+    let listener = TcpListener::bind(&listen).map_err(|e| format!("bind tcp {listen}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?;
+    let udp = Arc::new(UdpSocket::bind(local).map_err(|e| format!("bind udp {local}: {e}"))?);
+
+    println!(
+        "magellan-traced: listening on {local} (tcp+udp), {clients} client(s), {shards} shard(s), \
+         pending cap {pending_cap}, queue cap {queue_cap}"
+    );
+    if let Some(path) = args.get("--port-file") {
+        // Written atomically so a polling drill script never reads a
+        // half-written address.
+        atomic_write(std::path::Path::new(path), local.to_string().as_bytes())
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+
+    {
+        let shards = Arc::clone(&shard_txs);
+        let ctrl = ctrl_tx.clone();
+        let shed = Arc::clone(&queue_shed);
+        // lint:allow(D3): service shell — the acceptor lives until process exit; it owns no simulation state
+        thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { continue };
+                let shards = Arc::clone(&shards);
+                let ctrl = ctrl.clone();
+                let shed = Arc::clone(&shed);
+                // lint:allow(D3): service shell — one reader per connection, detached; connections outlive no window barrier
+                thread::spawn(move || tcp_conn(stream, shards, ctrl, shed));
+            }
+        });
+    }
+    {
+        let sock = Arc::clone(&udp);
+        let shards = Arc::clone(&shard_txs);
+        let shed = Arc::clone(&queue_shed);
+        // lint:allow(D3): service shell — single UDP reader for the whole process lifetime
+        thread::spawn(move || udp_reader(sock, shards, ctrl_tx, shed));
+    }
+
+    // The coordinator: registry, window barrier, archive.
+    let mut registry = ClientRegistry::new(clients);
+    let mut merged_below = SimTime::ORIGIN;
+    let mut merges = 0u64;
+    while !registry.all_finished() {
+        let msg = ctrl_rx
+            .recv()
+            .map_err(|_| "every reader thread died before the drill finished".to_string())?;
+        match msg {
+            Ctrl::Hello { client_id, clients } => registry.hello(client_id, clients),
+            Ctrl::Finish { client_id, sent } => registry.finish(client_id, sent),
+            Ctrl::Mark { client_id, up_to } => {
+                registry.mark(client_id, up_to);
+                let Some(ready) = registry.ready_below() else {
+                    continue;
+                };
+                if ready <= merged_below {
+                    continue;
+                }
+                // Every client flushed everything below `ready`
+                // before marking, and the FIFOs preserve that order —
+                // the drains see every covered report.
+                let mut batches = Vec::with_capacity(shard_txs.len());
+                for tx in shard_txs.iter() {
+                    let (out, back) = channel();
+                    tx.send(ShardCmd::Drain { below: ready, out })
+                        .map_err(|_| "shard worker died".to_string())?;
+                    batches.push(back.recv().map_err(|_| "shard worker died".to_string())?);
+                }
+                merged_below = ready;
+                merges += 1;
+                for r in &merge_sorted(batches) {
+                    writer
+                        .append(r)
+                        .map_err(|e| format!("archive append: {e}"))?;
+                }
+                writer.sync().map_err(|e| format!("archive sync: {e}"))?;
+            }
+        }
+    }
+
+    // Final drain: stop every shard, merge the tail, close the books.
+    let mut totals = ShardStats::default();
+    let mut batches = Vec::with_capacity(shard_txs.len());
+    for tx in shard_txs.iter() {
+        let (out, back) = channel();
+        tx.send(ShardCmd::Stop {
+            below: window_end,
+            out,
+        })
+        .map_err(|_| "shard worker died".to_string())?;
+        let (batch, stats) = back.recv().map_err(|_| "shard worker died".to_string())?;
+        batches.push(batch);
+        totals.absorb(&stats);
+    }
+    let final_batch = merge_sorted(batches);
+    if !final_batch.is_empty() {
+        merges += 1;
+    }
+    for r in &final_batch {
+        writer
+            .append(r)
+            .map_err(|e| format!("archive append: {e}"))?;
+    }
+    let summary = writer
+        .finish()
+        .map_err(|e| format!("archive finish: {e}"))?;
+
+    let sent = registry.total_sent();
+    let mut stats = IngestStats {
+        clients,
+        sent,
+        admitted: totals.admitted,
+        deduped: totals.deduped,
+        shed_busy: totals.shed_busy + queue_shed.load(Ordering::SeqCst),
+        rejected: totals.rejected,
+        malformed: totals.malformed,
+        late: totals.late,
+        unavailable: totals.unavailable,
+        lost: 0,
+        merges,
+        protocol_errors: registry.protocol_errors(),
+    };
+    stats.lost = sent.saturating_sub(stats.received());
+    write_ingest_stats(&archive_dir, &stats).map_err(|e| format!("write sidecar: {e}"))?;
+    println!(
+        "magellan-traced: archived {} report(s) in {} sealed segment(s)",
+        summary.records, summary.sealed_segments
+    );
+    print!("{}", stats.render());
+    if !stats.balanced() {
+        return Err(format!("ingest accounting does not balance: {stats:?}"));
+    }
+    println!("balanced yes");
+    Ok(())
+    // Reader threads are detached on purpose: the books are closed,
+    // and process exit is the shutdown protocol.
+}
+
+fn drive(args: &Args) -> Result<(), String> {
+    let params = args.params()?;
+    let server = args
+        .get("--server")
+        .ok_or_else(|| "--server ADDR is required".to_string())?
+        .clone();
+    let client_id = u32::try_from(
+        args.num("--client-id")?
+            .ok_or_else(|| "--client-id I is required".to_string())?,
+    )
+    .map_err(|_| "--client-id out of range".to_string())?;
+    let clients = u32::try_from(
+        args.num("--clients")?
+            .ok_or_else(|| "--clients N is required".to_string())?
+            .max(1),
+    )
+    .map_err(|_| "--clients out of range".to_string())?;
+    let transport = args
+        .get("--transport")
+        .map_or("tcp", String::as_str)
+        .to_string();
+    let window = args.num("--window")?.unwrap_or(64).max(1) as usize;
+    let mark_every = SimDuration::from_mins(args.num("--mark-every-mins")?.unwrap_or(10).max(1));
+    let base_ms = args.num("--backoff-base-ms")?.unwrap_or(2);
+    let cap_ms = args.num("--backoff-cap-ms")?.unwrap_or(200);
+    let max_attempts =
+        u32::try_from(args.num("--max-attempts")?.unwrap_or(8).max(1)).unwrap_or(u32::MAX);
+
+    // Deterministic per-client backoff jitter: same drill, same
+    // delays.
+    let backoff_seed = params
+        .seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(u64::from(client_id));
+    let backoff = NetBackoff::new(base_ms, cap_ms, max_attempts, backoff_seed);
+    let mut uplink = match transport.as_str() {
+        "tcp" => NetUplink::connect_tcp(server.as_str(), client_id, clients, window, backoff),
+        "udp" => NetUplink::connect_udp(server.as_str(), client_id, clients, backoff),
+        other => return Err(format!("--transport {other}: expected tcp or udp")),
+    }
+    .map_err(|e| format!("connect {server}: {e}"))?;
+
+    let cfg = params.study_config();
+    let window_end = SimTime::at(params.days, 0, 0);
+    let mut sim = OverlaySim::new(cfg.scenario(), cfg.sim.clone());
+    let shard_count = clients as usize;
+    let me = client_id as usize;
+    let mut next_mark = SimTime::ORIGIN + mark_every;
+    let mut io_error: Option<std::io::Error> = None;
+    // Every client runs the identical full simulation and sends only
+    // its partition — no coordination needed for exactly-once
+    // coverage.
+    let summary = sim
+        .run(|r| {
+            if io_error.is_some() {
+                return;
+            }
+            // Report times are nondecreasing across ticks, so seeing
+            // `next_mark` means everything below it was offered.
+            while r.time >= next_mark {
+                if let Err(e) = uplink.mark(next_mark) {
+                    io_error = Some(e);
+                    return;
+                }
+                next_mark += mark_every;
+            }
+            if shard_of(r.addr, shard_count) == me {
+                if let Err(e) = uplink.send_report(&r) {
+                    io_error = Some(e);
+                }
+            }
+        })
+        .map_err(|e| format!("simulation: {e}"))?;
+    if let Some(e) = io_error {
+        return Err(format!("uplink: {e}"));
+    }
+    uplink
+        .mark(window_end)
+        .map_err(|e| format!("final mark: {e}"))?;
+    let stats = uplink.finish().map_err(|e| format!("finish: {e}"))?;
+    println!(
+        "magellan-traced drive: client {client_id}/{clients} over {transport} — simulated {} \
+         report(s); offered {} delivered {} retransmitted {} rejected {} dropped {} attempts {} \
+         backoff-capped {}",
+        summary.reports,
+        stats.offered,
+        stats.delivered,
+        stats.retransmitted,
+        stats.rejected,
+        stats.dropped_permanent,
+        stats.attempts,
+        stats.backoff_capped,
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args(&argv);
+    let result = match argv.first().map(String::as_str) {
+        Some("serve") => serve(&args),
+        Some("drive") => drive(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Trace workbench: inspect and export archived traces.
 //!
 //! ```text
-//! tracetool stats    <trace.jsonl>
+//! tracetool stats    <trace.jsonl | archive-dir>
 //! tracetool sessions <trace.jsonl>
 //! tracetool snapshot <trace.jsonl> --at d,h,m [--scope stable|all]
 //!                    [--format summary|edges|dot] [--out file]
@@ -15,6 +15,10 @@
 //! `fsck` operate on the segmented binary archives written by
 //! `magellan study`: `inspect` summarizes contents and recovery
 //! state, `fsck` exits non-zero when any frame was lost to damage.
+//! `stats` on a directory scans the segmented archive instead of a
+//! JSONL trace and adds the `magellan-traced` ingest accounting
+//! (admitted / deduped / shed / lost and whether the books balance)
+//! when the run came through the networked service.
 
 use magellan::analysis::graphs::{active_link_graph, node_isps, NodeScope};
 use magellan::analysis::sessions::{stable_sessions, summarize};
@@ -34,7 +38,7 @@ fn load(path: &str) -> Result<TraceStore, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  tracetool stats    <trace.jsonl>\n  tracetool sessions <trace.jsonl>\n  \
+        "usage:\n  tracetool stats    <trace.jsonl | archive-dir>\n  tracetool sessions <trace.jsonl>\n  \
          tracetool snapshot <trace.jsonl> --at d,h,m [--scope stable|all] [--format summary|edges|dot] [--out file]\n  \
          tracetool inspect  <archive-dir>\n  tracetool fsck     <archive-dir>"
     );
@@ -97,6 +101,40 @@ fn scan_archive(path: &str, strict: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `stats` on a segmented archive: recovery state plus — when the run
+/// came through `magellan-traced` — the full ingest accounting and
+/// its balance verdict.
+fn archive_stats(path: &str) -> ExitCode {
+    let dir = archive_dir(path);
+    match magellan::trace::service::read_ingest_stats(&dir) {
+        Ok(Some(s)) => {
+            println!("--- ingest (magellan-traced service) ---");
+            println!("clients            : {}", s.clients);
+            println!("sent               : {}", s.sent);
+            println!("admitted           : {}", s.admitted);
+            println!("deduped            : {}", s.deduped);
+            println!("shed busy          : {}", s.shed_busy);
+            println!("rejected           : {}", s.rejected);
+            println!("malformed          : {}", s.malformed);
+            println!("late               : {}", s.late);
+            println!("unavailable        : {}", s.unavailable);
+            println!("lost in flight     : {}", s.lost);
+            println!("window merges      : {}", s.merges);
+            println!("protocol errors    : {}", s.protocol_errors);
+            println!(
+                "books balance      : {}",
+                if s.balanced() { "yes" } else { "NO" }
+            );
+        }
+        Ok(None) => println!("--- ingest: no sidecar (in-process archive) ---"),
+        Err(e) => {
+            eprintln!("error: read ingest sidecar: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    scan_archive(path, false)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let Some(cmd) = args.get(1) else {
@@ -115,6 +153,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "inspect" => return scan_archive(path, false),
         "fsck" => return scan_archive(path, true),
+        "stats" if Path::new(path).is_dir() => return archive_stats(path),
         _ => {}
     }
     let store = match load(path) {

@@ -35,6 +35,8 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod runcfg;
+
 pub use magellan_analysis as analysis;
 pub use magellan_graph as graph;
 pub use magellan_netsim as netsim;

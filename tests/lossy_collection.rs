@@ -19,8 +19,8 @@ fn collect(drop_prob: f64) -> (TraceStore, magellan::trace::loss::LossStats) {
         .flash_crowds(vec![])
         .build();
     let mut sim = OverlaySim::new(scenario, SimConfig::default());
-    let server = TraceServer::new(SimTime::at(2, 0, 0));
-    let mut chan = LossyCollector::new(&server, drop_prob, 0.01, 7);
+    let mut server = TraceServer::new(SimTime::at(2, 0, 0));
+    let mut chan = LossyCollector::new(&mut server, drop_prob, 0.01, 7);
     sim.run(|r| chan.transmit(&r)).expect("run succeeds");
     let stats = chan.stats();
     (server.into_store(), stats)

@@ -1,0 +1,216 @@
+//! Multi-process ingest drills against the real `magellan-traced`
+//! binary.
+//!
+//! The service's contract is that distribution must be invisible to
+//! the analysis: N drive processes streaming wire-encoded reports over
+//! loopback sockets into one serve process must produce an archive
+//! whose `magellan replay` report is byte-identical to replaying an
+//! in-process `magellan study` archive of the same scenario (modulo
+//! the `Ingest` accounting lines only the service writes). And under
+//! deliberate overload the service must shed — not stall, not grow
+//! without bound, not panic — with every report accounted for in the
+//! balance identity `sent == admitted + deduped + shed + ... + lost`.
+
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn magellan_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_magellan")
+}
+
+fn traced_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_magellan-traced")
+}
+
+/// Shared scenario parameters, small enough to finish in seconds and
+/// identical for the in-process study and the networked drill.
+const PARAMS: [&str; 8] = [
+    "--seed",
+    "9",
+    "--scale",
+    "0.0005",
+    "--days",
+    "1",
+    "--sample-every-mins",
+    "240",
+];
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("magellan-ingest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Polls the serve process's `--port-file` until the bound address
+/// appears, failing fast if the server dies first.
+fn wait_for_addr(port_file: &Path, serve: &mut Child) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(s) = std::fs::read_to_string(port_file) {
+            let s = s.trim();
+            if !s.is_empty() {
+                return s.to_string();
+            }
+        }
+        if let Some(status) = serve.try_wait().expect("poll serve") {
+            panic!("serve exited before binding: {status:?}");
+        }
+        assert!(Instant::now() < deadline, "serve never wrote its port file");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn wait_success(mut child: Child, what: &str) -> String {
+    let mut out = String::new();
+    if let Some(mut stdout) = child.stdout.take() {
+        stdout.read_to_string(&mut out).expect("read child stdout");
+    }
+    let status = child.wait().expect("wait child");
+    assert!(status.success(), "{what} failed ({status:?}):\n{out}");
+    out
+}
+
+/// `magellan replay` text with the service-only `Ingest` lines
+/// stripped, so traced and in-process archives compare equal.
+fn replay_filtered(dir: &Path) -> String {
+    let out = Command::new(magellan_bin())
+        .args(["replay", "--archive", &dir.to_string_lossy()])
+        .output()
+        .expect("spawn magellan replay");
+    assert!(out.status.success(), "replay failed: {out:?}");
+    String::from_utf8(out.stdout)
+        .expect("utf8 report")
+        .lines()
+        .filter(|l| !l.starts_with("Ingest"))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+fn serve(dir: &Path, port_file: &Path, extra: &[&str]) -> Child {
+    Command::new(traced_bin())
+        .arg("serve")
+        .args(["--archive", &dir.to_string_lossy()])
+        .args(["--listen", "127.0.0.1:0"])
+        .args(["--port-file", &port_file.to_string_lossy()])
+        .args(PARAMS)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn magellan-traced serve")
+}
+
+fn drive(addr: &str, client_id: u32, clients: u32, extra: &[&str]) -> Child {
+    Command::new(traced_bin())
+        .arg("drive")
+        .args(["--server", addr])
+        .args(["--client-id", &client_id.to_string()])
+        .args(["--clients", &clients.to_string()])
+        .args(PARAMS)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn magellan-traced drive")
+}
+
+/// Two TCP clients, partitioned by peer address, against one serve
+/// process: the replayed report must match the in-process study's.
+#[test]
+fn multi_process_drill_matches_in_process_study() {
+    let inproc = temp_dir("inproc");
+    let traced = temp_dir("traced");
+    let port_file = traced.join("port");
+
+    let out = Command::new(magellan_bin())
+        .arg("study")
+        .args(["--archive", &inproc.to_string_lossy()])
+        .args(PARAMS)
+        .output()
+        .expect("spawn magellan study");
+    assert!(out.status.success(), "in-process study failed: {out:?}");
+
+    let mut server = serve(&traced, &port_file, &["--clients", "2", "--shards", "2"]);
+    let addr = wait_for_addr(&port_file, &mut server);
+    let d0 = drive(&addr, 0, 2, &["--transport", "tcp"]);
+    let d1 = drive(&addr, 1, 2, &["--transport", "tcp"]);
+    wait_success(d0, "drive 0");
+    wait_success(d1, "drive 1");
+    let serve_out = wait_success(server, "serve");
+    assert!(
+        serve_out.contains("balanced yes"),
+        "serve accounting did not balance:\n{serve_out}"
+    );
+    assert!(
+        serve_out.lines().any(|l| l == "lost 0"),
+        "TCP drill lost reports:\n{serve_out}"
+    );
+
+    assert_eq!(
+        replay_filtered(&inproc),
+        replay_filtered(&traced),
+        "distributed ingest changed the analysis"
+    );
+
+    std::fs::remove_dir_all(&inproc).ok();
+    std::fs::remove_dir_all(&traced).ok();
+}
+
+/// One UDP client against a serve process with deliberately tiny
+/// queues and few client retries: the service must shed (not stall)
+/// and still account for every report it did not admit.
+#[test]
+fn overload_sheds_gracefully_and_stays_balanced() {
+    let traced = temp_dir("overload");
+    let port_file = traced.join("port");
+
+    let mut server = serve(
+        &traced,
+        &port_file,
+        &[
+            "--clients",
+            "1",
+            "--shards",
+            "1",
+            "--pending-cap",
+            "8",
+            "--queue-cap",
+            "2",
+        ],
+    );
+    let addr = wait_for_addr(&port_file, &mut server);
+    let d = drive(
+        &addr,
+        0,
+        1,
+        &[
+            "--transport",
+            "udp",
+            "--max-attempts",
+            "3",
+            "--backoff-cap-ms",
+            "8",
+        ],
+    );
+    wait_success(d, "drive under overload");
+    let serve_out = wait_success(server, "serve under overload");
+
+    assert!(
+        serve_out.contains("balanced yes"),
+        "overload broke the balance identity:\n{serve_out}"
+    );
+    let shed: u64 = serve_out
+        .lines()
+        .find_map(|l| l.strip_prefix("shed_busy "))
+        .and_then(|w| w.parse().ok())
+        .expect("shed_busy count in serve output");
+    assert!(
+        shed > 0,
+        "tiny queues should have shed reports:\n{serve_out}"
+    );
+
+    std::fs::remove_dir_all(&traced).ok();
+}

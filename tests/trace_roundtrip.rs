@@ -73,7 +73,7 @@ fn snapshots_from_reloaded_store_match() {
 #[test]
 fn simulated_reports_pass_server_validation_via_wire() {
     let store = sim_store();
-    let server = TraceServer::new(SimTime::at(2, 0, 0));
+    let mut server = TraceServer::new(SimTime::at(2, 0, 0));
     for r in store.reports().iter().take(300) {
         server
             .submit_wire(wire::encode(r))

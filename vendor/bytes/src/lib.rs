@@ -78,6 +78,19 @@ pub trait Buf {
     fn get_f64(&mut self) -> f64 {
         f64::from_bits(self.get_u64())
     }
+
+    /// Copies the next `len` bytes into an owned [`Bytes`],
+    /// consuming them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `len` bytes remain.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(self.remaining() >= len, "copy_to_bytes past end of buffer");
+        let out = Bytes::from(&self.chunk()[..len]);
+        self.advance(len);
+        out
+    }
 }
 
 impl Buf for &[u8] {
@@ -148,6 +161,12 @@ impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
         Bytes::default()
+    }
+
+    /// A buffer over static data (copied here — the stand-in has no
+    /// zero-copy machinery, only the real crate's signature).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::from(data)
     }
 
     /// Unread length.
@@ -255,6 +274,24 @@ impl BytesMut {
     pub fn extend_from_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
     }
+
+    /// Preallocates room for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Splits off and returns the first `at` bytes, leaving the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` exceeds the current length.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.data.len(), "split_to past end of BytesMut");
+        let rest = self.data.split_off(at);
+        BytesMut {
+            data: std::mem::replace(&mut self.data, rest),
+        }
+    }
 }
 
 impl From<&[u8]> for BytesMut {
@@ -279,6 +316,19 @@ impl DerefMut for BytesMut {
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        &self.data
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.data.len(), "advance past end of BytesMut");
+        self.data.drain(..n);
     }
 }
 
