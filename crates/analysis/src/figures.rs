@@ -544,16 +544,19 @@ impl StudyReport {
         if let Some(ig) = &self.ingest {
             let _ = writeln!(
                 out,
-                "Ingest — {} client(s) sent {} | admitted {} | deduped {} | shed busy {} | rejected {} | malformed {} | late {} | lost {} | merges {} | balanced {}",
+                "Ingest — {} client(s) sent {} | admitted {} | deduped {} | shed busy {} | rate limited {} | rejected {} | malformed {} | late {} | lost {} | surplus {} | evicted {} | merges {} | balanced {}",
                 ig.clients,
                 ig.sent,
                 ig.admitted,
                 ig.deduped,
                 ig.shed_busy,
+                ig.rate_limited,
                 ig.rejected,
                 ig.malformed,
                 ig.late,
                 ig.lost,
+                ig.surplus,
+                ig.evicted,
                 ig.merges,
                 if ig.balanced() { "yes" } else { "NO" }
             );

@@ -59,7 +59,7 @@ const COST_GOVERNED: [&str; 6] = [
 /// Built-in hot entry points (`(crate, fn)`), independent of source
 /// markers: the per-tick driver, the per-sample study surface, and the
 /// Csr kernel surface the study fans out to via `magellan-par`.
-const HOT_REGISTRY: [(&str, &str); 17] = [
+const HOT_REGISTRY: [(&str, &str); 19] = [
     ("magellan-overlay", "tick_once"),
     ("magellan-analysis", "finalize_boundary"),
     ("magellan-graph", "local_clustering_csr"),
@@ -79,6 +79,10 @@ const HOT_REGISTRY: [(&str, &str); 17] = [
     // report a client puts on the wire goes through these.
     ("magellan-trace", "ingest_wire"),
     ("magellan-trace", "ingest_payload"),
+    // Defense hot paths: the per-report token-bucket admission check
+    // and the per-chunk chaos-schedule decision.
+    ("magellan-trace", "try_admit"),
+    ("magellan-netsim", "next_action"),
 ];
 
 /// Allocation needles that cost on every execution: method/macro

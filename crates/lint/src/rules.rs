@@ -70,7 +70,7 @@ pub const RULES: [Rule; 17] = [
 /// fingerprint so a warm cache never silently applies a stale rule
 /// set — adding a rule id already busts the cache, but tightening an
 /// existing rule would not without this. Bump on any behavior change.
-pub const RULES_VERSION: u32 = 5;
+pub const RULES_VERSION: u32 = 6;
 
 impl Rule {
     /// The short id used in reports and `lint:allow(...)`.
@@ -316,11 +316,16 @@ pub fn default_hot_alloc_budgets() -> BTreeMap<String, usize> {
 /// exception is `magellan-par`, whose worker pool erases a job-box
 /// borrow lifetime behind a scoped-thread-style completion contract —
 /// exactly four sites (the erasing fn, its transmute, and the two
-/// submit call sites), each carrying a written contract. A new unsafe
-/// site anywhere is a conscious budget decision, never a drive-by.
+/// submit call sites), each carrying a written contract. The facade
+/// crate `magellan` carries one audited site: the `magellan-traced`
+/// drain handler binds ISO C `signal(2)` directly (no signal crate in
+/// the approved dependency set) to flip an `AtomicBool` — the sole
+/// async-signal-safe operation it performs. A new unsafe site
+/// anywhere is a conscious budget decision, never a drive-by.
 pub fn default_unsafe_budgets() -> BTreeMap<String, usize> {
     let mut m = BTreeMap::new();
     m.insert("magellan-par".to_owned(), 4);
+    m.insert("magellan".to_owned(), 1);
     m
 }
 

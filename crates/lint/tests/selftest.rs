@@ -317,12 +317,17 @@ fn default_budgets_cover_every_workspace_crate() {
     assert_eq!(
         unsafe_budgets.get("magellan-par"),
         Some(&4),
-        "the pool's four lifetime-erasure sites are the only audited unsafe"
+        "the pool's four lifetime-erasure sites"
+    );
+    assert_eq!(
+        unsafe_budgets.get("magellan"),
+        Some(&1),
+        "the facade's one audited site: the traced drain-signal binding"
     );
     assert!(
         unsafe_budgets
             .iter()
-            .all(|(k, v)| k == "magellan-par" || *v == 0),
+            .all(|(k, v)| matches!(k.as_str(), "magellan-par" | "magellan") || *v == 0),
         "every other crate stays at an unsafe budget of zero: {unsafe_budgets:?}"
     );
 }

@@ -20,7 +20,10 @@
 //! * [`capacity`] — access-link classes (ADSL, cable, Ethernet,
 //!   campus) with upload/download capacity distributions;
 //! * [`partition`] — fault windows and inter-ISP partitions, the
-//!   underlay primitives consumed by the fault-injection subsystem.
+//!   underlay primitives consumed by the fault-injection subsystem;
+//! * [`chaos`] — seeded, replayable transport-fault schedules (delays,
+//!   partial writes, corruption, resets, stalls) that the `tracetool
+//!   nemesis` proxy executes against the networked ingest service.
 
 //!
 //! ## Example
@@ -50,6 +53,7 @@
 #![deny(missing_docs)]
 
 pub mod capacity;
+pub mod chaos;
 pub mod event;
 pub mod isp;
 pub mod link;
@@ -58,6 +62,7 @@ pub mod rng;
 pub mod time;
 
 pub use capacity::{AccessClass, CapacityModel, PeerCapacity};
+pub use chaos::{render_schedule, ChaosAction, ChaosProfile, FlowKind, FlowSchedule};
 pub use event::EventQueue;
 pub use isp::{AddrAllocator, Isp, IspDatabase, IspShares, PeerAddr};
 pub use link::{LinkModel, LinkQuality};

@@ -102,7 +102,7 @@ pub use report::{
     PartnerRecord, PeerReport, ACTIVE_SEGMENT_THRESHOLD, FIRST_REPORT_DELAY, REPORT_INTERVAL,
 };
 pub use server::{ServerStats, SubmitError, TraceServer};
-pub use service::{ClientRegistry, IngestStats, ServiceCore};
+pub use service::{ClientRegistry, IngestStats, ServiceCore, ServiceResume, TokenBucket};
 pub use shard::{shard_of, Shard, ShardStats};
 pub use snapshot::{Snapshot, SnapshotBuilder};
 pub use stats::TraceStats;

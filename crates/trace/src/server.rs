@@ -60,6 +60,14 @@ pub enum SubmitError {
         /// The sealed report timestamp.
         time: SimTime,
     },
+    /// The sender exceeded its per-client token-bucket allowance.
+    /// Transient: the sender should back off and retransmit — the
+    /// bucket refills at a fixed rate (see
+    /// [`crate::service::TokenBucket`]).
+    RateLimited {
+        /// Arrival time of the throttled datagram.
+        time: SimTime,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -80,6 +88,12 @@ impl fmt::Display for SubmitError {
                 write!(
                     f,
                     "report timestamp {time} is behind the sealed merge frontier"
+                )
+            }
+            SubmitError::RateLimited { time } => {
+                write!(
+                    f,
+                    "sender over its rate allowance at {time}, retry with backoff"
                 )
             }
         }

@@ -38,10 +38,21 @@ use std::path::Path;
 /// archive directory's segments.
 pub const INGEST_SIDECAR: &str = "INGEST";
 
+/// File name of the crash-resume sidecar `serve` checkpoints after
+/// every sealed merge; `serve --resume` rebuilds its books from it.
+pub const INGEST_RESUME: &str = "INGEST.resume";
+
 /// Service-wide ingest accounting: the sum of every shard's
 /// [`ShardStats`] plus the client-reported send counts that close the
 /// books. The balance identity is
-/// `sent == admitted + deduped + shed() + lost`.
+/// `sent + surplus == admitted + deduped + shed() + lost`: on a clean
+/// drill `surplus == 0` and this reduces to the classic
+/// `sent == admitted + … + lost`; under a hostile transport the
+/// service can classify *more* datagrams than the clients ever
+/// reported sending — chaos-injected duplicates, clients that died
+/// before their `Finish`, or a crash-resume that re-received reports
+/// already counted by the previous incarnation — and that excess is
+/// `surplus = received() - sent`, attributed instead of dropped.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IngestStats {
     /// Clients that participated in the drill.
@@ -63,10 +74,20 @@ pub struct IngestStats {
     pub late: u64,
     /// Reports bounced by scheduled downtime (zero in service mode).
     pub unavailable: u64,
+    /// Reports throttled by the per-client token bucket
+    /// ([`TokenBucket`]) — transient, the client retries.
+    pub rate_limited: u64,
     /// Datagrams that left a client but never produced a server-side
     /// classification — dropped in flight (UDP) or lost with a dying
     /// connection. Derived: `sent - received()`.
     pub lost: u64,
+    /// Datagrams classified beyond what clients reported sending —
+    /// chaos duplicates, evicted clients' traffic, or re-received
+    /// reports after a crash-resume. Derived: `received() - sent`.
+    pub surplus: u64,
+    /// Expected clients evicted at the barrier deadline (stalled or
+    /// vanished) — windows sealed partial without their marks.
+    pub evicted: u64,
     /// Window merges the coordinator sealed.
     pub merges: u64,
     /// Control messages that violated the protocol (unknown client
@@ -84,26 +105,36 @@ impl IngestStats {
             + self.malformed
             + self.late
             + self.unavailable
+            + self.rate_limited
     }
 
     /// Total shed/rejected datagrams — the `shed` term of the balance
     /// identity.
     pub fn shed(&self) -> u64 {
-        self.shed_busy + self.rejected + self.malformed + self.late + self.unavailable
+        self.shed_busy
+            + self.rejected
+            + self.malformed
+            + self.late
+            + self.unavailable
+            + self.rate_limited
     }
 
     /// Whether the books balance: every datagram a client sent is
-    /// admitted, deduped, shed, or lost.
+    /// admitted, deduped, shed, or lost — and every datagram the
+    /// service classified beyond the clients' send counts is carried
+    /// as `surplus`, never silently absorbed.
     pub fn balanced(&self) -> bool {
-        self.sent == self.admitted + self.deduped + self.shed() + self.lost
+        self.sent + self.surplus == self.admitted + self.deduped + self.shed() + self.lost
     }
 
-    /// Renders the stable key-value sidecar format.
+    /// Renders the stable key-value sidecar format (v2; the v1 reader
+    /// keys remain untouched, the hostile-transport columns are
+    /// appended).
     pub fn render(&self) -> String {
         format!(
-            "ingest v1\nclients {}\nsent {}\nadmitted {}\ndeduped {}\nshed_busy {}\n\
+            "ingest v2\nclients {}\nsent {}\nadmitted {}\ndeduped {}\nshed_busy {}\n\
              rejected {}\nmalformed {}\nlate {}\nunavailable {}\nlost {}\nmerges {}\n\
-             protocol_errors {}\n",
+             protocol_errors {}\nrate_limited {}\nsurplus {}\nevicted {}\n",
             self.clients,
             self.sent,
             self.admitted,
@@ -116,14 +147,18 @@ impl IngestStats {
             self.lost,
             self.merges,
             self.protocol_errors,
+            self.rate_limited,
+            self.surplus,
+            self.evicted,
         )
     }
 
-    /// Parses [`IngestStats::render`] output. `None` on any
-    /// structural mismatch.
+    /// Parses [`IngestStats::render`] output — v2, or a v1 sidecar
+    /// written before the hostile-transport columns existed (the new
+    /// columns read as 0). `None` on any structural mismatch.
     pub fn parse(text: &str) -> Option<IngestStats> {
         let mut lines = text.lines();
-        if lines.next()? != "ingest v1" {
+        if !matches!(lines.next()?, "ingest v1" | "ingest v2") {
             return None;
         }
         let mut fields: BTreeMap<&str, u64> = BTreeMap::new();
@@ -148,7 +183,59 @@ impl IngestStats {
             lost: get("lost")?,
             merges: get("merges")?,
             protocol_errors: get("protocol_errors")?,
+            rate_limited: get("rate_limited").unwrap_or(0),
+            surplus: get("surplus").unwrap_or(0),
+            evicted: get("evicted").unwrap_or(0),
         })
+    }
+}
+
+/// A deterministic integer token bucket: `rate` tokens per second
+/// refill, at most `burst` banked, one token per admitted datagram.
+/// Pure arithmetic over a caller-supplied millisecond clock — the
+/// shell feeds wall time, tests feed a counter.
+#[derive(Debug, Clone, Copy)]
+pub struct TokenBucket {
+    rate_per_sec: u64,
+    burst_milli: u64,
+    tokens_milli: u64,
+    last_ms: u64,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `rate_per_sec` (0 disables limiting)
+    /// with at most `burst` tokens banked (clamped to at least 1),
+    /// starting full.
+    pub fn new(rate_per_sec: u64, burst: u64) -> Self {
+        let burst_milli = burst.max(1).saturating_mul(1000);
+        TokenBucket {
+            rate_per_sec,
+            burst_milli,
+            tokens_milli: burst_milli,
+            last_ms: 0,
+        }
+    }
+
+    /// Spends one token at `now_ms` if the bucket allows it; `false`
+    /// means the caller should answer [`StatusCode::RateLimited`].
+    /// `now_ms` must be monotone per bucket (a rewound clock just
+    /// refills nothing).
+    pub fn try_admit(&mut self, now_ms: u64) -> bool {
+        if self.rate_per_sec == 0 {
+            return true;
+        }
+        let elapsed = now_ms.saturating_sub(self.last_ms);
+        self.last_ms = self.last_ms.max(now_ms);
+        self.tokens_milli = self
+            .tokens_milli
+            .saturating_add(elapsed.saturating_mul(self.rate_per_sec))
+            .min(self.burst_milli);
+        if self.tokens_milli >= 1000 {
+            self.tokens_milli -= 1000;
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -176,13 +263,21 @@ pub fn read_ingest_stats(archive_dir: &Path) -> io::Result<Option<IngestStats>> 
     }
 }
 
-/// Participation bookkeeping: hellos, window marks, and finish counts
-/// of the drill's clients.
+/// Participation bookkeeping: hellos, window marks, finish counts —
+/// and liveness. Every control message `touch`es its client; a client
+/// quiet past the barrier deadline is *evicted* so the merge barrier
+/// degrades to the survivors instead of wedging [`ready_below`]
+/// forever on a peer that died mid-drill. Eviction is reversible: a
+/// touched client rejoins the barrier (its mark never regressed).
+///
+/// [`ready_below`]: ClientRegistry::ready_below
 #[derive(Debug)]
 pub struct ClientRegistry {
     expected: u32,
     marks: BTreeMap<u32, SimTime>,
     finished: BTreeMap<u32, u64>,
+    evicted: std::collections::BTreeSet<u32>,
+    last_seen_ms: BTreeMap<u32, u64>,
     protocol_errors: u64,
 }
 
@@ -193,6 +288,8 @@ impl ClientRegistry {
             expected: expected.max(1),
             marks: BTreeMap::new(),
             finished: BTreeMap::new(),
+            evicted: std::collections::BTreeSet::new(),
+            last_seen_ms: BTreeMap::new(),
             protocol_errors: 0,
         }
     }
@@ -216,10 +313,11 @@ impl ClientRegistry {
             return;
         }
         self.marks.entry(client_id).or_insert(SimTime::ORIGIN);
+        self.evicted.remove(&client_id);
     }
 
     /// Advances a client's sent-everything-below frontier (marks
-    /// never regress).
+    /// never regress). A marked client is alive: eviction is undone.
     pub fn mark(&mut self, client_id: u32, up_to: SimTime) {
         if !self.valid_id(client_id) {
             return;
@@ -228,28 +326,66 @@ impl ClientRegistry {
         if up_to > *m {
             *m = up_to;
         }
+        self.evicted.remove(&client_id);
     }
 
-    /// Records a client's final datagram count.
+    /// Records a client's final datagram count. A finished client is
+    /// no longer evicted — it completed, however slowly.
     pub fn finish(&mut self, client_id: u32, sent: u64) {
         if !self.valid_id(client_id) {
             return;
         }
         self.finished.insert(client_id, sent);
+        self.evicted.remove(&client_id);
     }
 
-    /// The barrier: the frontier below which *every* expected client
-    /// has sent everything. `None` until all clients said hello.
-    pub fn ready_below(&self) -> Option<SimTime> {
-        if self.marks.len() < self.expected as usize {
-            return None;
+    /// Stamps a client's liveness clock (milliseconds on whatever
+    /// monotone clock the shell uses). Touching revives an evicted
+    /// client.
+    pub fn touch(&mut self, client_id: u32, now_ms: u64) {
+        if client_id < self.expected {
+            self.last_seen_ms.insert(client_id, now_ms);
         }
-        self.marks.values().min().copied()
     }
 
-    /// Whether every expected client finished.
+    /// Evicts every unfinished client whose last touch (or the
+    /// drill's start, for clients that never arrived) is at least
+    /// `deadline_ms` behind `now_ms`. Returns how many were newly
+    /// evicted — the barrier then degrades to the survivors.
+    pub fn evict_idle(&mut self, now_ms: u64, deadline_ms: u64) -> u32 {
+        let mut newly = 0;
+        for id in 0..self.expected {
+            if self.finished.contains_key(&id) || self.evicted.contains(&id) {
+                continue;
+            }
+            let last = self.last_seen_ms.get(&id).copied().unwrap_or(0);
+            if now_ms.saturating_sub(last) >= deadline_ms {
+                self.evicted.insert(id);
+                newly += 1;
+            }
+        }
+        newly
+    }
+
+    /// The barrier: the frontier below which every *live* expected
+    /// client has sent everything. `None` until all live clients said
+    /// hello (and `None` when eviction has emptied the barrier — the
+    /// caller's `all_finished` check takes over).
+    pub fn ready_below(&self) -> Option<SimTime> {
+        let mut min: Option<SimTime> = None;
+        for id in 0..self.expected {
+            if self.evicted.contains(&id) {
+                continue;
+            }
+            let m = self.marks.get(&id)?;
+            min = Some(min.map_or(*m, |cur| cur.min(*m)));
+        }
+        min
+    }
+
+    /// Whether every expected client finished or was evicted.
     pub fn all_finished(&self) -> bool {
-        self.finished.len() >= self.expected as usize
+        (0..self.expected).all(|id| self.finished.contains_key(&id) || self.evicted.contains(&id))
     }
 
     /// Sum of the clients' reported datagram counts.
@@ -257,9 +393,89 @@ impl ClientRegistry {
         self.finished.values().sum()
     }
 
+    /// Clients currently evicted (stalled/vanished and not revived).
+    pub fn evicted_count(&self) -> u64 {
+        self.evicted.len() as u64
+    }
+
     /// Protocol violations seen so far.
     pub fn protocol_errors(&self) -> u64 {
         self.protocol_errors
+    }
+}
+
+/// The crash-resume sidecar `serve` checkpoints after each sealed
+/// merge: how many records the archive durably holds, the sealed
+/// merge frontier, and the receive-side accounting accumulated by
+/// this and every previous incarnation. On `--resume` the archive is
+/// truncated to exactly `archived` records
+/// ([`crate::archive::ArchiveWriter::resume`]), shards restart with
+/// their frontier at `merged_below`, and the books continue from
+/// `stats` — re-received datagrams land in `surplus`, never in the
+/// archive twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceResume {
+    /// Records durably in the archive at checkpoint time.
+    pub archived: u64,
+    /// The sealed merge frontier (milliseconds of sim time).
+    pub merged_below_ms: u64,
+    /// Receive-side accounting at checkpoint time (`sent`, `lost` and
+    /// `surplus` stay 0 until final reconciliation).
+    pub stats: IngestStats,
+}
+
+impl ServiceResume {
+    /// Renders the stable sidecar format.
+    pub fn render(&self) -> String {
+        format!(
+            "traced-resume v1\narchived {}\nmerged_below_ms {}\n{}",
+            self.archived,
+            self.merged_below_ms,
+            self.stats.render()
+        )
+    }
+
+    /// Parses [`ServiceResume::render`] output. `None` on mismatch.
+    pub fn parse(text: &str) -> Option<ServiceResume> {
+        let mut lines = text.lines();
+        if lines.next()? != "traced-resume v1" {
+            return None;
+        }
+        let archived = lines.next()?.strip_prefix("archived ")?.parse().ok()?;
+        let merged_below_ms = lines
+            .next()?
+            .strip_prefix("merged_below_ms ")?
+            .parse()
+            .ok()?;
+        let rest: String = lines.map(|l| format!("{l}\n")).collect();
+        Some(ServiceResume {
+            archived,
+            merged_below_ms,
+            stats: IngestStats::parse(&rest)?,
+        })
+    }
+}
+
+/// Writes the resume sidecar atomically into `archive_dir`.
+///
+/// # Errors
+///
+/// Filesystem I/O failure.
+pub fn write_service_resume(archive_dir: &Path, resume: &ServiceResume) -> io::Result<()> {
+    atomic_write(&archive_dir.join(INGEST_RESUME), resume.render().as_bytes())
+}
+
+/// Reads the resume sidecar; `Ok(None)` when no checkpoint exists (a
+/// crash before the first merge resumes from an empty archive).
+///
+/// # Errors
+///
+/// Filesystem I/O failure other than the file not existing.
+pub fn read_service_resume(archive_dir: &Path) -> io::Result<Option<ServiceResume>> {
+    match std::fs::read_to_string(archive_dir.join(INGEST_RESUME)) {
+        Ok(text) => Ok(ServiceResume::parse(&text)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
     }
 }
 
@@ -389,11 +605,15 @@ impl ServiceCore {
             malformed: totals.malformed,
             late: totals.late,
             unavailable: totals.unavailable,
+            rate_limited: 0,
             lost: 0,
+            surplus: 0,
+            evicted: self.registry.evicted_count(),
             merges: self.merges,
             protocol_errors: self.registry.protocol_errors(),
         };
         stats.lost = sent.saturating_sub(stats.received());
+        stats.surplus = stats.received().saturating_sub(sent);
         (final_batch, stats)
     }
 
@@ -572,14 +792,17 @@ mod tests {
         let stats = IngestStats {
             clients: 3,
             sent: 1000,
-            admitted: 900,
+            admitted: 890,
             deduped: 40,
             shed_busy: 30,
             rejected: 5,
             malformed: 4,
             late: 1,
             unavailable: 0,
+            rate_limited: 10,
             lost: 20,
+            surplus: 0,
+            evicted: 1,
             merges: 12,
             protocol_errors: 0,
         };
@@ -596,6 +819,107 @@ mod tests {
         std::fs::remove_dir_all(&dir).unwrap();
         let missing = std::env::temp_dir().join("magellan-ingest-sidecar-none");
         assert_eq!(read_ingest_stats(&missing).unwrap(), None);
+    }
+
+    /// A v1 sidecar (written before the hostile-transport columns
+    /// existed) still parses, with the new columns reading 0.
+    #[test]
+    fn v1_sidecar_still_parses_with_zeroed_new_columns() {
+        let v1 = "ingest v1\nclients 2\nsent 100\nadmitted 90\ndeduped 5\nshed_busy 3\n\
+                  rejected 0\nmalformed 0\nlate 0\nunavailable 0\nlost 2\nmerges 4\n\
+                  protocol_errors 0\n";
+        let stats = IngestStats::parse(v1).expect("v1 sidecar must parse");
+        assert_eq!(
+            (stats.rate_limited, stats.surplus, stats.evicted),
+            (0, 0, 0)
+        );
+        assert!(stats.balanced());
+    }
+
+    #[test]
+    fn token_bucket_throttles_and_refills_deterministically() {
+        let mut tb = TokenBucket::new(2, 3); // 2/s, burst 3, starts full
+        assert!(tb.try_admit(0));
+        assert!(tb.try_admit(0));
+        assert!(tb.try_admit(0));
+        assert!(!tb.try_admit(0), "burst exhausted");
+        assert!(!tb.try_admit(400), "0.8 tokens refilled, still short");
+        assert!(tb.try_admit(500), "1 full token at +500ms");
+        assert!(!tb.try_admit(500));
+        // A long quiet period banks at most `burst` tokens.
+        assert!(tb.try_admit(1_000_000));
+        assert!(tb.try_admit(1_000_000));
+        assert!(tb.try_admit(1_000_000));
+        assert!(!tb.try_admit(1_000_000));
+        // Rewound clocks refill nothing and never panic.
+        assert!(!tb.try_admit(10));
+        // rate 0 disables limiting entirely.
+        let mut open = TokenBucket::new(0, 1);
+        for _ in 0..10_000 {
+            assert!(open.try_admit(0));
+        }
+    }
+
+    /// The barrier survives a vanished client: eviction at the
+    /// deadline degrades `ready_below` to the survivors, a touched
+    /// client is revived, and `all_finished` counts evictees.
+    #[test]
+    fn eviction_unwedges_the_barrier_and_touch_revives() {
+        let mut reg = ClientRegistry::new(3);
+        reg.hello(0, 3);
+        reg.hello(1, 3);
+        reg.touch(0, 1000);
+        reg.touch(1, 1000);
+        reg.mark(0, at_min(30));
+        reg.mark(1, at_min(20));
+        // Client 2 never arrived: the barrier is wedged.
+        assert_eq!(reg.ready_below(), None);
+        // Deadline passes for client 2 only (clients 0/1 touched at
+        // 1000, client 2 implicitly at 0).
+        assert_eq!(reg.evict_idle(1500, 600), 1);
+        assert_eq!(reg.evicted_count(), 1);
+        assert_eq!(reg.ready_below(), Some(at_min(20)), "barrier degraded");
+        // Client 1 goes quiet too.
+        assert_eq!(reg.evict_idle(5000, 600), 2);
+        assert_eq!(reg.ready_below(), None, "all live clients gone");
+        assert!(reg.all_finished(), "evictees complete the roster");
+        // A late mark revives client 1: barrier re-forms around it.
+        reg.mark(1, at_min(25));
+        assert_eq!(reg.evicted_count(), 2);
+        assert_eq!(reg.ready_below(), Some(at_min(25)));
+        assert!(!reg.all_finished());
+        reg.finish(1, 10);
+        assert!(reg.all_finished());
+        assert_eq!(reg.evicted_count(), 2, "clients 0 and 2 stay evicted");
+        assert_eq!(reg.total_sent(), 10);
+    }
+
+    #[test]
+    fn resume_sidecar_round_trips() {
+        let resume = ServiceResume {
+            archived: 12345,
+            merged_below_ms: 86_400_000,
+            stats: IngestStats {
+                clients: 2,
+                admitted: 12345,
+                deduped: 7,
+                shed_busy: 3,
+                merges: 9,
+                ..IngestStats::default()
+            },
+        };
+        assert_eq!(ServiceResume::parse(&resume.render()), Some(resume));
+        assert_eq!(ServiceResume::parse("garbage"), None);
+        assert_eq!(ServiceResume::parse("traced-resume v1\narchived x\n"), None);
+
+        let dir =
+            std::env::temp_dir().join(format!("magellan-ingest-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        write_service_resume(&dir, &resume).unwrap();
+        assert_eq!(read_service_resume(&dir).unwrap(), Some(resume));
+        std::fs::remove_dir_all(&dir).unwrap();
+        let missing = std::env::temp_dir().join("magellan-ingest-resume-none");
+        assert_eq!(read_service_resume(&missing).unwrap(), None);
     }
 
     #[test]

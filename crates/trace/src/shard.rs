@@ -122,6 +122,19 @@ impl Shard {
         }
     }
 
+    /// As [`Shard::new`], but with the sealed merge frontier restored
+    /// to `merged_below` — the crash-resume constructor. The dedup
+    /// set of the previous incarnation is gone, so a re-received
+    /// report below the frontier classifies `Late` (it is already in
+    /// the archive or was already accounted) rather than duplicating
+    /// archived history; reports at or past the frontier are admitted
+    /// fresh, exactly like the first incarnation would have.
+    pub fn with_frontier(window_end: SimTime, pending_cap: usize, merged_below: SimTime) -> Self {
+        let mut shard = Shard::new(window_end, pending_cap);
+        shard.merged_below = merged_below;
+        shard
+    }
+
     /// Decodes and ingests one datagram payload. The service runs on
     /// real wall-clock time, so the report's own timestamp serves as
     /// the admission instant (shards have no downtime schedule to

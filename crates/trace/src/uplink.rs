@@ -118,7 +118,11 @@ impl ReportUplink {
         self.stats.attempts += 1;
         match gateway.submit_report(report.clone(), now) {
             Ok(()) => self.stats.delivered += 1,
-            Err(SubmitError::Unavailable { .. } | SubmitError::Busy { .. }) => self.buffer(report),
+            Err(
+                SubmitError::Unavailable { .. }
+                | SubmitError::Busy { .. }
+                | SubmitError::RateLimited { .. },
+            ) => self.buffer(report),
             Err(_) => self.stats.rejected += 1,
         }
     }
@@ -142,7 +146,11 @@ impl ReportUplink {
                     self.stats.retransmitted += 1;
                     sent += 1;
                 }
-                Err(SubmitError::Unavailable { .. } | SubmitError::Busy { .. }) => break,
+                Err(
+                    SubmitError::Unavailable { .. }
+                    | SubmitError::Busy { .. }
+                    | SubmitError::RateLimited { .. },
+                ) => break,
                 Err(_) => {
                     self.queue.pop_front();
                     self.stats.rejected += 1;
@@ -259,6 +267,13 @@ enum NetIo {
     Udp(UdpSocket),
 }
 
+/// How many TCP reconnections an uplink attempts across its lifetime
+/// before an I/O error becomes terminal. Each reconnection replays
+/// the `Hello` and retransmits every unacknowledged report, so a
+/// service restart or a chaos-injected connection reset costs retries
+/// — not the drill.
+pub const DEFAULT_RECONNECT_BUDGET: u32 = 8;
+
 /// The networked client shell: speaks the [`codec`] vocabulary to a
 /// `magellan-traced` service over a real socket, with capped
 /// exponential retry on `Busy`/`Unavailable` and (UDP) on reply
@@ -278,6 +293,10 @@ enum NetIo {
 pub struct NetUplink {
     io: NetIo,
     client_id: u32,
+    clients: u32,
+    server: Option<std::net::SocketAddr>,
+    reconnect_budget: u32,
+    reconnects: u64,
     next_seq: u64,
     window: usize,
     outstanding: BTreeMap<u64, (Bytes, u32)>,
@@ -299,12 +318,19 @@ impl NetUplink {
         window: usize,
         backoff: NetBackoff,
     ) -> io::Result<Self> {
-        let stream = TcpStream::connect(server)?;
+        let addr = server.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, "server address resolved empty")
+        })?;
+        let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(TCP_REPLY_TIMEOUT))?;
         let mut up = NetUplink {
             io: NetIo::Tcp(stream),
             client_id,
+            clients,
+            server: Some(addr),
+            reconnect_budget: DEFAULT_RECONNECT_BUDGET,
+            reconnects: 0,
             next_seq: 0,
             window: window.max(1),
             outstanding: BTreeMap::new(),
@@ -313,6 +339,17 @@ impl NetUplink {
         };
         up.send_control(&ClientMsg::Hello { client_id, clients })?;
         Ok(up)
+    }
+
+    /// Overrides the lifetime TCP reconnection budget (0 disables
+    /// reconnection entirely: the first I/O error is terminal).
+    pub fn set_reconnect_budget(&mut self, budget: u32) {
+        self.reconnect_budget = budget;
+    }
+
+    /// TCP reconnections performed so far.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
     }
 
     /// Connects over UDP (stop-and-wait) and says hello.
@@ -332,6 +369,10 @@ impl NetUplink {
         let mut up = NetUplink {
             io: NetIo::Udp(sock),
             client_id,
+            clients,
+            server: None,
+            reconnect_budget: 0,
+            reconnects: 0,
             next_seq: 0,
             window: 1,
             outstanding: BTreeMap::new(),
@@ -355,6 +396,83 @@ impl NetUplink {
         }
     }
 
+    /// As [`NetUplink::send_control`], but a TCP write failure burns a
+    /// reconnection and resends instead of surfacing.
+    fn send_control_resilient(&mut self, msg: &ClientMsg) -> io::Result<()> {
+        match self.send_control(msg) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.recover_tcp(e)?;
+                self.send_control(msg)
+            }
+        }
+    }
+
+    /// After a TCP I/O failure: burn one unit of the reconnection
+    /// budget per attempt until a fresh connection accepts the
+    /// replayed `Hello` and the retransmission of every
+    /// unacknowledged report. Surfaces the original error once the
+    /// budget is spent (or immediately on UDP, which has no
+    /// connection to re-establish).
+    fn recover_tcp(&mut self, err: io::Error) -> io::Result<()> {
+        if matches!(self.io, NetIo::Udp(_)) || self.server.is_none() {
+            return Err(err);
+        }
+        let mut attempt = 0u32;
+        loop {
+            if self.reconnect_budget == 0 {
+                return Err(err);
+            }
+            self.reconnect_budget -= 1;
+            attempt += 1;
+            let (delay, capped) = self.backoff.delay_ms(attempt);
+            if capped {
+                self.stats.backoff_capped += 1;
+            }
+            std::thread::sleep(Duration::from_millis(delay));
+            if self.try_reconnect().is_ok() {
+                self.reconnects += 1;
+                return Ok(());
+            }
+        }
+    }
+
+    fn try_reconnect(&mut self) -> io::Result<()> {
+        let addr = self
+            .server
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "no server address"))?;
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(TCP_REPLY_TIMEOUT))?;
+        self.io = NetIo::Tcp(stream);
+        let (client_id, clients) = (self.client_id, self.clients);
+        self.send_control(&ClientMsg::Hello { client_id, clients })?;
+        // Every unacknowledged report may have died with the old
+        // connection; retransmit them all. A report the server did
+        // classify before the cut comes back `AckDuplicate` — still
+        // delivered.
+        let pending: Vec<(u64, Bytes, u32)> = self
+            .outstanding
+            .iter()
+            .map(|(seq, (payload, count))| (*seq, payload.clone(), *count))
+            .collect();
+        for (seq, payload, count) in pending {
+            self.stats.attempts += 1;
+            let body = codec::encode_client_msg(&ClientMsg::Report {
+                seq,
+                payload: payload.clone(),
+            });
+            let NetIo::Tcp(stream) = &mut self.io else {
+                debug_assert!(false, "try_reconnect on a UDP uplink");
+                return Ok(());
+            };
+            stream.write_all(&codec::frame(&body))?;
+            self.outstanding
+                .insert(seq, (payload, count.saturating_add(1)));
+        }
+        Ok(())
+    }
+
     /// Offers one report for delivery. Retryable verdicts are retried
     /// on the backoff schedule; permanent verdicts are counted and
     /// dropped. An `Err` means the transport itself failed.
@@ -369,9 +487,14 @@ impl NetUplink {
         self.next_seq += 1;
         match self.io {
             NetIo::Tcp(_) => {
-                self.transmit_tcp(seq, &payload, 1)?;
+                if let Err(e) = self.transmit_tcp(seq, &payload, 1) {
+                    self.recover_tcp(e)?;
+                    self.transmit_tcp(seq, &payload, 2)?;
+                }
                 while self.outstanding.len() >= self.window {
-                    self.read_reply_tcp()?;
+                    if let Err(e) = self.read_reply_tcp() {
+                        self.recover_tcp(e)?;
+                    }
                 }
                 Ok(())
             }
@@ -485,7 +608,9 @@ impl NetUplink {
     /// Socket I/O failure or an undecodable reply stream.
     pub fn flush_outstanding(&mut self) -> io::Result<()> {
         while !self.outstanding.is_empty() {
-            self.read_reply_tcp()?;
+            if let Err(e) = self.read_reply_tcp() {
+                self.recover_tcp(e)?;
+            }
         }
         Ok(())
     }
@@ -501,7 +626,7 @@ impl NetUplink {
     pub fn mark(&mut self, up_to: SimTime) -> io::Result<()> {
         self.flush_outstanding()?;
         let client_id = self.client_id;
-        self.send_control(&ClientMsg::WindowMark { client_id, up_to })
+        self.send_control_resilient(&ClientMsg::WindowMark { client_id, up_to })
     }
 
     /// Drains outstanding replies, reports the total datagram count
@@ -515,7 +640,7 @@ impl NetUplink {
         self.flush_outstanding()?;
         let client_id = self.client_id;
         let sent = self.stats.attempts;
-        self.send_control(&ClientMsg::Finish { client_id, sent })?;
+        self.send_control_resilient(&ClientMsg::Finish { client_id, sent })?;
         Ok(self.stats)
     }
 
@@ -817,6 +942,63 @@ mod tests {
         let ingest = service.join().unwrap();
         assert!(ingest.balanced(), "{ingest:?}");
         assert_eq!(ingest.shed_busy, 3);
+    }
+
+    /// A service that accepts a connection, drops it cold after the
+    /// first frame, then serves the replacement connection normally:
+    /// the uplink must reconnect, replay its `Hello`, retransmit the
+    /// unacknowledged window, and finish with balanced books.
+    #[test]
+    fn net_uplink_tcp_reconnects_after_connection_reset() {
+        use crate::codec::{decode_client_msg, encode_reply, FrameReader};
+        use crate::service::ServiceCore;
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let service = std::thread::spawn(move || {
+            // First connection: swallow the Hello, then hang up.
+            let (first, _) = listener.accept().unwrap();
+            let mut chunk = [0u8; 64];
+            let mut first = first;
+            let _ = first.read(&mut chunk);
+            first.shutdown(std::net::Shutdown::Both).ok();
+            drop(first);
+            // Second connection: a real single-shard service.
+            let (mut stream, _) = listener.accept().unwrap();
+            stream.set_nodelay(true).unwrap();
+            let mut core = ServiceCore::new(SimTime::at(14, 0, 0), 1, 1024, 1);
+            let mut frames = FrameReader::new();
+            let mut buf = [0u8; 4096];
+            while !core.all_finished() {
+                let n = match stream.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => n,
+                };
+                frames.extend(&buf[..n]);
+                while let Some(mut body) = frames.next_frame().unwrap() {
+                    let msg = decode_client_msg(&mut body).unwrap();
+                    let (reply, _batch) = core.handle(&msg);
+                    if let Some(r) = reply {
+                        stream.write_all(&encode_reply(&r)).unwrap();
+                    }
+                }
+            }
+            core.finalize().1
+        });
+
+        let mut up = NetUplink::connect_tcp(addr, 0, 1, 4, NetBackoff::new(1, 4, 5, 23)).unwrap();
+        for ip in 1..=8u32 {
+            up.send_report(&report(ip, 20)).unwrap();
+        }
+        up.mark(at_min(30)).unwrap();
+        assert!(up.reconnects() >= 1, "the cut connection went unnoticed");
+        let stats = up.finish().unwrap();
+        assert_eq!(stats.delivered, 8, "{stats:?}");
+        assert_eq!(stats.dropped_permanent, 0);
+        let ingest = service.join().unwrap();
+        assert!(ingest.balanced(), "{ingest:?}");
+        assert_eq!(ingest.admitted, 8);
     }
 
     #[test]

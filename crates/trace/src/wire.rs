@@ -81,11 +81,14 @@ pub enum StatusCode {
     /// Report arrived behind the sealed merge frontier
     /// ([`SubmitError::Late`]).
     Late = 7,
+    /// Sender over its token-bucket allowance; back off and
+    /// retransmit ([`SubmitError::RateLimited`]).
+    RateLimited = 8,
 }
 
 impl StatusCode {
     /// Every status code, in wire order — exhaustiveness harness.
-    pub const ALL: [StatusCode; 8] = [
+    pub const ALL: [StatusCode; 9] = [
         StatusCode::Ack,
         StatusCode::AckDuplicate,
         StatusCode::Busy,
@@ -94,6 +97,7 @@ impl StatusCode {
         StatusCode::Implausible,
         StatusCode::Malformed,
         StatusCode::Late,
+        StatusCode::RateLimited,
     ];
 
     /// The one-byte wire value.
@@ -118,9 +122,10 @@ impl StatusCode {
             Err(SubmitError::OutOfWindow { .. }) => StatusCode::OutOfWindow,
             Err(SubmitError::Implausible { .. }) => StatusCode::Implausible,
             Err(SubmitError::Malformed(_)) => StatusCode::Malformed,
+            Err(SubmitError::Late { .. }) => StatusCode::Late,
             // Exhaustive on purpose: adding a `SubmitError` variant
             // must force a decision about its wire code here.
-            Err(SubmitError::Late { .. }) => StatusCode::Late,
+            Err(SubmitError::RateLimited { .. }) => StatusCode::RateLimited,
         }
     }
 
@@ -143,6 +148,7 @@ impl StatusCode {
                 context: "rejected by remote decoder",
             })),
             StatusCode::Late => Err(SubmitError::Late { time: at }),
+            StatusCode::RateLimited => Err(SubmitError::RateLimited { time: at }),
         }
     }
 
@@ -150,7 +156,10 @@ impl StatusCode {
     /// Retryable bounces are transient server states; everything else
     /// is a permanent verdict on this report.
     pub fn is_retryable(self) -> bool {
-        matches!(self, StatusCode::Busy | StatusCode::Unavailable)
+        matches!(
+            self,
+            StatusCode::Busy | StatusCode::Unavailable | StatusCode::RateLimited
+        )
     }
 
     /// Whether the report is settled server-side (stored or absorbed)
@@ -377,6 +386,7 @@ mod tests {
                 context: "rejected by remote decoder",
             })),
             Err(SubmitError::Late { time: at }),
+            Err(SubmitError::RateLimited { time: at }),
         ];
         // One outcome per code: the mapping is a bijection over ALL.
         assert_eq!(outcomes.len(), StatusCode::ALL.len());
@@ -395,7 +405,7 @@ mod tests {
     /// exact inverse on known codes and `None` past the end.
     #[test]
     fn status_code_bytes_are_stable_and_invertible() {
-        let pinned: [(StatusCode, u8); 8] = [
+        let pinned: [(StatusCode, u8); 9] = [
             (StatusCode::Ack, 0),
             (StatusCode::AckDuplicate, 1),
             (StatusCode::Busy, 2),
@@ -404,6 +414,7 @@ mod tests {
             (StatusCode::Implausible, 5),
             (StatusCode::Malformed, 6),
             (StatusCode::Late, 7),
+            (StatusCode::RateLimited, 8),
         ];
         for (code, byte) in pinned {
             assert_eq!(code.as_u8(), byte, "{code:?} renumbered");
@@ -424,14 +435,19 @@ mod tests {
                 !(code.is_delivered() && code.is_retryable()),
                 "{code:?} both delivered and retryable"
             );
-            let expect_retry = matches!(code, StatusCode::Busy | StatusCode::Unavailable);
+            let expect_retry = matches!(
+                code,
+                StatusCode::Busy | StatusCode::Unavailable | StatusCode::RateLimited
+            );
             assert_eq!(code.is_retryable(), expect_retry);
             // A retryable bounce must come back as an error the
             // uplink buffers rather than counts rejected.
             if code.is_retryable() {
                 assert!(matches!(
                     code.into_admission(SimTime::ORIGIN),
-                    Err(SubmitError::Busy { .. } | SubmitError::Unavailable { .. })
+                    Err(SubmitError::Busy { .. }
+                        | SubmitError::Unavailable { .. }
+                        | SubmitError::RateLimited { .. })
                 ));
             }
         }

@@ -3,8 +3,9 @@
 # warnings denied, the magellan-lint pass (line rules, D4 taint, the
 # H2/H3/P2 hot-path cost analysis, and the L1/S1/U1 concurrency
 # pass), the test suite, a loom smoke over the worker pool, and the
-# end-to-end smokes: fault schedule, crash recovery, and the
-# multi-process loopback-ingest drill against magellan-traced. Run
+# end-to-end smokes: fault schedule, crash recovery, the
+# multi-process loopback-ingest drill against magellan-traced, and
+# the chaos-ingest drill through the tracetool nemesis proxy. Run
 # from anywhere inside the repo.
 #
 # The two advisory clippy lints (unwrap_used, indexing_slicing) are
@@ -139,6 +140,50 @@ for _ in $(seq 1 150); do [ -s "${INGEST}/oport" ] && break; sleep 0.2; done
 wait "${OSERVE}"
 grep -q '^balanced yes$' "${INGEST}/overload.txt"
 rm -rf "${INGEST}"
+
+stage "chaos-ingest smoke"
+# The hostile-network drill (DESIGN.md §14): the same two-drive TCP
+# study, but every client byte now crosses `tracetool nemesis` — the
+# seeded chaos proxy injecting latency, partial/coalesced writes,
+# stalls, resets, and mid-stream kills. The drives carry a reconnect
+# budget, the serve process must close balanced books, and the
+# replayed archive must still match the in-process study byte for
+# byte. The schedule itself must be a pure function of the seed:
+# printing it twice must agree exactly.
+CHAOS=$(mktemp -d)
+./target/release/magellan study --archive "${CHAOS}/inproc" "${PARAMS[@]}" \
+    > /dev/null
+./target/release/magellan-traced serve --archive "${CHAOS}/traced" \
+    --listen 127.0.0.1:0 --port-file "${CHAOS}/port" \
+    --clients 2 --shards 2 "${PARAMS[@]}" > "${CHAOS}/serve.txt" &
+CSERVE=$!
+for _ in $(seq 1 150); do [ -s "${CHAOS}/port" ] && break; sleep 0.2; done
+./target/release/tracetool nemesis --upstream "$(cat "${CHAOS}/port")" \
+    --listen 127.0.0.1:0 --port-file "${CHAOS}/proxy-port" \
+    --profile tcp --seed 9 > /dev/null &
+NEMESIS=$!
+for _ in $(seq 1 150); do [ -s "${CHAOS}/proxy-port" ] && break; sleep 0.2; done
+CADDR=$(cat "${CHAOS}/proxy-port")
+./target/release/magellan-traced drive --server "${CADDR}" --client-id 0 \
+    --clients 2 --transport tcp --reconnect 64 "${PARAMS[@]}" > /dev/null &
+CDRIVE0=$!
+./target/release/magellan-traced drive --server "${CADDR}" --client-id 1 \
+    --clients 2 --transport tcp --reconnect 64 "${PARAMS[@]}" > /dev/null
+wait "${CDRIVE0}"
+wait "${CSERVE}"
+kill "${NEMESIS}" 2> /dev/null || true
+grep -q '^balanced yes$' "${CHAOS}/serve.txt"
+./target/release/magellan replay --archive "${CHAOS}/inproc" \
+    | grep -v '^Ingest' > "${CHAOS}/inproc.txt"
+./target/release/magellan replay --archive "${CHAOS}/traced" \
+    | grep -v '^Ingest' > "${CHAOS}/traced.txt"
+cmp "${CHAOS}/inproc.txt" "${CHAOS}/traced.txt"
+./target/release/tracetool nemesis --print-schedule 64 --flows 4 --seed 9 \
+    --profile tcp > "${CHAOS}/sched-a.txt"
+./target/release/tracetool nemesis --print-schedule 64 --flows 4 --seed 9 \
+    --profile tcp > "${CHAOS}/sched-b.txt"
+cmp "${CHAOS}/sched-a.txt" "${CHAOS}/sched-b.txt"
+rm -rf "${CHAOS}"
 
 stage "done"
 echo "==> all checks passed"

@@ -4,12 +4,17 @@
 //! ```text
 //! magellan-traced serve --archive DIR [--listen ADDR] [--clients N]
 //!                       [--shards N] [--pending-cap N] [--queue-cap N]
-//!                       [--port-file FILE] [--seed N] [--scale F] [--days N]
+//!                       [--port-file FILE] [--resume]
+//!                       [--idle-timeout-ms N] [--barrier-timeout-ms N]
+//!                       [--max-conns N] [--max-conns-per-ip N]
+//!                       [--rate-limit N] [--rate-burst N]
+//!                       [--seed N] [--scale F] [--days N]
 //!                       [--sample-every-mins N] [--segment-bytes N]
 //! magellan-traced drive --server ADDR --client-id I --clients N
 //!                       [--transport tcp|udp] [--window N]
 //!                       [--mark-every-mins N] [--backoff-base-ms N]
 //!                       [--backoff-cap-ms N] [--max-attempts N]
+//!                       [--reconnect N]
 //!                       [--seed N] [--scale F] [--days N]
 //!                       [--sample-every-mins N]
 //! ```
@@ -26,13 +31,39 @@
 //! `Busy` at the queue, accounted), reader threads that only route,
 //! and a coordinator owning the registry and the archive writer.
 //!
+//! The service assumes a hostile network. Every socket carries a read
+//! timeout and an idle deadline (`--idle-timeout-ms`), so a slowloris
+//! connection — opened, half-fed, never finished — is reaped instead
+//! of pinning a reader thread forever. The acceptor enforces
+//! `--max-conns` / `--max-conns-per-ip`; surplus connections are
+//! closed on arrival and counted. With `--rate-limit` set, each TCP
+//! connection and each UDP source gets a token bucket and over-budget
+//! reports are answered [`StatusCode::RateLimited`] — a retryable
+//! verdict the [`NetUplink`] backs off on. A client that goes silent
+//! past `--barrier-timeout-ms` is evicted from the window barrier, so
+//! a vanished peer degrades the seal to an accounted partial window
+//! instead of wedging the merge pipeline.
+//!
+//! The service itself is crash-safe. `SIGTERM`/`SIGINT` request a
+//! drain: the acceptor stops accepting, unfinished clients are
+//! evicted, the in-flight window is sealed, the sidecar is flushed,
+//! and the process exits 0. After `kill -9`, `serve --resume` reopens
+//! the archive at the last checkpoint (the `INGEST.resume` sidecar is
+//! rewritten after every merge+sync), truncates any torn tail, and
+//! restores the merge frontier so re-received reports below it shed
+//! as `Late` while everything at or past it is admitted fresh —
+//! re-receives reconcile in the `surplus` column, never in the
+//! archive twice.
+//!
 //! `drive` runs the full deterministic study simulation and streams
 //! the partition `shard_of(addr, clients) == client_id` to the
 //! service through a [`NetUplink`], marking window boundaries every
-//! `--mark-every-mins` of simulated time. N drive processes with the
-//! same study parameters cover every report exactly once, which is
-//! what makes the multi-process drill reproduce the in-process
-//! `StudyReport`.
+//! `--mark-every-mins` of simulated time. `--reconnect N` arms the
+//! uplink's reconnect budget: a mid-stream connection kill is
+//! answered by redial + re-`Hello` + retransmit of every outstanding
+//! report. N drive processes with the same study parameters cover
+//! every report exactly once, which is what makes the multi-process
+//! drill reproduce the in-process `StudyReport`.
 //!
 //! Control messages over UDP are sent blind with redundancy; on a
 //! lossy path a fully lost `Hello`/`Finish` can stall the barrier, so
@@ -42,25 +73,70 @@
 use bytes::Bytes;
 use magellan::netsim::{SimDuration, SimTime};
 use magellan::overlay::OverlaySim;
-use magellan::runcfg::{cfg_path, RunParams};
+use magellan::runcfg::{cfg_path, load_params, RunParams};
 use magellan::trace::codec::{self, ClientMsg, FrameReader, ReplyMsg};
-use magellan::trace::service::{merge_sorted, write_ingest_stats};
+use magellan::trace::service::{
+    merge_sorted, read_service_resume, write_ingest_stats, write_service_resume, ServiceResume,
+};
 use magellan::trace::shard::{shard_of, Shard, ShardStats};
 use magellan::trace::{
     atomic_write, ArchiveWriter, ClientRegistry, IngestStats, NetBackoff, NetUplink, PeerReport,
-    StatusCode,
+    StatusCode, TokenBucket,
 };
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
-use std::path::PathBuf;
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 // lint:allow(P1): service shell, not simulation — channels carry socket traffic whose interleaving is inherently external
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, SendError, Sender, SyncSender, TrySendError,
+};
 // lint:allow(P1): service shell — the reply half of a TCP stream is shared between shard workers, nothing simulation-visible
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// How often a blocked socket read wakes to check the idle deadline
+/// and the drain flag.
+const READ_TICK_MS: u64 = 200;
+
+/// `SIGINT` on every platform this service targets.
+const SIGINT: i32 = 2;
+/// `SIGTERM` on every platform this service targets.
+const SIGTERM: i32 = 15;
+
+/// Set by the signal handler. The acceptor stops accepting, reader
+/// threads wind down at their next tick, and the coordinator drains
+/// the in-flight window and exits 0.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// The drain handler: one atomic store, the only thing that is
+/// async-signal-safe to do here.
+extern "C" fn on_drain_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    /// ISO C `signal(2)`, provided by the platform libc that `std`
+    /// already links — bound directly to keep the dependency set
+    /// closed (no signal-handling crate).
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Arms the drain protocol: `SIGTERM`/`SIGINT` flip [`SHUTDOWN`]
+/// instead of killing the process mid-write.
+fn install_drain_handler() {
+    let handler = on_drain_signal as extern "C" fn(i32) as *const () as usize;
+    // SAFETY: `signal` matches the ISO C prototype (libc is linked by std on this platform); the handler only performs one atomic store, which is async-signal-safe; and the handler is a static fn item, so the pointer outlives the process.
+    unsafe { (signal(SIGTERM, handler), signal(SIGINT, handler)) };
+}
+
+/// True once a drain signal arrived.
+fn drain_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
 
 /// Where a shard worker sends the 9-byte reply record.
 enum ReplyTo {
@@ -79,10 +155,11 @@ enum ShardCmd {
         seq: u64,
         reply: ReplyTo,
     },
-    /// Seal a window: drain everything below the barrier.
+    /// Seal a window: drain everything below the barrier and report
+    /// the shard's running books (the coordinator checkpoints them).
     Drain {
         below: SimTime,
-        out: Sender<Vec<PeerReport>>,
+        out: Sender<(Vec<PeerReport>, ShardStats)>,
     },
     /// Final drain; the worker returns its accounting and exits.
     Stop {
@@ -98,14 +175,125 @@ enum Ctrl {
     Finish { client_id: u32, sent: u64 },
 }
 
+/// Shed/defense counters shared by every reader thread. All are
+/// connection-plane events the coordinator folds into the final
+/// books (and prints), so hostile traffic is visible, not silent.
+#[derive(Default)]
+struct Counters {
+    /// Reports shed `Busy` because a shard FIFO was full.
+    queue_shed: AtomicU64,
+    /// Reports answered `RateLimited` by a token bucket.
+    rate_limited: AtomicU64,
+    /// Connections reaped by the idle deadline (slowloris defense).
+    reaped: AtomicU64,
+    /// Connections refused by the max-conns / per-IP governor.
+    refused: AtomicU64,
+}
+
+/// Per-reader defense knobs, plus the service epoch for token-bucket
+/// clocks.
+#[derive(Clone, Copy)]
+struct Defense {
+    idle_timeout_ms: u64,
+    rate_limit: u64,
+    rate_burst: u64,
+}
+
+/// Everything a reader thread needs, cloned per connection.
+#[derive(Clone)]
+struct ReaderCtx {
+    shards: Arc<Vec<SyncSender<ShardCmd>>>,
+    ctrl: Sender<Ctrl>,
+    counters: Arc<Counters>,
+    defense: Defense,
+    /// The serve epoch — token buckets and the registry's idle clock
+    /// both run on milliseconds since this instant.
+    epoch: Instant,
+}
+
+impl ReaderCtx {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+}
+
+/// The connection census: total and per-IP caps enforced at accept
+/// time, released when the reader thread drops its permit.
+struct ConnGovernor {
+    max_conns: usize,
+    max_per_ip: usize,
+    // lint:allow(P1): service shell — guards only the connection census, nothing simulation-visible
+    table: Mutex<ConnTable>,
+}
+
+#[derive(Default)]
+struct ConnTable {
+    total: usize,
+    per_ip: BTreeMap<IpAddr, usize>,
+}
+
+impl ConnGovernor {
+    fn new(max_conns: usize, max_per_ip: usize) -> Arc<Self> {
+        Arc::new(ConnGovernor {
+            max_conns,
+            max_per_ip,
+            // lint:allow(P1): service shell — guards only the connection census, nothing simulation-visible
+            table: Mutex::new(ConnTable::default()),
+        })
+    }
+
+    /// Admits a connection from `ip`, or refuses it when either cap
+    /// is reached. The returned permit releases the slot on drop, so
+    /// every reader-thread exit path (EOF, error, reap) decrements.
+    fn admit(self: &Arc<Self>, ip: IpAddr) -> Option<ConnPermit> {
+        let mut t = self.table.lock().unwrap_or_else(PoisonError::into_inner);
+        let mine = t.per_ip.get(&ip).copied().unwrap_or(0);
+        if t.total >= self.max_conns || mine >= self.max_per_ip {
+            return None;
+        }
+        t.total += 1;
+        t.per_ip.insert(ip, mine + 1);
+        Some(ConnPermit {
+            gov: Arc::clone(self),
+            ip,
+        })
+    }
+
+    fn release(&self, ip: IpAddr) {
+        let mut t = self.table.lock().unwrap_or_else(PoisonError::into_inner);
+        t.total = t.total.saturating_sub(1);
+        if let Some(n) = t.per_ip.get_mut(&ip) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                t.per_ip.remove(&ip);
+            }
+        }
+    }
+}
+
+/// One admitted connection's slot in the census.
+struct ConnPermit {
+    gov: Arc<ConnGovernor>,
+    ip: IpAddr,
+}
+
+impl Drop for ConnPermit {
+    fn drop(&mut self) {
+        self.gov.release(self.ip);
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  magellan-traced serve --archive DIR [--listen ADDR] [--clients N] [--shards N]\n                        \
-         [--pending-cap N] [--queue-cap N] [--port-file FILE]\n                        \
+         [--pending-cap N] [--queue-cap N] [--port-file FILE] [--resume]\n                        \
+         [--idle-timeout-ms N] [--barrier-timeout-ms N] [--max-conns N]\n                        \
+         [--max-conns-per-ip N] [--rate-limit N] [--rate-burst N]\n                        \
          [--seed N] [--scale F] [--days N] [--sample-every-mins N] [--segment-bytes N]\n  \
          magellan-traced drive --server ADDR --client-id I --clients N [--transport tcp|udp]\n                        \
          [--window N] [--mark-every-mins N] [--backoff-base-ms N] [--backoff-cap-ms N]\n                        \
-         [--max-attempts N] [--seed N] [--scale F] [--days N] [--sample-every-mins N]"
+         [--max-attempts N] [--reconnect N] [--seed N] [--scale F] [--days N]\n                        \
+         [--sample-every-mins N]"
     );
     ExitCode::FAILURE
 }
@@ -140,7 +328,7 @@ fn shard_worker(mut shard: Shard, rx: Receiver<ShardCmd>) {
                 send_reply(&reply, &ReplyMsg { seq, status });
             }
             ShardCmd::Drain { below, out } => {
-                let _ = out.send(shard.drain_below(below));
+                let _ = out.send((shard.drain_below(below), shard.stats()));
             }
             ShardCmd::Stop { below, out } => {
                 let _ = out.send((shard.drain_below(below), shard.stats()));
@@ -186,31 +374,46 @@ fn route_report(
 
 /// Serves one TCP connection: length-framed requests in, raw reply
 /// records out (written by whichever shard worker classified the
-/// report). Returns — closing the connection — on EOF, I/O error, or
-/// the first undecodable frame (the stream is desynced beyond repair;
-/// the client's datagrams become `lost`).
-fn tcp_conn(
-    stream: TcpStream,
-    shards: Arc<Vec<SyncSender<ShardCmd>>>,
-    ctrl: Sender<Ctrl>,
-    queue_shed: Arc<AtomicU64>,
-) {
+/// report). Returns — closing the connection — on EOF, I/O error,
+/// the first undecodable frame (the stream is desynced beyond
+/// repair; the client's datagrams become `lost`), the idle deadline
+/// (the slowloris defense — a half-open connection cannot pin a
+/// reader thread), or a drain signal.
+fn tcp_conn(stream: TcpStream, ctx: ReaderCtx) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
     // A client that stops reading replies must wedge only itself,
     // never a shard worker.
     let _ = write_half.set_write_timeout(Some(Duration::from_secs(5)));
+    // The read timeout is the reaper tick: a blocked read wakes every
+    // tick to check the idle deadline and the drain flag.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(READ_TICK_MS)));
     // lint:allow(P1): service shell — shares the socket write half with shard workers; replies are seq-matched
     let write_half = Arc::new(Mutex::new(write_half));
     let mut stream = stream;
     let mut frames = FrameReader::new();
     let mut buf = [0u8; 16 * 1024];
+    let mut bucket = TokenBucket::new(ctx.defense.rate_limit, ctx.defense.rate_burst);
+    // lint:allow(D2): service shell — socket idle deadlines run on wall clock, not simulation time
+    let mut last_data = Instant::now();
     loop {
         let n = match stream.read(&mut buf) {
-            Ok(0) | Err(_) => return,
+            Ok(0) => return,
             Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if drain_requested() {
+                    return;
+                }
+                if last_data.elapsed().as_millis() as u64 >= ctx.defense.idle_timeout_ms {
+                    ctx.counters.reaped.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
         };
+        last_data = Instant::now(); // lint:allow(D2): service shell — wall-clock idle deadline
         frames.extend(&buf[..n]);
         loop {
             let mut body = match frames.next_frame() {
@@ -223,23 +426,34 @@ fn tcp_conn(
             };
             let forwarded = match msg {
                 ClientMsg::Report { seq, payload } => {
-                    route_report(
-                        &shards,
-                        payload,
-                        seq,
-                        ReplyTo::Tcp(Arc::clone(&write_half)),
-                        &queue_shed,
-                    );
+                    if bucket.try_admit(ctx.now_ms()) {
+                        route_report(
+                            &ctx.shards,
+                            payload,
+                            seq,
+                            ReplyTo::Tcp(Arc::clone(&write_half)),
+                            &ctx.counters.queue_shed,
+                        );
+                    } else {
+                        ctx.counters.rate_limited.fetch_add(1, Ordering::SeqCst);
+                        send_reply(
+                            &ReplyTo::Tcp(Arc::clone(&write_half)),
+                            &ReplyMsg {
+                                seq,
+                                status: StatusCode::RateLimited,
+                            },
+                        );
+                    }
                     Ok(())
                 }
                 ClientMsg::Hello { client_id, clients } => {
-                    ctrl.send(Ctrl::Hello { client_id, clients })
+                    ctrl_send(&ctx, Ctrl::Hello { client_id, clients })
                 }
                 ClientMsg::WindowMark { client_id, up_to } => {
-                    ctrl.send(Ctrl::Mark { client_id, up_to })
+                    ctrl_send(&ctx, Ctrl::Mark { client_id, up_to })
                 }
                 ClientMsg::Finish { client_id, sent } => {
-                    ctrl.send(Ctrl::Finish { client_id, sent })
+                    ctrl_send(&ctx, Ctrl::Finish { client_id, sent })
                 }
             };
             if forwarded.is_err() {
@@ -249,19 +463,29 @@ fn tcp_conn(
     }
 }
 
+/// Forwards one control message to the coordinator.
+fn ctrl_send(ctx: &ReaderCtx, msg: Ctrl) -> Result<(), SendError<Ctrl>> {
+    ctx.ctrl.send(msg)
+}
+
 /// Serves the UDP side: one message per datagram, reports answered
 /// with one reply datagram, undecodable datagrams silently dropped
-/// (they reconcile as `lost` — there is no sequence number to answer).
-fn udp_reader(
-    sock: Arc<UdpSocket>,
-    shards: Arc<Vec<SyncSender<ShardCmd>>>,
-    ctrl: Sender<Ctrl>,
-    queue_shed: Arc<AtomicU64>,
-) {
+/// (they reconcile as `lost` — there is no sequence number to
+/// answer). Rate limiting is per source address, since UDP has no
+/// connection to hang a bucket on.
+fn udp_reader(sock: Arc<UdpSocket>, ctx: ReaderCtx) {
+    let _ = sock.set_read_timeout(Some(Duration::from_millis(READ_TICK_MS)));
+    let mut buckets: BTreeMap<SocketAddr, TokenBucket> = BTreeMap::new();
     let mut buf = [0u8; 64 * 1024];
     loop {
         let (n, peer) = match sock.recv_from(&mut buf) {
             Ok(v) => v,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if drain_requested() {
+                    return;
+                }
+                continue;
+            }
             Err(_) => continue,
         };
         let mut body = &buf[..n];
@@ -270,22 +494,38 @@ fn udp_reader(
         };
         let forwarded = match msg {
             ClientMsg::Report { seq, payload } => {
-                route_report(
-                    &shards,
-                    payload,
-                    seq,
-                    ReplyTo::Udp(Arc::clone(&sock), peer),
-                    &queue_shed,
-                );
+                let bucket = buckets.entry(peer).or_insert_with(|| {
+                    TokenBucket::new(ctx.defense.rate_limit, ctx.defense.rate_burst)
+                });
+                if bucket.try_admit(ctx.now_ms()) {
+                    route_report(
+                        &ctx.shards,
+                        payload,
+                        seq,
+                        ReplyTo::Udp(Arc::clone(&sock), peer),
+                        &ctx.counters.queue_shed,
+                    );
+                } else {
+                    ctx.counters.rate_limited.fetch_add(1, Ordering::SeqCst);
+                    send_reply(
+                        &ReplyTo::Udp(Arc::clone(&sock), peer),
+                        &ReplyMsg {
+                            seq,
+                            status: StatusCode::RateLimited,
+                        },
+                    );
+                }
                 Ok(())
             }
             ClientMsg::Hello { client_id, clients } => {
-                ctrl.send(Ctrl::Hello { client_id, clients })
+                ctrl_send(&ctx, Ctrl::Hello { client_id, clients })
             }
             ClientMsg::WindowMark { client_id, up_to } => {
-                ctrl.send(Ctrl::Mark { client_id, up_to })
+                ctrl_send(&ctx, Ctrl::Mark { client_id, up_to })
             }
-            ClientMsg::Finish { client_id, sent } => ctrl.send(Ctrl::Finish { client_id, sent }),
+            ClientMsg::Finish { client_id, sent } => {
+                ctrl_send(&ctx, Ctrl::Finish { client_id, sent })
+            }
         };
         if forwarded.is_err() {
             return;
@@ -302,6 +542,10 @@ impl Args<'_> {
             .iter()
             .position(|a| a == name)
             .and_then(|i| self.0.get(i + 1))
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
     }
 
     fn num(&self, name: &str) -> Result<Option<u64>, String> {
@@ -334,12 +578,130 @@ impl Args<'_> {
     }
 }
 
+/// The coordinator's durable state: archive writer, merge frontier,
+/// and the baseline books restored by `--resume` (all zero on a
+/// fresh serve).
+struct Books {
+    writer: ArchiveWriter,
+    /// Records landed in the archive, across incarnations — the
+    /// checkpoint cursor `--resume` truncates to.
+    archived: u64,
+    merged_below: SimTime,
+    /// Merges across incarnations (starts at the resumed count).
+    merges: u64,
+    /// Receive-side totals of the previous incarnation.
+    base: IngestStats,
+    clients: u32,
+}
+
+impl Books {
+    /// Receive-side totals right now: previous incarnation + the live
+    /// shards + the reader-side shed counters. `sent`/`lost`/
+    /// `surplus` stay zero until the roster closes — they need the
+    /// registry's final word.
+    fn compose(&self, registry: &ClientRegistry, shards: &ShardStats, c: &Counters) -> IngestStats {
+        IngestStats {
+            clients: self.clients,
+            sent: 0,
+            admitted: self.base.admitted + shards.admitted,
+            deduped: self.base.deduped + shards.deduped,
+            shed_busy: self.base.shed_busy + shards.shed_busy + c.queue_shed.load(Ordering::SeqCst),
+            rejected: self.base.rejected + shards.rejected,
+            malformed: self.base.malformed + shards.malformed,
+            late: self.base.late + shards.late,
+            unavailable: self.base.unavailable + shards.unavailable,
+            rate_limited: self.base.rate_limited + c.rate_limited.load(Ordering::SeqCst),
+            lost: 0,
+            surplus: 0,
+            evicted: self.base.evicted + registry.evicted_count(),
+            merges: self.merges,
+            protocol_errors: self.base.protocol_errors + registry.protocol_errors(),
+        }
+    }
+}
+
+/// Drains every shard below `below` (finally when `stop`), returning
+/// the merged batches plus the summed cumulative shard books.
+fn drain_shards(
+    shard_txs: &[SyncSender<ShardCmd>],
+    below: SimTime,
+    stop: bool,
+) -> Result<(Vec<Vec<PeerReport>>, ShardStats), String> {
+    let mut batches = Vec::with_capacity(shard_txs.len());
+    let mut totals = ShardStats::default();
+    for tx in shard_txs {
+        let (out, back) = channel();
+        let cmd = if stop {
+            ShardCmd::Stop { below, out }
+        } else {
+            ShardCmd::Drain { below, out }
+        };
+        tx.send(cmd).map_err(|_| "shard worker died".to_string())?;
+        let (batch, stats) = back.recv().map_err(|_| "shard worker died".to_string())?;
+        batches.push(batch);
+        totals.absorb(&stats);
+    }
+    Ok((batches, totals))
+}
+
+/// Seals everything below the registry's barrier into the archive,
+/// then rewrites the `INGEST.resume` checkpoint — append+sync first,
+/// checkpoint second, so the cursor never runs ahead of durable
+/// records. No-op while the barrier hasn't advanced.
+fn seal_ready(
+    books: &mut Books,
+    registry: &ClientRegistry,
+    shard_txs: &[SyncSender<ShardCmd>],
+    counters: &Counters,
+    archive_dir: &Path,
+) -> Result<(), String> {
+    let Some(ready) = registry.ready_below() else {
+        return Ok(());
+    };
+    if ready <= books.merged_below {
+        return Ok(());
+    }
+    // Every live client flushed everything below `ready` before
+    // marking, and the FIFOs preserve that order — the drains see
+    // every covered report. Evicted clients are excluded from the
+    // barrier: whatever they still owed reconciles as loss.
+    let (batches, totals) = drain_shards(shard_txs, ready, false)?;
+    books.merged_below = ready;
+    books.merges += 1;
+    let merged = merge_sorted(batches);
+    for r in &merged {
+        books
+            .writer
+            .append(r)
+            .map_err(|e| format!("archive append: {e}"))?;
+    }
+    books.archived += merged.len() as u64;
+    books
+        .writer
+        .sync()
+        .map_err(|e| format!("archive sync: {e}"))?;
+    let resume = ServiceResume {
+        archived: books.archived,
+        merged_below_ms: books.merged_below.as_millis(),
+        stats: books.compose(registry, &totals, counters),
+    };
+    write_service_resume(archive_dir, &resume).map_err(|e| format!("write resume sidecar: {e}"))?;
+    Ok(())
+}
+
 fn serve(args: &Args) -> Result<(), String> {
-    let params = args.params()?;
     let dir = PathBuf::from(
         args.get("--archive")
             .ok_or_else(|| "--archive DIR is required".to_string())?,
     );
+    let resuming = args.has("--resume");
+    // On resume the run directory's study.cfg is authoritative — the
+    // restarted service must agree with the original parameters.
+    let params = if resuming {
+        load_params(&dir)?
+    } else {
+        args.params()?
+    };
     let listen = args
         .get("--listen")
         .map_or("127.0.0.1:0", String::as_str)
@@ -349,29 +711,86 @@ fn serve(args: &Args) -> Result<(), String> {
     let shards = args.num("--shards")?.unwrap_or(4).max(1) as usize;
     let pending_cap = args.num("--pending-cap")?.unwrap_or(1 << 16).max(1) as usize;
     let queue_cap = args.num("--queue-cap")?.unwrap_or(1024).max(1) as usize;
+    let idle_timeout_ms = args.num("--idle-timeout-ms")?.unwrap_or(30_000).max(1);
+    let barrier_timeout_ms = args.num("--barrier-timeout-ms")?.unwrap_or(30_000).max(1);
+    let max_conns = args.num("--max-conns")?.unwrap_or(1024).max(1) as usize;
+    let max_per_ip = args.num("--max-conns-per-ip")?.unwrap_or(64).max(1) as usize;
+    let rate_limit = args.num("--rate-limit")?.unwrap_or(0);
+    let rate_burst = args
+        .num("--rate-burst")?
+        .unwrap_or_else(|| (rate_limit * 2).max(8));
     let window_end = SimTime::at(params.days, 0, 0);
 
-    std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
-    // The run directory is replay-compatible: study.cfg first, so a
-    // killed drill still identifies its parameters.
-    atomic_write(&cfg_path(&dir), params.render().as_bytes())
-        .map_err(|e| format!("write study.cfg: {e}"))?;
-    let archive_dir = dir.join("archive");
-    let mut writer = ArchiveWriter::create(&archive_dir, params.durable_config().archive)
-        .map_err(|e| format!("create archive: {e}"))?;
+    install_drain_handler();
 
-    // One owner thread per shard behind a bounded FIFO.
+    std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    let archive_dir = dir.join("archive");
+    let (writer, archived, base, frontier) = if resuming {
+        // Crash-resume: reopen the archive at the checkpoint cursor
+        // (truncating any torn tail past it) and restore the merge
+        // frontier, so already-archived reports shed as `Late` when
+        // the drill re-offers them.
+        let resume = read_service_resume(&archive_dir)
+            .map_err(|e| format!("read resume sidecar: {e}"))?
+            .unwrap_or(ServiceResume {
+                archived: 0,
+                merged_below_ms: 0,
+                stats: IngestStats::default(),
+            });
+        let writer = ArchiveWriter::resume(
+            &archive_dir,
+            params.durable_config().archive,
+            resume.archived,
+        )
+        .map_err(|e| format!("resume archive: {e}"))?;
+        let frontier = SimTime::from_millis(resume.merged_below_ms);
+        (writer, resume.archived, resume.stats, frontier)
+    } else {
+        // The run directory is replay-compatible: study.cfg first, so
+        // a killed drill still identifies its parameters.
+        atomic_write(&cfg_path(&dir), params.render().as_bytes())
+            .map_err(|e| format!("write study.cfg: {e}"))?;
+        let writer = ArchiveWriter::create(&archive_dir, params.durable_config().archive)
+            .map_err(|e| format!("create archive: {e}"))?;
+        (writer, 0, IngestStats::default(), SimTime::ORIGIN)
+    };
+    let mut books = Books {
+        writer,
+        archived,
+        merged_below: frontier,
+        merges: base.merges,
+        base,
+        clients,
+    };
+
+    // One owner thread per shard behind a bounded FIFO. On resume
+    // every shard starts at the restored frontier: re-received
+    // reports below it are `Late` (their dedup history died with the
+    // previous incarnation), at or past it they are admitted fresh.
     let mut shard_txs = Vec::with_capacity(shards);
     for _ in 0..shards {
         let (tx, rx) = sync_channel::<ShardCmd>(queue_cap); // lint:allow(P1): service shell — bounded ingest queue, the backpressure mechanism itself
-        let shard = Shard::new(window_end, pending_cap);
+        let shard = Shard::with_frontier(window_end, pending_cap, frontier);
         // lint:allow(D3): service shell — shard owner threads live for the whole process; the drill joins them via Stop
         thread::spawn(move || shard_worker(shard, rx));
         shard_txs.push(tx);
     }
     let shard_txs = Arc::new(shard_txs);
-    let queue_shed = Arc::new(AtomicU64::new(0));
+    let counters = Arc::new(Counters::default());
     let (ctrl_tx, ctrl_rx) = channel::<Ctrl>();
+    // lint:allow(D2): service shell — the serve epoch anchors socket/barrier deadlines in wall time
+    let epoch = Instant::now();
+    let ctx = ReaderCtx {
+        shards: Arc::clone(&shard_txs),
+        ctrl: ctrl_tx,
+        counters: Arc::clone(&counters),
+        defense: Defense {
+            idle_timeout_ms,
+            rate_limit,
+            rate_burst,
+        },
+        epoch,
+    };
 
     // TCP and UDP share one port.
     let listener = TcpListener::bind(&listen).map_err(|e| format!("bind tcp {listen}: {e}"))?;
@@ -382,127 +801,144 @@ fn serve(args: &Args) -> Result<(), String> {
 
     println!(
         "magellan-traced: listening on {local} (tcp+udp), {clients} client(s), {shards} shard(s), \
-         pending cap {pending_cap}, queue cap {queue_cap}"
+         pending cap {pending_cap}, queue cap {queue_cap}{}",
+        if resuming {
+            format!(
+                ", resumed at {} archived record(s), frontier {} ms",
+                books.archived,
+                books.merged_below.as_millis()
+            )
+        } else {
+            String::new()
+        }
     );
     if let Some(path) = args.get("--port-file") {
         // Written atomically so a polling drill script never reads a
         // half-written address.
-        atomic_write(std::path::Path::new(path), local.to_string().as_bytes())
+        atomic_write(Path::new(path), local.to_string().as_bytes())
             .map_err(|e| format!("write {path}: {e}"))?;
     }
 
     {
-        let shards = Arc::clone(&shard_txs);
-        let ctrl = ctrl_tx.clone();
-        let shed = Arc::clone(&queue_shed);
+        let ctx = ctx.clone();
+        let governor = ConnGovernor::new(max_conns, max_per_ip);
         // lint:allow(D3): service shell — the acceptor lives until process exit; it owns no simulation state
         thread::spawn(move || {
             for conn in listener.incoming() {
+                if drain_requested() {
+                    return; // drain: stop accepting, let readers wind down
+                }
                 let Ok(stream) = conn else { continue };
-                let shards = Arc::clone(&shards);
-                let ctrl = ctrl.clone();
-                let shed = Arc::clone(&shed);
+                let Some(permit) = stream
+                    .peer_addr()
+                    .ok()
+                    .and_then(|peer| governor.admit(peer.ip()))
+                else {
+                    ctx.counters.refused.fetch_add(1, Ordering::SeqCst);
+                    continue; // dropping the stream closes it — the refusal
+                };
+                let ctx = ctx.clone();
                 // lint:allow(D3): service shell — one reader per connection, detached; connections outlive no window barrier
-                thread::spawn(move || tcp_conn(stream, shards, ctrl, shed));
+                thread::spawn(move || {
+                    let _permit = permit;
+                    tcp_conn(stream, ctx);
+                });
             }
         });
     }
     {
         let sock = Arc::clone(&udp);
-        let shards = Arc::clone(&shard_txs);
-        let shed = Arc::clone(&queue_shed);
+        let ctx = ctx;
         // lint:allow(D3): service shell — single UDP reader for the whole process lifetime
-        thread::spawn(move || udp_reader(sock, shards, ctrl_tx, shed));
+        thread::spawn(move || udp_reader(sock, ctx));
     }
 
-    // The coordinator: registry, window barrier, archive.
+    // The coordinator: registry, window barrier, archive. The loop
+    // ticks instead of blocking, so a vanished client or a drain
+    // signal degrades the run instead of wedging it.
     let mut registry = ClientRegistry::new(clients);
-    let mut merged_below = SimTime::ORIGIN;
-    let mut merges = 0u64;
+    let now_ms = || epoch.elapsed().as_millis() as u64;
+    let mut drained_on_signal = false;
     while !registry.all_finished() {
-        let msg = ctrl_rx
-            .recv()
-            .map_err(|_| "every reader thread died before the drill finished".to_string())?;
-        match msg {
-            Ctrl::Hello { client_id, clients } => registry.hello(client_id, clients),
-            Ctrl::Finish { client_id, sent } => registry.finish(client_id, sent),
-            Ctrl::Mark { client_id, up_to } => {
+        if drain_requested() {
+            // Drain protocol: evict whoever hasn't finished, seal the
+            // in-flight window below, and close the books at exit 0.
+            let evicted = registry.evict_idle(now_ms(), 0);
+            drained_on_signal = true;
+            println!(
+                "magellan-traced: drain signal — evicted {evicted} unfinished client(s), \
+                 sealing the in-flight window"
+            );
+            break;
+        }
+        match ctrl_rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(Ctrl::Hello { client_id, clients }) => {
+                registry.touch(client_id, now_ms());
+                registry.hello(client_id, clients);
+            }
+            Ok(Ctrl::Finish { client_id, sent }) => {
+                registry.touch(client_id, now_ms());
+                registry.finish(client_id, sent);
+            }
+            Ok(Ctrl::Mark { client_id, up_to }) => {
+                registry.touch(client_id, now_ms());
                 registry.mark(client_id, up_to);
-                let Some(ready) = registry.ready_below() else {
-                    continue;
-                };
-                if ready <= merged_below {
-                    continue;
+                seal_ready(&mut books, &registry, &shard_txs, &counters, &archive_dir)?;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // The barrier deadline: a client silent past it is
+                // evicted so the window seals as an accounted partial
+                // instead of wedging ready_below() forever.
+                let evicted = registry.evict_idle(now_ms(), barrier_timeout_ms);
+                if evicted > 0 {
+                    println!(
+                        "magellan-traced: evicted {evicted} client(s) silent past the \
+                         {barrier_timeout_ms} ms barrier deadline; sealing a partial window"
+                    );
+                    seal_ready(&mut books, &registry, &shard_txs, &counters, &archive_dir)?;
                 }
-                // Every client flushed everything below `ready`
-                // before marking, and the FIFOs preserve that order —
-                // the drains see every covered report.
-                let mut batches = Vec::with_capacity(shard_txs.len());
-                for tx in shard_txs.iter() {
-                    let (out, back) = channel();
-                    tx.send(ShardCmd::Drain { below: ready, out })
-                        .map_err(|_| "shard worker died".to_string())?;
-                    batches.push(back.recv().map_err(|_| "shard worker died".to_string())?);
-                }
-                merged_below = ready;
-                merges += 1;
-                for r in &merge_sorted(batches) {
-                    writer
-                        .append(r)
-                        .map_err(|e| format!("archive append: {e}"))?;
-                }
-                writer.sync().map_err(|e| format!("archive sync: {e}"))?;
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err("every reader thread died before the drill finished".to_string())
             }
         }
     }
 
     // Final drain: stop every shard, merge the tail, close the books.
-    let mut totals = ShardStats::default();
-    let mut batches = Vec::with_capacity(shard_txs.len());
-    for tx in shard_txs.iter() {
-        let (out, back) = channel();
-        tx.send(ShardCmd::Stop {
-            below: window_end,
-            out,
-        })
-        .map_err(|_| "shard worker died".to_string())?;
-        let (batch, stats) = back.recv().map_err(|_| "shard worker died".to_string())?;
-        batches.push(batch);
-        totals.absorb(&stats);
-    }
+    let (batches, totals) = drain_shards(&shard_txs, window_end, true)?;
     let final_batch = merge_sorted(batches);
     if !final_batch.is_empty() {
-        merges += 1;
+        books.merges += 1;
     }
     for r in &final_batch {
-        writer
+        books
+            .writer
             .append(r)
             .map_err(|e| format!("archive append: {e}"))?;
     }
-    let summary = writer
+    let sent = registry.total_sent();
+    let mut stats = books.compose(&registry, &totals, &counters);
+    let summary = books
+        .writer
         .finish()
         .map_err(|e| format!("archive finish: {e}"))?;
-
-    let sent = registry.total_sent();
-    let mut stats = IngestStats {
-        clients,
-        sent,
-        admitted: totals.admitted,
-        deduped: totals.deduped,
-        shed_busy: totals.shed_busy + queue_shed.load(Ordering::SeqCst),
-        rejected: totals.rejected,
-        malformed: totals.malformed,
-        late: totals.late,
-        unavailable: totals.unavailable,
-        lost: 0,
-        merges,
-        protocol_errors: registry.protocol_errors(),
-    };
+    stats.sent = sent;
+    // Net reconciliation: datagrams the clients sent that never
+    // classified are `lost`; classifications beyond what this
+    // incarnation's clients sent (chaos duplicates, evicted clients'
+    // traffic, crash-resume re-receives) are `surplus`.
     stats.lost = sent.saturating_sub(stats.received());
+    stats.surplus = stats.received().saturating_sub(sent);
     write_ingest_stats(&archive_dir, &stats).map_err(|e| format!("write sidecar: {e}"))?;
     println!(
         "magellan-traced: archived {} report(s) in {} sealed segment(s)",
         summary.records, summary.sealed_segments
+    );
+    println!(
+        "magellan-traced: defense reaped_idle {} refused_conns {} drained_on_signal {}",
+        counters.reaped.load(Ordering::SeqCst),
+        counters.refused.load(Ordering::SeqCst),
+        if drained_on_signal { "yes" } else { "no" },
     );
     print!("{}", stats.render());
     if !stats.balanced() {
@@ -541,6 +977,7 @@ fn drive(args: &Args) -> Result<(), String> {
     let cap_ms = args.num("--backoff-cap-ms")?.unwrap_or(200);
     let max_attempts =
         u32::try_from(args.num("--max-attempts")?.unwrap_or(8).max(1)).unwrap_or(u32::MAX);
+    let reconnect = args.num("--reconnect")?;
 
     // Deterministic per-client backoff jitter: same drill, same
     // delays.
@@ -555,6 +992,9 @@ fn drive(args: &Args) -> Result<(), String> {
         other => return Err(format!("--transport {other}: expected tcp or udp")),
     }
     .map_err(|e| format!("connect {server}: {e}"))?;
+    if let Some(budget) = reconnect {
+        uplink.set_reconnect_budget(u32::try_from(budget).unwrap_or(u32::MAX));
+    }
 
     let cfg = params.study_config();
     let window_end = SimTime::at(params.days, 0, 0);
@@ -593,11 +1033,12 @@ fn drive(args: &Args) -> Result<(), String> {
     uplink
         .mark(window_end)
         .map_err(|e| format!("final mark: {e}"))?;
+    let reconnects = uplink.reconnects();
     let stats = uplink.finish().map_err(|e| format!("finish: {e}"))?;
     println!(
         "magellan-traced drive: client {client_id}/{clients} over {transport} — simulated {} \
          report(s); offered {} delivered {} retransmitted {} rejected {} dropped {} attempts {} \
-         backoff-capped {}",
+         backoff-capped {} reconnects {}",
         summary.reports,
         stats.offered,
         stats.delivered,
@@ -606,6 +1047,7 @@ fn drive(args: &Args) -> Result<(), String> {
         stats.dropped_permanent,
         stats.attempts,
         stats.backoff_capped,
+        reconnects,
     );
     Ok(())
 }

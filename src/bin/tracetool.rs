@@ -7,6 +7,10 @@
 //!                    [--format summary|edges|dot] [--out file]
 //! tracetool inspect  <archive-dir>
 //! tracetool fsck     <archive-dir>
+//! tracetool nemesis  --upstream ADDR [--listen ADDR] [--seed N]
+//!                    [--profile tcp|udp|off] [--port-file FILE]
+//! tracetool nemesis  --print-schedule EVENTS [--flows N] [--seed N]
+//!                    [--profile tcp|udp|off]
 //! ```
 //!
 //! Traces come from `figures --save-trace` (or any §3.2-conformant
@@ -19,6 +23,16 @@
 //! JSONL trace and adds the `magellan-traced` ingest accounting
 //! (admitted / deduped / shed / lost and whether the books balance)
 //! when the run came through the networked service.
+//!
+//! `nemesis` is the deterministic chaos interposer for the hostile
+//! ingest drills: it proxies TCP connections and UDP datagrams to
+//! `--upstream` while injecting the transport hostility scheduled by
+//! [`FlowSchedule`] — latency, partial/coalesced writes, byte flips,
+//! duplicates, reorders, connection resets, half-open stalls, and
+//! mid-stream kills. The schedule is a pure function of `(--seed,
+//! flow index, --profile)`, so a failing drill replays exactly;
+//! `--print-schedule` renders the decision table as the byte-for-byte
+//! reproducibility witness without opening a socket.
 
 use magellan::analysis::graphs::{active_link_graph, node_isps, NodeScope};
 use magellan::analysis::sessions::{stable_sessions, summarize};
@@ -40,9 +54,358 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  tracetool stats    <trace.jsonl | archive-dir>\n  tracetool sessions <trace.jsonl>\n  \
          tracetool snapshot <trace.jsonl> --at d,h,m [--scope stable|all] [--format summary|edges|dot] [--out file]\n  \
-         tracetool inspect  <archive-dir>\n  tracetool fsck     <archive-dir>"
+         tracetool inspect  <archive-dir>\n  tracetool fsck     <archive-dir>\n  \
+         tracetool nemesis  --upstream ADDR [--listen ADDR] [--seed N] [--profile tcp|udp|off] [--port-file FILE]\n  \
+         tracetool nemesis  --print-schedule EVENTS [--flows N] [--seed N] [--profile tcp|udp|off]"
     );
     ExitCode::FAILURE
+}
+
+/// `nemesis` — the deterministic chaos proxy. Everything hostile it
+/// does is decided by [`FlowSchedule`] (pure seeded arithmetic); this
+/// code only executes the scheduled socket mischief.
+mod nemesis {
+    use magellan::netsim::chaos::{
+        render_schedule, ChaosAction, ChaosProfile, FlowKind, FlowSchedule,
+    };
+    use magellan::trace::atomic_write;
+    use std::collections::BTreeMap;
+    use std::io::{Read, Write};
+    use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, UdpSocket};
+    use std::path::Path;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::thread;
+    use std::time::Duration;
+
+    /// Flow indices are allocated process-wide so every TCP
+    /// connection and every UDP source gets an independent schedule.
+    static NEXT_FLOW: AtomicU64 = AtomicU64::new(0);
+
+    fn profile_of(name: &str) -> Result<(FlowKind, ChaosProfile), String> {
+        match name {
+            "tcp" => Ok((FlowKind::Stream, ChaosProfile::tcp_drill())),
+            "udp" => Ok((FlowKind::Datagram, ChaosProfile::udp_drill())),
+            "off" => Ok((FlowKind::Stream, ChaosProfile::off())),
+            other => Err(format!("--profile {other}: expected tcp, udp, or off")),
+        }
+    }
+
+    /// The chaos-bearing direction of one TCP connection
+    /// (client → upstream). Replies flow back through a clean pump —
+    /// hostility on the request path is what the service must
+    /// survive; a mangled reply would only test the drill client.
+    fn pump_chaos(mut from: TcpStream, to: TcpStream, mut sched: FlowSchedule) {
+        // The coalesce timer: bytes withheld to ride with the next
+        // chunk are flushed after one tick anyway (like Nagle), so a
+        // request/reply lockstep never deadlocks on the proxy.
+        let _ = from.set_read_timeout(Some(Duration::from_millis(20)));
+        let mut held: Vec<u8> = Vec::new();
+        let mut buf = [0u8; 8192];
+        loop {
+            let n = match from.read(&mut buf) {
+                Ok(0) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if !held.is_empty() {
+                        if (&to).write_all(&held).is_err() {
+                            break;
+                        }
+                        held.clear();
+                    }
+                    continue;
+                }
+                Err(_) => break,
+                Ok(n) => n,
+            };
+            held.extend_from_slice(&buf[..n]);
+            match sched.next_action() {
+                ChaosAction::Coalesce => continue, // withhold; prepend to the next chunk
+                ChaosAction::Deliver | ChaosAction::Reorder => {}
+                ChaosAction::Delay { ms } => thread::sleep(Duration::from_millis(u64::from(ms))),
+                ChaosAction::Stall { ms } => {
+                    // Half-open pressure: the connection sits silent,
+                    // then resumes — the upstream's idle reaper must
+                    // tolerate this without dropping a live client.
+                    thread::sleep(Duration::from_millis(u64::from(ms)));
+                }
+                ChaosAction::FlipBit { offset, bit } => {
+                    let i = offset as usize % held.len();
+                    held[i] ^= 1 << bit;
+                }
+                ChaosAction::SplitAt { at_pm } => {
+                    let at = ((held.len() as u64 * u64::from(at_pm)) / 1000).max(1) as usize;
+                    let at = at.min(held.len());
+                    if (&to).write_all(&held[..at]).is_err() {
+                        break;
+                    }
+                    (&to).flush().ok();
+                    held.drain(..at);
+                    if held.is_empty() {
+                        continue;
+                    }
+                }
+                ChaosAction::Duplicate => {
+                    if (&to).write_all(&held).is_err() {
+                        break;
+                    }
+                }
+                ChaosAction::Drop => {
+                    held.clear();
+                    continue;
+                }
+                ChaosAction::Reset => {
+                    // The chunk dies with the connection.
+                    let _ = to.shutdown(Shutdown::Both);
+                    let _ = from.shutdown(Shutdown::Both);
+                    return;
+                }
+                ChaosAction::Kill => {
+                    let _ = (&to).write_all(&held);
+                    let _ = to.shutdown(Shutdown::Both);
+                    let _ = from.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+            if (&to).write_all(&held).is_err() {
+                break;
+            }
+            held.clear();
+        }
+        // Clean EOF: flush any coalesced remainder, then propagate
+        // the half-close so the upstream sees the same stream end.
+        if !held.is_empty() {
+            let _ = (&to).write_all(&held);
+        }
+        let _ = to.shutdown(Shutdown::Write);
+    }
+
+    /// The clean reply direction (upstream → client).
+    fn pump_clean(mut from: TcpStream, to: TcpStream) {
+        let mut buf = [0u8; 8192];
+        loop {
+            let n = match from.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => n,
+            };
+            if (&to).write_all(&buf[..n]).is_err() {
+                break;
+            }
+        }
+        let _ = to.shutdown(Shutdown::Write);
+    }
+
+    fn serve_tcp(
+        listener: TcpListener,
+        upstream: String,
+        seed: u64,
+        kind: FlowKind,
+        profile: ChaosProfile,
+    ) {
+        for conn in listener.incoming() {
+            let Ok(client) = conn else { continue };
+            let Ok(server) = TcpStream::connect(upstream.as_str()) else {
+                let _ = client.shutdown(Shutdown::Both);
+                continue;
+            };
+            let _ = client.set_nodelay(true);
+            let _ = server.set_nodelay(true);
+            let flow = NEXT_FLOW.fetch_add(1, Ordering::SeqCst);
+            let sched = FlowSchedule::new(seed, flow, kind, profile);
+            let (Ok(c2), Ok(s2)) = (client.try_clone(), server.try_clone()) else {
+                continue;
+            };
+            // lint:allow(D3): proxy shell — one pump pair per connection, detached; process exit is shutdown
+            thread::spawn(move || pump_chaos(client, server, sched));
+            // lint:allow(D3): proxy shell — reply pump, detached
+            thread::spawn(move || pump_clean(s2, c2));
+        }
+    }
+
+    /// One proxied UDP source: its upstream socket and its pending
+    /// reordered datagram.
+    struct UdpFlow {
+        up: std::sync::Arc<UdpSocket>,
+        sched: FlowSchedule,
+        held: Option<Vec<u8>>,
+    }
+
+    /// Connects a fresh upstream socket for one UDP source and starts
+    /// its clean reply pump (upstream datagrams back to the client
+    /// through the listener socket).
+    fn open_udp_flow(
+        listener: &std::sync::Arc<UdpSocket>,
+        upstream: &str,
+        seed: u64,
+        profile: ChaosProfile,
+        peer: SocketAddr,
+    ) -> Option<UdpFlow> {
+        let up = UdpSocket::bind("127.0.0.1:0").ok()?;
+        up.connect(upstream).ok()?;
+        let up = std::sync::Arc::new(up);
+        let flow = NEXT_FLOW.fetch_add(1, Ordering::SeqCst);
+        {
+            let up = std::sync::Arc::clone(&up);
+            let down = std::sync::Arc::clone(listener);
+            // lint:allow(D3): proxy shell — one reply pump per UDP source, detached
+            thread::spawn(move || {
+                let mut rbuf = [0u8; 64 * 1024];
+                while let Ok(rn) = up.recv(&mut rbuf) {
+                    if down.send_to(&rbuf[..rn], peer).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        Some(UdpFlow {
+            up,
+            sched: FlowSchedule::new(seed, flow, FlowKind::Datagram, profile),
+            held: None,
+        })
+    }
+
+    fn serve_udp(
+        listener: std::sync::Arc<UdpSocket>,
+        upstream: String,
+        seed: u64,
+        profile: ChaosProfile,
+    ) {
+        let mut flows: BTreeMap<SocketAddr, UdpFlow> = BTreeMap::new();
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            let (n, peer) = match listener.recv_from(&mut buf) {
+                Ok(v) => v,
+                Err(_) => continue,
+            };
+            let f = match flows.entry(peer) {
+                std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    let Some(flow) = open_udp_flow(&listener, &upstream, seed, profile, peer)
+                    else {
+                        continue;
+                    };
+                    v.insert(flow)
+                }
+            };
+            let datagram = buf[..n].to_vec();
+            match f.sched.next_action() {
+                ChaosAction::Drop | ChaosAction::Reset | ChaosAction::Kill => {
+                    // No connection to kill on UDP: the datagram is
+                    // simply lost.
+                }
+                ChaosAction::Duplicate => {
+                    let _ = f.up.send(&datagram);
+                    let _ = f.up.send(&datagram);
+                }
+                ChaosAction::Reorder => {
+                    // Hold one slot; it rides behind the next datagram.
+                    match f.held.take() {
+                        None => f.held = Some(datagram),
+                        Some(prev) => {
+                            let _ = f.up.send(&datagram);
+                            let _ = f.up.send(&prev);
+                        }
+                    }
+                    continue;
+                }
+                ChaosAction::Delay { ms } | ChaosAction::Stall { ms } => {
+                    thread::sleep(Duration::from_millis(u64::from(ms)));
+                    let _ = f.up.send(&datagram);
+                }
+                ChaosAction::FlipBit { offset, bit } => {
+                    let mut d = datagram;
+                    let i = offset as usize % d.len().max(1);
+                    if let Some(b) = d.get_mut(i) {
+                        *b ^= 1 << bit;
+                    }
+                    let _ = f.up.send(&d);
+                }
+                // Split/Coalesce have no meaning at datagram
+                // granularity; the schedule never emits them for
+                // datagram flows, but deliver defensively.
+                ChaosAction::Deliver | ChaosAction::SplitAt { .. } | ChaosAction::Coalesce => {
+                    let _ = f.up.send(&datagram);
+                }
+            }
+            if let Some(prev) = f.held.take() {
+                let _ = f.up.send(&prev);
+            }
+        }
+    }
+
+    /// Entry point for `tracetool nemesis`.
+    pub fn run(args: &[String]) -> std::process::ExitCode {
+        use std::process::ExitCode as ExitCode2;
+        let get = |name: &str| -> Option<String> {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+        };
+        let seed = get("--seed")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(9);
+        let (kind, profile) = match profile_of(get("--profile").as_deref().unwrap_or("tcp")) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode2::FAILURE;
+            }
+        };
+
+        if let Some(events) = get("--print-schedule") {
+            let Ok(events) = events.parse::<u32>() else {
+                eprintln!("error: --print-schedule wants an event count");
+                return ExitCode2::FAILURE;
+            };
+            let flows = get("--flows")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(4);
+            print!("{}", render_schedule(seed, kind, profile, flows, events));
+            return ExitCode2::SUCCESS;
+        }
+
+        let Some(upstream) = get("--upstream") else {
+            eprintln!("error: --upstream ADDR is required");
+            return ExitCode2::FAILURE;
+        };
+        let listen = get("--listen").unwrap_or_else(|| "127.0.0.1:0".to_string());
+        let listener = match TcpListener::bind(listen.as_str()) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: bind tcp {listen}: {e}");
+                return ExitCode2::FAILURE;
+            }
+        };
+        let Ok(local) = listener.local_addr() else {
+            eprintln!("error: local addr");
+            return ExitCode2::FAILURE;
+        };
+        let udp = match UdpSocket::bind(local) {
+            Ok(s) => std::sync::Arc::new(s),
+            Err(e) => {
+                eprintln!("error: bind udp {local}: {e}");
+                return ExitCode2::FAILURE;
+            }
+        };
+        println!("tracetool nemesis: interposing {local} -> {upstream} (seed {seed}, {kind:?})");
+        if let Some(path) = get("--port-file") {
+            if let Err(e) = atomic_write(Path::new(&path), local.to_string().as_bytes()) {
+                eprintln!("error: write {path}: {e}");
+                return ExitCode2::FAILURE;
+            }
+        }
+        {
+            let upstream = upstream.clone();
+            // lint:allow(D3): proxy shell — UDP forwarder for the process lifetime
+            thread::spawn(move || serve_udp(udp, upstream, seed, profile));
+        }
+        serve_tcp(listener, upstream, seed, kind, profile);
+        ExitCode2::SUCCESS
+    }
 }
 
 /// Accepts either an archive directory or a `magellan study` run
@@ -114,11 +477,14 @@ fn archive_stats(path: &str) -> ExitCode {
             println!("admitted           : {}", s.admitted);
             println!("deduped            : {}", s.deduped);
             println!("shed busy          : {}", s.shed_busy);
+            println!("rate limited       : {}", s.rate_limited);
             println!("rejected           : {}", s.rejected);
             println!("malformed          : {}", s.malformed);
             println!("late               : {}", s.late);
             println!("unavailable        : {}", s.unavailable);
             println!("lost in flight     : {}", s.lost);
+            println!("surplus received   : {}", s.surplus);
+            println!("evicted clients    : {}", s.evicted);
             println!("window merges      : {}", s.merges);
             println!("protocol errors    : {}", s.protocol_errors);
             println!(
@@ -140,6 +506,10 @@ fn main() -> ExitCode {
     let Some(cmd) = args.get(1) else {
         return usage();
     };
+    // The chaos proxy takes no positional path.
+    if cmd == "nemesis" {
+        return nemesis::run(&args);
+    }
     let Some(path) = args.get(2) else {
         return usage();
     };

@@ -11,7 +11,9 @@
 //! without bound, not panic — with every report accounted for in the
 //! balance identity `sent == admitted + deduped + shed + ... + lost`.
 
-use std::io::Read;
+use magellan::trace::codec::{encode_client_msg, frame, ClientMsg};
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
@@ -210,6 +212,179 @@ fn overload_sheds_gracefully_and_stays_balanced() {
     assert!(
         shed > 0,
         "tiny queues should have shed reports:\n{serve_out}"
+    );
+
+    std::fs::remove_dir_all(&traced).ok();
+}
+
+/// Parses one `key N` column out of the serve transcript.
+fn stat(serve_out: &str, key: &str) -> u64 {
+    serve_out
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{key} ")))
+        .and_then(|w| w.parse().ok())
+        .unwrap_or_else(|| panic!("no `{key}` column in serve output:\n{serve_out}"))
+}
+
+/// A slowloris connection — opened, fed two bytes of a frame prefix,
+/// then held silent — must be reaped by the idle deadline instead of
+/// pinning a reader thread, while a legitimate client drills through
+/// unharmed.
+#[test]
+fn slowloris_connection_is_reaped_not_serviced_forever() {
+    let traced = temp_dir("slowloris");
+    let port_file = traced.join("port");
+
+    let mut server = serve(
+        &traced,
+        &port_file,
+        &[
+            "--clients",
+            "1",
+            "--shards",
+            "1",
+            "--idle-timeout-ms",
+            "300",
+        ],
+    );
+    let addr = wait_for_addr(&port_file, &mut server);
+
+    // The attack: a half-open connection that never completes a frame.
+    let mut loris = TcpStream::connect(&addr).expect("connect slowloris");
+    loris.write_all(&[0u8, 0u8]).expect("send partial prefix");
+
+    let d = drive(&addr, 0, 1, &["--transport", "tcp"]);
+    wait_success(d, "drive alongside slowloris");
+    let serve_out = wait_success(server, "serve under slowloris");
+    drop(loris);
+
+    let reaped: u64 = serve_out
+        .lines()
+        .find_map(|l| l.strip_prefix("magellan-traced: defense reaped_idle "))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|w| w.parse().ok())
+        .expect("defense line in serve output");
+    assert!(
+        reaped >= 1,
+        "the slowloris connection was never reaped:\n{serve_out}"
+    );
+    assert!(
+        serve_out.contains("balanced yes"),
+        "slowloris broke the balance identity:\n{serve_out}"
+    );
+    assert_eq!(stat(&serve_out, "lost"), 0, "legit client lost reports");
+
+    std::fs::remove_dir_all(&traced).ok();
+}
+
+/// A client that says Hello and then vanishes must be evicted at the
+/// barrier deadline so the surviving client's windows still seal —
+/// a partial, accounted run instead of a wedged merge pipeline.
+#[test]
+fn vanished_client_degrades_to_partial_seal() {
+    let traced = temp_dir("vanished");
+    let port_file = traced.join("port");
+
+    let mut server = serve(
+        &traced,
+        &port_file,
+        &[
+            "--clients",
+            "2",
+            "--shards",
+            "2",
+            "--barrier-timeout-ms",
+            "700",
+        ],
+    );
+    let addr = wait_for_addr(&port_file, &mut server);
+
+    // Client 1 joins the roster and then dies without a word.
+    let mut ghost = TcpStream::connect(&addr).expect("connect ghost client");
+    ghost
+        .write_all(&frame(&encode_client_msg(&ClientMsg::Hello {
+            client_id: 1,
+            clients: 2,
+        })))
+        .expect("send hello");
+    drop(ghost);
+
+    let d = drive(&addr, 0, 2, &["--transport", "tcp"]);
+    wait_success(d, "surviving drive");
+    let serve_out = wait_success(server, "serve with vanished client");
+
+    assert!(
+        serve_out.contains("balanced yes"),
+        "vanished client broke the balance identity:\n{serve_out}"
+    );
+    assert_eq!(
+        stat(&serve_out, "evicted"),
+        1,
+        "the ghost client was not evicted:\n{serve_out}"
+    );
+    assert!(
+        serve_out.contains("barrier deadline"),
+        "no partial-seal eviction was reported:\n{serve_out}"
+    );
+    assert!(
+        stat(&serve_out, "merges") > 0,
+        "the surviving client's windows never sealed:\n{serve_out}"
+    );
+
+    std::fs::remove_dir_all(&traced).ok();
+}
+
+/// With a per-connection token bucket armed, a full-speed client gets
+/// throttled with the retryable `RateLimited` verdict — visible in
+/// the books, with every throttled report eventually delivered.
+#[test]
+fn rate_limited_reports_are_throttled_retried_and_accounted() {
+    let traced = temp_dir("ratelimit");
+    let port_file = traced.join("port");
+
+    let mut server = serve(
+        &traced,
+        &port_file,
+        &[
+            "--clients",
+            "1",
+            "--shards",
+            "2",
+            "--rate-limit",
+            "600",
+            "--rate-burst",
+            "8",
+        ],
+    );
+    let addr = wait_for_addr(&port_file, &mut server);
+    let d = drive(
+        &addr,
+        0,
+        1,
+        &[
+            "--transport",
+            "tcp",
+            "--max-attempts",
+            "64",
+            "--backoff-cap-ms",
+            "50",
+        ],
+    );
+    wait_success(d, "drive under rate limiting");
+    let serve_out = wait_success(server, "serve under rate limiting");
+
+    assert!(
+        serve_out.contains("balanced yes"),
+        "rate limiting broke the balance identity:\n{serve_out}"
+    );
+    assert!(
+        stat(&serve_out, "rate_limited") > 0,
+        "a full-speed client never tripped the token bucket:\n{serve_out}"
+    );
+    assert_eq!(
+        stat(&serve_out, "lost"),
+        0,
+        "throttled reports must be retried, not lost:\n{serve_out}"
     );
 
     std::fs::remove_dir_all(&traced).ok();
